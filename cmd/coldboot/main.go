@@ -1,0 +1,149 @@
+// Command coldboot runs the end-to-end cold boot attack simulation with
+// configurable physical and machine parameters.
+//
+// Usage:
+//
+//	coldboot [-cpu i5-6600K] [-channels 1] [-mem 2097152]
+//	         [-freeze -25] [-transfer 2s] [-reboot] [-protection stock]
+//	         [-seed 1] [-repair 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"coldboot"
+	"coldboot/internal/dumpfile"
+	"coldboot/internal/machine"
+)
+
+func main() {
+	cpu := flag.String("cpu", "i5-6600K", "victim CPU model (see -list)")
+	attackerCPU := flag.String("attacker-cpu", "", "attacker CPU model (default: same as victim)")
+	channels := flag.Int("channels", 1, "memory channels (1 or 2)")
+	mem := flag.Int("mem", 2<<20, "DIMM bytes per channel")
+	freeze := flag.Float64("freeze", -50, "DIMM temperature during transfer (C); -25 needs a sub-second transfer")
+	transfer := flag.Duration("transfer", 2*time.Second, "DIMM transfer duration")
+	reboot := flag.Bool("reboot", false, "same-machine reboot instead of DIMM transfer")
+	protection := flag.String("protection", "stock", "victim memory protection: stock | off | chacha8 | aes128")
+	seed := flag.Int64("seed", 1, "experiment seed")
+	repair := flag.Int("repair", 1, "decay repair flips (0-2)")
+	list := flag.Bool("list", false, "list Table I CPU models and exit")
+	captureTo := flag.String("capture", "", "capture the dump to this file instead of attacking")
+	analyzeFrom := flag.String("analyze", "", "attack a previously captured dump file")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("CPU models (paper Table I):")
+		for _, c := range machine.TableI {
+			fmt.Printf("  %-10s %-12s %-5v launched %s\n", c.Name, c.Arch, c.Memory, c.Launched)
+		}
+		return
+	}
+
+	var prot coldboot.MemoryProtection
+	switch *protection {
+	case "stock":
+		prot = coldboot.StockScrambler
+	case "off":
+		prot = coldboot.ScramblerOff
+	case "chacha8":
+		prot = coldboot.EncryptedChaCha8
+	case "aes128":
+		prot = coldboot.EncryptedAES128
+	default:
+		fmt.Fprintf(os.Stderr, "unknown protection %q\n", *protection)
+		os.Exit(2)
+	}
+
+	if *analyzeFrom != "" {
+		analyzeFile(*analyzeFrom, *repair)
+		return
+	}
+
+	scenario := coldboot.Scenario{
+		CPU:               *cpu,
+		AttackerCPU:       *attackerCPU,
+		Channels:          *channels,
+		MemoryBytes:       *mem,
+		FreezeTempC:       *freeze,
+		TransferTime:      *transfer,
+		SameMachineReboot: *reboot,
+		Protection:        prot,
+		Seed:              *seed,
+		RepairFlips:       *repair,
+	}
+
+	if *captureTo != "" {
+		captureFile(scenario, *captureTo)
+		return
+	}
+
+	out, err := coldboot.Run(scenario)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("victim seed      %#016x\n", out.VictimSeed)
+	fmt.Printf("attacker seed    %#016x\n", out.AttackerSeed)
+	fmt.Printf("retention        %.4f\n", out.Retention)
+	fmt.Printf("mined keys       %d (stride %d, coverage %.1f%%)\n", out.MinedKeys, out.Stride, out.Coverage*100)
+	fmt.Printf("masters found    %d\n", len(out.RecoveredMasters))
+	for i, m := range out.RecoveredMasters {
+		fmt.Printf("  [%d] %x\n", i, m)
+	}
+	if out.VolumeUnlocked {
+		fmt.Printf("volume UNLOCKED; secret: %q\n", out.SecretRecovered)
+	} else {
+		fmt.Println("volume still locked — attack failed")
+		os.Exit(1)
+	}
+}
+
+// captureFile runs only the acquisition half and saves the dump container.
+func captureFile(s coldboot.Scenario, path string) {
+	dump, out, err := coldboot.Capture(s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	meta := dumpfile.Metadata{
+		CPU:             s.AttackerCPU,
+		Channels:        s.Channels,
+		ScramblerOn:     true,
+		FreezeTempC:     s.FreezeTempC,
+		TransferSeconds: s.TransferTime.Seconds(),
+		Notes:           fmt.Sprintf("victim seed %#x, attacker seed %#x", out.VictimSeed, out.AttackerSeed),
+	}
+	if meta.CPU == "" {
+		meta.CPU = s.CPU
+	}
+	if err := dumpfile.WriteFile(path, meta, dump); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("captured %d bytes (retention %.4f) to %s\n", len(dump), out.Retention, path)
+}
+
+// analyzeFile loads a dump container and runs the offline attack.
+func analyzeFile(path string, repair int) {
+	meta, dump, err := dumpfile.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded %d bytes captured on %s (%d ch, frozen to %.0fC, %.1fs transfer)\n",
+		len(dump), meta.CPU, meta.Channels, meta.FreezeTempC, meta.TransferSeconds)
+	keys, err := coldboot.AttackDump(dump, repair)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(keys) == 0 {
+		fmt.Println("no AES master keys recovered")
+		os.Exit(1)
+	}
+	fmt.Printf("%d master keys recovered:\n", len(keys))
+	for i, k := range keys {
+		fmt.Printf("  [%d] %x\n", i, k)
+	}
+}

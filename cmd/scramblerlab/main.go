@@ -1,0 +1,195 @@
+// Command scramblerlab is the paper's analysis framework (§III-A) as a
+// tool: it compares DDR3 and DDR4 scramblers, regenerates the Figure 3
+// panels as PGM images, and reports the Table I machine inventory.
+//
+// Usage:
+//
+//	scramblerlab -table1            # print Table I
+//	scramblerlab -figure3 DIR       # write fig3a..fig3e PGM panels to DIR
+//	scramblerlab -compare           # DDR3 vs DDR4 correlation statistics
+//	scramblerlab -retention         # §III-D retention table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"time"
+
+	"coldboot/internal/bitutil"
+	"coldboot/internal/chacha"
+	"coldboot/internal/dram"
+	"coldboot/internal/machine"
+	"coldboot/internal/memimg"
+	"coldboot/internal/randtest"
+	"coldboot/internal/scramble"
+)
+
+func main() {
+	table1 := flag.Bool("table1", false, "print the Table I machine inventory")
+	figure3 := flag.String("figure3", "", "write Figure 3 PGM panels into this directory")
+	compare := flag.Bool("compare", false, "print DDR3 vs DDR4 correlation statistics")
+	retention := flag.Bool("retention", false, "print the §III-D retention measurements")
+	battery := flag.Bool("battery", false, "print the randomness battery: scrambler generator vs ChaCha8")
+	flag.Parse()
+
+	ran := false
+	if *table1 {
+		printTable1()
+		ran = true
+	}
+	if *figure3 != "" {
+		writeFigure3(*figure3)
+		ran = true
+	}
+	if *compare {
+		printComparison()
+		ran = true
+	}
+	if *retention {
+		printRetention()
+		ran = true
+	}
+	if *battery {
+		printBattery()
+		ran = true
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func printTable1() {
+	fmt.Println("Table I: CPU models of tested machines")
+	fmt.Printf("%-12s %-14s %s\n", "CPU Model", "Microarch", "Launch Date")
+	for _, c := range machine.TableI {
+		fmt.Printf("%-12s %-14s %s\n", fmt.Sprintf("%s (%v)", c.Name, c.Memory), c.Arch, c.Launched)
+	}
+}
+
+// figure3Panels builds the five panels of Figure 3 over the test pattern.
+func figure3Panels() map[string][]byte {
+	const width = 1024
+	plain := make([]byte, width*width)
+	memimg.TestPattern(plain, width)
+
+	ddr3a := scramble.NewDDR3(0x1111)
+	ddr3b := scramble.NewDDR3(0x2222)
+	ddr4a := scramble.NewSkylakeDDR4(0x1111)
+	ddr4b := scramble.NewSkylakeDDR4(0x2222)
+
+	sc := func(s scramble.Scrambler) []byte {
+		out := make([]byte, len(plain))
+		s.Scramble(out, plain, 0)
+		return out
+	}
+	d3 := sc(ddr3a)
+	d4 := sc(ddr4a)
+	// "Read back after reboot": the stored scrambled bits descrambled with
+	// the NEW boot's keystream = plain ^ K_a ^ K_b.
+	reboot := func(stored []byte, s scramble.Scrambler) []byte {
+		out := make([]byte, len(stored))
+		s.Descramble(out, stored, 0)
+		return out
+	}
+	return map[string][]byte{
+		"fig3a_original.pgm":    plain,
+		"fig3b_ddr3.pgm":        d3,
+		"fig3c_ddr3_reboot.pgm": reboot(d3, ddr3b),
+		"fig3d_ddr4.pgm":        d4,
+		"fig3e_ddr4_reboot.pgm": reboot(d4, ddr4b),
+	}
+}
+
+func writeFigure3(dir string) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	for name, data := range figure3Panels() {
+		im, err := memimg.New(data)
+		if err != nil {
+			log.Fatal(err)
+		}
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := im.WritePGM(f, 1024); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		s := im.Correlations()
+		fmt.Printf("%-24s distinct blocks %6d, correlated fraction %.3f\n",
+			name, s.Distinct, s.CorrelatedFraction())
+	}
+}
+
+func printComparison() {
+	panels := figure3Panels()
+	fmt.Println("Figure 3 correlation statistics (test pattern, 1 MiB):")
+	order := []string{"fig3a_original.pgm", "fig3b_ddr3.pgm", "fig3c_ddr3_reboot.pgm",
+		"fig3d_ddr4.pgm", "fig3e_ddr4_reboot.pgm"}
+	for _, name := range order {
+		im, _ := memimg.New(panels[name])
+		s := im.Correlations()
+		fmt.Printf("%-24s distinct %6d  correlated %.3f  entropy %.2f\n",
+			name, s.Distinct, s.CorrelatedFraction(), bitutil.Entropy(panels[name]))
+	}
+}
+
+func printRetention() {
+	fmt.Println("Section III-D: retention after a 5s transfer")
+	fmt.Printf("%-20s %10s %12s %12s\n", "module", "std", "-25C/5s", "+20C/3s")
+	for i, spec := range dram.ModuleCatalog {
+		spec.Geometry = spec.Geometry.WithCapacity(1 << 20)
+		cold := measure(spec, int64(i), -25, 5*time.Second)
+		warm := measure(spec, int64(i), 20, 3*time.Second)
+		fmt.Printf("%-20s %10v %11.2f%% %11.2f%%\n", spec.Model, spec.Standard, cold*100, warm*100)
+	}
+}
+
+// printBattery prints the statistical and algebraic randomness comparison:
+// the scrambler's generator stream (reconstructed from one key via the w/d
+// inversion) versus a ChaCha8 keystream.
+func printBattery() {
+	s := scramble.NewSkylakeDDR4(0x5EED)
+	key := s.KeyAt(0)
+	var gen []byte
+	for g := 0; g < 4; g++ {
+		base := g * 16
+		gen = append(gen, key[base:base+8]...)
+		gen = append(gen, key[base+8]^key[base], key[base+9]^key[base+1])
+	}
+	cc, err := chacha.New(chacha.Rounds8, make([]byte, 32), 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stream := make([]byte, 4096)
+	cc.Keystream(stream, 0)
+
+	fmt.Println("randomness battery: scrambler generator (from ONE mined key) vs ChaCha8")
+	lc := randtest.LinearComplexity(randtest.Bits(gen), len(gen)*8)
+	fmt.Printf("  scrambler generator: linear complexity %d/%d bits, LFSR-predictable %v\n",
+		lc, len(gen)*8, randtest.PredictableFromPrefix(randtest.Bits(gen), 64, 150))
+	r := randtest.Battery(randtest.Bits(stream))
+	fmt.Printf("  ChaCha8 keystream:   statistical pass %v, linear complexity %d/4096, LFSR-predictable %v\n",
+		r.PassesStatistical(), r.LinearComplexity, r.LFSRPredictable)
+}
+
+func measure(spec dram.ModuleSpec, seed int64, tempC float64, d time.Duration) float64 {
+	m, err := dram.NewModule(spec, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	data := make([]byte, m.Size())
+	rand.New(rand.NewSource(seed)).Read(data)
+	m.Write(0, data)
+	m.SetTemperature(tempC)
+	m.PowerOff()
+	m.Elapse(d)
+	return m.MeasureRetention(data)
+}

@@ -1,0 +1,139 @@
+// Analysis reproduces the paper's Section III-A/B scrambler analysis
+// framework: the "reverse cold boot" — writing raw zeros underneath the
+// scrambler (the FPGA path) and reading them back through it — followed by
+// the four Skylake observations:
+//
+//  1. 4096 distinct 64-byte keys per channel (16 on DDR3);
+//  2. keys reset on reboot (unless the BIOS reuses its seed);
+//  3. no single universal reboot key (unlike DDR3);
+//  4. key sharing is decided by address bits alone, so it survives reboots.
+//
+// Finally it prints the byte-pair invariants discovered on the extracted
+// keys — the scrambler-key litmus test.
+//
+//	go run ./examples/analysis
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"coldboot/internal/bitutil"
+	"coldboot/internal/core"
+	"coldboot/internal/engine"
+	"coldboot/internal/machine"
+	"coldboot/internal/randtest"
+)
+
+func main() {
+	cpu, _ := machine.CPUByName("i5-6600K")
+	m, err := machine.New(machine.Config{CPU: cpu, DIMMBytes: 2 << 20, ScramblerOn: true, BIOSEntropy: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := m.Boot(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("=== Reverse cold boot: extracting the scrambler keystream ===")
+	// FPGA path: write raw zeros directly into the DRAM device, bypassing
+	// the scrambler, then read through the descrambler: out = 0 ^ key.
+	size := m.MemSize()
+	zeros := make([]byte, size)
+	if err := m.RawWriteDevice(0, 0, zeros); err != nil {
+		log.Fatal(err)
+	}
+	keystream := make([]byte, size)
+	if err := m.Read(0, keystream); err != nil {
+		log.Fatal(err)
+	}
+
+	// Observation 1: count distinct keys.
+	distinct := map[string][]int{}
+	for b := 0; b < size/64; b++ {
+		k := string(keystream[b*64 : (b+1)*64])
+		distinct[k] = append(distinct[k], b)
+	}
+	fmt.Printf("observation 1: %d distinct 64-byte keys per channel (paper: 4096)\n", len(distinct))
+
+	// Observation 4: key index is periodic in the address.
+	period := 0
+	for _, positions := range distinct {
+		if len(positions) > 1 {
+			period = positions[1] - positions[0]
+			break
+		}
+	}
+	fmt.Printf("observation 4: keys repeat every %d blocks (%d KiB) — address-selected\n",
+		period, period*64/1024)
+
+	// Observation 2: reboot resets the keys.
+	firstBootKey0 := append([]byte{}, keystream[:64]...)
+	if err := m.Boot(); err != nil {
+		log.Fatal(err)
+	}
+	keystream2 := make([]byte, size)
+	if err := m.RawWriteDevice(0, 0, zeros); err != nil {
+		log.Fatal(err)
+	}
+	if err := m.Read(0, keystream2); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("observation 2: key 0 changed after reboot: %v\n",
+		!bytes.Equal(firstBootKey0, keystream2[:64]))
+
+	// Observation 3: the XOR of the two boots' keystreams does not
+	// collapse to a single universal key.
+	xored := bitutil.XORNew(keystream, keystream2)
+	xorDistinct := map[string]bool{}
+	for b := 0; b < size/64; b++ {
+		xorDistinct[string(xored[b*64:(b+1)*64])] = true
+	}
+	fmt.Printf("observation 3: reboot XOR has %d distinct blocks (DDR3 would have exactly 1)\n",
+		len(xorDistinct))
+
+	// The litmus test: every extracted key satisfies the paper's byte-pair
+	// invariant equations.
+	passing := 0
+	for k := range distinct {
+		if core.PassesKeyLitmus([]byte(k), 0) {
+			passing++
+		}
+	}
+	fmt.Printf("litmus test: %d/%d extracted keys satisfy the invariants exactly\n",
+		passing, len(distinct))
+	fmt.Println("\nthe invariants (for each 16-byte-aligned group, 2-byte words):")
+	fmt.Println("  K[i+2]^K[i+4] == K[i+10]^K[i+12]")
+	fmt.Println("  K[i+0]^K[i+6] == K[i+8]^K[i+14]")
+	fmt.Println("  K[i+0]^K[i+4] == K[i+8]^K[i+12]")
+	fmt.Println("  K[i+0]^K[i+2] == K[i+8]^K[i+10]")
+
+	// Cryptanalytic coda: why the scrambler is "not cryptographically
+	// secure" in one number. The w/d key layout is invertible, so ONE
+	// extracted key yields 320 contiguous bits of the underlying generator
+	// stream; Berlekamp-Massey pins it to a tiny LFSR, while the same
+	// analysis of a ChaCha8 keystream finds nothing below n/2.
+	fmt.Println("\n=== Randomness analysis: scrambler generator vs ChaCha8 ===")
+	oneKey := keystream[:64]
+	var gen []byte
+	for g := 0; g < 4; g++ {
+		base := g * 16
+		gen = append(gen, oneKey[base:base+8]...)
+		gen = append(gen, oneKey[base+8]^oneKey[base], oneKey[base+9]^oneKey[base+1])
+	}
+	cipher := engine.NewChaChaScrambler(8, 42)
+	var encStream []byte
+	for off := uint64(0); len(encStream) < 4096; off += 64 {
+		encStream = append(encStream, cipher.KeyAt(off)...)
+	}
+	scrLC := randtest.LinearComplexity(randtest.Bits(gen), len(gen)*8)
+	scrPredict := randtest.PredictableFromPrefix(randtest.Bits(gen), 64, 150)
+	r := randtest.Battery(randtest.Bits(encStream))
+	fmt.Printf("scrambler generator (from one mined key): linear complexity %d/320 bits, LFSR-predictable: %v\n",
+		scrLC, scrPredict)
+	fmt.Printf("ChaCha8 keystream: statistical battery pass %v, linear complexity %d/4096 bits, LFSR-predictable: %v\n",
+		r.PassesStatistical(), r.LinearComplexity, r.LFSRPredictable)
+	fmt.Println("a <=64-bit linear complexity means 128 observed bits predict the")
+	fmt.Println("stream forever; ~n/2 means the stream is cryptographically strong.")
+}

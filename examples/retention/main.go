@@ -1,0 +1,64 @@
+// Retention reproduces Section III-D: measure how much data each DRAM
+// module in the catalog retains after power loss, across temperature and
+// time — the physics that makes cold boot attacks possible, and the reason
+// the gas-duster freeze matters.
+//
+//	go run ./examples/retention
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"coldboot/internal/dram"
+)
+
+func main() {
+	fmt.Println("=== Section III-D: DRAM retention vs temperature and time ===")
+	fmt.Println("(fraction of bits retained after power loss; 1 MiB per module)")
+	fmt.Println()
+
+	durations := []time.Duration{1 * time.Second, 3 * time.Second, 5 * time.Second, 10 * time.Second}
+	temps := []float64{20, -25, -50}
+
+	for _, temp := range temps {
+		fmt.Printf("--- %.0f C ---\n", temp)
+		fmt.Printf("%-22s", "module")
+		for _, d := range durations {
+			fmt.Printf("%9s", d)
+		}
+		fmt.Println()
+		for i, spec := range dram.ModuleCatalog {
+			spec.Geometry = spec.Geometry.WithCapacity(1 << 20)
+			fmt.Printf("%-22s", spec.Model)
+			for _, d := range durations {
+				fmt.Printf("%8.2f%%", measure(spec, int64(i), temp, d)*100)
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+	}
+
+	nv := dram.NVDIMMSpec(1 << 20)
+	fmt.Printf("%-22s retains %.0f%% after 10 minutes at +20 C (non-volatile)\n",
+		nv.Model, measure(nv, 99, 20, 10*time.Minute)*100)
+	fmt.Println("\ntakeaways (matching the paper): 90-99% retained when frozen and")
+	fmt.Println("moved within ~5s; significant loss within 3s warm; the leakiest")
+	fmt.Println("module is a DDR3 part; NVDIMMs never decay at all.")
+}
+
+func measure(spec dram.ModuleSpec, seed int64, tempC float64, d time.Duration) float64 {
+	m, err := dram.NewModule(spec, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	data := make([]byte, m.Size())
+	rand.New(rand.NewSource(seed)).Read(data)
+	m.Write(0, data)
+	m.SetTemperature(tempC)
+	m.PowerOff()
+	m.Elapse(d)
+	return m.MeasureRetention(data)
+}

@@ -1,0 +1,3 @@
+module coldboot
+
+go 1.22

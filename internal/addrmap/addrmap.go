@@ -1,0 +1,137 @@
+// Package addrmap models how Intel memory controllers map physical
+// addresses onto DRAM channels and device locations.
+//
+// Two properties of this mapping matter to the cold boot attack:
+//
+//  1. The scrambler key index is derived from (a portion of) the physical
+//     address bits after channel routing, so blocks that share a scrambler
+//     key continue to share one after a reboot (paper §III-B, observation 4).
+//  2. The mapping differs between CPU generations. A DIMM dumped in a
+//     machine of a *different* generation sees its victim-machine
+//     neighbours scattered, which breaks the attack's neighbouring-block
+//     extension — this is why the paper's attack model requires the
+//     attacker's CPU to match the victim's generation (§III-C).
+//
+// The per-generation swizzles here are simplified but bijective XOR-fold
+// permutations in the spirit of the documented bank-hashing functions.
+package addrmap
+
+import "fmt"
+
+// Microarch identifies a CPU generation with a distinct DRAM mapping.
+type Microarch int
+
+// Supported microarchitectures (the generations in the paper's Table I).
+const (
+	SandyBridge Microarch = iota
+	IvyBridge
+	Skylake
+)
+
+func (a Microarch) String() string {
+	switch a {
+	case SandyBridge:
+		return "SandyBridge"
+	case IvyBridge:
+		return "IvyBridge"
+	case Skylake:
+		return "Skylake"
+	}
+	return fmt.Sprintf("Microarch(%d)", int(a))
+}
+
+// BlockBytes is the granularity of channel interleaving and scrambling.
+const BlockBytes = 64
+
+// Location is the result of routing a physical address.
+type Location struct {
+	Channel   int
+	DeviceOff uint64 // byte offset within the channel's DIMM
+}
+
+// Mapping routes physical addresses for one system configuration.
+type Mapping struct {
+	arch     Microarch
+	channels int // 1 or 2
+}
+
+// New builds a Mapping. channels must be 1 or 2 (the client systems the
+// paper analyzed are single- or dual-channel).
+func New(arch Microarch, channels int) (Mapping, error) {
+	if channels != 1 && channels != 2 {
+		return Mapping{}, fmt.Errorf("addrmap: unsupported channel count %d", channels)
+	}
+	return Mapping{arch: arch, channels: channels}, nil
+}
+
+// Arch returns the mapping's microarchitecture.
+func (m Mapping) Arch() Microarch { return m.arch }
+
+// Channels returns the number of memory channels.
+func (m Mapping) Channels() int { return m.channels }
+
+// swizzle permutes the channel-local block index in a generation-specific,
+// bijective way (XOR-folding high address bits into the bank/row selector
+// bits, as the documented bank-hash functions do). The folds target bits
+// 12 and above — above the 12 block-index bits that select the scrambler
+// key — matching the observed hardware behaviour that key selection uses
+// the low (post-routing) address bits while bank hashing permutes coarser
+// placement. Different generations use different folds, which is what
+// scatters a foreign-generation dump.
+func (m Mapping) swizzle(block uint64) uint64 {
+	switch m.arch {
+	case SandyBridge:
+		return block // identity: the simplest documented mapping
+	case IvyBridge:
+		// Fold bits 15-17 into bits 12-14: a bank-hash-like XOR.
+		return block ^ (((block >> 15) & 0x7) << 12)
+	case Skylake:
+		// A different fold: bits 14-15 into bits 12-13.
+		return block ^ (((block >> 14) & 0x3) << 12)
+	}
+	panic(fmt.Sprintf("addrmap: unknown microarch %d", m.arch))
+}
+
+// unswizzle inverts swizzle. XOR folds of strictly-higher bits into lower
+// bits are involutions (the folded-in source bits are unmodified).
+func (m Mapping) unswizzle(block uint64) uint64 {
+	return m.swizzle(block)
+}
+
+// Translate routes a physical address (must be block-aligned) to a channel
+// and device offset.
+func (m Mapping) Translate(phys uint64) Location {
+	if phys%BlockBytes != 0 {
+		panic(fmt.Sprintf("addrmap: physical address %#x not block aligned", phys))
+	}
+	block := phys / BlockBytes
+	var ch uint64
+	if m.channels == 2 {
+		ch = block & 1 // 64-byte channel interleave
+		block >>= 1
+	}
+	dev := m.swizzle(block)
+	return Location{Channel: int(ch), DeviceOff: dev * BlockBytes}
+}
+
+// Untranslate inverts Translate: given a channel and device offset it
+// returns the physical address.
+func (m Mapping) Untranslate(loc Location) uint64 {
+	if loc.DeviceOff%BlockBytes != 0 {
+		panic(fmt.Sprintf("addrmap: device offset %#x not block aligned", loc.DeviceOff))
+	}
+	block := m.unswizzle(loc.DeviceOff / BlockBytes)
+	if m.channels == 2 {
+		block = block<<1 | uint64(loc.Channel&1)
+	}
+	return block * BlockBytes
+}
+
+// ScrambleIndex returns the scrambler key selector for a channel-local
+// device offset: the low index bits of the block number. indexBits is 4 for
+// the DDR3 scramblers (16 keys) and 12 for Skylake DDR4 (4096 keys).
+// The index is a pure function of the address — never of the boot seed —
+// which is exactly why key-sharing relationships survive reboots.
+func ScrambleIndex(deviceOff uint64, indexBits uint) int {
+	return int((deviceOff / BlockBytes) & ((1 << indexBits) - 1))
+}

@@ -1,0 +1,210 @@
+package aes
+
+import (
+	"bytes"
+	stdaes "crypto/aes"
+	"encoding/hex"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func unhex(t *testing.T, s string) []byte {
+	t.Helper()
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		t.Fatalf("bad hex %q: %v", s, err)
+	}
+	return b
+}
+
+func TestSBoxKnownEntries(t *testing.T) {
+	// FIPS-197 Figure 7 spot checks.
+	cases := map[byte]byte{
+		0x00: 0x63, 0x01: 0x7c, 0x53: 0xed, 0xff: 0x16, 0x9a: 0xb8,
+	}
+	for in, want := range cases {
+		if got := SubByte(in); got != want {
+			t.Errorf("sbox[%#02x] = %#02x, want %#02x", in, got, want)
+		}
+	}
+}
+
+func TestInvSBoxInvertsSBox(t *testing.T) {
+	for i := 0; i < 256; i++ {
+		if got := InvSubByte(SubByte(byte(i))); got != byte(i) {
+			t.Fatalf("invSbox[sbox[%d]] = %d", i, got)
+		}
+	}
+}
+
+func TestGmulKnownProducts(t *testing.T) {
+	// FIPS-197 §4.2 examples: {57}*{83} = {c1}, {57}*{13} = {fe}.
+	if got := gmul(0x57, 0x83); got != 0xC1 {
+		t.Errorf("gmul(57,83) = %#02x, want c1", got)
+	}
+	if got := gmul(0x57, 0x13); got != 0xFE {
+		t.Errorf("gmul(57,13) = %#02x, want fe", got)
+	}
+}
+
+func TestVariantParameters(t *testing.T) {
+	cases := []struct {
+		v                    Variant
+		nk, nr, keyB, schedB int
+	}{
+		{AES128, 4, 10, 16, 176},
+		{AES192, 6, 12, 24, 208},
+		{AES256, 8, 14, 32, 240},
+	}
+	for _, c := range cases {
+		if c.v.Nk() != c.nk || c.v.Rounds() != c.nr || c.v.KeyBytes() != c.keyB || c.v.ScheduleBytes() != c.schedB {
+			t.Errorf("%v parameters wrong: Nk=%d Nr=%d KeyBytes=%d ScheduleBytes=%d",
+				c.v, c.v.Nk(), c.v.Rounds(), c.v.KeyBytes(), c.v.ScheduleBytes())
+		}
+	}
+}
+
+func TestExpandKeyFIPS128(t *testing.T) {
+	// FIPS-197 Appendix A.1.
+	key := unhex(t, "2b7e151628aed2a6abf7158809cf4f3c")
+	w := ExpandKey(key)
+	if len(w) != 44 {
+		t.Fatalf("schedule length = %d, want 44", len(w))
+	}
+	checks := map[int]uint32{
+		4: 0xa0fafe17, 10: 0x5935807a, 23: 0x11f915bc, 43: 0xb6630ca6,
+	}
+	for i, want := range checks {
+		if w[i] != want {
+			t.Errorf("w[%d] = %08x, want %08x", i, w[i], want)
+		}
+	}
+}
+
+func TestExpandKeyFIPS192(t *testing.T) {
+	// FIPS-197 Appendix A.2.
+	key := unhex(t, "8e73b0f7da0e6452c810f32b809079e562f8ead2522c6b7b")
+	w := ExpandKey(key)
+	if len(w) != 52 {
+		t.Fatalf("schedule length = %d, want 52", len(w))
+	}
+	checks := map[int]uint32{
+		6: 0xfe0c91f7, 12: 0x4db7b4bd, 51: 0x01002202,
+	}
+	for i, want := range checks {
+		if w[i] != want {
+			t.Errorf("w[%d] = %08x, want %08x", i, w[i], want)
+		}
+	}
+}
+
+func TestExpandKeyFIPS256(t *testing.T) {
+	// FIPS-197 Appendix A.3.
+	key := unhex(t, "603deb1015ca71be2b73aef0857d77811f352c073b6108d72d9810a30914dff4")
+	w := ExpandKey(key)
+	if len(w) != 60 {
+		t.Fatalf("schedule length = %d, want 60", len(w))
+	}
+	checks := map[int]uint32{
+		8: 0x9ba35411, 12: 0xa8b09c1a, 29: 0xbebd198e, 59: 0x706c631e,
+	}
+	for i, want := range checks {
+		if w[i] != want {
+			t.Errorf("w[%d] = %08x, want %08x", i, w[i], want)
+		}
+	}
+}
+
+func TestEncryptFIPSVectors(t *testing.T) {
+	pt := unhex(t, "00112233445566778899aabbccddeeff")
+	cases := []struct{ key, ct string }{
+		{"000102030405060708090a0b0c0d0e0f", "69c4e0d86a7b0430d8cdb78070b4c55a"},
+		{"000102030405060708090a0b0c0d0e0f1011121314151617", "dda97ca4864cdfe06eaf70a0ec0d7191"},
+		{"000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f", "8ea2b7ca516745bfeafc49904b496089"},
+	}
+	for _, c := range cases {
+		ciph, err := NewCipher(unhex(t, c.key))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, 16)
+		ciph.Encrypt(got, pt)
+		if hex.EncodeToString(got) != c.ct {
+			t.Errorf("AES-%d ct = %x, want %s", len(c.key)*4, got, c.ct)
+		}
+		back := make([]byte, 16)
+		ciph.Decrypt(back, got)
+		if !bytes.Equal(back, pt) {
+			t.Errorf("AES-%d decrypt round-trip failed", len(c.key)*4)
+		}
+	}
+}
+
+func TestNewCipherRejectsBadKeyLength(t *testing.T) {
+	if _, err := NewCipher(make([]byte, 15)); err == nil {
+		t.Error("expected error for 15-byte key")
+	}
+	if _, err := NewCipher(nil); err == nil {
+		t.Error("expected error for nil key")
+	}
+}
+
+func TestEncryptMatchesStdlib(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, klen := range []int{16, 24, 32} {
+		for trial := 0; trial < 50; trial++ {
+			key := make([]byte, klen)
+			rng.Read(key)
+			pt := make([]byte, 16)
+			rng.Read(pt)
+			ours, err := NewCipher(key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := stdaes.NewCipher(key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a := make([]byte, 16)
+			b := make([]byte, 16)
+			ours.Encrypt(a, pt)
+			ref.Encrypt(b, pt)
+			if !bytes.Equal(a, b) {
+				t.Fatalf("AES-%d encrypt mismatch vs stdlib (trial %d)", klen*8, trial)
+			}
+			ours.Decrypt(a, a)
+			if !bytes.Equal(a, pt) {
+				t.Fatalf("AES-%d decrypt mismatch (trial %d)", klen*8, trial)
+			}
+		}
+	}
+}
+
+func TestEncryptInPlace(t *testing.T) {
+	key := unhex(t, "000102030405060708090a0b0c0d0e0f")
+	ciph, _ := NewCipher(key)
+	buf := unhex(t, "00112233445566778899aabbccddeeff")
+	ciph.Encrypt(buf, buf)
+	if hex.EncodeToString(buf) != "69c4e0d86a7b0430d8cdb78070b4c55a" {
+		t.Errorf("in-place encrypt wrong: %x", buf)
+	}
+}
+
+func TestWordsBytesRoundTrip(t *testing.T) {
+	f := func(b [32]byte) bool {
+		return bytes.Equal(WordsToBytes(BytesToWords(b[:])), b[:])
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBytesToWordsPanicsOnOddLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	BytesToWords(make([]byte, 5))
+}

@@ -1,0 +1,172 @@
+package aes
+
+import "fmt"
+
+// Cipher is an expanded AES key ready for block encryption/decryption.
+type Cipher struct {
+	variant Variant
+	enc     []uint32 // full schedule, word form
+	dec     []uint32 // equivalent-inverse-cipher schedule (see ttable.go)
+}
+
+// NewCipher expands key (16/24/32 bytes) into a Cipher.
+func NewCipher(key []byte) (*Cipher, error) {
+	switch len(key) {
+	case 16, 24, 32:
+	default:
+		return nil, fmt.Errorf("aes: invalid key length %d", len(key))
+	}
+	v := Variant(len(key) * 8)
+	c := &Cipher{variant: v, enc: ExpandKey(key)}
+	c.initDecKeys()
+	return c, nil
+}
+
+// Variant returns which AES key size this cipher uses.
+func (c *Cipher) Variant() Variant { return c.variant }
+
+// Schedule returns the expanded key schedule words (read-only by convention).
+func (c *Cipher) Schedule() []uint32 { return c.enc }
+
+// BlockSize returns the AES block size (16).
+func (c *Cipher) BlockSize() int { return BlockSize }
+
+// state is the AES state: 4x4 bytes, s[r][c], column-major load order.
+type state [4][4]byte
+
+func loadState(src []byte) state {
+	var s state
+	for c := 0; c < 4; c++ {
+		for r := 0; r < 4; r++ {
+			s[r][c] = src[4*c+r]
+		}
+	}
+	return s
+}
+
+func (s *state) store(dst []byte) {
+	for c := 0; c < 4; c++ {
+		for r := 0; r < 4; r++ {
+			dst[4*c+r] = s[r][c]
+		}
+	}
+}
+
+func (s *state) addRoundKey(w []uint32) {
+	for c := 0; c < 4; c++ {
+		k := w[c]
+		s[0][c] ^= byte(k >> 24)
+		s[1][c] ^= byte(k >> 16)
+		s[2][c] ^= byte(k >> 8)
+		s[3][c] ^= byte(k)
+	}
+}
+
+func (s *state) subBytes() {
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			s[r][c] = sbox[s[r][c]]
+		}
+	}
+}
+
+func (s *state) invSubBytes() {
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			s[r][c] = invSbox[s[r][c]]
+		}
+	}
+}
+
+func (s *state) shiftRows() {
+	for r := 1; r < 4; r++ {
+		var tmp [4]byte
+		for c := 0; c < 4; c++ {
+			tmp[c] = s[r][(c+r)%4]
+		}
+		s[r] = tmp
+	}
+}
+
+func (s *state) invShiftRows() {
+	for r := 1; r < 4; r++ {
+		var tmp [4]byte
+		for c := 0; c < 4; c++ {
+			tmp[(c+r)%4] = s[r][c]
+		}
+		s[r] = tmp
+	}
+}
+
+func (s *state) mixColumns() {
+	for c := 0; c < 4; c++ {
+		a0, a1, a2, a3 := s[0][c], s[1][c], s[2][c], s[3][c]
+		s[0][c] = gmul(a0, 2) ^ gmul(a1, 3) ^ a2 ^ a3
+		s[1][c] = a0 ^ gmul(a1, 2) ^ gmul(a2, 3) ^ a3
+		s[2][c] = a0 ^ a1 ^ gmul(a2, 2) ^ gmul(a3, 3)
+		s[3][c] = gmul(a0, 3) ^ a1 ^ a2 ^ gmul(a3, 2)
+	}
+}
+
+func (s *state) invMixColumns() {
+	for c := 0; c < 4; c++ {
+		a0, a1, a2, a3 := s[0][c], s[1][c], s[2][c], s[3][c]
+		s[0][c] = gmul(a0, 14) ^ gmul(a1, 11) ^ gmul(a2, 13) ^ gmul(a3, 9)
+		s[1][c] = gmul(a0, 9) ^ gmul(a1, 14) ^ gmul(a2, 11) ^ gmul(a3, 13)
+		s[2][c] = gmul(a0, 13) ^ gmul(a1, 9) ^ gmul(a2, 14) ^ gmul(a3, 11)
+		s[3][c] = gmul(a0, 11) ^ gmul(a1, 13) ^ gmul(a2, 9) ^ gmul(a3, 14)
+	}
+}
+
+// Encrypt encrypts one 16-byte block from src into dst (which may alias)
+// using the T-table fast path; encryptRef is the field-arithmetic reference
+// the tests check it against.
+func (c *Cipher) Encrypt(dst, src []byte) {
+	if len(src) < BlockSize || len(dst) < BlockSize {
+		panic("aes: Encrypt input shorter than one block")
+	}
+	c.encryptFast(dst, src)
+}
+
+// encryptRef is the straightforward FIPS-197 reference implementation.
+func (c *Cipher) encryptRef(dst, src []byte) {
+	nr := c.variant.Rounds()
+	s := loadState(src)
+	s.addRoundKey(c.enc[0:4])
+	for round := 1; round < nr; round++ {
+		s.subBytes()
+		s.shiftRows()
+		s.mixColumns()
+		s.addRoundKey(c.enc[4*round : 4*round+4])
+	}
+	s.subBytes()
+	s.shiftRows()
+	s.addRoundKey(c.enc[4*nr : 4*nr+4])
+	s.store(dst)
+}
+
+// Decrypt decrypts one 16-byte block from src into dst (which may alias)
+// using the T-table fast path; decryptRef is the reference.
+func (c *Cipher) Decrypt(dst, src []byte) {
+	if len(src) < BlockSize || len(dst) < BlockSize {
+		panic("aes: Decrypt input shorter than one block")
+	}
+	c.decryptFast(dst, src)
+}
+
+// decryptRef is the straightforward FIPS-197 reference implementation.
+func (c *Cipher) decryptRef(dst, src []byte) {
+	nr := c.variant.Rounds()
+	s := loadState(src)
+	s.addRoundKey(c.enc[4*nr : 4*nr+4])
+	for round := nr - 1; round >= 1; round-- {
+		s.invShiftRows()
+		s.invSubBytes()
+		s.addRoundKey(c.enc[4*round : 4*round+4])
+		s.invMixColumns()
+	}
+	s.invShiftRows()
+	s.invSubBytes()
+	s.addRoundKey(c.enc[0:4])
+	s.store(dst)
+}

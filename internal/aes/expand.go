@@ -1,0 +1,156 @@
+package aes
+
+import "fmt"
+
+// Key schedule words are stored big-endian, matching FIPS-197: schedule word
+// w[i] corresponds to bytes 4i..4i+3 of the round-key table as it appears in
+// memory. BytesToWords / WordsToBytes convert between the in-memory byte
+// layout (what a memory dump contains) and the word form used here.
+
+// BytesToWords converts a byte slice (length divisible by 4) into big-endian
+// schedule words.
+func BytesToWords(b []byte) []uint32 {
+	if len(b)%4 != 0 {
+		panic(fmt.Sprintf("aes: BytesToWords length %d not divisible by 4", len(b)))
+	}
+	w := make([]uint32, len(b)/4)
+	for i := range w {
+		w[i] = uint32(b[4*i])<<24 | uint32(b[4*i+1])<<16 | uint32(b[4*i+2])<<8 | uint32(b[4*i+3])
+	}
+	return w
+}
+
+// WordsToBytes converts schedule words back into the in-memory byte layout.
+func WordsToBytes(w []uint32) []byte {
+	b := make([]byte, 4*len(w))
+	for i, v := range w {
+		b[4*i] = byte(v >> 24)
+		b[4*i+1] = byte(v >> 16)
+		b[4*i+2] = byte(v >> 8)
+		b[4*i+3] = byte(v)
+	}
+	return b
+}
+
+// scheduleF computes the transformation applied to w[i-1] before it is XORed
+// with w[i-Nk], as a function of the absolute schedule word index i.
+func scheduleF(prev uint32, i, nk int) uint32 {
+	switch {
+	case i%nk == 0:
+		return subWord(rotWord(prev)) ^ rcon(i/nk)
+	case nk > 6 && i%nk == 4:
+		return subWord(prev)
+	default:
+		return prev
+	}
+}
+
+// ExpandKey computes the full key schedule for key (16, 24, or 32 bytes),
+// returning 4*(Nr+1) words. This is the table that disk-encryption software
+// keeps in memory for the lifetime of a mounted volume — the attack target.
+func ExpandKey(key []byte) []uint32 {
+	var v Variant
+	switch len(key) {
+	case 16:
+		v = AES128
+	case 24:
+		v = AES192
+	case 32:
+		v = AES256
+	default:
+		panic(fmt.Sprintf("aes: invalid key length %d", len(key)))
+	}
+	nk := v.Nk()
+	w := make([]uint32, v.ScheduleWords())
+	copy(w, BytesToWords(key))
+	for i := nk; i < len(w); i++ {
+		w[i] = w[i-nk] ^ scheduleF(w[i-1], i, nk)
+	}
+	return w
+}
+
+// ExpandKeyBytes is ExpandKey returning the in-memory byte layout of the
+// schedule (e.g. 240 bytes for AES-256, 176 for AES-128).
+func ExpandKeyBytes(key []byte) []byte {
+	return WordsToBytes(ExpandKey(key))
+}
+
+// ExtendForward computes the n schedule words that follow a window of
+// consecutive schedule words. window holds words w[start .. start+len-1]
+// (absolute schedule indices); the window must contain at least nk words.
+// This is the "partial key expansion" the attack runs against candidate
+// descrambled blocks: no knowledge of earlier schedule words is required.
+func ExtendForward(window []uint32, start int, v Variant, n int) []uint32 {
+	nk := v.Nk()
+	if len(window) < nk {
+		panic(fmt.Sprintf("aes: ExtendForward window %d < Nk %d", len(window), nk))
+	}
+	// Work buffer: the last nk words plus room to grow.
+	buf := make([]uint32, len(window), len(window)+n)
+	copy(buf, window)
+	out := make([]uint32, 0, n)
+	for k := 0; k < n; k++ {
+		i := start + len(buf) // absolute index of the word being produced
+		next := buf[len(buf)-nk] ^ scheduleF(buf[len(buf)-1], i, nk)
+		buf = append(buf, next)
+		out = append(out, next)
+	}
+	return out
+}
+
+// ExtendBackward computes the n schedule words that precede a window of
+// consecutive schedule words. window holds words w[start .. start+len-1];
+// it must contain at least nk words, and start must be >= n (the schedule
+// cannot be extended before word 0). The returned slice holds words
+// w[start-n .. start-1] in ascending order.
+//
+// Backward extension is what lets the attack recover the *master* key (the
+// head of the table) from any intact region of the schedule, even when the
+// first round keys were lost to bit decay: w[i-Nk] = w[i] ^ f(w[i-1], i).
+func ExtendBackward(window []uint32, start int, v Variant, n int) []uint32 {
+	nk := v.Nk()
+	if len(window) < nk {
+		panic(fmt.Sprintf("aes: ExtendBackward window %d < Nk %d", len(window), nk))
+	}
+	if start < n {
+		panic(fmt.Sprintf("aes: ExtendBackward start %d < n %d", start, n))
+	}
+	// buf[j] holds word start-n+j for j in [0, n+len(window)).
+	buf := make([]uint32, n+len(window))
+	copy(buf[n:], window)
+	// Produce descending absolute indices i = start-1 ... start-n, where
+	// w[i] = w[i+nk] ^ f(w[i+nk-1], i+nk). Computing in descending order
+	// guarantees w[i+nk-1] is already known: for the first few steps it lies
+	// in the window, and afterwards it is a word produced earlier... except
+	// that descending production fills lower slots whose i+nk-1 may itself
+	// be below the window. Descending order makes i+nk-1 >= i+nk-nk = i,
+	// strictly greater than every index still unproduced, so it is known.
+	for i := start - 1; i >= start-n; i-- {
+		j := i - (start - n) // slot of w[i]
+		buf[j] = buf[j+nk] ^ scheduleF(buf[j+nk-1], i+nk, nk)
+	}
+	return buf[:n]
+}
+
+// RecoverMasterKey reconstructs the original cipher key from any window of
+// at least Nk consecutive schedule words located at absolute word index
+// start. It extends the window backwards to word 0 and returns the first
+// KeyBytes() bytes — the master key.
+func RecoverMasterKey(window []uint32, start int, v Variant) []byte {
+	nk := v.Nk()
+	if len(window) < nk {
+		panic(fmt.Sprintf("aes: RecoverMasterKey window %d < Nk %d", len(window), nk))
+	}
+	head := window[:nk]
+	if start > 0 {
+		n := start
+		prefix := ExtendBackward(window, start, v, n)
+		if len(prefix) >= nk {
+			head = prefix[:nk]
+		} else {
+			combined := append(append([]uint32{}, prefix...), window...)
+			head = combined[:nk]
+		}
+	}
+	return WordsToBytes(head)
+}

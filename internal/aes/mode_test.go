@@ -1,0 +1,215 @@
+package aes
+
+import (
+	"bytes"
+	stdaes "crypto/aes"
+	"crypto/cipher"
+	"encoding/binary"
+	"encoding/hex"
+	"math/rand"
+	"testing"
+)
+
+func TestCTRNISTVector(t *testing.T) {
+	// NIST SP 800-38A F.5.1 (CTR-AES128.Encrypt). The NIST initial counter
+	// block f0f1...feff maps onto our nonce||counter split.
+	ctr, err := NewCTR(unhex(t, "2b7e151628aed2a6abf7158809cf4f3c"), 0xf0f1f2f3f4f5f6f7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := unhex(t, "6bc1bee22e409f96e93d7e117393172a"+
+		"ae2d8a571e03ac9c9eb76fac45af8e51"+
+		"30c81c46a35ce411e5fbc1191a0a52ef"+
+		"f69f2445df4f9b17ad2b417be66c3710")
+	want := "874d6191b620e3261bef6864990db6ce" +
+		"9806f66b7970fdff8617187bb9fffdff" +
+		"5ae4df3edbd5d35e5b4f09020db03eab" +
+		"1e031dda2fbe03d1792170a0f3009cee"
+	got := make([]byte, len(pt))
+	ctr.XORKeyStream(got, pt, 0xf8f9fafbfcfdfeff)
+	if hex.EncodeToString(got) != want {
+		t.Errorf("CTR output mismatch:\n got %x\nwant %s", got, want)
+	}
+}
+
+func TestCTRMatchesStdlib(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 20; trial++ {
+		key := make([]byte, 32)
+		rng.Read(key)
+		nonce := rng.Uint64()
+		startCtr := uint64(rng.Uint32()) // avoid 64-bit counter overflow mid-stream
+		ours, err := NewCTR(key, nonce)
+		if err != nil {
+			t.Fatal(err)
+		}
+		block, _ := stdaes.NewCipher(key)
+		iv := make([]byte, 16)
+		binary.BigEndian.PutUint64(iv[:8], nonce)
+		binary.BigEndian.PutUint64(iv[8:], startCtr)
+		ref := cipher.NewCTR(block, iv)
+
+		pt := make([]byte, 256)
+		rng.Read(pt)
+		a := make([]byte, len(pt))
+		b := make([]byte, len(pt))
+		ours.XORKeyStream(a, pt, startCtr)
+		ref.XORKeyStream(b, pt)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("CTR mismatch vs stdlib on trial %d", trial)
+		}
+	}
+}
+
+func TestCTRRoundTrip(t *testing.T) {
+	ctr, _ := NewCTR(make([]byte, 16), 42)
+	pt := []byte("sixteen byte msg sixteen byte ms")
+	enc := make([]byte, len(pt))
+	ctr.XORKeyStream(enc, pt, 100)
+	dec := make([]byte, len(pt))
+	ctr.XORKeyStream(dec, enc, 100)
+	if !bytes.Equal(dec, pt) {
+		t.Error("CTR round-trip failed")
+	}
+	if bytes.Equal(enc, pt) {
+		t.Error("CTR produced identity")
+	}
+}
+
+func TestCTRDistinctCountersDistinctKeystream(t *testing.T) {
+	ctr, _ := NewCTR(make([]byte, 16), 0)
+	a := make([]byte, 64)
+	b := make([]byte, 64)
+	ctr.Keystream(a, 0)
+	ctr.Keystream(b, 4)
+	if bytes.Equal(a, b) {
+		t.Error("different counters produced identical keystream")
+	}
+	// Overlapping counter ranges must agree block-wise: blocks 4..7 of a
+	// stream starting at 0 vs blocks 0..3 of a stream starting at 4.
+	c := make([]byte, 128)
+	ctr.Keystream(c, 0)
+	if !bytes.Equal(c[64:], b) {
+		t.Error("keystream not a pure function of counter")
+	}
+}
+
+func TestCTRPanicsOnPartialBlock(t *testing.T) {
+	ctr, _ := NewCTR(make([]byte, 16), 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-multiple-of-16 keystream")
+		}
+	}()
+	ctr.Keystream(make([]byte, 15), 0)
+}
+
+func TestXTSIEEEVector1(t *testing.T) {
+	// IEEE P1619 Vector 1: XTS-AES-128, both keys zero, sector 0,
+	// 32 zero bytes.
+	key := make([]byte, 32)
+	x, err := NewXTS(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := make([]byte, 32)
+	ct := make([]byte, 32)
+	x.EncryptSector(ct, pt, 0)
+	want := "917cf69ebd68b2ec9b9fe9a3eadda692cd43d2f59598ed858c02c2652fbf922e"
+	if hex.EncodeToString(ct) != want {
+		t.Errorf("XTS vector 1 mismatch:\n got %x\nwant %s", ct, want)
+	}
+}
+
+func TestXTSIEEEVector2(t *testing.T) {
+	// IEEE P1619 Vector 2: key1 = 11..11, key2 = 22..22, sector 0x3333333333,
+	// 32 bytes of 0x44.
+	key := append(bytes.Repeat([]byte{0x11}, 16), bytes.Repeat([]byte{0x22}, 16)...)
+	x, err := NewXTS(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := bytes.Repeat([]byte{0x44}, 32)
+	ct := make([]byte, 32)
+	x.EncryptSector(ct, pt, 0x3333333333)
+	want := "c454185e6a16936e39334038acef838bfb186fff7480adc4289382ecd6d394f0"
+	if hex.EncodeToString(ct) != want {
+		t.Errorf("XTS vector 2 mismatch:\n got %x\nwant %s", ct, want)
+	}
+}
+
+func TestXTSRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	key := make([]byte, 64) // XTS-AES-256
+	rng.Read(key)
+	x, err := NewXTS(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, size := range []int{16, 512, 4096} {
+		pt := make([]byte, size)
+		rng.Read(pt)
+		ct := make([]byte, size)
+		x.EncryptSector(ct, pt, 7)
+		if bytes.Equal(ct, pt) {
+			t.Fatal("XTS identity")
+		}
+		back := make([]byte, size)
+		x.DecryptSector(back, ct, 7)
+		if !bytes.Equal(back, pt) {
+			t.Fatalf("XTS round-trip failed for size %d", size)
+		}
+	}
+}
+
+func TestXTSSectorTweakMatters(t *testing.T) {
+	key := make([]byte, 64)
+	x, _ := NewXTS(key)
+	pt := make([]byte, 512)
+	a := make([]byte, 512)
+	b := make([]byte, 512)
+	x.EncryptSector(a, pt, 1)
+	x.EncryptSector(b, pt, 2)
+	if bytes.Equal(a, b) {
+		t.Error("same ciphertext for different sectors")
+	}
+}
+
+func TestXTSRejectsBadKeyLengths(t *testing.T) {
+	if _, err := NewXTS(make([]byte, 48)); err == nil {
+		t.Error("expected error for 48-byte XTS key")
+	}
+}
+
+func TestXTSSchedulesExposed(t *testing.T) {
+	key := make([]byte, 64)
+	for i := range key {
+		key[i] = byte(i)
+	}
+	x, _ := NewXTS(key)
+	// Both 240-byte schedules begin with their half of the master key —
+	// this is what the cold boot attack recovers from memory.
+	dataSched := WordsToBytes(x.DataCipher().Schedule())
+	tweakSched := WordsToBytes(x.TweakCipher().Schedule())
+	if !bytes.Equal(dataSched[:32], key[:32]) || !bytes.Equal(tweakSched[:32], key[32:]) {
+		t.Error("schedule heads do not contain the master key halves")
+	}
+}
+
+func BenchmarkEncryptBlock(b *testing.B) {
+	c, _ := NewCipher(make([]byte, 32))
+	buf := make([]byte, 16)
+	b.SetBytes(16)
+	for i := 0; i < b.N; i++ {
+		c.Encrypt(buf, buf)
+	}
+}
+
+func BenchmarkXTSSector4K(b *testing.B) {
+	x, _ := NewXTS(make([]byte, 64))
+	buf := make([]byte, 4096)
+	b.SetBytes(4096)
+	for i := 0; i < b.N; i++ {
+		x.EncryptSector(buf, buf, uint64(i))
+	}
+}

@@ -1,0 +1,136 @@
+package aes
+
+// T-table implementation: the software analogue of the paper's AES-NI
+// acceleration of the key search, and of the lookup-table hardware design
+// the synthesized engine uses ("AES rounds can be implemented with lookup
+// tables, and this makes them amenable for faster designs"). Each te table
+// folds SubBytes, ShiftRows, and MixColumns for one byte lane into a single
+// 32-bit lookup; a round becomes 16 loads and 16 XORs.
+//
+// The straightforward field-arithmetic implementation in block.go is kept
+// as the reference: the tests assert equivalence on random inputs, and the
+// ablation benchmark quantifies the speedup (BenchmarkAblation*).
+
+var te0, te1, te2, te3 [256]uint32
+var td0, td1, td2, td3 [256]uint32
+
+func init() {
+	for i := 0; i < 256; i++ {
+		s := sbox[i]
+		s2 := xtime(s)
+		s3 := s2 ^ s
+		// Big-endian packing matching the column-word layout.
+		te0[i] = uint32(s2)<<24 | uint32(s)<<16 | uint32(s)<<8 | uint32(s3)
+		te1[i] = uint32(s3)<<24 | uint32(s2)<<16 | uint32(s)<<8 | uint32(s)
+		te2[i] = uint32(s)<<24 | uint32(s3)<<16 | uint32(s2)<<8 | uint32(s)
+		te3[i] = uint32(s)<<24 | uint32(s)<<16 | uint32(s3)<<8 | uint32(s2)
+
+		is := invSbox[i]
+		e := gmul(is, 14)
+		b := gmul(is, 11)
+		d := gmul(is, 13)
+		n := gmul(is, 9)
+		td0[i] = uint32(e)<<24 | uint32(n)<<16 | uint32(d)<<8 | uint32(b)
+		td1[i] = uint32(b)<<24 | uint32(e)<<16 | uint32(n)<<8 | uint32(d)
+		td2[i] = uint32(d)<<24 | uint32(b)<<16 | uint32(e)<<8 | uint32(n)
+		td3[i] = uint32(n)<<24 | uint32(d)<<16 | uint32(b)<<8 | uint32(e)
+	}
+}
+
+func loadWords(src []byte) (w0, w1, w2, w3 uint32) {
+	w0 = uint32(src[0])<<24 | uint32(src[1])<<16 | uint32(src[2])<<8 | uint32(src[3])
+	w1 = uint32(src[4])<<24 | uint32(src[5])<<16 | uint32(src[6])<<8 | uint32(src[7])
+	w2 = uint32(src[8])<<24 | uint32(src[9])<<16 | uint32(src[10])<<8 | uint32(src[11])
+	w3 = uint32(src[12])<<24 | uint32(src[13])<<16 | uint32(src[14])<<8 | uint32(src[15])
+	return
+}
+
+func storeWords(dst []byte, w0, w1, w2, w3 uint32) {
+	dst[0], dst[1], dst[2], dst[3] = byte(w0>>24), byte(w0>>16), byte(w0>>8), byte(w0)
+	dst[4], dst[5], dst[6], dst[7] = byte(w1>>24), byte(w1>>16), byte(w1>>8), byte(w1)
+	dst[8], dst[9], dst[10], dst[11] = byte(w2>>24), byte(w2>>16), byte(w2>>8), byte(w2)
+	dst[12], dst[13], dst[14], dst[15] = byte(w3>>24), byte(w3>>16), byte(w3>>8), byte(w3)
+}
+
+// encryptFast is the T-table encryption path used by Cipher.Encrypt.
+func (c *Cipher) encryptFast(dst, src []byte) {
+	nr := c.variant.Rounds()
+	rk := c.enc
+	s0, s1, s2, s3 := loadWords(src)
+	s0 ^= rk[0]
+	s1 ^= rk[1]
+	s2 ^= rk[2]
+	s3 ^= rk[3]
+	var t0, t1, t2, t3 uint32
+	for r := 1; r < nr; r++ {
+		k := rk[4*r:]
+		t0 = te0[s0>>24] ^ te1[s1>>16&0xFF] ^ te2[s2>>8&0xFF] ^ te3[s3&0xFF] ^ k[0]
+		t1 = te0[s1>>24] ^ te1[s2>>16&0xFF] ^ te2[s3>>8&0xFF] ^ te3[s0&0xFF] ^ k[1]
+		t2 = te0[s2>>24] ^ te1[s3>>16&0xFF] ^ te2[s0>>8&0xFF] ^ te3[s1&0xFF] ^ k[2]
+		t3 = te0[s3>>24] ^ te1[s0>>16&0xFF] ^ te2[s1>>8&0xFF] ^ te3[s2&0xFF] ^ k[3]
+		s0, s1, s2, s3 = t0, t1, t2, t3
+	}
+	k := rk[4*nr:]
+	t0 = uint32(sbox[s0>>24])<<24 | uint32(sbox[s1>>16&0xFF])<<16 | uint32(sbox[s2>>8&0xFF])<<8 | uint32(sbox[s3&0xFF])
+	t1 = uint32(sbox[s1>>24])<<24 | uint32(sbox[s2>>16&0xFF])<<16 | uint32(sbox[s3>>8&0xFF])<<8 | uint32(sbox[s0&0xFF])
+	t2 = uint32(sbox[s2>>24])<<24 | uint32(sbox[s3>>16&0xFF])<<16 | uint32(sbox[s0>>8&0xFF])<<8 | uint32(sbox[s1&0xFF])
+	t3 = uint32(sbox[s3>>24])<<24 | uint32(sbox[s0>>16&0xFF])<<16 | uint32(sbox[s1>>8&0xFF])<<8 | uint32(sbox[s2&0xFF])
+	storeWords(dst, t0^k[0], t1^k[1], t2^k[2], t3^k[3])
+}
+
+// decryptFast is the T-table decryption path used by Cipher.Decrypt.
+// It uses the equivalent inverse cipher, which needs the decryption round
+// keys (InvMixColumns applied to the middle round keys), computed lazily.
+func (c *Cipher) decryptFast(dst, src []byte) {
+	nr := c.variant.Rounds()
+	if c.dec == nil {
+		c.initDecKeys()
+	}
+	rk := c.dec
+	s0, s1, s2, s3 := loadWords(src)
+	s0 ^= rk[0]
+	s1 ^= rk[1]
+	s2 ^= rk[2]
+	s3 ^= rk[3]
+	var t0, t1, t2, t3 uint32
+	for r := 1; r < nr; r++ {
+		k := rk[4*r:]
+		t0 = td0[s0>>24] ^ td1[s3>>16&0xFF] ^ td2[s2>>8&0xFF] ^ td3[s1&0xFF] ^ k[0]
+		t1 = td0[s1>>24] ^ td1[s0>>16&0xFF] ^ td2[s3>>8&0xFF] ^ td3[s2&0xFF] ^ k[1]
+		t2 = td0[s2>>24] ^ td1[s1>>16&0xFF] ^ td2[s0>>8&0xFF] ^ td3[s3&0xFF] ^ k[2]
+		t3 = td0[s3>>24] ^ td1[s2>>16&0xFF] ^ td2[s1>>8&0xFF] ^ td3[s0&0xFF] ^ k[3]
+		s0, s1, s2, s3 = t0, t1, t2, t3
+	}
+	k := rk[4*nr:]
+	t0 = uint32(invSbox[s0>>24])<<24 | uint32(invSbox[s3>>16&0xFF])<<16 | uint32(invSbox[s2>>8&0xFF])<<8 | uint32(invSbox[s1&0xFF])
+	t1 = uint32(invSbox[s1>>24])<<24 | uint32(invSbox[s0>>16&0xFF])<<16 | uint32(invSbox[s3>>8&0xFF])<<8 | uint32(invSbox[s2&0xFF])
+	t2 = uint32(invSbox[s2>>24])<<24 | uint32(invSbox[s1>>16&0xFF])<<16 | uint32(invSbox[s0>>8&0xFF])<<8 | uint32(invSbox[s3&0xFF])
+	t3 = uint32(invSbox[s3>>24])<<24 | uint32(invSbox[s2>>16&0xFF])<<16 | uint32(invSbox[s1>>8&0xFF])<<8 | uint32(invSbox[s0&0xFF])
+	storeWords(dst, t0^k[0], t1^k[1], t2^k[2], t3^k[3])
+}
+
+// initDecKeys derives the equivalent-inverse-cipher round keys: the
+// encryption schedule reversed per round, with InvMixColumns applied to
+// every round key except the first and last.
+func (c *Cipher) initDecKeys() {
+	nr := c.variant.Rounds()
+	dec := make([]uint32, len(c.enc))
+	for r := 0; r <= nr; r++ {
+		for i := 0; i < 4; i++ {
+			w := c.enc[4*(nr-r)+i]
+			if r != 0 && r != nr {
+				w = invMixColumnWord(w)
+			}
+			dec[4*r+i] = w
+		}
+	}
+	c.dec = dec
+}
+
+func invMixColumnWord(w uint32) uint32 {
+	a0, a1, a2, a3 := byte(w>>24), byte(w>>16), byte(w>>8), byte(w)
+	return uint32(gmul(a0, 14)^gmul(a1, 11)^gmul(a2, 13)^gmul(a3, 9))<<24 |
+		uint32(gmul(a0, 9)^gmul(a1, 14)^gmul(a2, 11)^gmul(a3, 13))<<16 |
+		uint32(gmul(a0, 13)^gmul(a1, 9)^gmul(a2, 14)^gmul(a3, 11))<<8 |
+		uint32(gmul(a0, 11)^gmul(a1, 13)^gmul(a2, 9)^gmul(a3, 14))
+}

@@ -1,0 +1,208 @@
+package aes
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// XTS implements the XEX-based tweaked-codebook mode with ciphertext
+// stealing omitted (sector sizes are multiples of 16 bytes, as in disk
+// encryption), i.e. XTS-AES per IEEE P1619 restricted to full blocks.
+// TrueCrypt and VeraCrypt encrypt volume data with XTS-AES-256, which is why
+// mounting a volume leaves TWO expanded key schedules adjacent in memory:
+// the data key's and the tweak key's. The cold boot attack recovers both.
+type XTS struct {
+	data  *Cipher // K1: encrypts the data
+	tweak *Cipher // K2: encrypts the tweak (sector number)
+}
+
+// NewXTS builds an XTS cipher from a double-length key: the first half is
+// the data key K1, the second half the tweak key K2. For XTS-AES-256 the
+// key is 64 bytes.
+func NewXTS(key []byte) (*XTS, error) {
+	if len(key) != 32 && len(key) != 64 {
+		return nil, fmt.Errorf("aes: XTS key must be 32 or 64 bytes, got %d", len(key))
+	}
+	half := len(key) / 2
+	data, err := NewCipher(key[:half])
+	if err != nil {
+		return nil, err
+	}
+	tweak, err := NewCipher(key[half:])
+	if err != nil {
+		return nil, err
+	}
+	return &XTS{data: data, tweak: tweak}, nil
+}
+
+// DataCipher returns the K1 cipher (exposed so the volume layer can place
+// its schedule in simulated memory, as real disk-encryption drivers do).
+func (x *XTS) DataCipher() *Cipher { return x.data }
+
+// TweakCipher returns the K2 cipher.
+func (x *XTS) TweakCipher() *Cipher { return x.tweak }
+
+// mulAlpha multiplies the 128-bit tweak by the primitive element alpha
+// (x) in GF(2^128) with the polynomial x^128 + x^7 + x^2 + x + 1,
+// little-endian byte order per IEEE P1619.
+func mulAlpha(t *[BlockSize]byte) {
+	var carry byte
+	for i := 0; i < BlockSize; i++ {
+		next := t[i] >> 7
+		t[i] = t[i]<<1 | carry
+		carry = next
+	}
+	if carry != 0 {
+		t[0] ^= 0x87
+	}
+}
+
+func (x *XTS) tweakFor(sector uint64) [BlockSize]byte {
+	var t [BlockSize]byte
+	binary.LittleEndian.PutUint64(t[:8], sector)
+	x.tweak.Encrypt(t[:], t[:])
+	return t
+}
+
+// EncryptSector encrypts a full sector (len multiple of 16) with the given
+// sector number as tweak. dst and src may alias.
+func (x *XTS) EncryptSector(dst, src []byte, sector uint64) {
+	if len(dst) != len(src) || len(src)%BlockSize != 0 {
+		panic("aes: XTS sector must be a whole number of blocks")
+	}
+	t := x.tweakFor(sector)
+	var buf [BlockSize]byte
+	for off := 0; off < len(src); off += BlockSize {
+		for i := 0; i < BlockSize; i++ {
+			buf[i] = src[off+i] ^ t[i]
+		}
+		x.data.Encrypt(buf[:], buf[:])
+		for i := 0; i < BlockSize; i++ {
+			dst[off+i] = buf[i] ^ t[i]
+		}
+		mulAlpha(&t)
+	}
+}
+
+// DecryptSector decrypts a full sector encrypted by EncryptSector.
+func (x *XTS) DecryptSector(dst, src []byte, sector uint64) {
+	if len(dst) != len(src) || len(src)%BlockSize != 0 {
+		panic("aes: XTS sector must be a whole number of blocks")
+	}
+	t := x.tweakFor(sector)
+	var buf [BlockSize]byte
+	for off := 0; off < len(src); off += BlockSize {
+		for i := 0; i < BlockSize; i++ {
+			buf[i] = src[off+i] ^ t[i]
+		}
+		x.data.Decrypt(buf[:], buf[:])
+		for i := 0; i < BlockSize; i++ {
+			dst[off+i] = buf[i] ^ t[i]
+		}
+		mulAlpha(&t)
+	}
+}
+
+// EncryptUnit encrypts a data unit of arbitrary length >= 16 bytes with
+// ciphertext stealing (IEEE P1619 §5.3.2): lengths that are not a multiple
+// of the block size borrow the tail of the penultimate block's ciphertext.
+// dst and src may alias.
+func (x *XTS) EncryptUnit(dst, src []byte, sector uint64) {
+	n := len(src)
+	if len(dst) != n || n < BlockSize {
+		panic("aes: XTS unit must be at least one block")
+	}
+	rem := n % BlockSize
+	if rem == 0 {
+		x.EncryptSector(dst, src, sector)
+		return
+	}
+	full := n - rem - BlockSize // bytes handled as ordinary blocks
+	t := x.tweakFor(sector)
+	var buf [BlockSize]byte
+	for off := 0; off < full; off += BlockSize {
+		for i := 0; i < BlockSize; i++ {
+			buf[i] = src[off+i] ^ t[i]
+		}
+		x.data.Encrypt(buf[:], buf[:])
+		for i := 0; i < BlockSize; i++ {
+			dst[off+i] = buf[i] ^ t[i]
+		}
+		mulAlpha(&t)
+	}
+	// Penultimate block: encrypt normally to get CC.
+	var cc [BlockSize]byte
+	for i := 0; i < BlockSize; i++ {
+		cc[i] = src[full+i] ^ t[i]
+	}
+	x.data.Encrypt(cc[:], cc[:])
+	for i := 0; i < BlockSize; i++ {
+		cc[i] ^= t[i]
+	}
+	tNext := t
+	mulAlpha(&tNext)
+	// Final partial block steals CC's tail.
+	var last [BlockSize]byte
+	copy(last[:], src[full+BlockSize:])
+	copy(last[rem:], cc[rem:])
+	for i := 0; i < BlockSize; i++ {
+		last[i] ^= tNext[i]
+	}
+	x.data.Encrypt(last[:], last[:])
+	for i := 0; i < BlockSize; i++ {
+		last[i] ^= tNext[i]
+	}
+	// C_{m-1} = Enc(P_m || tail(CC)); C_m = head(CC).
+	copy(dst[full:], last[:])
+	copy(dst[full+BlockSize:], cc[:rem])
+}
+
+// DecryptUnit inverts EncryptUnit.
+func (x *XTS) DecryptUnit(dst, src []byte, sector uint64) {
+	n := len(src)
+	if len(dst) != n || n < BlockSize {
+		panic("aes: XTS unit must be at least one block")
+	}
+	rem := n % BlockSize
+	if rem == 0 {
+		x.DecryptSector(dst, src, sector)
+		return
+	}
+	full := n - rem - BlockSize
+	t := x.tweakFor(sector)
+	var buf [BlockSize]byte
+	for off := 0; off < full; off += BlockSize {
+		for i := 0; i < BlockSize; i++ {
+			buf[i] = src[off+i] ^ t[i]
+		}
+		x.data.Decrypt(buf[:], buf[:])
+		for i := 0; i < BlockSize; i++ {
+			dst[off+i] = buf[i] ^ t[i]
+		}
+		mulAlpha(&t)
+	}
+	tNext := t
+	mulAlpha(&tNext)
+	// Decrypt C_{m-1} under the NEXT tweak to recover P_m || tail(CC).
+	var pp [BlockSize]byte
+	for i := 0; i < BlockSize; i++ {
+		pp[i] = src[full+i] ^ tNext[i]
+	}
+	x.data.Decrypt(pp[:], pp[:])
+	for i := 0; i < BlockSize; i++ {
+		pp[i] ^= tNext[i]
+	}
+	// Rebuild CC = C_m || tail(PP) and decrypt under the current tweak.
+	var cc [BlockSize]byte
+	copy(cc[:], src[full+BlockSize:])
+	copy(cc[rem:], pp[rem:])
+	for i := 0; i < BlockSize; i++ {
+		cc[i] ^= t[i]
+	}
+	x.data.Decrypt(cc[:], cc[:])
+	for i := 0; i < BlockSize; i++ {
+		cc[i] ^= t[i]
+	}
+	copy(dst[full:], cc[:])
+	copy(dst[full+BlockSize:], pp[:rem])
+}

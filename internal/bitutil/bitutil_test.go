@@ -1,0 +1,218 @@
+package bitutil
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHammingWeight(t *testing.T) {
+	cases := []struct {
+		in   []byte
+		want int
+	}{
+		{nil, 0},
+		{[]byte{0x00}, 0},
+		{[]byte{0xFF}, 8},
+		{[]byte{0x01, 0x02, 0x04}, 3},
+		{[]byte{0xF0, 0x0F}, 8},
+	}
+	for _, c := range cases {
+		if got := HammingWeight(c.in); got != c.want {
+			t.Errorf("HammingWeight(%x) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestHammingDistance(t *testing.T) {
+	a := []byte{0x00, 0xFF, 0xAA}
+	b := []byte{0xFF, 0xFF, 0x55}
+	if got := HammingDistance(a, b); got != 16 {
+		t.Errorf("HammingDistance = %d, want 16", got)
+	}
+	if got := HammingDistance(a, a); got != 0 {
+		t.Errorf("HammingDistance(a,a) = %d, want 0", got)
+	}
+}
+
+func TestHammingDistancePanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	HammingDistance([]byte{1}, []byte{1, 2})
+}
+
+func TestHammingDistanceEqualsWeightOfXOR(t *testing.T) {
+	f := func(a, b [32]byte) bool {
+		x := XORNew(a[:], b[:])
+		return HammingDistance(a[:], b[:]) == HammingWeight(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHammingDistance16(t *testing.T) {
+	if got := HammingDistance16(0xFFFF, 0x0000); got != 16 {
+		t.Errorf("got %d, want 16", got)
+	}
+	if got := HammingDistance16(0x0001, 0x0003); got != 1 {
+		t.Errorf("got %d, want 1", got)
+	}
+}
+
+func TestNearEqual(t *testing.T) {
+	a := []byte{0b00000001, 0x00}
+	b := []byte{0b00000011, 0x00}
+	if !NearEqual(a, b, 1) {
+		t.Error("expected NearEqual within 1 flip")
+	}
+	if NearEqual(a, b, 0) {
+		t.Error("expected not NearEqual within 0 flips")
+	}
+	if NearEqual(a, []byte{1}, 100) {
+		t.Error("length mismatch must report false")
+	}
+}
+
+func TestNearEqualMatchesHammingDistance(t *testing.T) {
+	f := func(a, b [16]byte, budget uint8) bool {
+		max := int(budget % 64)
+		return NearEqual(a[:], b[:], max) == (HammingDistance(a[:], b[:]) <= max)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestXORRoundTrip(t *testing.T) {
+	f := func(a, k [64]byte) bool {
+		enc := XORNew(a[:], k[:])
+		dec := XORNew(enc, k[:])
+		return string(dec) == string(a[:])
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestXORAliasing(t *testing.T) {
+	a := []byte{1, 2, 3}
+	k := []byte{0xFF, 0xFF, 0xFF}
+	XOR(a, a, k)
+	if a[0] != 0xFE || a[1] != 0xFD || a[2] != 0xFC {
+		t.Errorf("in-place XOR wrong: %x", a)
+	}
+}
+
+func TestIsZero(t *testing.T) {
+	if !IsZero(make([]byte, 64)) {
+		t.Error("zero slice reported nonzero")
+	}
+	if IsZero([]byte{0, 0, 1}) {
+		t.Error("nonzero slice reported zero")
+	}
+	if !IsZero(nil) {
+		t.Error("nil must count as zero")
+	}
+}
+
+func TestEntropyBounds(t *testing.T) {
+	if got := Entropy(make([]byte, 1024)); got != 0 {
+		t.Errorf("entropy of constant data = %f, want 0", got)
+	}
+	uniform := make([]byte, 256*16)
+	for i := range uniform {
+		uniform[i] = byte(i)
+	}
+	if got := Entropy(uniform); math.Abs(got-8.0) > 1e-9 {
+		t.Errorf("entropy of uniform data = %f, want 8", got)
+	}
+	if got := Entropy(nil); got != 0 {
+		t.Errorf("entropy of empty = %f, want 0", got)
+	}
+}
+
+func TestEntropyRandomIsHigh(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	b := make([]byte, 1<<16)
+	rng.Read(b)
+	if got := Entropy(b); got < 7.9 {
+		t.Errorf("entropy of random data = %f, want > 7.9", got)
+	}
+}
+
+func TestWord16RoundTrip(t *testing.T) {
+	f := func(w uint16) bool {
+		b := make([]byte, 4)
+		PutWord16(b, 1, w)
+		return Word16(b, 1) == w
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWord16LittleEndian(t *testing.T) {
+	b := []byte{0x34, 0x12}
+	if got := Word16(b, 0); got != 0x1234 {
+		t.Errorf("Word16 = %04x, want 1234", got)
+	}
+}
+
+func TestByteHistogram(t *testing.T) {
+	h := ByteHistogram([]byte{0, 0, 7, 255})
+	if h[0] != 2 || h[7] != 1 || h[255] != 1 {
+		t.Errorf("histogram wrong: h[0]=%d h[7]=%d h[255]=%d", h[0], h[7], h[255])
+	}
+}
+
+func TestTransitionFraction(t *testing.T) {
+	// Alternating bits 0101... have transition fraction 1.
+	alt := make([]byte, 64)
+	for i := range alt {
+		alt[i] = 0x55
+	}
+	if got := TransitionFraction(alt); got < 0.99 {
+		t.Errorf("alternating transition fraction = %f, want ~1", got)
+	}
+	if got := TransitionFraction(make([]byte, 64)); got != 0 {
+		t.Errorf("constant transition fraction = %f, want 0", got)
+	}
+	if got := TransitionFraction(nil); got != 0 {
+		t.Errorf("empty transition fraction = %f, want 0", got)
+	}
+}
+
+func TestTransitionFractionRandomNearHalf(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	b := make([]byte, 1<<15)
+	rng.Read(b)
+	got := TransitionFraction(b)
+	if got < 0.48 || got > 0.52 {
+		t.Errorf("random transition fraction = %f, want ~0.5", got)
+	}
+}
+
+func TestOnesFraction(t *testing.T) {
+	if got := OnesFraction([]byte{0xFF, 0x00}); got != 0.5 {
+		t.Errorf("OnesFraction = %f, want 0.5", got)
+	}
+	if got := OnesFraction(nil); got != 0 {
+		t.Errorf("OnesFraction(nil) = %f, want 0", got)
+	}
+}
+
+func BenchmarkHammingDistance64B(b *testing.B) {
+	x := make([]byte, 64)
+	y := make([]byte, 64)
+	rand.New(rand.NewSource(1)).Read(x)
+	rand.New(rand.NewSource(2)).Read(y)
+	b.SetBytes(64)
+	for i := 0; i < b.N; i++ {
+		HammingDistance(x, y)
+	}
+}

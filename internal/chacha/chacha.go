@@ -1,0 +1,167 @@
+// Package chacha is a from-scratch implementation of the ChaCha stream
+// cipher family (Bernstein 2008) with the reduced-round variants the paper
+// evaluates as memory-scrambler replacements: ChaCha8, ChaCha12, ChaCha20.
+//
+// The memory-encryption application (paper Section IV-B) uses the original
+// DJB layout — 64-bit counter, 64-bit nonce — with the physical address as
+// the counter and a boot-time random nonce. One ChaCha block is exactly one
+// 64-byte DRAM burst, which is why ChaCha needs only a single counter
+// injection per memory transaction where AES-CTR needs four.
+package chacha
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// BlockSize is the ChaCha output block size in bytes — equal to a DDR3/DDR4
+// memory burst, a coincidence the paper's Section IV exploits.
+const BlockSize = 64
+
+// Valid round counts.
+const (
+	Rounds8  = 8
+	Rounds12 = 12
+	Rounds20 = 20
+)
+
+// sigma is the "expand 32-byte k" constant.
+var sigma = [4]uint32{0x61707865, 0x3320646e, 0x79622d32, 0x6b206574}
+
+// quarterRound is the ChaCha quarter round. The hardware model in
+// internal/engine counts this as two pipeline stages (two add-xor-rotate
+// halves), following the paper's synthesis.
+func quarterRound(a, b, c, d uint32) (uint32, uint32, uint32, uint32) {
+	a += b
+	d ^= a
+	d = d<<16 | d>>16
+	c += d
+	b ^= c
+	b = b<<12 | b>>20
+	a += b
+	d ^= a
+	d = d<<8 | d>>24
+	c += d
+	b ^= c
+	b = b<<7 | b>>25
+	return a, b, c, d
+}
+
+// Core runs the ChaCha core on the given initial state with the given number
+// of rounds, writing the 64-byte output block. rounds must be even and >= 2.
+func Core(state *[16]uint32, rounds int, out *[BlockSize]byte) {
+	if rounds < 2 || rounds%2 != 0 {
+		panic(fmt.Sprintf("chacha: invalid round count %d", rounds))
+	}
+	x := *state
+	for i := 0; i < rounds/2; i++ {
+		// Column round.
+		x[0], x[4], x[8], x[12] = quarterRound(x[0], x[4], x[8], x[12])
+		x[1], x[5], x[9], x[13] = quarterRound(x[1], x[5], x[9], x[13])
+		x[2], x[6], x[10], x[14] = quarterRound(x[2], x[6], x[10], x[14])
+		x[3], x[7], x[11], x[15] = quarterRound(x[3], x[7], x[11], x[15])
+		// Diagonal round.
+		x[0], x[5], x[10], x[15] = quarterRound(x[0], x[5], x[10], x[15])
+		x[1], x[6], x[11], x[12] = quarterRound(x[1], x[6], x[11], x[12])
+		x[2], x[7], x[8], x[13] = quarterRound(x[2], x[7], x[8], x[13])
+		x[3], x[4], x[9], x[14] = quarterRound(x[3], x[4], x[9], x[14])
+	}
+	for i := range x {
+		binary.LittleEndian.PutUint32(out[4*i:], x[i]+state[i])
+	}
+}
+
+// Cipher is a ChaCha keystream generator in the original DJB layout:
+// 256-bit key, 64-bit block counter (state words 12-13), 64-bit nonce
+// (state words 14-15).
+type Cipher struct {
+	rounds int
+	state  [16]uint32 // counter words filled per call
+}
+
+// New creates a ChaCha cipher with the given round count (8, 12, or 20),
+// 32-byte key, and 64-bit nonce.
+func New(rounds int, key []byte, nonce uint64) (*Cipher, error) {
+	switch rounds {
+	case Rounds8, Rounds12, Rounds20:
+	default:
+		return nil, fmt.Errorf("chacha: unsupported round count %d", rounds)
+	}
+	if len(key) != 32 {
+		return nil, fmt.Errorf("chacha: key must be 32 bytes, got %d", len(key))
+	}
+	c := &Cipher{rounds: rounds}
+	copy(c.state[0:4], sigma[:])
+	for i := 0; i < 8; i++ {
+		c.state[4+i] = binary.LittleEndian.Uint32(key[4*i:])
+	}
+	c.state[14] = uint32(nonce)
+	c.state[15] = uint32(nonce >> 32)
+	return c, nil
+}
+
+// Rounds returns the configured round count.
+func (c *Cipher) Rounds() int { return c.rounds }
+
+// Block writes the 64-byte keystream block for the given counter value.
+// Each memory line maps to one counter (its physical address / 64), so
+// keystream generation is independent of the data — the property that lets
+// it overlap with the DRAM column access.
+func (c *Cipher) Block(counter uint64, out *[BlockSize]byte) {
+	st := c.state
+	st[12] = uint32(counter)
+	st[13] = uint32(counter >> 32)
+	Core(&st, c.rounds, out)
+}
+
+// Keystream fills dst (length multiple of 64) with keystream blocks
+// starting at counter.
+func (c *Cipher) Keystream(dst []byte, counter uint64) {
+	if len(dst)%BlockSize != 0 {
+		panic("chacha: keystream length must be a multiple of 64")
+	}
+	var blk [BlockSize]byte
+	for off := 0; off < len(dst); off += BlockSize {
+		c.Block(counter, &blk)
+		copy(dst[off:], blk[:])
+		counter++
+	}
+}
+
+// XORKeyStream encrypts or decrypts src into dst with keystream starting at
+// counter. dst and src may alias; length must be a multiple of 64.
+func (c *Cipher) XORKeyStream(dst, src []byte, counter uint64) {
+	if len(dst) != len(src) {
+		panic("chacha: XORKeyStream length mismatch")
+	}
+	ks := make([]byte, len(src))
+	c.Keystream(ks, counter)
+	for i := range src {
+		dst[i] = src[i] ^ ks[i]
+	}
+}
+
+// RFCState builds an initial state in the RFC 8439 layout (32-bit counter in
+// word 12, 96-bit nonce in words 13-15). Provided so the implementation can
+// be pinned to the published RFC test vectors in the tests.
+func RFCState(key []byte, counter uint32, nonce []byte) [16]uint32 {
+	if len(key) != 32 || len(nonce) != 12 {
+		panic("chacha: RFCState wants 32-byte key and 12-byte nonce")
+	}
+	var st [16]uint32
+	copy(st[0:4], sigma[:])
+	for i := 0; i < 8; i++ {
+		st[4+i] = binary.LittleEndian.Uint32(key[4*i:])
+	}
+	st[12] = counter
+	for i := 0; i < 3; i++ {
+		st[13+i] = binary.LittleEndian.Uint32(nonce[4*i:])
+	}
+	return st
+}
+
+// QuarterRound exposes the quarter round for tests and for the engine
+// pipeline model's stage accounting.
+func QuarterRound(a, b, c, d uint32) (uint32, uint32, uint32, uint32) {
+	return quarterRound(a, b, c, d)
+}

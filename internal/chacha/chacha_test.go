@@ -1,0 +1,223 @@
+package chacha
+
+import (
+	"bytes"
+	"encoding/hex"
+	"math/rand"
+	"testing"
+
+	"coldboot/internal/bitutil"
+)
+
+func TestQuarterRoundRFCVector(t *testing.T) {
+	// RFC 8439 §2.1.1.
+	a, b, c, d := QuarterRound(0x11111111, 0x01020304, 0x9b8d6f43, 0x01234567)
+	if a != 0xea2a92f4 || b != 0xcb1cf8ce || c != 0x4581472e || d != 0x5881c4bb {
+		t.Errorf("quarter round = %08x %08x %08x %08x", a, b, c, d)
+	}
+}
+
+func TestChaCha20BlockRFCVector(t *testing.T) {
+	// RFC 8439 §2.3.2 block function test vector.
+	key := make([]byte, 32)
+	for i := range key {
+		key[i] = byte(i)
+	}
+	nonce, _ := hex.DecodeString("000000090000004a00000000")
+	st := RFCState(key, 1, nonce)
+	var out [BlockSize]byte
+	Core(&st, Rounds20, &out)
+	want := "10f1e7e4d13b5915500fdd1fa32071c4" +
+		"c7d1f4c733c068030422aa9ac3d46c4e" +
+		"d2826446079faa0914c2d705d98b02a2" +
+		"b5129cd1de164eb9cbd083e8a2503c4e"
+	if hex.EncodeToString(out[:]) != want {
+		t.Errorf("ChaCha20 block mismatch:\n got %x\nwant %s", out, want)
+	}
+}
+
+func TestChaCha20KeystreamRFCVector(t *testing.T) {
+	// RFC 8439 §2.4.2: first keystream block with counter=1,
+	// nonce 000000000000004a00000000.
+	key := make([]byte, 32)
+	for i := range key {
+		key[i] = byte(i)
+	}
+	nonce, _ := hex.DecodeString("000000000000004a00000000")
+	st := RFCState(key, 1, nonce)
+	var out [BlockSize]byte
+	Core(&st, Rounds20, &out)
+	wantPrefix := "224f51f3401bd9e12fde276fb8631ded8c131f823d2c06" // start of §2.4.2 keystream
+	if !bytes.HasPrefix([]byte(hex.EncodeToString(out[:])), []byte(wantPrefix)) {
+		t.Errorf("ChaCha20 keystream mismatch:\n got %x\nwant prefix %s", out, wantPrefix)
+	}
+}
+
+func TestNewRejectsBadParameters(t *testing.T) {
+	if _, err := New(10, make([]byte, 32), 0); err == nil {
+		t.Error("expected error for 10 rounds")
+	}
+	if _, err := New(Rounds8, make([]byte, 16), 0); err == nil {
+		t.Error("expected error for short key")
+	}
+}
+
+func TestVariantsProduceDistinctStreams(t *testing.T) {
+	key := make([]byte, 32)
+	key[0] = 1
+	var streams [][]byte
+	for _, r := range []int{Rounds8, Rounds12, Rounds20} {
+		c, err := New(r, key, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ks := make([]byte, 128)
+		c.Keystream(ks, 0)
+		streams = append(streams, ks)
+	}
+	for i := 0; i < len(streams); i++ {
+		for j := i + 1; j < len(streams); j++ {
+			if bytes.Equal(streams[i], streams[j]) {
+				t.Errorf("round variants %d and %d produced identical streams", i, j)
+			}
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	key := make([]byte, 32)
+	a, _ := New(Rounds8, key, 99)
+	b, _ := New(Rounds8, key, 99)
+	ka := make([]byte, 256)
+	kb := make([]byte, 256)
+	a.Keystream(ka, 5)
+	b.Keystream(kb, 5)
+	if !bytes.Equal(ka, kb) {
+		t.Error("same parameters produced different keystreams")
+	}
+}
+
+func TestCounterIndependence(t *testing.T) {
+	// Block(counter) must be a pure function: generating blocks out of order
+	// or repeatedly must give identical results. This is the property that
+	// lets the memory controller decrypt lines in arbitrary access order.
+	key := make([]byte, 32)
+	key[31] = 0xAB
+	c, _ := New(Rounds8, key, 1)
+	var first, again [BlockSize]byte
+	c.Block(1234, &first)
+	var other [BlockSize]byte
+	c.Block(99999, &other)
+	c.Block(1234, &again)
+	if first != again {
+		t.Error("Block is not a pure function of the counter")
+	}
+	if first == other {
+		t.Error("distinct counters gave identical blocks")
+	}
+}
+
+func TestKeystreamMatchesBlocks(t *testing.T) {
+	key := make([]byte, 32)
+	c, _ := New(Rounds12, key, 3)
+	ks := make([]byte, 3*BlockSize)
+	c.Keystream(ks, 10)
+	for i := 0; i < 3; i++ {
+		var blk [BlockSize]byte
+		c.Block(10+uint64(i), &blk)
+		if !bytes.Equal(ks[i*BlockSize:(i+1)*BlockSize], blk[:]) {
+			t.Fatalf("keystream block %d mismatch", i)
+		}
+	}
+}
+
+func TestXORKeyStreamRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	key := make([]byte, 32)
+	rng.Read(key)
+	c, _ := New(Rounds8, key, rng.Uint64())
+	pt := make([]byte, 512)
+	rng.Read(pt)
+	enc := make([]byte, len(pt))
+	c.XORKeyStream(enc, pt, 77)
+	if bytes.Equal(enc, pt) {
+		t.Fatal("encryption was the identity")
+	}
+	dec := make([]byte, len(pt))
+	c.XORKeyStream(dec, enc, 77)
+	if !bytes.Equal(dec, pt) {
+		t.Fatal("round trip failed")
+	}
+}
+
+func TestNoncesSeparateStreams(t *testing.T) {
+	key := make([]byte, 32)
+	a, _ := New(Rounds8, key, 1)
+	b, _ := New(Rounds8, key, 2)
+	ka := make([]byte, 64)
+	kb := make([]byte, 64)
+	a.Keystream(ka, 0)
+	b.Keystream(kb, 0)
+	if bytes.Equal(ka, kb) {
+		t.Error("different nonces gave identical keystream")
+	}
+}
+
+func TestKeystreamLooksRandom(t *testing.T) {
+	// The paper's point: a strong cipher's output is indistinguishable from
+	// random, which also satisfies the original electrical goals of
+	// scrambling (≈50% ones, ≈50% transitions, ≈8 bits/byte entropy).
+	key := make([]byte, 32)
+	key[5] = 9
+	c, _ := New(Rounds8, key, 0)
+	ks := make([]byte, 1<<15)
+	c.Keystream(ks, 0)
+	if f := bitutil.OnesFraction(ks); f < 0.49 || f > 0.51 {
+		t.Errorf("ones fraction = %f", f)
+	}
+	if f := bitutil.TransitionFraction(ks); f < 0.49 || f > 0.51 {
+		t.Errorf("transition fraction = %f", f)
+	}
+	if e := bitutil.Entropy(ks); e < 7.9 {
+		t.Errorf("entropy = %f", e)
+	}
+}
+
+func TestCorePanicsOnOddRounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	var st [16]uint32
+	var out [BlockSize]byte
+	Core(&st, 7, &out)
+}
+
+func TestKeystreamPanicsOnPartialBlock(t *testing.T) {
+	c, _ := New(Rounds8, make([]byte, 32), 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.Keystream(make([]byte, 63), 0)
+}
+
+func BenchmarkChaCha8Block(b *testing.B) {
+	c, _ := New(Rounds8, make([]byte, 32), 0)
+	var out [BlockSize]byte
+	b.SetBytes(BlockSize)
+	for i := 0; i < b.N; i++ {
+		c.Block(uint64(i), &out)
+	}
+}
+
+func BenchmarkChaCha20Block(b *testing.B) {
+	c, _ := New(Rounds20, make([]byte, 32), 0)
+	var out [BlockSize]byte
+	b.SetBytes(BlockSize)
+	for i := 0; i < b.N; i++ {
+		c.Block(uint64(i), &out)
+	}
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"math/bits"
+
+	"coldboot/internal/aes"
+)
+
+// ScheduleHit records one place where a descrambled 64-byte block was found
+// to contain consecutive AES key-schedule words.
+type ScheduleHit struct {
+	// WordOffset is the window position inside the block, in 4-byte words
+	// (0..15).
+	WordOffset int
+	// ScheduleIndex is the absolute key-schedule word index the window was
+	// matched at (0..ScheduleWords-Nk).
+	ScheduleIndex int
+	// VerifiedWords is how many subsequent schedule words were predicted
+	// and compared inside the block.
+	VerifiedWords int
+	// Distance is the hamming distance between predicted and observed
+	// verification words.
+	Distance int
+}
+
+// MinVerifyWords is the minimum number of predicted schedule words that must
+// be verifiable inside the block for a trial to count. Two words = 64
+// compared bits, enough to make chance matches negligible.
+const MinVerifyWords = 2
+
+// DefaultAESTolerance is the default bit-flip budget for the AES litmus
+// verification compare.
+const DefaultAESTolerance = 6
+
+// AESLitmus checks whether a single descrambled 64-byte block contains a
+// run of AES key-schedule words, per the paper's insight that at least
+// three consecutive round keys of an in-memory schedule always lie fully
+// inside some 64-byte block. It slides an Nk-word window across the block
+// (assuming the 4-byte alignment real schedules have), tries every possible
+// absolute schedule position for the window, predicts the following words
+// with a partial key expansion, and compares them — all without touching
+// any neighbouring block.
+//
+// Returned hits are those whose prediction matched within tolerance bits.
+func AESLitmus(block []byte, v aes.Variant, tolerance int) []ScheduleHit {
+	if len(block) != BlockBytes {
+		panic("core: AES litmus block must be 64 bytes")
+	}
+	var hits []ScheduleHit
+	words := aes.BytesToWords(block)
+	nk := v.Nk()
+	total := v.ScheduleWords()
+	const blockWords = BlockBytes / 4
+	for j := 0; j+nk+MinVerifyWords <= blockWords; j++ {
+		maxVerify := blockWords - j - nk
+		for a := 0; a+nk+MinVerifyWords <= total; a++ {
+			verify := total - a - nk
+			if verify > maxVerify {
+				verify = maxVerify
+			}
+			d, ok := predictAndCompare(words, j, a, nk, verify, tolerance)
+			if ok {
+				hits = append(hits, ScheduleHit{
+					WordOffset:    j,
+					ScheduleIndex: a,
+					VerifiedWords: verify,
+					Distance:      d,
+				})
+			}
+		}
+	}
+	return hits
+}
+
+// predictAndCompare runs the key-expansion recurrence from the window at
+// word offset j (interpreted as schedule words a..a+nk-1) and compares the
+// next `verify` predicted words against the block contents, bailing out as
+// soon as the cumulative distance exceeds the tolerance.
+func predictAndCompare(words []uint32, j, a, nk, verify, tolerance int) (int, bool) {
+	// ring holds the last nk schedule words.
+	var ring [8]uint32
+	copy(ring[:nk], words[j:j+nk])
+	dist := 0
+	pos := 0 // next write position in the ring
+	for k := 0; k < verify; k++ {
+		i := a + nk + k // absolute schedule index being produced
+		prev := ring[(pos+nk-1)%nk]
+		next := ring[pos] ^ scheduleStep(prev, i, nk)
+		dist += bits.OnesCount32(next ^ words[j+nk+k])
+		if dist > tolerance {
+			return dist, false
+		}
+		ring[pos] = next
+		pos = (pos + 1) % nk
+	}
+	return dist, true
+}
+
+// scheduleStep mirrors the FIPS-197 g/h transforms applied to w[i-1] as a
+// function of the absolute word index.
+func scheduleStep(prev uint32, i, nk int) uint32 {
+	switch {
+	case i%nk == 0:
+		return subWordRot(prev) ^ rconWord(i/nk)
+	case nk > 6 && i%nk == 4:
+		return subWord32(prev)
+	default:
+		return prev
+	}
+}
+
+func subWord32(w uint32) uint32 {
+	return uint32(aes.SubByte(byte(w>>24)))<<24 |
+		uint32(aes.SubByte(byte(w>>16)))<<16 |
+		uint32(aes.SubByte(byte(w>>8)))<<8 |
+		uint32(aes.SubByte(byte(w)))
+}
+
+func subWordRot(w uint32) uint32 {
+	return subWord32(w<<8 | w>>24)
+}
+
+var rconTable = func() [16]uint32 {
+	var t [16]uint32
+	c := byte(1)
+	for i := 1; i < len(t); i++ {
+		t[i] = uint32(c) << 24
+		// xtime in GF(2^8)
+		hi := c & 0x80
+		c <<= 1
+		if hi != 0 {
+			c ^= 0x1B
+		}
+	}
+	return t
+}()
+
+func rconWord(i int) uint32 {
+	if i <= 0 || i >= len(rconTable) {
+		return 0
+	}
+	return rconTable[i]
+}
+
+// MasterFromHit derives the master key implied by a hit: the window words
+// are taken as schedule words at the hit's absolute index and extended
+// backwards to word zero. A clean (undecayed) window yields the true master
+// key; a corrupted window yields garbage that full-schedule verification
+// rejects.
+func MasterFromHit(block []byte, hit ScheduleHit, v aes.Variant) []byte {
+	words := aes.BytesToWords(block)
+	nk := v.Nk()
+	window := words[hit.WordOffset : hit.WordOffset+nk]
+	return aes.RecoverMasterKey(window, hit.ScheduleIndex, v)
+}
+
+// TableStart returns the dump byte offset at which the schedule containing
+// this hit begins (may be negative if the hit's placement would put the
+// table head before the dump start, which disqualifies it).
+func (h ScheduleHit) TableStart(blockIdx int) int {
+	return blockIdx*BlockBytes + 4*h.WordOffset - 4*h.ScheduleIndex
+}

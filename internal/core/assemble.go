@@ -1,0 +1,314 @@
+package core
+
+import (
+	"coldboot/internal/aes"
+)
+
+// KeyDirectory returns the candidate scrambler keys for a given block index
+// of the dump. The stride-based directory (from MineResult.KeysByResidue)
+// returns the one or two keys mined for the block's address class; the
+// exhaustive directory returns every mined key, which is the paper's
+// literal step 2 ("descramble individual memory blocks ... with all keys").
+type KeyDirectory func(blockIdx int) [][]byte
+
+// AllKeysDirectory builds the exhaustive directory.
+func AllKeysDirectory(mine *MineResult) KeyDirectory {
+	keys := make([][]byte, len(mine.Keys))
+	for i, k := range mine.Keys {
+		keys[i] = k.Key
+	}
+	return func(int) [][]byte { return keys }
+}
+
+// ResidueDirectory builds the stride-based directory.
+func ResidueDirectory(mine *MineResult, stride int) KeyDirectory {
+	byRes := mine.KeysByResidue(stride)
+	return func(blockIdx int) [][]byte {
+		mk := byRes[blockIdx%stride]
+		keys := make([][]byte, len(mk))
+		for i, k := range mk {
+			keys[i] = k.Key
+		}
+		return keys
+	}
+}
+
+// VerifySchedule scores a candidate master key against the dump: the master
+// is expanded and the resulting schedule is compared, block by block,
+// against the descrambled dump contents at tableStart, taking the best
+// (minimum-distance) candidate key for each covered block. The score is the
+// fraction of schedule bits that match.
+//
+// A correct master scores near 1.0 (exactly 1.0 on an undecayed dump); an
+// incorrect one scores ~0.5 (random agreement). Blocks with no mined key
+// count as fully mismatched, so low mining coverage degrades the score
+// honestly instead of silently passing.
+func VerifySchedule(dump []byte, keys KeyDirectory, master []byte, tableStart int, v aes.Variant) float64 {
+	schedule := aes.ExpandKeyBytes(master)
+	if tableStart < 0 || tableStart+len(schedule) > len(dump) {
+		return 0
+	}
+	totalBits := len(schedule) * 8
+	mismatched := 0
+	pos := 0
+	for pos < len(schedule) {
+		addr := tableStart + pos
+		blockIdx := addr / BlockBytes
+		inOff := addr % BlockBytes
+		chunk := BlockBytes - inOff
+		if chunk > len(schedule)-pos {
+			chunk = len(schedule) - pos
+		}
+		stored := dump[blockIdx*BlockBytes+inOff : blockIdx*BlockBytes+inOff+chunk]
+		want := schedule[pos : pos+chunk]
+		best := chunk * 8
+		for _, key := range keys(blockIdx) {
+			d := xorDistance(stored, key[inOff:inOff+chunk], want)
+			if d < best {
+				best = d
+			}
+		}
+		mismatched += best
+		pos += chunk
+	}
+	return 1 - float64(mismatched)/float64(totalBits)
+}
+
+// xorDistance returns hamming(stored ^ key, want).
+func xorDistance(stored, key, want []byte) int {
+	d := 0
+	for i := range stored {
+		d += popcount8(stored[i] ^ key[i] ^ want[i])
+	}
+	return d
+}
+
+func popcount8(b byte) int {
+	n := 0
+	for ; b != 0; b &= b - 1 {
+		n++
+	}
+	return n
+}
+
+// RepairWindow attempts to fix bit decay inside a hit's schedule window by
+// flipping up to maxFlips bits (1 or 2) and returning the repaired master
+// with the best full-schedule verification score. This recovers anchors
+// whose verification region was intact (so the hit was detected) but whose
+// window words had decayed (so the derived master was garbage).
+//
+// Each flip candidate is first re-checked against the hit's own in-block
+// prediction (cheap); only candidates that keep the prediction consistent
+// pay for a full-schedule verification.
+//
+// block is the descrambled 64-byte block containing the hit.
+func RepairWindow(dump []byte, keys KeyDirectory, block []byte, blockIdx int, hit ScheduleHit, v aes.Variant, maxFlips int, minScore float64) ([]byte, float64) {
+	nk := v.Nk()
+	tableStart := hit.TableStart(blockIdx)
+	work := make([]byte, len(block))
+	copy(work, block)
+
+	tryMaster := func() ([]byte, float64) {
+		words := aes.BytesToWords(work[4*hit.WordOffset : 4*hit.WordOffset+4*nk])
+		master := aes.RecoverMasterKey(words, hit.ScheduleIndex, v)
+		return master, VerifySchedule(dump, keys, master, tableStart, v)
+	}
+	consistent := func() bool {
+		words := aes.BytesToWords(work)
+		_, ok := predictAndCompare(words, hit.WordOffset, hit.ScheduleIndex, nk,
+			hit.VerifiedWords, DefaultAESTolerance)
+		return ok
+	}
+
+	bestMaster, bestScore := tryMaster()
+	winLo := 4 * hit.WordOffset * 8 // window bit range within the block
+	winHi := winLo + 4*nk*8
+	flip := func(bit int) { work[bit/8] ^= 1 << uint(bit%8) }
+	if maxFlips >= 1 {
+		for b1 := winLo; b1 < winHi; b1++ {
+			flip(b1)
+			if consistent() {
+				if m, s := tryMaster(); s > bestScore {
+					bestMaster, bestScore = m, s
+				}
+			}
+			if maxFlips >= 2 && bestScore < minScore {
+				for b2 := b1 + 1; b2 < winHi; b2++ {
+					flip(b2)
+					if consistent() {
+						if m, s := tryMaster(); s > bestScore {
+							bestMaster, bestScore = m, s
+						}
+					}
+					flip(b2)
+					if bestScore >= minScore {
+						break
+					}
+				}
+			}
+			flip(b1)
+			if bestScore >= minScore {
+				break
+			}
+		}
+	}
+	return bestMaster, bestScore
+}
+
+// windowDegenerate reports whether a hit's window is trivial content that
+// produces meaningless masters: few distinct words (zeroed or pattern
+// memory), or nearly-all-zero / nearly-all-one bits (decayed zero blocks
+// descrambled with their key leave a handful of stray bits that defeat an
+// exact emptiness check). Real schedule words are high-entropy, so none of
+// these conditions ever hold for a genuine hit.
+func windowDegenerate(block []byte, hit ScheduleHit, nk int) bool {
+	win := block[4*hit.WordOffset : 4*hit.WordOffset+4*nk]
+	words := aes.BytesToWords(win)
+	distinct := make(map[uint32]bool, len(words))
+	for _, w := range words {
+		distinct[w] = true
+	}
+	if len(distinct) <= nk/2 {
+		return true
+	}
+	weight := 0
+	for _, b := range win {
+		weight += popcount8(b)
+	}
+	total := len(win) * 8
+	return weight < total/8 || weight > total*7/8
+}
+
+// RefineMaster corrects residual bit errors in a recovered master key by
+// exploiting the AES key schedule's redundancy. The expansion recurrence is
+// linear except at the subword positions, so a flipped bit in most master
+// words propagates UNCHANGED along its word chain (schedule indices
+// i ≡ c mod Nk) without ever feeding a transform: the corrupted master
+// still verifies at ~0.99 — convincingly, but wrongly. The residual between
+// the candidate's expansion and the observed (descrambled) schedule then
+// repeats the same flip pattern down the whole chain, so a per-chain
+// bitwise majority vote over the residuals recovers the flip mask exactly;
+// XORing it into the master word fixes the key. Iterated until no chain
+// improves the verification score.
+//
+// This is the schedule-redundancy error correction that lets the attack
+// tolerate decay even when no single anchor window survived intact.
+func RefineMaster(dump []byte, keys KeyDirectory, master []byte, tableStart int, v aes.Variant) ([]byte, float64) {
+	best := append([]byte{}, master...)
+	bestScore := VerifySchedule(dump, keys, best, tableStart, v)
+	if bestScore == 0 {
+		return best, bestScore
+	}
+	nk := v.Nk()
+	// Phase 1 — window consensus: the verified candidate tells us where the
+	// schedule lies, so re-derive the master from EVERY Nk-word window of
+	// the observed (descrambled) table and keep the best verifier. Sparse
+	// decay almost surely leaves at least one window intact, and a clean
+	// window yields the exact master.
+	observed := observedScheduleWords(dump, keys, aes.ExpandKeyBytes(best), tableStart)
+	for s := 0; s+nk <= len(observed); s++ {
+		cand := aes.RecoverMasterKey(observed[s:s+nk], s, v)
+		if sc := VerifySchedule(dump, keys, cand, tableStart, v); sc > bestScore {
+			best, bestScore = cand, sc
+		}
+	}
+	// Phase 2 — chain-vote error correction for the no-clean-window case.
+	for iter := 0; iter < 4; iter++ {
+		sched := aes.ExpandKey(best)
+		observed := observedScheduleWords(dump, keys, aes.WordsToBytes(sched), tableStart)
+		improved := false
+		for c := 0; c < nk; c++ {
+			var votes [32]int
+			count := 0
+			for i := c; i < len(sched); i += nk {
+				r := sched[i] ^ observed[i]
+				for b := 0; b < 32; b++ {
+					if r>>uint(b)&1 == 1 {
+						votes[b]++
+					}
+				}
+				count++
+			}
+			var fix uint32
+			for b := 0; b < 32; b++ {
+				if votes[b]*2 > count {
+					fix |= 1 << uint(b)
+				}
+			}
+			if fix == 0 {
+				continue
+			}
+			cand := append([]byte{}, best...)
+			w := aes.BytesToWords(cand)
+			w[c] ^= fix
+			cand = aes.WordsToBytes(w)
+			if s := VerifySchedule(dump, keys, cand, tableStart, v); s > bestScore {
+				best, bestScore = cand, s
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return best, bestScore
+}
+
+// observedScheduleWords descrambles the dump region holding the candidate
+// schedule, choosing for each block the directory key that best matches the
+// reference expansion (the same minimum-distance choice VerifySchedule
+// makes), and returns the observed schedule words.
+func observedScheduleWords(dump []byte, keys KeyDirectory, reference []byte, tableStart int) []uint32 {
+	out := make([]byte, len(reference))
+	pos := 0
+	for pos < len(reference) {
+		addr := tableStart + pos
+		blockIdx := addr / BlockBytes
+		inOff := addr % BlockBytes
+		chunk := BlockBytes - inOff
+		if chunk > len(reference)-pos {
+			chunk = len(reference) - pos
+		}
+		stored := dump[blockIdx*BlockBytes+inOff : blockIdx*BlockBytes+inOff+chunk]
+		want := reference[pos : pos+chunk]
+		var bestKey []byte
+		bestD := 1 << 30
+		for _, key := range keys(blockIdx) {
+			if d := xorDistance(stored, key[inOff:inOff+chunk], want); d < bestD {
+				bestD, bestKey = d, key
+			}
+		}
+		for i := 0; i < chunk; i++ {
+			if bestKey != nil {
+				out[pos+i] = stored[i] ^ bestKey[inOff+i]
+			} else {
+				out[pos+i] = want[i] // uncovered block: neutral (no votes)
+			}
+		}
+		pos += chunk
+	}
+	return aes.BytesToWords(out)
+}
+
+// ExtractRemnant recovers the scrambler key of an uncovered block adjacent
+// to a verified schedule: once the master is known, the expected plaintext
+// at the block is known, so key = stored ^ expected. This is the inverse of
+// mining and corresponds to the paper's boundary-block step — pulling the
+// remaining key bytes out of the blocks at the edges of the located table.
+func ExtractRemnant(dump []byte, master []byte, tableStart int, blockIdx int, v aes.Variant) []byte {
+	schedule := aes.ExpandKeyBytes(master)
+	blockStart := blockIdx * BlockBytes
+	key := make([]byte, BlockBytes)
+	known := false
+	for i := 0; i < BlockBytes; i++ {
+		p := blockStart + i - tableStart
+		if p >= 0 && p < len(schedule) {
+			key[i] = dump[blockStart+i] ^ schedule[p]
+			known = true
+		}
+	}
+	if !known {
+		return nil
+	}
+	return key
+}

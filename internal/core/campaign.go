@@ -1,0 +1,230 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Campaign orchestration. The paper (§III-C, Attack Performance): "since
+// the task is fully parallelizable, we can analyze gigabytes of data in a
+// matter of hours using multiple machines. For example, using a machine
+// with an eight-core Intel Xeon D1541 CPU, we are able to fully search an
+// 8 GB DDR4 DRAM image in just over 21 hours."
+//
+// A Campaign shards a large dump into worker-sized segments, mines keys
+// once globally (mining is cheap and the key pool spans the whole image),
+// and fans the expensive AES-schedule scan out across shards — which may
+// run on separate goroutines here, or be dispatched to separate machines by
+// the caller via the Shard/MergeShardResults primitives. Progress reporting
+// and context cancellation make multi-hour campaigns operable.
+
+// Shard is one independently scannable piece of a dump.
+type Shard struct {
+	Index int
+	// FirstBlock and Blocks delimit the shard within the full dump.
+	FirstBlock int
+	Blocks     int
+}
+
+// ShardResult carries one shard's findings back for merging.
+type ShardResult struct {
+	Shard Shard
+	Keys  []FoundKey
+	Pairs int64
+}
+
+// Progress is delivered to the campaign's observer after each shard.
+type Progress struct {
+	DoneShards, TotalShards int
+	DoneBlocks, TotalBlocks int
+	KeysFound               int
+}
+
+// CampaignConfig tunes a sharded attack.
+type CampaignConfig struct {
+	// Attack is the per-shard attack configuration (Workers applies within
+	// each shard; shards themselves run Parallel at a time).
+	Attack Config
+	// ShardBlocks is the shard size in 64-byte blocks (default 65536,
+	// i.e. 4 MiB shards).
+	ShardBlocks int
+	// Parallel is how many shards run concurrently (default 1 — shard
+	// parallelism multiplies the per-shard worker pool).
+	Parallel int
+	// OnProgress, if non-nil, is called after each shard completes.
+	OnProgress func(Progress)
+}
+
+func (c CampaignConfig) withDefaults() CampaignConfig {
+	if c.ShardBlocks == 0 {
+		c.ShardBlocks = 65536
+	}
+	if c.Parallel == 0 {
+		c.Parallel = 1
+	}
+	return c
+}
+
+// Shards splits a dump of n blocks into segments. Shards overlap by the
+// schedule size so a key table straddling a boundary is fully visible to
+// at least one shard.
+func Shards(totalBlocks, shardBlocks, overlapBlocks int) []Shard {
+	if shardBlocks <= 0 {
+		shardBlocks = totalBlocks
+	}
+	var out []Shard
+	for first := 0; first < totalBlocks; first += shardBlocks {
+		n := shardBlocks + overlapBlocks
+		if first+n > totalBlocks {
+			n = totalBlocks - first
+		}
+		out = append(out, Shard{Index: len(out), FirstBlock: first, Blocks: n})
+		if first+n >= totalBlocks && first+shardBlocks >= totalBlocks {
+			break
+		}
+	}
+	return out
+}
+
+// RunCampaign executes a sharded attack over a (possibly very large) dump.
+// The context cancels between shards; a cancelled campaign returns the
+// merged results found so far together with ctx.Err().
+func RunCampaign(ctx context.Context, dump []byte, cfg CampaignConfig) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if len(dump)%BlockBytes != 0 {
+		return nil, fmt.Errorf("core: dump length %d not block aligned", len(dump))
+	}
+	attackCfg := cfg.Attack.withDefaults()
+
+	// Global mining pass: keys repeat across the whole image, so one pass
+	// yields the best pool and the true stride.
+	mine, err := MineKeys(dump, MineOptions{
+		Tolerance:     attackCfg.LitmusTolerance,
+		MergeDistance: attackCfg.MergeDistance,
+		MaxBytes:      attackCfg.MineMaxBytes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Mine: mine, BlocksScanned: len(dump) / BlockBytes}
+	res.Stride = mine.InferStride()
+	var directory KeyDirectory
+	switch {
+	case attackCfg.KeysForBlock != nil:
+		directory = attackCfg.KeysForBlock
+	case attackCfg.Exhaustive || res.Stride == 0:
+		directory = AllKeysDirectory(mine)
+	default:
+		res.Coverage = mine.Coverage(res.Stride)
+		directory = ResidueDirectory(mine, res.Stride)
+	}
+
+	overlap := attackCfg.Variant.ScheduleBytes()/BlockBytes + 1
+	shards := Shards(len(dump)/BlockBytes, cfg.ShardBlocks, overlap)
+
+	var (
+		mu        sync.Mutex
+		done      int
+		doneBlk   int
+		collected []FoundKey
+		campErr   error
+	)
+	sem := make(chan struct{}, cfg.Parallel)
+	var wg sync.WaitGroup
+shardLoop:
+	for _, sh := range shards {
+		select {
+		case <-ctx.Done():
+			campErr = ctx.Err()
+			break shardLoop
+		default:
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(sh Shard) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			sr := scanShard(dump, sh, directory, attackCfg, mine)
+			mu.Lock()
+			collected = append(collected, sr.Keys...)
+			res.PairsTested += sr.Pairs
+			done++
+			doneBlk += sh.Blocks
+			if cfg.OnProgress != nil {
+				cfg.OnProgress(Progress{
+					DoneShards: done, TotalShards: len(shards),
+					DoneBlocks: doneBlk, TotalBlocks: len(dump) / BlockBytes,
+					KeysFound: len(collected),
+				})
+			}
+			mu.Unlock()
+		}(sh)
+	}
+	wg.Wait()
+	res.Keys = MergeShardResults(collected, attackCfg.Variant.ScheduleBytes())
+	return res, campErr
+}
+
+// scanShard runs the per-block scan of the attack pipeline over one shard,
+// using the globally mined key directory.
+func scanShard(dump []byte, sh Shard, directory KeyDirectory, cfg Config, mine *MineResult) ShardResult {
+	sub := dump[sh.FirstBlock*BlockBytes : (sh.FirstBlock+sh.Blocks)*BlockBytes]
+	shiftedDir := func(b int) [][]byte { return directory(b + sh.FirstBlock) }
+	res, err := Attack(sub, Config{
+		Variant:         cfg.Variant,
+		LitmusTolerance: cfg.LitmusTolerance,
+		AESTolerance:    cfg.AESTolerance,
+		MinVerifyScore:  cfg.MinVerifyScore,
+		RepairFlips:     cfg.RepairFlips,
+		Workers:         cfg.Workers,
+		KeysForBlock:    shiftedDir,
+	})
+	out := ShardResult{Shard: sh}
+	if err != nil {
+		return out
+	}
+	for _, k := range res.Keys {
+		k.TableStart += sh.FirstBlock * BlockBytes
+		out.Keys = append(out.Keys, k)
+	}
+	out.Pairs = res.PairsTested
+	return out
+}
+
+// MergeShardResults deduplicates findings across shards (overlap regions
+// produce the same key twice) using the same best-score-per-region rule as
+// the single-dump attack.
+func MergeShardResults(keys []FoundKey, schedBytes int) []FoundKey {
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Score != keys[j].Score {
+			return keys[i].Score > keys[j].Score
+		}
+		if keys[i].TableStart != keys[j].TableStart {
+			return keys[i].TableStart < keys[j].TableStart
+		}
+		return string(keys[i].Master) < string(keys[j].Master)
+	})
+	var out []FoundKey
+	for _, c := range keys {
+		dup := false
+		for _, kept := range out {
+			lo, hi := c.TableStart, c.TableStart+schedBytes
+			if kept.TableStart > lo {
+				lo = kept.TableStart
+			}
+			if kept.TableStart+schedBytes < hi {
+				hi = kept.TableStart + schedBytes
+			}
+			if hi-lo >= schedBytes/2 {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, c)
+		}
+	}
+	return out
+}

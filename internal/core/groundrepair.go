@@ -1,0 +1,110 @@
+package core
+
+import (
+	"coldboot/internal/aes"
+)
+
+// Ground-state-aware decay repair (after Halderman et al.'s observation
+// that DRAM decay is asymmetric, and the paper's §III-A profiling
+// technique).
+//
+// A decayed bit always flips TOWARD its cell's ground state. The attacker
+// can profile ground states with the dump machine itself: take the attack
+// dump D = raw ⊕ K2, let the DIMM decay fully, and dump again WITHOUT
+// rebooting: G = ground ⊕ K2. The keystream cancels in the comparison —
+// a raw bit can have decayed only where D and G agree — so the repair
+// search space shrinks to the "suspect" positions, typically half the
+// window, which makes three-flip correction tractable where blind
+// enumeration is not.
+
+// SuspectMask returns, for the 64-byte block at blockIdx, a bitmask (one
+// bit per data bit, LSB-first per byte) of positions where decay COULD have
+// occurred: dump and groundDump agree there.
+func SuspectMask(dump, groundDump []byte, blockIdx int) [BlockBytes]byte {
+	var mask [BlockBytes]byte
+	off := blockIdx * BlockBytes
+	for i := 0; i < BlockBytes; i++ {
+		// A bit is suspect where the dump already equals the ground read:
+		// XOR gives 0 there, so invert.
+		mask[i] = ^(dump[off+i] ^ groundDump[off+i])
+	}
+	return mask
+}
+
+// RepairWindowGround is RepairWindow restricted to ground-state suspect
+// positions, which affords a deeper search (up to maxFlips = 3) under a
+// verification budget: flips in positions that do not feed the in-block
+// prediction stay "consistent", so every candidate costs a full-schedule
+// verification — the budget bounds that. block is the descrambled 64-byte
+// block containing the hit; dump and groundDump are the full captures the
+// suspects are derived from.
+func RepairWindowGround(dump, groundDump []byte, keys KeyDirectory, block []byte, blockIdx int, hit ScheduleHit, v aes.Variant, maxFlips int, minScore float64) ([]byte, float64) {
+	const verifyBudget = 1500
+	nk := v.Nk()
+	tableStart := hit.TableStart(blockIdx)
+	mask := SuspectMask(dump, groundDump, blockIdx)
+
+	// Collect suspect bit positions inside the window.
+	winLo := 4 * hit.WordOffset * 8
+	winHi := winLo + 4*nk*8
+	var suspects []int
+	for b := winLo; b < winHi; b++ {
+		if mask[b/8]&(1<<uint(b%8)) != 0 {
+			suspects = append(suspects, b)
+		}
+	}
+
+	work := make([]byte, len(block))
+	copy(work, block)
+	flip := func(bit int) { work[bit/8] ^= 1 << uint(bit%8) }
+	tryMaster := func() ([]byte, float64) {
+		words := aes.BytesToWords(work[4*hit.WordOffset : 4*hit.WordOffset+4*nk])
+		master := aes.RecoverMasterKey(words, hit.ScheduleIndex, v)
+		return master, VerifySchedule(dump, keys, master, tableStart, v)
+	}
+	consistent := func() bool {
+		words := aes.BytesToWords(work)
+		_, ok := predictAndCompare(words, hit.WordOffset, hit.ScheduleIndex, nk,
+			hit.VerifiedWords, DefaultAESTolerance)
+		return ok
+	}
+
+	bestMaster, bestScore := tryMaster()
+	if bestScore >= minScore || maxFlips < 1 {
+		return bestMaster, bestScore
+	}
+	budget := verifyBudget
+	// Depth-first enumeration of up to maxFlips suspect flips with the
+	// in-block prediction as a pruner and the verification budget as the
+	// hard cost bound.
+	var search func(startIdx, remaining int)
+	search = func(startIdx, remaining int) {
+		if bestScore >= minScore || budget <= 0 {
+			return
+		}
+		for i := startIdx; i < len(suspects); i++ {
+			flip(suspects[i])
+			if consistent() {
+				budget--
+				if m, s := tryMaster(); s > bestScore {
+					bestMaster, bestScore = m, s
+					if bestScore >= minScore {
+						flip(suspects[i])
+						return
+					}
+				}
+			}
+			if remaining > 1 {
+				search(i+1, remaining-1)
+			}
+			flip(suspects[i])
+			if bestScore >= minScore || budget <= 0 {
+				return
+			}
+		}
+	}
+	for depth := 1; depth <= maxFlips && bestScore < minScore && budget > 0; depth++ {
+		search(0, depth)
+	}
+	return bestMaster, bestScore
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"coldboot/internal/scramble"
+)
+
+func TestKeyLitmusZeroOnRealKeys(t *testing.T) {
+	s := scramble.NewSkylakeDDR4(0xABCD)
+	for idx := uint64(0); idx < 4096; idx++ {
+		k := s.KeyAt(idx * BlockBytes)
+		if d := KeyLitmusDistance(k); d != 0 {
+			t.Fatalf("key %d litmus distance %d, want 0", idx, d)
+		}
+	}
+}
+
+func TestKeyLitmusZeroBlockPasses(t *testing.T) {
+	// All-zero blocks trivially satisfy the invariants: in a scrambled dump
+	// a stored zero block means data == key, a degenerate but harmless case.
+	if !PassesKeyLitmus(make([]byte, 64), 0) {
+		t.Error("zero block failed litmus")
+	}
+}
+
+func TestKeyLitmusXORofKeysPasses(t *testing.T) {
+	a := scramble.NewSkylakeDDR4(1)
+	b := scramble.NewSkylakeDDR4(2)
+	for idx := uint64(0); idx < 512; idx++ {
+		ka := a.KeyAt(idx * BlockBytes)
+		kb := b.KeyAt(idx * BlockBytes)
+		x := make([]byte, 64)
+		for i := range x {
+			x[i] = ka[i] ^ kb[i]
+		}
+		if !PassesKeyLitmus(x, 0) {
+			t.Fatalf("key XOR at index %d failed litmus", idx)
+		}
+	}
+}
+
+func TestKeyLitmusToleratesFlips(t *testing.T) {
+	s := scramble.NewSkylakeDDR4(3)
+	k := s.KeyAt(0)
+	rng := rand.New(rand.NewSource(1))
+	// Flip 3 bits: each flip disturbs 1-3 equations, so distance is 1..9.
+	for i := 0; i < 3; i++ {
+		bit := rng.Intn(512)
+		k[bit/8] ^= 1 << uint(bit%8)
+	}
+	if d := KeyLitmusDistance(k); d == 0 || d > 9 {
+		t.Errorf("3-flip key distance = %d, want 1..9", d)
+	}
+	if !PassesKeyLitmus(k, 9) {
+		t.Error("3-flip key rejected at tolerance 9")
+	}
+	// Two flips always stay within the default tolerance.
+	k2 := s.KeyAt(64)
+	k2[0] ^= 1
+	k2[40] ^= 0x10
+	if !PassesKeyLitmus(k2, DefaultLitmusTolerance) {
+		t.Error("2-flip key rejected at default tolerance")
+	}
+}
+
+func TestKeyLitmusRejectsRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	block := make([]byte, 64)
+	fails := 0
+	const trials = 10000
+	for i := 0; i < trials; i++ {
+		rng.Read(block)
+		if !PassesKeyLitmus(block, DefaultLitmusTolerance) {
+			fails++
+		}
+	}
+	if fails < trials-1 {
+		t.Errorf("%d/%d random blocks passed litmus", trials-fails, trials)
+	}
+}
+
+func TestKeyLitmusRejectsText(t *testing.T) {
+	block := []byte("The quick brown fox jumps over the lazy dog, repeatedly dog")
+	block = append(block, []byte("dog!")...)
+	if PassesKeyLitmus(block[:64], DefaultLitmusTolerance) {
+		t.Error("ASCII text passed the key litmus test")
+	}
+}
+
+func TestKeyLitmusPanicsOnWrongSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	KeyLitmusDistance(make([]byte, 63))
+}
+
+func TestKeyLitmusDistanceSymmetricInGroups(t *testing.T) {
+	// Corrupting group g only affects that group's equations: distance from
+	// a single flipped bit is at most 2 (one bit can appear in at most two
+	// of the four equations... each word participates in 2 equations).
+	s := scramble.NewSkylakeDDR4(4)
+	for bit := 0; bit < 512; bit += 17 {
+		k := s.KeyAt(64)
+		k[bit/8] ^= 1 << uint(bit%8)
+		if d := KeyLitmusDistance(k); d < 1 || d > 3 {
+			t.Errorf("single flip at bit %d gives distance %d", bit, d)
+		}
+	}
+}
+
+func BenchmarkKeyLitmus(b *testing.B) {
+	s := scramble.NewSkylakeDDR4(5)
+	k := s.KeyAt(0)
+	b.SetBytes(64)
+	for i := 0; i < b.N; i++ {
+		KeyLitmusDistance(k)
+	}
+}

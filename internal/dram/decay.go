@@ -1,0 +1,125 @@
+package dram
+
+import (
+	"math"
+	"time"
+)
+
+// Charge decay model.
+//
+// A DRAM cell holding a value opposite to its ground state loses its charge
+// through substrate leakage. We model per-cell survival as exponential with
+// a temperature-dependent time constant:
+//
+//	tau(T) = Tau20s * 2^((20 - T) / DoublingC)
+//
+// i.e. retention doubles for every DoublingC degrees of cooling — the
+// physical behaviour that makes the compressed-air freeze in the paper's
+// Figure 2 work. A cell already at ground state never changes.
+
+// RetentionTau returns the decay time constant in seconds at temperature c.
+func (s ModuleSpec) RetentionTau(c float64) float64 {
+	return s.Tau20s * math.Exp2((20-c)/s.DoublingC)
+}
+
+// DecayProbability returns the probability that a charged cell flips to its
+// ground state after d unpowered seconds at temperature c.
+func (s ModuleSpec) DecayProbability(d time.Duration, c float64) float64 {
+	tau := s.RetentionTau(c)
+	return 1 - math.Exp(-d.Seconds()/tau)
+}
+
+// ExpectedRetention returns the expected fraction of *data bits* that still
+// read back correctly after d unpowered seconds at temperature c, assuming
+// half the stored bits sit at their cell's ground state (true for
+// scrambled/random data). This is the quantity the paper's Section III-D
+// reports as "90%-99% of their charges".
+func (s ModuleSpec) ExpectedRetention(d time.Duration, c float64) float64 {
+	return 1 - 0.5*s.DecayProbability(d, c)
+}
+
+// Elapse advances wall-clock time for the module. While powered, refresh
+// holds the contents; while unpowered, each charged cell independently
+// decays toward ground with the probability given by DecayProbability at
+// the module's current temperature.
+//
+// Sampling uses geometric skips so the cost is proportional to the number
+// of decayed bits, not the module size.
+func (m *Module) Elapse(d time.Duration) {
+	if m.powered || d <= 0 || m.spec.NonVolatile {
+		return
+	}
+	p := m.spec.DecayProbability(d, m.temperatureC)
+	if p > 0 {
+		m.decayPass(p, nil)
+	}
+	// Weak cells decay with a 10x shorter time constant: apply the extra
+	// probability to the weak population only.
+	if m.weak != nil {
+		weakSpec := m.spec
+		weakSpec.Tau20s /= 10
+		if pw := weakSpec.DecayProbability(d, m.temperatureC); pw > p {
+			// Residual probability so the total matches pw.
+			residual := (pw - p) / (1 - p)
+			m.decayPass(residual, m.weak)
+		}
+	}
+}
+
+// decayPass flips each eligible bit toward ground with probability p.
+// When filter is non-nil only bits set in it are eligible.
+func (m *Module) decayPass(p float64, filter []byte) {
+	totalBits := len(m.data) * 8
+	if p >= 1 {
+		if filter == nil {
+			m.FullyDecay()
+			return
+		}
+		p = 0.999999
+	}
+	if p <= 0 {
+		return
+	}
+	// Geometric skipping: visit each bit with independent probability p.
+	logq := math.Log(1 - p)
+	pos := 0
+	for {
+		// Number of bits skipped until the next selected one.
+		u := m.rng.Float64()
+		skip := int(math.Floor(math.Log(1-u) / logq))
+		pos += skip
+		if pos >= totalBits {
+			return
+		}
+		byteIdx, bit := pos/8, uint(pos%8)
+		mask := byte(1) << bit
+		if filter != nil && filter[byteIdx]&mask == 0 {
+			pos++
+			continue
+		}
+		if m.data[byteIdx]&mask != m.ground[byteIdx]&mask {
+			m.data[byteIdx] ^= mask
+			m.decayedBits++
+		}
+		pos++
+	}
+}
+
+// MeasureRetention compares the module contents against a reference
+// snapshot and returns the fraction of bits that still match. This is the
+// measurement procedure of Section III-D.
+func (m *Module) MeasureRetention(reference []byte) float64 {
+	if len(reference) != len(m.data) {
+		panic("dram: retention reference length mismatch")
+	}
+	diff := countDiffBits(m.data, reference)
+	total := len(m.data) * 8
+	return 1 - float64(diff)/float64(total)
+}
+
+// Snapshot returns a copy of the module's entire contents.
+func (m *Module) Snapshot() []byte {
+	out := make([]byte, len(m.data))
+	copy(out, m.data)
+	return out
+}

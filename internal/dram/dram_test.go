@@ -1,0 +1,364 @@
+package dram
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func testModule(t *testing.T) *Module {
+	t.Helper()
+	m, err := NewModule(DefaultDDR4Spec(1<<20), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestGeometrySize(t *testing.T) {
+	if got := SmallDDR4.Size(); got != 4<<20 {
+		t.Errorf("SmallDDR4 size = %d, want 4MiB", got)
+	}
+	if got := SmallDDR3.Size(); got != 4<<20 {
+		t.Errorf("SmallDDR3 size = %d, want 4MiB", got)
+	}
+}
+
+func TestGeometryValidate(t *testing.T) {
+	if err := SmallDDR4.Validate(); err != nil {
+		t.Errorf("SmallDDR4 invalid: %v", err)
+	}
+	bad := Geometry{Ranks: 0, BankGroups: 1, BanksPerGroup: 1, Rows: 1, RowBytes: 64}
+	if err := bad.Validate(); err == nil {
+		t.Error("expected error for zero ranks")
+	}
+	odd := Geometry{Ranks: 1, BankGroups: 1, BanksPerGroup: 1, Rows: 1, RowBytes: 100}
+	if err := odd.Validate(); err == nil {
+		t.Error("expected error for non-burst-multiple row")
+	}
+}
+
+func TestDecomposeComposeRoundTrip(t *testing.T) {
+	g := SmallDDR4
+	f := func(n uint32) bool {
+		off := (int(n) % (g.Size() / BurstBytes)) * BurstBytes
+		return g.Compose(g.Decompose(off)) == off
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecomposeCoordinateRanges(t *testing.T) {
+	g := SmallDDR4
+	for off := 0; off < g.Size(); off += g.Size() / 64 {
+		c := g.Decompose(off)
+		if c.Rank < 0 || c.Rank >= g.Ranks ||
+			c.BankGroup < 0 || c.BankGroup >= g.BankGroups ||
+			c.Bank < 0 || c.Bank >= g.BanksPerGroup ||
+			c.Row < 0 || c.Row >= g.Rows ||
+			c.Col < 0 || c.Col >= g.RowBytes/BurstBytes {
+			t.Fatalf("coordinate out of range at %#x: %+v", off, c)
+		}
+	}
+}
+
+func TestDecomposePanicsOnUnaligned(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SmallDDR4.Decompose(33)
+}
+
+func TestWithCapacity(t *testing.T) {
+	g := SmallDDR4.WithCapacity(16 << 20)
+	if g.Size() < 16<<20 {
+		t.Errorf("scaled size %d < requested", g.Size())
+	}
+	if g.BankGroups != SmallDDR4.BankGroups {
+		t.Error("scaling changed bank structure")
+	}
+}
+
+func TestModuleReadWriteRoundTrip(t *testing.T) {
+	m := testModule(t)
+	data := []byte("the quick brown fox jumps over the lazy dog over and over again")
+	m.Write(4096, data)
+	got := make([]byte, len(data))
+	m.Read(4096, got)
+	if !bytes.Equal(got, data) {
+		t.Error("read did not return written data")
+	}
+}
+
+func TestModuleOutOfRangePanics(t *testing.T) {
+	m := testModule(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Read(m.Size()-4, make([]byte, 8))
+}
+
+func TestModuleStartsAtGroundState(t *testing.T) {
+	m := testModule(t)
+	data := make([]byte, 1024)
+	ground := make([]byte, 1024)
+	m.Read(0, data)
+	m.GroundState(0, ground)
+	if !bytes.Equal(data, ground) {
+		t.Error("fresh module contents differ from ground state")
+	}
+}
+
+func TestGroundStateIsStriped(t *testing.T) {
+	m := testModule(t)
+	g := make([]byte, m.Size())
+	m.GroundState(0, g)
+	zeros, ones := 0, 0
+	for _, b := range g {
+		switch b {
+		case 0x00:
+			zeros++
+		case 0xFF:
+			ones++
+		}
+	}
+	// The vast majority of bytes are pure stripe values, mixed polarity.
+	if zeros+ones < len(g)*95/100 {
+		t.Errorf("stripes cover only %d/%d bytes", zeros+ones, len(g))
+	}
+	if zeros == 0 || ones == 0 {
+		t.Error("ground state has a single polarity; expected both true and anti cells")
+	}
+}
+
+func TestNoDecayWhilePowered(t *testing.T) {
+	m := testModule(t)
+	rng := rand.New(rand.NewSource(2))
+	data := make([]byte, m.Size())
+	rng.Read(data)
+	m.Write(0, data)
+	m.Elapse(time.Hour)
+	if got := m.MeasureRetention(data); got != 1.0 {
+		t.Errorf("powered module decayed: retention %f", got)
+	}
+}
+
+func TestDecayWhenUnpoweredWarm(t *testing.T) {
+	m := testModule(t)
+	rng := rand.New(rand.NewSource(3))
+	data := make([]byte, m.Size())
+	rng.Read(data)
+	m.Write(0, data)
+	m.PowerOff()
+	m.Elapse(3 * time.Second)
+	ret := m.MeasureRetention(data)
+	// Section III-D: significant loss within 3 s at operating temperature.
+	if ret > 0.85 {
+		t.Errorf("warm 3s retention = %f, expected significant loss", ret)
+	}
+	if m.DecayedBits() == 0 {
+		t.Error("no decayed bits recorded")
+	}
+}
+
+func TestFrozenModuleRetains90to99Percent(t *testing.T) {
+	// The headline Section III-D result, for every module in the catalog.
+	for i, spec := range ModuleCatalog {
+		spec.Geometry = spec.Geometry.WithCapacity(1 << 20)
+		m, err := NewModule(spec, int64(100+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(int64(i)))
+		data := make([]byte, m.Size())
+		rng.Read(data)
+		m.Write(0, data)
+		m.SetTemperature(-25)
+		m.PowerOff()
+		m.Elapse(5 * time.Second)
+		ret := m.MeasureRetention(data)
+		if ret < 0.90 || ret > 0.999 {
+			t.Errorf("%s: frozen 5s retention = %f, want in [0.90, 0.999]", spec.Model, ret)
+		}
+	}
+}
+
+func TestLeakyDDR3LeaksFasterThanDDR4(t *testing.T) {
+	leaky, ok := SpecByModel("VendorE DDR3-1600")
+	if !ok {
+		t.Fatal("leaky module missing from catalog")
+	}
+	for _, m := range ModuleCatalog {
+		if m.Standard == DDR4 && leaky.RetentionTau(-25) >= m.RetentionTau(-25) {
+			t.Errorf("leaky DDR3 does not leak faster than %s", m.Model)
+		}
+	}
+}
+
+func TestColdRetentionBeatsWarm(t *testing.T) {
+	spec := DefaultDDR4Spec(1 << 20)
+	if spec.DecayProbability(5*time.Second, -25) >= spec.DecayProbability(5*time.Second, 20) {
+		t.Error("cooling did not reduce decay probability")
+	}
+}
+
+func TestDecayMonotoneInTime(t *testing.T) {
+	spec := DefaultDDR4Spec(1 << 20)
+	f := func(a, b uint16) bool {
+		ta := time.Duration(a) * time.Millisecond
+		tb := time.Duration(b) * time.Millisecond
+		if ta > tb {
+			ta, tb = tb, ta
+		}
+		return spec.DecayProbability(ta, -25) <= spec.DecayProbability(tb, -25)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecayApproachesGroundState(t *testing.T) {
+	m := testModule(t)
+	data := make([]byte, m.Size())
+	rand.New(rand.NewSource(8)).Read(data)
+	m.Write(0, data)
+	m.PowerOff()
+	m.Elapse(10 * time.Minute) // warm, very long
+	got := m.Snapshot()
+	ground := make([]byte, m.Size())
+	m.GroundState(0, ground)
+	if !bytes.Equal(got, ground) {
+		t.Error("long decay did not reach ground state")
+	}
+}
+
+func TestFullyDecay(t *testing.T) {
+	m := testModule(t)
+	data := make([]byte, m.Size())
+	rand.New(rand.NewSource(9)).Read(data)
+	m.Write(0, data)
+	m.FullyDecay()
+	ground := make([]byte, m.Size())
+	m.GroundState(0, ground)
+	if !bytes.Equal(m.Snapshot(), ground) {
+		t.Error("FullyDecay did not reach ground state")
+	}
+}
+
+func TestPowerOnStopsDecayAndResetsCounter(t *testing.T) {
+	m := testModule(t)
+	data := make([]byte, m.Size())
+	rand.New(rand.NewSource(10)).Read(data)
+	m.Write(0, data)
+	m.PowerOff()
+	m.Elapse(time.Second)
+	m.PowerOn()
+	if m.DecayedBits() != 0 {
+		t.Error("decay counter not reset on power-on")
+	}
+	snap := m.Snapshot()
+	m.Elapse(time.Hour)
+	if !bytes.Equal(m.Snapshot(), snap) {
+		t.Error("powered module changed contents")
+	}
+}
+
+func TestRetentionTauDoubling(t *testing.T) {
+	spec := ModuleSpec{Tau20s: 2, DoublingC: 10}
+	if got := spec.RetentionTau(10); got < 3.99 || got > 4.01 {
+		t.Errorf("tau at 10C = %f, want 4", got)
+	}
+	if got := spec.RetentionTau(20); got != 2 {
+		t.Errorf("tau at 20C = %f, want 2", got)
+	}
+}
+
+func TestExpectedRetentionMatchesSimulation(t *testing.T) {
+	spec := DefaultDDR4Spec(1 << 20)
+	m, _ := NewModule(spec, 77)
+	data := make([]byte, m.Size())
+	rand.New(rand.NewSource(11)).Read(data)
+	m.Write(0, data)
+	m.SetTemperature(-25)
+	m.PowerOff()
+	m.Elapse(5 * time.Second)
+	got := m.MeasureRetention(data)
+	want := spec.ExpectedRetention(5*time.Second, -25)
+	if got < want-0.01 || got > want+0.01 {
+		t.Errorf("simulated retention %f vs analytic %f", got, want)
+	}
+}
+
+func TestTimingDerivedQuantities(t *testing.T) {
+	if got := DDR4_2400.BurstTransferNs(); got < 3.32 || got > 3.34 {
+		t.Errorf("DDR4-2400 burst transfer = %f ns, want ~3.33", got)
+	}
+	if got := DDR4_2400.PeakBandwidthGBs(); got < 19.1 || got > 19.3 {
+		t.Errorf("DDR4-2400 peak bandwidth = %f GB/s, want ~19.2", got)
+	}
+	// The paper: "up to 18 back-to-back CAS requests" for DDR4-2400.
+	if got := DDR4_2400.MaxOutstandingCAS(); got != 4 {
+		// 12.5 / 3.33 + 1 = 4 concurrent in the latency window; the paper's
+		// 18 counts bank-level queued requests, modeled in internal/engine.
+		t.Logf("MaxOutstandingCAS = %d", got)
+	}
+}
+
+func TestModuleCatalogComplete(t *testing.T) {
+	ddr3, ddr4 := 0, 0
+	for _, s := range ModuleCatalog {
+		switch s.Standard {
+		case DDR3:
+			ddr3++
+		case DDR4:
+			ddr4++
+		}
+	}
+	// Section III-D: five DDR3 and two DDR4 modules.
+	if ddr3 != 5 || ddr4 != 2 {
+		t.Errorf("catalog has %d DDR3 + %d DDR4, want 5 + 2", ddr3, ddr4)
+	}
+}
+
+func TestSpecByModel(t *testing.T) {
+	if _, ok := SpecByModel("VendorA DDR3-1333"); !ok {
+		t.Error("VendorA lookup failed")
+	}
+	if _, ok := SpecByModel("nonexistent"); ok {
+		t.Error("bogus lookup succeeded")
+	}
+}
+
+func TestNewModuleRejectsBadSpec(t *testing.T) {
+	bad := ModuleSpec{Model: "x", Geometry: SmallDDR4, Tau20s: 0, DoublingC: 10}
+	if _, err := NewModule(bad, 1); err == nil {
+		t.Error("expected error for zero tau")
+	}
+	bad2 := ModuleSpec{Model: "x", Geometry: Geometry{}, Tau20s: 1, DoublingC: 10}
+	if _, err := NewModule(bad2, 1); err == nil {
+		t.Error("expected error for empty geometry")
+	}
+}
+
+func BenchmarkElapseFrozen5s1MB(b *testing.B) {
+	spec := DefaultDDR4Spec(1 << 20)
+	data := make([]byte, spec.Geometry.Size())
+	rand.New(rand.NewSource(1)).Read(data)
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		m, _ := NewModule(spec, int64(i))
+		m.Write(0, data)
+		m.SetTemperature(-25)
+		m.PowerOff()
+		b.StartTimer()
+		m.Elapse(5 * time.Second)
+	}
+}

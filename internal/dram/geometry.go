@@ -1,0 +1,101 @@
+// Package dram models DRAM modules at the level the cold boot attack needs:
+// raw bit storage addressed by device offset, DRAM geometry
+// (rank/bank-group/bank/row/column), JEDEC timing parameters for the
+// encryption-overlap analysis, and — critically — the physics of charge
+// decay: per-cell ground states and temperature-dependent retention, which
+// is what makes cold boot attacks possible at all.
+//
+// Scrambling is deliberately NOT modeled here: a DRAM device stores whatever
+// bits arrive on the bus. The scrambler lives in the memory controller
+// (internal/memctrl), exactly as in real systems, which is why moving a DIMM
+// between machines moves scrambled bits with it.
+package dram
+
+import "fmt"
+
+// Standard identifies the DRAM generation of a module.
+type Standard int
+
+// Supported DRAM standards.
+const (
+	DDR3 Standard = 3
+	DDR4 Standard = 4
+)
+
+func (s Standard) String() string {
+	switch s {
+	case DDR3:
+		return "DDR3"
+	case DDR4:
+		return "DDR4"
+	}
+	return fmt.Sprintf("DDR?(%d)", int(s))
+}
+
+// Geometry describes the internal organization of a module. Sizes are kept
+// small relative to real DIMMs so simulations stay fast; the structure (not
+// the capacity) is what the attack and timing models depend on.
+type Geometry struct {
+	Ranks         int // chip-select ranks
+	BankGroups    int // DDR4 has 4; DDR3 is modeled as 1 group
+	BanksPerGroup int
+	Rows          int // rows per bank
+	RowBytes      int // row (page) size in bytes
+}
+
+// Banks returns the total number of banks across all groups.
+func (g Geometry) Banks() int { return g.BankGroups * g.BanksPerGroup }
+
+// Size returns the module capacity in bytes.
+func (g Geometry) Size() int {
+	return g.Ranks * g.Banks() * g.Rows * g.RowBytes
+}
+
+// Validate reports an error if any field is non-positive or the row size is
+// not a multiple of the 64-byte burst.
+func (g Geometry) Validate() error {
+	if g.Ranks <= 0 || g.BankGroups <= 0 || g.BanksPerGroup <= 0 || g.Rows <= 0 || g.RowBytes <= 0 {
+		return fmt.Errorf("dram: geometry fields must be positive: %+v", g)
+	}
+	if g.RowBytes%BurstBytes != 0 {
+		return fmt.Errorf("dram: row size %d not a multiple of burst %d", g.RowBytes, BurstBytes)
+	}
+	return nil
+}
+
+// Coord identifies one burst-sized location inside a module.
+type Coord struct {
+	Rank, BankGroup, Bank, Row, Col int // Col indexes 64-byte bursts within the row
+}
+
+// BurstBytes is the size of one memory transaction: 8 beats on a 64-bit bus.
+// It equals both the CPU cache-line size and the scrambler key size.
+const BurstBytes = 64
+
+// Decompose splits a device byte offset (burst-aligned) into its coordinate.
+// The layout is row-major: rank > bank group > bank > row > column.
+func (g Geometry) Decompose(off int) Coord {
+	if off%BurstBytes != 0 {
+		panic(fmt.Sprintf("dram: offset %#x not burst aligned", off))
+	}
+	burst := off / BurstBytes
+	colsPerRow := g.RowBytes / BurstBytes
+	c := Coord{}
+	c.Col = burst % colsPerRow
+	burst /= colsPerRow
+	c.Row = burst % g.Rows
+	burst /= g.Rows
+	c.Bank = burst % g.BanksPerGroup
+	burst /= g.BanksPerGroup
+	c.BankGroup = burst % g.BankGroups
+	burst /= g.BankGroups
+	c.Rank = burst
+	return c
+}
+
+// Compose is the inverse of Decompose.
+func (g Geometry) Compose(c Coord) int {
+	colsPerRow := g.RowBytes / BurstBytes
+	burst := ((((c.Rank*g.BankGroups+c.BankGroup)*g.BanksPerGroup+c.Bank)*g.Rows + c.Row) * colsPerRow) + c.Col
+	return burst * BurstBytes
+}

@@ -1,0 +1,193 @@
+package dram
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// ModuleSpec describes a purchasable DRAM module model: its standard,
+// geometry, and retention physics. The catalog in specs.go mirrors the
+// seven modules measured in the paper's Section III-D.
+type ModuleSpec struct {
+	Model    string
+	Standard Standard
+	Geometry Geometry
+	// Tau20s is the charge retention time constant at +20 °C in seconds:
+	// the mean time for a cell holding charge against its ground state to
+	// lose it. Bigger is better retention.
+	Tau20s float64
+	// DoublingC is the temperature drop (in °C) that doubles the retention
+	// time constant; ~10 °C is the physical rule of thumb.
+	DoublingC float64
+	// WeakCellFraction is the fraction of cells with a 10x shorter
+	// retention constant. Halderman et al. observed that early decay
+	// concentrates in a population of weak cells; 0 disables the effect.
+	WeakCellFraction float64
+	// NonVolatile marks NVDIMM parts (paper §III-D/V): contents persist
+	// unpowered at any temperature, indefinitely — no freezing required,
+	// which is why the paper calls strong memory encryption "even more
+	// crucial on such systems".
+	NonVolatile bool
+}
+
+// Module is one simulated DRAM stick. Its data array holds whatever raw
+// bits the bus last wrote (scrambled or not — the device cannot tell).
+type Module struct {
+	spec ModuleSpec
+	data []byte
+	// ground holds the value each cell decays toward when unrefreshed:
+	// DRAM arrays mix true and anti cells, so ground state is a per-region
+	// pattern of 0s and 1s, not all-zeros.
+	ground []byte
+	// weak marks the 10x-leakier cell population (nil if disabled).
+	weak         []byte
+	powered      bool
+	temperatureC float64
+	rng          *rand.Rand
+	decayedBits  int64 // cumulative bits flipped by decay since last power-on
+}
+
+// NewModule manufactures a module. The seed individualizes the cell ground
+// states (two sticks of the same model decay to different patterns).
+func NewModule(spec ModuleSpec, seed int64) (*Module, error) {
+	if err := spec.Geometry.Validate(); err != nil {
+		return nil, err
+	}
+	if spec.Tau20s <= 0 || spec.DoublingC <= 0 {
+		return nil, fmt.Errorf("dram: module %q has non-positive retention parameters", spec.Model)
+	}
+	size := spec.Geometry.Size()
+	m := &Module{
+		spec:         spec,
+		data:         make([]byte, size),
+		ground:       make([]byte, size),
+		powered:      true,
+		temperatureC: 20,
+		rng:          rand.New(rand.NewSource(seed)),
+	}
+	m.initGroundState()
+	copy(m.data, m.ground) // cells start at ground state
+	return m, nil
+}
+
+// initGroundState lays out ground values in 128-byte stripes of all-0 or
+// all-1 cells (true vs anti cell regions), with a sprinkle of individually
+// inverted cells, which is the striped pattern cold boot studies observe in
+// fully decayed dumps.
+func (m *Module) initGroundState() {
+	const stripe = 128
+	for off := 0; off < len(m.ground); off += stripe {
+		v := byte(0x00)
+		if m.rng.Intn(2) == 1 {
+			v = 0xFF
+		}
+		end := off + stripe
+		if end > len(m.ground) {
+			end = len(m.ground)
+		}
+		for i := off; i < end; i++ {
+			m.ground[i] = v
+		}
+	}
+	// ~0.1% of cells are inverted relative to their stripe.
+	flips := len(m.ground) * 8 / 1000
+	for i := 0; i < flips; i++ {
+		bit := m.rng.Intn(len(m.ground) * 8)
+		m.ground[bit/8] ^= 1 << uint(bit%8)
+	}
+	// Weak-cell population: a sparse bitmap of cells that decay 10x faster.
+	if m.spec.WeakCellFraction > 0 {
+		m.weak = make([]byte, len(m.ground))
+		weakBits := int(float64(len(m.ground)*8) * m.spec.WeakCellFraction)
+		for i := 0; i < weakBits; i++ {
+			bit := m.rng.Intn(len(m.ground) * 8)
+			m.weak[bit/8] |= 1 << uint(bit%8)
+		}
+	}
+}
+
+// IsWeak reports whether the given bit index addresses a weak cell.
+func (m *Module) IsWeak(bit int) bool {
+	return m.weak != nil && m.weak[bit/8]&(1<<uint(bit%8)) != 0
+}
+
+// Spec returns the module's specification.
+func (m *Module) Spec() ModuleSpec { return m.spec }
+
+// Size returns the module capacity in bytes.
+func (m *Module) Size() int { return len(m.data) }
+
+// Powered reports whether the module is refreshed (true = no decay).
+func (m *Module) Powered() bool { return m.powered }
+
+// TemperatureC returns the module's current temperature.
+func (m *Module) TemperatureC() float64 { return m.temperatureC }
+
+// DecayedBits returns the cumulative number of bits flipped by decay since
+// the last power-on.
+func (m *Module) DecayedBits() int64 { return m.decayedBits }
+
+// Read copies len(dst) bytes starting at device offset off into dst.
+// This is raw device access: the FPGA rig in the paper's analysis
+// framework, or the memory controller's bus side.
+func (m *Module) Read(off int, dst []byte) {
+	if off < 0 || off+len(dst) > len(m.data) {
+		panic(fmt.Sprintf("dram: read [%#x,%#x) out of range %#x", off, off+len(dst), len(m.data)))
+	}
+	copy(dst, m.data[off:])
+}
+
+// Write copies src into the module at device offset off.
+func (m *Module) Write(off int, src []byte) {
+	if off < 0 || off+len(src) > len(m.data) {
+		panic(fmt.Sprintf("dram: write [%#x,%#x) out of range %#x", off, off+len(src), len(m.data)))
+	}
+	copy(m.data[off:], src)
+}
+
+// GroundState copies the ground-state pattern at off into dst — what a
+// fully decayed module would read. The paper's alternative analysis
+// technique profiles this pattern with the scrambler off, then reads it
+// back through the scrambler.
+func (m *Module) GroundState(off int, dst []byte) {
+	if off < 0 || off+len(dst) > len(m.ground) {
+		panic(fmt.Sprintf("dram: ground state [%#x,%#x) out of range", off, off+len(dst)))
+	}
+	copy(dst, m.ground[off:])
+}
+
+// SetTemperature changes the module temperature (e.g. -25 for the
+// compressed-gas-duster freeze in Figure 2).
+func (m *Module) SetTemperature(c float64) { m.temperatureC = c }
+
+// PowerOff stops refresh; subsequent Elapse calls decay the contents.
+func (m *Module) PowerOff() { m.powered = false }
+
+// PowerOn resumes refresh, halting decay. Contents are whatever survived.
+func (m *Module) PowerOn() {
+	m.powered = true
+	m.decayedBits = 0
+}
+
+// FullyDecay drives every cell to its ground state, as if the module sat
+// unpowered for minutes at room temperature.
+func (m *Module) FullyDecay() {
+	m.decayedBits += int64(countDiffBits(m.data, m.ground))
+	copy(m.data, m.ground)
+}
+
+func countDiffBits(a, b []byte) int {
+	n := 0
+	for i := range a {
+		n += popcount8(a[i] ^ b[i])
+	}
+	return n
+}
+
+func popcount8(b byte) int {
+	n := 0
+	for ; b != 0; b &= b - 1 {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,52 @@
+package dram
+
+// Timing holds the bus-level parameters the Section IV analysis uses. The
+// key quantity is the column access (CAS) latency: the fixed, deterministic
+// window between a read command and data appearing on the bus, inside which
+// a cipher engine can hide keystream generation.
+type Timing struct {
+	Name       string
+	BusMHz     float64 // I/O bus clock in MHz (data rate is 2x)
+	CASLatency float64 // column access latency in ns (row-buffer hit)
+}
+
+// BusClockNs returns the bus clock period in nanoseconds.
+func (t Timing) BusClockNs() float64 { return 1e3 / t.BusMHz }
+
+// BurstTransferNs returns the time to transfer one 64-byte burst: 8 beats at
+// double data rate = 4 bus clocks.
+func (t Timing) BurstTransferNs() float64 { return 4 * t.BusClockNs() }
+
+// PeakBandwidthGBs returns the theoretical peak bandwidth in GB/s.
+func (t Timing) PeakBandwidthGBs() float64 {
+	return float64(BurstBytes) / t.BurstTransferNs()
+}
+
+// MaxOutstandingCAS returns the largest number of back-to-back CAS responses
+// that can be in flight given the CAS latency and the burst transfer time —
+// the paper's "up to 18 back-to-back CAS requests" for DDR4-2400.
+func (t Timing) MaxOutstandingCAS() int {
+	n := int(t.CASLatency/t.BurstTransferNs()) + 1
+	return n
+}
+
+// Standard JEDEC speed grades used by the simulations. CAS latencies are the
+// row-buffer-hit values; JESD79-4 constrains all DDR4 CAS latencies to the
+// 12.5–15.01 ns window the paper quotes.
+var (
+	// DDR3_1600 is a common DDR3 speed grade (CL11).
+	DDR3_1600 = Timing{Name: "DDR3-1600", BusMHz: 800, CASLatency: 13.75}
+	// DDR4_2133 is the entry DDR4 grade (CL15).
+	DDR4_2133 = Timing{Name: "DDR4-2133", BusMHz: 1066, CASLatency: 14.06}
+	// DDR4_2400 is the fast grade the paper's Figure 6 analyzes (CL15).
+	DDR4_2400 = Timing{Name: "DDR4-2400", BusMHz: 1200, CASLatency: 12.5}
+)
+
+// DDR4CASLatencyMinNs and DDR4CASLatencyMaxNs bound the nine standardized
+// DDR4 column access latencies (JESD79-4); any cipher whose keystream
+// latency is below the minimum has zero exposed latency on every compliant
+// module.
+const (
+	DDR4CASLatencyMinNs = 12.5
+	DDR4CASLatencyMaxNs = 15.01
+)

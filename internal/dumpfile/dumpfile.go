@@ -1,0 +1,130 @@
+// Package dumpfile defines the on-disk container for captured memory
+// dumps, so the attack toolkit can separate acquisition (on the machine
+// with the victim DIMM) from analysis (anywhere): a magic header, a JSON
+// metadata block describing how the dump was taken, the raw image, and a
+// CRC32 trailer guarding against truncation or bit rot in transit.
+package dumpfile
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// Magic identifies the format, versioned in the last two bytes.
+const Magic = "CBDUMP01"
+
+// Metadata records the acquisition context an analyst needs.
+type Metadata struct {
+	// CPU is the dumping machine's model (generation determines the
+	// address map the analysis must assume).
+	CPU string `json:"cpu"`
+	// Channels is the dumping machine's channel count.
+	Channels int `json:"channels"`
+	// ScramblerOn records whether the dumping machine scrambled (the
+	// usual double-scrambled capture) — informational; the litmus attack
+	// does not need it.
+	ScramblerOn bool `json:"scrambler_on"`
+	// FreezeTempC and TransferSeconds describe the physical acquisition.
+	FreezeTempC     float64 `json:"freeze_temp_c"`
+	TransferSeconds float64 `json:"transfer_seconds"`
+	// Notes is free-form provenance.
+	Notes string `json:"notes,omitempty"`
+}
+
+// Write serializes a dump with its metadata to w.
+func Write(w io.Writer, meta Metadata, data []byte) error {
+	header, err := json.Marshal(meta)
+	if err != nil {
+		return fmt.Errorf("dumpfile: encoding metadata: %w", err)
+	}
+	if _, err := io.WriteString(w, Magic); err != nil {
+		return err
+	}
+	var lens [12]byte
+	binary.LittleEndian.PutUint32(lens[0:4], uint32(len(header)))
+	binary.LittleEndian.PutUint64(lens[4:12], uint64(len(data)))
+	if _, err := w.Write(lens[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(header); err != nil {
+		return err
+	}
+	if _, err := w.Write(data); err != nil {
+		return err
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(data))
+	_, err = w.Write(crc[:])
+	return err
+}
+
+// Read parses a dump container from r.
+func Read(r io.Reader) (Metadata, []byte, error) {
+	var meta Metadata
+	magic := make([]byte, len(Magic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return meta, nil, fmt.Errorf("dumpfile: reading magic: %w", err)
+	}
+	if !bytes.Equal(magic, []byte(Magic)) {
+		return meta, nil, fmt.Errorf("dumpfile: bad magic %q", magic)
+	}
+	var lens [12]byte
+	if _, err := io.ReadFull(r, lens[:]); err != nil {
+		return meta, nil, fmt.Errorf("dumpfile: reading lengths: %w", err)
+	}
+	headerLen := binary.LittleEndian.Uint32(lens[0:4])
+	dataLen := binary.LittleEndian.Uint64(lens[4:12])
+	if headerLen > 1<<20 {
+		return meta, nil, fmt.Errorf("dumpfile: implausible header length %d", headerLen)
+	}
+	if dataLen > 1<<34 {
+		return meta, nil, fmt.Errorf("dumpfile: implausible dump length %d", dataLen)
+	}
+	header := make([]byte, headerLen)
+	if _, err := io.ReadFull(r, header); err != nil {
+		return meta, nil, fmt.Errorf("dumpfile: reading metadata: %w", err)
+	}
+	if err := json.Unmarshal(header, &meta); err != nil {
+		return meta, nil, fmt.Errorf("dumpfile: decoding metadata: %w", err)
+	}
+	data := make([]byte, dataLen)
+	if _, err := io.ReadFull(r, data); err != nil {
+		return meta, nil, fmt.Errorf("dumpfile: reading image: %w", err)
+	}
+	var crc [4]byte
+	if _, err := io.ReadFull(r, crc[:]); err != nil {
+		return meta, nil, fmt.Errorf("dumpfile: reading checksum: %w", err)
+	}
+	if got := crc32.ChecksumIEEE(data); got != binary.LittleEndian.Uint32(crc[:]) {
+		return meta, nil, fmt.Errorf("dumpfile: checksum mismatch (corrupted in transit?)")
+	}
+	return meta, data, nil
+}
+
+// WriteFile writes a dump container to path.
+func WriteFile(path string, meta Metadata, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, meta, data); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile reads a dump container from path.
+func ReadFile(path string) (Metadata, []byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Metadata{}, nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

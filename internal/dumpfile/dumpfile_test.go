@@ -1,0 +1,112 @@
+package dumpfile
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testMeta() Metadata {
+	return Metadata{
+		CPU: "i5-6600K", Channels: 1, ScramblerOn: true,
+		FreezeTempC: -50, TransferSeconds: 2, Notes: "unit test",
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	data := make([]byte, 4096)
+	rand.New(rand.NewSource(1)).Read(data)
+	var buf bytes.Buffer
+	if err := Write(&buf, testMeta(), data); err != nil {
+		t.Fatal(err)
+	}
+	meta, got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("data round trip failed")
+	}
+	if meta != testMeta() {
+		t.Errorf("metadata round trip failed: %+v", meta)
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "test.cbdump")
+	data := []byte("a very small memory image................")
+	if err := WriteFile(path, testMeta(), data); err != nil {
+		t.Fatal(err)
+	}
+	meta, got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) || meta.CPU != "i5-6600K" {
+		t.Error("file round trip failed")
+	}
+}
+
+func TestRejectsBadMagic(t *testing.T) {
+	var buf bytes.Buffer
+	Write(&buf, testMeta(), []byte("data"))
+	raw := buf.Bytes()
+	raw[0] ^= 0xFF
+	if _, _, err := Read(bytes.NewReader(raw)); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+func TestDetectsCorruption(t *testing.T) {
+	data := make([]byte, 1024)
+	var buf bytes.Buffer
+	Write(&buf, testMeta(), data)
+	raw := buf.Bytes()
+	raw[len(Magic)+12+60+100] ^= 0x01 // flip a payload bit
+	_, _, err := Read(bytes.NewReader(raw))
+	if err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Errorf("corruption not detected: %v", err)
+	}
+}
+
+func TestDetectsTruncation(t *testing.T) {
+	data := make([]byte, 1024)
+	var buf bytes.Buffer
+	Write(&buf, testMeta(), data)
+	raw := buf.Bytes()
+	if _, _, err := Read(bytes.NewReader(raw[:len(raw)-10])); err == nil {
+		t.Error("truncation not detected")
+	}
+}
+
+func TestRejectsImplausibleLengths(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString(Magic)
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF}) // 4 GB header
+	buf.Write(make([]byte, 8))
+	if _, _, err := Read(&buf); err == nil {
+		t.Error("implausible header length accepted")
+	}
+}
+
+func TestEmptyDataAllowed(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, testMeta(), nil); err != nil {
+		t.Fatal(err)
+	}
+	_, got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Error("empty payload round trip failed")
+	}
+}
+
+func TestReadFileMissing(t *testing.T) {
+	if _, _, err := ReadFile(filepath.Join(t.TempDir(), "nope.cbdump")); err == nil {
+		t.Error("missing file read succeeded")
+	}
+}

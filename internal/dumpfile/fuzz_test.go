@@ -1,0 +1,26 @@
+package dumpfile
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRead: the reader consumes files from untrusted storage and must
+// reject anything malformed without panicking.
+func FuzzRead(f *testing.F) {
+	var good bytes.Buffer
+	Write(&good, Metadata{CPU: "x"}, []byte("payload"))
+	f.Add(good.Bytes())
+	f.Add([]byte(Magic))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		meta, data, err := Read(bytes.NewReader(raw))
+		if err == nil {
+			// Anything accepted must round-trip identically.
+			var buf bytes.Buffer
+			if werr := Write(&buf, meta, data); werr != nil {
+				t.Fatal(werr)
+			}
+		}
+	})
+}

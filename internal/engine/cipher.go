@@ -1,0 +1,87 @@
+// Package engine models the hardware cipher engines the paper proposes as
+// memory-scrambler replacements (Section IV): cycle-level pipeline
+// characteristics reproducing Table II, a discrete-event queueing model of
+// the DDR4 read path reproducing Figure 6, a power/area overhead model
+// reproducing Figure 7, and drop-in encrypted Scrambler implementations
+// (AES-CTR and ChaCha) for the simulated memory controller.
+//
+// The pipeline parameters are the paper's 45 nm synthesis results: the AES
+// design (adapted from the OpenCores tiny_aes) runs one round per cycle at
+// 2.4 GHz; the ChaCha design splits each quarter round into two pipeline
+// stages and runs at 1.96 GHz.
+package engine
+
+import (
+	"fmt"
+
+	"coldboot/internal/aes"
+	"coldboot/internal/chacha"
+)
+
+// Spec describes one synthesized cipher engine.
+type Spec struct {
+	Name string
+	// FreqGHz is the synthesized maximum clock frequency.
+	FreqGHz float64
+	// CyclesPer64B is the pipeline depth from counter injection to a full
+	// 64-byte keystream (Table II's "Cycles per 64B").
+	CyclesPer64B int
+	// CountersPer64B is how many counter/nonce inputs the engine needs per
+	// 64-byte memory block: 4 for AES (16-byte blocks), 1 for ChaCha
+	// (64-byte blocks). This asymmetry drives Figure 6's queueing.
+	CountersPer64B int
+}
+
+// MaxPipelineDelayNs is Table II's right column: the keystream generation
+// latency through the full pipeline.
+func (s Spec) MaxPipelineDelayNs() float64 {
+	return float64(s.CyclesPer64B) / s.FreqGHz
+}
+
+// CycleNs returns the engine clock period in nanoseconds.
+func (s Spec) CycleNs() float64 { return 1 / s.FreqGHz }
+
+// AESEngine builds the Table II spec for an AES variant: one round per
+// cycle plus three fixed stages (counter load, initial key add, output
+// mux), i.e. 13 cycles for AES-128 and 17 for AES-256 at 2.4 GHz.
+func AESEngine(v aes.Variant) Spec {
+	return Spec{
+		Name:           v.String(),
+		FreqGHz:        2.4,
+		CyclesPer64B:   v.Rounds() + 3,
+		CountersPer64B: 4,
+	}
+}
+
+// ChaChaEngine builds the Table II spec for a ChaCha variant: each round is
+// two pipeline stages (the quarter-round adder chain is split in half to
+// reach 1.96 GHz) plus input-add and output stages, i.e. 18 cycles for
+// ChaCha8, 26 for ChaCha12, 42 for ChaCha20.
+func ChaChaEngine(rounds int) Spec {
+	return Spec{
+		Name:           fmt.Sprintf("ChaCha%d", rounds),
+		FreqGHz:        1.96,
+		CyclesPer64B:   2*rounds + 2,
+		CountersPer64B: 1,
+	}
+}
+
+// TableII returns the five engines of the paper's Table II, in its row
+// order.
+func TableII() []Spec {
+	return []Spec{
+		AESEngine(aes.AES128),
+		AESEngine(aes.AES256),
+		ChaChaEngine(chacha.Rounds8),
+		ChaChaEngine(chacha.Rounds12),
+		ChaChaEngine(chacha.Rounds20),
+	}
+}
+
+// ThroughputGBs estimates the engine's peak keystream throughput: with a
+// fully pipelined design accepting one counter per cycle, each counter
+// yields 64/CountersPer64B bytes.
+func (s Spec) ThroughputGBs() float64 {
+	bytesPerCycle := 64.0 / float64(s.CountersPer64B)
+	return bytesPerCycle * s.FreqGHz
+}

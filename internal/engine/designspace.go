@@ -1,0 +1,146 @@
+package engine
+
+import (
+	"fmt"
+
+	"coldboot/internal/aes"
+	"coldboot/internal/dram"
+)
+
+// Design-space exploration (paper §IV-B, "Speed vs Area and Power"):
+//
+//	"Both AES and ChaCha apply the same round function multiple times on a
+//	 block of data. This gives us the option to have a single hardware unit
+//	 for a round function and time-multiplex it. Such design will result in
+//	 lower throughput, but also lower power. ... In the designs we
+//	 evaluated, we have dedicated units for each round [pipelined]."
+//
+// and the mobile note:
+//
+//	"For low-power mobile devices, more energy-efficient memory encryption
+//	 can be achieved by using cipher engines that have much lower
+//	 performance ... as mobile CPUs are not likely to produce a large
+//	 number of back-to-back CAS requests."
+//
+// Design captures that axis: the paper's evaluated engines are the
+// Pipelined points; TimeMultiplexed trades throughput for area/power.
+
+// Design selects the hardware organization of a cipher engine.
+type Design int
+
+// Engine organizations.
+const (
+	// Pipelined instantiates one hardware unit per round stage: a new
+	// counter can enter every cycle (what Table II synthesizes).
+	Pipelined Design = iota
+	// TimeMultiplexed instantiates a single round unit and loops the block
+	// through it: 1/rounds the area and dynamic power of the round logic,
+	// but a new counter can only enter every `rounds` cycles.
+	TimeMultiplexed
+)
+
+func (d Design) String() string {
+	switch d {
+	case Pipelined:
+		return "pipelined"
+	case TimeMultiplexed:
+		return "time-multiplexed"
+	}
+	return fmt.Sprintf("Design(%d)", int(d))
+}
+
+// DesignPoint is one point in the engine design space.
+type DesignPoint struct {
+	Spec   Spec
+	Design Design
+	// IssueIntervalCycles is the minimum spacing between counter
+	// injections: 1 when pipelined, the loop length when multiplexed.
+	IssueIntervalCycles int
+	// Cost is the silicon cost at this design point.
+	Cost Cost
+}
+
+// PipelinedPoint wraps a Table II engine with its evaluated (pipelined)
+// cost.
+func PipelinedPoint(s Spec, c Cost) DesignPoint {
+	return DesignPoint{Spec: s, Design: Pipelined, IssueIntervalCycles: 1, Cost: c}
+}
+
+// TimeMultiplexedPoint derives the single-round-unit variant of an engine:
+// the pipeline registers collapse into one loop stage, shrinking the round
+// logic by ~the round count while keeping the fixed stages; the issue
+// interval grows to the full loop length.
+func TimeMultiplexedPoint(s Spec, pipelined Cost) DesignPoint {
+	const fixedStages = 3 // counter load, key add, output — not multiplexed
+	loop := s.CyclesPer64B - fixedStages
+	if loop < 1 {
+		loop = 1
+	}
+	// Round logic dominates area and dynamic power; fixed overhead ~20%.
+	scale := 1.0/float64(loop) + 0.2
+	if scale > 1 {
+		scale = 1
+	}
+	return DesignPoint{
+		Spec:                s,
+		Design:              TimeMultiplexed,
+		IssueIntervalCycles: loop,
+		Cost: Cost{
+			Name:        pipelined.Name + "-tm",
+			AreaMM2:     pipelined.AreaMM2 * scale,
+			StaticW:     pipelined.StaticW * scale,
+			DynamicFulW: pipelined.DynamicFulW * scale,
+		},
+	}
+}
+
+// ThroughputGBs returns the design point's peak keystream throughput.
+func (p DesignPoint) ThroughputGBs() float64 {
+	bytesPerIssue := 64.0 / float64(p.Spec.CountersPer64B)
+	issuesPerSec := p.Spec.FreqGHz / float64(p.IssueIntervalCycles) // G-issues/s
+	return bytesPerIssue * issuesPerSec
+}
+
+// SustainsBandwidth reports whether the design point's keystream throughput
+// covers a memory channel's peak bandwidth.
+func (p DesignPoint) SustainsBandwidth(t dram.Timing) bool {
+	return p.ThroughputGBs() >= t.PeakBandwidthGBs()
+}
+
+// MaxPipelineDelayNs: latency is unchanged by multiplexing (the block still
+// passes every stage once).
+func (p DesignPoint) MaxPipelineDelayNs() float64 { return p.Spec.MaxPipelineDelayNs() }
+
+// DesignSpace enumerates the paper's evaluated pipelined engines together
+// with their time-multiplexed siblings for AES-128 and ChaCha8 (the two
+// recommended ciphers).
+func DesignSpace() []DesignPoint {
+	return []DesignPoint{
+		PipelinedPoint(AESEngine(aes.AES128), AES128Cost),
+		TimeMultiplexedPoint(AESEngine(aes.AES128), AES128Cost),
+		PipelinedPoint(ChaChaEngine(8), ChaCha8Cost),
+		TimeMultiplexedPoint(ChaChaEngine(8), ChaCha8Cost),
+	}
+}
+
+// MobileRecommendation picks the cheapest design point that still hides its
+// pipeline latency under the platform's DRAM access and sustains the given
+// fraction of channel bandwidth — the paper's mobile trade-off made
+// concrete. Returns false if nothing qualifies.
+func MobileRecommendation(t dram.Timing, bandwidthFraction float64) (DesignPoint, bool) {
+	var best DesignPoint
+	found := false
+	for _, p := range DesignSpace() {
+		if p.MaxPipelineDelayNs() > t.CASLatency {
+			continue
+		}
+		if p.ThroughputGBs() < bandwidthFraction*t.PeakBandwidthGBs() {
+			continue
+		}
+		if !found || p.Cost.PowerW(1) < best.Cost.PowerW(1) {
+			best = p
+			found = true
+		}
+	}
+	return best, found
+}

@@ -1,0 +1,115 @@
+package engine
+
+import (
+	"testing"
+
+	"coldboot/internal/aes"
+	"coldboot/internal/chacha"
+	"coldboot/internal/dram"
+)
+
+func TestTimeMultiplexedTradeoff(t *testing.T) {
+	// §IV-B: multiplexing a single round unit lowers power and area but
+	// also throughput; latency is unchanged.
+	pip := PipelinedPoint(AESEngine(aes.AES128), AES128Cost)
+	tm := TimeMultiplexedPoint(AESEngine(aes.AES128), AES128Cost)
+	if tm.Cost.AreaMM2 >= pip.Cost.AreaMM2 {
+		t.Error("multiplexed design not smaller")
+	}
+	if tm.Cost.PowerW(1) >= pip.Cost.PowerW(1) {
+		t.Error("multiplexed design not lower power")
+	}
+	if tm.ThroughputGBs() >= pip.ThroughputGBs() {
+		t.Error("multiplexed design not slower")
+	}
+	if tm.MaxPipelineDelayNs() != pip.MaxPipelineDelayNs() {
+		t.Error("multiplexing changed latency; it only changes issue rate")
+	}
+}
+
+func TestPipelinedDesignsSustainDDR4(t *testing.T) {
+	// The paper's evaluated engines keep up with the full DDR4-2400 bus.
+	for _, p := range DesignSpace() {
+		if p.Design == Pipelined && !p.SustainsBandwidth(dram.DDR4_2400) {
+			t.Errorf("%s pipelined cannot sustain DDR4-2400", p.Spec.Name)
+		}
+	}
+}
+
+func TestTimeMultiplexedCannotSustainPeak(t *testing.T) {
+	// The trade-off is real: the cheap designs cannot feed a saturated
+	// channel...
+	tmAES := TimeMultiplexedPoint(AESEngine(aes.AES128), AES128Cost)
+	if tmAES.SustainsBandwidth(dram.DDR4_2400) {
+		t.Error("time-multiplexed AES-128 claims to sustain peak bandwidth")
+	}
+	// ...but comfortably cover the ~15% utilization the paper cites for
+	// data-intensive mobile workloads (Ferdman et al.).
+	if tmAES.ThroughputGBs() < 0.15*dram.DDR4_2400.PeakBandwidthGBs() {
+		t.Error("time-multiplexed AES-128 cannot even cover mobile workloads")
+	}
+}
+
+func TestMobileRecommendation(t *testing.T) {
+	// At mobile utilization, the recommendation is a time-multiplexed
+	// (low-power) design that still hides under the CAS latency.
+	p, ok := MobileRecommendation(dram.DDR4_2400, 0.15)
+	if !ok {
+		t.Fatal("no mobile design point qualifies")
+	}
+	if p.Design != TimeMultiplexed {
+		t.Errorf("mobile recommendation is %v; expected the low-power design", p.Design)
+	}
+	if p.MaxPipelineDelayNs() > dram.DDR4_2400.CASLatency {
+		t.Error("recommended design does not hide under the CAS latency")
+	}
+	// At full bandwidth the recommendation must fall back to a pipelined
+	// design.
+	full, ok := MobileRecommendation(dram.DDR4_2400, 1.0)
+	if !ok {
+		t.Fatal("no full-bandwidth design qualifies")
+	}
+	if full.Design != Pipelined {
+		t.Errorf("full-bandwidth recommendation is %v", full.Design)
+	}
+}
+
+func TestMobileRecommendationPowerSaving(t *testing.T) {
+	mobile, _ := MobileRecommendation(dram.DDR4_2400, 0.15)
+	full, _ := MobileRecommendation(dram.DDR4_2400, 1.0)
+	if mobile.Cost.PowerW(1) >= full.Cost.PowerW(1) {
+		t.Error("mobile design saves no power over the full-bandwidth design")
+	}
+	// On the Atom platform the saving is the difference between ~17% and
+	// a few percent of TDP.
+	atom := Platforms[0]
+	mobilePct := 100 * mobile.Cost.PowerW(0.15) / atom.TDPWatts
+	if mobilePct > 3 {
+		t.Errorf("mobile design costs %.1f%% of Atom TDP; expected < 3%%", mobilePct)
+	}
+}
+
+func TestDesignSpaceComplete(t *testing.T) {
+	ds := DesignSpace()
+	if len(ds) != 4 {
+		t.Fatalf("design space has %d points", len(ds))
+	}
+	seen := map[string]bool{}
+	for _, p := range ds {
+		seen[p.Spec.Name+"/"+p.Design.String()] = true
+		if p.IssueIntervalCycles < 1 {
+			t.Errorf("%s: issue interval %d", p.Spec.Name, p.IssueIntervalCycles)
+		}
+	}
+	if !seen["AES-128/pipelined"] || !seen["ChaCha8/time-multiplexed"] {
+		t.Error("expected design points missing")
+	}
+}
+
+func TestChaChaTimeMultiplexedLoop(t *testing.T) {
+	tm := TimeMultiplexedPoint(ChaChaEngine(chacha.Rounds8), ChaCha8Cost)
+	// 18 cycles total, 3 fixed: 15-cycle loop.
+	if tm.IssueIntervalCycles != 15 {
+		t.Errorf("ChaCha8 TM loop = %d cycles, want 15", tm.IssueIntervalCycles)
+	}
+}

@@ -1,0 +1,204 @@
+package engine
+
+import (
+	"bytes"
+	"testing"
+
+	"coldboot/internal/aes"
+	"coldboot/internal/bitutil"
+	"coldboot/internal/chacha"
+	"coldboot/internal/core"
+	"coldboot/internal/scramble"
+	"coldboot/internal/workload"
+)
+
+func encryptedScramblers() []scramble.Scrambler {
+	return []scramble.Scrambler{
+		NewAESCTRScrambler(aes.AES128, 7),
+		NewAESCTRScrambler(aes.AES256, 7),
+		NewChaChaScrambler(chacha.Rounds8, 7),
+		NewChaChaScrambler(chacha.Rounds20, 7),
+	}
+}
+
+func TestEncryptedScramblersRoundTrip(t *testing.T) {
+	data := make([]byte, 4096)
+	for i := range data {
+		data[i] = byte(i * 3)
+	}
+	for _, s := range encryptedScramblers() {
+		enc := make([]byte, len(data))
+		s.Scramble(enc, data, 1<<16)
+		if bytes.Equal(enc, data) {
+			t.Errorf("%s: identity encryption", s.Name())
+		}
+		dec := make([]byte, len(data))
+		s.Descramble(dec, enc, 1<<16)
+		if !bytes.Equal(dec, data) {
+			t.Errorf("%s: round trip failed", s.Name())
+		}
+	}
+}
+
+func TestEncryptedKeystreamUniquePerBlock(t *testing.T) {
+	// Unlike the 4096-key LFSR scrambler, every block gets its own
+	// keystream: identical plaintext blocks produce unrelated ciphertext,
+	// leaving zero correlations (the Figure 3 problem solved).
+	for _, s := range encryptedScramblers() {
+		seen := make(map[string]bool)
+		for off := uint64(0); off < 1<<20; off += 64 {
+			k := string(s.KeyAt(off))
+			if seen[k] {
+				t.Fatalf("%s: keystream repeats within 1 MB", s.Name())
+			}
+			seen[k] = true
+		}
+	}
+}
+
+func TestEncryptedKeyAtMatchesScramble(t *testing.T) {
+	for _, s := range encryptedScramblers() {
+		zeros := make([]byte, 64)
+		out := make([]byte, 64)
+		s.Scramble(out, zeros, 128)
+		if !bytes.Equal(out, s.KeyAt(128)) {
+			t.Errorf("%s: KeyAt disagrees with Scramble-of-zeros", s.Name())
+		}
+	}
+}
+
+func TestEncryptedReseedChangesEverything(t *testing.T) {
+	s := NewChaChaScrambler(chacha.Rounds8, 1)
+	k1 := s.KeyAt(0)
+	s.Reseed(2)
+	if bytes.Equal(k1, s.KeyAt(0)) {
+		t.Error("reseed did not change the keystream")
+	}
+	if s.Seed() != 2 {
+		t.Error("seed not recorded")
+	}
+}
+
+func TestEncryptedOutputLooksRandom(t *testing.T) {
+	// The cipher engines also satisfy the original electrical purpose.
+	s := NewChaChaScrambler(chacha.Rounds8, 3)
+	zeros := make([]byte, 1<<16)
+	out := make([]byte, len(zeros))
+	s.Scramble(out, zeros, 0)
+	if f := bitutil.OnesFraction(out); f < 0.49 || f > 0.51 {
+		t.Errorf("ones fraction %f", f)
+	}
+	if e := bitutil.Entropy(out); e < 7.9 {
+		t.Errorf("entropy %f", e)
+	}
+}
+
+func TestColdBootAttackFailsAgainstEncryptedMemory(t *testing.T) {
+	// The negative control that proves the defense: run the full DDR4
+	// attack machinery against ChaCha8-encrypted memory containing a real
+	// AES key schedule. The miner finds (essentially) nothing — there is
+	// no key reuse and the keystream satisfies no litmus invariants — and
+	// no master key is recovered.
+	plain := make([]byte, 1<<20)
+	workload.Fill(plain, 5, workload.LightSystem)
+	master := make([]byte, 32)
+	for i := range master {
+		master[i] = byte(i * 7)
+	}
+	copy(plain[300000:], aes.ExpandKeyBytes(master))
+	s := NewChaChaScrambler(chacha.Rounds8, 99)
+	dump := make([]byte, len(plain))
+	s.Scramble(dump, plain, 0)
+
+	res, err := core.Attack(dump, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Keys) != 0 {
+		t.Fatalf("attack recovered %d keys from encrypted memory", len(res.Keys))
+	}
+	// The litmus miner's yield collapses: with no structured keystream,
+	// passing blocks are chance events.
+	if res.Mine.BlocksPassed > res.Mine.BlocksScanned/1000 {
+		t.Errorf("litmus passed %d/%d blocks on encrypted memory",
+			res.Mine.BlocksPassed, res.Mine.BlocksScanned)
+	}
+}
+
+func TestEncryptedScramblerNames(t *testing.T) {
+	if got := NewChaChaScrambler(8, 1).Name(); got != "enc-ChaCha08" {
+		t.Errorf("name = %q", got)
+	}
+	if got := NewAESCTRScrambler(aes.AES128, 1).Name(); got != "enc-AES-128" {
+		t.Errorf("name = %q", got)
+	}
+}
+
+func TestFactories(t *testing.T) {
+	if AESCTRFactory(aes.AES128)(5).Seed() != 5 {
+		t.Error("AES factory seed wrong")
+	}
+	if ChaChaFactory(8)(6).Seed() != 6 {
+		t.Error("ChaCha factory seed wrong")
+	}
+}
+
+func BenchmarkChaCha8Scramble64B(b *testing.B) {
+	s := NewChaChaScrambler(chacha.Rounds8, 1)
+	buf := make([]byte, 64)
+	b.SetBytes(64)
+	for i := 0; i < b.N; i++ {
+		s.Scramble(buf, buf, uint64(i%1024)*64)
+	}
+}
+
+func BenchmarkAESCTRScramble64B(b *testing.B) {
+	s := NewAESCTRScrambler(aes.AES128, 1)
+	buf := make([]byte, 64)
+	b.SetBytes(64)
+	for i := 0; i < b.N; i++ {
+		s.Scramble(buf, buf, uint64(i%1024)*64)
+	}
+}
+
+func TestFixedNonceBusSnoopingWeakness(t *testing.T) {
+	// The paper's stated limitation (§IV-B threat model): the per-address
+	// nonce/counter is FIXED across writes, so an attacker snooping the
+	// bus sees two writes to the same address encrypted with the SAME
+	// keystream — their ciphertext XOR equals the plaintext XOR, and a
+	// recorded ciphertext can be replayed undetected. Cold boot is closed;
+	// bus snooping and replay are not (that is what SGX's counters and
+	// MACs buy, at the performance cost the paper is avoiding).
+	s := NewChaChaScrambler(chacha.Rounds8, 123)
+	p1 := bytes.Repeat([]byte("first secret at this address! "), 3)[:64]
+	p2 := bytes.Repeat([]byte("second secret, same address! "), 3)[:64]
+	c1 := make([]byte, 64)
+	c2 := make([]byte, 64)
+	s.Scramble(c1, p1, 0x1000)
+	s.Scramble(c2, p2, 0x1000)
+	for i := range c1 {
+		if c1[i]^c2[i] != p1[i]^p2[i] {
+			t.Fatal("keystream differed across writes; fixed-nonce model broken")
+		}
+	}
+	// Replay: the old ciphertext decrypts cleanly after being restored.
+	replay := make([]byte, 64)
+	s.Descramble(replay, c1, 0x1000)
+	if !bytes.Equal(replay, p1) {
+		t.Fatal("replayed ciphertext did not decrypt — replay should go undetected")
+	}
+}
+
+func TestDifferentAddressesNeverShareKeystream(t *testing.T) {
+	// ...but across ADDRESSES the keystream is unique, which is the cold
+	// boot guarantee (no ECB-style correlations in a memory snapshot).
+	s := NewAESCTRScrambler(aes.AES256, 123)
+	zero := make([]byte, 64)
+	a := make([]byte, 64)
+	b := make([]byte, 64)
+	s.Scramble(a, zero, 0)
+	s.Scramble(b, zero, 64)
+	if bytes.Equal(a, b) {
+		t.Fatal("adjacent addresses share keystream")
+	}
+}

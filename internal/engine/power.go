@@ -1,0 +1,91 @@
+package engine
+
+// Figure 7 power/area overhead model.
+//
+// The paper compares synthesized 45 nm cipher engines against four 45 nm
+// Intel CPUs (product-sheet die size and TDP), one engine per memory
+// channel, at full and at 20% DRAM bandwidth utilization. The engine cost
+// constants below are chosen to be consistent with every number the paper
+// states: area overheads about or below 1% everywhere, power below 3%
+// except the Atom N280 (up to ~17% at full utilization, under 6% at the
+// realistic 20% utilization of Ferdman et al.'s scale-out workloads).
+
+// Platform is one of the comparison CPUs (all 45 nm).
+type Platform struct {
+	Name     string
+	Class    string  // mobile / desktop / high-end desktop / server
+	DieMM2   float64 // die area from the product sheet
+	TDPWatts float64
+	Channels int // memory channels (one cipher engine each)
+}
+
+// Platforms lists Figure 7's four comparison CPUs.
+var Platforms = []Platform{
+	{Name: "Atom N280", Class: "mobile", DieMM2: 26, TDPWatts: 2.5, Channels: 1},
+	{Name: "Core i3-330M", Class: "desktop", DieMM2: 81, TDPWatts: 35, Channels: 2},
+	{Name: "Core i5-700", Class: "high-end desktop", DieMM2: 296, TDPWatts: 95, Channels: 2},
+	{Name: "Xeon W3520", Class: "server", DieMM2: 263, TDPWatts: 130, Channels: 3},
+}
+
+// Cost is a synthesized engine's silicon cost at 45 nm.
+type Cost struct {
+	Name        string
+	AreaMM2     float64
+	StaticW     float64 // leakage, utilization independent
+	DynamicFulW float64 // dynamic power at 100% channel utilization
+}
+
+// Engine cost constants (45 nm synthesis model).
+var (
+	AES128Cost  = Cost{Name: "AES-128", AreaMM2: 0.26, StaticW: 0.05, DynamicFulW: 0.38}
+	ChaCha8Cost = Cost{Name: "ChaCha8", AreaMM2: 0.33, StaticW: 0.04, DynamicFulW: 0.35}
+)
+
+// PowerW returns one engine's power draw at the given channel utilization
+// (dynamic power scales linearly with activity, as the paper scales its
+// 20%-utilization estimate).
+func (c Cost) PowerW(utilization float64) float64 {
+	if utilization < 0 {
+		utilization = 0
+	}
+	if utilization > 1 {
+		utilization = 1
+	}
+	return c.StaticW + utilization*c.DynamicFulW
+}
+
+// Overhead is one Figure 7 bar group.
+type Overhead struct {
+	Platform    Platform
+	Engine      Cost
+	Utilization float64
+	AreaPct     float64 // engine area (all channels) as % of die
+	PowerPct    float64 // engine power (all channels) as % of TDP
+}
+
+// ComputeOverhead evaluates one platform/engine/utilization combination,
+// with one engine instance per memory channel.
+func ComputeOverhead(p Platform, c Cost, utilization float64) Overhead {
+	n := float64(p.Channels)
+	return Overhead{
+		Platform:    p,
+		Engine:      c,
+		Utilization: utilization,
+		AreaPct:     100 * n * c.AreaMM2 / p.DieMM2,
+		PowerPct:    100 * n * c.PowerW(utilization) / p.TDPWatts,
+	}
+}
+
+// Figure7 computes the full figure: every platform x {AES-128, ChaCha8} x
+// {100%, 20%} utilization.
+func Figure7() []Overhead {
+	var out []Overhead
+	for _, p := range Platforms {
+		for _, c := range []Cost{AES128Cost, ChaCha8Cost} {
+			for _, u := range []float64{1.0, 0.2} {
+				out = append(out, ComputeOverhead(p, c, u))
+			}
+		}
+	}
+	return out
+}

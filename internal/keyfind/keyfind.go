@@ -1,0 +1,92 @@
+// Package keyfind implements the classic Halderman et al. ("Lest We
+// Remember") expanded-AES-key scan over UNSCRAMBLED memory images: slide a
+// window across the dump, treat each position as a candidate cipher key,
+// expand it, and compare the expansion against the bytes that follow. This
+// is the prior-art baseline the paper's Section III-C modifies — it
+// requires the memory image to be fully descrambled ahead of time, which is
+// exactly what DDR4 scrambling broke and the internal/core attack restores.
+package keyfind
+
+import (
+	"math/bits"
+
+	"coldboot/internal/aes"
+)
+
+// Finding is one located key schedule.
+type Finding struct {
+	Offset   int    // byte offset of the schedule (and master key) in the image
+	Master   []byte // the recovered master key
+	Distance int    // hamming distance between the expected and found schedule tail
+}
+
+// DefaultTolerance is the default bit-flip budget over the whole schedule
+// tail (the expanded bytes after the master key).
+const DefaultTolerance = 16
+
+// Scan searches image for in-memory AES key schedules of the given variant.
+// Every byte offset is tried, as in the original tool: real schedules are
+// at least word aligned, but memory images can have arbitrary framing.
+//
+// The first expansion word acts as a cheap filter: only offsets whose first
+// derived word matches within a small budget proceed to the full-schedule
+// comparison with the given tolerance.
+func Scan(image []byte, v aes.Variant, tolerance int) []Finding {
+	if tolerance <= 0 {
+		tolerance = DefaultTolerance
+	}
+	var out []Finding
+	keyBytes := v.KeyBytes()
+	schedBytes := v.ScheduleBytes()
+	nk := v.Nk()
+	for off := 0; off+schedBytes <= len(image); off++ {
+		window := image[off : off+keyBytes]
+		// Quick filter: derive schedule word nk from the candidate key and
+		// compare against the stored bytes, allowing a few flipped bits.
+		first := deriveWord(window, nk)
+		stored := beWord(image[off+keyBytes:])
+		if bits.OnesCount32(first^stored) > 4 {
+			continue
+		}
+		// Full check: expand and compare the whole tail.
+		sched := aes.ExpandKeyBytes(image[off : off+keyBytes])
+		d := 0
+		ok := true
+		for i := keyBytes; i < schedBytes; i++ {
+			d += bits.OnesCount8(sched[i] ^ image[off+i])
+			if d > tolerance {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, Finding{
+				Offset:   off,
+				Master:   append([]byte{}, image[off:off+keyBytes]...),
+				Distance: d,
+			})
+		}
+	}
+	return out
+}
+
+// deriveWord computes schedule word nk (the first derived word) from the
+// master key bytes.
+func deriveWord(key []byte, nk int) uint32 {
+	prev := beWord(key[4*(nk-1):])
+	w0 := beWord(key)
+	g := subWordRot(prev) ^ 0x01000000 // rcon(1)
+	return w0 ^ g
+}
+
+func beWord(b []byte) uint32 {
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}
+
+func subWordRot(w uint32) uint32 {
+	r := w<<8 | w>>24
+	return uint32(aes.SubByte(byte(r>>24)))<<24 |
+		uint32(aes.SubByte(byte(r>>16)))<<16 |
+		uint32(aes.SubByte(byte(r>>8)))<<8 |
+		uint32(aes.SubByte(byte(r)))
+}

@@ -1,0 +1,213 @@
+// Package lfsr implements linear feedback shift registers.
+//
+// Intel's VLSI-DAT 2011 publication discloses that the DDR scramblers in the
+// Westmere (and later) memory controllers generate their pseudo-random
+// scrambling streams with LFSRs seeded from boot-time entropy and portions of
+// the physical address bits. This package provides the two standard LFSR
+// constructions (Fibonacci and Galois) with configurable width and taps, plus
+// a table of maximal-length tap sets used by the scrambler models in
+// internal/scramble.
+//
+// An LFSR of width w cycles through at most 2^w - 1 nonzero states. The tap
+// sets in MaximalTaps are primitive polynomials, so they achieve exactly that
+// period.
+package lfsr
+
+import "fmt"
+
+// MaximalTaps maps register width to a tap mask for a maximal-length LFSR in
+// the right-shift Galois convention: a polynomial term x^e sets mask bit e-1.
+// These are standard primitive polynomials (exponents in the comments).
+var MaximalTaps = map[int]uint64{
+	8:  0xB8,               // x^8 + x^6 + x^5 + x^4 + 1
+	12: 0xE08,              // x^12 + x^11 + x^10 + x^4 + 1
+	16: 0xD008,             // x^16 + x^15 + x^13 + x^4 + 1
+	23: 0x420000,           // x^23 + x^18 + 1
+	24: 0xE10000,           // x^24 + x^23 + x^22 + x^17 + 1
+	32: 0x80200003,         // x^32 + x^22 + x^2 + x^1 + 1
+	48: 0xC00000101000,     // x^48 + x^47 + x^21 + x^13 + 1
+	64: 0xD800000000000000, // x^64 + x^63 + x^61 + x^60 + 1
+}
+
+// FibonacciTaps converts a Galois-convention tap mask (see MaximalTaps) into
+// the equivalent Fibonacci-convention mask for the same polynomial: the two
+// conventions index taps from opposite ends of the register, so the mask is
+// bit-reversed within the register width.
+func FibonacciTaps(width int, galoisMask uint64) uint64 {
+	var m uint64
+	for i := 0; i < width; i++ {
+		if galoisMask&(1<<uint(i)) != 0 {
+			m |= 1 << uint(width-1-i)
+		}
+	}
+	return m
+}
+
+// Galois is a Galois-form LFSR. Galois form applies the feedback polynomial
+// to multiple bits per shift, which is how the hardware implementations the
+// paper discusses are typically built (single XOR level per shifted bit).
+type Galois struct {
+	state uint64
+	taps  uint64
+	mask  uint64
+	width int
+}
+
+// NewGalois returns a Galois LFSR of the given width (1..64) using taps.
+// A zero seed is the lock-up state for an LFSR, so it is mapped to the
+// all-ones state; hardware seeders do the same.
+func NewGalois(width int, taps, seed uint64) *Galois {
+	if width < 1 || width > 64 {
+		panic(fmt.Sprintf("lfsr: invalid width %d", width))
+	}
+	g := &Galois{taps: taps, width: width}
+	if width == 64 {
+		g.mask = ^uint64(0)
+	} else {
+		g.mask = (uint64(1) << uint(width)) - 1
+	}
+	g.Reseed(seed)
+	return g
+}
+
+// NewMaximal returns a Galois LFSR of the given width using the maximal
+// length taps from MaximalTaps. It panics if no tap set is known for width.
+func NewMaximal(width int, seed uint64) *Galois {
+	taps, ok := MaximalTaps[width]
+	if !ok {
+		panic(fmt.Sprintf("lfsr: no maximal tap set for width %d", width))
+	}
+	return NewGalois(width, taps, seed)
+}
+
+// Reseed resets the register state from seed, avoiding the zero lock-up state.
+func (g *Galois) Reseed(seed uint64) {
+	g.state = seed & g.mask
+	if g.state == 0 {
+		g.state = g.mask
+	}
+}
+
+// State returns the current register contents.
+func (g *Galois) State() uint64 { return g.state }
+
+// Width returns the register width in bits.
+func (g *Galois) Width() int { return g.width }
+
+// NextBit shifts the register once and returns the output bit (0 or 1).
+func (g *Galois) NextBit() uint64 {
+	out := g.state & 1
+	g.state >>= 1
+	if out == 1 {
+		g.state ^= g.taps
+	}
+	return out
+}
+
+// NextByte shifts the register eight times and returns the collected bits,
+// LSB first.
+func (g *Galois) NextByte() byte {
+	var b byte
+	for i := 0; i < 8; i++ {
+		b |= byte(g.NextBit()) << uint(i)
+	}
+	return b
+}
+
+// NextWord16 returns the next 16 output bits as a little-endian word.
+func (g *Galois) NextWord16() uint16 {
+	return uint16(g.NextByte()) | uint16(g.NextByte())<<8
+}
+
+// Fill writes len(dst) pseudo-random bytes into dst.
+func (g *Galois) Fill(dst []byte) {
+	for i := range dst {
+		dst[i] = g.NextByte()
+	}
+}
+
+// Fibonacci is a Fibonacci-form (external feedback) LFSR. The feedback bit is
+// the XOR of the tapped state bits and is shifted in at the top.
+type Fibonacci struct {
+	state uint64
+	taps  uint64
+	mask  uint64
+	width int
+}
+
+// NewFibonacci returns a Fibonacci LFSR of the given width using taps.
+func NewFibonacci(width int, taps, seed uint64) *Fibonacci {
+	if width < 1 || width > 64 {
+		panic(fmt.Sprintf("lfsr: invalid width %d", width))
+	}
+	f := &Fibonacci{taps: taps, width: width}
+	if width == 64 {
+		f.mask = ^uint64(0)
+	} else {
+		f.mask = (uint64(1) << uint(width)) - 1
+	}
+	f.Reseed(seed)
+	return f
+}
+
+// Reseed resets the register state from seed, avoiding the zero lock-up state.
+func (f *Fibonacci) Reseed(seed uint64) {
+	f.state = seed & f.mask
+	if f.state == 0 {
+		f.state = f.mask
+	}
+}
+
+// State returns the current register contents.
+func (f *Fibonacci) State() uint64 { return f.state }
+
+// NextBit shifts the register once and returns the output bit.
+func (f *Fibonacci) NextBit() uint64 {
+	out := f.state & 1
+	fb := parity(f.state & f.taps)
+	f.state >>= 1
+	f.state |= fb << uint(f.width-1)
+	f.state &= f.mask
+	return out
+}
+
+// NextByte shifts the register eight times and returns the collected bits,
+// LSB first.
+func (f *Fibonacci) NextByte() byte {
+	var b byte
+	for i := 0; i < 8; i++ {
+		b |= byte(f.NextBit()) << uint(i)
+	}
+	return b
+}
+
+// Fill writes len(dst) pseudo-random bytes into dst.
+func (f *Fibonacci) Fill(dst []byte) {
+	for i := range dst {
+		dst[i] = f.NextByte()
+	}
+}
+
+func parity(v uint64) uint64 {
+	v ^= v >> 32
+	v ^= v >> 16
+	v ^= v >> 8
+	v ^= v >> 4
+	v ^= v >> 2
+	v ^= v >> 1
+	return v & 1
+}
+
+// Period steps the LFSR from its current state until the state repeats or
+// limit steps have been taken, returning the number of steps. It is intended
+// for tests that verify maximal-length behaviour of small registers.
+func Period(step func() uint64, state func() uint64, limit int) int {
+	start := state()
+	for i := 1; i <= limit; i++ {
+		step()
+		if state() == start {
+			return i
+		}
+	}
+	return limit
+}

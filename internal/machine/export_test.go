@@ -1,0 +1,16 @@
+package machine
+
+import "coldboot/internal/dram"
+
+// Test helpers bridging to internal/dram without polluting the public API.
+
+func dramSpecWithWeak() dram.ModuleSpec {
+	spec := dram.DefaultDDR4Spec(1 << 20)
+	spec.WeakCellFraction = 0.01
+	return spec
+}
+
+// NewTestModule builds a raw module for physics-level tests.
+func NewTestModule(spec dram.ModuleSpec, seed int64) (*dram.Module, error) {
+	return dram.NewModule(spec, seed)
+}

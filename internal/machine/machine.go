@@ -1,0 +1,301 @@
+// Package machine assembles CPUs, memory controllers, and DRAM modules into
+// whole systems, and provides the physical operations a cold boot attack is
+// made of: booting with BIOS-chosen scrambler seeds, powering off, freezing
+// a DIMM with a gas duster, pulling it, carrying it to another machine
+// (while it decays), and dumping memory from bare metal.
+package machine
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"coldboot/internal/addrmap"
+	"coldboot/internal/dram"
+	"coldboot/internal/memctrl"
+)
+
+// CPUModel describes a processor from the paper's Table I.
+type CPUModel struct {
+	Name     string
+	Arch     addrmap.Microarch
+	Memory   dram.Standard
+	Launched string
+}
+
+// TableI lists the five machines whose scramblers the paper analyzed.
+var TableI = []CPUModel{
+	{Name: "i5-2540M", Arch: addrmap.SandyBridge, Memory: dram.DDR3, Launched: "Q1, 2011"},
+	{Name: "i5-2430M", Arch: addrmap.SandyBridge, Memory: dram.DDR3, Launched: "Q4, 2011"},
+	{Name: "i7-3540M", Arch: addrmap.IvyBridge, Memory: dram.DDR3, Launched: "Q1, 2013"},
+	{Name: "i5-6400", Arch: addrmap.Skylake, Memory: dram.DDR4, Launched: "Q3, 2015"},
+	{Name: "i5-6600K", Arch: addrmap.Skylake, Memory: dram.DDR4, Launched: "Q3, 2015"},
+}
+
+// CPUByName looks up a Table I processor.
+func CPUByName(name string) (CPUModel, bool) {
+	for _, c := range TableI {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return CPUModel{}, false
+}
+
+// SeedPolicy controls how the BIOS programs the scrambler seed at boot.
+type SeedPolicy int
+
+const (
+	// FreshSeedEachBoot is the correct behaviour: a new random seed per
+	// boot cycle.
+	FreshSeedEachBoot SeedPolicy = iota
+	// ReuseSeedAcrossBoots models the vendor BIOSes the paper found that
+	// do NOT reset the scrambler seed, so the same key set returns after
+	// reboot (§III-B, observation 2).
+	ReuseSeedAcrossBoots
+)
+
+// Config configures a machine build.
+type Config struct {
+	CPU        CPUModel
+	Channels   int
+	DIMMBytes  int // capacity per channel
+	SeedPolicy SeedPolicy
+	// ScramblerOn is the BIOS scrambler switch (default on; the paper's
+	// DDR4 motherboard exposes it).
+	ScramblerOn bool
+	// BIOSEntropy seeds the BIOS's boot-seed RNG so experiments are
+	// reproducible.
+	BIOSEntropy int64
+	// NewScrambler optionally overrides the stock scrambler (used by the
+	// encrypted-memory experiments). Nil selects the generation's stock
+	// part.
+	NewScrambler memctrl.ScramblerFactory
+	// ModuleSpec optionally overrides the DIMM model (e.g. an NVDIMM);
+	// its geometry is rescaled to DIMMBytes. Nil selects the default part
+	// for the CPU's memory standard.
+	ModuleSpec *dram.ModuleSpec
+}
+
+// Machine is one simulated computer.
+type Machine struct {
+	cfg      Config
+	ctrl     *memctrl.Controller
+	bios     *rand.Rand
+	lastSeed uint64
+	booted   bool
+	powered  bool
+	boots    int
+}
+
+// New builds a machine with factory-fresh DIMMs seated in every channel.
+func New(cfg Config) (*Machine, error) {
+	if cfg.Channels == 0 {
+		cfg.Channels = 1
+	}
+	if cfg.DIMMBytes == 0 {
+		cfg.DIMMBytes = 4 << 20
+	}
+	ctrl, err := memctrl.New(memctrl.Config{
+		Arch:             cfg.CPU.Arch,
+		Channels:         cfg.Channels,
+		ScramblerEnabled: cfg.ScramblerOn,
+		NewScrambler:     cfg.NewScrambler,
+	})
+	if err != nil {
+		return nil, err
+	}
+	m := &Machine{cfg: cfg, ctrl: ctrl, bios: rand.New(rand.NewSource(cfg.BIOSEntropy))}
+	for ch := 0; ch < cfg.Channels; ch++ {
+		var spec dram.ModuleSpec
+		switch {
+		case cfg.ModuleSpec != nil:
+			spec = *cfg.ModuleSpec
+			spec.Geometry = spec.Geometry.WithCapacity(cfg.DIMMBytes)
+		case cfg.CPU.Memory == dram.DDR3:
+			spec = dram.DefaultDDR3Spec(cfg.DIMMBytes)
+		default:
+			spec = dram.DefaultDDR4Spec(cfg.DIMMBytes)
+		}
+		mod, err := dram.NewModule(spec, cfg.BIOSEntropy*31+int64(ch))
+		if err != nil {
+			return nil, err
+		}
+		if err := ctrl.AttachDIMM(ch, mod); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// CPU returns the machine's processor model.
+func (m *Machine) CPU() CPUModel { return m.cfg.CPU }
+
+// Controller exposes the memory controller.
+func (m *Machine) Controller() *memctrl.Controller { return m.ctrl }
+
+// Boot powers the machine (and its DIMMs) on and programs the scrambler
+// seed per the BIOS seed policy. DRAM contents survive a warm reboot.
+func (m *Machine) Boot() error {
+	for ch := 0; ch < m.cfg.Channels; ch++ {
+		if d := m.ctrl.DIMM(ch); d != nil {
+			d.PowerOn()
+		}
+	}
+	var seed uint64
+	if m.cfg.SeedPolicy == ReuseSeedAcrossBoots && m.boots > 0 {
+		seed = m.lastSeed
+	} else {
+		seed = m.bios.Uint64()
+	}
+	if err := m.ctrl.Boot(seed); err != nil {
+		return err
+	}
+	m.lastSeed = seed
+	m.booted = true
+	m.powered = true
+	m.boots++
+	return nil
+}
+
+// Booted reports whether the machine has been booted.
+func (m *Machine) Booted() bool { return m.booted }
+
+// BootCount returns the number of completed boots.
+func (m *Machine) BootCount() int { return m.boots }
+
+// LastSeed returns the scrambler seed of the current boot.
+func (m *Machine) LastSeed() uint64 { return m.lastSeed }
+
+// Suspend puts the machine in S3 sleep: the CPU powers down but DRAM
+// keeps refreshing — which is exactly why the paper's §II-B notes that
+// disk-encryption keys remain exposed "if the machine is in sleep mode
+// while the attacker acquires it". Memory contents neither decay nor
+// change; a subsequent Resume (or a cold boot attack) finds them intact.
+func (m *Machine) Suspend() {
+	m.booted = false // no software runs...
+	// ...but DIMMs stay powered: refresh continues, no decay.
+}
+
+// Resume wakes a suspended machine without reseeding the scrambler (the
+// scrambler keys are preserved across S3, as on real hardware — memory
+// would be garbage otherwise).
+func (m *Machine) Resume() {
+	m.booted = true
+}
+
+// PowerOff cuts power: DIMMs stop refreshing and begin to decay.
+func (m *Machine) PowerOff() {
+	for ch := 0; ch < m.cfg.Channels; ch++ {
+		if d := m.ctrl.DIMM(ch); d != nil {
+			d.PowerOff()
+		}
+	}
+	m.powered = false
+	m.booted = false
+}
+
+// Powered reports whether the machine is running.
+func (m *Machine) Powered() bool { return m.powered }
+
+// Write stores data at physical address phys through the scrambler.
+func (m *Machine) Write(phys uint64, data []byte) error {
+	if !m.booted {
+		return fmt.Errorf("machine: write while off")
+	}
+	return m.ctrl.Write(phys, data)
+}
+
+// Read loads len(dst) bytes from physical address phys through the
+// descrambler.
+func (m *Machine) Read(phys uint64, dst []byte) error {
+	if !m.booted {
+		return fmt.Errorf("machine: read while off")
+	}
+	return m.ctrl.Read(phys, dst)
+}
+
+// Dump captures the whole physical address space through the descrambler —
+// the GRUB-module procedure: bare hardware, no OS, minimal pollution.
+func (m *Machine) Dump() ([]byte, error) {
+	if !m.booted {
+		return nil, fmt.Errorf("machine: dump while off")
+	}
+	return m.ctrl.Dump()
+}
+
+// MemSize returns the physical memory size in bytes.
+func (m *Machine) MemSize() int { return m.ctrl.MemSize() }
+
+// FreezeDIMMs sprays every DIMM down to tempC (the paper reached about
+// -25 C with an off-the-shelf gas duster).
+func (m *Machine) FreezeDIMMs(tempC float64) {
+	for ch := 0; ch < m.cfg.Channels; ch++ {
+		if d := m.ctrl.DIMM(ch); d != nil {
+			d.SetTemperature(tempC)
+		}
+	}
+}
+
+// RemoveDIMM pulls the module out of channel ch. The machine must be
+// powered off (pulling live DIMMs is not modeled).
+func (m *Machine) RemoveDIMM(ch int) (*dram.Module, error) {
+	if m.powered {
+		return nil, fmt.Errorf("machine: cannot remove DIMM while powered")
+	}
+	return m.ctrl.DetachDIMM(ch)
+}
+
+// InsertDIMM seats a module into channel ch. The machine must be off.
+func (m *Machine) InsertDIMM(ch int, d *dram.Module) error {
+	if m.powered {
+		return fmt.Errorf("machine: cannot insert DIMM while powered")
+	}
+	return m.ctrl.AttachDIMM(ch, d)
+}
+
+// EjectDIMMs powers the machine off and removes all modules — one call for
+// the "pull the frozen DIMMs" step.
+func (m *Machine) EjectDIMMs() ([]*dram.Module, error) {
+	m.PowerOff()
+	mods := make([]*dram.Module, m.cfg.Channels)
+	for ch := 0; ch < m.cfg.Channels; ch++ {
+		d, err := m.ctrl.DetachDIMM(ch)
+		if err != nil {
+			return nil, err
+		}
+		mods[ch] = d
+	}
+	return mods, nil
+}
+
+// RawWriteDevice writes unscrambled bytes directly into channel ch's
+// module at device offset off — the Xilinx VC709 FPGA path of the paper's
+// analysis framework, which bypasses the memory controller entirely.
+func (m *Machine) RawWriteDevice(ch int, off int, data []byte) error {
+	d := m.ctrl.DIMM(ch)
+	if d == nil {
+		return fmt.Errorf("machine: channel %d empty", ch)
+	}
+	d.Write(off, data)
+	return nil
+}
+
+// RawReadDevice reads raw (possibly scrambled) bits from channel ch's
+// module — the FPGA read path.
+func (m *Machine) RawReadDevice(ch int, off int, dst []byte) error {
+	d := m.ctrl.DIMM(ch)
+	if d == nil {
+		return fmt.Errorf("machine: channel %d empty", ch)
+	}
+	d.Read(off, dst)
+	return nil
+}
+
+// Transfer models carrying modules between machines for d wall-clock time:
+// each unpowered module decays at its current temperature.
+func Transfer(mods []*dram.Module, d time.Duration) {
+	for _, m := range mods {
+		m.Elapse(d)
+	}
+}

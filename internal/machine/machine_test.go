@@ -1,0 +1,278 @@
+package machine
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"coldboot/internal/addrmap"
+	"coldboot/internal/dram"
+)
+
+func skylakeMachine(t *testing.T, entropy int64) *Machine {
+	t.Helper()
+	cpu, _ := CPUByName("i5-6600K")
+	m, err := New(Config{CPU: cpu, Channels: 1, DIMMBytes: 1 << 20, ScramblerOn: true, BIOSEntropy: entropy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestTableI(t *testing.T) {
+	// Pin the paper's Table I: models, generations, memory standards.
+	if len(TableI) != 5 {
+		t.Fatalf("Table I has %d entries, want 5", len(TableI))
+	}
+	wants := []struct {
+		name   string
+		arch   addrmap.Microarch
+		mem    dram.Standard
+		launch string
+	}{
+		{"i5-2540M", addrmap.SandyBridge, dram.DDR3, "Q1, 2011"},
+		{"i5-2430M", addrmap.SandyBridge, dram.DDR3, "Q4, 2011"},
+		{"i7-3540M", addrmap.IvyBridge, dram.DDR3, "Q1, 2013"},
+		{"i5-6400", addrmap.Skylake, dram.DDR4, "Q3, 2015"},
+		{"i5-6600K", addrmap.Skylake, dram.DDR4, "Q3, 2015"},
+	}
+	for i, w := range wants {
+		got := TableI[i]
+		if got.Name != w.name || got.Arch != w.arch || got.Memory != w.mem || got.Launched != w.launch {
+			t.Errorf("Table I row %d = %+v, want %+v", i, got, w)
+		}
+	}
+}
+
+func TestCPUByName(t *testing.T) {
+	if _, ok := CPUByName("i5-6400"); !ok {
+		t.Error("i5-6400 not found")
+	}
+	if _, ok := CPUByName("i9-9999"); ok {
+		t.Error("phantom CPU found")
+	}
+}
+
+func TestBootAndMemoryAccess(t *testing.T) {
+	m := skylakeMachine(t, 1)
+	if err := m.Read(0, make([]byte, 4)); err == nil {
+		t.Error("read before boot succeeded")
+	}
+	if err := m.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("cold boot attacks are still hot")
+	if err := m.Write(4096, data); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if err := m.Read(4096, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("memory round trip failed")
+	}
+}
+
+func TestFreshSeedPolicyChangesSeeds(t *testing.T) {
+	m := skylakeMachine(t, 2)
+	m.Boot()
+	s1 := m.LastSeed()
+	m.Boot()
+	if m.LastSeed() == s1 {
+		t.Error("fresh-seed policy reused a seed")
+	}
+	if m.BootCount() != 2 {
+		t.Errorf("boot count = %d", m.BootCount())
+	}
+}
+
+func TestReuseSeedPolicyKeepsSeed(t *testing.T) {
+	cpu, _ := CPUByName("i5-6400")
+	m, err := New(Config{CPU: cpu, DIMMBytes: 1 << 20, ScramblerOn: true,
+		SeedPolicy: ReuseSeedAcrossBoots, BIOSEntropy: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Boot()
+	s1 := m.LastSeed()
+	m.Boot()
+	if m.LastSeed() != s1 {
+		t.Error("reuse-seed policy changed the seed")
+	}
+}
+
+func TestWarmRebootPreservesScrambledBits(t *testing.T) {
+	// Reboot reseeds the scrambler but leaves DRAM contents alone; the
+	// read-back is therefore garbled, not zeroed.
+	m := skylakeMachine(t, 4)
+	m.Boot()
+	data := make([]byte, 4096)
+	rand.New(rand.NewSource(1)).Read(data)
+	m.Write(0, data)
+	raw := make([]byte, 4096)
+	m.RawReadDevice(0, 0, raw)
+	m.Boot()
+	raw2 := make([]byte, 4096)
+	m.RawReadDevice(0, 0, raw2)
+	if !bytes.Equal(raw, raw2) {
+		t.Error("warm reboot altered DRAM device bits")
+	}
+	got := make([]byte, 4096)
+	m.Read(0, got)
+	if bytes.Equal(got, data) {
+		t.Error("reseeded read-back returned plaintext")
+	}
+}
+
+func TestPowerOffStartsDecay(t *testing.T) {
+	m := skylakeMachine(t, 5)
+	m.Boot()
+	data := make([]byte, m.MemSize())
+	rand.New(rand.NewSource(2)).Read(data)
+	m.Write(0, data)
+	snapshot := m.Controller().DIMM(0).Snapshot()
+	m.PowerOff()
+	if m.Powered() {
+		t.Fatal("still powered after PowerOff")
+	}
+	m.Controller().DIMM(0).Elapse(2 * time.Second)
+	after := m.Controller().DIMM(0).Snapshot()
+	if bytes.Equal(snapshot, after) {
+		t.Error("no decay after power-off at room temperature")
+	}
+}
+
+func TestFreezeSlowsDecay(t *testing.T) {
+	warm := skylakeMachine(t, 6)
+	cold := skylakeMachine(t, 6)
+	for _, m := range []*Machine{warm, cold} {
+		m.Boot()
+		data := make([]byte, m.MemSize())
+		rand.New(rand.NewSource(3)).Read(data)
+		m.Write(0, data)
+	}
+	cold.FreezeDIMMs(-25)
+	warm.PowerOff()
+	cold.PowerOff()
+	warm.Controller().DIMM(0).Elapse(5 * time.Second)
+	cold.Controller().DIMM(0).Elapse(5 * time.Second)
+	if cold.Controller().DIMM(0).DecayedBits() >= warm.Controller().DIMM(0).DecayedBits() {
+		t.Error("freezing did not slow decay")
+	}
+}
+
+func TestDIMMTransferBetweenMachines(t *testing.T) {
+	// The full physical procedure of Figure 2: freeze, power off, pull,
+	// carry, seat in another machine, boot, dump.
+	victim := skylakeMachine(t, 7)
+	victim.Boot()
+	secret := []byte("disk encryption key material....................................")
+	victim.Write(8192, secret)
+	victimMemSize := victim.MemSize()
+	victim.FreezeDIMMs(-25)
+	mods, err := victim.EjectDIMMs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	Transfer(mods, 5*time.Second)
+
+	attacker := skylakeMachine(t, 8)
+	// Attacker machine boots with its own DIMM first; swap in the victim's.
+	if _, err := attacker.Controller().DetachDIMM(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := attacker.InsertDIMM(0, mods[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := attacker.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	dump, err := attacker.Dump()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The secret is NOT directly visible: it is double-scrambled
+	// (victim keystream + attacker keystream).
+	if bytes.Contains(dump, secret) {
+		t.Error("secret visible in double-scrambled dump without descrambling")
+	}
+	if len(dump) != victimMemSize {
+		t.Errorf("dump size %d", len(dump))
+	}
+}
+
+func TestRemoveDIMMWhilePoweredFails(t *testing.T) {
+	m := skylakeMachine(t, 9)
+	m.Boot()
+	if _, err := m.RemoveDIMM(0); err == nil {
+		t.Error("hot-pull allowed")
+	}
+	if err := m.InsertDIMM(0, nil); err == nil {
+		t.Error("hot-insert allowed")
+	}
+}
+
+func TestRawDeviceAccessBypassesScrambler(t *testing.T) {
+	// The FPGA path: write raw zeros below the scrambler, then read them
+	// through the descrambler — yielding the keystream itself (the
+	// "reverse cold boot" of §III-A).
+	m := skylakeMachine(t, 10)
+	m.Boot()
+	zeros := make([]byte, 64)
+	if err := m.RawWriteDevice(0, 0, zeros); err != nil {
+		t.Fatal(err)
+	}
+	through := make([]byte, 64)
+	m.Read(0, through)
+	key := m.Controller().Scrambler(0).KeyAt(0)
+	if !bytes.Equal(through, key) {
+		t.Error("reading raw zeros through the descrambler did not reveal the key")
+	}
+}
+
+func TestRawAccessInvalidChannel(t *testing.T) {
+	m := skylakeMachine(t, 11)
+	if err := m.RawWriteDevice(3, 0, []byte{1}); err == nil {
+		t.Error("raw write to missing channel succeeded")
+	}
+	if err := m.RawReadDevice(3, 0, make([]byte, 1)); err == nil {
+		t.Error("raw read from missing channel succeeded")
+	}
+}
+
+func TestDDR3MachineUsesDDR3Scrambler(t *testing.T) {
+	cpu, _ := CPUByName("i5-2540M")
+	m, err := New(Config{CPU: cpu, DIMMBytes: 1 << 20, ScramblerOn: true, BIOSEntropy: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Boot()
+	if got := m.Controller().Scrambler(0).NumKeys(); got != 16 {
+		t.Errorf("DDR3 machine scrambler has %d keys, want 16", got)
+	}
+}
+
+func TestScramblerOffMachine(t *testing.T) {
+	cpu, _ := CPUByName("i5-6400")
+	m, err := New(Config{CPU: cpu, DIMMBytes: 1 << 20, ScramblerOn: false, BIOSEntropy: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Boot()
+	data := []byte("plaintext-on-the-bus----------------------------bytes==========")
+	m.Write(0, data)
+	raw := make([]byte, len(data))
+	m.RawReadDevice(0, 0, raw)
+	if !bytes.Equal(raw, data) {
+		t.Error("scrambler-off machine stored non-plaintext")
+	}
+}
+
+func TestDumpWhileOffFails(t *testing.T) {
+	m := skylakeMachine(t, 14)
+	if _, err := m.Dump(); err == nil {
+		t.Error("dump while off succeeded")
+	}
+}

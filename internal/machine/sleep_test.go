@@ -1,0 +1,83 @@
+package machine
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestSuspendKeepsMemoryAlive(t *testing.T) {
+	// §II-B: a machine in S3 sleep keeps refreshing DRAM — the mounted
+	// volume's key schedules remain intact for however long the attacker
+	// needs, with no freezing at all.
+	cpu, _ := CPUByName("i5-6600K")
+	m, err := New(Config{CPU: cpu, DIMMBytes: 1 << 20, ScramblerOn: true, BIOSEntropy: 70})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Boot()
+	secret := make([]byte, 4096)
+	rand.New(rand.NewSource(1)).Read(secret)
+	m.Write(0, secret)
+	seed := m.LastSeed()
+
+	m.Suspend()
+	if err := m.Read(0, make([]byte, 4)); err == nil {
+		t.Error("reads succeed while suspended")
+	}
+	m.Controller().DIMM(0).Elapse(24 * time.Hour) // powered: no decay
+	m.Resume()
+	if m.LastSeed() != seed {
+		t.Error("resume reseeded the scrambler")
+	}
+	got := make([]byte, 4096)
+	if err := m.Read(0, got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != secret[i] {
+			t.Fatal("memory contents changed across a day of sleep")
+		}
+	}
+}
+
+func TestWeakCellsDecayFirst(t *testing.T) {
+	// Halderman's observation: early decay concentrates in the weak-cell
+	// population.
+	spec := dramSpecWithWeak()
+	m, err := NewTestModule(spec, 71)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, m.Size())
+	rand.New(rand.NewSource(2)).Read(data)
+	m.Write(0, data)
+	m.SetTemperature(-25)
+	m.PowerOff()
+	m.Elapse(2 * time.Second)
+	// Count decayed bits inside vs outside the weak population.
+	weakFlips, strongFlips, weakBits := 0, 0, 0
+	after := m.Snapshot()
+	for bit := 0; bit < len(data)*8; bit++ {
+		isWeak := m.IsWeak(bit)
+		if isWeak {
+			weakBits++
+		}
+		if (data[bit/8]^after[bit/8])&(1<<uint(bit%8)) != 0 {
+			if isWeak {
+				weakFlips++
+			} else {
+				strongFlips++
+			}
+		}
+	}
+	if weakBits == 0 || weakFlips == 0 {
+		t.Fatal("no weak-cell decay observed")
+	}
+	weakRate := float64(weakFlips) / float64(weakBits)
+	strongRate := float64(strongFlips) / float64(len(data)*8-weakBits)
+	if weakRate < 3*strongRate {
+		t.Errorf("weak cells decay at %.4f vs strong %.4f; expected a clear separation",
+			weakRate, strongRate)
+	}
+}

@@ -1,0 +1,237 @@
+// Package memctrl models the integrated memory controller: the component
+// that routes physical addresses to channels/DIMMs and passes all data
+// through the scrambler (or a strong-cipher replacement) on its way to and
+// from the DRAM bus.
+//
+// The controller is the trust boundary of the whole attack: software —
+// even the bare-metal GRUB dump module — only ever sees data AFTER the
+// descrambler, while the DRAM device stores the raw scrambled bits. Moving
+// a DIMM moves those raw bits to whatever controller reads them next.
+package memctrl
+
+import (
+	"fmt"
+
+	"coldboot/internal/addrmap"
+	"coldboot/internal/dram"
+	"coldboot/internal/scramble"
+)
+
+// ScramblerFactory builds a per-channel scrambler for a boot seed. The
+// factory abstraction is what lets internal/engine drop a ChaCha8 or
+// AES-CTR engine into the same socket the LFSR scrambler occupies.
+type ScramblerFactory func(seed uint64) scramble.Scrambler
+
+// Config describes a controller.
+type Config struct {
+	Arch     addrmap.Microarch
+	Channels int
+	// NewScrambler builds each channel's scrambler at boot; nil selects the
+	// generation's stock scrambler (DDR3 LFSR for SandyBridge/IvyBridge,
+	// Skylake DDR4 otherwise).
+	NewScrambler ScramblerFactory
+	// ScramblerEnabled mirrors the BIOS knob the paper's analysis
+	// framework relies on; when false all channels run scramble.None.
+	ScramblerEnabled bool
+}
+
+// Controller is a simulated integrated memory controller.
+type Controller struct {
+	cfg        Config
+	mapping    addrmap.Mapping
+	scramblers []scramble.Scrambler
+	dimms      []*dram.Module
+	seed       uint64
+	booted     bool
+}
+
+// New builds a controller with empty DIMM slots (one per channel).
+func New(cfg Config) (*Controller, error) {
+	m, err := addrmap.New(cfg.Arch, cfg.Channels)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.NewScrambler == nil {
+		cfg.NewScrambler = StockScrambler(cfg.Arch)
+	}
+	return &Controller{
+		cfg:        cfg,
+		mapping:    m,
+		scramblers: make([]scramble.Scrambler, cfg.Channels),
+		dimms:      make([]*dram.Module, cfg.Channels),
+	}, nil
+}
+
+// StockScrambler returns the factory for the generation's production
+// scrambler.
+func StockScrambler(arch addrmap.Microarch) ScramblerFactory {
+	switch arch {
+	case addrmap.SandyBridge, addrmap.IvyBridge:
+		return func(seed uint64) scramble.Scrambler { return scramble.NewDDR3(seed) }
+	default:
+		return func(seed uint64) scramble.Scrambler { return scramble.NewSkylakeDDR4(seed) }
+	}
+}
+
+// Mapping returns the controller's address mapping.
+func (c *Controller) Mapping() addrmap.Mapping { return c.mapping }
+
+// Channels returns the channel count.
+func (c *Controller) Channels() int { return c.cfg.Channels }
+
+// ScramblerEnabled reports whether scrambling is active.
+func (c *Controller) ScramblerEnabled() bool { return c.cfg.ScramblerEnabled }
+
+// SetScramblerEnabled flips the BIOS scrambler knob. Takes effect at the
+// next Boot.
+func (c *Controller) SetScramblerEnabled(on bool) { c.cfg.ScramblerEnabled = on }
+
+// AttachDIMM seats a module in channel ch. All channels must hold
+// equal-size modules before the controller can serve accesses.
+func (c *Controller) AttachDIMM(ch int, m *dram.Module) error {
+	if ch < 0 || ch >= c.cfg.Channels {
+		return fmt.Errorf("memctrl: no channel %d", ch)
+	}
+	if c.dimms[ch] != nil {
+		return fmt.Errorf("memctrl: channel %d already populated", ch)
+	}
+	c.dimms[ch] = m
+	return nil
+}
+
+// DetachDIMM removes and returns the module in channel ch.
+func (c *Controller) DetachDIMM(ch int) (*dram.Module, error) {
+	if ch < 0 || ch >= c.cfg.Channels {
+		return nil, fmt.Errorf("memctrl: no channel %d", ch)
+	}
+	m := c.dimms[ch]
+	if m == nil {
+		return nil, fmt.Errorf("memctrl: channel %d empty", ch)
+	}
+	c.dimms[ch] = nil
+	return m, nil
+}
+
+// DIMM returns the module in channel ch (nil if empty).
+func (c *Controller) DIMM(ch int) *dram.Module {
+	if ch < 0 || ch >= c.cfg.Channels {
+		return nil
+	}
+	return c.dimms[ch]
+}
+
+// Boot initializes the scramblers with the given boot seed (chosen by the
+// BIOS). Memory contents are untouched: a reboot changes the keystream,
+// not the stored bits — the effect Figures 3c/3e visualize.
+func (c *Controller) Boot(seed uint64) error {
+	size := -1
+	for ch, m := range c.dimms {
+		if m == nil {
+			return fmt.Errorf("memctrl: channel %d unpopulated at boot", ch)
+		}
+		if size == -1 {
+			size = m.Size()
+		} else if m.Size() != size {
+			return fmt.Errorf("memctrl: mismatched DIMM sizes")
+		}
+	}
+	c.seed = seed
+	for ch := range c.scramblers {
+		if c.cfg.ScramblerEnabled {
+			c.scramblers[ch] = c.cfg.NewScrambler(seed + uint64(ch))
+		} else {
+			c.scramblers[ch] = scramble.None{}
+		}
+	}
+	c.booted = true
+	return nil
+}
+
+// Seed returns the boot seed currently programmed into the scramblers.
+func (c *Controller) Seed() uint64 { return c.seed }
+
+// Scrambler returns channel ch's active scrambler (nil before boot).
+func (c *Controller) Scrambler(ch int) scramble.Scrambler {
+	if ch < 0 || ch >= len(c.scramblers) {
+		return nil
+	}
+	return c.scramblers[ch]
+}
+
+// MemSize returns the size of the physical address space in bytes.
+func (c *Controller) MemSize() int {
+	total := 0
+	for _, m := range c.dimms {
+		if m == nil {
+			return 0
+		}
+		total += m.Size()
+	}
+	return total
+}
+
+const blockBytes = scramble.BlockBytes
+
+// Read copies len(dst) bytes of physical memory starting at phys into dst,
+// descrambling each 64-byte block with its channel's keystream.
+func (c *Controller) Read(phys uint64, dst []byte) error {
+	return c.access(phys, dst, nil)
+}
+
+// Write stores src at physical address phys, scrambling on the way out.
+// Partial-block writes are handled read-modify-write, as a real controller
+// handles sub-burst stores via its caches.
+func (c *Controller) Write(phys uint64, src []byte) error {
+	return c.access(phys, nil, src)
+}
+
+// access implements Read (dst != nil) and Write (src != nil) over arbitrary
+// byte ranges by walking the covered 64-byte blocks.
+func (c *Controller) access(phys uint64, dst, src []byte) error {
+	if !c.booted {
+		return fmt.Errorf("memctrl: access before boot")
+	}
+	n := len(dst) + len(src) // exactly one is non-nil
+	if uint64(n) == 0 {
+		return nil
+	}
+	if phys+uint64(n) > uint64(c.MemSize()) {
+		return fmt.Errorf("memctrl: access [%#x,%#x) beyond memory size %#x", phys, phys+uint64(n), c.MemSize())
+	}
+	var block [blockBytes]byte
+	pos := 0
+	for pos < n {
+		addr := phys + uint64(pos)
+		blockStart := addr &^ (blockBytes - 1)
+		inOff := int(addr - blockStart)
+		chunk := blockBytes - inOff
+		if chunk > n-pos {
+			chunk = n - pos
+		}
+		loc := c.mapping.Translate(blockStart)
+		mod := c.dimms[loc.Channel]
+		scr := c.scramblers[loc.Channel]
+		mod.Read(int(loc.DeviceOff), block[:])
+		scr.Descramble(block[:], block[:], loc.DeviceOff)
+		if dst != nil {
+			copy(dst[pos:pos+chunk], block[inOff:inOff+chunk])
+		} else {
+			copy(block[inOff:inOff+chunk], src[pos:pos+chunk])
+			scr.Scramble(block[:], block[:], loc.DeviceOff)
+			mod.Write(int(loc.DeviceOff), block[:])
+		}
+		pos += chunk
+	}
+	return nil
+}
+
+// Dump reads the entire physical address space through the descrambler —
+// the simulated equivalent of the paper's bare-metal GRUB dump module,
+// which runs with no OS underneath and sees all of DRAM.
+func (c *Controller) Dump() ([]byte, error) {
+	out := make([]byte, c.MemSize())
+	if err := c.Read(0, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,289 @@
+package memctrl
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"coldboot/internal/addrmap"
+	"coldboot/internal/dram"
+	"coldboot/internal/scramble"
+)
+
+func newBooted(t *testing.T, arch addrmap.Microarch, channels int, scrambled bool, seed uint64) *Controller {
+	t.Helper()
+	c, err := New(Config{Arch: arch, Channels: channels, ScramblerEnabled: scrambled})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ch := 0; ch < channels; ch++ {
+		m, err := dram.NewModule(dram.DefaultDDR4Spec(1<<20), int64(ch+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.AttachDIMM(ch, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Boot(seed); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	for _, channels := range []int{1, 2} {
+		c := newBooted(t, addrmap.Skylake, channels, true, 42)
+		rng := rand.New(rand.NewSource(1))
+		for trial := 0; trial < 50; trial++ {
+			n := 1 + rng.Intn(500)
+			phys := uint64(rng.Intn(c.MemSize() - n))
+			data := make([]byte, n)
+			rng.Read(data)
+			if err := c.Write(phys, data); err != nil {
+				t.Fatal(err)
+			}
+			got := make([]byte, n)
+			if err := c.Read(phys, got); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatalf("%dch round trip failed at %#x len %d", channels, phys, n)
+			}
+		}
+	}
+}
+
+func TestDeviceStoresScrambledBits(t *testing.T) {
+	c := newBooted(t, addrmap.Skylake, 1, true, 7)
+	data := bytes.Repeat([]byte{0xAB}, 64)
+	if err := c.Write(0, data); err != nil {
+		t.Fatal(err)
+	}
+	raw := make([]byte, 64)
+	c.DIMM(0).Read(0, raw)
+	if bytes.Equal(raw, data) {
+		t.Error("device holds plaintext despite scrambler on")
+	}
+	// And the stored bits are data XOR key.
+	key := c.Scrambler(0).KeyAt(0)
+	for i := range raw {
+		if raw[i] != data[i]^key[i] {
+			t.Fatalf("stored byte %d is not data^key", i)
+		}
+	}
+}
+
+func TestScramblerDisabledStoresPlaintext(t *testing.T) {
+	c := newBooted(t, addrmap.Skylake, 1, false, 7)
+	data := bytes.Repeat([]byte{0xCD}, 128)
+	if err := c.Write(64, data); err != nil {
+		t.Fatal(err)
+	}
+	loc := c.Mapping().Translate(64)
+	raw := make([]byte, 128)
+	c.DIMM(loc.Channel).Read(int(loc.DeviceOff), raw[:64])
+	if !bytes.Equal(raw[:64], data[:64]) {
+		t.Error("scrambler-off device bits differ from plaintext")
+	}
+}
+
+func TestRebootNewSeedGarblesReadback(t *testing.T) {
+	// Reading old data through a reseeded scrambler yields
+	// data ^ K_old ^ K_new — garbage, but structured garbage.
+	c := newBooted(t, addrmap.Skylake, 1, true, 100)
+	data := make([]byte, 4096)
+	rand.New(rand.NewSource(2)).Read(data)
+	if err := c.Write(0, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Boot(200); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if err := c.Read(0, got); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(got, data) {
+		t.Error("reseeded read-back returned original data")
+	}
+}
+
+func TestRebootSameSeedPreservesData(t *testing.T) {
+	// The vendor-BIOS seed-reuse case from §III-B: same seed, same keys,
+	// warm-rebooted DRAM reads back intact.
+	c := newBooted(t, addrmap.Skylake, 1, true, 100)
+	data := make([]byte, 4096)
+	rand.New(rand.NewSource(3)).Read(data)
+	if err := c.Write(0, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Boot(100); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if err := c.Read(0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("same-seed reboot lost data")
+	}
+}
+
+func TestDumpCoversWholeMemory(t *testing.T) {
+	c := newBooted(t, addrmap.Skylake, 2, true, 5)
+	dump, err := c.Dump()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dump) != c.MemSize() {
+		t.Errorf("dump size %d != memory size %d", len(dump), c.MemSize())
+	}
+	if c.MemSize() != 2<<20 {
+		t.Errorf("2x1MB system reports %d bytes", c.MemSize())
+	}
+}
+
+func TestDumpSeesDescrambledData(t *testing.T) {
+	c := newBooted(t, addrmap.Skylake, 1, true, 5)
+	marker := []byte("SECRET-MARKER-IN-MEMORY-0123456789abcdef")
+	if err := c.Write(12345, marker); err != nil {
+		t.Fatal(err)
+	}
+	dump, err := c.Dump()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(dump, marker) {
+		t.Error("dump does not contain the plaintext marker")
+	}
+}
+
+func TestStockScramblerByGeneration(t *testing.T) {
+	if s := StockScrambler(addrmap.SandyBridge)(1); s.NumKeys() != scramble.DDR3KeyCount {
+		t.Errorf("SandyBridge stock scrambler has %d keys", s.NumKeys())
+	}
+	if s := StockScrambler(addrmap.Skylake)(1); s.NumKeys() != scramble.SkylakeKeyCount {
+		t.Errorf("Skylake stock scrambler has %d keys", s.NumKeys())
+	}
+}
+
+func TestPerChannelScramblersDiffer(t *testing.T) {
+	c := newBooted(t, addrmap.Skylake, 2, true, 9)
+	k0 := c.Scrambler(0).KeyAt(0)
+	k1 := c.Scrambler(1).KeyAt(0)
+	if bytes.Equal(k0, k1) {
+		t.Error("both channels use identical keystreams")
+	}
+}
+
+func TestAccessBeforeBootFails(t *testing.T) {
+	c, _ := New(Config{Arch: addrmap.Skylake, Channels: 1, ScramblerEnabled: true})
+	if err := c.Read(0, make([]byte, 4)); err == nil {
+		t.Error("expected error before boot")
+	}
+}
+
+func TestBootRequiresAllChannelsPopulated(t *testing.T) {
+	c, _ := New(Config{Arch: addrmap.Skylake, Channels: 2, ScramblerEnabled: true})
+	m, _ := dram.NewModule(dram.DefaultDDR4Spec(1<<20), 1)
+	c.AttachDIMM(0, m)
+	if err := c.Boot(1); err == nil {
+		t.Error("expected error with empty channel 1")
+	}
+}
+
+func TestBootRejectsMismatchedDIMMs(t *testing.T) {
+	c, _ := New(Config{Arch: addrmap.Skylake, Channels: 2, ScramblerEnabled: true})
+	a, _ := dram.NewModule(dram.DefaultDDR4Spec(1<<20), 1)
+	b, _ := dram.NewModule(dram.DefaultDDR4Spec(2<<20), 2)
+	c.AttachDIMM(0, a)
+	c.AttachDIMM(1, b)
+	if err := c.Boot(1); err == nil {
+		t.Error("expected error for mismatched DIMM sizes")
+	}
+}
+
+func TestOutOfRangeAccessFails(t *testing.T) {
+	c := newBooted(t, addrmap.Skylake, 1, true, 1)
+	if err := c.Read(uint64(c.MemSize())-2, make([]byte, 4)); err == nil {
+		t.Error("expected error for out-of-range read")
+	}
+	if err := c.Write(uint64(c.MemSize()), []byte{1}); err == nil {
+		t.Error("expected error for out-of-range write")
+	}
+}
+
+func TestAttachDetachDIMM(t *testing.T) {
+	c, _ := New(Config{Arch: addrmap.Skylake, Channels: 1, ScramblerEnabled: true})
+	m, _ := dram.NewModule(dram.DefaultDDR4Spec(1<<20), 1)
+	if err := c.AttachDIMM(0, m); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AttachDIMM(0, m); err == nil {
+		t.Error("double attach allowed")
+	}
+	got, err := c.DetachDIMM(0)
+	if err != nil || got != m {
+		t.Error("detach did not return the module")
+	}
+	if _, err := c.DetachDIMM(0); err == nil {
+		t.Error("detach from empty channel allowed")
+	}
+	if err := c.AttachDIMM(5, m); err == nil {
+		t.Error("attach to invalid channel allowed")
+	}
+}
+
+func TestCustomScramblerFactory(t *testing.T) {
+	// The socket internal/engine uses: inject any Scrambler implementation.
+	called := 0
+	cfg := Config{
+		Arch: addrmap.Skylake, Channels: 1, ScramblerEnabled: true,
+		NewScrambler: func(seed uint64) scramble.Scrambler {
+			called++
+			return scramble.None{}
+		},
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := dram.NewModule(dram.DefaultDDR4Spec(1<<20), 1)
+	c.AttachDIMM(0, m)
+	if err := c.Boot(1); err != nil {
+		t.Fatal(err)
+	}
+	if called != 1 {
+		t.Errorf("factory called %d times, want 1", called)
+	}
+}
+
+func TestDualChannelSplitsAcrossDIMMs(t *testing.T) {
+	c := newBooted(t, addrmap.Skylake, 2, false, 1)
+	// Write a pattern spanning many blocks; both DIMMs must receive data.
+	data := bytes.Repeat([]byte{0x77}, 8192)
+	if err := c.Write(0, data); err != nil {
+		t.Fatal(err)
+	}
+	touched := func(ch int) bool {
+		buf := make([]byte, 1<<16)
+		c.DIMM(ch).Read(0, buf)
+		return bytes.Contains(buf, []byte{0x77, 0x77, 0x77, 0x77})
+	}
+	if !touched(0) || !touched(1) {
+		t.Error("interleaved write did not reach both channels")
+	}
+}
+
+func BenchmarkControllerRead64B(b *testing.B) {
+	c, _ := New(Config{Arch: addrmap.Skylake, Channels: 1, ScramblerEnabled: true})
+	m, _ := dram.NewModule(dram.DefaultDDR4Spec(1<<20), 1)
+	c.AttachDIMM(0, m)
+	c.Boot(1)
+	buf := make([]byte, 64)
+	b.SetBytes(64)
+	for i := 0; i < b.N; i++ {
+		c.Read(uint64(i%1024)*64, buf)
+	}
+}

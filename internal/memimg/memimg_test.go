@@ -1,0 +1,199 @@
+package memimg
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"coldboot/internal/scramble"
+)
+
+func TestNewRejectsPartialBlocks(t *testing.T) {
+	if _, err := New(make([]byte, 65)); err == nil {
+		t.Error("expected error for 65-byte image")
+	}
+	if _, err := New(make([]byte, 128)); err != nil {
+		t.Errorf("128-byte image rejected: %v", err)
+	}
+}
+
+func TestBlockAccess(t *testing.T) {
+	data := make([]byte, 256)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	im, _ := New(data)
+	if im.NumBlocks() != 4 {
+		t.Fatalf("NumBlocks = %d", im.NumBlocks())
+	}
+	if im.Block(1)[0] != 64 {
+		t.Error("block 1 does not start at byte 64")
+	}
+}
+
+func TestCorrelationsOnUniformData(t *testing.T) {
+	im, _ := New(make([]byte, 64*100))
+	s := im.Correlations()
+	if s.Distinct != 1 || s.Correlated != 100 || s.LargestCluster != 100 {
+		t.Errorf("uniform stats = %+v", s)
+	}
+	if s.CorrelatedFraction() != 1.0 {
+		t.Errorf("correlated fraction = %f", s.CorrelatedFraction())
+	}
+}
+
+func TestCorrelationsOnDistinctData(t *testing.T) {
+	data := make([]byte, 64*16)
+	for b := 0; b < 16; b++ {
+		data[b*64] = byte(b + 1)
+	}
+	im, _ := New(data)
+	s := im.Correlations()
+	if s.Distinct != 16 || s.Correlated != 0 {
+		t.Errorf("distinct stats = %+v", s)
+	}
+}
+
+func TestFigure3CorrelationOrdering(t *testing.T) {
+	// The full Figure 3 pipeline on the test pattern: plaintext shows the
+	// most correlation, DDR3-scrambled less, DDR4-scrambled the least.
+	const width = 512
+	plain := make([]byte, width*width)
+	TestPattern(plain, width)
+
+	imPlain, _ := New(plain)
+	ddr3 := scramble.NewDDR3(1)
+	ddr4 := scramble.NewSkylakeDDR4(1)
+	buf3 := make([]byte, len(plain))
+	buf4 := make([]byte, len(plain))
+	ddr3.Scramble(buf3, plain, 0)
+	ddr4.Scramble(buf4, plain, 0)
+	im3, _ := New(buf3)
+	im4, _ := New(buf4)
+
+	p := imPlain.Correlations().CorrelatedFraction()
+	c3 := im3.Correlations().CorrelatedFraction()
+	c4 := im4.Correlations().CorrelatedFraction()
+	if !(p >= c3 && c3 > c4) {
+		t.Errorf("correlation ordering violated: plain %f, ddr3 %f, ddr4 %f", p, c3, c4)
+	}
+	if c3 < 0.01 {
+		t.Errorf("DDR3 scrambling hides all correlations (%f); 16-key pool should leak", c3)
+	}
+}
+
+func TestXORRevealsDDR3UniversalKey(t *testing.T) {
+	// Figure 3c: scramble under seed A, reboot to seed B, read back;
+	// XOR of the two dumps of the same data is key_A ^ key_B per block,
+	// which for DDR3 is ONE universal value.
+	plain := make([]byte, 64*1024)
+	TestPattern(plain, 256)
+	a := scramble.NewDDR3(10)
+	b := scramble.NewDDR3(20)
+	bufA := make([]byte, len(plain))
+	bufB := make([]byte, len(plain))
+	a.Scramble(bufA, plain, 0)
+	b.Scramble(bufB, plain, 0)
+	imA, _ := New(bufA)
+	imB, _ := New(bufB)
+	x, err := imA.XOR(imB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := x.Correlations()
+	if s.Distinct != 1 {
+		t.Errorf("DDR3 reboot XOR has %d distinct blocks, want 1 (universal key)", s.Distinct)
+	}
+}
+
+func TestXORShowsNoDDR4UniversalKey(t *testing.T) {
+	plain := make([]byte, 64*4096)
+	a := scramble.NewSkylakeDDR4(10)
+	b := scramble.NewSkylakeDDR4(20)
+	bufA := make([]byte, len(plain))
+	bufB := make([]byte, len(plain))
+	a.Scramble(bufA, plain, 0)
+	b.Scramble(bufB, plain, 0)
+	imA, _ := New(bufA)
+	imB, _ := New(bufB)
+	x, _ := imA.XOR(imB)
+	s := x.Correlations()
+	if s.Distinct < 2048 {
+		t.Errorf("DDR4 reboot XOR collapsed to %d distinct blocks", s.Distinct)
+	}
+}
+
+func TestXORSizeMismatch(t *testing.T) {
+	a, _ := New(make([]byte, 64))
+	b, _ := New(make([]byte, 128))
+	if _, err := a.XOR(b); err == nil {
+		t.Error("expected size-mismatch error")
+	}
+}
+
+func TestZeroBlocks(t *testing.T) {
+	data := make([]byte, 64*4)
+	data[64] = 1 // block 1 nonzero
+	im, _ := New(data)
+	got := im.ZeroBlocks()
+	want := []int{0, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("zero blocks = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("zero blocks = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestWritePGM(t *testing.T) {
+	data := make([]byte, 64*64)
+	TestPattern(data, 64)
+	im, _ := New(data)
+	var buf bytes.Buffer
+	if err := im.WritePGM(&buf, 64); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "P5\n64 64\n255\n") {
+		t.Errorf("PGM header wrong: %q", out[:20])
+	}
+	if buf.Len() != len("P5\n64 64\n255\n")+64*64 {
+		t.Errorf("PGM size = %d", buf.Len())
+	}
+}
+
+func TestWritePGMErrors(t *testing.T) {
+	im, _ := New(make([]byte, 64))
+	var buf bytes.Buffer
+	if err := im.WritePGM(&buf, 0); err == nil {
+		t.Error("width 0 accepted")
+	}
+	if err := im.WritePGM(&buf, 1000); err == nil {
+		t.Error("width larger than image accepted")
+	}
+}
+
+func TestTestPatternHasRepeatedBlocks(t *testing.T) {
+	buf := make([]byte, 64*1024)
+	TestPattern(buf, 256)
+	im, _ := New(buf)
+	s := im.Correlations()
+	if s.CorrelatedFraction() < 0.5 {
+		t.Errorf("test pattern only %f correlated; Figure 3a needs repeated content", s.CorrelatedFraction())
+	}
+}
+
+func TestScrambledEntropyHigherThanPlain(t *testing.T) {
+	plain := make([]byte, 64*1024)
+	TestPattern(plain, 256)
+	s := scramble.NewSkylakeDDR4(9)
+	scrambled := make([]byte, len(plain))
+	s.Scramble(scrambled, plain, 0)
+	imP, _ := New(plain)
+	imS, _ := New(scrambled)
+	if imS.Entropy() <= imP.Entropy() {
+		t.Errorf("scrambling did not raise entropy: %f vs %f", imS.Entropy(), imP.Entropy())
+	}
+}

@@ -1,0 +1,314 @@
+package memsim
+
+import (
+	"math"
+	"testing"
+
+	"coldboot/internal/aes"
+	"coldboot/internal/chacha"
+	"coldboot/internal/dram"
+	"coldboot/internal/engine"
+)
+
+func sim(t *testing.T, p Params) *Sim {
+	t.Helper()
+	s, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func withEngine(p Params, e engine.Spec) Params {
+	p.Engine = &e
+	return p
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Params{}); err == nil {
+		t.Error("zero params accepted")
+	}
+	p := DefaultParams()
+	p.Banks = 0
+	if _, err := New(p); err == nil {
+		t.Error("zero banks accepted")
+	}
+}
+
+func TestStreamTrafficIsRowHitHeavy(t *testing.T) {
+	s := sim(t, DefaultParams())
+	stats := s.Run(StreamTraffic(2000, dram.DDR4_2400, 1))
+	if stats.RowHitRate < 0.95 {
+		t.Errorf("stream row hit rate = %f, want > 0.95", stats.RowHitRate)
+	}
+	if stats.Utilization < 0.8 {
+		t.Errorf("stream utilization = %f, want high", stats.Utilization)
+	}
+}
+
+func TestRandomTrafficIsRowMissHeavy(t *testing.T) {
+	s := sim(t, DefaultParams())
+	stats := s.Run(RandomTraffic(2000, dram.DDR4_2400, 16, 4096, 0.3, 1))
+	if stats.RowHitRate > 0.10 {
+		t.Errorf("random row hit rate = %f, want near 0", stats.RowHitRate)
+	}
+}
+
+func TestBaselineLatencySane(t *testing.T) {
+	// A single isolated row hit should complete in CAS + burst.
+	s := sim(t, DefaultParams())
+	warm := []Request{{ArriveNs: 0, Bank: 0, Row: 5}, {ArriveNs: 100, Bank: 0, Row: 5}}
+	stats := s.Run(warm)
+	second := stats.Results[1]
+	wantLatency := dram.DDR4_2400.CASLatency + dram.DDR4_2400.BurstTransferNs()
+	if math.Abs(second.ReadLatency-wantLatency) > 0.01 {
+		t.Errorf("isolated row-hit latency = %f, want %f", second.ReadLatency, wantLatency)
+	}
+	if !second.RowHit {
+		t.Error("second access to same row not a hit")
+	}
+	// First access pays activate: tRCD more.
+	first := stats.Results[0]
+	if first.ReadLatency <= second.ReadLatency {
+		t.Error("row miss not slower than row hit")
+	}
+}
+
+func TestNoEngineMeansNoExposure(t *testing.T) {
+	s := sim(t, DefaultParams())
+	stats := s.Run(StreamTraffic(1000, dram.DDR4_2400, 1))
+	if stats.MaxExposed != 0 {
+		t.Errorf("plain channel exposed %f ns", stats.MaxExposed)
+	}
+}
+
+func TestChaCha8ZeroExposureAllTraffic(t *testing.T) {
+	// The paper's headline claim, validated constructively on three traffic
+	// shapes at command level.
+	e := engine.ChaChaEngine(chacha.Rounds8)
+	p := withEngine(DefaultParams(), e)
+	s := sim(t, p)
+	traffics := map[string][]Request{
+		"stream": StreamTraffic(3000, dram.DDR4_2400, 1),
+		"random": RandomTraffic(3000, dram.DDR4_2400, 16, 4096, 0.5, 2),
+		"mixed":  MixedTraffic(3000, dram.DDR4_2400, 0.7, 3),
+	}
+	for name, reqs := range traffics {
+		stats := s.Run(reqs)
+		if stats.MaxExposed > 0 {
+			t.Errorf("%s: ChaCha8 exposed %f ns", name, stats.MaxExposed)
+		}
+	}
+}
+
+func TestAES128SustainedSaturationExposure(t *testing.T) {
+	// A finding beyond the paper's <=18-request burst analysis: with
+	// counter injection at the bus clock, AES-128's injection port
+	// (4 slots/read, ~17 GB/s) cannot sustain a fully saturated 19.2 GB/s
+	// row-hit stream, so exposure oscillates (row-activation bubbles
+	// partially drain the backlog) but stays bounded by the read-queue
+	// back-pressure. Under realistic (row-miss-rich or sub-peak) traffic
+	// the exposure vanishes — consistent with the paper's conclusion that
+	// AES is fine except at extreme sustained utilization.
+	e := engine.AESEngine(aes.AES128)
+	p := withEngine(DefaultParams(), e)
+	s := sim(t, p)
+	stream := s.Run(StreamTraffic(3000, dram.DDR4_2400, 1))
+	if stream.MaxExposed <= 0 {
+		t.Error("AES-128 shows no queueing under saturated streaming")
+	}
+	if stream.MaxExposed > 80 {
+		t.Errorf("AES-128 stream exposure = %f ns; back-pressure bound broken", stream.MaxExposed)
+	}
+	random := s.Run(RandomTraffic(3000, dram.DDR4_2400, 16, 4096, 0.3, 4))
+	if random.MaxExposed > 0.01 {
+		t.Errorf("AES-128 exposed %f ns under low-utilization random traffic", random.MaxExposed)
+	}
+	subParams := withEngine(DefaultParams(), e)
+	subParams.TREFIns = 0 // isolate engine queueing from refresh bunching
+	sub := sim(t, subParams).Run(StreamTraffic(3000, dram.DDR4_2400, 0.8))
+	// At 80% intensity the port sustains; only short transient queues
+	// remain after row-activation bubbles release bunched arrivals.
+	if sub.MaxExposed > 10 {
+		t.Errorf("AES-128 max exposure %f ns at 80%% intensity; should be transient-only", sub.MaxExposed)
+	}
+	if avg := sub.TotalExposed / float64(sub.Requests); avg > 3 {
+		t.Errorf("AES-128 avg exposure %f ns at 80%% intensity", avg)
+	}
+}
+
+func TestChaCha20AlwaysExposed(t *testing.T) {
+	e := engine.ChaChaEngine(chacha.Rounds20)
+	p := withEngine(DefaultParams(), e)
+	s := sim(t, p)
+	stats := s.Run(StreamTraffic(500, dram.DDR4_2400, 1))
+	// 21.4 ns pipeline vs the 12.5 ns column access: every read waits.
+	if stats.MaxExposed < 5 {
+		t.Errorf("ChaCha20 exposure = %f ns, want > 5", stats.MaxExposed)
+	}
+	if stats.TotalExposed/float64(stats.Requests) < 5 {
+		t.Error("ChaCha20 exposure should affect essentially every read")
+	}
+}
+
+func TestChaCha12AlwaysSlightlyExposed(t *testing.T) {
+	// Table II: 13.27 ns pipeline > 12.5 ns CAS — a fixed ~0.8 ns exposure
+	// on every read even with an idle injection port, matching Figure 6's
+	// "ChaCha12 always above the line".
+	e := engine.ChaChaEngine(chacha.Rounds12)
+	s := sim(t, withEngine(DefaultParams(), e))
+	stats := s.Run(RandomTraffic(1000, dram.DDR4_2400, 16, 4096, 0.3, 9))
+	perReq := stats.TotalExposed / float64(stats.Requests)
+	if perReq < 0.5 || perReq > 1.5 {
+		t.Errorf("ChaCha12 per-request exposure = %f ns, want ~0.77", perReq)
+	}
+}
+
+func TestEngineExposureOrdering(t *testing.T) {
+	// Cross-validation against the analytic Figure 6: exposure ordering
+	// ChaCha8 (0) <= AES-128 < AES-256 < ChaCha12 < ChaCha20 on streams.
+	traffic := StreamTraffic(2000, dram.DDR4_2400, 1)
+	exposure := func(e engine.Spec) float64 {
+		s := sim(t, withEngine(DefaultParams(), e))
+		return s.Run(traffic).MaxExposed
+	}
+	c8 := exposure(engine.ChaChaEngine(chacha.Rounds8))
+	a128 := exposure(engine.AESEngine(aes.AES128))
+	a256 := exposure(engine.AESEngine(aes.AES256))
+	c12 := exposure(engine.ChaChaEngine(chacha.Rounds12))
+	c20 := exposure(engine.ChaChaEngine(chacha.Rounds20))
+	// ChaCha8 is the only zero-exposure engine; ChaCha12/20 pay their fixed
+	// pipeline excess; the AES engines pay sustained injection-port
+	// queueing, which under saturation dwarfs everything else.
+	if !(c8 == 0 && c12 > 0 && c12 < c20 && a128 > c20 && a256 >= a128) {
+		t.Errorf("exposure ordering violated: c8=%f c12=%f c20=%f a128=%f a256=%f",
+			c8, c12, c20, a128, a256)
+	}
+}
+
+func TestAvgLatencyPenaltyTiny(t *testing.T) {
+	// The performance claim in end-to-end terms at a sustainable intensity
+	// (80% of peak): average read latency with ChaCha8 exactly equals the
+	// plain channel (zero exposed latency); AES-128 pays a visible but
+	// bounded transient-queueing cost.
+	// Refresh disabled: this test isolates the ENGINE cost; refresh adds
+	// identical stalls to every configuration (see TestRefreshStalls...).
+	base := DefaultParams()
+	base.TREFIns = 0
+	traffic := StreamTraffic(3000, dram.DDR4_2400, 0.8)
+	plain := sim(t, base).Run(traffic)
+	c8 := sim(t, withEngine(base, engine.ChaChaEngine(chacha.Rounds8))).Run(traffic)
+	a128 := sim(t, withEngine(base, engine.AESEngine(aes.AES128))).Run(traffic)
+	if c8.AvgReadLatency != plain.AvgReadLatency {
+		t.Errorf("ChaCha8 avg latency %f != plain %f", c8.AvgReadLatency, plain.AvgReadLatency)
+	}
+	if a128.AvgReadLatency > plain.AvgReadLatency*1.15 {
+		t.Errorf("AES-128 avg latency %f exceeds plain %f by >15%%", a128.AvgReadLatency, plain.AvgReadLatency)
+	}
+}
+
+func TestBankParallelismImprovesThroughput(t *testing.T) {
+	// Random traffic across many banks must finish faster than the same
+	// requests forced into one bank (activation serialization).
+	reqs := RandomTraffic(500, dram.DDR4_2400, 16, 1024, 1.0, 5)
+	multi := sim(t, DefaultParams()).Run(reqs)
+	oneBank := make([]Request, len(reqs))
+	copy(oneBank, reqs)
+	for i := range oneBank {
+		oneBank[i].Bank = 0
+	}
+	single := sim(t, DefaultParams()).Run(oneBank)
+	if single.EndNs <= multi.EndNs {
+		t.Errorf("one-bank run (%f ns) not slower than 16-bank run (%f ns)", single.EndNs, multi.EndNs)
+	}
+}
+
+func TestBankIndexNormalization(t *testing.T) {
+	s := sim(t, DefaultParams())
+	stats := s.Run([]Request{{ArriveNs: 0, Bank: -3, Row: 1}, {ArriveNs: 10, Bank: 99, Row: 1}})
+	if stats.Requests != 2 {
+		t.Error("requests dropped")
+	}
+}
+
+func TestEmptyRun(t *testing.T) {
+	s := sim(t, DefaultParams())
+	stats := s.Run(nil)
+	if stats.Requests != 0 || stats.AvgReadLatency != 0 {
+		t.Error("empty run produced nonzero stats")
+	}
+}
+
+func BenchmarkStreamSimulation(b *testing.B) {
+	p := withEngine(DefaultParams(), engine.ChaChaEngine(chacha.Rounds8))
+	s, _ := New(p)
+	traffic := StreamTraffic(10000, dram.DDR4_2400, 1)
+	b.SetBytes(int64(len(traffic) * 64))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Run(traffic)
+	}
+}
+
+func TestWritesNeverStallTheCPU(t *testing.T) {
+	// §IV-B: "Delays on memory writes are tolerable as the CPU can proceed
+	// with other tasks while stores are being performed" — even the
+	// slowest engine causes zero CPU-visible write latency, because the
+	// keystream is generated while the store sits in the write queue.
+	e := engine.ChaChaEngine(chacha.Rounds20)
+	s := sim(t, withEngine(DefaultParams(), e))
+	reqs := StreamTraffic(1000, dram.DDR4_2400, 1)
+	for i := range reqs {
+		reqs[i].Write = true
+	}
+	stats := s.Run(reqs)
+	if stats.MaxExposed != 0 {
+		t.Errorf("writes exposed %f ns", stats.MaxExposed)
+	}
+	if stats.AvgReadLatency != 0 {
+		t.Errorf("writes show CPU latency %f ns", stats.AvgReadLatency)
+	}
+}
+
+func TestMixedReadWriteOnlyReadsExposed(t *testing.T) {
+	e := engine.ChaChaEngine(chacha.Rounds20)
+	s := sim(t, withEngine(DefaultParams(), e))
+	reqs := StreamTraffic(1000, dram.DDR4_2400, 1)
+	for i := range reqs {
+		reqs[i].Write = i%2 == 0
+	}
+	stats := s.Run(reqs)
+	for _, r := range stats.Results {
+		if r.Write && r.ExposedNs != 0 {
+			t.Fatal("a write was exposed")
+		}
+	}
+	if stats.MaxExposed <= 0 {
+		t.Error("reads in the mix should still be exposed under ChaCha20")
+	}
+}
+
+func TestRefreshStallsCostBandwidth(t *testing.T) {
+	// JEDEC refresh overhead: tRFC/tREFI ~ 4.5% of time is unusable; a
+	// saturated stream achieves measurably lower utilization with refresh
+	// enabled, and ChaCha8 still exposes nothing across refresh windows.
+	long := StreamTraffic(30000, dram.DDR4_2400, 1) // ~100 us of traffic
+	p := DefaultParams()
+	withRefresh := sim(t, p).Run(long)
+	p.TREFIns = 0
+	noRefresh := sim(t, p).Run(long)
+	if withRefresh.EndNs <= noRefresh.EndNs {
+		t.Error("refresh added no time")
+	}
+	slowdown := withRefresh.EndNs/noRefresh.EndNs - 1
+	if slowdown < 0.02 || slowdown > 0.10 {
+		t.Errorf("refresh slowdown %.3f; expected ~4.5%%", slowdown)
+	}
+	pe := DefaultParams()
+	e := engine.ChaChaEngine(chacha.Rounds8)
+	pe.Engine = &e
+	enc := sim(t, pe).Run(long)
+	if enc.MaxExposed > 0 {
+		t.Errorf("ChaCha8 exposed %f ns across refresh windows", enc.MaxExposed)
+	}
+}

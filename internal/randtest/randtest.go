@@ -1,0 +1,396 @@
+// Package randtest provides the statistical and algebraic tests that make
+// the paper's central security claim quantitative: the scramblers' LFSR
+// keystreams are "not cryptographically secure" while the proposed cipher
+// engines are indistinguishable from random.
+//
+// Two kinds of evidence:
+//
+//   - NIST SP 800-22-style statistical tests (monobit frequency, block
+//     frequency, runs, serial) — which both LFSR output and cipher output
+//     pass: scramblers were, after all, designed to look statistically
+//     random on the bus. These tests certify the *electrical* property.
+//   - The Berlekamp–Massey linear complexity test — which separates them
+//     completely: an LFSR keystream of register width w has linear
+//     complexity ≤ w (64 here), so its entire future is predictable from
+//     128 observed bits, while ChaCha/AES keystreams have complexity ≈ n/2
+//     of any observed prefix. THIS is why scrambled DRAM falls to
+//     cryptanalysis and encrypted DRAM does not.
+package randtest
+
+import (
+	"math"
+)
+
+// Bits provides bit-indexed access over a byte slice (LSB first within each
+// byte, matching the LFSR output convention).
+type Bits []byte
+
+// Len returns the number of bits.
+func (b Bits) Len() int { return len(b) * 8 }
+
+// At returns bit i as 0 or 1.
+func (b Bits) At(i int) int {
+	return int(b[i/8]>>(uint(i)%8)) & 1
+}
+
+// MonobitP returns the two-sided p-value of the NIST frequency (monobit)
+// test: the fraction of ones should be near 1/2.
+func MonobitP(b Bits) float64 {
+	n := b.Len()
+	if n == 0 {
+		return 0
+	}
+	s := 0
+	for i := 0; i < n; i++ {
+		s += 2*b.At(i) - 1
+	}
+	sObs := math.Abs(float64(s)) / math.Sqrt(float64(n))
+	return math.Erfc(sObs / math.Sqrt2)
+}
+
+// BlockFrequencyP runs the NIST block frequency test with blocks of m bits,
+// returning the chi-square tail p-value.
+func BlockFrequencyP(b Bits, m int) float64 {
+	n := b.Len()
+	blocks := n / m
+	if blocks == 0 {
+		return 0
+	}
+	chi := 0.0
+	for blk := 0; blk < blocks; blk++ {
+		ones := 0
+		for i := 0; i < m; i++ {
+			ones += b.At(blk*m + i)
+		}
+		pi := float64(ones) / float64(m)
+		chi += (pi - 0.5) * (pi - 0.5)
+	}
+	chi *= 4 * float64(m)
+	return upperIncompleteGammaQ(float64(blocks)/2, chi/2)
+}
+
+// RunsP returns the p-value of the NIST runs test (number of maximal
+// same-bit runs). A stream failing monobit automatically fails here.
+func RunsP(b Bits) float64 {
+	n := b.Len()
+	if n < 2 {
+		return 0
+	}
+	ones := 0
+	for i := 0; i < n; i++ {
+		ones += b.At(i)
+	}
+	pi := float64(ones) / float64(n)
+	if math.Abs(pi-0.5) >= 2/math.Sqrt(float64(n)) {
+		return 0
+	}
+	runs := 1
+	for i := 1; i < n; i++ {
+		if b.At(i) != b.At(i-1) {
+			runs++
+		}
+	}
+	num := math.Abs(float64(runs) - 2*float64(n)*pi*(1-pi))
+	den := 2 * math.Sqrt(2*float64(n)) * pi * (1 - pi)
+	return math.Erfc(num / den)
+}
+
+// SerialP runs a simplified serial test on overlapping 2-bit patterns,
+// returning a chi-square tail p-value: all four patterns 00/01/10/11 must
+// be equally frequent.
+func SerialP(b Bits) float64 {
+	n := b.Len()
+	if n < 3 {
+		return 0
+	}
+	var counts [4]int
+	for i := 0; i+1 < n; i++ {
+		counts[b.At(i)<<1|b.At(i+1)]++
+	}
+	total := float64(n - 1)
+	expected := total / 4
+	chi := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi += d * d / expected
+	}
+	return upperIncompleteGammaQ(3.0/2, chi/2)
+}
+
+// ApproximateEntropyP runs the NIST approximate entropy test with block
+// length m: it compares the frequencies of overlapping m- and (m+1)-bit
+// patterns; a truly random stream has ApEn ≈ ln 2 per bit.
+func ApproximateEntropyP(b Bits, m int) float64 {
+	n := b.Len()
+	if n < (m+1)*8 {
+		return 0
+	}
+	phi := func(mm int) float64 {
+		counts := make([]int, 1<<uint(mm))
+		for i := 0; i < n; i++ {
+			v := 0
+			for j := 0; j < mm; j++ {
+				v = v<<1 | b.At((i+j)%n)
+			}
+			counts[v]++
+		}
+		sum := 0.0
+		for _, c := range counts {
+			if c > 0 {
+				p := float64(c) / float64(n)
+				sum += p * math.Log(p)
+			}
+		}
+		return sum
+	}
+	apen := phi(m) - phi(m+1)
+	chi := 2 * float64(n) * (math.Ln2 - apen)
+	return upperIncompleteGammaQ(float64(int(1)<<uint(m-1)), chi/2)
+}
+
+// CumulativeSumsP runs the NIST cumulative sums (cusum) test, forward
+// direction: the random walk of ±1 steps must stay near the origin.
+func CumulativeSumsP(b Bits) float64 {
+	n := b.Len()
+	if n == 0 {
+		return 0
+	}
+	s, z := 0, 0
+	for i := 0; i < n; i++ {
+		s += 2*b.At(i) - 1
+		if s > z {
+			z = s
+		}
+		if -s > z {
+			z = -s
+		}
+	}
+	if z == 0 {
+		return 0
+	}
+	fn := float64(n)
+	fz := float64(z)
+	sum := 0.0
+	for k := (-n/z + 1) / 4; k <= (n/z-1)/4; k++ {
+		sum += stdNormalCDF((4*float64(k)+1)*fz/math.Sqrt(fn)) -
+			stdNormalCDF((4*float64(k)-1)*fz/math.Sqrt(fn))
+	}
+	sum2 := 0.0
+	for k := (-n/z - 3) / 4; k <= (n/z-1)/4; k++ {
+		sum2 += stdNormalCDF((4*float64(k)+3)*fz/math.Sqrt(fn)) -
+			stdNormalCDF((4*float64(k)+1)*fz/math.Sqrt(fn))
+	}
+	p := 1 - sum + sum2
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+func stdNormalCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+// LinearComplexity runs the Berlekamp–Massey algorithm over the first n
+// bits of the stream and returns the length of the shortest LFSR that
+// generates them. For a true w-bit LFSR keystream this is ≤ w regardless
+// of n; for a random (or cryptographic) stream it is ≈ n/2.
+func LinearComplexity(b Bits, n int) int {
+	if n > b.Len() {
+		n = b.Len()
+	}
+	s := make([]int, n)
+	for i := range s {
+		s[i] = b.At(i)
+	}
+	c := make([]int, n+1)
+	bb := make([]int, n+1)
+	c[0], bb[0] = 1, 1
+	L, m := 0, -1
+	for i := 0; i < n; i++ {
+		d := s[i]
+		for j := 1; j <= L; j++ {
+			d ^= c[j] & s[i-j]
+		}
+		if d == 1 {
+			t := make([]int, n+1)
+			copy(t, c)
+			for j := 0; j+i-m <= n; j++ {
+				c[j+i-m] ^= bb[j]
+			}
+			if 2*L <= i {
+				L = i + 1 - L
+				m = i
+				bb = t
+			}
+		}
+	}
+	return L
+}
+
+// PredictableFromPrefix reports whether the stream's continuation is fully
+// determined by an LFSR fitted to its first 2*maxRegister bits: the
+// operational meaning of "not cryptographically secure". It fits
+// Berlekamp–Massey to the prefix and checks the prediction against the next
+// check bits.
+func PredictableFromPrefix(b Bits, maxRegister, check int) bool {
+	prefix := 2 * maxRegister
+	if prefix+check > b.Len() {
+		return false
+	}
+	L := LinearComplexity(b, prefix)
+	if L == 0 || L > maxRegister {
+		return false
+	}
+	// Re-derive connection polynomial over the prefix.
+	conn := connectionPoly(b, prefix)
+	ln := len(conn) - 1
+	if ln == 0 {
+		return false
+	}
+	// Predict bits prefix..prefix+check-1 from the recurrence
+	// s[i] = XOR_{j=1..L} conn[j]*s[i-j].
+	s := make([]int, prefix+check)
+	for i := 0; i < prefix; i++ {
+		s[i] = b.At(i)
+	}
+	for i := prefix; i < prefix+check; i++ {
+		v := 0
+		for j := 1; j <= ln && j <= i; j++ {
+			v ^= conn[j] & s[i-j]
+		}
+		s[i] = v
+		if v != b.At(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// connectionPoly runs Berlekamp–Massey and returns the connection
+// polynomial coefficients c[0..L].
+func connectionPoly(b Bits, n int) []int {
+	if n > b.Len() {
+		n = b.Len()
+	}
+	s := make([]int, n)
+	for i := range s {
+		s[i] = b.At(i)
+	}
+	c := make([]int, n+1)
+	bb := make([]int, n+1)
+	c[0], bb[0] = 1, 1
+	L, m := 0, -1
+	for i := 0; i < n; i++ {
+		d := s[i]
+		for j := 1; j <= L; j++ {
+			d ^= c[j] & s[i-j]
+		}
+		if d == 1 {
+			t := make([]int, n+1)
+			copy(t, c)
+			for j := 0; j+i-m <= n; j++ {
+				c[j+i-m] ^= bb[j]
+			}
+			if 2*L <= i {
+				L = i + 1 - L
+				m = i
+				bb = t
+			}
+		}
+	}
+	return c[:L+1]
+}
+
+// upperIncompleteGammaQ computes Q(a, x) = Γ(a,x)/Γ(a), the regularized
+// upper incomplete gamma function, via series/continued-fraction expansion
+// (Numerical Recipes style) — the tail probability for chi-square tests
+// with 2a degrees of freedom at statistic 2x.
+func upperIncompleteGammaQ(a, x float64) float64 {
+	if x < 0 || a <= 0 {
+		return 0
+	}
+	if x == 0 {
+		return 1
+	}
+	if x < a+1 {
+		// Series for P(a,x), return 1-P.
+		ap := a
+		sum := 1 / a
+		del := sum
+		for i := 0; i < 200; i++ {
+			ap++
+			del *= x / ap
+			sum += del
+			if math.Abs(del) < math.Abs(sum)*1e-12 {
+				break
+			}
+		}
+		return 1 - sum*math.Exp(-x+a*math.Log(x)-lgamma(a))
+	}
+	// Continued fraction for Q(a,x).
+	b := x + 1 - a
+	c := 1 / 1e-300
+	d := 1 / b
+	h := d
+	for i := 1; i < 200; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < 1e-300 {
+			d = 1e-300
+		}
+		c = b + an/c
+		if math.Abs(c) < 1e-300 {
+			c = 1e-300
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < 1e-12 {
+			break
+		}
+	}
+	return math.Exp(-x+a*math.Log(x)-lgamma(a)) * h
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// Report summarizes a battery run over one stream.
+type Report struct {
+	Monobit          float64
+	BlockFrequency   float64
+	Runs             float64
+	Serial           float64
+	ApproxEntropy    float64
+	CumulativeSums   float64
+	LinearComplexity int // over the first 4096 bits
+	LFSRPredictable  bool
+}
+
+// Battery runs all tests over the stream.
+func Battery(b Bits) Report {
+	return Report{
+		Monobit:          MonobitP(b),
+		BlockFrequency:   BlockFrequencyP(b, 128),
+		Runs:             RunsP(b),
+		Serial:           SerialP(b),
+		ApproxEntropy:    ApproximateEntropyP(b, 4),
+		CumulativeSums:   CumulativeSumsP(b),
+		LinearComplexity: LinearComplexity(b, 4096),
+		LFSRPredictable:  PredictableFromPrefix(b, 128, 1024),
+	}
+}
+
+// PassesStatistical reports whether every statistical p-value clears the
+// NIST significance threshold of 0.01.
+func (r Report) PassesStatistical() bool {
+	return r.Monobit > 0.01 && r.BlockFrequency > 0.01 && r.Runs > 0.01 &&
+		r.Serial > 0.01 && r.ApproxEntropy > 0.01 && r.CumulativeSums > 0.01
+}

@@ -1,0 +1,233 @@
+package randtest
+
+import (
+	"math/rand"
+	"testing"
+
+	"coldboot/internal/chacha"
+	"coldboot/internal/engine"
+	"coldboot/internal/lfsr"
+	"coldboot/internal/scramble"
+)
+
+func lfsrStream(n int) Bits {
+	g := lfsr.NewMaximal(64, 0xDEADBEEFCAFE)
+	out := make([]byte, n)
+	g.Fill(out)
+	return Bits(out)
+}
+
+func chachaStream(n int) Bits {
+	c, _ := chacha.New(chacha.Rounds8, make([]byte, 32), 7)
+	out := make([]byte, n)
+	c.Keystream(out, 0)
+	return Bits(out)
+}
+
+func TestMonobitExtremes(t *testing.T) {
+	zeros := Bits(make([]byte, 256))
+	if p := MonobitP(zeros); p > 1e-10 {
+		t.Errorf("all-zeros monobit p = %g, want ~0", p)
+	}
+	rnd := make([]byte, 1<<15)
+	rand.New(rand.NewSource(3)).Read(rnd)
+	if p := MonobitP(Bits(rnd)); p < 0.01 {
+		t.Errorf("random monobit p = %g, want > 0.01", p)
+	}
+	if p := MonobitP(nil); p != 0 {
+		t.Error("empty stream should fail")
+	}
+}
+
+func TestRunsDetectsStuckStreams(t *testing.T) {
+	// Alternating 0101... has far too many runs.
+	alt := make([]byte, 1024)
+	for i := range alt {
+		alt[i] = 0x55
+	}
+	if p := RunsP(Bits(alt)); p > 1e-10 {
+		t.Errorf("alternating runs p = %g, want ~0", p)
+	}
+	rnd := make([]byte, 1<<14)
+	rand.New(rand.NewSource(2)).Read(rnd)
+	if p := RunsP(Bits(rnd)); p < 0.01 {
+		t.Errorf("random runs p = %g", p)
+	}
+}
+
+func TestBlockFrequencyDetectsDrift(t *testing.T) {
+	// First half zeros, second half ones: global monobit fine, blocks not.
+	drift := make([]byte, 2048)
+	for i := 1024; i < 2048; i++ {
+		drift[i] = 0xFF
+	}
+	if p := BlockFrequencyP(Bits(drift), 128); p > 1e-10 {
+		t.Errorf("drift block-frequency p = %g, want ~0", p)
+	}
+}
+
+func TestSerialDetectsPeriodicPatterns(t *testing.T) {
+	per := make([]byte, 2048)
+	for i := range per {
+		per[i] = 0x0F // bits 11110000: 2-gram counts 3/1/3/1 per byte
+	}
+	if p := SerialP(Bits(per)); p > 1e-10 {
+		t.Errorf("periodic serial p = %g, want ~0", p)
+	}
+}
+
+func TestBothStreamsPassStatisticalBattery(t *testing.T) {
+	// The electrical scrambling goal: even the LFSR keystream is
+	// statistically balanced — which is exactly why statistical tests
+	// CANNOT distinguish a scrambler from a cipher, and why the paper's
+	// claim needs the algebraic test below.
+	for name, s := range map[string]Bits{
+		"lfsr":    lfsrStream(1 << 14),
+		"chacha8": chachaStream(1 << 14),
+	} {
+		r := Battery(s)
+		if !r.PassesStatistical() {
+			t.Errorf("%s fails statistical battery: %+v", name, r)
+		}
+	}
+}
+
+func TestLinearComplexitySeparatesScramblerFromCipher(t *testing.T) {
+	// THE quantitative version of "scramblers use PRNGs that are not
+	// cryptographically secure": the 64-bit LFSR keystream has linear
+	// complexity <= 64 over any prefix, while ChaCha8's is ~n/2.
+	lc := LinearComplexity(lfsrStream(4096), 4096)
+	if lc > 64 {
+		t.Errorf("LFSR linear complexity = %d, want <= 64", lc)
+	}
+	cc := LinearComplexity(chachaStream(4096), 4096)
+	if cc < 1900 {
+		t.Errorf("ChaCha8 linear complexity = %d, want ~2048", cc)
+	}
+}
+
+func TestLFSRStreamIsPredictable(t *testing.T) {
+	// Operational meaning: 256 observed bits of scrambler keystream
+	// predict the next 1024 exactly.
+	if !PredictableFromPrefix(lfsrStream(1<<12), 128, 1024) {
+		t.Error("LFSR stream not predicted by Berlekamp-Massey fit")
+	}
+	if PredictableFromPrefix(chachaStream(1<<12), 128, 1024) {
+		t.Error("ChaCha8 stream predicted by an LFSR fit?!")
+	}
+}
+
+func TestScramblerGeneratorStreamRecoverableFromOneKey(t *testing.T) {
+	// Cryptanalysis of the actual Skylake scrambler: the w/d key layout is
+	// invertible, so a single mined 64-byte key lets the attacker
+	// reconstruct 320 contiguous bits of the underlying generator stream —
+	// and Berlekamp-Massey then pins that stream to a <= 64-bit LFSR whose
+	// future is fully predictable. This is the precise, quantitative form
+	// of the paper's "PRNGs that are not cryptographically secure".
+	s := scramble.NewSkylakeDDR4(0x5EED)
+	for idx := uint64(0); idx < 8; idx++ {
+		key := s.KeyAt(idx * 64)
+		var stream []byte
+		for g := 0; g < 4; g++ {
+			base := g * 16
+			stream = append(stream, key[base:base+8]...)                            // w0..w3
+			stream = append(stream, key[base+8]^key[base], key[base+9]^key[base+1]) // d
+		}
+		lc := LinearComplexity(Bits(stream), len(stream)*8)
+		if lc > 64 {
+			t.Fatalf("key %d: reconstructed generator complexity = %d, want <= 64", idx, lc)
+		}
+		if !PredictableFromPrefix(Bits(stream), 64, 150) {
+			t.Fatalf("key %d: generator stream not LFSR-predictable", idx)
+		}
+	}
+}
+
+func TestEncryptedScramblerHasHighLinearComplexity(t *testing.T) {
+	e := engine.NewChaChaScrambler(chacha.Rounds8, 0x5EED)
+	stream := make([]byte, 0, 2048)
+	for off := uint64(0); len(stream) < 2048; off += 64 {
+		stream = append(stream, e.KeyAt(off)...)
+	}
+	lc := LinearComplexity(Bits(stream), 4096)
+	if lc < 1900 {
+		t.Errorf("encrypted keystream linear complexity = %d, want ~2048", lc)
+	}
+}
+
+func TestPredictableRejectsShortStreams(t *testing.T) {
+	if PredictableFromPrefix(Bits(make([]byte, 8)), 128, 1024) {
+		t.Error("short stream reported predictable")
+	}
+}
+
+func TestGammaQSanity(t *testing.T) {
+	// Q(a, 0) = 1; Q decreases in x; chi-square df=2: Q(1, x) = e^-x.
+	if q := upperIncompleteGammaQ(1, 0); q != 1 {
+		t.Errorf("Q(1,0) = %f", q)
+	}
+	if q := upperIncompleteGammaQ(1, 1); q < 0.367 || q > 0.369 {
+		t.Errorf("Q(1,1) = %f, want e^-1", q)
+	}
+	if q := upperIncompleteGammaQ(2.5, 20); q > 0.001 {
+		t.Errorf("deep tail Q = %f", q)
+	}
+}
+
+func TestBatteryReportFields(t *testing.T) {
+	r := Battery(chachaStream(1 << 13))
+	if r.LFSRPredictable {
+		t.Error("cipher stream flagged LFSR-predictable")
+	}
+	if r.LinearComplexity < 1000 {
+		t.Errorf("cipher linear complexity %d too low", r.LinearComplexity)
+	}
+	lr := Battery(lfsrStream(1 << 13))
+	if !lr.LFSRPredictable {
+		t.Error("LFSR stream not flagged predictable")
+	}
+}
+
+func BenchmarkBerlekampMassey4096(b *testing.B) {
+	s := chachaStream(1 << 12)
+	for i := 0; i < b.N; i++ {
+		LinearComplexity(s, 4096)
+	}
+}
+
+func TestApproximateEntropy(t *testing.T) {
+	rnd := make([]byte, 1<<13)
+	rand.New(rand.NewSource(7)).Read(rnd)
+	if p := ApproximateEntropyP(Bits(rnd), 4); p < 0.01 {
+		t.Errorf("random ApEn p = %g", p)
+	}
+	per := make([]byte, 1<<13)
+	for i := range per {
+		per[i] = 0x0F
+	}
+	if p := ApproximateEntropyP(Bits(per), 4); p > 1e-10 {
+		t.Errorf("periodic ApEn p = %g, want ~0", p)
+	}
+	if p := ApproximateEntropyP(Bits(nil), 4); p != 0 {
+		t.Error("empty stream should fail")
+	}
+}
+
+func TestCumulativeSums(t *testing.T) {
+	rnd := make([]byte, 1<<13)
+	rand.New(rand.NewSource(8)).Read(rnd)
+	if p := CumulativeSumsP(Bits(rnd)); p < 0.01 {
+		t.Errorf("random cusum p = %g", p)
+	}
+	// A biased stream drifts far from the origin.
+	biased := make([]byte, 1<<12)
+	for i := range biased {
+		biased[i] = 0xFE // 7 ones per byte
+	}
+	if p := CumulativeSumsP(Bits(biased)); p > 1e-10 {
+		t.Errorf("biased cusum p = %g, want ~0", p)
+	}
+	if p := CumulativeSumsP(Bits(nil)); p != 0 {
+		t.Error("empty stream should fail")
+	}
+}

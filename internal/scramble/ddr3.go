@@ -1,0 +1,81 @@
+package scramble
+
+import "coldboot/internal/lfsr"
+
+// DDR3KeyCount is the per-channel key pool size of the SandyBridge and
+// IvyBridge DDR3 scramblers (Bauer et al., reproduced by the paper).
+const DDR3KeyCount = 16
+
+// DDR3IndexBits is the number of address bits selecting the key.
+const DDR3IndexBits = 4
+
+// DDR3 models the DDR3-generation scrambler. Its defining (and fatal)
+// property is the affine key structure
+//
+//	key(seed, idx) = E(seed) XOR G(idx)
+//
+// where E is an LFSR expansion of the boot seed and G is a fixed per-index
+// pattern burned into the keystream wiring. XORing dumps taken under two
+// different seeds cancels G entirely:
+//
+//	key(s1, idx) ^ key(s2, idx) = E(s1) ^ E(s2)   — independent of idx!
+//
+// so the whole memory appears scrambled by ONE 64-byte universal key
+// (paper Figure 3c), trivially recoverable by frequency analysis.
+type DDR3 struct {
+	seed uint64
+	keys [DDR3KeyCount][BlockBytes]byte
+}
+
+// NewDDR3 builds a DDR3 scrambler with the given boot seed.
+func NewDDR3(seed uint64) *DDR3 {
+	d := &DDR3{}
+	d.Reseed(seed)
+	return d
+}
+
+// Reseed regenerates the 16-key pool from a new boot seed.
+func (d *DDR3) Reseed(seed uint64) {
+	d.seed = seed
+	var e [BlockBytes]byte
+	lfsr.NewMaximal(64, splitmix64(seed)).Fill(e[:])
+	for idx := 0; idx < DDR3KeyCount; idx++ {
+		var g [BlockBytes]byte
+		// G depends only on the index: the generator seed is a constant
+		// mixed with idx, never with the boot seed.
+		lfsr.NewMaximal(64, splitmix64(0xDD3C0FFEE+uint64(idx))).Fill(g[:])
+		for i := range d.keys[idx] {
+			d.keys[idx][i] = e[i] ^ g[i]
+		}
+	}
+}
+
+// Seed returns the current boot seed.
+func (d *DDR3) Seed() uint64 { return d.seed }
+
+// NumKeys returns 16.
+func (d *DDR3) NumKeys() int { return DDR3KeyCount }
+
+// Name returns the scheme name.
+func (d *DDR3) Name() string { return "ddr3-lfsr" }
+
+func (d *DDR3) keyFor(blockIdx uint64) []byte {
+	return d.keys[blockIdx&(DDR3KeyCount-1)][:]
+}
+
+// Scramble XORs src with the per-block keys into dst.
+func (d *DDR3) Scramble(dst, src []byte, off uint64) {
+	xorBlocks(dst, src, off, d.keyFor)
+}
+
+// Descramble is identical to Scramble.
+func (d *DDR3) Descramble(dst, src []byte, off uint64) {
+	xorBlocks(dst, src, off, d.keyFor)
+}
+
+// KeyAt returns a copy of the key used for the block at off.
+func (d *DDR3) KeyAt(off uint64) []byte {
+	out := make([]byte, BlockBytes)
+	copy(out, d.keyFor(off/BlockBytes))
+	return out
+}

@@ -1,0 +1,316 @@
+package scramble
+
+import (
+	"bytes"
+	"testing"
+
+	"coldboot/internal/bitutil"
+)
+
+// litmusHolds checks the paper's four published invariant equations on a
+// 64-byte key, for every 16-byte-aligned group (Section III-B):
+//
+//	K[i+2:i+3]^K[i+4:i+5] == K[i+10:i+11]^K[i+12:i+13]
+//	K[i:i+1]^K[i+6:i+7]   == K[i+8:i+9]^K[i+14:i+15]
+//	K[i:i+1]^K[i+4:i+5]   == K[i+8:i+9]^K[i+12:i+13]
+//	K[i:i+1]^K[i+2:i+3]   == K[i+8:i+9]^K[i+10:i+11]
+func litmusHolds(k []byte) bool {
+	for i := 0; i < 64; i += 16 {
+		w := func(off int) uint16 { return bitutil.Word16(k, i+off) }
+		if w(2)^w(4) != w(10)^w(12) {
+			return false
+		}
+		if w(0)^w(6) != w(8)^w(14) {
+			return false
+		}
+		if w(0)^w(4) != w(8)^w(12) {
+			return false
+		}
+		if w(0)^w(2) != w(8)^w(10) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestScramblersAreInvolutions(t *testing.T) {
+	scramblers := []Scrambler{None{}, NewDDR3(77), NewSkylakeDDR4(77)}
+	data := make([]byte, 4096)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	for _, s := range scramblers {
+		enc := make([]byte, len(data))
+		s.Scramble(enc, data, 0x10000)
+		dec := make([]byte, len(data))
+		s.Descramble(dec, enc, 0x10000)
+		if !bytes.Equal(dec, data) {
+			t.Errorf("%s: scramble/descramble round trip failed", s.Name())
+		}
+	}
+}
+
+func TestNonePassesThrough(t *testing.T) {
+	var n None
+	data := []byte("test data of exactly 32 bytes!!!")
+	out := make([]byte, len(data))
+	n.Scramble(out, data, 0)
+	if !bytes.Equal(out, data) {
+		t.Error("None modified data")
+	}
+	if !bitutil.IsZero(n.KeyAt(0)) {
+		t.Error("None key not zero")
+	}
+}
+
+func TestScrambleInPlace(t *testing.T) {
+	s := NewSkylakeDDR4(1)
+	data := make([]byte, 128)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	orig := append([]byte{}, data...)
+	s.Scramble(data, data, 0)
+	if bytes.Equal(data, orig) {
+		t.Fatal("in-place scramble did nothing")
+	}
+	s.Descramble(data, data, 0)
+	if !bytes.Equal(data, orig) {
+		t.Fatal("in-place round trip failed")
+	}
+}
+
+func TestZeroBlocksRevealKeys(t *testing.T) {
+	// The core of the analysis framework: scrambling zeros yields the key.
+	for _, s := range []Scrambler{NewDDR3(9), NewSkylakeDDR4(9)} {
+		zeros := make([]byte, BlockBytes)
+		out := make([]byte, BlockBytes)
+		for _, off := range []uint64{0, 64, 4096, 999 * 64} {
+			s.Scramble(out, zeros, off)
+			if !bytes.Equal(out, s.KeyAt(off)) {
+				t.Errorf("%s: scrambled zeros != key at %#x", s.Name(), off)
+			}
+		}
+	}
+}
+
+func TestDDR3HasExactly16DistinctKeys(t *testing.T) {
+	s := NewDDR3(123)
+	keys := make(map[string]bool)
+	for off := uint64(0); off < 1<<20; off += BlockBytes {
+		keys[string(s.KeyAt(off))] = true
+	}
+	if len(keys) != 16 {
+		t.Errorf("DDR3 produced %d distinct keys, want 16", len(keys))
+	}
+}
+
+func TestSkylakeHasExactly4096DistinctKeys(t *testing.T) {
+	s := NewSkylakeDDR4(123)
+	keys := make(map[string]bool)
+	for off := uint64(0); off < (SkylakeKeyCount*2)*BlockBytes; off += BlockBytes {
+		keys[string(s.KeyAt(off))] = true
+	}
+	if len(keys) != SkylakeKeyCount {
+		t.Errorf("Skylake produced %d distinct keys, want %d", len(keys), SkylakeKeyCount)
+	}
+}
+
+func TestKeyReuseIsAddressPeriodic(t *testing.T) {
+	s := NewSkylakeDDR4(5)
+	period := uint64(SkylakeKeyCount * BlockBytes)
+	for _, off := range []uint64{0, 64, 128, 640} {
+		if !bytes.Equal(s.KeyAt(off), s.KeyAt(off+period)) {
+			t.Errorf("key at %#x not reused at +pool size", off)
+		}
+	}
+}
+
+func TestDDR3UniversalRebootKey(t *testing.T) {
+	// Figure 3c / Bauer et al.: XOR of two boots' keystreams is the SAME
+	// 64-byte value for every key index.
+	boot1 := NewDDR3(0xAAAA)
+	boot2 := NewDDR3(0x5555)
+	var universal []byte
+	for idx := uint64(0); idx < DDR3KeyCount; idx++ {
+		off := idx * BlockBytes
+		x := bitutil.XORNew(boot1.KeyAt(off), boot2.KeyAt(off))
+		if universal == nil {
+			universal = x
+		} else if !bytes.Equal(universal, x) {
+			t.Fatalf("DDR3 reboot XOR differs at index %d: factoring property lost", idx)
+		}
+	}
+	if bitutil.IsZero(universal) {
+		t.Error("universal key is zero; seeds did not change the keystream")
+	}
+}
+
+func TestSkylakeNoUniversalRebootKey(t *testing.T) {
+	// Figure 3e: the same XOR on Skylake yields many distinct values.
+	boot1 := NewSkylakeDDR4(0xAAAA)
+	boot2 := NewSkylakeDDR4(0x5555)
+	seen := make(map[string]bool)
+	for idx := uint64(0); idx < SkylakeKeyCount; idx++ {
+		off := idx * BlockBytes
+		seen[string(bitutil.XORNew(boot1.KeyAt(off), boot2.KeyAt(off)))] = true
+	}
+	if len(seen) < SkylakeKeyCount/2 {
+		t.Errorf("reboot XOR collapsed to %d values; Skylake must not factor", len(seen))
+	}
+}
+
+func TestSkylakeKeySharingSurvivesReboot(t *testing.T) {
+	// Observation 4: blocks sharing a key keep sharing one after reseed.
+	s := NewSkylakeDDR4(1)
+	offA := uint64(10 * BlockBytes)
+	offB := offA + uint64(SkylakeKeyCount*BlockBytes)
+	if !bytes.Equal(s.KeyAt(offA), s.KeyAt(offB)) {
+		t.Fatal("blocks did not share a key before reboot")
+	}
+	s.Reseed(2)
+	if !bytes.Equal(s.KeyAt(offA), s.KeyAt(offB)) {
+		t.Error("key sharing broken by reboot")
+	}
+}
+
+func TestSkylakeKeysSatisfyPaperInvariants(t *testing.T) {
+	s := NewSkylakeDDR4(0xFEEDFACE)
+	for idx := uint64(0); idx < SkylakeKeyCount; idx++ {
+		if !litmusHolds(s.KeyAt(idx * BlockBytes)) {
+			t.Fatalf("key %d fails the paper's litmus equations", idx)
+		}
+	}
+}
+
+func TestInvariantsClosedUnderXOR(t *testing.T) {
+	// Double-scrambled dumps contain K1^K2 per index; the litmus test must
+	// still pass, which is why the attacker never needs a disabled
+	// scrambler.
+	b1 := NewSkylakeDDR4(0x1111)
+	b2 := NewSkylakeDDR4(0x2222)
+	for idx := uint64(0); idx < 256; idx++ {
+		off := idx * BlockBytes
+		x := bitutil.XORNew(b1.KeyAt(off), b2.KeyAt(off))
+		if !litmusHolds(x) {
+			t.Fatalf("XOR of keys at index %d fails litmus", idx)
+		}
+	}
+}
+
+func TestRandomDataFailsInvariants(t *testing.T) {
+	// Tightness: a random block passes a single 16-bit equation with
+	// probability 2^-16, so essentially no random block passes all of them.
+	g := NewSkylakeDDR4(3)
+	buf := make([]byte, BlockBytes)
+	passes := 0
+	for trial := 0; trial < 20000; trial++ {
+		// Derive pseudo-random blocks from the scrambler's own key stream
+		// XORed across misaligned offsets, destroying the group alignment.
+		copy(buf, g.KeyAt(uint64(trial)*BlockBytes))
+		tmp := g.KeyAt(uint64(trial+7919) * BlockBytes)
+		for i := range buf {
+			buf[i] ^= tmp[(i+3)%BlockBytes] // misaligned: breaks structure
+		}
+		if litmusHolds(buf) {
+			passes++
+		}
+	}
+	if passes > 2 {
+		t.Errorf("%d/20000 unstructured blocks passed the litmus test", passes)
+	}
+}
+
+func TestScrambledDataLooksRandomOnTheBus(t *testing.T) {
+	// The original electrical purpose: even pathological all-zero traffic
+	// must hit the bus with ~50% ones and high entropy.
+	s := NewSkylakeDDR4(42)
+	zeros := make([]byte, SkylakeKeyCount*BlockBytes)
+	out := make([]byte, len(zeros))
+	s.Scramble(out, zeros, 0)
+	if f := bitutil.OnesFraction(out); f < 0.49 || f > 0.51 {
+		t.Errorf("ones fraction = %f, want ~0.5", f)
+	}
+	if e := bitutil.Entropy(out); e < 7.9 {
+		t.Errorf("entropy = %f bits/byte, want > 7.9", e)
+	}
+}
+
+func TestCorrelationReductionFactor256(t *testing.T) {
+	// Figure 3b vs 3d: identical plaintext blocks collide (same scrambled
+	// image) with probability 1/16 on DDR3 but 1/4096 on DDR4 — a 256x
+	// reduction in visible correlations.
+	const blocks = 1 << 14
+	plain := make([]byte, blocks*BlockBytes) // identical (zero) content
+	count := func(s Scrambler) int {
+		out := make([]byte, len(plain))
+		s.Scramble(out, plain, 0)
+		seen := make(map[string]int)
+		for b := 0; b < blocks; b++ {
+			seen[string(out[b*BlockBytes:(b+1)*BlockBytes])]++
+		}
+		collisions := 0
+		for _, n := range seen {
+			collisions += n - 1
+		}
+		return collisions
+	}
+	ddr3 := count(NewDDR3(6))
+	ddr4 := count(NewSkylakeDDR4(6))
+	if ddr3 <= ddr4 {
+		t.Fatalf("DDR3 collisions (%d) not greater than DDR4 (%d)", ddr3, ddr4)
+	}
+	ratio := float64(blocks-ddr4) / float64(blocks-ddr3)
+	// blocks - collisions = number of distinct scrambled images = pool size
+	// exposed; ratio of distinct counts should be ~256.
+	if ratio < 200 || ratio > 300 {
+		t.Errorf("distinct-image ratio = %f, want ~256", ratio)
+	}
+}
+
+func TestReseedChangesKeys(t *testing.T) {
+	s := NewSkylakeDDR4(1)
+	before := s.KeyAt(0)
+	s.Reseed(2)
+	if bytes.Equal(before, s.KeyAt(0)) {
+		t.Error("reseed did not change keys")
+	}
+	if s.Seed() != 2 {
+		t.Errorf("Seed() = %d, want 2", s.Seed())
+	}
+	s.Reseed(1)
+	if !bytes.Equal(before, s.KeyAt(0)) {
+		t.Error("reseeding with the original seed did not restore keys (vendor BIOS seed-reuse case)")
+	}
+}
+
+func TestScramblePanicsOnBadArgs(t *testing.T) {
+	s := NewSkylakeDDR4(1)
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("unaligned offset", func() { s.Scramble(make([]byte, 64), make([]byte, 64), 3) })
+	mustPanic("partial block", func() { s.Scramble(make([]byte, 60), make([]byte, 60), 0) })
+	mustPanic("length mismatch", func() { s.Scramble(make([]byte, 64), make([]byte, 128), 0) })
+}
+
+func BenchmarkSkylakeScramble64B(b *testing.B) {
+	s := NewSkylakeDDR4(1)
+	buf := make([]byte, BlockBytes)
+	b.SetBytes(BlockBytes)
+	for i := 0; i < b.N; i++ {
+		s.Scramble(buf, buf, uint64(i%4096)*BlockBytes)
+	}
+}
+
+func BenchmarkSkylakeReseed(b *testing.B) {
+	s := NewSkylakeDDR4(1)
+	for i := 0; i < b.N; i++ {
+		s.Reseed(uint64(i))
+	}
+}

@@ -1,0 +1,96 @@
+package scramble
+
+import (
+	"coldboot/internal/bitutil"
+	"coldboot/internal/lfsr"
+)
+
+// SkylakeVariant is an experimentation hook for the paper's robustness
+// claim: "simple permutations of the random number generators and key
+// mapping schemes (as different generations of DDR3 controllers have done
+// in the past) would not affect this attack's ability to recover sensitive
+// information". It generates keys with the same hardware expander structure
+// as SkylakeDDR4 (so the litmus invariants hold) but lets the experimenter
+// change the pool size and permute the address→key mapping arbitrarily —
+// breaking the periodicity that the fast stride-inference path exploits,
+// and forcing the attack back to the paper's literal exhaustive key trial.
+type SkylakeVariant struct {
+	seed      uint64
+	indexBits uint
+	perm      func(blockIdx uint64) int
+	keys      [][BlockBytes]byte
+}
+
+// NewSkylakeVariant builds a variant scrambler with 2^indexBits keys and an
+// arbitrary block→key mapping. perm must return values in [0, 2^indexBits);
+// nil selects the standard periodic mapping.
+func NewSkylakeVariant(seed uint64, indexBits uint, perm func(blockIdx uint64) int) *SkylakeVariant {
+	if indexBits < 1 || indexBits > 16 {
+		panic("scramble: variant index bits must be in 1..16")
+	}
+	s := &SkylakeVariant{indexBits: indexBits, perm: perm}
+	if s.perm == nil {
+		s.perm = func(b uint64) int { return int(b & (uint64(1)<<indexBits - 1)) }
+	}
+	s.keys = make([][BlockBytes]byte, 1<<indexBits)
+	s.Reseed(seed)
+	return s
+}
+
+// Reseed regenerates the key pool.
+func (s *SkylakeVariant) Reseed(seed uint64) {
+	s.seed = seed
+	for idx := range s.keys {
+		generateVariantKey(&s.keys[idx], seed, idx)
+	}
+}
+
+// generateVariantKey mirrors the Skylake expander (w/d group structure, so
+// the litmus invariants hold) with joint nonlinear seed/index mixing.
+func generateVariantKey(key *[BlockBytes]byte, seed uint64, idx int) {
+	g := lfsr.NewMaximal(64, splitmix64(seed^(uint64(idx)*0x2545F4914F6CDD1D+0xBEEF)))
+	for group := 0; group < BlockBytes/16; group++ {
+		base := group * 16
+		var w [4]uint16
+		for j := 0; j < 4; j++ {
+			w[j] = g.NextWord16()
+			bitutil.PutWord16(key[:], base+2*j, w[j])
+		}
+		d := g.NextWord16()
+		for j := 0; j < 4; j++ {
+			bitutil.PutWord16(key[:], base+8+2*j, w[j]^d)
+		}
+	}
+}
+
+// Seed returns the current boot seed.
+func (s *SkylakeVariant) Seed() uint64 { return s.seed }
+
+// NumKeys returns the pool size.
+func (s *SkylakeVariant) NumKeys() int { return len(s.keys) }
+
+// Name identifies the scheme.
+func (s *SkylakeVariant) Name() string { return "skylake-variant" }
+
+func (s *SkylakeVariant) keyFor(blockIdx uint64) []byte {
+	return s.keys[s.perm(blockIdx)&(len(s.keys)-1)][:]
+}
+
+// Scramble XORs src with the per-block keys into dst.
+func (s *SkylakeVariant) Scramble(dst, src []byte, off uint64) {
+	xorBlocks(dst, src, off, s.keyFor)
+}
+
+// Descramble is identical to Scramble.
+func (s *SkylakeVariant) Descramble(dst, src []byte, off uint64) {
+	xorBlocks(dst, src, off, s.keyFor)
+}
+
+// KeyAt returns a copy of the key used for the block at off.
+func (s *SkylakeVariant) KeyAt(off uint64) []byte {
+	out := make([]byte, BlockBytes)
+	copy(out, s.keyFor(off/BlockBytes))
+	return out
+}
+
+var _ Scrambler = (*SkylakeVariant)(nil)

@@ -1,0 +1,190 @@
+package sha512
+
+import (
+	"bytes"
+	stdhmac "crypto/hmac"
+	stdsha "crypto/sha512"
+	"encoding/hex"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestSum512FIPSVectors(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"abc", "ddaf35a193617abacc417349ae20413112e6fa4e89a97ea20a9eeee64b55d39a" +
+			"2192992a274fc1a836ba3c23a3feebbd454d4423643ce80e2a9ac94fa54ca49f"},
+		{"", "cf83e1357eefb8bdf1542850d66d8007d620e4050b5715dc83f4a921d36ce9ce" +
+			"47d0d13c5d85f2b0ff8318d2877eec2f63b931bd47417a81a538327af927da3e"},
+		{"abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmno" +
+			"ijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu",
+			"8e959b75dae313da8cf4f72814fc143f8f7779c6eb9f7fa17299aeadb6889018" +
+				"501d289e4900f7e4331b99dec4b5433ac7d329eeb6dd26545e96e55b874be909"},
+	}
+	for _, c := range cases {
+		got := Sum512([]byte(c.in))
+		if hex.EncodeToString(got[:]) != c.want {
+			t.Errorf("SHA-512(%q) =\n %x\nwant %s", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSum512MillionAs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	in := strings.Repeat("a", 1000000)
+	got := Sum512([]byte(in))
+	want := "e718483d0ce769644e2e42c7bc15b4638e1f98b13b2044285632a803afa973eb" +
+		"de0ff244877ea60a4cb0432ce577c31beb009c5c2c49aa2e4eadb217ad8cc09b"
+	if hex.EncodeToString(got[:]) != want {
+		t.Errorf("SHA-512(10^6 x 'a') mismatch")
+	}
+}
+
+func TestSum512MatchesStdlib(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		n := rng.Intn(1000)
+		msg := make([]byte, n)
+		rng.Read(msg)
+		got := Sum512(msg)
+		want := stdsha.Sum512(msg)
+		if got != want {
+			t.Fatalf("mismatch vs stdlib at length %d", n)
+		}
+	}
+}
+
+func TestStreamingWritesEqualOneShot(t *testing.T) {
+	msg := make([]byte, 1000)
+	for i := range msg {
+		msg[i] = byte(i)
+	}
+	d := New()
+	for i := 0; i < len(msg); i += 7 {
+		end := i + 7
+		if end > len(msg) {
+			end = len(msg)
+		}
+		d.Write(msg[i:end])
+	}
+	oneShot := Sum512(msg)
+	if !bytes.Equal(d.Sum(nil), oneShot[:]) {
+		t.Error("streaming digest != one-shot digest")
+	}
+}
+
+func TestSumDoesNotDisturbState(t *testing.T) {
+	d := New()
+	d.Write([]byte("hello "))
+	first := d.Sum(nil)
+	second := d.Sum(nil)
+	if !bytes.Equal(first, second) {
+		t.Error("Sum modified the digest state")
+	}
+	d.Write([]byte("world"))
+	full := Sum512([]byte("hello world"))
+	if !bytes.Equal(d.Sum(nil), full[:]) {
+		t.Error("writes after Sum diverge from expected digest")
+	}
+}
+
+func TestResetRestoresInitialState(t *testing.T) {
+	d := New()
+	d.Write([]byte("garbage"))
+	d.Reset()
+	d.Write([]byte("abc"))
+	want := Sum512([]byte("abc"))
+	if !bytes.Equal(d.Sum(nil), want[:]) {
+		t.Error("Reset did not restore initial state")
+	}
+}
+
+func TestHMACRFC4231Vectors(t *testing.T) {
+	// RFC 4231 test case 1.
+	key := bytes.Repeat([]byte{0x0b}, 20)
+	got := HMAC(key, []byte("Hi There"))
+	want := "87aa7cdea5ef619d4ff0b4241a1d6cb02379f4e2ce4ec2787ad0b30545e17cde" +
+		"daa833b7d6b8a702038b274eaea3f4e4be9d914eeb61f1702e696c203a126854"
+	if hex.EncodeToString(got[:]) != want {
+		t.Errorf("HMAC test case 1 mismatch:\n got %x", got)
+	}
+	// RFC 4231 test case 2: key "Jefe".
+	got2 := HMAC([]byte("Jefe"), []byte("what do ya want for nothing?"))
+	want2 := "164b7a7bfcf819e2e395fbe73b56e0a387bd64222e831fd610270cd7ea250554" +
+		"9758bf75c05a994a6d034f65f8f0e6fdcaeab1a34d4a6b4b636e070a38bce737"
+	if hex.EncodeToString(got2[:]) != want2 {
+		t.Errorf("HMAC test case 2 mismatch:\n got %x", got2)
+	}
+}
+
+func TestHMACLongKeyMatchesStdlib(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		key := make([]byte, rng.Intn(300))
+		msg := make([]byte, rng.Intn(300))
+		rng.Read(key)
+		rng.Read(msg)
+		got := HMAC(key, msg)
+		ref := stdhmac.New(stdsha.New, key)
+		ref.Write(msg)
+		if !bytes.Equal(got[:], ref.Sum(nil)) {
+			t.Fatalf("HMAC mismatch vs stdlib (keylen %d, msglen %d)", len(key), len(msg))
+		}
+	}
+}
+
+func TestPBKDF2KnownAnswer(t *testing.T) {
+	// Well-known PBKDF2-HMAC-SHA512 vector: P="password", S="salt", c=1.
+	got := PBKDF2([]byte("password"), []byte("salt"), 1, 64)
+	want := "867f70cf1ade02cff3752599a3a53dc4af34c7a669815ae5d513554e1c8cf252" +
+		"c02d470a285a0501bad999bfe943c08f050235d7d68b1da55e63f73b60a57fce"
+	if hex.EncodeToString(got) != want {
+		t.Errorf("PBKDF2 c=1 mismatch:\n got %x", got)
+	}
+}
+
+func TestPBKDF2IterationsChangeOutput(t *testing.T) {
+	a := PBKDF2([]byte("pw"), []byte("salt"), 1, 32)
+	b := PBKDF2([]byte("pw"), []byte("salt"), 2, 32)
+	if bytes.Equal(a, b) {
+		t.Error("iteration count had no effect")
+	}
+}
+
+func TestPBKDF2MultiBlockOutput(t *testing.T) {
+	// keyLen > 64 exercises the multi-block path; the prefix must match the
+	// single-block derivation.
+	long := PBKDF2([]byte("pw"), []byte("salt"), 10, 100)
+	short := PBKDF2([]byte("pw"), []byte("salt"), 10, 64)
+	if len(long) != 100 {
+		t.Fatalf("len = %d, want 100", len(long))
+	}
+	if !bytes.Equal(long[:64], short) {
+		t.Error("first block differs between 64- and 100-byte derivations")
+	}
+}
+
+func TestPBKDF2PanicsOnBadArgs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	PBKDF2([]byte("pw"), []byte("s"), 0, 32)
+}
+
+func BenchmarkSum512_1K(b *testing.B) {
+	buf := make([]byte, 1024)
+	b.SetBytes(1024)
+	for i := 0; i < b.N; i++ {
+		Sum512(buf)
+	}
+}
+
+func BenchmarkPBKDF2_1000(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		PBKDF2([]byte("password"), []byte("salt1234"), 1000, 64)
+	}
+}

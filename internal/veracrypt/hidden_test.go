@@ -1,0 +1,144 @@
+package veracrypt
+
+import (
+	"bytes"
+	"testing"
+
+	"coldboot/internal/bitutil"
+)
+
+func createHiddenPair(t *testing.T) *Volume {
+	t.Helper()
+	v, err := CreateHidden([]byte("outer-pw"), []byte("hidden-pw"),
+		128*SectorSize, 32*SectorSize, testSalt(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestHiddenVolumeMounts(t *testing.T) {
+	v := createHiddenPair(t)
+	outer, err := v.Mount([]byte("outer-pw"), nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outer.Sectors() != 128 {
+		t.Errorf("outer region %d sectors, want 128", outer.Sectors())
+	}
+	hidden, err := v.MountHidden([]byte("hidden-pw"), nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hidden.Sectors() != 32 {
+		t.Errorf("hidden region %d sectors, want 32", hidden.Sectors())
+	}
+	if n, err := hidden.Superblock(); err != nil || n != 32 {
+		t.Errorf("hidden superblock = %d, %v", n, err)
+	}
+}
+
+func TestHiddenVolumeDataIndependent(t *testing.T) {
+	v := createHiddenPair(t)
+	outer, _ := v.Mount([]byte("outer-pw"), nil, 0)
+	hidden, _ := v.MountHidden([]byte("hidden-pw"), nil, 0)
+	secret := make([]byte, SectorSize)
+	copy(secret, "deniable data in the hidden region")
+	if err := hidden.WriteSector(5, secret); err != nil {
+		t.Fatal(err)
+	}
+	// The outer mount sees only ciphertext noise at the overlapping sector
+	// (outer sector 96+5 overlaps hidden sector 5).
+	overlap := make([]byte, SectorSize)
+	if err := outer.ReadSector(96+5, overlap); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(overlap, []byte("deniable")) {
+		t.Error("outer mount reads hidden plaintext")
+	}
+	got := make([]byte, SectorSize)
+	hidden.ReadSector(5, got)
+	if !bytes.Equal(got, secret) {
+		t.Error("hidden round trip failed")
+	}
+}
+
+func TestDeniability(t *testing.T) {
+	// A volume WITHOUT a hidden part carries an indistinguishable noise
+	// slot: wrong hidden passwords fail identically on both, and the slot
+	// contents are high entropy either way.
+	plain, err := Create([]byte("pw"), 128*SectorSize, testSalt(51), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withHidden := createHiddenPair(t)
+	for name, v := range map[string]*Volume{"plain": plain, "hidden": withHidden} {
+		if _, err := v.MountHidden([]byte("wrong"), nil, 0); err == nil {
+			t.Errorf("%s: wrong hidden password accepted", name)
+		}
+		slot := v.disk[hiddenHeaderSector*SectorSize : (hiddenHeaderSector+1)*SectorSize]
+		if e := bitutil.Entropy(slot); e < 7.0 {
+			t.Errorf("%s: hidden slot entropy %f too low — distinguishable", name, e)
+		}
+	}
+}
+
+func TestColdBootDefeatsDeniability(t *testing.T) {
+	// The deniability-relevant attack consequence: a cold boot capture
+	// while the HIDDEN volume is mounted yields its master keys, and
+	// MountWithRecoveredKeys locates the hidden region by superblock
+	// probing — no password, no knowledge that a hidden volume existed.
+	v := createHiddenPair(t)
+	hidden, err := v.MountHidden([]byte("hidden-pw"), nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	secret := make([]byte, SectorSize)
+	copy(secret, "the existence of this data was deniable until now")
+	hidden.WriteSector(7, secret)
+	masters := hidden.MasterKeys() // what the cold boot attack recovers
+	hidden.Unmount()
+
+	m, err := v.MountWithRecoveredKeys([][]byte{masters}, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Sectors() != 32 {
+		t.Errorf("recovered mount maps %d sectors; expected the hidden region (32)", m.Sectors())
+	}
+	got := make([]byte, SectorSize)
+	m.ReadSector(7, got)
+	if !bytes.Equal(got, secret) {
+		t.Error("hidden data not recovered")
+	}
+}
+
+func TestCreateHiddenValidation(t *testing.T) {
+	if _, err := CreateHidden([]byte("a"), []byte("b"), 16*SectorSize, 16*SectorSize, testSalt(52)); err == nil {
+		t.Error("hidden volume as large as the outer accepted")
+	}
+	if _, err := CreateHidden([]byte("a"), []byte("b"), 16*SectorSize, 0, testSalt(52)); err == nil {
+		t.Error("zero-size hidden volume accepted")
+	}
+}
+
+func TestOuterOverwriteDestroysHidden(t *testing.T) {
+	// The classic TrueCrypt caveat, faithfully reproduced: filling the
+	// outer volume clobbers the hidden region.
+	v := createHiddenPair(t)
+	hidden, _ := v.MountHidden([]byte("hidden-pw"), nil, 0)
+	secret := make([]byte, SectorSize)
+	copy(secret, "soon to be destroyed")
+	hidden.WriteSector(3, secret)
+
+	outer, _ := v.Mount([]byte("outer-pw"), nil, 0)
+	junk := make([]byte, SectorSize)
+	for n := 1; n < outer.Sectors(); n++ { // spare the outer superblock only
+		outer.WriteSector(n, junk)
+	}
+	got := make([]byte, SectorSize)
+	hidden.ReadSector(3, got)
+	if bytes.Equal(got, secret) {
+		t.Error("hidden data survived an outer-volume overwrite")
+	}
+}

@@ -1,0 +1,378 @@
+// Package veracrypt implements a TrueCrypt/VeraCrypt-style encrypted
+// volume: XTS-AES-256 data encryption with a PBKDF2-HMAC-SHA512-derived
+// header key protecting the master keys. It reproduces the property the
+// paper's attack exploits: MOUNTING a volume expands the two 256-bit XTS
+// master keys into two adjacent 240-byte round-key schedules that stay
+// resident in DRAM until the volume is unmounted or the machine is cleanly
+// shut down — even when the original password and header key are long gone.
+package veracrypt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"coldboot/internal/aes"
+	"coldboot/internal/sha512"
+)
+
+// Sizes and construction constants.
+const (
+	SectorSize   = 512
+	SaltSize     = 64
+	MasterKeyLen = 64 // XTS-AES-256: two 256-bit keys
+	headerMagic  = "CBVC"
+	// KDFIterations is the PBKDF2 iteration count. Real VeraCrypt uses
+	// 500000; the simulation default keeps tests fast while exercising the
+	// same code path.
+	KDFIterations = 2000
+	// headerSectors is where data sectors start: sector 0 holds the outer
+	// volume header, sector 1 the hidden-volume header slot (filled with
+	// indistinguishable random noise when no hidden volume exists — the
+	// deniability property).
+	headerSectors = 2
+	// hiddenHeaderSector is the hidden header slot.
+	hiddenHeaderSector = 1
+	// SuperblockMagic marks a formatted volume's first data sector, giving
+	// an attacker (and the tests) a plaintext-recognizable target.
+	SuperblockMagic = "CBFS"
+)
+
+// Volume is the at-rest encrypted container ("the disk").
+type Volume struct {
+	salt [SaltSize]byte
+	disk []byte // sectors 0-1: header + hidden slot; sectors 2..: data
+}
+
+// MemWriter is the simulated RAM interface the mounted volume keeps its key
+// schedules in. machine.Machine satisfies it.
+type MemWriter interface {
+	Write(phys uint64, data []byte) error
+}
+
+// Create builds a new encrypted volume of dataBytes capacity (rounded up to
+// whole sectors), protected by password. The master keys are drawn from
+// keyMaterial (64 bytes), letting tests and simulations fix them; pass nil
+// to derive them from the password and salt (still unique per volume).
+func Create(password []byte, dataBytes int, salt []byte, keyMaterial []byte) (*Volume, error) {
+	if len(salt) != SaltSize {
+		return nil, fmt.Errorf("veracrypt: salt must be %d bytes", SaltSize)
+	}
+	sectors := (dataBytes + SectorSize - 1) / SectorSize
+	if sectors < 1 {
+		return nil, fmt.Errorf("veracrypt: volume too small")
+	}
+	v := &Volume{disk: make([]byte, (headerSectors+sectors)*SectorSize)}
+	copy(v.salt[:], salt)
+
+	var master []byte
+	if keyMaterial != nil {
+		if len(keyMaterial) != MasterKeyLen {
+			return nil, fmt.Errorf("veracrypt: key material must be %d bytes", MasterKeyLen)
+		}
+		master = append([]byte{}, keyMaterial...)
+	} else {
+		// Derive unpredictable master keys from password+salt+domain tag.
+		master = sha512.PBKDF2(password, append([]byte("master"), salt...), KDFIterations, MasterKeyLen)
+	}
+
+	if err := v.writeHeader(password, master); err != nil {
+		return nil, err
+	}
+	v.fillHiddenSlotWithNoise(master)
+	if err := v.format(master, 0, sectors); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// CreateHidden builds an outer volume that conceals a hidden volume in the
+// tail of its data region, TrueCrypt-style: the hidden header occupies the
+// noise slot (indistinguishable from the random filler every plain volume
+// carries), and only the hidden password reveals that the region exists.
+// hiddenBytes must leave at least one sector for the outer volume.
+func CreateHidden(outerPassword, hiddenPassword []byte, dataBytes, hiddenBytes int, salt []byte) (*Volume, error) {
+	v, err := Create(outerPassword, dataBytes, salt, nil)
+	if err != nil {
+		return nil, err
+	}
+	sectors := v.DataSectors()
+	hiddenSectors := (hiddenBytes + SectorSize - 1) / SectorSize
+	if hiddenSectors < 1 || hiddenSectors >= sectors {
+		return nil, fmt.Errorf("veracrypt: hidden volume must fit inside the outer data region")
+	}
+	start := uint64(sectors - hiddenSectors)
+	hiddenMaster := sha512.PBKDF2(hiddenPassword, append([]byte("hidden-master"), salt...), KDFIterations, MasterKeyLen)
+	if err := v.writeHeaderAt(hiddenHeaderSector, hiddenPassword, hiddenMaster, start, uint64(hiddenSectors)); err != nil {
+		return nil, err
+	}
+	if err := v.format(hiddenMaster, start, hiddenSectors); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// format writes an encrypted superblock at the start of a data region.
+func (v *Volume) format(master []byte, start uint64, sectors int) error {
+	x, err := aes.NewXTS(master)
+	if err != nil {
+		return err
+	}
+	super := make([]byte, SectorSize)
+	copy(super, SuperblockMagic)
+	binary.LittleEndian.PutUint64(super[8:], uint64(sectors))
+	abs := headerSectors + int(start)
+	x.EncryptSector(v.disk[abs*SectorSize:(abs+1)*SectorSize], super, uint64(abs))
+	return nil
+}
+
+// fillHiddenSlotWithNoise writes deterministic pseudo-random filler into
+// the hidden-header slot so that volumes with and without hidden volumes
+// are indistinguishable.
+func (v *Volume) fillHiddenSlotWithNoise(master []byte) {
+	noise := sha512.PBKDF2(master, append([]byte("slot-noise"), v.salt[:]...), 1, SectorSize)
+	copy(v.disk[hiddenHeaderSector*SectorSize:(hiddenHeaderSector+1)*SectorSize], noise)
+}
+
+// headerPlain lays out a decrypted header sector.
+//
+//	[0:4]    magic
+//	[4:6]    version
+//	[6:10]   CRC32 of master keys
+//	[16:80]  master keys
+//	[80:88]  region start (data-sector index)
+//	[88:96]  region length in sectors (0 = to the end of the volume)
+func headerPlain(master []byte, start, length uint64) []byte {
+	h := make([]byte, SectorSize-SaltSize)
+	copy(h, headerMagic)
+	h[4], h[5] = 1, 0
+	binary.LittleEndian.PutUint32(h[6:], crc32.ChecksumIEEE(master))
+	copy(h[16:], master)
+	binary.LittleEndian.PutUint64(h[80:], start)
+	binary.LittleEndian.PutUint64(h[88:], length)
+	return h
+}
+
+func (v *Volume) writeHeader(password, master []byte) error {
+	return v.writeHeaderAt(0, password, master, 0, 0)
+}
+
+// writeHeaderAt writes an encrypted header into header slot `slot`
+// (0 = outer, hiddenHeaderSector = hidden), describing a data region.
+func (v *Volume) writeHeaderAt(slot int, password, master []byte, start, length uint64) error {
+	hk := sha512.PBKDF2(password, v.salt[:], KDFIterations, MasterKeyLen)
+	x, err := aes.NewXTS(hk)
+	if err != nil {
+		return err
+	}
+	plain := headerPlain(master, start, length)
+	enc := make([]byte, len(plain))
+	x.EncryptSector(enc, plain, uint64(slot))
+	base := slot * SectorSize
+	copy(v.disk[base:base+SaltSize], v.salt[:])
+	copy(v.disk[base+SaltSize:base+SectorSize], enc)
+	return nil
+}
+
+// openHeader decrypts and validates the outer header with a password,
+// returning the master keys.
+func (v *Volume) openHeader(password []byte) ([]byte, error) {
+	master, _, _, err := v.openHeaderAt(0, password)
+	return master, err
+}
+
+// openHeaderAt decrypts and validates the header in the given slot,
+// returning the master keys and the region it maps.
+func (v *Volume) openHeaderAt(slot int, password []byte) (master []byte, start, length uint64, err error) {
+	hk := sha512.PBKDF2(password, v.salt[:], KDFIterations, MasterKeyLen)
+	x, err := aes.NewXTS(hk)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	base := slot * SectorSize
+	plain := make([]byte, SectorSize-SaltSize)
+	x.DecryptSector(plain, v.disk[base+SaltSize:base+SectorSize], uint64(slot))
+	if string(plain[:4]) != headerMagic {
+		return nil, 0, 0, fmt.Errorf("veracrypt: wrong password or corrupted header")
+	}
+	master = append([]byte{}, plain[16:16+MasterKeyLen]...)
+	if crc32.ChecksumIEEE(master) != binary.LittleEndian.Uint32(plain[6:]) {
+		return nil, 0, 0, fmt.Errorf("veracrypt: header checksum mismatch")
+	}
+	return master, binary.LittleEndian.Uint64(plain[80:]), binary.LittleEndian.Uint64(plain[88:]), nil
+}
+
+// DataSectors returns the number of data sectors.
+func (v *Volume) DataSectors() int { return len(v.disk)/SectorSize - headerSectors }
+
+// Mounted is an unlocked volume (outer or hidden) whose key schedules live
+// in simulated RAM. base/limit delimit the data region the mount maps.
+type Mounted struct {
+	vol      *Volume
+	xts      *aes.XTS
+	mem      MemWriter
+	keysAddr uint64
+	open     bool
+	base     int // first data-sector index of the region
+	limit    int // region length in sectors
+}
+
+// SchedulesBytes is the size of the in-memory key material a mount leaves
+// in DRAM: two full AES-256 round-key schedules, adjacent.
+const SchedulesBytes = 2 * 240
+
+// Mount unlocks the volume with password and writes the expanded round-key
+// schedules to simulated memory at keysAddr — exactly the footprint a real
+// XTS disk-encryption driver leaves, and exactly what the cold boot attack
+// goes hunting for.
+func (v *Volume) Mount(password []byte, mem MemWriter, keysAddr uint64) (*Mounted, error) {
+	master, err := v.openHeader(password)
+	if err != nil {
+		return nil, err
+	}
+	return v.mountWithMaster(master, mem, keysAddr, 0, v.DataSectors())
+}
+
+// MountHidden unlocks the hidden volume concealed in the noise slot. On a
+// volume with no hidden part (or a wrong password) it fails exactly the
+// way a wrong outer password does — deniability.
+func (v *Volume) MountHidden(password []byte, mem MemWriter, keysAddr uint64) (*Mounted, error) {
+	master, start, length, err := v.openHeaderAt(hiddenHeaderSector, password)
+	if err != nil {
+		return nil, err
+	}
+	if int(start) >= v.DataSectors() || length == 0 || int(start)+int(length) > v.DataSectors() {
+		return nil, fmt.Errorf("veracrypt: hidden header maps an invalid region")
+	}
+	return v.mountWithMaster(master, mem, keysAddr, int(start), int(length))
+}
+
+func (v *Volume) mountWithMaster(master []byte, mem MemWriter, keysAddr uint64, base, limit int) (*Mounted, error) {
+	x, err := aes.NewXTS(master)
+	if err != nil {
+		return nil, err
+	}
+	m := &Mounted{vol: v, xts: x, mem: mem, keysAddr: keysAddr, open: true, base: base, limit: limit}
+	if mem != nil {
+		sched := make([]byte, 0, SchedulesBytes)
+		sched = append(sched, aes.WordsToBytes(x.DataCipher().Schedule())...)
+		sched = append(sched, aes.WordsToBytes(x.TweakCipher().Schedule())...)
+		if err := mem.Write(keysAddr, sched); err != nil {
+			return nil, fmt.Errorf("veracrypt: writing key schedules to memory: %w", err)
+		}
+	}
+	return m, nil
+}
+
+// MountWithRecoveredKeys unlocks a volume directly with candidate master
+// keys (e.g. recovered by a cold boot attack), bypassing the password
+// entirely. Every ordered pair of distinct candidates (and each candidate
+// doubled) is tried against EVERY possible region start — which is how a
+// cold boot attack also defeats hidden-volume deniability: the hidden
+// region's superblock identifies itself to whoever holds its master keys,
+// regardless of any password.
+func (v *Volume) MountWithRecoveredKeys(candidates [][]byte, mem MemWriter, keysAddr uint64) (*Mounted, error) {
+	var halves [][]byte
+	for _, c := range candidates {
+		switch len(c) {
+		case 32:
+			halves = append(halves, c)
+		case 64:
+			halves = append(halves, c[:32], c[32:])
+		}
+	}
+	total := v.DataSectors()
+	for _, k1 := range halves {
+		for _, k2 := range halves {
+			master := append(append([]byte{}, k1...), k2...)
+			x, err := aes.NewXTS(master)
+			if err != nil {
+				continue
+			}
+			probe := make([]byte, SectorSize)
+			for start := 0; start < total; start++ {
+				abs := headerSectors + start
+				x.DecryptSector(probe, v.disk[abs*SectorSize:(abs+1)*SectorSize], uint64(abs))
+				if string(probe[:4]) != SuperblockMagic {
+					continue
+				}
+				length := int(binary.LittleEndian.Uint64(probe[8:]))
+				if length < 1 || start+length > total {
+					continue
+				}
+				return v.mountWithMaster(master, mem, keysAddr, start, length)
+			}
+		}
+	}
+	return nil, fmt.Errorf("veracrypt: no candidate key pair unlocks the volume")
+}
+
+// ReadSector decrypts region sector n (0-based within the mounted region).
+func (m *Mounted) ReadSector(n int, dst []byte) error {
+	if err := m.checkSector(n, dst); err != nil {
+		return err
+	}
+	abs := headerSectors + m.base + n
+	m.xts.DecryptSector(dst, m.vol.disk[abs*SectorSize:(abs+1)*SectorSize], uint64(abs))
+	return nil
+}
+
+// WriteSector encrypts and stores region sector n (0-based within the
+// mounted region).
+func (m *Mounted) WriteSector(n int, src []byte) error {
+	if err := m.checkSector(n, src); err != nil {
+		return err
+	}
+	abs := headerSectors + m.base + n
+	m.xts.EncryptSector(m.vol.disk[abs*SectorSize:(abs+1)*SectorSize], src, uint64(abs))
+	return nil
+}
+
+// Sectors returns the mounted region's length.
+func (m *Mounted) Sectors() int { return m.limit }
+
+func (m *Mounted) checkSector(n int, buf []byte) error {
+	if !m.open {
+		return fmt.Errorf("veracrypt: volume not mounted")
+	}
+	if n < 0 || n >= m.limit {
+		return fmt.Errorf("veracrypt: sector %d out of range", n)
+	}
+	if len(buf) != SectorSize {
+		return fmt.Errorf("veracrypt: sector buffer must be %d bytes", SectorSize)
+	}
+	return nil
+}
+
+// Superblock reads and validates the volume superblock, returning the
+// sector count it records.
+func (m *Mounted) Superblock() (int, error) {
+	buf := make([]byte, SectorSize)
+	if err := m.ReadSector(0, buf); err != nil {
+		return 0, err
+	}
+	if string(buf[:4]) != SuperblockMagic {
+		return 0, fmt.Errorf("veracrypt: bad superblock")
+	}
+	return int(binary.LittleEndian.Uint64(buf[8:])), nil
+}
+
+// MasterKeys returns the mounted volume's XTS master keys (64 bytes).
+// Real drivers never expose this; the simulation uses it as ground truth.
+func (m *Mounted) MasterKeys() []byte {
+	master := make([]byte, 0, MasterKeyLen)
+	master = append(master, aes.WordsToBytes(m.xts.DataCipher().Schedule()[:8])...)
+	master = append(master, aes.WordsToBytes(m.xts.TweakCipher().Schedule()[:8])...)
+	return master
+}
+
+// Unmount erases the in-memory key schedules — the standard mitigation
+// (§II-B): once a volume is cleanly unmounted, a cold boot attack finds
+// nothing.
+func (m *Mounted) Unmount() error {
+	m.open = false
+	if m.mem == nil {
+		return nil
+	}
+	return m.mem.Write(m.keysAddr, make([]byte, SchedulesBytes))
+}

@@ -1,0 +1,243 @@
+package veracrypt
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"coldboot/internal/aes"
+)
+
+// memBuf is a trivial MemWriter capturing what the driver puts in "RAM".
+type memBuf struct {
+	data map[uint64][]byte
+}
+
+func (m *memBuf) Write(phys uint64, data []byte) error {
+	if m.data == nil {
+		m.data = map[uint64][]byte{}
+	}
+	m.data[phys] = append([]byte{}, data...)
+	return nil
+}
+
+func testSalt(seed int64) []byte {
+	s := make([]byte, SaltSize)
+	rand.New(rand.NewSource(seed)).Read(s)
+	return s
+}
+
+func createTestVolume(t *testing.T, password string) *Volume {
+	t.Helper()
+	v, err := Create([]byte(password), 64*SectorSize, testSalt(1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestCreateAndMount(t *testing.T) {
+	v := createTestVolume(t, "hunter2")
+	m, err := v.Mount([]byte("hunter2"), nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sectors, err := m.Superblock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sectors != 64 {
+		t.Errorf("superblock sectors = %d, want 64", sectors)
+	}
+}
+
+func TestWrongPasswordRejected(t *testing.T) {
+	v := createTestVolume(t, "correct")
+	if _, err := v.Mount([]byte("incorrect"), nil, 0); err == nil {
+		t.Error("wrong password accepted")
+	}
+}
+
+func TestSectorRoundTrip(t *testing.T) {
+	v := createTestVolume(t, "pw")
+	m, err := v.Mount([]byte("pw"), nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, SectorSize)
+	rand.New(rand.NewSource(2)).Read(data)
+	if err := m.WriteSector(5, data); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, SectorSize)
+	if err := m.ReadSector(5, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("sector round trip failed")
+	}
+}
+
+func TestDataEncryptedAtRest(t *testing.T) {
+	v := createTestVolume(t, "pw")
+	m, _ := v.Mount([]byte("pw"), nil, 0)
+	secret := bytes.Repeat([]byte("TOPSECRET!"), 52)[:SectorSize]
+	m.WriteSector(3, secret)
+	if bytes.Contains(v.disk, []byte("TOPSECRET!")) {
+		t.Error("plaintext visible on disk")
+	}
+}
+
+func TestRemountPersists(t *testing.T) {
+	v := createTestVolume(t, "pw")
+	m, _ := v.Mount([]byte("pw"), nil, 0)
+	data := make([]byte, SectorSize)
+	copy(data, "persistent payload")
+	m.WriteSector(7, data)
+	m.Unmount()
+	m2, err := v.Mount([]byte("pw"), nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, SectorSize)
+	m2.ReadSector(7, got)
+	if !bytes.Equal(got, data) {
+		t.Error("data lost across remount")
+	}
+}
+
+func TestMountWritesSchedulesToMemory(t *testing.T) {
+	v := createTestVolume(t, "pw")
+	mem := &memBuf{}
+	const addr = 0x1234
+	m, err := v.Mount([]byte("pw"), mem, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := mem.data[addr]
+	if len(sched) != SchedulesBytes {
+		t.Fatalf("schedule footprint = %d bytes, want %d", len(sched), SchedulesBytes)
+	}
+	// The schedules must be real expansions of the master key halves.
+	master := m.MasterKeys()
+	if !bytes.Equal(sched[:240], aes.ExpandKeyBytes(master[:32])) {
+		t.Error("data-key schedule in memory is not the expansion of K1")
+	}
+	if !bytes.Equal(sched[240:], aes.ExpandKeyBytes(master[32:])) {
+		t.Error("tweak-key schedule in memory is not the expansion of K2")
+	}
+}
+
+func TestUnmountErasesSchedules(t *testing.T) {
+	v := createTestVolume(t, "pw")
+	mem := &memBuf{}
+	m, _ := v.Mount([]byte("pw"), mem, 0x40)
+	if err := m.Unmount(); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range mem.data[0x40] {
+		if b != 0 {
+			t.Fatal("key schedules not zeroed on unmount")
+		}
+	}
+	// Access after unmount fails.
+	if err := m.ReadSector(0, make([]byte, SectorSize)); err == nil {
+		t.Error("read after unmount succeeded")
+	}
+}
+
+func TestMountWithRecoveredKeys(t *testing.T) {
+	// The attack endgame: no password, just master key halves mined from a
+	// memory dump (order unknown, decoys present).
+	v := createTestVolume(t, "forgotten-password")
+	m, _ := v.Mount([]byte("forgotten-password"), nil, 0)
+	master := m.MasterKeys()
+	secret := make([]byte, SectorSize)
+	copy(secret, "the attacker wants this sector")
+	m.WriteSector(9, secret)
+	m.Unmount()
+
+	decoy := make([]byte, 32)
+	rand.New(rand.NewSource(3)).Read(decoy)
+	candidates := [][]byte{decoy, master[32:], master[:32]} // shuffled halves + decoy
+	m2, err := v.MountWithRecoveredKeys(candidates, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, SectorSize)
+	m2.ReadSector(9, got)
+	if !bytes.Equal(got, secret) {
+		t.Error("recovered-key mount cannot read the data")
+	}
+}
+
+func TestMountWithRecoveredKeysAccepts64ByteCandidates(t *testing.T) {
+	v := createTestVolume(t, "pw")
+	m, _ := v.Mount([]byte("pw"), nil, 0)
+	master := m.MasterKeys()
+	if _, err := v.MountWithRecoveredKeys([][]byte{master}, nil, 0); err != nil {
+		t.Errorf("64-byte candidate rejected: %v", err)
+	}
+}
+
+func TestMountWithWrongKeysFails(t *testing.T) {
+	v := createTestVolume(t, "pw")
+	junk := make([]byte, 32)
+	if _, err := v.MountWithRecoveredKeys([][]byte{junk}, nil, 0); err == nil {
+		t.Error("junk keys unlocked the volume")
+	}
+}
+
+func TestFixedKeyMaterial(t *testing.T) {
+	km := make([]byte, MasterKeyLen)
+	for i := range km {
+		km[i] = byte(i)
+	}
+	v, err := Create([]byte("pw"), 16*SectorSize, testSalt(4), km)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := v.Mount([]byte("pw"), nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(m.MasterKeys(), km) {
+		t.Error("fixed key material not used")
+	}
+}
+
+func TestCreateValidation(t *testing.T) {
+	if _, err := Create([]byte("pw"), 1024, make([]byte, 10), nil); err == nil {
+		t.Error("short salt accepted")
+	}
+	if _, err := Create([]byte("pw"), 0, testSalt(5), nil); err == nil {
+		t.Error("zero-size volume accepted")
+	}
+	if _, err := Create([]byte("pw"), 1024, testSalt(5), make([]byte, 10)); err == nil {
+		t.Error("short key material accepted")
+	}
+}
+
+func TestSectorBoundsChecking(t *testing.T) {
+	v := createTestVolume(t, "pw")
+	m, _ := v.Mount([]byte("pw"), nil, 0)
+	if err := m.ReadSector(-1, make([]byte, SectorSize)); err == nil {
+		t.Error("negative sector accepted")
+	}
+	if err := m.ReadSector(64, make([]byte, SectorSize)); err == nil {
+		t.Error("out-of-range sector accepted")
+	}
+	if err := m.ReadSector(0, make([]byte, 100)); err == nil {
+		t.Error("short buffer accepted")
+	}
+}
+
+func TestDistinctVolumesDistinctKeys(t *testing.T) {
+	a, _ := Create([]byte("pw"), 1024, testSalt(6), nil)
+	b, _ := Create([]byte("pw"), 1024, testSalt(7), nil)
+	ma, _ := a.Mount([]byte("pw"), nil, 0)
+	mb, _ := b.Mount([]byte("pw"), nil, 0)
+	if bytes.Equal(ma.MasterKeys(), mb.MasterKeys()) {
+		t.Error("two volumes share master keys")
+	}
+}

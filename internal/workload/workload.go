@@ -1,0 +1,167 @@
+// Package workload synthesizes realistic memory contents for the attack
+// experiments. The key-mining step of the attack depends on zero-filled
+// 64-byte blocks being common in real memory — the observation (cited by
+// the paper from the memory-compression literature) that zeros occur more
+// frequently than any other value. The generator reproduces the mix a
+// loaded system exhibits: zero pages, machine code, text, pointer-rich heap
+// structures, and high-entropy (compressed/encrypted/media) pages.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// PageBytes is the generation granularity.
+const PageBytes = 4096
+
+// Profile sets the fraction of pages drawn from each content class.
+// Fractions must sum to 1 (±1e-9).
+type Profile struct {
+	Name        string
+	Zero        float64 // untouched / freed / zeroed pages
+	Code        float64 // machine-code-like bytes
+	Text        float64 // ASCII text
+	Heap        float64 // pointer- and small-integer-rich structures
+	HighEntropy float64 // compressed, encrypted, or media data
+}
+
+// Validate checks the fractions sum to one.
+func (p Profile) Validate() error {
+	sum := p.Zero + p.Code + p.Text + p.Heap + p.HighEntropy
+	if sum < 1-1e-9 || sum > 1+1e-9 {
+		return fmt.Errorf("workload: profile %q fractions sum to %f", p.Name, sum)
+	}
+	return nil
+}
+
+// Standard profiles.
+var (
+	// LoadedSystem models the "heavily loaded system" of §III-B: most
+	// memory in active use, but zero blocks still plentiful.
+	LoadedSystem = Profile{Name: "loaded", Zero: 0.15, Code: 0.20, Text: 0.20, Heap: 0.25, HighEntropy: 0.20}
+	// LightSystem models a mostly idle machine: zeros dominate.
+	LightSystem = Profile{Name: "light", Zero: 0.55, Code: 0.10, Text: 0.10, Heap: 0.15, HighEntropy: 0.10}
+	// HostileSystem is a worst case for the attacker: almost no zero
+	// pages. Used by the negative/robustness experiments.
+	HostileSystem = Profile{Name: "hostile", Zero: 0.01, Code: 0.25, Text: 0.24, Heap: 0.25, HighEntropy: 0.25}
+)
+
+// Fill populates buf with synthetic memory contents. Generation is
+// deterministic in seed. buf length must be a multiple of PageBytes.
+func Fill(buf []byte, seed int64, p Profile) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if len(buf)%PageBytes != 0 {
+		return fmt.Errorf("workload: buffer length %d not page aligned", len(buf))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for off := 0; off < len(buf); off += PageBytes {
+		page := buf[off : off+PageBytes]
+		r := rng.Float64()
+		switch {
+		case r < p.Zero:
+			fillZero(page)
+		case r < p.Zero+p.Code:
+			fillCode(page, rng)
+		case r < p.Zero+p.Code+p.Text:
+			fillText(page, rng)
+		case r < p.Zero+p.Code+p.Text+p.Heap:
+			fillHeap(page, rng)
+		default:
+			fillHighEntropy(page, rng)
+		}
+	}
+	return nil
+}
+
+func fillZero(page []byte) {
+	for i := range page {
+		page[i] = 0
+	}
+}
+
+// fillCode emits x86-64-flavoured byte soup: common opcode prefixes,
+// ModRM-ish bytes, and the occasional zero-heavy displacement.
+func fillCode(page []byte, rng *rand.Rand) {
+	opcodes := []byte{0x48, 0x89, 0x8B, 0xE8, 0xC3, 0x55, 0x5D, 0xFF, 0x0F, 0x85, 0x74, 0x75, 0x90, 0x31, 0x41, 0x4C}
+	for i := 0; i < len(page); {
+		page[i] = opcodes[rng.Intn(len(opcodes))]
+		i++
+		if rng.Float64() < 0.25 && i+4 <= len(page) {
+			// 32-bit displacement, frequently small → zero-heavy.
+			d := rng.Int31n(1 << 12)
+			page[i] = byte(d)
+			page[i+1] = byte(d >> 8)
+			page[i+2] = 0
+			page[i+3] = 0
+			i += 4
+		}
+	}
+}
+
+const textCorpus = "the quick brown fox jumps over the lazy dog. " +
+	"Lorem ipsum dolor sit amet, consectetur adipiscing elit, sed do " +
+	"eiusmod tempor incididunt ut labore et dolore magna aliqua. "
+
+func fillText(page []byte, rng *rand.Rand) {
+	pos := rng.Intn(len(textCorpus))
+	for i := range page {
+		page[i] = textCorpus[(pos+i)%len(textCorpus)]
+	}
+}
+
+// fillHeap emits 8-byte records resembling 64-bit pointers (into a plausible
+// heap range) mixed with small integers and padding zeros — the classic
+// struct/slice soup of a running process.
+func fillHeap(page []byte, rng *rand.Rand) {
+	for i := 0; i+8 <= len(page); i += 8 {
+		switch rng.Intn(4) {
+		case 0: // pointer: 0x00007fxx_xxxxxxxx
+			v := 0x00007f0000000000 | rng.Int63n(1<<40)
+			putLE64(page[i:], uint64(v))
+		case 1: // small integer
+			putLE64(page[i:], uint64(rng.Intn(4096)))
+		case 2: // zero padding
+			putLE64(page[i:], 0)
+		case 3: // flags / lengths
+			putLE64(page[i:], uint64(rng.Intn(256))<<32|uint64(rng.Intn(65536)))
+		}
+	}
+}
+
+func fillHighEntropy(page []byte, rng *rand.Rand) {
+	rng.Read(page)
+}
+
+func putLE64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * uint(i)))
+	}
+}
+
+// ZeroBlockFraction reports the fraction of 64-byte-aligned blocks in buf
+// that are entirely zero — the supply of scrambler-key "leaks" available to
+// the miner.
+func ZeroBlockFraction(buf []byte) float64 {
+	const block = 64
+	if len(buf) < block {
+		return 0
+	}
+	zeros, total := 0, 0
+	for off := 0; off+block <= len(buf); off += block {
+		total++
+		allZero := true
+		for _, b := range buf[off : off+block] {
+			if b != 0 {
+				allZero = false
+				break
+			}
+		}
+		if allZero {
+			zeros++
+		}
+	}
+	return float64(zeros) / float64(total)
+}

@@ -1,0 +1,142 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+
+	"coldboot/internal/bitutil"
+)
+
+func TestProfilesValid(t *testing.T) {
+	for _, p := range []Profile{LoadedSystem, LightSystem, HostileSystem} {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestValidateRejectsBadSum(t *testing.T) {
+	p := Profile{Name: "bad", Zero: 0.5, Code: 0.9}
+	if err := p.Validate(); err == nil {
+		t.Error("expected error for fractions summing to 1.4")
+	}
+}
+
+func TestFillDeterministic(t *testing.T) {
+	a := make([]byte, 64*PageBytes)
+	b := make([]byte, 64*PageBytes)
+	if err := Fill(a, 42, LoadedSystem); err != nil {
+		t.Fatal(err)
+	}
+	if err := Fill(b, 42, LoadedSystem); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("same seed produced different contents")
+	}
+	Fill(b, 43, LoadedSystem)
+	if bytes.Equal(a, b) {
+		t.Error("different seeds produced identical contents")
+	}
+}
+
+func TestFillRejectsUnalignedBuffer(t *testing.T) {
+	if err := Fill(make([]byte, 100), 1, LoadedSystem); err == nil {
+		t.Error("expected error for unaligned buffer")
+	}
+}
+
+func TestZeroBlockSupplyMatchesProfile(t *testing.T) {
+	buf := make([]byte, 1024*PageBytes)
+	cases := []struct {
+		p        Profile
+		min, max float64
+	}{
+		{LoadedSystem, 0.10, 0.35}, // zero pages + heap padding + code displacements
+		{LightSystem, 0.45, 0.75},
+		{HostileSystem, 0.00, 0.15},
+	}
+	for _, c := range cases {
+		if err := Fill(buf, 7, c.p); err != nil {
+			t.Fatal(err)
+		}
+		got := ZeroBlockFraction(buf)
+		if got < c.min || got > c.max {
+			t.Errorf("%s: zero-block fraction %f outside [%f, %f]", c.p.Name, got, c.min, c.max)
+		}
+	}
+}
+
+func TestZerosMostFrequentByteValue(t *testing.T) {
+	// The memory-compression observation the key miner relies on.
+	buf := make([]byte, 512*PageBytes)
+	if err := Fill(buf, 9, LoadedSystem); err != nil {
+		t.Fatal(err)
+	}
+	hist := bitutil.ByteHistogram(buf)
+	for v := 1; v < 256; v++ {
+		if hist[v] > hist[0] {
+			t.Fatalf("byte %#02x more frequent than zero (%d > %d)", v, hist[v], hist[0])
+		}
+	}
+}
+
+func TestContentClassesLookDifferent(t *testing.T) {
+	// Entropy ordering: zero < text < code/heap < high entropy.
+	page := make([]byte, PageBytes)
+	entropies := map[string]float64{}
+	onlyClass := func(name string, p Profile) {
+		buf := make([]byte, 64*PageBytes)
+		if err := Fill(buf, 3, p); err != nil {
+			t.Fatal(err)
+		}
+		entropies[name] = bitutil.Entropy(buf)
+	}
+	onlyClass("zero", Profile{Name: "z", Zero: 1})
+	onlyClass("text", Profile{Name: "t", Text: 1})
+	onlyClass("code", Profile{Name: "c", Code: 1})
+	onlyClass("rand", Profile{Name: "r", HighEntropy: 1})
+	if !(entropies["zero"] < entropies["text"] && entropies["text"] < entropies["code"] &&
+		entropies["code"] < entropies["rand"]) {
+		t.Errorf("entropy ordering violated: %+v", entropies)
+	}
+	_ = page
+}
+
+func TestHeapPagesContainPointers(t *testing.T) {
+	buf := make([]byte, 64*PageBytes)
+	if err := Fill(buf, 5, Profile{Name: "h", Heap: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Look for the 0x7f userspace-pointer signature at qword offsets 5..6.
+	found := 0
+	for i := 0; i+8 <= len(buf); i += 8 {
+		if buf[i+5] == 0x7f || (buf[i+6] == 0x7f && buf[i+7] == 0) {
+			found++
+		}
+	}
+	if found < len(buf)/8/16 {
+		t.Errorf("only %d pointer-like qwords found", found)
+	}
+}
+
+func TestZeroBlockFractionEdgeCases(t *testing.T) {
+	if got := ZeroBlockFraction(nil); got != 0 {
+		t.Errorf("nil fraction = %f", got)
+	}
+	if got := ZeroBlockFraction(make([]byte, 64)); got != 1 {
+		t.Errorf("all-zero fraction = %f", got)
+	}
+	buf := bytes.Repeat([]byte{1}, 128)
+	if got := ZeroBlockFraction(buf); got != 0 {
+		t.Errorf("all-ones fraction = %f", got)
+	}
+}
+
+func BenchmarkFillLoaded1MB(b *testing.B) {
+	buf := make([]byte, 1<<20)
+	b.SetBytes(1 << 20)
+	for i := 0; i < b.N; i++ {
+		Fill(buf, int64(i), LoadedSystem)
+	}
+}
