@@ -1,0 +1,29 @@
+# Build/verify targets for the cold boot scrambler reproduction.
+#
+#   make test           tier-1 gate: build everything, run every test
+#   make race           vet + race-detector pass over the worker-pool
+#                       packages (the parallel attack scan and keyfind pool)
+#   make bench          run the paper-figure benchmarks once
+#   make bench-hotpath  regenerate BENCH_hotpath.json (attack hot-path
+#                       kernels, machine-readable; commit the result so the
+#                       perf trajectory is tracked across PRs)
+
+GO ?= go
+
+.PHONY: test race bench bench-hotpath all
+
+all: test race
+
+test:
+	$(GO) build ./...
+	$(GO) test ./...
+
+race:
+	$(GO) vet ./...
+	$(GO) test -race ./internal/core/... ./internal/keyfind/...
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+bench-hotpath:
+	$(GO) run ./cmd/encbench -hotpath BENCH_hotpath.json

@@ -7,13 +7,16 @@ package coldboot
 
 import (
 	"math/rand"
+	"runtime"
 	"testing"
 	"time"
 
 	"coldboot/internal/aes"
+	"coldboot/internal/bitutil"
 	"coldboot/internal/core"
 	"coldboot/internal/dram"
 	"coldboot/internal/engine"
+	"coldboot/internal/keyfind"
 	"coldboot/internal/machine"
 	"coldboot/internal/memimg"
 	"coldboot/internal/scramble"
@@ -44,6 +47,101 @@ func BenchmarkFigure1ScramblerModel(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s.Scramble(buf, buf, 0)
 		s.Descramble(buf, buf, 0)
+	}
+}
+
+// BenchmarkXORWords measures the word-level XOR kernel the whole attack hot
+// path now runs on (4 KiB buffers, in place, zero allocations).
+func BenchmarkXORWords(b *testing.B) {
+	buf := make([]byte, 4096)
+	key := make([]byte, 4096)
+	rand.New(rand.NewSource(1)).Read(key)
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bitutil.XORWords(buf, buf, key)
+	}
+}
+
+// BenchmarkXORBlock64 measures the unrolled one-burst kernel used per
+// (block, key) descramble trial.
+func BenchmarkXORBlock64(b *testing.B) {
+	buf := make([]byte, 64)
+	key := make([]byte, 64)
+	rand.New(rand.NewSource(2)).Read(key)
+	b.SetBytes(64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bitutil.XORBlock64(buf, buf, key)
+	}
+}
+
+// BenchmarkKeyfindScanParallel measures the Halderman-baseline schedule scan
+// over a 4 MiB image with the machine-sized worker pool (the default Scan
+// path).
+func BenchmarkKeyfindScanParallel(b *testing.B) {
+	img := make([]byte, 4<<20)
+	if err := workload.Fill(img, 5, workload.LoadedSystem); err != nil {
+		b.Fatal(err)
+	}
+	key := make([]byte, 32)
+	rand.New(rand.NewSource(6)).Read(key)
+	copy(img[3<<20:], aes.ExpandKeyBytes(key))
+	b.SetBytes(int64(len(img)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(keyfind.Scan(img, aes.AES256, 0)) != 1 {
+			b.Fatal("planted key not found")
+		}
+	}
+}
+
+// BenchmarkKeyfindScanSerial is the single-worker reference for the
+// parallel-scan speedup factor recorded in BENCH_hotpath.json.
+func BenchmarkKeyfindScanSerial(b *testing.B) {
+	img := make([]byte, 4<<20)
+	if err := workload.Fill(img, 5, workload.LoadedSystem); err != nil {
+		b.Fatal(err)
+	}
+	key := make([]byte, 32)
+	rand.New(rand.NewSource(6)).Read(key)
+	copy(img[3<<20:], aes.ExpandKeyBytes(key))
+	b.SetBytes(int64(len(img)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(keyfind.ScanSerial(img, aes.AES256, 0)) != 1 {
+			b.Fatal("planted key not found")
+		}
+	}
+}
+
+// BenchmarkAttackDump measures the full Section III-C pipeline (mine +
+// per-candidate descramble + schedule verify) over a 2 MiB scrambled dump
+// with the default machine-sized worker pool.
+func BenchmarkAttackDump(b *testing.B) {
+	plain := make([]byte, 2<<20)
+	if err := workload.Fill(plain, 7, workload.LightSystem); err != nil {
+		b.Fatal(err)
+	}
+	key := make([]byte, 32)
+	rand.New(rand.NewSource(8)).Read(key)
+	copy(plain[4096*64+128:], aes.ExpandKeyBytes(key))
+	s := scramble.NewSkylakeDDR4(11)
+	dump := make([]byte, len(plain))
+	s.Scramble(dump, plain, 0)
+	b.SetBytes(int64(len(dump)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Attack(dump, core.Config{Workers: runtime.NumCPU()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Keys) == 0 {
+			b.Fatal("key not recovered")
+		}
 	}
 }
 

@@ -1,0 +1,173 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"coldboot/internal/aes"
+	"coldboot/internal/bitutil"
+	"coldboot/internal/core"
+	"coldboot/internal/keyfind"
+	"coldboot/internal/scramble"
+	"coldboot/internal/workload"
+)
+
+// Hot-path benchmark emitter (the -hotpath flag): runs the same kernels the
+// root bench_test.go measures, but in-process and machine-readable, so the
+// perf trajectory of the attack hot path can be tracked across PRs by
+// diffing BENCH_hotpath.json.
+
+// HotpathResult is one benchmark row of the JSON report.
+type HotpathResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	MBPerS      float64 `json:"mb_per_s"`
+	BytesPerOp  int64   `json:"processed_bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+// HotpathReport is the whole BENCH_hotpath.json document.
+type HotpathReport struct {
+	GeneratedBy      string          `json:"generated_by"`
+	Date             string          `json:"date"`
+	GoVersion        string          `json:"go_version"`
+	GOARCH           string          `json:"goarch"`
+	NumCPU           int             `json:"num_cpu"`
+	GOMAXPROCS       int             `json:"gomaxprocs"`
+	Benchmarks       []HotpathResult `json:"benchmarks"`
+	ParallelSpeedup  float64         `json:"keyfind_parallel_over_serial"`
+	SpeedupWorkerPop int             `json:"keyfind_parallel_workers"`
+}
+
+func row(name string, bytesPerOp int64, fn func(b *testing.B)) HotpathResult {
+	r := testing.Benchmark(fn)
+	ns := float64(r.T.Nanoseconds()) / float64(r.N)
+	return HotpathResult{
+		Name:        name,
+		NsPerOp:     ns,
+		MBPerS:      float64(bytesPerOp) / ns * 1e3, // bytes/ns -> MB/s (1e9 ns * 1e-6 MB)
+		BytesPerOp:  bytesPerOp,
+		AllocsPerOp: r.AllocsPerOp(),
+		Iterations:  r.N,
+	}
+}
+
+// writeHotpath runs the hot-path suite and writes the JSON report to path.
+func writeHotpath(path string) error {
+	fmt.Fprintf(os.Stderr, "running hot-path benchmarks (NumCPU=%d)...\n", runtime.NumCPU())
+
+	// Shared fixtures.
+	xorBuf := make([]byte, 4096)
+	xorKey := make([]byte, 4096)
+	rand.New(rand.NewSource(1)).Read(xorKey)
+	ddr4 := scramble.NewSkylakeDDR4(1)
+
+	img := make([]byte, 4<<20)
+	if err := workload.Fill(img, 5, workload.LoadedSystem); err != nil {
+		return err
+	}
+	planted := make([]byte, 32)
+	rand.New(rand.NewSource(6)).Read(planted)
+	copy(img[3<<20:], aes.ExpandKeyBytes(planted))
+
+	plain := make([]byte, 2<<20)
+	if err := workload.Fill(plain, 7, workload.LightSystem); err != nil {
+		return err
+	}
+	copy(plain[4096*64+128:], aes.ExpandKeyBytes(planted))
+	dump := make([]byte, len(plain))
+	scramble.NewSkylakeDDR4(11).Scramble(dump, plain, 0)
+
+	report := HotpathReport{
+		GeneratedBy: "encbench -hotpath",
+		Date:        time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+	}
+
+	report.Benchmarks = append(report.Benchmarks,
+		row("xor_words_4096B", 4096, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				bitutil.XORWords(xorBuf, xorBuf, xorKey)
+			}
+		}),
+		row("xor_block_64B", 64, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				bitutil.XORBlock64(xorBuf, xorBuf, xorKey)
+			}
+		}),
+		// The Figure 1 data path: scramble + descramble 4 KiB through the
+		// Skylake DDR4 model (matches BenchmarkFigure1ScramblerModel).
+		row("figure1_scramble_roundtrip_4096B", 2*4096, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ddr4.Scramble(xorBuf, xorBuf, 0)
+				ddr4.Descramble(xorBuf, xorBuf, 0)
+			}
+		}),
+	)
+
+	serial := row("keyfind_scan_serial_4MiB", int64(len(img)), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if len(keyfind.ScanSerial(img, aes.AES256, 0)) != 1 {
+				b.Fatal("planted key not found")
+			}
+		}
+	})
+	parallel := row("keyfind_scan_parallel_4MiB", int64(len(img)), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if len(keyfind.Scan(img, aes.AES256, 0)) != 1 {
+				b.Fatal("planted key not found")
+			}
+		}
+	})
+	report.Benchmarks = append(report.Benchmarks, serial, parallel)
+	if parallel.NsPerOp > 0 {
+		report.ParallelSpeedup = serial.NsPerOp / parallel.NsPerOp
+	}
+	report.SpeedupWorkerPop = runtime.NumCPU()
+
+	report.Benchmarks = append(report.Benchmarks,
+		row("attack_dump_2MiB", int64(len(dump)), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := core.Attack(dump, core.Config{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Keys) == 0 {
+					b.Fatal("key not recovered")
+				}
+			}
+		}),
+	)
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	for _, r := range report.Benchmarks {
+		fmt.Printf("%-34s %14.0f ns/op %10.1f MB/s %6d allocs/op\n",
+			r.Name, r.NsPerOp, r.MBPerS, r.AllocsPerOp)
+	}
+	fmt.Printf("keyfind parallel/serial speedup: %.2fx (%d CPUs)\n",
+		report.ParallelSpeedup, report.SpeedupWorkerPop)
+	return nil
+}

@@ -8,6 +8,7 @@
 //	encbench -figure6
 //	encbench -figure7
 //	encbench -all
+//	encbench -hotpath BENCH_hotpath.json
 package main
 
 import (
@@ -26,13 +27,20 @@ func main() {
 	figure7 := flag.Bool("figure7", false, "print the Figure 7 overheads")
 	traffic := flag.Bool("traffic", false, "print the command-level traffic cross-validation")
 	all := flag.Bool("all", false, "print everything")
+	hotpath := flag.String("hotpath", "", "run the attack hot-path benchmarks and write machine-readable JSON to this file (conventionally BENCH_hotpath.json)")
 	flag.Parse()
 	if *all {
 		*table2, *figure6, *figure7, *traffic = true, true, true, true
 	}
-	if !*table2 && !*figure6 && !*figure7 && !*traffic {
+	if !*table2 && !*figure6 && !*figure7 && !*traffic && *hotpath == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *hotpath != "" {
+		if err := writeHotpath(*hotpath); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 	if *table2 {
 		printTable2()

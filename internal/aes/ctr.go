@@ -1,6 +1,10 @@
 package aes
 
-import "encoding/binary"
+import (
+	"encoding/binary"
+
+	"coldboot/internal/bitutil"
+)
 
 // CTR implements AES in counter mode as the paper's Section IV uses it for
 // memory encryption: the keystream for a 64-byte memory block is generated
@@ -43,13 +47,23 @@ func (s *CTR) Keystream(dst []byte, ctr uint64) {
 
 // XORKeyStream encrypts (or decrypts) src into dst using counter values
 // starting at ctr. dst and src may alias; length must be a multiple of 16.
+//
+// The keystream is generated one counter block at a time into a stack
+// buffer and XORed with the word-level kernel, so the call allocates
+// nothing regardless of length.
 func (s *CTR) XORKeyStream(dst, src []byte, ctr uint64) {
 	if len(dst) != len(src) {
 		panic("aes: CTR XORKeyStream length mismatch")
 	}
-	ks := make([]byte, len(src))
-	s.Keystream(ks, ctr)
-	for i := range src {
-		dst[i] = src[i] ^ ks[i]
+	if len(src)%BlockSize != 0 {
+		panic("aes: CTR XORKeyStream length must be a multiple of 16")
+	}
+	var block, ks [BlockSize]byte
+	binary.BigEndian.PutUint64(block[0:8], s.nonce)
+	for off := 0; off < len(src); off += BlockSize {
+		binary.BigEndian.PutUint64(block[8:16], ctr)
+		s.c.Encrypt(ks[:], block[:])
+		bitutil.XORBlock16(dst[off:], src[off:], ks[:])
+		ctr++
 	}
 }

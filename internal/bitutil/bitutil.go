@@ -7,28 +7,38 @@
 package bitutil
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
 	"math/bits"
 )
 
-// HammingWeight returns the total number of set bits in b.
+// HammingWeight returns the total number of set bits in b, popcounting
+// eight bytes per step.
 func HammingWeight(b []byte) int {
 	n := 0
-	for _, v := range b {
-		n += bits.OnesCount8(v)
+	i := 0
+	for ; i+wordSize <= len(b); i += wordSize {
+		n += bits.OnesCount64(binary.LittleEndian.Uint64(b[i:]))
+	}
+	for ; i < len(b); i++ {
+		n += bits.OnesCount8(b[i])
 	}
 	return n
 }
 
-// HammingDistance returns the number of differing bits between a and b.
-// The slices must have equal length.
+// HammingDistance returns the number of differing bits between a and b,
+// popcounting eight bytes per step. The slices must have equal length.
 func HammingDistance(a, b []byte) int {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("bitutil: hamming distance of unequal lengths %d and %d", len(a), len(b)))
 	}
 	n := 0
-	for i := range a {
+	i := 0
+	for ; i+wordSize <= len(a); i += wordSize {
+		n += bits.OnesCount64(binary.LittleEndian.Uint64(a[i:]) ^ binary.LittleEndian.Uint64(b[i:]))
+	}
+	for ; i < len(a); i++ {
 		n += bits.OnesCount8(a[i] ^ b[i])
 	}
 	return n
@@ -73,10 +83,17 @@ func XORNew(a, b []byte) []byte {
 	return XOR(make([]byte, len(a)), a, b)
 }
 
-// IsZero reports whether every byte of b is zero.
+// IsZero reports whether every byte of b is zero, checking eight bytes per
+// step.
 func IsZero(b []byte) bool {
-	for _, v := range b {
-		if v != 0 {
+	i := 0
+	for ; i+wordSize <= len(b); i += wordSize {
+		if binary.LittleEndian.Uint64(b[i:]) != 0 {
+			return false
+		}
+	}
+	for ; i < len(b); i++ {
+		if b[i] != 0 {
 			return false
 		}
 	}

@@ -1,0 +1,136 @@
+package bitutil
+
+import (
+	"bytes"
+	"math/bits"
+	"math/rand"
+	"testing"
+)
+
+// xorRef is the seed byte-at-a-time XOR loop, kept as the differential
+// reference the word kernels must match bit for bit.
+func xorRef(dst, a, b []byte) {
+	for i := range a {
+		dst[i] = a[i] ^ b[i]
+	}
+}
+
+// TestXORWordsParity checks XORWords against the byte loop for every length
+// 0..130 and every source/destination misalignment 0..7 — covering the full
+// lane, partial tail, and unaligned-load cases.
+func TestXORWordsParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	backing := make([]byte, 160)
+	rng.Read(backing)
+	for length := 0; length <= 130; length++ {
+		for align := 0; align < 8; align++ {
+			a := make([]byte, align+length)
+			b := make([]byte, align+length)
+			rng.Read(a)
+			rng.Read(b)
+			want := make([]byte, length)
+			xorRef(want, a[align:], b[align:])
+			got := make([]byte, length)
+			XORWords(got, a[align:], b[align:])
+			if !bytes.Equal(got, want) {
+				t.Fatalf("XORWords mismatch at length=%d align=%d", length, align)
+			}
+			// Aliased destination (dst == a), as the scramblers use it.
+			aCopy := append([]byte{}, a...)
+			XORWords(aCopy[align:], aCopy[align:], b[align:])
+			if !bytes.Equal(aCopy[align:], want) {
+				t.Fatalf("XORWords aliased mismatch at length=%d align=%d", length, align)
+			}
+		}
+	}
+}
+
+// TestXORBlock64Parity checks the unrolled 64-byte kernel against the byte
+// loop, including aliasing and unaligned slice starts.
+func TestXORBlock64Parity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 64; trial++ {
+		align := trial % 8
+		src := make([]byte, align+64)
+		key := make([]byte, align+64)
+		rng.Read(src)
+		rng.Read(key)
+		want := make([]byte, 64)
+		xorRef(want, src[align:], key[align:])
+		got := make([]byte, align+64)
+		XORBlock64(got[align:], src[align:], key[align:])
+		if !bytes.Equal(got[align:], want) {
+			t.Fatalf("XORBlock64 mismatch at align=%d", align)
+		}
+		srcCopy := append([]byte{}, src...)
+		XORBlock64(srcCopy[align:], srcCopy[align:], key[align:])
+		if !bytes.Equal(srcCopy[align:], want) {
+			t.Fatalf("XORBlock64 aliased mismatch at align=%d", align)
+		}
+	}
+}
+
+// TestXORBlock16Parity checks the 16-byte kernel the AES-CTR path uses.
+func TestXORBlock16Parity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 32; trial++ {
+		src := make([]byte, 16)
+		key := make([]byte, 16)
+		rng.Read(src)
+		rng.Read(key)
+		want := make([]byte, 16)
+		xorRef(want, src, key)
+		got := make([]byte, 16)
+		XORBlock16(got, src, key)
+		if !bytes.Equal(got, want) {
+			t.Fatal("XORBlock16 mismatch")
+		}
+		XORBlock16(src, src, key)
+		if !bytes.Equal(src, want) {
+			t.Fatal("XORBlock16 aliased mismatch")
+		}
+	}
+}
+
+func TestXORBlock64ShortPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on short slice")
+		}
+	}()
+	XORBlock64(make([]byte, 64), make([]byte, 63), make([]byte, 64))
+}
+
+// TestWordPopcountParity checks the word-level HammingWeight,
+// HammingDistance, and IsZero against byte-loop references for lengths
+// spanning lane boundaries.
+func TestWordPopcountParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for length := 0; length <= 67; length++ {
+		a := make([]byte, length)
+		b := make([]byte, length)
+		rng.Read(a)
+		rng.Read(b)
+		wantW, wantD := 0, 0
+		for i := range a {
+			wantW += bits.OnesCount8(a[i])
+			wantD += bits.OnesCount8(a[i] ^ b[i])
+		}
+		if got := HammingWeight(a); got != wantW {
+			t.Fatalf("HammingWeight(%d bytes) = %d, want %d", length, got, wantW)
+		}
+		if got := HammingDistance(a, b); got != wantD {
+			t.Fatalf("HammingDistance(%d bytes) = %d, want %d", length, got, wantD)
+		}
+		zero := make([]byte, length)
+		if !IsZero(zero) {
+			t.Fatalf("IsZero(zero[%d]) = false", length)
+		}
+		if length > 0 {
+			zero[length-1] = 0x80
+			if IsZero(zero) {
+				t.Fatalf("IsZero with trailing set bit (length %d) = true", length)
+			}
+		}
+	}
+}

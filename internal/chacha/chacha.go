@@ -12,6 +12,8 @@ package chacha
 import (
 	"encoding/binary"
 	"fmt"
+
+	"coldboot/internal/bitutil"
 )
 
 // BlockSize is the ChaCha output block size in bytes — equal to a DDR3/DDR4
@@ -130,14 +132,22 @@ func (c *Cipher) Keystream(dst []byte, counter uint64) {
 
 // XORKeyStream encrypts or decrypts src into dst with keystream starting at
 // counter. dst and src may alias; length must be a multiple of 64.
+//
+// Each 64-byte keystream block is generated into a stack buffer and folded
+// in with the word-level kernel — no allocation, eight uint64 lanes per
+// block.
 func (c *Cipher) XORKeyStream(dst, src []byte, counter uint64) {
 	if len(dst) != len(src) {
 		panic("chacha: XORKeyStream length mismatch")
 	}
-	ks := make([]byte, len(src))
-	c.Keystream(ks, counter)
-	for i := range src {
-		dst[i] = src[i] ^ ks[i]
+	if len(src)%BlockSize != 0 {
+		panic("chacha: XORKeyStream length must be a multiple of 64")
+	}
+	var blk [BlockSize]byte
+	for off := 0; off < len(src); off += BlockSize {
+		c.Block(counter, &blk)
+		bitutil.XORBlock64(dst[off:], src[off:], blk[:])
+		counter++
 	}
 }
 

@@ -1,7 +1,11 @@
 package core
 
 import (
+	"encoding/binary"
+	"math/bits"
+
 	"coldboot/internal/aes"
+	"coldboot/internal/bitutil"
 )
 
 // KeyDirectory returns the candidate scrambler keys for a given block index
@@ -74,21 +78,20 @@ func VerifySchedule(dump []byte, keys KeyDirectory, master []byte, tableStart in
 	return 1 - float64(mismatched)/float64(totalBits)
 }
 
-// xorDistance returns hamming(stored ^ key, want).
+// xorDistance returns hamming(stored ^ key, want), popcounting eight bytes
+// per step with a byte tail for the unaligned chunk ends.
 func xorDistance(stored, key, want []byte) int {
 	d := 0
-	for i := range stored {
-		d += popcount8(stored[i] ^ key[i] ^ want[i])
+	i := 0
+	for ; i+8 <= len(stored); i += 8 {
+		d += bits.OnesCount64(binary.LittleEndian.Uint64(stored[i:]) ^
+			binary.LittleEndian.Uint64(key[i:]) ^
+			binary.LittleEndian.Uint64(want[i:]))
+	}
+	for ; i < len(stored); i++ {
+		d += bits.OnesCount8(stored[i] ^ key[i] ^ want[i])
 	}
 	return d
-}
-
-func popcount8(b byte) int {
-	n := 0
-	for ; b != 0; b &= b - 1 {
-		n++
-	}
-	return n
 }
 
 // RepairWindow attempts to fix bit decay inside a hit's schedule window by
@@ -171,10 +174,7 @@ func windowDegenerate(block []byte, hit ScheduleHit, nk int) bool {
 	if len(distinct) <= nk/2 {
 		return true
 	}
-	weight := 0
-	for _, b := range win {
-		weight += popcount8(b)
-	}
+	weight := bitutil.HammingWeight(win)
 	total := len(win) * 8
 	return weight < total/8 || weight > total*7/8
 }

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"coldboot/internal/aes"
+	"coldboot/internal/bitutil"
 )
 
 // Config tunes the full attack pipeline.
@@ -40,7 +41,8 @@ type Config struct {
 	// comparison), restricting repair to bits that could physically have
 	// decayed and affording a deeper (3-flip) search. See groundrepair.go.
 	GroundDump []byte
-	// Workers is the scan parallelism (default GOMAXPROCS).
+	// Workers is the scan parallelism. Zero (the zero value) means one
+	// worker per CPU — callers never need to set it.
 	Workers int
 	// KeysForBlock, when non-nil, overrides the key directory entirely
 	// (used by tests and by attacks with out-of-band key knowledge).
@@ -61,7 +63,7 @@ func (c Config) withDefaults() Config {
 		c.MinVerifyScore = 0.80
 	}
 	if c.Workers <= 0 {
-		c.Workers = runtime.GOMAXPROCS(0)
+		c.Workers = runtime.NumCPU()
 	}
 	return c
 }
@@ -191,9 +193,7 @@ func Attack(dump []byte, cfg Config) (*Result, error) {
 				}
 				for _, key := range directory(b) {
 					localPairs++
-					for i := range descrambled {
-						descrambled[i] = stored[i] ^ key[i]
-					}
+					bitutil.XORBlock64(descrambled, stored, key)
 					hits := AESLitmus(descrambled, cfg.Variant, cfg.AESTolerance)
 					// Single-flip repair is cheap (prediction-prefiltered), so
 					// every failing hit may try it; the quadratic double-flip

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 )
@@ -50,8 +51,11 @@ type CampaignConfig struct {
 	// ShardBlocks is the shard size in 64-byte blocks (default 65536,
 	// i.e. 4 MiB shards).
 	ShardBlocks int
-	// Parallel is how many shards run concurrently (default 1 — shard
-	// parallelism multiplies the per-shard worker pool).
+	// Parallel is how many shards run concurrently. Zero (the zero value)
+	// means one in-flight shard per CPU; callers never need to set it. When
+	// Attack.Workers is also zero, the per-shard worker count is divided by
+	// Parallel so the two levels together target one goroutine per CPU
+	// instead of multiplying into NumCPU².
 	Parallel int
 	// OnProgress, if non-nil, is called after each shard completes.
 	OnProgress func(Progress)
@@ -61,8 +65,16 @@ func (c CampaignConfig) withDefaults() CampaignConfig {
 	if c.ShardBlocks == 0 {
 		c.ShardBlocks = 65536
 	}
-	if c.Parallel == 0 {
-		c.Parallel = 1
+	if c.Parallel <= 0 {
+		c.Parallel = runtime.NumCPU()
+	}
+	if c.Attack.Workers <= 0 {
+		// Split the CPU budget between shard-level and block-level
+		// parallelism rather than letting the defaults multiply.
+		c.Attack.Workers = runtime.NumCPU() / c.Parallel
+		if c.Attack.Workers < 1 {
+			c.Attack.Workers = 1
+		}
 	}
 	return c
 }

@@ -3,6 +3,8 @@ package dram
 import (
 	"fmt"
 	"math/rand"
+
+	"coldboot/internal/bitutil"
 )
 
 // ModuleSpec describes a purchasable DRAM module model: its standard,
@@ -176,18 +178,9 @@ func (m *Module) FullyDecay() {
 	copy(m.data, m.ground)
 }
 
+// countDiffBits runs on bitutil's word-level popcount kernel: the retention
+// measurement and full-decay accounting sweep whole modules, so the 8x lane
+// width matters.
 func countDiffBits(a, b []byte) int {
-	n := 0
-	for i := range a {
-		n += popcount8(a[i] ^ b[i])
-	}
-	return n
-}
-
-func popcount8(b byte) int {
-	n := 0
-	for ; b != 0; b &= b - 1 {
-		n++
-	}
-	return n
+	return bitutil.HammingDistance(a, b)
 }

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"coldboot/internal/aes"
+	"coldboot/internal/bitutil"
 	"coldboot/internal/chacha"
 	"coldboot/internal/memctrl"
 	"coldboot/internal/scramble"
@@ -38,6 +39,18 @@ func expandSeed(seed uint64, keyLen int) (key []byte, nonce uint64) {
 	return key, mix(s)
 }
 
+// ksCache is a one-entry keystream chunk cache. The bus access patterns the
+// simulator generates — a Scramble immediately followed by a KeyAt probe, or
+// repeated transactions against the same line — recompute the same 64-byte
+// keystream chunk; caching it skips the cipher core entirely on a hit.
+// Scramblers are not goroutine-safe (they model one memory channel), so the
+// cache needs no locking.
+type ksCache struct {
+	block uint64 // 64-byte block index the cached chunk belongs to
+	valid bool
+	ks    [scramble.BlockBytes]byte
+}
+
 // AESCTRScrambler encrypts memory blocks with AES in counter mode: the
 // block's physical address provides the four counter values, a boot-time
 // key and nonce do the rest.
@@ -45,6 +58,7 @@ type AESCTRScrambler struct {
 	variant aes.Variant
 	seed    uint64
 	ctr     *aes.CTR
+	cache   ksCache
 }
 
 // NewAESCTRScrambler builds an AES-CTR memory encryptor.
@@ -63,6 +77,19 @@ func (s *AESCTRScrambler) Reseed(seed uint64) {
 		panic(err) // key length is correct by construction
 	}
 	s.ctr = ctr
+	s.cache.valid = false
+}
+
+// keystream64 returns the cached 64-byte keystream chunk for the block at
+// off, generating and caching it on a miss.
+func (s *AESCTRScrambler) keystream64(off uint64) *[scramble.BlockBytes]byte {
+	blk := off / scramble.BlockBytes
+	if !s.cache.valid || s.cache.block != blk {
+		s.ctr.Keystream(s.cache.ks[:], off/16) // the counter advances once per 16 bytes
+		s.cache.block = blk
+		s.cache.valid = true
+	}
+	return &s.cache.ks
 }
 
 // Seed returns the boot seed.
@@ -74,16 +101,23 @@ func (s *AESCTRScrambler) NumKeys() int { return math.MaxInt32 }
 // Name identifies the scheme.
 func (s *AESCTRScrambler) Name() string { return "enc-" + s.variant.String() }
 
-// KeyAt returns the 64-byte keystream for the block at off.
+// KeyAt returns a copy of the 64-byte keystream for the block at off
+// (copied so the result stays valid across Reseed; the chunk itself comes
+// from the per-scrambler cache).
 func (s *AESCTRScrambler) KeyAt(off uint64) []byte {
 	ks := make([]byte, scramble.BlockBytes)
-	s.ctr.Keystream(ks, off/16) // the counter advances once per 16 bytes
+	copy(ks, s.keystream64(off)[:])
 	return ks
 }
 
 // Scramble encrypts src into dst (may alias) for the block-aligned offset.
 func (s *AESCTRScrambler) Scramble(dst, src []byte, off uint64) {
 	checkArgs(dst, src, off)
+	if len(src) == scramble.BlockBytes {
+		// Single-line transaction: fold in the cached keystream chunk.
+		bitutil.XORBlock64(dst, src, s.keystream64(off)[:])
+		return
+	}
 	// Four counters per 64-byte block: counter = byte offset / 16.
 	s.ctr.XORKeyStream(dst, src, off/16)
 }
@@ -100,6 +134,7 @@ type ChaChaScrambler struct {
 	rounds int
 	seed   uint64
 	cipher *chacha.Cipher
+	cache  ksCache
 }
 
 // NewChaChaScrambler builds a ChaCha memory encryptor (8, 12, or 20
@@ -119,6 +154,19 @@ func (s *ChaChaScrambler) Reseed(seed uint64) {
 		panic(err) // parameters are correct by construction
 	}
 	s.cipher = c
+	s.cache.valid = false
+}
+
+// keystream64 returns the cached keystream block for the line at off,
+// generating and caching it on a miss.
+func (s *ChaChaScrambler) keystream64(off uint64) *[scramble.BlockBytes]byte {
+	blk := off / scramble.BlockBytes
+	if !s.cache.valid || s.cache.block != blk {
+		s.cipher.Block(blk, &s.cache.ks)
+		s.cache.block = blk
+		s.cache.valid = true
+	}
+	return &s.cache.ks
 }
 
 // Seed returns the boot seed.
@@ -132,18 +180,23 @@ func (s *ChaChaScrambler) Name() string {
 	return "enc-ChaCha" + string(rune('0'+s.rounds/10)) + string(rune('0'+s.rounds%10))
 }
 
-// KeyAt returns the 64-byte keystream for the block at off.
+// KeyAt returns a copy of the 64-byte keystream for the block at off
+// (copied so the result stays valid across Reseed; the block itself comes
+// from the per-scrambler cache).
 func (s *ChaChaScrambler) KeyAt(off uint64) []byte {
-	var blk [chacha.BlockSize]byte
-	s.cipher.Block(off/scramble.BlockBytes, &blk)
 	out := make([]byte, scramble.BlockBytes)
-	copy(out, blk[:])
+	copy(out, s.keystream64(off)[:])
 	return out
 }
 
 // Scramble encrypts src into dst (may alias) for the block-aligned offset.
 func (s *ChaChaScrambler) Scramble(dst, src []byte, off uint64) {
 	checkArgs(dst, src, off)
+	if len(src) == scramble.BlockBytes {
+		// Single-line transaction: fold in the cached keystream block.
+		bitutil.XORBlock64(dst, src, s.keystream64(off)[:])
+		return
+	}
 	s.cipher.XORKeyStream(dst, src, off/scramble.BlockBytes)
 }
 

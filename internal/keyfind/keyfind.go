@@ -5,10 +5,17 @@
 // is the prior-art baseline the paper's Section III-C modifies — it
 // requires the memory image to be fully descrambled ahead of time, which is
 // exactly what DDR4 scrambling broke and the internal/core attack restores.
+//
+// The scan is embarrassingly parallel (each candidate offset is judged
+// independently), so Scan shards the image across a worker pool sized to
+// the machine by default and merges the per-chunk findings back in offset
+// order — the output is byte-identical to a serial left-to-right scan.
 package keyfind
 
 import (
 	"math/bits"
+	"runtime"
+	"sync"
 
 	"coldboot/internal/aes"
 )
@@ -24,59 +31,150 @@ type Finding struct {
 // tail (the expanded bytes after the master key).
 const DefaultTolerance = 16
 
-// Scan searches image for in-memory AES key schedules of the given variant.
-// Every byte offset is tried, as in the original tool: real schedules are
-// at least word aligned, but memory images can have arbitrary framing.
+// minChunkBytes is the smallest per-worker chunk worth dispatching: below
+// this the goroutine hand-off costs more than the scan itself.
+const minChunkBytes = 64 << 10
+
+// Scan searches image for in-memory AES key schedules of the given variant,
+// fanning the offset range out over one worker per CPU. Every byte offset
+// is tried, as in the original tool: real schedules are at least word
+// aligned, but memory images can have arbitrary framing.
 //
-// The first expansion word acts as a cheap filter: only offsets whose first
-// derived word matches within a small budget proceed to the full-schedule
-// comparison with the given tolerance.
+// Findings are returned in ascending offset order, exactly as the serial
+// scan produces them (see ScanParallel).
 func Scan(image []byte, v aes.Variant, tolerance int) []Finding {
+	return ScanParallel(image, v, tolerance, 0)
+}
+
+// ScanSerial is the single-threaded scan: one worker, no goroutines. It is
+// the ordering/content reference for ScanParallel.
+func ScanSerial(image []byte, v aes.Variant, tolerance int) []Finding {
 	if tolerance <= 0 {
 		tolerance = DefaultTolerance
 	}
-	var out []Finding
-	keyBytes := v.KeyBytes()
-	schedBytes := v.ScheduleBytes()
-	nk := v.Nk()
-	for off := 0; off+schedBytes <= len(image); off++ {
-		window := image[off : off+keyBytes]
-		// Quick filter: derive schedule word nk from the candidate key and
-		// compare against the stored bytes, allowing a few flipped bits.
-		first := deriveWord(window, nk)
-		stored := beWord(image[off+keyBytes:])
-		if bits.OnesCount32(first^stored) > 4 {
-			continue
-		}
-		// Full check: expand and compare the whole tail.
-		sched := aes.ExpandKeyBytes(image[off : off+keyBytes])
-		d := 0
-		ok := true
-		for i := keyBytes; i < schedBytes; i++ {
-			d += bits.OnesCount8(sched[i] ^ image[off+i])
-			if d > tolerance {
-				ok = false
-				break
+	return scanRange(image, v, tolerance, 0, len(image))
+}
+
+// ScanParallel scans with an explicit worker count (0 or negative selects
+// runtime.NumCPU()). The image is cut into contiguous offset chunks, each
+// chunk is scanned independently, and the per-chunk findings — already in
+// ascending offset order — are concatenated in chunk order, so the merged
+// output is deterministic and byte-identical to ScanSerial's regardless of
+// worker count or scheduling.
+func ScanParallel(image []byte, v aes.Variant, tolerance int, workers int) []Finding {
+	if tolerance <= 0 {
+		tolerance = DefaultTolerance
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	nOffsets := len(image) - v.ScheduleBytes() + 1
+	if nOffsets <= 0 {
+		return nil
+	}
+	// Aim for a few chunks per worker so a dense region doesn't straggle,
+	// but never chunks so small that dispatch dominates.
+	chunkLen := nOffsets / (workers * 4)
+	if chunkLen < minChunkBytes {
+		chunkLen = minChunkBytes
+	}
+	nChunks := (nOffsets + chunkLen - 1) / chunkLen
+	if nChunks <= 1 || workers == 1 {
+		return scanRange(image, v, tolerance, 0, len(image))
+	}
+	if workers > nChunks {
+		workers = nChunks
+	}
+
+	results := make([][]Finding, nChunks)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range jobs {
+				lo := c * chunkLen
+				hi := lo + chunkLen
+				if hi > nOffsets {
+					hi = nOffsets
+				}
+				results[c] = scanRange(image, v, tolerance, lo, hi)
 			}
-		}
-		if ok {
-			out = append(out, Finding{
-				Offset:   off,
-				Master:   append([]byte{}, image[off:off+keyBytes]...),
-				Distance: d,
-			})
-		}
+		}()
+	}
+	for c := 0; c < nChunks; c++ {
+		jobs <- c
+	}
+	close(jobs)
+	wg.Wait()
+
+	var out []Finding
+	for _, r := range results {
+		out = append(out, r...)
 	}
 	return out
 }
 
-// deriveWord computes schedule word nk (the first derived word) from the
-// master key bytes.
-func deriveWord(key []byte, nk int) uint32 {
-	prev := beWord(key[4*(nk-1):])
-	w0 := beWord(key)
-	g := subWordRot(prev) ^ 0x01000000 // rcon(1)
-	return w0 ^ g
+// scanRange scans candidate offsets in [lo, hi) ∩ [0, len(image)-schedBytes].
+// Offsets are ownership boundaries only: the schedule window read at each
+// offset may extend past hi, so chunked scans see exactly the findings a
+// full serial scan does, each exactly once.
+//
+// The quick filter maintains three rolling big-endian 32-bit words (the
+// first key word, the last key word, and the stored word after the key)
+// that each advance by one byte per offset — turning twelve byte loads per
+// offset into three.
+func scanRange(image []byte, v aes.Variant, tolerance, lo, hi int) []Finding {
+	keyBytes := v.KeyBytes()
+	schedBytes := v.ScheduleBytes()
+	if max := len(image) - schedBytes + 1; hi > max {
+		hi = max
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if lo >= hi {
+		return nil
+	}
+	var out []Finding
+	w0 := beWord(image[lo:])              // first 4 key bytes
+	prev := beWord(image[lo+keyBytes-4:]) // last 4 key bytes
+	stored := beWord(image[lo+keyBytes:]) // first 4 schedule-tail bytes
+	for off := lo; off < hi; off++ {
+		// Quick filter: derive schedule word nk from the candidate key and
+		// compare against the stored bytes, allowing a few flipped bits.
+		first := w0 ^ subWordRot(prev) ^ 0x01000000 // rcon(1)
+		if bits.OnesCount32(first^stored) <= 4 {
+			// Full check: expand and compare the whole tail.
+			sched := aes.ExpandKeyBytes(image[off : off+keyBytes])
+			d := 0
+			ok := true
+			for i := keyBytes; i < schedBytes; i++ {
+				d += bits.OnesCount8(sched[i] ^ image[off+i])
+				if d > tolerance {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				out = append(out, Finding{
+					Offset:   off,
+					Master:   append([]byte{}, image[off:off+keyBytes]...),
+					Distance: d,
+				})
+			}
+		}
+		if off+1 < hi {
+			// Slide each rolling word one byte to the right. The loads stay
+			// in bounds because off+1+schedBytes <= len(image) and
+			// schedBytes > keyBytes+4 for every AES variant.
+			w0 = w0<<8 | uint32(image[off+4])
+			prev = prev<<8 | uint32(image[off+keyBytes])
+			stored = stored<<8 | uint32(image[off+keyBytes+4])
+		}
+	}
+	return out
 }
 
 func beWord(b []byte) uint32 {
