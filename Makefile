@@ -1,8 +1,11 @@
 # Build/verify targets for the cold boot scrambler reproduction.
 #
 #   make test           tier-1 gate: build everything, run every test
-#   make race           vet + race-detector pass over the worker-pool
-#                       packages (the parallel attack scan and keyfind pool)
+#   make race           vet + race-detector pass over every package (the
+#                       staged pipeline, campaign pool, and keyfind pool
+#                       all run goroutines)
+#   make check          umbrella gate: build + vet + tests + race, the
+#                       whole pre-merge checklist in one target
 #   make bench          run the paper-figure benchmarks once
 #   make bench-hotpath  regenerate BENCH_hotpath.json (attack hot-path
 #                       kernels, machine-readable; commit the result so the
@@ -10,9 +13,9 @@
 
 GO ?= go
 
-.PHONY: test race bench bench-hotpath all
+.PHONY: test race check bench bench-hotpath all
 
-all: test race
+all: check
 
 test:
 	$(GO) build ./...
@@ -20,7 +23,9 @@ test:
 
 race:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/core/... ./internal/keyfind/...
+	$(GO) test -race ./...
+
+check: test race
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .

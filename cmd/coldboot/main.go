@@ -6,9 +6,15 @@
 //	coldboot [-cpu i5-6600K] [-channels 1] [-mem 2097152]
 //	         [-freeze -25] [-transfer 2s] [-reboot] [-protection stock]
 //	         [-seed 1] [-repair 1]
+//	         [-timeout 30s] [-progress] [-trace out.json]
+//
+// The analysis pipeline is observable and cancellable: -timeout bounds the
+// whole run, -progress prints live stage progress to stderr, and -trace
+// writes per-stage wall time plus candidate counters as JSON.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -16,8 +22,10 @@ import (
 	"time"
 
 	"coldboot"
+	"coldboot/internal/core"
 	"coldboot/internal/dumpfile"
 	"coldboot/internal/machine"
+	"coldboot/internal/obs"
 )
 
 func main() {
@@ -33,7 +41,10 @@ func main() {
 	repair := flag.Int("repair", 1, "decay repair flips (0-2)")
 	list := flag.Bool("list", false, "list Table I CPU models and exit")
 	captureTo := flag.String("capture", "", "capture the dump to this file instead of attacking")
-	analyzeFrom := flag.String("analyze", "", "attack a previously captured dump file")
+	analyzeFrom := flag.String("analyze", "", "attack a previously captured dump file (streamed, not loaded whole)")
+	timeout := flag.Duration("timeout", 0, "abort the attack after this long (0 = no limit); partial results are reported")
+	progress := flag.Bool("progress", false, "print live attack progress to stderr")
+	traceOut := flag.String("trace", "", "write per-stage wall time and candidate counters as JSON to this file")
 	flag.Parse()
 
 	if *list {
@@ -59,8 +70,17 @@ func main() {
 		os.Exit(2)
 	}
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	collector, tracer := buildTracer(*traceOut != "", *progress)
+	defer writeTrace(collector, *traceOut)
+
 	if *analyzeFrom != "" {
-		analyzeFile(*analyzeFrom, *repair)
+		analyzeFile(ctx, *analyzeFrom, *repair, tracer)
 		return
 	}
 
@@ -75,6 +95,7 @@ func main() {
 		Protection:        prot,
 		Seed:              *seed,
 		RepairFlips:       *repair,
+		Tracer:            tracer,
 	}
 
 	if *captureTo != "" {
@@ -82,9 +103,12 @@ func main() {
 		return
 	}
 
-	out, err := coldboot.Run(scenario)
+	out, err := coldboot.RunContext(ctx, scenario)
 	if err != nil {
-		log.Fatal(err)
+		if out == nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "attack interrupted (%v); reporting partial results\n", err)
 	}
 
 	fmt.Printf("victim seed      %#016x\n", out.VictimSeed)
@@ -99,7 +123,65 @@ func main() {
 		fmt.Printf("volume UNLOCKED; secret: %q\n", out.SecretRecovered)
 	} else {
 		fmt.Println("volume still locked — attack failed")
+		writeTrace(collector, *traceOut)
 		os.Exit(1)
+	}
+}
+
+// buildTracer assembles the observability hooks the flags ask for: a
+// Collector when tracing, a stderr progress printer when -progress.
+func buildTracer(trace, progress bool) (*obs.Collector, obs.Tracer) {
+	var collector *obs.Collector
+	var tracers []obs.Tracer
+	if trace {
+		collector = obs.NewCollector()
+		tracers = append(tracers, collector)
+	}
+	if progress {
+		tracers = append(tracers, progressPrinter())
+	}
+	return collector, obs.Multi(tracers...)
+}
+
+// progressPrinter logs stage transitions and throttled progress ticks.
+func progressPrinter() obs.Tracer {
+	var lastPct int64 = -1
+	return &obs.Funcs{
+		OnStageStart: func(name string) {
+			fmt.Fprintf(os.Stderr, "[stage] %s...\n", name)
+		},
+		OnStageEnd: func(name string, wall time.Duration) {
+			fmt.Fprintf(os.Stderr, "[stage] %s done in %v\n", name, wall.Round(time.Microsecond))
+		},
+		OnProgress: func(stage string, done, total int64) {
+			if total <= 0 {
+				return
+			}
+			if pct := done * 100 / total; pct != lastPct {
+				lastPct = pct
+				fmt.Fprintf(os.Stderr, "[%s] %d%% (%d/%d blocks)\n", stage, pct, done, total)
+			}
+		},
+	}
+}
+
+// writeTrace dumps the collected stage report; safe to call with nil
+// collector or empty path, and idempotent enough for the deferred +
+// early-exit double call (the second write just repeats the report).
+func writeTrace(c *obs.Collector, path string) {
+	if c == nil || path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Printf("trace: %v", err)
+		return
+	}
+	if err := c.WriteJSON(f); err != nil {
+		log.Printf("trace: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		log.Printf("trace: %v", err)
 	}
 }
 
@@ -126,24 +208,41 @@ func captureFile(s coldboot.Scenario, path string) {
 	fmt.Printf("captured %d bytes (retention %.4f) to %s\n", len(dump), out.Retention, path)
 }
 
-// analyzeFile loads a dump container and runs the offline attack.
-func analyzeFile(path string, repair int) {
-	meta, dump, err := dumpfile.ReadFile(path)
+// analyzeFile streams a dump container through the sharded attack campaign
+// without loading the image whole: the container header is parsed eagerly,
+// the CRC is verified in one streaming pass, and the campaign reads one
+// mining window / one shard at a time.
+func analyzeFile(ctx context.Context, path string, repair int, tracer obs.Tracer) {
+	f, err := dumpfile.Open(path)
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer f.Close()
+	meta := f.Meta()
 	fmt.Printf("loaded %d bytes captured on %s (%d ch, frozen to %.0fC, %.1fs transfer)\n",
-		len(dump), meta.CPU, meta.Channels, meta.FreezeTempC, meta.TransferSeconds)
-	keys, err := coldboot.AttackDump(dump, repair)
+		f.Size(), meta.CPU, meta.Channels, meta.FreezeTempC, meta.TransferSeconds)
+	if err := f.VerifyChecksum(); err != nil {
+		log.Fatal(err)
+	}
+	src, err := core.ReaderAtSource(f, f.Size())
 	if err != nil {
 		log.Fatal(err)
 	}
-	if len(keys) == 0 {
+	res, err := core.RunCampaignSource(ctx, src, core.CampaignConfig{
+		Attack: core.Config{RepairFlips: repair, Tracer: tracer},
+	})
+	if err != nil {
+		if res == nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "attack interrupted (%v); reporting partial results\n", err)
+	}
+	if len(res.Keys) == 0 {
 		fmt.Println("no AES master keys recovered")
 		os.Exit(1)
 	}
-	fmt.Printf("%d master keys recovered:\n", len(keys))
-	for i, k := range keys {
-		fmt.Printf("  [%d] %x\n", i, k)
+	fmt.Printf("%d master keys recovered:\n", len(res.Keys))
+	for i, k := range res.Keys {
+		fmt.Printf("  [%d] %x (score %.3f, table at %#x)\n", i, k.Master, k.Score, k.TableStart)
 	}
 }

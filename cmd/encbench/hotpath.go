@@ -32,11 +32,14 @@ type HotpathResult struct {
 	Iterations  int     `json:"iterations"`
 }
 
-// HotpathReport is the whole BENCH_hotpath.json document.
+// HotpathReport is the whole BENCH_hotpath.json document. The run metadata
+// (toolchain, OS/arch, CPU budget) is embedded so two BENCH_hotpath.json
+// files can be compared knowing whether the machines were comparable.
 type HotpathReport struct {
 	GeneratedBy      string          `json:"generated_by"`
 	Date             string          `json:"date"`
 	GoVersion        string          `json:"go_version"`
+	GOOS             string          `json:"goos"`
 	GOARCH           string          `json:"goarch"`
 	NumCPU           int             `json:"num_cpu"`
 	GOMAXPROCS       int             `json:"gomaxprocs"`
@@ -88,6 +91,7 @@ func writeHotpath(path string) error {
 		GeneratedBy: "encbench -hotpath",
 		Date:        time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
 		GOARCH:      runtime.GOARCH,
 		NumCPU:      runtime.NumCPU(),
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),

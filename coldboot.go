@@ -30,6 +30,7 @@
 package coldboot
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -40,6 +41,7 @@ import (
 	"coldboot/internal/engine"
 	"coldboot/internal/keyfind"
 	"coldboot/internal/machine"
+	"coldboot/internal/obs"
 	"coldboot/internal/veracrypt"
 	"coldboot/internal/workload"
 )
@@ -115,6 +117,10 @@ type Scenario struct {
 	// comparison), enabling asymmetric-decay repair in the analysis.
 	// Only meaningful for DIMM-transfer scenarios.
 	GroundProfile bool
+	// Tracer observes the analysis pipeline (per-stage wall time, candidate
+	// counters, progress); nil means no tracing. cmd/coldboot's -trace and
+	// -progress flags install one.
+	Tracer obs.Tracer
 }
 
 func (s Scenario) withDefaults() Scenario {
@@ -183,11 +189,18 @@ const secretPayload = "TOP-SECRET: the cold boot attack recovered this sector."
 // fill memory, freeze/transfer/dump, attack, and attempt to unlock the
 // volume with the recovered keys.
 func Run(s Scenario) (*Outcome, error) {
+	return RunContext(context.Background(), s)
+}
+
+// RunContext is Run with cancellation: the attack's scan loops poll ctx
+// every chunk, so a timed-out or cancelled run stops promptly. The partial
+// Outcome accumulated so far is returned together with ctx.Err().
+func RunContext(ctx context.Context, s Scenario) (*Outcome, error) {
 	dump, out, vol, cpu, err := capture(s)
 	if err != nil {
 		return nil, err
 	}
-	return analyze(s.withDefaults(), dump, out, vol, cpu)
+	return analyze(ctx, s.withDefaults(), dump, out, vol, cpu)
 }
 
 // Capture performs only the acquisition half of a scenario — victim setup,
@@ -341,8 +354,10 @@ func capture(s Scenario) ([]byte, *Outcome, *veracrypt.Volume, machine.CPUModel,
 }
 
 // analyze runs the generation-appropriate attack on a captured dump and
-// attempts to unlock the volume with whatever keys fall out.
-func analyze(s Scenario, dump []byte, out *Outcome, vol *veracrypt.Volume, cpu machine.CPUModel) (*Outcome, error) {
+// attempts to unlock the volume with whatever keys fall out. Cancellation
+// mid-attack returns the partial Outcome together with ctx.Err().
+func analyze(ctx context.Context, s Scenario, dump []byte, out *Outcome, vol *veracrypt.Volume, cpu machine.CPUModel) (*Outcome, error) {
+	tracer := obs.OrNop(s.Tracer)
 	if cpu.Memory == dram.DDR3 && s.Protection == StockScrambler {
 		// DDR3 baseline (Bauer et al.): 16-key frequency analysis, then the
 		// schedule hunt with the known per-class keys. The classic
@@ -353,19 +368,23 @@ func analyze(s Scenario, dump []byte, out *Outcome, vol *veracrypt.Volume, cpu m
 		if err != nil {
 			return nil, err
 		}
-		res, err := core.Attack(dump, core.Config{
+		res, err := core.AttackContext(ctx, dump, core.Config{
 			RepairFlips: s.RepairFlips,
 			KeysForBlock: func(b int) [][]byte {
 				return [][]byte{keys[b%core.DDR3KeyCount]}
 			},
+			Tracer: s.Tracer,
 		})
-		if err != nil {
+		if res == nil {
 			return nil, err
 		}
 		out.MinedKeys = core.DDR3KeyCount
 		out.Stride = core.DDR3KeyCount
 		out.Coverage = 1
 		out.RecoveredMasters = res.Masters()
+		if err != nil {
+			return out, err
+		}
 		// Cross-check with the prior-art scan on the descrambled image
 		// (adds any finding the anchored hunt missed).
 		if plainDump, err := core.DescrambleDDR3(dump, keys); err == nil {
@@ -374,27 +393,43 @@ func analyze(s Scenario, dump []byte, out *Outcome, vol *veracrypt.Volume, cpu m
 			}
 		}
 	} else {
-		res, err := core.Attack(dump, core.Config{RepairFlips: s.RepairFlips, GroundDump: out.GroundDump})
-		if err != nil {
+		res, err := core.AttackContext(ctx, dump, core.Config{
+			RepairFlips: s.RepairFlips,
+			GroundDump:  out.GroundDump,
+			Tracer:      s.Tracer,
+		})
+		if res == nil {
 			return nil, err
 		}
-		out.MinedKeys = len(res.Mine.Keys)
+		if res.Mine != nil {
+			out.MinedKeys = len(res.Mine.Keys)
+		}
 		out.Stride = res.Stride
 		out.Coverage = res.Coverage
 		out.RecoveredMasters = res.Masters()
+		if err != nil {
+			return out, err
+		}
 	}
 
 	// A real attacker also runs the classic Halderman scan on the raw dump:
 	// it wins outright whenever the dump is effectively plaintext — the
 	// scrambler disabled, or a seed-reusing BIOS whose reboot descrambles
 	// its own memory (§III-B observation 2).
-	for _, f := range keyfind.Scan(dump, aes.AES256, keyfind.DefaultTolerance) {
+	scanTimer := tracer.StageStart("halderman-scan")
+	findings, err := keyfind.ScanContext(ctx, dump, aes.AES256, keyfind.DefaultTolerance, 0)
+	scanTimer.End()
+	for _, f := range findings {
 		out.RecoveredMasters = append(out.RecoveredMasters, f.Master)
 	}
 	out.RecoveredMasters = dedupKeys(out.RecoveredMasters)
+	if err != nil {
+		return out, err
+	}
 
 	// Endgame: unlock the volume with the recovered keys — no password.
 	if len(out.RecoveredMasters) > 0 {
+		unlockTimer := tracer.StageStart("unlock")
 		if m2, err := vol.MountWithRecoveredKeys(out.RecoveredMasters, nil, 0); err == nil {
 			out.VolumeUnlocked = true
 			buf := make([]byte, veracrypt.SectorSize)
@@ -402,6 +437,8 @@ func analyze(s Scenario, dump []byte, out *Outcome, vol *veracrypt.Volume, cpu m
 				out.SecretRecovered = buf[:len(secretPayload)]
 			}
 		}
+		unlockTimer.End()
+		tracer.Count("unlock.masters_tried", int64(len(out.RecoveredMasters)))
 	}
 	return out, nil
 }
@@ -426,9 +463,15 @@ func dedupKeys(keys [][]byte) [][]byte {
 // memory dump and returns any recovered AES master keys — the entry point
 // for dumps obtained outside the Scenario plumbing.
 func AttackDump(dump []byte, repairFlips int) ([][]byte, error) {
-	res, err := core.Attack(dump, core.Config{RepairFlips: repairFlips})
-	if err != nil {
+	return AttackDumpContext(context.Background(), dump, repairFlips, nil)
+}
+
+// AttackDumpContext is AttackDump with cancellation and tracing: a
+// cancelled attack returns the masters recovered so far with ctx.Err().
+func AttackDumpContext(ctx context.Context, dump []byte, repairFlips int, tracer obs.Tracer) ([][]byte, error) {
+	res, err := core.AttackContext(ctx, dump, core.Config{RepairFlips: repairFlips, Tracer: tracer})
+	if res == nil {
 		return nil, err
 	}
-	return res.Masters(), nil
+	return res.Masters(), err
 }

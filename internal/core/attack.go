@@ -1,13 +1,16 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"coldboot/internal/aes"
 	"coldboot/internal/bitutil"
+	"coldboot/internal/obs"
 )
 
 // Config tunes the full attack pipeline.
@@ -47,6 +50,14 @@ type Config struct {
 	// KeysForBlock, when non-nil, overrides the key directory entirely
 	// (used by tests and by attacks with out-of-band key knowledge).
 	KeysForBlock KeyDirectory
+	// Mine, when non-nil, is a precomputed mining result for this dump
+	// (positions in dump-local block indices): the mine stage adopts it
+	// instead of re-scanning. The campaign uses this to mine once globally
+	// and share the key pool with every shard.
+	Mine *MineResult
+	// Tracer observes the pipeline: per-stage wall time, candidate
+	// counters, and hunt progress. Nil means no tracing (obs.Nop).
+	Tracer obs.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -87,86 +98,181 @@ type Result struct {
 	Keys          []FoundKey
 }
 
+// Stage is one named, cancellable step of the attack pipeline. Stages run
+// in order over a shared AttackRun; each is timed through the run's tracer
+// under its Name. Run must honour ctx: on cancellation it returns ctx.Err()
+// promptly (within one scan chunk), leaving whatever partial products it
+// produced in the run.
+type Stage interface {
+	Name() string
+	Run(ctx context.Context, run *AttackRun) error
+}
+
+// AttackRun is the state threaded through the attack stages: the inputs
+// (dump + config), the intermediate products each stage leaves for the
+// next, and the final Result.
+type AttackRun struct {
+	Dump []byte
+	Cfg  Config // defaults already applied
+	// Mine is the mine stage's output.
+	Mine *MineResult
+	// Directory is the directory stage's output: candidate scrambler keys
+	// per block index.
+	Directory KeyDirectory
+	// Res accumulates the final result; valid (possibly partial) even when
+	// a stage returns early with an error.
+	Res *Result
+
+	tracer obs.Tracer
+	// skip marks block indices that cannot contain schedules (mined-key
+	// sightings are zero-data blocks).
+	skip map[int]bool
+	// found collects candidate keys during the hunt, deduplicated by
+	// master bytes.
+	mu    sync.Mutex
+	found map[string]*FoundKey
+}
+
+// AttackStages returns the attack pipeline in execution order:
+// mine → directory → hunt → assemble.
+func AttackStages() []Stage {
+	return []Stage{mineStage{}, directoryStage{}, huntStage{}, assembleStage{}}
+}
+
 // Attack runs the complete DDR4 cold boot attack on a scrambled memory
 // dump: mine scrambler keys, locate AES key schedules, and recover master
 // keys. The dump may be single- or double-scrambled (victim-only, or victim
 // XOR attacker keystream — the litmus invariants survive both) and may
 // contain bit decay.
 func Attack(dump []byte, cfg Config) (*Result, error) {
+	return AttackContext(context.Background(), dump, cfg)
+}
+
+// AttackContext is Attack with cancellation: every long loop (the mining
+// scan and each hunt worker) checks ctx at least once per scan chunk, so a
+// cancelled attack stops mid-scan within one chunk of work. On
+// cancellation the partial Result assembled from the work already done is
+// returned together with ctx.Err().
+func AttackContext(ctx context.Context, dump []byte, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if len(dump)%BlockBytes != 0 {
 		return nil, fmt.Errorf("core: dump length %d not block aligned", len(dump))
 	}
-
 	if cfg.GroundDump != nil && len(cfg.GroundDump) != len(dump) {
 		return nil, fmt.Errorf("core: ground dump length %d != dump length %d", len(cfg.GroundDump), len(dump))
 	}
-	mine, err := MineKeys(dump, MineOptions{
-		Tolerance:     cfg.LitmusTolerance,
-		MergeDistance: cfg.MergeDistance,
-		MaxBytes:      cfg.MineMaxBytes,
-	})
-	if err != nil {
-		return nil, err
-	}
-	res := &Result{Mine: mine, BlocksScanned: len(dump) / BlockBytes}
 
-	directory := cfg.KeysForBlock
-	if directory == nil {
-		res.Stride = mine.InferStride()
-		if cfg.Exhaustive || res.Stride == 0 {
-			directory = AllKeysDirectory(mine)
-		} else {
-			res.Coverage = mine.Coverage(res.Stride)
-			directory = ResidueDirectory(mine, res.Stride)
+	run := &AttackRun{
+		Dump:   dump,
+		Cfg:    cfg,
+		Res:    &Result{BlocksScanned: len(dump) / BlockBytes},
+		tracer: obs.OrNop(cfg.Tracer),
+		found:  make(map[string]*FoundKey),
+	}
+	for _, st := range AttackStages() {
+		if err := ctx.Err(); err != nil {
+			assembleKeys(run)
+			return run.Res, err
+		}
+		timer := run.tracer.StageStart(st.Name())
+		err := st.Run(ctx, run)
+		timer.End()
+		if err != nil {
+			// Finalize whatever candidates the interrupted stage left so a
+			// cancelled attack still surfaces its partial findings.
+			assembleKeys(run)
+			return run.Res, err
 		}
 	}
+	return run.Res, nil
+}
 
+// mineStage recovers the scrambler key pool (paper step 1: the
+// scrambler-key litmus test over every block).
+type mineStage struct{}
+
+func (mineStage) Name() string { return "mine" }
+
+func (mineStage) Run(ctx context.Context, run *AttackRun) error {
+	if pre := run.Cfg.Mine; pre != nil {
+		run.Mine = pre
+		run.Res.Mine = pre
+		run.tracer.Count("mine.blocks_scanned", int64(pre.BlocksScanned))
+		run.tracer.Count("mine.blocks_passed", int64(pre.BlocksPassed))
+		run.tracer.Count("mine.keys", int64(len(pre.Keys)))
+		return nil
+	}
+	mine, err := MineKeysContext(ctx, run.Dump, MineOptions{
+		Tolerance:     run.Cfg.LitmusTolerance,
+		MergeDistance: run.Cfg.MergeDistance,
+		MaxBytes:      run.Cfg.MineMaxBytes,
+	})
+	run.Mine = mine
+	run.Res.Mine = mine
+	if mine != nil {
+		run.tracer.Count("mine.blocks_scanned", int64(mine.BlocksScanned))
+		run.tracer.Count("mine.blocks_passed", int64(mine.BlocksPassed))
+		run.tracer.Count("mine.keys", int64(len(mine.Keys)))
+	}
+	return err
+}
+
+// directoryStage infers the key-reuse stride and builds the per-block
+// candidate key directory (paper step 2's address-class table), plus the
+// zero-block skip set.
+type directoryStage struct{}
+
+func (directoryStage) Name() string { return "directory" }
+
+func (directoryStage) Run(ctx context.Context, run *AttackRun) error {
+	mine := run.Mine
+	run.Directory = run.Cfg.KeysForBlock
+	if run.Directory == nil {
+		run.Res.Stride = mine.InferStride()
+		if run.Cfg.Exhaustive || run.Res.Stride == 0 {
+			run.Directory = AllKeysDirectory(mine)
+		} else {
+			run.Res.Coverage = mine.Coverage(run.Res.Stride)
+			run.Directory = ResidueDirectory(mine, run.Res.Stride)
+		}
+	}
 	// Zero-data blocks are exactly the mined-key sightings: skip them (they
 	// cannot contain schedules, and their degenerate windows waste time).
-	skip := make(map[int]bool)
+	run.skip = make(map[int]bool)
 	for _, k := range mine.Keys {
 		for _, p := range k.Positions {
-			skip[p] = true
+			run.skip[p] = true
 		}
 	}
-	// Decayed zero blocks can fail the exact-tolerance litmus and evade the
-	// mined-position skip; they are still recognizable as approximate
-	// keystream (litmus distance far below random's ~128 expected bits).
-	const zeroBlockSkipDistance = 48
+	return nil
+}
 
-	type candidate struct {
-		master  string
-		start   int
-		score   float64
-		anchors int
-	}
+// Decayed zero blocks can fail the exact-tolerance litmus and evade the
+// mined-position skip; they are still recognizable as approximate
+// keystream (litmus distance far below random's ~128 expected bits).
+const zeroBlockSkipDistance = 48
+
+// scanCancelChunkBlocks is the hunt's cancellation granularity: each worker
+// polls ctx (and reports progress) every this many blocks — 16 KiB of
+// dump, a sub-millisecond unit of work even on the exhaustive path.
+const scanCancelChunkBlocks = 256
+
+// huntStage is the expensive middle of the attack (paper steps 2-4):
+// descramble every candidate (block, key) pair, AES-litmus the result,
+// and verify/repair/refine anchors into candidate master keys.
+type huntStage struct{}
+
+func (huntStage) Name() string { return "hunt" }
+
+func (huntStage) Run(ctx context.Context, run *AttackRun) error {
+	cfg := run.Cfg
+	dump := run.Dump
 	nBlocks := len(dump) / BlockBytes
 	nk := cfg.Variant.Nk()
 
-	var mu sync.Mutex
-	var pairs int64
-	found := make(map[string]*FoundKey)
-	record := func(master []byte, start int, score float64) {
-		mu.Lock()
-		defer mu.Unlock()
-		k := string(master)
-		if f, ok := found[k]; ok {
-			f.Anchors++
-			if score > f.Score {
-				f.Score = score
-				f.TableStart = start
-			}
-			return
-		}
-		found[k] = &FoundKey{
-			Master:     append([]byte{}, master...),
-			Variant:    cfg.Variant,
-			TableStart: start,
-			Score:      score,
-			Anchors:    1,
-		}
-	}
+	var pairs, hits int64
+	var done atomic.Int64
+	var cancelled atomic.Bool
 
 	var wg sync.WaitGroup
 	chunk := (nBlocks + cfg.Workers - 1) / cfg.Workers
@@ -182,26 +288,39 @@ func Attack(dump []byte, cfg Config) (*Result, error) {
 		go func(lo, hi int) {
 			defer wg.Done()
 			descrambled := make([]byte, BlockBytes)
-			var localPairs int64
+			var localPairs, localHits int64
+			lastCheck := lo
 			for b := lo; b < hi; b++ {
-				if skip[b] {
+				if b-lastCheck >= scanCancelChunkBlocks {
+					n := done.Add(int64(b - lastCheck))
+					lastCheck = b
+					if ctx.Err() != nil {
+						cancelled.Store(true)
+					}
+					run.tracer.Progress("hunt", n, int64(nBlocks))
+				}
+				if cancelled.Load() {
+					break
+				}
+				if run.skip[b] {
 					continue
 				}
 				stored := dump[b*BlockBytes : (b+1)*BlockBytes]
 				if KeyLitmusDistance(stored) <= zeroBlockSkipDistance {
 					continue // decayed zero block: approximate keystream
 				}
-				for _, key := range directory(b) {
+				for _, key := range run.Directory(b) {
 					localPairs++
 					bitutil.XORBlock64(descrambled, stored, key)
-					hits := AESLitmus(descrambled, cfg.Variant, cfg.AESTolerance)
+					blockHits := AESLitmus(descrambled, cfg.Variant, cfg.AESTolerance)
+					localHits += int64(len(blockHits))
 					// Single-flip repair is cheap (prediction-prefiltered), so
 					// every failing hit may try it; the quadratic double-flip
 					// and cubic ground-state searches are rationed per
 					// (block, key) pair.
 					doubleRepairsLeft := 4
 					groundRepairsLeft := 4
-					for _, hit := range hits {
+					for _, hit := range blockHits {
 						if windowDegenerate(descrambled, hit, nk) {
 							continue
 						}
@@ -210,10 +329,10 @@ func Attack(dump []byte, cfg Config) (*Result, error) {
 							continue
 						}
 						master := MasterFromHit(descrambled, hit, cfg.Variant)
-						score := VerifySchedule(dump, directory, master, start, cfg.Variant)
+						score := VerifySchedule(dump, run.Directory, master, start, cfg.Variant)
 						if score < cfg.MinVerifyScore && cfg.GroundDump != nil && groundRepairsLeft > 0 {
 							groundRepairsLeft--
-							master, score = RepairWindowGround(dump, cfg.GroundDump, directory,
+							master, score = RepairWindowGround(dump, cfg.GroundDump, run.Directory,
 								descrambled, b, hit, cfg.Variant, 3, cfg.MinVerifyScore)
 						} else if score < cfg.MinVerifyScore && cfg.RepairFlips > 0 {
 							flips := 1
@@ -221,29 +340,82 @@ func Attack(dump []byte, cfg Config) (*Result, error) {
 								doubleRepairsLeft--
 								flips = cfg.RepairFlips
 							}
-							master, score = RepairWindow(dump, directory, descrambled, b, hit,
+							master, score = RepairWindow(dump, run.Directory, descrambled, b, hit,
 								cfg.Variant, flips, cfg.MinVerifyScore)
 						}
 						if score >= cfg.MinVerifyScore {
 							// Correct residual linear-chain bit errors via
 							// schedule-redundancy majority voting before
 							// accepting the key.
-							master, score = RefineMaster(dump, directory, master, start, cfg.Variant)
-							record(master, start, score)
+							master, score = RefineMaster(dump, run.Directory, master, start, cfg.Variant)
+							run.record(master, start, score, cfg.Variant)
 						}
 					}
 				}
 			}
-			mu.Lock()
+			run.mu.Lock()
 			pairs += localPairs
-			mu.Unlock()
+			hits += localHits
+			run.mu.Unlock()
 		}(lo, hi)
 	}
 	wg.Wait()
-	res.PairsTested = pairs
+	run.Res.PairsTested = pairs
+	run.tracer.Count("hunt.pairs_tested", pairs)
+	run.tracer.Count("hunt.schedule_hits", hits)
+	run.tracer.Count("hunt.candidates", int64(len(run.found)))
+	run.tracer.Progress("hunt", done.Load(), int64(nBlocks))
+	if cancelled.Load() {
+		return ctx.Err()
+	}
+	return nil
+}
 
-	candidates := make([]FoundKey, 0, len(found))
-	for _, f := range found {
+// record registers a candidate master sighted at start with the given
+// verification score, merging repeat sightings into anchor counts.
+func (run *AttackRun) record(master []byte, start int, score float64, v aes.Variant) {
+	run.mu.Lock()
+	defer run.mu.Unlock()
+	k := string(master)
+	if f, ok := run.found[k]; ok {
+		f.Anchors++
+		if score > f.Score {
+			f.Score = score
+			f.TableStart = start
+		}
+		return
+	}
+	run.found[k] = &FoundKey{
+		Master:     append([]byte{}, master...),
+		Variant:    v,
+		TableStart: start,
+		Score:      score,
+		Anchors:    1,
+	}
+}
+
+// assembleStage ranks the hunt's candidates and suppresses shift-family
+// aliases into the final key list.
+type assembleStage struct{}
+
+func (assembleStage) Name() string { return "assemble" }
+
+func (assembleStage) Run(ctx context.Context, run *AttackRun) error {
+	assembleKeys(run)
+	run.tracer.Count("assemble.keys", int64(len(run.Res.Keys)))
+	return nil
+}
+
+// assembleKeys sorts the candidate keys best-first and greedily suppresses
+// shift-family aliases: a window anchored at the wrong schedule index (off
+// by a multiple of the Nk period) yields a "master" whose expansion is the
+// true schedule shifted a few words — it still verifies at ~0.9 because
+// most of its range overlaps the real table. The best-scoring candidate
+// per overlapping region is kept; the true master always scores strictly
+// higher than its shifts.
+func assembleKeys(run *AttackRun) {
+	candidates := make([]FoundKey, 0, len(run.found))
+	for _, f := range run.found {
 		candidates = append(candidates, *f)
 	}
 	sort.Slice(candidates, func(i, j int) bool {
@@ -255,16 +427,11 @@ func Attack(dump []byte, cfg Config) (*Result, error) {
 		}
 		return string(candidates[i].Master) < string(candidates[j].Master)
 	})
-	// Suppress shift-family aliases: a window anchored at the wrong
-	// schedule index (off by a multiple of the Nk period) yields a "master"
-	// whose expansion is the true schedule shifted a few words — it still
-	// verifies at ~0.9 because most of its range overlaps the real table.
-	// Greedily keep the best-scoring candidate per overlapping region; the
-	// true master always scores strictly higher than its shifts.
-	schedBytes := cfg.Variant.ScheduleBytes()
+	schedBytes := run.Cfg.Variant.ScheduleBytes()
+	run.Res.Keys = nil
 	for _, c := range candidates {
 		alias := false
-		for _, kept := range res.Keys {
+		for _, kept := range run.Res.Keys {
 			lo, hi := c.TableStart, c.TableStart+schedBytes
 			if kept.TableStart > lo {
 				lo = kept.TableStart
@@ -278,10 +445,9 @@ func Attack(dump []byte, cfg Config) (*Result, error) {
 			}
 		}
 		if !alias {
-			res.Keys = append(res.Keys, c)
+			run.Res.Keys = append(run.Res.Keys, c)
 		}
 	}
-	return res, nil
 }
 
 // Masters returns just the recovered master keys, best first.

@@ -6,6 +6,8 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+
+	"coldboot/internal/obs"
 )
 
 // Campaign orchestration. The paper (§III-C, Attack Performance): "since
@@ -18,8 +20,12 @@ import (
 // once globally (mining is cheap and the key pool spans the whole image),
 // and fans the expensive AES-schedule scan out across shards — which may
 // run on separate goroutines here, or be dispatched to separate machines by
-// the caller via the Shard/MergeShardResults primitives. Progress reporting
-// and context cancellation make multi-hour campaigns operable.
+// the caller via the Shard/MergeShardResults primitives. The dump itself is
+// read through a BlockSource one mining window / one shard at a time, so an
+// on-disk multi-GB capture (dumpfile's streaming reader) is analyzed in
+// constant memory. Progress reporting and context cancellation — now
+// per scan chunk WITHIN a shard, not just between shards — make multi-hour
+// campaigns operable.
 
 // Shard is one independently scannable piece of a dump.
 type Shard struct {
@@ -46,7 +52,10 @@ type Progress struct {
 // CampaignConfig tunes a sharded attack.
 type CampaignConfig struct {
 	// Attack is the per-shard attack configuration (Workers applies within
-	// each shard; shards themselves run Parallel at a time).
+	// each shard; shards themselves run Parallel at a time). Attack.Tracer
+	// also observes the campaign: the global mining pass runs under the
+	// "campaign.mine" stage, per-shard pipelines aggregate under the usual
+	// stage names, and the final dedup under "campaign.merge".
 	Attack Config
 	// ShardBlocks is the shard size in 64-byte blocks (default 65536,
 	// i.e. 4 MiB shards).
@@ -100,27 +109,42 @@ func Shards(totalBlocks, shardBlocks, overlapBlocks int) []Shard {
 	return out
 }
 
-// RunCampaign executes a sharded attack over a (possibly very large) dump.
-// The context cancels between shards; a cancelled campaign returns the
-// merged results found so far together with ctx.Err().
+// RunCampaign executes a sharded attack over a (possibly very large)
+// memory-resident dump. Cancellation stops the campaign mid-shard — each
+// shard's scan polls the context every chunk — and the merged results
+// found so far are returned together with ctx.Err().
 func RunCampaign(ctx context.Context, dump []byte, cfg CampaignConfig) (*Result, error) {
-	cfg = cfg.withDefaults()
 	if len(dump)%BlockBytes != 0 {
 		return nil, fmt.Errorf("core: dump length %d not block aligned", len(dump))
 	}
+	return RunCampaignSource(ctx, BytesSource(dump), cfg)
+}
+
+// RunCampaignSource is RunCampaign over a BlockSource: the image is read
+// one mining window / one shard at a time and never held fully resident,
+// so dumps larger than memory stream from disk (pair with dumpfile.Open).
+func RunCampaignSource(ctx context.Context, src BlockSource, cfg CampaignConfig) (*Result, error) {
+	if src == nil {
+		return nil, fmt.Errorf("core: nil dump source")
+	}
+	cfg = cfg.withDefaults()
 	attackCfg := cfg.Attack.withDefaults()
+	tracer := obs.OrNop(attackCfg.Tracer)
+	totalBlocks := src.Blocks()
 
 	// Global mining pass: keys repeat across the whole image, so one pass
 	// yields the best pool and the true stride.
-	mine, err := MineKeys(dump, MineOptions{
+	mineTimer := tracer.StageStart("campaign.mine")
+	mine, err := MineKeysSource(ctx, src, MineOptions{
 		Tolerance:     attackCfg.LitmusTolerance,
 		MergeDistance: attackCfg.MergeDistance,
 		MaxBytes:      attackCfg.MineMaxBytes,
 	})
+	mineTimer.End()
+	res := &Result{Mine: mine, BlocksScanned: totalBlocks}
 	if err != nil {
-		return nil, err
+		return res, err
 	}
-	res := &Result{Mine: mine, BlocksScanned: len(dump) / BlockBytes}
 	res.Stride = mine.InferStride()
 	var directory KeyDirectory
 	switch {
@@ -134,7 +158,17 @@ func RunCampaign(ctx context.Context, dump []byte, cfg CampaignConfig) (*Result,
 	}
 
 	overlap := attackCfg.Variant.ScheduleBytes()/BlockBytes + 1
-	shards := Shards(len(dump)/BlockBytes, cfg.ShardBlocks, overlap)
+	shards := Shards(totalBlocks, cfg.ShardBlocks, overlap)
+
+	// Shard buffers are pooled per in-flight worker; memory-resident
+	// sources lend subslices instead (no copy at all).
+	var bufs chan []byte
+	if _, resident := src.(sliceSource); !resident {
+		bufs = make(chan []byte, cfg.Parallel)
+		for i := 0; i < cfg.Parallel; i++ {
+			bufs <- make([]byte, (cfg.ShardBlocks+overlap)*BlockBytes)
+		}
+	}
 
 	var (
 		mu        sync.Mutex
@@ -143,13 +177,20 @@ func RunCampaign(ctx context.Context, dump []byte, cfg CampaignConfig) (*Result,
 		collected []FoundKey
 		campErr   error
 	)
+	setErr := func(err error) {
+		if err != nil && campErr == nil {
+			campErr = err
+		}
+	}
 	sem := make(chan struct{}, cfg.Parallel)
 	var wg sync.WaitGroup
 shardLoop:
 	for _, sh := range shards {
 		select {
 		case <-ctx.Done():
-			campErr = ctx.Err()
+			mu.Lock()
+			setErr(ctx.Err())
+			mu.Unlock()
 			break shardLoop
 		default:
 		}
@@ -158,8 +199,17 @@ shardLoop:
 		go func(sh Shard) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			sr := scanShard(dump, sh, directory, attackCfg, mine)
+			sub, release, err := shardBytes(src, sh, bufs)
+			if err != nil {
+				mu.Lock()
+				setErr(err)
+				mu.Unlock()
+				return
+			}
+			sr, serr := scanShard(ctx, sub, sh, mine, directory, attackCfg)
+			release()
 			mu.Lock()
+			setErr(serr)
 			collected = append(collected, sr.Keys...)
 			res.PairsTested += sr.Pairs
 			done++
@@ -167,24 +217,68 @@ shardLoop:
 			if cfg.OnProgress != nil {
 				cfg.OnProgress(Progress{
 					DoneShards: done, TotalShards: len(shards),
-					DoneBlocks: doneBlk, TotalBlocks: len(dump) / BlockBytes,
+					DoneBlocks: doneBlk, TotalBlocks: totalBlocks,
 					KeysFound: len(collected),
 				})
 			}
+			blk := doneBlk
 			mu.Unlock()
+			tracer.Progress("campaign", int64(blk), int64(totalBlocks))
 		}(sh)
 	}
 	wg.Wait()
+	mergeTimer := tracer.StageStart("campaign.merge")
 	res.Keys = MergeShardResults(collected, attackCfg.Variant.ScheduleBytes())
+	mergeTimer.End()
 	return res, campErr
 }
 
+// shardBytes materializes one shard's bytes: a borrowed subslice for
+// memory-resident sources, or a pooled buffer filled by ReadBlocks for
+// streaming ones. release returns a pooled buffer; it must be called once
+// the shard scan is done with the bytes.
+func shardBytes(src BlockSource, sh Shard, bufs chan []byte) (sub []byte, release func(), err error) {
+	if s, ok := src.(sliceSource); ok {
+		return s.slice(sh.FirstBlock, sh.Blocks), func() {}, nil
+	}
+	buf := <-bufs
+	sub = buf[:sh.Blocks*BlockBytes]
+	if err := src.ReadBlocks(sh.FirstBlock, sub); err != nil {
+		bufs <- buf
+		return nil, nil, fmt.Errorf("core: reading shard %d: %w", sh.Index, err)
+	}
+	return sub, func() { bufs <- buf }, nil
+}
+
+// shardMineView projects the global mining result onto one shard: the same
+// keys, with sighting positions rebased to shard-local block indices and
+// out-of-shard sightings dropped. The zero-block skip set the shard attack
+// derives from it is exactly what a fresh mine over the shard's bytes would
+// produce (the blocks are the same bytes), without re-paying the mining
+// pass per shard.
+func shardMineView(mine *MineResult, sh Shard) *MineResult {
+	out := &MineResult{BlocksScanned: sh.Blocks}
+	for _, k := range mine.Keys {
+		var pos []int
+		for _, p := range k.Positions {
+			if p >= sh.FirstBlock && p < sh.FirstBlock+sh.Blocks {
+				pos = append(pos, p-sh.FirstBlock)
+			}
+		}
+		if pos != nil {
+			out.BlocksPassed += len(pos)
+			out.Keys = append(out.Keys, MinedKey{Key: k.Key, Count: len(pos), Positions: pos})
+		}
+	}
+	return out
+}
+
 // scanShard runs the per-block scan of the attack pipeline over one shard,
-// using the globally mined key directory.
-func scanShard(dump []byte, sh Shard, directory KeyDirectory, cfg Config, mine *MineResult) ShardResult {
-	sub := dump[sh.FirstBlock*BlockBytes : (sh.FirstBlock+sh.Blocks)*BlockBytes]
+// using the globally mined key pool and directory. A cancelled context
+// surfaces the partial findings together with ctx.Err().
+func scanShard(ctx context.Context, sub []byte, sh Shard, mine *MineResult, directory KeyDirectory, cfg Config) (ShardResult, error) {
 	shiftedDir := func(b int) [][]byte { return directory(b + sh.FirstBlock) }
-	res, err := Attack(sub, Config{
+	res, err := AttackContext(ctx, sub, Config{
 		Variant:         cfg.Variant,
 		LitmusTolerance: cfg.LitmusTolerance,
 		AESTolerance:    cfg.AESTolerance,
@@ -192,17 +286,19 @@ func scanShard(dump []byte, sh Shard, directory KeyDirectory, cfg Config, mine *
 		RepairFlips:     cfg.RepairFlips,
 		Workers:         cfg.Workers,
 		KeysForBlock:    shiftedDir,
+		Mine:            shardMineView(mine, sh),
+		Tracer:          cfg.Tracer,
 	})
 	out := ShardResult{Shard: sh}
-	if err != nil {
-		return out
+	if res == nil {
+		return out, err
 	}
 	for _, k := range res.Keys {
 		k.TableStart += sh.FirstBlock * BlockBytes
 		out.Keys = append(out.Keys, k)
 	}
 	out.Pairs = res.PairsTested
-	return out
+	return out, err
 }
 
 // MergeShardResults deduplicates findings across shards (overlap regions

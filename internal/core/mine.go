@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -59,37 +60,101 @@ type MineResult struct {
 // the same (possibly decayed) key are merged by bitwise majority vote,
 // which is the paper's "filter out modest bit flips with minimal effort".
 func MineKeys(dump []byte, opt MineOptions) (*MineResult, error) {
+	return MineKeysContext(context.Background(), dump, opt)
+}
+
+// MineKeysContext is MineKeys with cancellation: the block scan checks ctx
+// every mineCancelInterval blocks. A cancelled mine returns the result
+// aggregated from the blocks scanned so far together with ctx.Err().
+func MineKeysContext(ctx context.Context, dump []byte, opt MineOptions) (*MineResult, error) {
 	if len(dump)%BlockBytes != 0 {
 		return nil, fmt.Errorf("core: dump length %d not block aligned", len(dump))
 	}
+	return MineKeysSource(ctx, BytesSource(dump), opt)
+}
+
+// mineCancelInterval is how many blocks the mining scan processes between
+// context checks (64 KiB of dump — well under a millisecond of work).
+const mineCancelInterval = 1024
+
+// MineKeysSource is the streaming miner: it reads the image window by
+// window from src, so multi-GB dumps mine in constant memory. MineKeys and
+// MineKeysContext are thin wrappers over an in-memory source.
+func MineKeysSource(ctx context.Context, src BlockSource, opt MineOptions) (*MineResult, error) {
+	if src == nil {
+		return nil, fmt.Errorf("core: nil dump source")
+	}
 	opt = opt.withDefaults()
-	limit := len(dump)
-	if opt.MaxBytes > 0 && opt.MaxBytes < limit {
-		limit = opt.MaxBytes &^ (BlockBytes - 1)
+	limitBlocks := src.Blocks()
+	if opt.MaxBytes > 0 && opt.MaxBytes/BlockBytes < limitBlocks {
+		limitBlocks = opt.MaxBytes / BlockBytes
 	}
 
-	res := &MineResult{}
-	// Pass 1: exact grouping of litmus-passing blocks.
-	exact := make(map[string][]int)
-	for off := 0; off < limit; off += BlockBytes {
-		res.BlocksScanned++
-		block := dump[off : off+BlockBytes]
-		if !PassesKeyLitmus(block, opt.Tolerance) {
-			continue
+	m := newMiner(opt)
+	window := make([]byte, 0) // lazily sized; a slice source never needs it
+	for first := 0; first < limitBlocks; first += mineCancelInterval {
+		if err := ctx.Err(); err != nil {
+			return m.finish(), err
 		}
-		res.BlocksPassed++
-		exact[string(block)] = append(exact[string(block)], off/BlockBytes)
+		n := mineCancelInterval
+		if first+n > limitBlocks {
+			n = limitBlocks - first
+		}
+		var chunk []byte
+		if s, ok := src.(sliceSource); ok {
+			chunk = s.slice(first, n)
+		} else {
+			if cap(window) < n*BlockBytes {
+				window = make([]byte, mineCancelInterval*BlockBytes)
+			}
+			chunk = window[:n*BlockBytes]
+			if err := src.ReadBlocks(first, chunk); err != nil {
+				return m.finish(), fmt.Errorf("core: reading mine window at block %d: %w", first, err)
+			}
+		}
+		for b := 0; b < n; b++ {
+			m.observe(chunk[b*BlockBytes:(b+1)*BlockBytes], first+b)
+		}
 	}
+	return m.finish(), nil
+}
 
-	// Pass 2: merge near-duplicate groups (decayed copies) into canonical
-	// keys, largest groups first so canonicals are the least-decayed
-	// representatives.
+// miner is the incremental key-mining state: blocks are fed in ascending
+// index order via observe, and finish aggregates the sightings. Splitting
+// the miner from the scan loop lets the resident and streaming paths share
+// exactly the same logic (so their outputs are bit-identical).
+type miner struct {
+	opt   MineOptions
+	res   *MineResult
+	exact map[string][]int
+}
+
+func newMiner(opt MineOptions) *miner {
+	return &miner{opt: opt, res: &MineResult{}, exact: make(map[string][]int)}
+}
+
+// observe feeds one 64-byte block at blockIdx into pass 1 (exact grouping
+// of litmus-passing blocks).
+func (m *miner) observe(block []byte, blockIdx int) {
+	m.res.BlocksScanned++
+	if !PassesKeyLitmus(block, m.opt.Tolerance) {
+		return
+	}
+	m.res.BlocksPassed++
+	m.exact[string(block)] = append(m.exact[string(block)], blockIdx)
+}
+
+// finish runs pass 2 — merge near-duplicate groups (decayed copies) into
+// canonical keys, largest groups first so canonicals are the least-decayed
+// representatives — and returns the completed result.
+func (m *miner) finish() *MineResult {
+	res := m.res
 	type group struct {
 		rep       []byte
 		positions []int
 	}
-	groups := make([]group, 0, len(exact))
-	for k, pos := range exact {
+	groups := make([]group, 0, len(m.exact))
+	for k, pos := range m.exact {
 		groups = append(groups, group{rep: []byte(k), positions: pos})
 	}
 	sort.Slice(groups, func(i, j int) bool {
@@ -109,7 +174,7 @@ func MineKeys(dump []byte, opt MineOptions) (*MineResult, error) {
 	for _, g := range groups {
 		var target *canonical
 		for _, c := range canon {
-			if bitutil.NearEqual(c.rep, g.rep, opt.MergeDistance) {
+			if bitutil.NearEqual(c.rep, g.rep, m.opt.MergeDistance) {
 				target = c
 				break
 			}
@@ -128,8 +193,9 @@ func MineKeys(dump []byte, opt MineOptions) (*MineResult, error) {
 		target.positions = append(target.positions, g.positions...)
 	}
 
+	res.Keys = nil
 	for _, c := range canon {
-		if c.total < opt.MinCount {
+		if c.total < m.opt.MinCount {
 			continue
 		}
 		key := make([]byte, BlockBytes)
@@ -147,7 +213,7 @@ func MineKeys(dump []byte, opt MineOptions) (*MineResult, error) {
 		}
 		return string(res.Keys[i].Key) < string(res.Keys[j].Key)
 	})
-	return res, nil
+	return res
 }
 
 // InferStride estimates the key-reuse period, in blocks, from the positions

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fmt"
+	"io"
+)
+
+// BlockSource is random access to a block-aligned memory image that need
+// not be memory-resident. The streaming campaign reads one mining window
+// or one shard at a time through this interface, so multi-GB dump files
+// (see internal/dumpfile's streaming reader) are analyzed in constant
+// memory.
+type BlockSource interface {
+	// Blocks returns the image size in BlockBytes-sized blocks.
+	Blocks() int
+	// ReadBlocks fills buf (whose length must be a multiple of BlockBytes)
+	// with the image contents starting at block first.
+	ReadBlocks(first int, buf []byte) error
+}
+
+// sliceSource is the fast path for memory-resident images: the campaign
+// borrows subslices instead of copying through ReadBlocks.
+type sliceSource interface {
+	slice(firstBlock, nBlocks int) []byte
+}
+
+// BytesSource wraps a resident dump as a BlockSource. Trailing bytes past
+// the last whole block are ignored (callers that require alignment check
+// it before wrapping).
+func BytesSource(dump []byte) BlockSource { return bytesSource(dump) }
+
+type bytesSource []byte
+
+func (b bytesSource) Blocks() int { return len(b) / BlockBytes }
+
+func (b bytesSource) ReadBlocks(first int, buf []byte) error {
+	off := first * BlockBytes
+	if off < 0 || off+len(buf) > len(b)/BlockBytes*BlockBytes {
+		return fmt.Errorf("core: block range [%d, +%d bytes) outside image", first, len(buf))
+	}
+	copy(buf, b[off:])
+	return nil
+}
+
+func (b bytesSource) slice(firstBlock, nBlocks int) []byte {
+	return b[firstBlock*BlockBytes : (firstBlock+nBlocks)*BlockBytes]
+}
+
+// ReaderAtSource adapts any io.ReaderAt (an os.File, a dumpfile.File's
+// image view, an HTTP range reader) holding size image bytes to a
+// BlockSource. The size must be block aligned.
+func ReaderAtSource(r io.ReaderAt, size int64) (BlockSource, error) {
+	if size < 0 || size%BlockBytes != 0 {
+		return nil, fmt.Errorf("core: image size %d not block aligned", size)
+	}
+	return &readerAtSource{r: r, blocks: int(size / BlockBytes)}, nil
+}
+
+type readerAtSource struct {
+	r      io.ReaderAt
+	blocks int
+}
+
+func (s *readerAtSource) Blocks() int { return s.blocks }
+
+func (s *readerAtSource) ReadBlocks(first int, buf []byte) error {
+	if len(buf)%BlockBytes != 0 {
+		return fmt.Errorf("core: read buffer %d bytes not block aligned", len(buf))
+	}
+	if first < 0 || first+len(buf)/BlockBytes > s.blocks {
+		return fmt.Errorf("core: block range [%d, +%d bytes) outside image", first, len(buf))
+	}
+	_, err := s.r.ReadAt(buf, int64(first)*BlockBytes)
+	return err
+}

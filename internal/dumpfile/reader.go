@@ -1,0 +1,217 @@
+package dumpfile
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// File provides random access to a dump container without loading the
+// image: the magic, lengths, and JSON metadata are parsed eagerly (a few
+// hundred bytes), while the image itself stays on disk behind an
+// io.ReaderAt and the CRC trailer is verified lazily — VerifyChecksum
+// streams the image once on first call, so a multi-GB capture can be
+// opened, windowed, and fed to the attack campaign in constant memory.
+type File struct {
+	meta    Metadata
+	r       io.ReaderAt
+	dataOff int64
+	dataLen int64
+	wantCRC uint32
+
+	closer io.Closer
+
+	mu       sync.Mutex
+	verified bool
+}
+
+// Open opens the dump container at path for streaming access. The header
+// is validated immediately; call VerifyChecksum to (lazily) validate the
+// image bytes, and Close when done.
+func Open(path string) (*File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	df, err := NewReader(f, st.Size())
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	df.closer = f
+	return df, nil
+}
+
+// NewReader opens a dump container held by any io.ReaderAt of totalSize
+// bytes (an *os.File, a bytes.Reader over an in-memory container, an HTTP
+// range reader...).
+func NewReader(r io.ReaderAt, totalSize int64) (*File, error) {
+	var fixed [len(Magic) + 12]byte
+	if totalSize < int64(len(fixed)) {
+		return nil, fmt.Errorf("dumpfile: container truncated: %d bytes is shorter than the header", totalSize)
+	}
+	if _, err := r.ReadAt(fixed[:], 0); err != nil {
+		return nil, fmt.Errorf("dumpfile: reading header: %w", err)
+	}
+	if string(fixed[:len(Magic)]) != Magic {
+		return nil, fmt.Errorf("dumpfile: bad magic %q", fixed[:len(Magic)])
+	}
+	headerLen := binary.LittleEndian.Uint32(fixed[len(Magic) : len(Magic)+4])
+	dataLen := binary.LittleEndian.Uint64(fixed[len(Magic)+4 : len(Magic)+12])
+	if headerLen > 1<<20 {
+		return nil, fmt.Errorf("dumpfile: implausible header length %d", headerLen)
+	}
+	if dataLen > 1<<40 {
+		return nil, fmt.Errorf("dumpfile: implausible dump length %d", dataLen)
+	}
+	dataOff := int64(len(fixed)) + int64(headerLen)
+	if want := dataOff + int64(dataLen) + 4; totalSize < want {
+		return nil, fmt.Errorf("dumpfile: container truncated: %d bytes, header promises %d", totalSize, want)
+	}
+
+	header := make([]byte, headerLen)
+	if _, err := r.ReadAt(header, int64(len(fixed))); err != nil {
+		return nil, fmt.Errorf("dumpfile: reading metadata: %w", err)
+	}
+	var meta Metadata
+	if err := json.Unmarshal(header, &meta); err != nil {
+		return nil, fmt.Errorf("dumpfile: decoding metadata: %w", err)
+	}
+	var crc [4]byte
+	if _, err := r.ReadAt(crc[:], dataOff+int64(dataLen)); err != nil {
+		return nil, fmt.Errorf("dumpfile: reading checksum: %w", err)
+	}
+	return &File{
+		meta:    meta,
+		r:       r,
+		dataOff: dataOff,
+		dataLen: int64(dataLen),
+		wantCRC: binary.LittleEndian.Uint32(crc[:]),
+	}, nil
+}
+
+// Meta returns the acquisition metadata.
+func (f *File) Meta() Metadata { return f.meta }
+
+// Size returns the image length in bytes.
+func (f *File) Size() int64 { return f.dataLen }
+
+// ReadAt reads image bytes (offsets are image-relative, not container-
+// relative), satisfying io.ReaderAt so the file plugs directly into the
+// attack's streaming sources.
+func (f *File) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 || off > f.dataLen {
+		return 0, fmt.Errorf("dumpfile: read at %d outside image of %d bytes", off, f.dataLen)
+	}
+	if max := f.dataLen - off; int64(len(p)) > max {
+		n, err := f.r.ReadAt(p[:max], f.dataOff+off)
+		if err == nil {
+			err = io.EOF
+		}
+		return n, err
+	}
+	return f.r.ReadAt(p, f.dataOff+off)
+}
+
+// verifyChunkBytes is how much image VerifyChecksum hashes per read.
+const verifyChunkBytes = 1 << 20
+
+// VerifyChecksum streams the image through CRC32 and compares it against
+// the trailer, without ever holding more than one chunk in memory. The
+// result is cached: subsequent calls are free. Read is eager (it verifies
+// before returning data); the streaming reader makes this an explicit,
+// lazy step so a campaign can start scanning immediately and verify in
+// parallel — or skip verification when the transport is already checked.
+func (f *File) VerifyChecksum() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.verified {
+		return nil
+	}
+	crc := uint32(0)
+	buf := make([]byte, verifyChunkBytes)
+	for off := int64(0); off < f.dataLen; off += verifyChunkBytes {
+		n := int64(len(buf))
+		if off+n > f.dataLen {
+			n = f.dataLen - off
+		}
+		if _, err := f.r.ReadAt(buf[:n], f.dataOff+off); err != nil {
+			return fmt.Errorf("dumpfile: verifying image at %d: %w", off, err)
+		}
+		crc = crc32.Update(crc, crc32.IEEETable, buf[:n])
+	}
+	if crc != f.wantCRC {
+		return fmt.Errorf("dumpfile: checksum mismatch (corrupted in transit?)")
+	}
+	f.verified = true
+	return nil
+}
+
+// Close releases the underlying file when the File came from Open; it is
+// a no-op for NewReader-backed files.
+func (f *File) Close() error {
+	if f.closer != nil {
+		return f.closer.Close()
+	}
+	return nil
+}
+
+// Windows returns an iterator over the image in windows of window bytes,
+// each extended by overlap bytes past its end (so a scanner whose match
+// unit straddles a boundary sees it whole in exactly one window). The
+// iterator reuses one buffer of window+overlap bytes across calls.
+func (f *File) Windows(window, overlap int) *Windows {
+	if window <= 0 {
+		window = DefaultWindowBytes
+	}
+	if overlap < 0 {
+		overlap = 0
+	}
+	return &Windows{f: f, window: int64(window), buf: make([]byte, 0, window+overlap), overlap: int64(overlap)}
+}
+
+// DefaultWindowBytes is the Windows iterator's default window size.
+const DefaultWindowBytes = 8 << 20
+
+// Windows iterates a File's image window by window; see File.Windows.
+type Windows struct {
+	f       *File
+	window  int64
+	overlap int64
+	next    int64
+	buf     []byte
+	err     error
+}
+
+// Next returns the next window's image offset and contents, or ok=false
+// when the image is exhausted or a read failed (check Err). The returned
+// slice is only valid until the following Next call.
+func (w *Windows) Next() (off int64, data []byte, ok bool) {
+	if w.err != nil || w.next >= w.f.dataLen {
+		return 0, nil, false
+	}
+	off = w.next
+	n := w.window + w.overlap
+	if off+n > w.f.dataLen {
+		n = w.f.dataLen - off
+	}
+	w.buf = w.buf[:n]
+	if _, err := w.f.ReadAt(w.buf, off); err != nil {
+		w.err = fmt.Errorf("dumpfile: reading window at %d: %w", off, err)
+		return 0, nil, false
+	}
+	w.next += w.window
+	return off, w.buf, true
+}
+
+// Err reports the first read error the iterator hit, if any.
+func (w *Windows) Err() error { return w.err }

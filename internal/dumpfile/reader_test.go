@@ -1,0 +1,259 @@
+package dumpfile
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// container serializes a dump into an in-memory container image.
+func container(t *testing.T, meta Metadata, data []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, meta, data); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func testImage(n int, seed int64) []byte {
+	data := make([]byte, n)
+	rand.New(rand.NewSource(seed)).Read(data)
+	return data
+}
+
+func TestReaderMatchesEagerRead(t *testing.T) {
+	meta := Metadata{CPU: "i5-6600K", Channels: 2, ScramblerOn: true, FreezeTempC: -50, TransferSeconds: 2}
+	data := testImage(10<<10, 1)
+	raw := container(t, meta, data)
+
+	f, err := NewReader(bytes.NewReader(raw), int64(len(raw)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Meta() != meta {
+		t.Errorf("Meta() = %+v, want %+v", f.Meta(), meta)
+	}
+	if f.Size() != int64(len(data)) {
+		t.Errorf("Size() = %d, want %d", f.Size(), len(data))
+	}
+	if err := f.VerifyChecksum(); err != nil {
+		t.Fatalf("VerifyChecksum: %v", err)
+	}
+	if err := f.VerifyChecksum(); err != nil {
+		t.Fatalf("second (cached) VerifyChecksum: %v", err)
+	}
+	got := make([]byte, len(data))
+	if _, err := f.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("streamed image differs from the written one")
+	}
+}
+
+func TestOpenRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dump.cbd")
+	data := testImage(4<<10, 2)
+	if err := WriteFile(path, Metadata{CPU: "i7-6700K"}, data); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if f.Meta().CPU != "i7-6700K" {
+		t.Errorf("CPU = %q", f.Meta().CPU)
+	}
+	if err := f.VerifyChecksum(); err != nil {
+		t.Fatal(err)
+	}
+	tail := make([]byte, 16)
+	if _, err := f.ReadAt(tail, f.Size()-16); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(tail, data[len(data)-16:]) {
+		t.Error("tail read mismatch")
+	}
+}
+
+func TestReaderTruncatedContainers(t *testing.T) {
+	raw := container(t, Metadata{CPU: "x"}, testImage(1<<10, 3))
+	// Every strictly shorter prefix must be rejected at open or at read/verify
+	// time — never silently accepted.
+	for _, cut := range []int{0, 4, len(Magic) + 11, len(Magic) + 12, len(raw) / 2, len(raw) - 5, len(raw) - 1} {
+		f, err := NewReader(bytes.NewReader(raw[:cut]), int64(cut))
+		if err == nil {
+			t.Errorf("cut=%d: truncated container accepted (size %d, full %d)", cut, cut, len(raw))
+			_ = f
+			continue
+		}
+		if !strings.Contains(err.Error(), "truncated") && !strings.Contains(err.Error(), "reading") {
+			t.Errorf("cut=%d: unexpected error %v", cut, err)
+		}
+	}
+}
+
+func TestReaderCorruptedCRC(t *testing.T) {
+	raw := container(t, Metadata{}, testImage(2<<10, 4))
+
+	// Flip a trailer bit: open succeeds (validation is lazy), verify fails.
+	bad := append([]byte(nil), raw...)
+	bad[len(bad)-1] ^= 0x01
+	f, err := NewReader(bytes.NewReader(bad), int64(len(bad)))
+	if err != nil {
+		t.Fatalf("open should defer checksum validation, got %v", err)
+	}
+	if err := f.VerifyChecksum(); err == nil {
+		t.Error("VerifyChecksum accepted a corrupted trailer")
+	} else if !strings.Contains(err.Error(), "checksum mismatch") {
+		t.Errorf("unexpected error %v", err)
+	}
+
+	// Flip an image bit instead: same outcome.
+	bad = append([]byte(nil), raw...)
+	bad[len(bad)-100] ^= 0x80
+	f, err = NewReader(bytes.NewReader(bad), int64(len(bad)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.VerifyChecksum(); err == nil {
+		t.Error("VerifyChecksum accepted a corrupted image")
+	}
+}
+
+func TestReaderBadMetadata(t *testing.T) {
+	raw := container(t, Metadata{CPU: "ok"}, testImage(512, 5))
+
+	// Corrupt the first JSON byte ('{' → '[') without touching the lengths.
+	bad := append([]byte(nil), raw...)
+	bad[len(Magic)+12] = '['
+	if _, err := NewReader(bytes.NewReader(bad), int64(len(bad))); err == nil {
+		t.Error("reader accepted mangled JSON metadata")
+	} else if !strings.Contains(err.Error(), "decoding metadata") {
+		t.Errorf("unexpected error %v", err)
+	}
+
+	// Wrong magic.
+	bad = append([]byte(nil), raw...)
+	bad[0] = 'X'
+	if _, err := NewReader(bytes.NewReader(bad), int64(len(bad))); err == nil {
+		t.Error("reader accepted a bad magic")
+	}
+
+	// Implausible header length.
+	bad = append([]byte(nil), raw...)
+	binary.LittleEndian.PutUint32(bad[len(Magic):], 1<<21)
+	if _, err := NewReader(bytes.NewReader(bad), int64(len(bad))); err == nil {
+		t.Error("reader accepted an implausible header length")
+	}
+
+	// Implausible data length.
+	bad = append([]byte(nil), raw...)
+	binary.LittleEndian.PutUint64(bad[len(Magic)+4:], 1<<41)
+	if _, err := NewReader(bytes.NewReader(bad), int64(len(bad))); err == nil {
+		t.Error("reader accepted an implausible dump length")
+	}
+}
+
+func TestReaderReadAtBounds(t *testing.T) {
+	data := testImage(1024, 6)
+	raw := container(t, Metadata{}, data)
+	f, err := NewReader(bytes.NewReader(raw), int64(len(raw)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A read crossing the image end is clamped and returns io.EOF, never the
+	// CRC trailer bytes.
+	buf := make([]byte, 64)
+	n, err := f.ReadAt(buf, int64(len(data))-10)
+	if err != io.EOF {
+		t.Errorf("read past end: err = %v, want io.EOF", err)
+	}
+	if n != 10 || !bytes.Equal(buf[:n], data[len(data)-10:]) {
+		t.Errorf("read past end returned %d bytes, want the final 10", n)
+	}
+	if _, err := f.ReadAt(buf, -1); err == nil {
+		t.Error("negative offset accepted")
+	}
+	if _, err := f.ReadAt(buf, int64(len(data))+1); err == nil {
+		t.Error("offset beyond image accepted")
+	}
+}
+
+func TestWindowsCoverImageExactlyOnce(t *testing.T) {
+	data := testImage(10_000, 7)
+	raw := container(t, Metadata{}, data)
+	f, err := NewReader(bytes.NewReader(raw), int64(len(raw)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const window, overlap = 1 << 10, 63
+	it := f.Windows(window, overlap)
+	reassembled := make([]byte, 0, len(data))
+	var prevOff int64 = -window
+	for {
+		off, chunk, ok := it.Next()
+		if !ok {
+			break
+		}
+		if off != prevOff+window {
+			t.Fatalf("window offset %d, want %d", off, prevOff+window)
+		}
+		prevOff = off
+		// The window body (without overlap) tiles the image.
+		body := chunk
+		if len(body) > window {
+			body = body[:window]
+		}
+		reassembled = append(reassembled, body...)
+		// The overlap must match the bytes the next window re-reads.
+		if end := off + int64(len(chunk)); end > f.Size() {
+			t.Fatalf("window at %d runs past the image: %d > %d", off, end, f.Size())
+		}
+		if !bytes.Equal(chunk, data[off:off+int64(len(chunk))]) {
+			t.Fatalf("window at %d has wrong contents", off)
+		}
+	}
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(reassembled, data) {
+		t.Error("window bodies do not tile the image")
+	}
+}
+
+func TestWindowsTruncatedUnderlyingFile(t *testing.T) {
+	data := testImage(8<<10, 8)
+	raw := container(t, Metadata{}, data)
+	f, err := NewReader(bytes.NewReader(raw), int64(len(raw)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lie about the underlying reader after open: shrink it so window reads
+	// fail mid-iteration (models a file truncated while being analyzed).
+	f.r = bytes.NewReader(raw[:len(raw)/2])
+	it := f.Windows(1<<10, 0)
+	for {
+		if _, _, ok := it.Next(); !ok {
+			break
+		}
+	}
+	if it.Err() == nil {
+		t.Error("iterator over a shrunk file reported no error")
+	}
+}
+
+func TestOpenMissingFile(t *testing.T) {
+	if _, err := Open(filepath.Join(t.TempDir(), "nope.cbd")); !os.IsNotExist(err) {
+		t.Errorf("err = %v, want not-exist", err)
+	}
+}

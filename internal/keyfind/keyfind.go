@@ -13,6 +13,7 @@
 package keyfind
 
 import (
+	"context"
 	"math/bits"
 	"runtime"
 	"sync"
@@ -46,6 +47,13 @@ func Scan(image []byte, v aes.Variant, tolerance int) []Finding {
 	return ScanParallel(image, v, tolerance, 0)
 }
 
+// ScanContext is Scan with cancellation: each worker polls ctx between
+// chunks (chunks are at most a few hundred microseconds of scanning). A
+// cancelled scan returns nil findings together with ctx.Err().
+func ScanContext(ctx context.Context, image []byte, v aes.Variant, tolerance, workers int) ([]Finding, error) {
+	return scanParallelCtx(ctx, image, v, tolerance, workers)
+}
+
 // ScanSerial is the single-threaded scan: one worker, no goroutines. It is
 // the ordering/content reference for ScanParallel.
 func ScanSerial(image []byte, v aes.Variant, tolerance int) []Finding {
@@ -62,6 +70,11 @@ func ScanSerial(image []byte, v aes.Variant, tolerance int) []Finding {
 // output is deterministic and byte-identical to ScanSerial's regardless of
 // worker count or scheduling.
 func ScanParallel(image []byte, v aes.Variant, tolerance int, workers int) []Finding {
+	out, _ := scanParallelCtx(context.Background(), image, v, tolerance, workers)
+	return out
+}
+
+func scanParallelCtx(ctx context.Context, image []byte, v aes.Variant, tolerance, workers int) ([]Finding, error) {
 	if tolerance <= 0 {
 		tolerance = DefaultTolerance
 	}
@@ -70,7 +83,7 @@ func ScanParallel(image []byte, v aes.Variant, tolerance int, workers int) []Fin
 	}
 	nOffsets := len(image) - v.ScheduleBytes() + 1
 	if nOffsets <= 0 {
-		return nil
+		return nil, ctx.Err()
 	}
 	// Aim for a few chunks per worker so a dense region doesn't straggle,
 	// but never chunks so small that dispatch dominates.
@@ -80,7 +93,10 @@ func ScanParallel(image []byte, v aes.Variant, tolerance int, workers int) []Fin
 	}
 	nChunks := (nOffsets + chunkLen - 1) / chunkLen
 	if nChunks <= 1 || workers == 1 {
-		return scanRange(image, v, tolerance, 0, len(image))
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return scanRange(image, v, tolerance, 0, len(image)), nil
 	}
 	if workers > nChunks {
 		workers = nChunks
@@ -94,6 +110,9 @@ func ScanParallel(image []byte, v aes.Variant, tolerance int, workers int) []Fin
 		go func() {
 			defer wg.Done()
 			for c := range jobs {
+				if ctx.Err() != nil {
+					continue // drain the queue without scanning
+				}
 				lo := c * chunkLen
 				hi := lo + chunkLen
 				if hi > nOffsets {
@@ -108,12 +127,15 @@ func ScanParallel(image []byte, v aes.Variant, tolerance int, workers int) []Fin
 	}
 	close(jobs)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	var out []Finding
 	for _, r := range results {
 		out = append(out, r...)
 	}
-	return out
+	return out, nil
 }
 
 // scanRange scans candidate offsets in [lo, hi) ∩ [0, len(image)-schedBytes].

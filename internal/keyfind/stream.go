@@ -1,0 +1,72 @@
+package keyfind
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"coldboot/internal/aes"
+)
+
+// DefaultStreamWindow is the window size the streaming scan reads per
+// step: large enough to amortize I/O and fan out across the worker pool,
+// small enough that a multi-GB image never approaches full residency.
+const DefaultStreamWindow = 8 << 20
+
+// ScanReaderAt scans an image of size bytes through r without loading it
+// whole: windows of windowBytes (DefaultStreamWindow when <= 0) are read
+// with a schedule-sized tail overlap, so every candidate offset is judged
+// against its full schedule exactly once and the merged findings are
+// byte-identical to Scan over the resident image. The context is checked
+// between windows and between in-window chunks.
+func ScanReaderAt(ctx context.Context, r io.ReaderAt, size int64, v aes.Variant, tolerance, windowBytes int) ([]Finding, error) {
+	if windowBytes <= 0 {
+		windowBytes = DefaultStreamWindow
+	}
+	schedBytes := v.ScheduleBytes()
+	if windowBytes < schedBytes {
+		windowBytes = schedBytes
+	}
+	if size <= 0 {
+		return nil, nil
+	}
+	if size <= int64(windowBytes)+int64(schedBytes) {
+		// Small image: one read, one scan.
+		buf := make([]byte, size)
+		if _, err := r.ReadAt(buf, 0); err != nil {
+			return nil, fmt.Errorf("keyfind: reading image: %w", err)
+		}
+		return ScanContext(ctx, buf, v, tolerance, 0)
+	}
+
+	// The overlap is schedBytes-1 bytes: a candidate offset in
+	// [start, start+windowBytes) reads its schedule window entirely from
+	// [start, start+windowBytes+schedBytes-1), so window N owns exactly the
+	// offsets below its boundary and no finding is seen twice.
+	buf := make([]byte, windowBytes+schedBytes-1)
+	var out []Finding
+	for start := int64(0); start < size; start += int64(windowBytes) {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
+		n := int64(len(buf))
+		if start+n > size {
+			n = size - start
+		}
+		if _, err := r.ReadAt(buf[:n], start); err != nil {
+			return out, fmt.Errorf("keyfind: reading window at %d: %w", start, err)
+		}
+		findings, err := ScanContext(ctx, buf[:n], v, tolerance, 0)
+		if err != nil {
+			return out, err
+		}
+		for _, f := range findings {
+			if f.Offset >= windowBytes && start+int64(windowBytes) < size {
+				continue // owned by the next window
+			}
+			f.Offset += int(start)
+			out = append(out, f)
+		}
+	}
+	return out, nil
+}

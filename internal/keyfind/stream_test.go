@@ -1,0 +1,80 @@
+package keyfind
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+
+	"coldboot/internal/aes"
+)
+
+// TestScanReaderAtMatchesResident streams an image through windows that
+// deliberately straddle the planted keys and requires the findings to be
+// byte-identical to the resident Scan.
+func TestScanReaderAtMatchesResident(t *testing.T) {
+	img, _ := imageWithKey(t, 1<<20, 21, aes.AES256, 123457)
+	// A second key right before a window boundary so its schedule window
+	// straddles it (window 64 KiB below).
+	img2, key2 := imageWithKey(t, 1<<20, 22, aes.AES256, 2*(64<<10)-31)
+	copy(img[2*(64<<10)-31:], img2[2*(64<<10)-31:2*(64<<10)-31+aes.AES256.ScheduleBytes()])
+
+	want := Scan(img, aes.AES256, 0)
+	if len(want) != 2 {
+		t.Fatalf("resident scan found %d keys, want 2", len(want))
+	}
+	foundStraddler := false
+	for _, f := range want {
+		if bytes.Equal(f.Master, key2) {
+			foundStraddler = true
+		}
+	}
+	if !foundStraddler {
+		t.Fatal("boundary-straddling key not planted correctly")
+	}
+
+	for _, window := range []int{64 << 10, 100_000, 1 << 19, 4 << 20 /* > image: one-read path */} {
+		got, err := ScanReaderAt(context.Background(), bytes.NewReader(img), int64(len(img)), aes.AES256, 0, window)
+		if err != nil {
+			t.Fatalf("window %d: %v", window, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("window %d: %d findings, want %d", window, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Offset != want[i].Offset || !bytes.Equal(got[i].Master, want[i].Master) ||
+				got[i].Distance != want[i].Distance {
+				t.Errorf("window %d: finding %d differs: got %+v, want %+v", window, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestScanReaderAtEmptyImage(t *testing.T) {
+	got, err := ScanReaderAt(context.Background(), bytes.NewReader(nil), 0, aes.AES256, 0, 0)
+	if err != nil || got != nil {
+		t.Errorf("empty image: %v, %v", got, err)
+	}
+}
+
+func TestScanContextCancellation(t *testing.T) {
+	img, _ := imageWithKey(t, 1<<20, 23, aes.AES256, 4096)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	got, err := ScanContext(ctx, img, aes.AES256, 0, 4)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got != nil {
+		t.Errorf("cancelled scan returned findings: %v", got)
+	}
+}
+
+func TestScanReaderAtCancellation(t *testing.T) {
+	img, _ := imageWithKey(t, 1<<20, 24, aes.AES256, 4096)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ScanReaderAt(ctx, bytes.NewReader(img), int64(len(img)), aes.AES256, 0, 64<<10); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

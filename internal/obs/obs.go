@@ -1,0 +1,267 @@
+// Package obs provides the attack pipeline's lightweight observability
+// hooks: named stage timers, monotonic counters, and progress reports. The
+// zero-cost default is the Nop tracer, so instrumented code never branches
+// on "is tracing on?"; a Collector aggregates events into a JSON report
+// (what `coldboot -trace out.json` writes), and Funcs adapts ad-hoc
+// callbacks (what `-progress` uses).
+//
+// The package deliberately knows nothing about the attack: stage and
+// counter names are plain strings chosen by the instrumented code, so the
+// same hooks can observe future pipelines (sharded serving, remote
+// campaigns) without changing this API.
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Tracer observes a pipeline run. Implementations must be safe for
+// concurrent use: the hunt stage calls Count and Progress from every
+// worker goroutine.
+type Tracer interface {
+	// StageStart marks entry into a named stage; call End on the returned
+	// timer when the stage finishes. Stages may nest and repeat (a campaign
+	// runs the hunt stage once per shard).
+	StageStart(name string) StageTimer
+	// Count adds delta to the named monotonic counter.
+	Count(name string, delta int64)
+	// Progress reports that done of total work units have completed in the
+	// named stage. Total may be 0 when unknown.
+	Progress(stage string, done, total int64)
+}
+
+// StageTimer ends the stage it was started for.
+type StageTimer interface{ End() }
+
+// Nop is the no-op tracer: every hook is a cheap dynamic call that does
+// nothing. It is the default everywhere a Tracer is accepted.
+var Nop Tracer = nopTracer{}
+
+type nopTracer struct{}
+type nopTimer struct{}
+
+func (nopTracer) StageStart(string) StageTimer  { return nopTimer{} }
+func (nopTracer) Count(string, int64)           {}
+func (nopTracer) Progress(string, int64, int64) {}
+func (nopTimer) End()                           {}
+
+// OrNop returns t, or the Nop tracer when t is nil, so config structs can
+// leave their Tracer field unset.
+func OrNop(t Tracer) Tracer {
+	if t == nil {
+		return Nop
+	}
+	return t
+}
+
+// Multi fans every event out to all the given tracers (e.g. a Collector
+// for -trace plus a Funcs printer for -progress). Nil entries are skipped.
+func Multi(tracers ...Tracer) Tracer {
+	var ts []Tracer
+	for _, t := range tracers {
+		if t != nil && t != Nop {
+			ts = append(ts, t)
+		}
+	}
+	switch len(ts) {
+	case 0:
+		return Nop
+	case 1:
+		return ts[0]
+	}
+	return multiTracer(ts)
+}
+
+type multiTracer []Tracer
+
+type multiTimer []StageTimer
+
+func (m multiTracer) StageStart(name string) StageTimer {
+	timers := make(multiTimer, len(m))
+	for i, t := range m {
+		timers[i] = t.StageStart(name)
+	}
+	return timers
+}
+
+func (m multiTracer) Count(name string, delta int64) {
+	for _, t := range m {
+		t.Count(name, delta)
+	}
+}
+
+func (m multiTracer) Progress(stage string, done, total int64) {
+	for _, t := range m {
+		t.Progress(stage, done, total)
+	}
+}
+
+func (m multiTimer) End() {
+	for _, t := range m {
+		t.End()
+	}
+}
+
+// Funcs adapts plain callbacks to a Tracer; nil fields are no-ops. Useful
+// for one-off hooks (progress printers, cancellation triggers in tests).
+type Funcs struct {
+	OnStageStart func(name string)
+	OnStageEnd   func(name string, wall time.Duration)
+	OnCount      func(name string, delta int64)
+	OnProgress   func(stage string, done, total int64)
+}
+
+func (f *Funcs) StageStart(name string) StageTimer {
+	if f.OnStageStart != nil {
+		f.OnStageStart(name)
+	}
+	if f.OnStageEnd == nil {
+		return nopTimer{}
+	}
+	return &funcTimer{f: f, name: name, start: time.Now()}
+}
+
+func (f *Funcs) Count(name string, delta int64) {
+	if f.OnCount != nil {
+		f.OnCount(name, delta)
+	}
+}
+
+func (f *Funcs) Progress(stage string, done, total int64) {
+	if f.OnProgress != nil {
+		f.OnProgress(stage, done, total)
+	}
+}
+
+type funcTimer struct {
+	f     *Funcs
+	name  string
+	start time.Time
+}
+
+func (t *funcTimer) End() { t.f.OnStageEnd(t.name, time.Since(t.start)) }
+
+// StageReport is one stage's aggregate in a Collector report. A stage that
+// ran more than once (per-shard hunts) accumulates calls and wall time.
+type StageReport struct {
+	Name   string  `json:"name"`
+	Calls  int     `json:"calls"`
+	WallNs int64   `json:"wall_ns"`
+	WallMs float64 `json:"wall_ms"`
+}
+
+// Report is the Collector's JSON document.
+type Report struct {
+	// Stages are in first-start order.
+	Stages   []StageReport    `json:"stages"`
+	Counters map[string]int64 `json:"counters"`
+	// TotalNs spans the first StageStart to the last End observed.
+	TotalNs int64 `json:"total_ns"`
+}
+
+// Collector aggregates pipeline events into a Report. The zero value is
+// not usable; call NewCollector.
+type Collector struct {
+	mu       sync.Mutex
+	order    []string
+	stages   map[string]*StageReport
+	counters map[string]int64
+	first    time.Time
+	last     time.Time
+}
+
+// NewCollector returns an empty Collector ready for use as a Tracer.
+func NewCollector() *Collector {
+	return &Collector{
+		stages:   make(map[string]*StageReport),
+		counters: make(map[string]int64),
+	}
+}
+
+func (c *Collector) StageStart(name string) StageTimer {
+	now := time.Now()
+	c.mu.Lock()
+	if c.first.IsZero() {
+		c.first = now
+	}
+	if _, ok := c.stages[name]; !ok {
+		c.stages[name] = &StageReport{Name: name}
+		c.order = append(c.order, name)
+	}
+	c.mu.Unlock()
+	return &collectorTimer{c: c, name: name, start: now}
+}
+
+type collectorTimer struct {
+	c     *Collector
+	name  string
+	start time.Time
+}
+
+func (t *collectorTimer) End() {
+	now := time.Now()
+	wall := now.Sub(t.start)
+	t.c.mu.Lock()
+	s := t.c.stages[t.name]
+	s.Calls++
+	s.WallNs += wall.Nanoseconds()
+	if now.After(t.c.last) {
+		t.c.last = now
+	}
+	t.c.mu.Unlock()
+}
+
+func (c *Collector) Count(name string, delta int64) {
+	c.mu.Lock()
+	c.counters[name] += delta
+	c.mu.Unlock()
+}
+
+// Progress is recorded only as a counter high-water mark (the report has no
+// per-tick history; progress is a live signal, not an aggregate).
+func (c *Collector) Progress(stage string, done, total int64) {
+	c.mu.Lock()
+	if cur := c.counters["progress."+stage]; done > cur {
+		c.counters["progress."+stage] = done
+	}
+	c.mu.Unlock()
+}
+
+// Report snapshots the aggregates collected so far.
+func (c *Collector) Report() Report {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r := Report{Counters: make(map[string]int64, len(c.counters))}
+	for _, name := range c.order {
+		s := *c.stages[name]
+		s.WallMs = float64(s.WallNs) / 1e6
+		r.Stages = append(r.Stages, s)
+	}
+	names := make([]string, 0, len(c.counters))
+	for k := range c.counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		r.Counters[k] = c.counters[k]
+	}
+	if !c.first.IsZero() && c.last.After(c.first) {
+		r.TotalNs = c.last.Sub(c.first).Nanoseconds()
+	}
+	return r
+}
+
+// WriteJSON writes the report as indented JSON.
+func (c *Collector) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(c.Report(), "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
