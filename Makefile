@@ -4,8 +4,16 @@
 #   make race           vet + race-detector pass over every package (the
 #                       staged pipeline, campaign pool, and keyfind pool
 #                       all run goroutines)
-#   make check          umbrella gate: build + vet + tests + race, the
-#                       whole pre-merge checklist in one target
+#   make lint           project static-analysis suite (cmd/coldbootlint):
+#                       hot-path XOR kernels, context threading, read-only
+#                       KeyAt results, math/rand bans, silent-library and
+#                       alloc-in-hot-loop checks
+#   make fmt            fail if any file needs gofmt
+#   make check          umbrella gate: build + tests + vet + race + lint +
+#                       fmt, the whole pre-merge checklist in one target
+#   make fuzz-smoke     run every fuzz target for 10s each (corpus seeds
+#                       under */testdata/fuzz are always run by plain
+#                       `go test` too)
 #   make bench          run the paper-figure benchmarks once
 #   make bench-hotpath  regenerate BENCH_hotpath.json (attack hot-path
 #                       kernels, machine-readable; commit the result so the
@@ -13,7 +21,7 @@
 
 GO ?= go
 
-.PHONY: test race check bench bench-hotpath all
+.PHONY: test race lint fmt check fuzz-smoke bench bench-hotpath all
 
 all: check
 
@@ -25,7 +33,20 @@ race:
 	$(GO) vet ./...
 	$(GO) test -race ./...
 
-check: test race
+lint:
+	$(GO) run ./cmd/coldbootlint ./...
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+check: test race lint fmt
+
+fuzz-smoke:
+	$(GO) test ./internal/dumpfile -run '^$$' -fuzz '^FuzzRead$$' -fuzztime 10s
+	$(GO) test ./internal/core -run '^$$' -fuzz '^FuzzKeyLitmus$$' -fuzztime 10s
+	$(GO) test ./internal/core -run '^$$' -fuzz '^FuzzAESLitmus$$' -fuzztime 10s
+	$(GO) test ./internal/core -run '^$$' -fuzz '^FuzzMineKeys$$' -fuzztime 10s
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .

@@ -1,0 +1,127 @@
+// Command coldbootlint runs the project's static-analysis suite
+// (internal/lint) over the module: six rules enforcing the hot-path,
+// context-threading, and crypto contracts established by earlier PRs.
+//
+// Usage:
+//
+//	coldbootlint [-list] [packages]
+//
+// With no arguments (or "./...") the whole module is checked. Package
+// arguments restrict which packages' findings are REPORTED (the whole
+// module is always loaded, because several rules are cross-package).
+// Findings print as "file:line: rule-id: message"; the exit status is 1
+// when there are findings, 2 on a load error, 0 on a clean tree.
+//
+// A deliberate exception is annotated at the finding site (same line or the
+// line above) with:
+//
+//	//lint:ignore rule-id reason
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"coldboot/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the rules and the contracts they enforce")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: coldbootlint [-list] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, r := range lint.Rules() {
+			fmt.Printf("%-12s %s\n", r.ID(), r.Doc())
+		}
+		return
+	}
+
+	root, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "coldbootlint:", err)
+		os.Exit(2)
+	}
+	mod, err := lint.LoadModule(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "coldbootlint:", err)
+		os.Exit(2)
+	}
+
+	filters := packageFilters(root, flag.Args())
+	findings := lint.Run(mod, lint.Options{})
+	reported := 0
+	for _, f := range findings {
+		if !matchesFilters(f.Pos.Filename, filters) {
+			continue
+		}
+		fmt.Println(f)
+		reported++
+	}
+	if reported > 0 {
+		fmt.Fprintf(os.Stderr, "coldbootlint: %d finding(s)\n", reported)
+		os.Exit(1)
+	}
+}
+
+// findModuleRoot walks up from the working directory to the nearest go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// packageFilters converts CLI package patterns into module-relative path
+// prefixes. "./..." (or no patterns) means everything.
+func packageFilters(root string, args []string) []string {
+	var out []string
+	for _, a := range args {
+		if a == "./..." || a == "all" {
+			return nil
+		}
+		recursive := strings.HasSuffix(a, "/...")
+		a = strings.TrimSuffix(a, "/...")
+		a = strings.TrimPrefix(a, "./")
+		if abs, err := filepath.Abs(a); err == nil {
+			if rel, err := filepath.Rel(root, abs); err == nil && !strings.HasPrefix(rel, "..") {
+				a = filepath.ToSlash(rel)
+			}
+		}
+		if a == "." {
+			return nil
+		}
+		_ = recursive // a bare dir and dir/... filter identically (by prefix)
+		out = append(out, a)
+	}
+	return out
+}
+
+func matchesFilters(filename string, filters []string) bool {
+	if len(filters) == 0 {
+		return true
+	}
+	f := filepath.ToSlash(filename)
+	for _, p := range filters {
+		if strings.HasPrefix(f, p+"/") || filepath.ToSlash(filepath.Dir(f)) == p {
+			return true
+		}
+	}
+	return false
+}

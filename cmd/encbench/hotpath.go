@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	//lint:ignore noweakrand seeded benchmark data generation, not keystream material
 	"math/rand"
 	"os"
 	"runtime"

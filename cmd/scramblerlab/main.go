@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	//lint:ignore noweakrand seeded deterministic simulation driver, not keystream material
 	"math/rand"
 	"os"
 	"path/filepath"

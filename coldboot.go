@@ -364,7 +364,7 @@ func analyze(ctx context.Context, s Scenario, dump []byte, out *Outcome, vol *ve
 		// Halderman scan (internal/keyfind) finds the same keys on clean
 		// dumps; the anchored hunt adds the decay-tolerant window
 		// consensus.
-		keys, err := core.MineDDR3Keys(dump)
+		keys, err := core.MineDDR3KeysContext(ctx, dump)
 		if err != nil {
 			return nil, err
 		}
@@ -387,9 +387,11 @@ func analyze(ctx context.Context, s Scenario, dump []byte, out *Outcome, vol *ve
 		}
 		// Cross-check with the prior-art scan on the descrambled image
 		// (adds any finding the anchored hunt missed).
-		if plainDump, err := core.DescrambleDDR3(dump, keys); err == nil {
-			for _, f := range keyfind.Scan(plainDump, aes.AES256, keyfind.DefaultTolerance) {
-				out.RecoveredMasters = append(out.RecoveredMasters, f.Master)
+		if plainDump, err := core.DescrambleDDR3Context(ctx, dump, keys); err == nil {
+			if fs, err := keyfind.ScanContext(ctx, plainDump, aes.AES256, keyfind.DefaultTolerance, 0); err == nil {
+				for _, f := range fs {
+					out.RecoveredMasters = append(out.RecoveredMasters, f.Master)
+				}
 			}
 		}
 	} else {

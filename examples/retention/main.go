@@ -9,6 +9,7 @@ package main
 import (
 	"fmt"
 	"log"
+	//lint:ignore noweakrand seeded deterministic example, not keystream material
 	"math/rand"
 	"time"
 

@@ -3,6 +3,8 @@ package aes
 import (
 	"encoding/binary"
 	"fmt"
+
+	"coldboot/internal/bitutil"
 )
 
 // XTS implements the XEX-based tweaked-codebook mode with ciphertext
@@ -73,13 +75,9 @@ func (x *XTS) EncryptSector(dst, src []byte, sector uint64) {
 	t := x.tweakFor(sector)
 	var buf [BlockSize]byte
 	for off := 0; off < len(src); off += BlockSize {
-		for i := 0; i < BlockSize; i++ {
-			buf[i] = src[off+i] ^ t[i]
-		}
+		bitutil.XORBlock16(buf[:], src[off:], t[:])
 		x.data.Encrypt(buf[:], buf[:])
-		for i := 0; i < BlockSize; i++ {
-			dst[off+i] = buf[i] ^ t[i]
-		}
+		bitutil.XORBlock16(dst[off:], buf[:], t[:])
 		mulAlpha(&t)
 	}
 }
@@ -92,13 +90,9 @@ func (x *XTS) DecryptSector(dst, src []byte, sector uint64) {
 	t := x.tweakFor(sector)
 	var buf [BlockSize]byte
 	for off := 0; off < len(src); off += BlockSize {
-		for i := 0; i < BlockSize; i++ {
-			buf[i] = src[off+i] ^ t[i]
-		}
+		bitutil.XORBlock16(buf[:], src[off:], t[:])
 		x.data.Decrypt(buf[:], buf[:])
-		for i := 0; i < BlockSize; i++ {
-			dst[off+i] = buf[i] ^ t[i]
-		}
+		bitutil.XORBlock16(dst[off:], buf[:], t[:])
 		mulAlpha(&t)
 	}
 }
@@ -121,37 +115,25 @@ func (x *XTS) EncryptUnit(dst, src []byte, sector uint64) {
 	t := x.tweakFor(sector)
 	var buf [BlockSize]byte
 	for off := 0; off < full; off += BlockSize {
-		for i := 0; i < BlockSize; i++ {
-			buf[i] = src[off+i] ^ t[i]
-		}
+		bitutil.XORBlock16(buf[:], src[off:], t[:])
 		x.data.Encrypt(buf[:], buf[:])
-		for i := 0; i < BlockSize; i++ {
-			dst[off+i] = buf[i] ^ t[i]
-		}
+		bitutil.XORBlock16(dst[off:], buf[:], t[:])
 		mulAlpha(&t)
 	}
 	// Penultimate block: encrypt normally to get CC.
 	var cc [BlockSize]byte
-	for i := 0; i < BlockSize; i++ {
-		cc[i] = src[full+i] ^ t[i]
-	}
+	bitutil.XORBlock16(cc[:], src[full:], t[:])
 	x.data.Encrypt(cc[:], cc[:])
-	for i := 0; i < BlockSize; i++ {
-		cc[i] ^= t[i]
-	}
+	bitutil.XORBlock16(cc[:], cc[:], t[:])
 	tNext := t
 	mulAlpha(&tNext)
 	// Final partial block steals CC's tail.
 	var last [BlockSize]byte
 	copy(last[:], src[full+BlockSize:])
 	copy(last[rem:], cc[rem:])
-	for i := 0; i < BlockSize; i++ {
-		last[i] ^= tNext[i]
-	}
+	bitutil.XORBlock16(last[:], last[:], tNext[:])
 	x.data.Encrypt(last[:], last[:])
-	for i := 0; i < BlockSize; i++ {
-		last[i] ^= tNext[i]
-	}
+	bitutil.XORBlock16(last[:], last[:], tNext[:])
 	// C_{m-1} = Enc(P_m || tail(CC)); C_m = head(CC).
 	copy(dst[full:], last[:])
 	copy(dst[full+BlockSize:], cc[:rem])
@@ -172,37 +154,25 @@ func (x *XTS) DecryptUnit(dst, src []byte, sector uint64) {
 	t := x.tweakFor(sector)
 	var buf [BlockSize]byte
 	for off := 0; off < full; off += BlockSize {
-		for i := 0; i < BlockSize; i++ {
-			buf[i] = src[off+i] ^ t[i]
-		}
+		bitutil.XORBlock16(buf[:], src[off:], t[:])
 		x.data.Decrypt(buf[:], buf[:])
-		for i := 0; i < BlockSize; i++ {
-			dst[off+i] = buf[i] ^ t[i]
-		}
+		bitutil.XORBlock16(dst[off:], buf[:], t[:])
 		mulAlpha(&t)
 	}
 	tNext := t
 	mulAlpha(&tNext)
 	// Decrypt C_{m-1} under the NEXT tweak to recover P_m || tail(CC).
 	var pp [BlockSize]byte
-	for i := 0; i < BlockSize; i++ {
-		pp[i] = src[full+i] ^ tNext[i]
-	}
+	bitutil.XORBlock16(pp[:], src[full:], tNext[:])
 	x.data.Decrypt(pp[:], pp[:])
-	for i := 0; i < BlockSize; i++ {
-		pp[i] ^= tNext[i]
-	}
+	bitutil.XORBlock16(pp[:], pp[:], tNext[:])
 	// Rebuild CC = C_m || tail(PP) and decrypt under the current tweak.
 	var cc [BlockSize]byte
 	copy(cc[:], src[full+BlockSize:])
 	copy(cc[rem:], pp[rem:])
-	for i := 0; i < BlockSize; i++ {
-		cc[i] ^= t[i]
-	}
+	bitutil.XORBlock16(cc[:], cc[:], t[:])
 	x.data.Decrypt(cc[:], cc[:])
-	for i := 0; i < BlockSize; i++ {
-		cc[i] ^= t[i]
-	}
+	bitutil.XORBlock16(cc[:], cc[:], t[:])
 	copy(dst[full:], cc[:])
 	copy(dst[full+BlockSize:], pp[:rem])
 }

@@ -47,6 +47,8 @@ func ResidueDirectory(mine *MineResult, stride int) KeyDirectory {
 // incorrect one scores ~0.5 (random agreement). Blocks with no mined key
 // count as fully mismatched, so low mining coverage degrades the score
 // honestly instead of silently passing.
+//
+//lint:ignore ctxthread bounded per-candidate scoring over one schedule-sized region, not a dump-scale scan; cancellation lives in the calling stage
 func VerifySchedule(dump []byte, keys KeyDirectory, master []byte, tableStart int, v aes.Variant) float64 {
 	schedule := aes.ExpandKeyBytes(master)
 	if tableStart < 0 || tableStart+len(schedule) > len(dump) {
@@ -105,6 +107,8 @@ func xorDistance(stored, key, want []byte) int {
 // pay for a full-schedule verification.
 //
 // block is the descrambled 64-byte block containing the hit.
+//
+//lint:ignore ctxthread bounded per-hit repair (flip budget caps the work); cancellation lives in the calling stage
 func RepairWindow(dump []byte, keys KeyDirectory, block []byte, blockIdx int, hit ScheduleHit, v aes.Variant, maxFlips int, minScore float64) ([]byte, float64) {
 	nk := v.Nk()
 	tableStart := hit.TableStart(blockIdx)
@@ -193,6 +197,8 @@ func windowDegenerate(block []byte, hit ScheduleHit, nk int) bool {
 //
 // This is the schedule-redundancy error correction that lets the attack
 // tolerate decay even when no single anchor window survived intact.
+//
+//lint:ignore ctxthread bounded per-candidate consensus over one schedule-sized region; cancellation lives in the calling stage
 func RefineMaster(dump []byte, keys KeyDirectory, master []byte, tableStart int, v aes.Variant) ([]byte, float64) {
 	best := append([]byte{}, master...)
 	bestScore := VerifySchedule(dump, keys, best, tableStart, v)

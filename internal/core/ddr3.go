@@ -11,6 +11,7 @@ package core
 //     memory collapses to a single 64-byte key for the entire memory.
 
 import (
+	"context"
 	"fmt"
 
 	"coldboot/internal/bitutil"
@@ -19,10 +20,22 @@ import (
 // DDR3KeyCount is the DDR3 scrambler pool size.
 const DDR3KeyCount = 16
 
-// MineDDR3Keys recovers the 16 per-class scrambler keys from a scrambled
-// DDR3 dump by frequency analysis: for each block-index residue class
-// modulo 16, the most common stored 64-byte value is (zero XOR key) = key.
+// ddr3PollBlocks is how many 64-byte blocks the DDR3 passes process between
+// context polls: 16 Ki blocks = 1 MiB, a few hundred microseconds of work.
+const ddr3PollBlocks = 1 << 14
+
+// MineDDR3Keys is MineDDR3KeysContext without cancellation, kept for
+// callers that have no context to thread.
 func MineDDR3Keys(dump []byte) ([DDR3KeyCount][]byte, error) {
+	return MineDDR3KeysContext(context.Background(), dump)
+}
+
+// MineDDR3KeysContext recovers the 16 per-class scrambler keys from a
+// scrambled DDR3 dump by frequency analysis: for each block-index residue
+// class modulo 16, the most common stored 64-byte value is
+// (zero XOR key) = key. The pass over the dump polls ctx every
+// ddr3PollBlocks blocks; a cancelled mine returns ctx.Err().
+func MineDDR3KeysContext(ctx context.Context, dump []byte) ([DDR3KeyCount][]byte, error) {
 	var keys [DDR3KeyCount][]byte
 	if len(dump)%BlockBytes != 0 {
 		return keys, fmt.Errorf("core: dump length %d not block aligned", len(dump))
@@ -33,6 +46,11 @@ func MineDDR3Keys(dump []byte) ([DDR3KeyCount][]byte, error) {
 	}
 	nBlocks := len(dump) / BlockBytes
 	for b := 0; b < nBlocks; b++ {
+		if b%ddr3PollBlocks == 0 {
+			if err := ctx.Err(); err != nil {
+				return keys, err
+			}
+		}
 		cls := b % DDR3KeyCount
 		counts[cls][string(dump[b*BlockBytes:(b+1)*BlockBytes])]++
 	}
@@ -51,16 +69,27 @@ func MineDDR3Keys(dump []byte) ([DDR3KeyCount][]byte, error) {
 	return keys, nil
 }
 
-// UniversalRebootKey recovers the single 64-byte key that a DDR3 reboot
-// XOR image is scrambled with (Figure 3c): the most frequent 64-byte block
-// value in xorDump. For unchanged memory regions the data cancels exactly,
-// so the universal key appears wherever content was stable across boots.
+// UniversalRebootKey is UniversalRebootKeyContext without cancellation.
 func UniversalRebootKey(xorDump []byte) ([]byte, error) {
+	return UniversalRebootKeyContext(context.Background(), xorDump)
+}
+
+// UniversalRebootKeyContext recovers the single 64-byte key that a DDR3
+// reboot XOR image is scrambled with (Figure 3c): the most frequent 64-byte
+// block value in xorDump. For unchanged memory regions the data cancels
+// exactly, so the universal key appears wherever content was stable across
+// boots. The frequency pass polls ctx every ddr3PollBlocks blocks.
+func UniversalRebootKeyContext(ctx context.Context, xorDump []byte) ([]byte, error) {
 	if len(xorDump)%BlockBytes != 0 || len(xorDump) == 0 {
 		return nil, fmt.Errorf("core: bad XOR dump length %d", len(xorDump))
 	}
 	counts := make(map[string]int)
 	for b := 0; b < len(xorDump)/BlockBytes; b++ {
+		if b%ddr3PollBlocks == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		counts[string(xorDump[b*BlockBytes:(b+1)*BlockBytes])]++
 	}
 	best, bestN := "", -1
@@ -72,10 +101,17 @@ func UniversalRebootKey(xorDump []byte) ([]byte, error) {
 	return []byte(best), nil
 }
 
-// DescrambleDDR3 applies the recovered 16-key pool to a scrambled dump,
-// returning the plaintext memory image ready for a conventional
-// (Halderman-style) key scan.
+// DescrambleDDR3 is DescrambleDDR3Context without cancellation.
 func DescrambleDDR3(dump []byte, keys [DDR3KeyCount][]byte) ([]byte, error) {
+	return DescrambleDDR3Context(context.Background(), dump, keys)
+}
+
+// DescrambleDDR3Context applies the recovered 16-key pool to a scrambled
+// dump, returning the plaintext memory image ready for a conventional
+// (Halderman-style) key scan. The descramble pass polls ctx every
+// ddr3PollBlocks blocks; on cancellation the partial output is discarded
+// and ctx.Err() returned.
+func DescrambleDDR3Context(ctx context.Context, dump []byte, keys [DDR3KeyCount][]byte) ([]byte, error) {
 	if len(dump)%BlockBytes != 0 {
 		return nil, fmt.Errorf("core: dump length %d not block aligned", len(dump))
 	}
@@ -86,8 +122,13 @@ func DescrambleDDR3(dump []byte, keys [DDR3KeyCount][]byte) ([]byte, error) {
 	}
 	out := make([]byte, len(dump))
 	for b := 0; b < len(dump)/BlockBytes; b++ {
+		if b%ddr3PollBlocks == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		key := keys[b%DDR3KeyCount]
-		bitutil.XOR(out[b*BlockBytes:(b+1)*BlockBytes], dump[b*BlockBytes:(b+1)*BlockBytes], key)
+		bitutil.XORBlock64(out[b*BlockBytes:], dump[b*BlockBytes:], key)
 	}
 	return out, nil
 }

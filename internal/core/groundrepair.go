@@ -38,6 +38,8 @@ func SuspectMask(dump, groundDump []byte, blockIdx int) [BlockBytes]byte {
 // verification — the budget bounds that. block is the descrambled 64-byte
 // block containing the hit; dump and groundDump are the full captures the
 // suspects are derived from.
+//
+//lint:ignore ctxthread bounded per-hit repair (explicit verifyBudget caps the work); cancellation lives in the calling stage
 func RepairWindowGround(dump, groundDump []byte, keys KeyDirectory, block []byte, blockIdx int, hit ScheduleHit, v aes.Variant, maxFlips int, minScore float64) ([]byte, float64) {
 	const verifyBudget = 1500
 	nk := v.Nk()

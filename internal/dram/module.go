@@ -2,6 +2,7 @@ package dram
 
 import (
 	"fmt"
+	//lint:ignore noweakrand seeded decay/retention simulation, not keystream material
 	"math/rand"
 
 	"coldboot/internal/bitutil"

@@ -44,7 +44,8 @@ const minChunkBytes = 64 << 10
 // Findings are returned in ascending offset order, exactly as the serial
 // scan produces them (see ScanParallel).
 func Scan(image []byte, v aes.Variant, tolerance int) []Finding {
-	return ScanParallel(image, v, tolerance, 0)
+	out, _ := ScanContext(context.Background(), image, v, tolerance, 0)
+	return out
 }
 
 // ScanContext is Scan with cancellation: each worker polls ctx between
@@ -56,6 +57,8 @@ func ScanContext(ctx context.Context, image []byte, v aes.Variant, tolerance, wo
 
 // ScanSerial is the single-threaded scan: one worker, no goroutines. It is
 // the ordering/content reference for ScanParallel.
+//
+//lint:ignore ctxthread serial parity reference for the tests; cancellable scans go through ScanContext
 func ScanSerial(image []byte, v aes.Variant, tolerance int) []Finding {
 	if tolerance <= 0 {
 		tolerance = DefaultTolerance
@@ -181,7 +184,8 @@ func scanRange(image []byte, v aes.Variant, tolerance, lo, hi int) []Finding {
 			}
 			if ok {
 				out = append(out, Finding{
-					Offset:   off,
+					Offset: off,
+					//lint:ignore allocloop rare path (one hit per real schedule); Finding.Master must not alias the caller's image
 					Master:   append([]byte{}, image[off:off+keyBytes]...),
 					Distance: d,
 				})

@@ -1,0 +1,378 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Shared whole-module analysis: a static call graph with interface-dispatch
+// over-approximation, and detection of "dump-block loops" — the long-running
+// scans the ctxthread and allocloop rules care about.
+//
+// A dump-block loop is a for/range statement whose body re-slices a []byte
+// that is, by the repo's naming convention, dump-scale data: an identifier
+// named like a dump or image ("dump", "groundDump", "image", "img", "sub",
+// ...) sliced with a non-constant low bound. Windowed re-slicing of a
+// dump-named buffer inside a loop is the signature of per-block scanning
+// (hunt workers, scanRange, schedule verification); byte-at-a-time index
+// loops over small fixed buffers deliberately do not match.
+
+type callGraph struct {
+	// calls maps each module function to its statically resolved callees
+	// (function-literal bodies are attributed to the enclosing declaration;
+	// interface method calls fan out to every module method implementing
+	// the interface).
+	calls map[*types.Func]map[*types.Func]bool
+	// blockLoop maps functions whose own body contains a dump-block loop to
+	// the position of the first such loop.
+	blockLoop map[*types.Func]token.Pos
+	// blockLoops lists every dump-block loop statement per function.
+	blockLoops map[*types.Func][]ast.Stmt
+	// reaches marks functions whose call graph (reflexively) reaches a
+	// dump-block loop.
+	reaches map[*types.Func]bool
+	// decls maps module functions to their declarations.
+	decls map[*types.Func]*ast.FuncDecl
+}
+
+// graph builds (once) and returns the module's shared call-graph analysis.
+func (m *Module) graph() *callGraph {
+	if m.callgph != nil {
+		return m.callgph
+	}
+	g := &callGraph{
+		calls:      make(map[*types.Func]map[*types.Func]bool),
+		blockLoop:  make(map[*types.Func]token.Pos),
+		blockLoops: make(map[*types.Func][]ast.Stmt),
+		reaches:    make(map[*types.Func]bool),
+		decls:      make(map[*types.Func]*ast.FuncDecl),
+	}
+
+	// Collect every named (incl. interface) type in the module for
+	// interface-dispatch expansion.
+	var moduleNamed []*types.Named
+	var moduleIfaces []*types.Named
+	for _, p := range m.Pkgs {
+		scope := p.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			if types.IsInterface(named) {
+				moduleIfaces = append(moduleIfaces, named)
+			} else {
+				moduleNamed = append(moduleNamed, named)
+			}
+		}
+	}
+	_ = moduleIfaces
+
+	// implementers(iface, methodName) -> concrete module methods.
+	implementers := func(iface *types.Interface, method string) []*types.Func {
+		var out []*types.Func
+		for _, named := range moduleNamed {
+			impl := types.Implements(named, iface) || types.Implements(types.NewPointer(named), iface)
+			if !impl {
+				continue
+			}
+			for i := 0; i < named.NumMethods(); i++ {
+				if fn := named.Method(i); fn.Name() == method {
+					out = append(out, fn)
+				}
+			}
+		}
+		return out
+	}
+
+	for _, p := range m.Pkgs {
+		info := p.Info
+		for _, file := range p.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := info.Defs[fd.Name].(*types.Func)
+				if fn == nil {
+					continue
+				}
+				g.decls[fn] = fd
+				if g.calls[fn] == nil {
+					g.calls[fn] = make(map[*types.Func]bool)
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					switch n := n.(type) {
+					case *ast.CallExpr:
+						for _, callee := range resolveCallees(info, n, implementers) {
+							g.calls[fn][callee] = true
+						}
+					case *ast.ForStmt:
+						if isBlockLoop(info, n.Body) {
+							g.noteBlockLoop(fn, n)
+						}
+					case *ast.RangeStmt:
+						if isBlockLoop(info, n.Body) {
+							g.noteBlockLoop(fn, n)
+						}
+					}
+					return true
+				})
+			}
+		}
+	}
+
+	// Reverse reachability: a function reaches a block loop if it contains
+	// one or calls (transitively) a function that does.
+	callers := make(map[*types.Func][]*types.Func)
+	for caller, callees := range g.calls {
+		for callee := range callees {
+			callers[callee] = append(callers[callee], caller)
+		}
+	}
+	var queue []*types.Func
+	for fn := range g.blockLoop {
+		g.reaches[fn] = true
+		queue = append(queue, fn)
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		for _, caller := range callers[fn] {
+			if !g.reaches[caller] {
+				g.reaches[caller] = true
+				queue = append(queue, caller)
+			}
+		}
+	}
+
+	m.callgph = g
+	return g
+}
+
+func (g *callGraph) noteBlockLoop(fn *types.Func, loop ast.Stmt) {
+	if _, ok := g.blockLoop[fn]; !ok {
+		g.blockLoop[fn] = loop.Pos()
+	}
+	g.blockLoops[fn] = append(g.blockLoops[fn], loop)
+}
+
+// resolveCallees statically resolves a call expression to module functions.
+// Direct calls and method calls with concrete receivers resolve exactly;
+// calls through an interface fan out to every module implementation of that
+// interface method.
+func resolveCallees(info *types.Info, call *ast.CallExpr, implementers func(*types.Interface, string) []*types.Func) []*types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return []*types.Func{fn}
+		}
+	case *ast.SelectorExpr:
+		fn, ok := info.Uses[fun.Sel].(*types.Func)
+		if !ok {
+			return nil
+		}
+		if sel, ok := info.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+			if iface, ok := sel.Recv().Underlying().(*types.Interface); ok {
+				return implementers(iface, fn.Name())
+			}
+		}
+		return []*types.Func{fn}
+	}
+	return nil
+}
+
+// dumpishName reports whether an identifier names dump-scale data by the
+// repo's conventions.
+func dumpishName(name string) bool {
+	switch name {
+	case "image", "img", "sub":
+		return true
+	}
+	return strings.Contains(name, "dump") || strings.Contains(name, "Dump")
+}
+
+// isBlockLoop reports whether a loop body windows through a dump-named
+// []byte: a slice expression whose operand's root identifier is dumpish and
+// whose low bound is a non-constant expression.
+func isBlockLoop(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		// A function literal is its own execution context (e.g. a goroutine
+		// launched per worker): its loops are recorded separately when they
+		// qualify, so the launching loop is not itself per-block.
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		se, ok := n.(*ast.SliceExpr)
+		if !ok {
+			return true
+		}
+		if se.Low == nil {
+			return true
+		}
+		if tv, ok := info.Types[se.Low]; ok && tv.Value != nil {
+			return true // constant low bound: not a sliding window
+		}
+		if !isByteSliceOrArray(info, se.X) {
+			return true
+		}
+		if root := rootIdent(se.X); root != nil && dumpishName(root.Name) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isByteSliceOrArray reports whether e has type []byte or [N]byte (or
+// pointer to either).
+func isByteSliceOrArray(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type.Underlying()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem().Underlying()
+	}
+	switch t := t.(type) {
+	case *types.Slice:
+		return isByte(t.Elem())
+	case *types.Array:
+		return isByte(t.Elem())
+	}
+	return false
+}
+
+func isByte(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Uint8 || b.Kind() == types.Byte)
+}
+
+// rootIdent peels index, slice, selector, star and paren wrappers down to
+// the base identifier of an expression, or nil.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.Sel // field name carries the convention (m.dump, run.Dump)
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.CallExpr:
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+// mentionsIdentObj reports whether expr references any of the given objects.
+func mentionsIdentObj(info *types.Info, expr ast.Expr, objs map[types.Object]bool) bool {
+	if expr == nil || len(objs) == 0 {
+		return false
+	}
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil && objs[obj] {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// loopVars returns the objects that drive a for/range statement: range key
+// and value variables, or variables declared in Init / advanced in Post /
+// assigned in the body while appearing in the condition.
+func loopVars(info *types.Info, loop ast.Stmt) map[types.Object]bool {
+	vars := make(map[types.Object]bool)
+	addIdent := func(e ast.Expr) {
+		if id, ok := e.(*ast.Ident); ok {
+			if obj := info.Defs[id]; obj != nil {
+				vars[obj] = true
+			} else if obj := info.Uses[id]; obj != nil {
+				vars[obj] = true
+			}
+		}
+	}
+	switch l := loop.(type) {
+	case *ast.RangeStmt:
+		addIdent(l.Key)
+		addIdent(l.Value)
+	case *ast.ForStmt:
+		collectAssigned := func(s ast.Stmt) {
+			switch s := s.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range s.Lhs {
+					addIdent(lhs)
+				}
+			case *ast.IncDecStmt:
+				addIdent(s.X)
+			}
+		}
+		if l.Init != nil {
+			collectAssigned(l.Init)
+		}
+		if l.Post != nil {
+			collectAssigned(l.Post)
+		}
+		// `for pos < n { ...; pos += chunk }` style: body-advanced condition
+		// variables count as loop variables too.
+		if l.Cond != nil && l.Body != nil {
+			condIdents := make(map[types.Object]bool)
+			ast.Inspect(l.Cond, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok {
+					if obj := info.Uses[id]; obj != nil {
+						condIdents[obj] = true
+					}
+				}
+				return true
+			})
+			ast.Inspect(l.Body, func(n ast.Node) bool {
+				switch s := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range s.Lhs {
+						if id, ok := lhs.(*ast.Ident); ok {
+							if obj := info.Uses[id]; obj != nil && condIdents[obj] {
+								vars[obj] = true
+							}
+						}
+					}
+				case *ast.IncDecStmt:
+					if id, ok := s.X.(*ast.Ident); ok {
+						if obj := info.Uses[id]; obj != nil && condIdents[obj] {
+							vars[obj] = true
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return vars
+}

@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+)
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	pos    token.Position
+	rule   string
+	reason string
+	bad    string // non-empty: why the directive is malformed
+}
+
+const ignorePrefix = "//lint:ignore"
+
+// parseIgnores extracts every //lint:ignore directive from the module's
+// comments. Well-formed directives carry a known rule-id and a non-empty
+// reason; anything else comes back with bad set.
+func parseIgnores(m *Module) []ignoreDirective {
+	known := knownRuleIDs()
+	var out []ignoreDirective
+	for _, p := range m.Pkgs {
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, ignorePrefix) {
+						continue
+					}
+					rest := c.Text[len(ignorePrefix):]
+					if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+						continue // e.g. //lint:ignoreXXX — not a directive
+					}
+					d := ignoreDirective{pos: m.Fset.Position(c.Pos())}
+					fields := strings.Fields(rest)
+					switch {
+					case len(fields) == 0:
+						d.bad = "missing rule-id and reason"
+					case !known[fields[0]]:
+						d.bad = "unknown rule-id " + quoted(fields[0])
+						d.rule = fields[0]
+					case len(fields) == 1:
+						d.bad = "missing reason (want //lint:ignore " + fields[0] + " reason)"
+						d.rule = fields[0]
+					default:
+						d.rule = fields[0]
+						d.reason = strings.Join(fields[1:], " ")
+					}
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func quoted(s string) string { return "\"" + s + "\"" }
+
+// applyIgnores filters findings through the module's ignore directives. A
+// well-formed directive suppresses findings of its rule on the directive's
+// own line (trailing comment) or the line immediately below (comment-above
+// style). Malformed directives are appended as lintdirective findings.
+func applyIgnores(m *Module, findings []Finding) []Finding {
+	type key struct {
+		file string
+		line int
+		rule string
+	}
+	suppress := make(map[key]bool)
+	var out []Finding
+	for _, d := range parseIgnores(m) {
+		if d.bad != "" {
+			out = append(out, Finding{
+				Pos:  d.pos,
+				Rule: DirectiveRuleID,
+				Msg:  "malformed //lint:ignore directive: " + d.bad,
+			})
+			continue
+		}
+		suppress[key{d.pos.Filename, d.pos.Line, d.rule}] = true
+		suppress[key{d.pos.Filename, d.pos.Line + 1, d.rule}] = true
+	}
+	for _, f := range findings {
+		if suppress[key{f.Pos.Filename, f.Pos.Line, f.Rule}] {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}

@@ -1,0 +1,198 @@
+package lint
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// loadFixture loads a testdata tree posing as the real module, so the
+// package-scoped rules (hotxor, ctxthread, ...) apply to it.
+func loadFixture(t *testing.T, rel string) *Module {
+	t.Helper()
+	m, err := LoadModuleAs(filepath.Join("testdata", rel), "coldboot")
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", rel, err)
+	}
+	return m
+}
+
+// wantMarkerRE matches trailing "// want rule [rule...]" expectations in
+// fixture sources.
+var wantMarkerRE = regexp.MustCompile(`//\s*want\s+([a-z][a-z ]*[a-z])\s*$`)
+
+// collectWantMarkers scans a fixture tree for // want markers and returns
+// the expected findings as "file:line:rule" keys (file module-relative).
+func collectWantMarkers(t *testing.T, dir string) map[string]bool {
+	t.Helper()
+	want := make(map[string]bool)
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		rel, err := filepath.Rel(dir, path)
+		if err != nil {
+			return err
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			match := wantMarkerRE.FindStringSubmatch(sc.Text())
+			if match == nil {
+				continue
+			}
+			for _, rule := range strings.Fields(match[1]) {
+				want[fmt.Sprintf("%s:%d:%s", filepath.ToSlash(rel), line, rule)] = true
+			}
+		}
+		return sc.Err()
+	})
+	if err != nil {
+		t.Fatalf("collecting want markers: %v", err)
+	}
+	return want
+}
+
+func findingKey(f Finding) string {
+	return fmt.Sprintf("%s:%d:%s", filepath.ToSlash(f.Pos.Filename), f.Pos.Line, f.Rule)
+}
+
+// TestFixturesMatchWantMarkers runs the whole suite over the fixture tree
+// and requires the findings to match the // want markers exactly — every
+// marked line fires (positive fixtures) and nothing unmarked fires
+// (negative fixtures).
+func TestFixturesMatchWantMarkers(t *testing.T) {
+	m := loadFixture(t, "src")
+	want := collectWantMarkers(t, filepath.Join("testdata", "src"))
+	if len(want) == 0 {
+		t.Fatal("no want markers found in testdata/src")
+	}
+
+	got := make(map[string]Finding)
+	for _, f := range Run(m, Options{}) {
+		got[findingKey(f)] = f
+	}
+	for key := range want {
+		if _, ok := got[key]; !ok {
+			t.Errorf("expected finding %s did not fire", key)
+		}
+	}
+	for key, f := range got {
+		if !want[key] {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+}
+
+// TestEveryRuleHasPositiveFixture guards the fixture tree itself: each of
+// the six rules must keep at least one positive fixture.
+func TestEveryRuleHasPositiveFixture(t *testing.T) {
+	want := collectWantMarkers(t, filepath.Join("testdata", "src"))
+	covered := make(map[string]bool)
+	for key := range want {
+		covered[key[strings.LastIndex(key, ":")+1:]] = true
+	}
+	for _, r := range Rules() {
+		if !covered[r.ID()] {
+			t.Errorf("rule %s has no positive fixture under testdata/src", r.ID())
+		}
+	}
+}
+
+// TestIgnoreDirectives checks the escape hatch end to end: well-formed
+// directives suppress their findings (and only with ignores enabled), and
+// malformed directives are themselves reported under "lintdirective".
+func TestIgnoreDirectives(t *testing.T) {
+	m := loadFixture(t, "ignore")
+
+	countRules := func(findings []Finding) map[string]int {
+		n := make(map[string]int)
+		for _, f := range findings {
+			n[f.Rule]++
+		}
+		return n
+	}
+
+	withIgnores := countRules(Run(m, Options{}))
+	if withIgnores["noweakrand"] != 0 || withIgnores["hotxor"] != 0 {
+		t.Errorf("suppressed findings leaked through ignores: %v", withIgnores)
+	}
+	if withIgnores[DirectiveRuleID] != 3 {
+		t.Errorf("want 3 lintdirective findings for the malformed directives, got %d", withIgnores[DirectiveRuleID])
+	}
+
+	raw := countRules(Run(m, Options{NoIgnores: true}))
+	if raw["noweakrand"] != 1 || raw["hotxor"] != 1 {
+		t.Errorf("NoIgnores run must surface the suppressed findings, got %v", raw)
+	}
+	if raw[DirectiveRuleID] != 0 {
+		t.Errorf("NoIgnores run must not report directives, got %d", raw[DirectiveRuleID])
+	}
+}
+
+// TestMalformedDirectiveMessages pins the three malformed-directive
+// diagnoses to their lines in testdata/ignore/internal/scramble/bad.go.
+func TestMalformedDirectiveMessages(t *testing.T) {
+	m := loadFixture(t, "ignore")
+	wantByLine := map[int]string{
+		5:  "missing rule-id and reason",
+		8:  `unknown rule-id "nosuchrule"`,
+		11: "missing reason",
+	}
+	seen := 0
+	for _, f := range Run(m, Options{}) {
+		if f.Rule != DirectiveRuleID {
+			continue
+		}
+		seen++
+		wantSub, ok := wantByLine[f.Pos.Line]
+		if !ok {
+			t.Errorf("lintdirective finding at unexpected line %d: %s", f.Pos.Line, f.Msg)
+			continue
+		}
+		if !strings.Contains(f.Msg, wantSub) {
+			t.Errorf("line %d: message %q does not mention %q", f.Pos.Line, f.Msg, wantSub)
+		}
+	}
+	if seen != len(wantByLine) {
+		t.Errorf("want %d lintdirective findings, got %d", len(wantByLine), seen)
+	}
+}
+
+// TestFindingString pins the CLI output format.
+func TestFindingString(t *testing.T) {
+	f := Finding{Rule: "hotxor", Msg: "byte loop"}
+	f.Pos.Filename = "internal/aes/xts.go"
+	f.Pos.Line = 77
+	if got, want := f.String(), "internal/aes/xts.go:77: hotxor: byte loop"; got != want {
+		t.Errorf("Finding.String() = %q, want %q", got, want)
+	}
+}
+
+// TestRealModuleIsClean runs the suite over the repository itself: the tree
+// must stay lint-clean (this is the same gate `make lint` enforces, kept
+// here so plain `go test ./...` catches regressions too).
+func TestRealModuleIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module load is slow; run without -short")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := LoadModule(root)
+	if err != nil {
+		t.Fatalf("loading repository module: %v", err)
+	}
+	for _, f := range Run(m, Options{}) {
+		t.Errorf("repository finding: %s", f)
+	}
+}

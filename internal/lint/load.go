@@ -1,0 +1,256 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one type-checked package of the module under analysis.
+type Package struct {
+	// RelPath is the module-relative import path: "" for the module root
+	// package, "internal/core", "cmd/coldboot", ...
+	RelPath string
+	// Files are the parsed non-test sources, sorted by filename.
+	Files []*ast.File
+	// Types and Info are the go/types results for the package.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Module is the fully loaded analysis unit: every non-test package of one
+// Go module, parsed and type-checked, sharing one FileSet.
+type Module struct {
+	Fset    *token.FileSet
+	Path    string // module path from go.mod (e.g. "coldboot")
+	Dir     string // module root directory
+	Pkgs    []*Package
+	byPath  map[string]*Package
+	callgph *callGraph // lazily built shared analysis (see callgraph.go)
+}
+
+// PkgByRel returns the package with the given module-relative path, or nil.
+func (m *Module) PkgByRel(rel string) *Package { return m.byPath[rel] }
+
+var moduleLineRE = regexp.MustCompile(`(?m)^module\s+(\S+)`)
+
+// LoadModule locates go.mod in dir and loads every non-test package under
+// it. Test files (_test.go) are excluded: the contracts the rules enforce
+// are library/binary contracts, and several rules (noweakrand, noprint)
+// explicitly exempt tests.
+func LoadModule(dir string) (*Module, error) {
+	gomod, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("lint: reading go.mod: %w", err)
+	}
+	match := moduleLineRE.FindSubmatch(gomod)
+	if match == nil {
+		return nil, fmt.Errorf("lint: no module line in %s/go.mod", dir)
+	}
+	return LoadModuleAs(dir, string(match[1]))
+}
+
+// LoadModuleAs loads the module rooted at dir under the given module path
+// without consulting go.mod (the self-test fixtures use this to pose as the
+// real module so package-scoped rules apply to them).
+func LoadModuleAs(dir, modulePath string) (*Module, error) {
+	m := &Module{
+		Fset:   token.NewFileSet(),
+		Path:   modulePath,
+		Dir:    dir,
+		byPath: make(map[string]*Package),
+	}
+
+	parsed := make(map[string][]*ast.File) // relpath -> files
+	names := make(map[string][]string)     // relpath -> filenames (parallel)
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != dir && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		rel, err := filepath.Rel(dir, path)
+		if err != nil {
+			return err
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		// Positions carry the module-relative name (clean "pkg/file.go:NN"
+		// findings); the contents are passed explicitly so loading works
+		// regardless of the process working directory.
+		f, err := parser.ParseFile(m.Fset, rel, src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return fmt.Errorf("lint: %w", err)
+		}
+		pkgRel := filepath.ToSlash(filepath.Dir(rel))
+		if pkgRel == "." {
+			pkgRel = ""
+		}
+		parsed[pkgRel] = append(parsed[pkgRel], f)
+		names[pkgRel] = append(names[pkgRel], rel)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Deterministic file order within each package.
+	for rel := range parsed {
+		files, fnames := parsed[rel], names[rel]
+		sort.Sort(&parallelSort{keys: fnames, files: files})
+	}
+
+	order, err := topoOrder(m.Path, parsed)
+	if err != nil {
+		return nil, err
+	}
+
+	srcImporter := importer.ForCompiler(m.Fset, "source", nil)
+	for _, rel := range order {
+		pkg := &Package{RelPath: rel, Files: parsed[rel]}
+		pkg.Info = &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		}
+		conf := types.Config{
+			Importer: &moduleImporter{mod: m, std: srcImporter},
+		}
+		tpkg, err := conf.Check(importPathFor(m.Path, rel), m.Fset, pkg.Files, pkg.Info)
+		if err != nil {
+			return nil, fmt.Errorf("lint: type-checking %s: %w", importPathFor(m.Path, rel), err)
+		}
+		pkg.Types = tpkg
+		m.Pkgs = append(m.Pkgs, pkg)
+		m.byPath[rel] = pkg
+	}
+	return m, nil
+}
+
+func importPathFor(modulePath, rel string) string {
+	if rel == "" {
+		return modulePath
+	}
+	return modulePath + "/" + rel
+}
+
+// relPathFor inverts importPathFor; ok is false for non-module paths.
+func relPathFor(modulePath, importPath string) (string, bool) {
+	if importPath == modulePath {
+		return "", true
+	}
+	if strings.HasPrefix(importPath, modulePath+"/") {
+		return importPath[len(modulePath)+1:], true
+	}
+	return "", false
+}
+
+// topoOrder sorts the module's packages so every package is type-checked
+// after all its intra-module imports.
+func topoOrder(modulePath string, parsed map[string][]*ast.File) ([]string, error) {
+	deps := make(map[string][]string)
+	for rel, files := range parsed {
+		seen := make(map[string]bool)
+		for _, f := range files {
+			for _, imp := range f.Imports {
+				p, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				if depRel, ok := relPathFor(modulePath, p); ok && !seen[depRel] {
+					seen[depRel] = true
+					if _, exists := parsed[depRel]; !exists {
+						return nil, fmt.Errorf("lint: %s imports %s which has no sources", rel, p)
+					}
+					deps[rel] = append(deps[rel], depRel)
+				}
+			}
+		}
+		sort.Strings(deps[rel])
+	}
+
+	rels := make([]string, 0, len(parsed))
+	for rel := range parsed {
+		rels = append(rels, rel)
+	}
+	sort.Strings(rels)
+
+	var order []string
+	state := make(map[string]int) // 0 unvisited, 1 visiting, 2 done
+	var visit func(rel string) error
+	visit = func(rel string) error {
+		switch state[rel] {
+		case 1:
+			return fmt.Errorf("lint: import cycle through %q", rel)
+		case 2:
+			return nil
+		}
+		state[rel] = 1
+		for _, d := range deps[rel] {
+			if err := visit(d); err != nil {
+				return err
+			}
+		}
+		state[rel] = 2
+		order = append(order, rel)
+		return nil
+	}
+	for _, rel := range rels {
+		if err := visit(rel); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// moduleImporter resolves intra-module imports from the packages already
+// type-checked (topoOrder guarantees availability) and everything else —
+// the standard library — through the source importer, so the whole load
+// needs nothing beyond GOROOT sources.
+type moduleImporter struct {
+	mod *Module
+	std types.Importer
+}
+
+func (mi *moduleImporter) Import(path string) (*types.Package, error) {
+	if rel, ok := relPathFor(mi.mod.Path, path); ok {
+		if p := mi.mod.byPath[rel]; p != nil {
+			return p.Types, nil
+		}
+		return nil, fmt.Errorf("lint: module package %q not yet loaded", path)
+	}
+	return mi.std.Import(path)
+}
+
+// parallelSort sorts files by filename keeping the two slices aligned.
+type parallelSort struct {
+	keys  []string
+	files []*ast.File
+}
+
+func (p *parallelSort) Len() int           { return len(p.keys) }
+func (p *parallelSort) Less(i, j int) bool { return p.keys[i] < p.keys[j] }
+func (p *parallelSort) Swap(i, j int) {
+	p.keys[i], p.keys[j] = p.keys[j], p.keys[i]
+	p.files[i], p.files[j] = p.files[j], p.files[i]
+}

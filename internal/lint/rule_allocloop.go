@@ -1,0 +1,83 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// allocloopRule guards PR 1's zero-alloc hot loops: inside a dump-block
+// loop in the scan packages (keyfind.Scan*'s scanRange, core's hunt
+// workers and verification walks), a make() or an append onto a fresh
+// composite literal allocates once per block — millions of times per
+// gigabyte — where the pooled and stack buffers PR 1 introduced must be
+// reused instead. Accumulator appends (out = append(out, x)) are fine; a
+// rare-path allocation that is genuinely wanted (e.g. a Finding copying its
+// Master out of the image) takes an ignore directive.
+type allocloopRule struct{}
+
+func (allocloopRule) ID() string { return "allocloop" }
+
+func (allocloopRule) Doc() string {
+	return "no make()/fresh-literal append inside per-block hot loops (pooled-buffer contract, PR 1)"
+}
+
+// allocloopPackages are the packages whose block loops are the attack's
+// per-block hot path.
+var allocloopPackages = map[string]bool{
+	"internal/keyfind": true,
+	"internal/core":    true,
+}
+
+func (r allocloopRule) Check(m *Module, p *Package) []Finding {
+	if !allocloopPackages[p.RelPath] {
+		return nil
+	}
+	g := m.graph()
+	info := p.Info
+	var out []Finding
+	seen := make(map[ast.Node]bool)
+	for fn, loops := range g.blockLoops {
+		if fn.Pkg() == nil || fn.Pkg() != p.Types {
+			continue
+		}
+		for _, loop := range loops {
+			ast.Inspect(loop, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || seen[call] {
+					return true
+				}
+				id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+				if !ok {
+					return true
+				}
+				b, ok := info.Uses[id].(*types.Builtin)
+				if !ok {
+					return true
+				}
+				switch b.Name() {
+				case "make":
+					seen[call] = true
+					out = append(out, Finding{
+						Pos:  m.Fset.Position(call.Pos()),
+						Rule: r.ID(),
+						Msg:  "make() inside a per-block hot loop; hoist the buffer out of the loop or use the worker's pooled buffer (PR 1)",
+					})
+				case "append":
+					if len(call.Args) == 0 {
+						return true
+					}
+					if _, isLit := ast.Unparen(call.Args[0]).(*ast.CompositeLit); isLit {
+						seen[call] = true
+						out = append(out, Finding{
+							Pos:  m.Fset.Position(call.Pos()),
+							Rule: r.ID(),
+							Msg:  "append onto a fresh literal inside a per-block hot loop allocates every block; reuse a buffer (PR 1)",
+						})
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,175 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ctxthreadRule enforces PR 2's cancellation contract: exported functions
+// in the attack-pipeline packages whose call graph reaches a loop over dump
+// blocks must accept a context.Context, and a function that was handed a
+// context must not manufacture its own with context.Background() or
+// context.TODO().
+//
+// The one sanctioned exception is the documented compat-wrapper ("bridge")
+// shape — a body of at most two statements whose only call delegates to a
+// context-taking sibling with context.Background() as the first argument
+// (e.g. Attack -> AttackContext). Anything else needs an explicit
+// //lint:ignore with a reason.
+type ctxthreadRule struct{}
+
+func (ctxthreadRule) ID() string { return "ctxthread" }
+
+func (ctxthreadRule) Doc() string {
+	return "exported dump-scanning APIs must thread context.Context and not call context.Background() (PR 2 contract)"
+}
+
+// ctxthreadPackages are the packages holding long-running exported attack
+// APIs.
+var ctxthreadPackages = map[string]bool{
+	"":                 true, // module root (coldboot)
+	"internal/core":    true,
+	"internal/keyfind": true,
+}
+
+func (r ctxthreadRule) Check(m *Module, p *Package) []Finding {
+	if !ctxthreadPackages[p.RelPath] {
+		return nil
+	}
+	g := m.graph()
+	info := p.Info
+	var out []Finding
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			fn, _ := info.Defs[fd.Name].(*types.Func)
+			if fn == nil || !g.reaches[fn] {
+				continue
+			}
+			if !hasContextParam(fn) {
+				if isContextBridge(info, fd) {
+					continue
+				}
+				out = append(out, Finding{
+					Pos:  m.Fset.Position(fd.Name.Pos()),
+					Rule: r.ID(),
+					Msg:  "exported " + fn.Name() + " reaches a dump-block scan but takes no context.Context (cancellation contract, PR 2)",
+				})
+				continue
+			}
+			if pos, found := callsBackgroundContext(info, fd.Body); found {
+				out = append(out, Finding{
+					Pos:  m.Fset.Position(pos),
+					Rule: r.ID(),
+					Msg:  fn.Name() + " takes a context.Context but manufactures its own with context.Background()/TODO()",
+				})
+			}
+		}
+	}
+	return out
+}
+
+// hasContextParam reports whether any parameter of fn is context.Context.
+func hasContextParam(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContextType(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// isContextBridge recognizes the sanctioned compat-wrapper shape: at most
+// two body statements, delegating to a function whose first parameter is a
+// context.Context with context.Background() passed for it.
+func isContextBridge(info *types.Info, fd *ast.FuncDecl) bool {
+	if len(fd.Body.List) > 2 {
+		return false
+	}
+	bridged := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		calleeSig := calleeSignature(info, call)
+		if calleeSig == nil || calleeSig.Params().Len() == 0 || !isContextType(calleeSig.Params().At(0).Type()) {
+			return true
+		}
+		if argCall, ok := ast.Unparen(call.Args[0]).(*ast.CallExpr); ok {
+			if fn := staticCallee(info, argCall); fn != nil && fn.Pkg() != nil &&
+				fn.Pkg().Path() == "context" && (fn.Name() == "Background" || fn.Name() == "TODO") {
+				bridged = true
+				return false
+			}
+		}
+		return true
+	})
+	return bridged
+}
+
+func calleeSignature(info *types.Info, call *ast.CallExpr) *types.Signature {
+	if fn := staticCallee(info, call); fn != nil {
+		if sig, ok := fn.Type().(*types.Signature); ok {
+			return sig
+		}
+	}
+	// Function-typed variables and fields.
+	if tv, ok := info.Types[call.Fun]; ok && tv.Type != nil {
+		if sig, ok := tv.Type.Underlying().(*types.Signature); ok {
+			return sig
+		}
+	}
+	return nil
+}
+
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// callsBackgroundContext finds a context.Background()/TODO() call in body,
+// excluding those blessed by the bridge shape (the caller checks that
+// separately).
+func callsBackgroundContext(info *types.Info, body *ast.BlockStmt) (pos token.Pos, found bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := staticCallee(info, call); fn != nil && fn.Pkg() != nil &&
+			fn.Pkg().Path() == "context" && (fn.Name() == "Background" || fn.Name() == "TODO") {
+			pos, found = call.Pos(), true
+			return false
+		}
+		return true
+	})
+	return pos, found
+}

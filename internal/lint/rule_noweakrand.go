@@ -1,0 +1,45 @@
+package lint
+
+import (
+	"strconv"
+	"strings"
+)
+
+// noweakrandRule bans math/rand outside internal/randtest and test files.
+// The repo models cryptographic scramblers and measures keystream quality;
+// a math/rand keystream slipped into a scrambler or engine would reproduce
+// exactly the weak-scrambler failure the paper demonstrates, and silently
+// pass every statistical smoke test. Deterministic simulation code that
+// genuinely wants a seeded PRNG must say so with an ignore directive.
+//
+// (_test.go files are exempt structurally: the loader never parses them.)
+type noweakrandRule struct{}
+
+func (noweakrandRule) ID() string { return "noweakrand" }
+
+func (noweakrandRule) Doc() string {
+	return "math/rand is forbidden outside internal/randtest and _test.go files"
+}
+
+func (r noweakrandRule) Check(m *Module, p *Package) []Finding {
+	if p.RelPath == "internal/randtest" {
+		return nil
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" || strings.HasPrefix(path, "math/rand/") {
+				out = append(out, Finding{
+					Pos:  m.Fset.Position(imp.Pos()),
+					Rule: r.ID(),
+					Msg:  "import of " + path + " outside internal/randtest (use crypto/rand, or annotate deterministic-simulation use)",
+				})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,13 @@
+// Package memsim exercises //lint:ignore suppression: the math/rand
+// import below would be a noweakrand finding without the directive.
+package memsim
+
+import (
+	//lint:ignore noweakrand fixture: seeded deterministic simulation
+	"math/rand"
+)
+
+// Fill fills b from a seeded weak PRNG.
+func Fill(b []byte, seed int64) {
+	rand.New(rand.NewSource(seed)).Read(b)
+}

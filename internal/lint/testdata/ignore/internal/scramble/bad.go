@@ -1,0 +1,14 @@
+package scramble
+
+// Three malformed directives: each must be reported under "lintdirective".
+
+//lint:ignore
+var a = 1
+
+//lint:ignore nosuchrule some reason
+var b = 2
+
+//lint:ignore noweakrand
+var c = 3
+
+var _ = a + b + c

@@ -1,0 +1,11 @@
+// Package scramble exercises trailing-comment suppression of a hotxor
+// finding.
+package scramble
+
+func xorInto(dst, a, b []byte) {
+	for i := range dst {
+		dst[i] = a[i] ^ b[i] //lint:ignore hotxor fixture: deliberate byte loop
+	}
+}
+
+var _ = xorInto

@@ -1,0 +1,8 @@
+// Command tool shows that commands may print: not a finding.
+package main
+
+import "fmt"
+
+func main() {
+	fmt.Println("ok")
+}

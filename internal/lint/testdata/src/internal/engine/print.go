@@ -1,0 +1,25 @@
+// Package engine is a noprint fixture: library packages must not print,
+// log, or read the wall clock.
+package engine
+
+import (
+	"fmt"
+	"log"
+	"time"
+)
+
+func debugDump(n int) {
+	fmt.Println("blocks:", n)        // want noprint
+	log.Printf("blocks %d", n)       // want noprint
+	if t := time.Now(); t.IsZero() { // want noprint
+		return
+	}
+}
+
+// format builds a string without touching the process streams: not a finding.
+func format(n int) string {
+	return fmt.Sprintf("%d blocks", n)
+}
+
+var _ = debugDump
+var _ = format

@@ -1,0 +1,52 @@
+// Package keys is a keyatmut fixture: KeyAt results are documented
+// read-only shared state, so writes through them must be flagged.
+package keys
+
+// Scrambler mimics the scramble.Scrambler KeyAt contract.
+type Scrambler struct{ k []byte }
+
+// KeyAt returns shared state the caller must not write through.
+func (s *Scrambler) KeyAt(off uint64) []byte { return s.k }
+
+func mutateDirect(s *Scrambler) {
+	s.KeyAt(0)[0] = 1 // want keyatmut
+}
+
+func mutateViaVar(s *Scrambler) {
+	k := s.KeyAt(0)
+	k[0] ^= 0xFF // want keyatmut
+}
+
+func mutateIncDec(s *Scrambler) {
+	s.KeyAt(0)[0]++ // want keyatmut
+}
+
+func copyOver(s *Scrambler, src []byte) {
+	copy(s.KeyAt(0), src) // want keyatmut
+}
+
+// mutateCopy copies the key first — the sanctioned pattern, not a finding.
+func mutateCopy(s *Scrambler) {
+	k := append([]byte(nil), s.KeyAt(0)...)
+	k[0] = 1
+}
+
+// readOnly only reads through the result: not a finding.
+func readOnly(s *Scrambler, dst []byte) {
+	copy(dst, s.KeyAt(0))
+}
+
+// rebind reassigns the variable itself, not the shared bytes: not a finding.
+func rebind(s *Scrambler) {
+	k := s.KeyAt(0)
+	k = []byte{1, 2}
+	k[0] = 3
+}
+
+var _ = mutateDirect
+var _ = mutateViaVar
+var _ = mutateIncDec
+var _ = copyOver
+var _ = mutateCopy
+var _ = readOnly
+var _ = rebind

@@ -1,0 +1,13 @@
+// Package memsim is a noweakrand fixture: math/rand outside
+// internal/randtest must be flagged at the import.
+package memsim
+
+import (
+	"math/rand" // want noweakrand
+)
+
+// Fill fills b from a seeded weak PRNG.
+func Fill(b []byte, seed int64) {
+	r := rand.New(rand.NewSource(seed))
+	r.Read(b)
+}

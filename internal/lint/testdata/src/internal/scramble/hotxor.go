@@ -1,0 +1,36 @@
+// Package scramble is a hotxor fixture: it poses as the real hot-path
+// scramble package, so byte-indexed XOR loops here must be flagged.
+package scramble
+
+// xorInto is the memcpy-with-xor shape PR 1 eliminated.
+func xorInto(dst, a, b []byte) {
+	for i := 0; i < len(dst); i++ {
+		dst[i] = a[i] ^ b[i] // want hotxor
+	}
+}
+
+// xorAssign is the in-place variant.
+func xorAssign(dst, key []byte) {
+	for i := range dst {
+		dst[i] ^= key[i] // want hotxor
+	}
+}
+
+// copyOnly moves bytes without XOR: not a finding.
+func copyOnly(dst, src []byte) {
+	for i := range dst {
+		dst[i] = src[i]
+	}
+}
+
+// xorWords XORs uint64 lanes — that IS the kernel shape, not a finding.
+func xorWords(dst, a, b []uint64) {
+	for i := range dst {
+		dst[i] = a[i] ^ b[i]
+	}
+}
+
+var _ = xorInto
+var _ = xorAssign
+var _ = copyOnly
+var _ = xorWords

@@ -7,6 +7,7 @@ package machine
 
 import (
 	"fmt"
+	//lint:ignore noweakrand seeded machine-model simulation, not keystream material
 	"math/rand"
 	"time"
 

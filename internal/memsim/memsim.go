@@ -14,6 +14,7 @@ package memsim
 
 import (
 	"fmt"
+	//lint:ignore noweakrand seeded memory-content simulation, not keystream material
 	"math/rand"
 
 	"coldboot/internal/dram"

@@ -1,6 +1,9 @@
 package scramble
 
-import "coldboot/internal/lfsr"
+import (
+	"coldboot/internal/bitutil"
+	"coldboot/internal/lfsr"
+)
 
 // DDR3KeyCount is the per-channel key pool size of the SandyBridge and
 // IvyBridge DDR3 scramblers (Bauer et al., reproduced by the paper).
@@ -44,9 +47,7 @@ func (d *DDR3) Reseed(seed uint64) {
 		// G depends only on the index: the generator seed is a constant
 		// mixed with idx, never with the boot seed.
 		lfsr.NewMaximal(64, splitmix64(0xDD3C0FFEE+uint64(idx))).Fill(g[:])
-		for i := range d.keys[idx] {
-			d.keys[idx][i] = e[i] ^ g[i]
-		}
+		bitutil.XORBlock64(d.keys[idx][:], e[:], g[:])
 	}
 }
 

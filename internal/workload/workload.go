@@ -9,6 +9,7 @@ package workload
 
 import (
 	"fmt"
+	//lint:ignore noweakrand seeded workload synthesis, not keystream material
 	"math/rand"
 )
 
