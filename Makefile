@@ -14,6 +14,9 @@
 #   make fuzz-smoke     run every fuzz target for 10s each (corpus seeds
 #                       under */testdata/fuzz are always run by plain
 #                       `go test` too)
+#   make serve-smoke    build coldbootd, boot it on a random port, push a
+#                       scrambled+decayed fixture dump through the HTTP
+#                       API end to end, and require a clean SIGTERM drain
 #   make bench          run the paper-figure benchmarks once
 #   make bench-hotpath  regenerate BENCH_hotpath.json (attack hot-path
 #                       kernels, machine-readable; commit the result so the
@@ -21,7 +24,7 @@
 
 GO ?= go
 
-.PHONY: test race lint fmt check fuzz-smoke bench bench-hotpath all
+.PHONY: test race lint fmt check fuzz-smoke serve-smoke bench bench-hotpath all
 
 all: check
 
@@ -47,6 +50,9 @@ fuzz-smoke:
 	$(GO) test ./internal/core -run '^$$' -fuzz '^FuzzKeyLitmus$$' -fuzztime 10s
 	$(GO) test ./internal/core -run '^$$' -fuzz '^FuzzAESLitmus$$' -fuzztime 10s
 	$(GO) test ./internal/core -run '^$$' -fuzz '^FuzzMineKeys$$' -fuzztime 10s
+
+serve-smoke:
+	$(GO) run ./cmd/servesmoke
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .

@@ -11,6 +11,11 @@
 // The analysis pipeline is observable and cancellable: -timeout bounds the
 // whole run, -progress prints live stage progress to stderr, and -trace
 // writes per-stage wall time plus candidate counters as JSON.
+//
+// -analyze exits with scripting-friendly codes: 0 when at least one master
+// key was recovered, 3 when a clean run found no keys, and 1 on errors
+// (bad container, checksum mismatch, or an interrupted run that had not
+// yet recovered a key).
 package main
 
 import (
@@ -80,8 +85,12 @@ func main() {
 	defer writeTrace(collector, *traceOut)
 
 	if *analyzeFrom != "" {
-		analyzeFile(ctx, *analyzeFrom, *repair, tracer)
-		return
+		// Scripting contract (see README): 0 = keys recovered, 3 = clean
+		// run but no keys, 1 = errors. The trace is written before exiting
+		// (os.Exit skips deferred calls).
+		code := analyzeFile(ctx, *analyzeFrom, *repair, tracer)
+		writeTrace(collector, *traceOut)
+		os.Exit(code)
 	}
 
 	scenario := coldboot.Scenario{
@@ -212,37 +221,50 @@ func captureFile(s coldboot.Scenario, path string) {
 // without loading the image whole: the container header is parsed eagerly,
 // the CRC is verified in one streaming pass, and the campaign reads one
 // mining window / one shard at a time.
-func analyzeFile(ctx context.Context, path string, repair int, tracer obs.Tracer) {
+//
+// The returned exit code follows the scripting contract: 0 when at least
+// one master key was recovered (even from an interrupted run), 3 for a
+// clean run that found no keys, 1 for errors (including a run interrupted
+// before any key surfaced).
+func analyzeFile(ctx context.Context, path string, repair int, tracer obs.Tracer) int {
 	f, err := dumpfile.Open(path)
 	if err != nil {
-		log.Fatal(err)
+		log.Print(err)
+		return 1
 	}
 	defer f.Close()
 	meta := f.Meta()
 	fmt.Printf("loaded %d bytes captured on %s (%d ch, frozen to %.0fC, %.1fs transfer)\n",
 		f.Size(), meta.CPU, meta.Channels, meta.FreezeTempC, meta.TransferSeconds)
 	if err := f.VerifyChecksum(); err != nil {
-		log.Fatal(err)
+		log.Print(err)
+		return 1
 	}
 	src, err := core.ReaderAtSource(f, f.Size())
 	if err != nil {
-		log.Fatal(err)
+		log.Print(err)
+		return 1
 	}
-	res, err := core.RunCampaignSource(ctx, src, core.CampaignConfig{
+	res, runErr := core.RunCampaignSource(ctx, src, core.CampaignConfig{
 		Attack: core.Config{RepairFlips: repair, Tracer: tracer},
 	})
-	if err != nil {
+	if runErr != nil {
 		if res == nil {
-			log.Fatal(err)
+			log.Print(runErr)
+			return 1
 		}
-		fmt.Fprintf(os.Stderr, "attack interrupted (%v); reporting partial results\n", err)
+		fmt.Fprintf(os.Stderr, "attack interrupted (%v); reporting partial results\n", runErr)
 	}
 	if len(res.Keys) == 0 {
 		fmt.Println("no AES master keys recovered")
-		os.Exit(1)
+		if runErr != nil {
+			return 1
+		}
+		return 3
 	}
 	fmt.Printf("%d master keys recovered:\n", len(res.Keys))
 	for i, k := range res.Keys {
 		fmt.Printf("  [%d] %x (score %.3f, table at %#x)\n", i, k.Master, k.Score, k.TableStart)
 	}
+	return 0
 }

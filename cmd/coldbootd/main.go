@@ -1,0 +1,109 @@
+// Command coldbootd is the long-running dump-analysis daemon: it accepts
+// memory-dump containers over HTTP, schedules bounded concurrent attack
+// campaigns over them, and reports live per-stage progress, redacted key
+// results, and Prometheus metrics.
+//
+//	coldbootd -listen :8080 -workers 2 -job-timeout 2h -data-dir /var/tmp
+//
+// API (see internal/service and DESIGN.md "Analysis service"):
+//
+//	POST   /v1/jobs             submit a dump container (body)
+//	GET    /v1/jobs/{id}        status with per-stage progress
+//	DELETE /v1/jobs/{id}        cancel
+//	GET    /v1/jobs/{id}/result key report (?reveal=keys for key material)
+//	GET    /metrics             Prometheus text
+//	GET    /healthz             liveness
+//
+// On SIGTERM/SIGINT the daemon stops accepting work (new submissions get
+// 503), lets running analyses finish (bounded by -drain-timeout), and
+// exits 0 on a clean drain.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"coldboot/internal/service"
+)
+
+func main() {
+	listen := flag.String("listen", ":8080", "listen address (host:port; :0 picks a free port)")
+	workers := flag.Int("workers", 2, "concurrent analysis jobs")
+	jobTimeout := flag.Duration("job-timeout", 0, "per-job run budget (0 = unlimited)")
+	maxUpload := flag.Int64("max-upload", service.DefaultMaxUploadBytes, "largest accepted upload in bytes")
+	dataDir := flag.String("data-dir", "", "directory for spooled uploads (default: the OS temp dir)")
+	retries := flag.Int("retries", 1, "total attempts for transiently failing jobs")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Minute, "how long shutdown waits for running jobs")
+	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening (for scripts using :0)")
+	flag.Parse()
+
+	log.SetFlags(0)
+	log.SetPrefix("coldbootd: ")
+	if err := run(*listen, *workers, *jobTimeout, *maxUpload, *dataDir, *retries, *drainTimeout, *addrFile); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(listen string, workers int, jobTimeout time.Duration, maxUpload int64, dataDir string, retries int, drainTimeout time.Duration, addrFile string) error {
+	svc := service.New(service.Config{
+		Workers:        workers,
+		JobTimeout:     jobTimeout,
+		MaxUploadBytes: maxUpload,
+		DataDir:        dataDir,
+		MaxAttempts:    retries,
+	})
+
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	addr := ln.Addr().String()
+	if addrFile != "" {
+		if err := os.WriteFile(addrFile, []byte(addr+"\n"), 0o644); err != nil {
+			ln.Close()
+			return fmt.Errorf("writing -addr-file: %w", err)
+		}
+	}
+	log.Printf("listening on %s (%d workers, max upload %d bytes)", addr, workers, maxUpload)
+
+	httpSrv := &http.Server{Handler: svc.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills immediately
+
+	log.Printf("shutting down: draining running jobs (up to %v)", drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	// Drain the pool first — running campaigns finish, queued jobs are
+	// abandoned, new submissions get 503 — while the HTTP server stays up
+	// so operators can keep polling progress. Only then close the server.
+	drainErr := svc.Drain(drainCtx)
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("http shutdown: %w", err)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	if drainErr != nil {
+		return fmt.Errorf("drain interrupted with jobs still running: %w", drainErr)
+	}
+	log.Printf("drained cleanly")
+	return nil
+}

@@ -6,7 +6,9 @@ import (
 	//lint:ignore noweakrand seeded benchmark data generation, not keystream material
 	"math/rand"
 	"os"
+	"os/exec"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -39,6 +41,7 @@ type HotpathResult struct {
 type HotpathReport struct {
 	GeneratedBy      string          `json:"generated_by"`
 	Date             string          `json:"date"`
+	GitRevision      string          `json:"git_revision"`
 	GoVersion        string          `json:"go_version"`
 	GOOS             string          `json:"goos"`
 	GOARCH           string          `json:"goarch"`
@@ -91,6 +94,7 @@ func writeHotpath(path string) error {
 	report := HotpathReport{
 		GeneratedBy: "encbench -hotpath",
 		Date:        time.Now().UTC().Format(time.RFC3339),
+		GitRevision: gitRevision(),
 		GoVersion:   runtime.Version(),
 		GOOS:        runtime.GOOS,
 		GOARCH:      runtime.GOARCH,
@@ -175,4 +179,19 @@ func writeHotpath(path string) error {
 	fmt.Printf("keyfind parallel/serial speedup: %.2fx (%d CPUs)\n",
 		report.ParallelSpeedup, report.SpeedupWorkerPop)
 	return nil
+}
+
+// gitRevision returns the working tree's short commit hash (with a -dirty
+// suffix when the tree has uncommitted changes), or "unknown" outside a
+// git checkout — BENCH snapshots must stay producible from a tarball.
+func gitRevision() string {
+	rev, err := exec.Command("git", "rev-parse", "--short=12", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	out := strings.TrimSpace(string(rev))
+	if status, err := exec.Command("git", "status", "--porcelain").Output(); err == nil && len(status) > 0 {
+		out += "-dirty"
+	}
+	return out
 }

@@ -1,0 +1,236 @@
+// Command servesmoke is the end-to-end smoke test behind `make
+// serve-smoke`: it builds coldbootd, boots it on a random port, submits a
+// small scrambled+decayed fixture dump over HTTP, polls the job to
+// completion, asserts the planted master key is recovered (and that the
+// metrics endpoint saw the work), then SIGTERMs the daemon and requires a
+// clean drain (exit 0).
+//
+// It exercises the real binary over a real socket — the layer the
+// in-process httptest suite cannot reach (flag parsing, signal handling,
+// listener setup, process exit codes).
+package main
+
+import (
+	"bytes"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	//lint:ignore noweakrand seeded deterministic smoke fixture, not keystream material
+	"math/rand"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"coldboot/internal/aes"
+	"coldboot/internal/dumpfile"
+	"coldboot/internal/scramble"
+	"coldboot/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("serve-smoke: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("serve-smoke: PASS")
+}
+
+func run() error {
+	workDir, err := os.MkdirTemp("", "serve-smoke-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(workDir)
+
+	bin := filepath.Join(workDir, "coldbootd")
+	log.Printf("building coldbootd...")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/coldbootd")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		return fmt.Errorf("building coldbootd: %w", err)
+	}
+
+	container, master := buildFixture()
+	log.Printf("fixture: %d-byte container, planted master %x...", len(container), master[:4])
+
+	addrFile := filepath.Join(workDir, "addr")
+	daemon := exec.Command(bin,
+		"-listen", "127.0.0.1:0",
+		"-addr-file", addrFile,
+		"-workers", "1",
+		"-data-dir", workDir,
+		"-drain-timeout", "2m",
+	)
+	daemon.Stdout = os.Stderr
+	daemon.Stderr = os.Stderr
+	if err := daemon.Start(); err != nil {
+		return fmt.Errorf("starting coldbootd: %w", err)
+	}
+	exited := make(chan error, 1)
+	go func() { exited <- daemon.Wait() }()
+	defer daemon.Process.Kill()
+
+	addr, err := waitForAddr(addrFile, exited)
+	if err != nil {
+		return err
+	}
+	base := "http://" + addr
+	log.Printf("daemon up at %s", base)
+
+	// Submit the fixture and follow it to completion.
+	resp, err := http.Post(base+"/v1/jobs?repair=1", "application/octet-stream", bytes.NewReader(container))
+	if err != nil {
+		return fmt.Errorf("submitting dump: %w", err)
+	}
+	doc, err := decode(resp)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusCreated {
+		return fmt.Errorf("submit: HTTP %d: %v", resp.StatusCode, doc)
+	}
+	id, _ := doc["id"].(string)
+	log.Printf("job %s submitted", id)
+
+	deadline := time.Now().Add(3 * time.Minute)
+	for {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("job %s did not finish in time; last status %v", id, doc)
+		}
+		resp, err := http.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			return fmt.Errorf("polling: %w", err)
+		}
+		if doc, err = decode(resp); err != nil {
+			return err
+		}
+		state, _ := doc["state"].(string)
+		if state == "done" {
+			break
+		}
+		if state == "failed" || state == "canceled" {
+			return fmt.Errorf("job landed in %s: %v", state, doc["error"])
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	log.Printf("job done (progress %v)", doc["progress"])
+
+	// The recovered master must match the planted key bit for bit.
+	resp, err = http.Get(base + "/v1/jobs/" + id + "/result?reveal=keys")
+	if err != nil {
+		return err
+	}
+	result, err := decode(resp)
+	if err != nil {
+		return err
+	}
+	keys, _ := result["keys"].([]any)
+	if len(keys) == 0 {
+		return fmt.Errorf("no keys recovered: %v", result)
+	}
+	got, _ := keys[0].(map[string]any)["master"].(string)
+	if got != hex.EncodeToString(master) {
+		return fmt.Errorf("recovered master %s, want %s", got, hex.EncodeToString(master))
+	}
+	log.Printf("recovered the planted master key")
+
+	// The metrics endpoint must have seen the pool and the pipeline.
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	metrics, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	for _, want := range []string{"coldbootd_jobs_done_total 1", "coldbootd_pipeline_stage_wall_seconds"} {
+		if !strings.Contains(string(metrics), want) {
+			return fmt.Errorf("metrics missing %q", want)
+		}
+	}
+
+	// Graceful shutdown: SIGTERM must drain and exit 0.
+	log.Printf("sending SIGTERM...")
+	if err := daemon.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	select {
+	case err := <-exited:
+		if err != nil {
+			return fmt.Errorf("daemon exited uncleanly after SIGTERM: %w", err)
+		}
+	case <-time.After(2 * time.Minute):
+		return fmt.Errorf("daemon did not exit within 2m of SIGTERM")
+	}
+	log.Printf("daemon drained and exited 0")
+	return nil
+}
+
+// buildFixture returns a dump container with an AES-256 schedule planted
+// in a scrambled image under 0.1% bit decay, plus the planted master key.
+func buildFixture() ([]byte, []byte) {
+	const size = 2 << 20
+	const tableStart = 4096*64 + 256
+	rng := rand.New(rand.NewSource(77))
+	master := make([]byte, 32)
+	rng.Read(master)
+
+	plain := make([]byte, size)
+	if err := workload.Fill(plain, 77, workload.LightSystem); err != nil {
+		log.Fatal(err)
+	}
+	copy(plain[tableStart:], aes.ExpandKeyBytes(master))
+	dump := make([]byte, size)
+	scramble.NewSkylakeDDR4(77*31+7).Scramble(dump, plain, 0)
+	for i := 0; i < size*8/1000; i++ {
+		bit := rng.Intn(size * 8)
+		dump[bit/8] ^= 1 << uint(bit%8)
+	}
+
+	var buf bytes.Buffer
+	meta := dumpfile.Metadata{CPU: "serve-smoke rig", Channels: 1, ScramblerOn: true, FreezeTempC: -35, TransferSeconds: 60}
+	if err := dumpfile.Write(&buf, meta, dump); err != nil {
+		log.Fatal(err)
+	}
+	return buf.Bytes(), master
+}
+
+// waitForAddr polls the daemon's -addr-file, bailing early if the process
+// dies before binding.
+func waitForAddr(path string, exited <-chan error) (string, error) {
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		select {
+		case err := <-exited:
+			return "", fmt.Errorf("coldbootd exited before binding: %v", err)
+		default:
+		}
+		data, err := os.ReadFile(path)
+		if err == nil && len(bytes.TrimSpace(data)) > 0 {
+			return string(bytes.TrimSpace(data)), nil
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return "", fmt.Errorf("daemon never wrote %s", path)
+}
+
+func decode(resp *http.Response) (map[string]any, error) {
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	doc := make(map[string]any)
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("decoding %q: %w", data, err)
+	}
+	return doc, nil
+}

@@ -1,0 +1,112 @@
+package dumpfile
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// SinkError marks a Spool failure of the destination writer (disk full,
+// closed file), as opposed to a malformed or truncated container arriving
+// from the source. Services use the distinction to answer 500 instead of
+// blaming the client with a 400.
+type SinkError struct{ Err error }
+
+func (e *SinkError) Error() string { return "dumpfile: writing spooled container: " + e.Err.Error() }
+
+func (e *SinkError) Unwrap() error { return e.Err }
+
+// Spool streams one dump container from src to dst, validating eagerly as
+// it copies: the magic and length fields are checked before the (possibly
+// multi-GB) image transfer starts, the metadata JSON must parse, the body
+// must be exactly the promised length, and nothing may trail the CRC
+// footer. The image itself is copied without buffering more than one chunk
+// — uploads analyze from disk, never from memory. Returns the parsed
+// metadata and the image length; the CRC itself is NOT verified here (that
+// is the analysis job's streaming VerifyChecksum step).
+func Spool(dst io.Writer, src io.Reader) (Metadata, int64, error) {
+	var meta Metadata
+	var fixed [len(Magic) + 12]byte
+	if _, err := io.ReadFull(src, fixed[:]); err != nil {
+		return meta, 0, fmt.Errorf("dumpfile: reading container header: %w", err)
+	}
+	if string(fixed[:len(Magic)]) != Magic {
+		return meta, 0, fmt.Errorf("dumpfile: bad magic %q", fixed[:len(Magic)])
+	}
+	headerLen := binary.LittleEndian.Uint32(fixed[len(Magic) : len(Magic)+4])
+	dataLen := binary.LittleEndian.Uint64(fixed[len(Magic)+4 : len(Magic)+12])
+	if headerLen > 1<<20 {
+		return meta, 0, fmt.Errorf("dumpfile: implausible header length %d", headerLen)
+	}
+	if dataLen > 1<<40 {
+		return meta, 0, fmt.Errorf("dumpfile: implausible dump length %d", dataLen)
+	}
+	header := make([]byte, headerLen)
+	if _, err := io.ReadFull(src, header); err != nil {
+		return meta, 0, fmt.Errorf("dumpfile: reading metadata: %w", err)
+	}
+	if err := json.Unmarshal(header, &meta); err != nil {
+		return meta, 0, fmt.Errorf("dumpfile: decoding metadata: %w", err)
+	}
+	if _, err := dst.Write(fixed[:]); err != nil {
+		return meta, 0, &SinkError{err}
+	}
+	if _, err := dst.Write(header); err != nil {
+		return meta, 0, &SinkError{err}
+	}
+	// Image + 4-byte CRC trailer. io.CopyN folds read and write failures
+	// into one error; a tracking writer keeps them apart so source errors
+	// (truncation, an http.MaxBytesReader limit) blame the upload.
+	want := int64(dataLen) + 4
+	tw := &trackingWriter{w: dst}
+	n, err := io.CopyN(tw, src, want)
+	if err != nil {
+		if tw.err != nil {
+			return meta, 0, &SinkError{tw.err}
+		}
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return meta, 0, fmt.Errorf("dumpfile: container truncated: image+trailer stopped %d bytes short", want-n)
+		}
+		return meta, 0, fmt.Errorf("dumpfile: reading image: %w", err)
+	}
+	// The container is self-delimiting; trailing bytes mean a corrupt or
+	// concatenated upload.
+	// Readers may return the final byte together with io.EOF, so trailing
+	// data is detected by the byte count, not the error.
+	var one [1]byte
+	n, err = readAtLeastOne(src, one[:])
+	switch {
+	case n > 0:
+		return meta, 0, fmt.Errorf("dumpfile: %d-byte container followed by trailing data", int64(len(fixed))+int64(headerLen)+want)
+	case err != io.EOF:
+		return meta, 0, fmt.Errorf("dumpfile: reading container tail: %w", err)
+	}
+	return meta, int64(dataLen), nil
+}
+
+// readAtLeastOne reads until it has one byte, a real error, or io.EOF
+// (skipping spurious (0, nil) reads, which io.Reader permits).
+func readAtLeastOne(r io.Reader, buf []byte) (int64, error) {
+	for {
+		n, err := r.Read(buf)
+		if n > 0 || err != nil {
+			return int64(n), err
+		}
+	}
+}
+
+// trackingWriter remembers the first error its underlying writer returned,
+// so Spool can attribute a failed copy to the sink rather than the source.
+type trackingWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (t *trackingWriter) Write(p []byte) (int, error) {
+	n, err := t.w.Write(p)
+	if err != nil && t.err == nil {
+		t.err = err
+	}
+	return n, err
+}

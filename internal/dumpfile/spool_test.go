@@ -1,0 +1,137 @@
+package dumpfile
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func spoolFixture(t *testing.T, imageBytes int) ([]byte, Metadata) {
+	t.Helper()
+	meta := Metadata{CPU: "spool rig", Channels: 2, ScramblerOn: true}
+	var buf bytes.Buffer
+	if err := Write(&buf, meta, bytes.Repeat([]byte{0x5A}, imageBytes)); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), meta
+}
+
+func TestSpoolRoundTrip(t *testing.T) {
+	container, wantMeta := spoolFixture(t, 4096)
+	var out bytes.Buffer
+	meta, n, err := Spool(&out, bytes.NewReader(container))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4096 {
+		t.Errorf("image length %d, want 4096", n)
+	}
+	if meta != wantMeta {
+		t.Errorf("metadata %+v, want %+v", meta, wantMeta)
+	}
+	if !bytes.Equal(out.Bytes(), container) {
+		t.Error("spooled bytes differ from the source container")
+	}
+	// The spooled file opens and verifies like any other container.
+	f, err := NewReader(bytes.NewReader(out.Bytes()), int64(out.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.VerifyChecksum(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpoolRejectsBadMagic(t *testing.T) {
+	container, _ := spoolFixture(t, 512)
+	copy(container, "NOTADUMP")
+	if _, _, err := Spool(io.Discard, bytes.NewReader(container)); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSpoolRejectsTruncation(t *testing.T) {
+	container, _ := spoolFixture(t, 512)
+	for _, cut := range []int{len(container) - 1, len(container) - 100, 30, 10} {
+		if _, _, err := Spool(io.Discard, bytes.NewReader(container[:cut])); err == nil {
+			t.Errorf("truncation at %d not detected", cut)
+		}
+	}
+}
+
+func TestSpoolRejectsTrailingData(t *testing.T) {
+	container, _ := spoolFixture(t, 512)
+	grown := append(append([]byte(nil), container...), 0xAA)
+	_, _, err := Spool(io.Discard, bytes.NewReader(grown))
+	if err == nil || !strings.Contains(err.Error(), "trailing") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestSpoolTrailingDetectionOverHTTP pins the regression where an HTTP
+// body returning its final byte together with io.EOF masked trailing data.
+func TestSpoolTrailingDetectionOverHTTP(t *testing.T) {
+	container, _ := spoolFixture(t, 512)
+	grown := append(append([]byte(nil), container...), 0xAA)
+	errCh := make(chan error, 1)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _, err := Spool(io.Discard, r.Body)
+		errCh <- err
+	}))
+	defer ts.Close()
+	resp, err := http.Post(ts.URL, "application/octet-stream", bytes.NewReader(grown))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if err := <-errCh; err == nil || !strings.Contains(err.Error(), "trailing") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSpoolSinkErrorIsAttributed(t *testing.T) {
+	container, _ := spoolFixture(t, 4096)
+	boom := errors.New("disk full")
+	_, _, err := Spool(failingWriter{after: 100, err: boom}, bytes.NewReader(container))
+	var sink *SinkError
+	if !errors.As(err, &sink) {
+		t.Fatalf("err = %v, want SinkError", err)
+	}
+	if !errors.Is(err, boom) {
+		t.Errorf("sink error does not unwrap to the cause: %v", err)
+	}
+}
+
+func TestSpoolSourceErrorIsNotSinkError(t *testing.T) {
+	container, _ := spoolFixture(t, 4096)
+	// A reader failing mid-image must not be blamed on the sink.
+	src := io.MultiReader(bytes.NewReader(container[:len(container)-200]), failingReader{})
+	_, _, err := Spool(io.Discard, src)
+	if err == nil {
+		t.Fatal("no error")
+	}
+	var sink *SinkError
+	if errors.As(err, &sink) {
+		t.Fatalf("source failure classified as sink error: %v", err)
+	}
+}
+
+type failingWriter struct {
+	after int
+	err   error
+}
+
+func (w failingWriter) Write(p []byte) (int, error) {
+	if len(p) > w.after {
+		return w.after, w.err
+	}
+	return len(p), nil
+}
+
+type failingReader struct{}
+
+func (failingReader) Read([]byte) (int, error) { return 0, errors.New("wire cut") }

@@ -1,0 +1,256 @@
+// Package jobs is the analysis daemon's job machinery: a bounded worker
+// pool draining a priority+FIFO queue of long-running jobs, each run under
+// its own context.Context so it can be cancelled (operator DELETE) or timed
+// out (per-job budget) mid-scan, with retry-with-backoff for transient
+// failures and a graceful drain for shutdown.
+//
+// The package is deliberately generic — a job's payload and result are
+// opaque `any` values and the work itself is a RunFunc supplied by the
+// owner — so the same pool can schedule dump-analysis campaigns today and
+// future workloads (re-verification sweeps, cross-dump correlation) without
+// changing this layer. internal/service owns the analysis RunFunc.
+//
+// The job store is "persistent enough" for an operator workflow: every job
+// ever submitted stays queryable (state, timestamps, attempts, per-stage
+// progress, result) for the life of the process. Nothing is written to
+// disk; a daemon restart starts empty.
+//
+// The package never reads the wall clock directly (the noprint contract):
+// timestamps come from the injected Options.Clock, which defaults to
+// time.Now only at the edge, as a func value the lint rule's call-site ban
+// does not apply to — operators see real wall-clock stamps, tests inject a
+// fake clock.
+package jobs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// State is a job's lifecycle state.
+type State string
+
+// Job lifecycle states. Queued and Running are live; Done, Failed and
+// Canceled are terminal.
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether the state is final (the job will never run
+// again).
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Sentinel errors returned by pool operations.
+var (
+	// ErrNotFound is returned for an unknown job ID.
+	ErrNotFound = errors.New("jobs: no such job")
+	// ErrFinished is returned when cancelling a job that already reached a
+	// terminal state.
+	ErrFinished = errors.New("jobs: job already finished")
+	// ErrDraining is returned by Submit once Drain has begun.
+	ErrDraining = errors.New("jobs: pool is draining")
+	// ErrTransient marks a failure as retryable; wrap with Transient and
+	// test with IsTransient.
+	ErrTransient = errors.New("jobs: transient failure")
+)
+
+// Transient wraps err so the pool retries the job (up to
+// Options.MaxAttempts, with exponential backoff). A nil err stays nil.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err}
+}
+
+type transientError struct{ err error }
+
+func (e *transientError) Error() string { return e.err.Error() }
+
+func (e *transientError) Unwrap() error { return e.err }
+
+func (e *transientError) Is(target error) bool { return target == ErrTransient }
+
+// IsTransient reports whether err is marked retryable.
+func IsTransient(err error) bool { return errors.Is(err, ErrTransient) }
+
+// Job is one unit of work owned by a Pool. RunFuncs receive the *Job to
+// read its Payload and publish progress; everything else goes through the
+// pool's API by ID.
+type Job struct {
+	id       string
+	priority int
+	seq      uint64
+	payload  any
+
+	// Scheduling state, guarded by the owning pool's mutex.
+	state           State
+	attempts        int
+	errText         string
+	result          any
+	submitted       time.Time
+	started         time.Time
+	finished        time.Time
+	cancel          func()
+	cancelRequested bool
+	heapIndex       int // index in the pool's queue, -1 when not enqueued
+	retryTimer      *time.Timer
+
+	// Progress state, guarded by its own mutex: it is updated at high rate
+	// from the worker's tracer bridge and must not contend with the pool's
+	// scheduling lock.
+	pmu        sync.Mutex
+	done       int64
+	total      int64
+	stageOrder []string
+	stages     map[string]*StageProgress
+}
+
+// ID returns the job's unique identifier.
+func (j *Job) ID() string { return j.id }
+
+// Payload returns the opaque payload given to Submit.
+func (j *Job) Payload() any { return j.payload }
+
+// SetProgress advances the job's headline progress gauge. Done and total
+// are high-water marks: a stale or out-of-order report never moves the
+// gauge backwards, so pollers observe monotonically increasing progress.
+func (j *Job) SetProgress(done, total int64) {
+	j.pmu.Lock()
+	if done > j.done {
+		j.done = done
+	}
+	if total > j.total {
+		j.total = total
+	}
+	j.pmu.Unlock()
+}
+
+// StageStart marks a named stage as running (stages may repeat; calls
+// accumulate).
+func (j *Job) StageStart(name string) {
+	j.pmu.Lock()
+	s := j.stageLocked(name)
+	s.Running = true
+	s.Calls++
+	j.pmu.Unlock()
+}
+
+// StageEnd marks a named stage as finished and accumulates its wall time.
+func (j *Job) StageEnd(name string, wall time.Duration) {
+	j.pmu.Lock()
+	s := j.stageLocked(name)
+	s.Running = false
+	s.WallNs += wall.Nanoseconds()
+	j.pmu.Unlock()
+}
+
+// SetStageProgress advances a named stage's progress gauge (high-water, as
+// SetProgress).
+func (j *Job) SetStageProgress(name string, done, total int64) {
+	j.pmu.Lock()
+	s := j.stageLocked(name)
+	if done > s.Done {
+		s.Done = done
+	}
+	if total > s.Total {
+		s.Total = total
+	}
+	j.pmu.Unlock()
+}
+
+func (j *Job) stageLocked(name string) *StageProgress {
+	if j.stages == nil {
+		j.stages = make(map[string]*StageProgress)
+	}
+	s, ok := j.stages[name]
+	if !ok {
+		s = &StageProgress{Name: name}
+		j.stages[name] = s
+		j.stageOrder = append(j.stageOrder, name)
+	}
+	return s
+}
+
+// progressSnapshot copies the progress state (called with the pool mutex
+// held; takes only the job's progress mutex).
+func (j *Job) progressSnapshot() (done, total int64, stages []StageProgress) {
+	j.pmu.Lock()
+	defer j.pmu.Unlock()
+	stages = make([]StageProgress, 0, len(j.stageOrder))
+	for _, name := range j.stageOrder {
+		stages = append(stages, *j.stages[name])
+	}
+	return j.done, j.total, stages
+}
+
+// StageProgress is one pipeline stage's progress within a job snapshot.
+type StageProgress struct {
+	Name string `json:"name"`
+	// Done and Total are the stage's progress gauge (0/0 when the stage
+	// reports no unit counts).
+	Done  int64 `json:"done,omitempty"`
+	Total int64 `json:"total,omitempty"`
+	// Calls counts stage entries (per-shard stages repeat).
+	Calls int `json:"calls"`
+	// WallNs accumulates completed calls' wall time.
+	WallNs int64 `json:"wall_ns"`
+	// Running marks a stage currently in flight.
+	Running bool `json:"running,omitempty"`
+}
+
+// Snapshot is a point-in-time copy of a job's observable state, safe to
+// hold and serialize after the job has moved on.
+type Snapshot struct {
+	ID       string `json:"id"`
+	State    State  `json:"state"`
+	Priority int    `json:"priority"`
+	// Attempts counts runs started (>1 after transient retries).
+	Attempts int    `json:"attempts"`
+	Error    string `json:"error,omitempty"`
+	// Timestamps are RFC 3339; empty when the event has not happened.
+	SubmittedAt string `json:"submitted_at,omitempty"`
+	StartedAt   string `json:"started_at,omitempty"`
+	FinishedAt  string `json:"finished_at,omitempty"`
+	// Done/Total are the headline progress gauge (monotonic); Progress is
+	// their ratio, forced to 1 for jobs that completed successfully.
+	Done     int64           `json:"progress_done"`
+	Total    int64           `json:"progress_total"`
+	Progress float64         `json:"progress"`
+	Stages   []StageProgress `json:"stages,omitempty"`
+	// Result is the RunFunc's return value (partial results survive
+	// cancellation and failure). Excluded from JSON: the owner decides how
+	// to serialize — the analysis service redacts key material by default.
+	Result any `json:"-"`
+}
+
+// Stats is the pool's aggregate gauge set.
+type Stats struct {
+	Workers  int  `json:"workers"`
+	Queued   int  `json:"queued"`
+	Running  int  `json:"running"`
+	Done     int  `json:"done"`
+	Failed   int  `json:"failed"`
+	Canceled int  `json:"canceled"`
+	Draining bool `json:"draining"`
+}
+
+// newID returns a 16-hex-character random job ID. seq breaks the (never
+// observed) tie where the system's entropy source fails.
+func newID(seq uint64) string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("job-%016x", seq)
+	}
+	return hex.EncodeToString(b[:])
+}

@@ -22,10 +22,14 @@ func (allocloopRule) Doc() string {
 }
 
 // allocloopPackages are the packages whose block loops are the attack's
-// per-block hot path.
+// per-block hot path. The daemon layers (jobs, service) are included: any
+// dump-block loop that grows there (result post-processing, upload
+// validation) is on the serving hot path just as much as the scan itself.
 var allocloopPackages = map[string]bool{
 	"internal/keyfind": true,
 	"internal/core":    true,
+	"internal/jobs":    true,
+	"internal/service": true,
 }
 
 func (r allocloopRule) Check(m *Module, p *Package) []Finding {

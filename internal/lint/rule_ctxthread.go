@@ -26,11 +26,14 @@ func (ctxthreadRule) Doc() string {
 }
 
 // ctxthreadPackages are the packages holding long-running exported attack
-// APIs.
+// APIs. internal/service is included for its handler-rooted paths: an HTTP
+// handler that reaches a dump-block loop must scan under the request's
+// context (r.Context()), not a manufactured one.
 var ctxthreadPackages = map[string]bool{
 	"":                 true, // module root (coldboot)
 	"internal/core":    true,
 	"internal/keyfind": true,
+	"internal/service": true,
 }
 
 func (r ctxthreadRule) Check(m *Module, p *Package) []Finding {
@@ -51,6 +54,19 @@ func (r ctxthreadRule) Check(m *Module, p *Package) []Finding {
 				continue
 			}
 			if !hasContextParam(fn) {
+				if hasRequestParam(fn) {
+					// Handler-rooted path: the *http.Request carries the
+					// caller's context (r.Context()), so the signature is
+					// fine — but the body must actually scan under it.
+					if pos, found := callsBackgroundContext(info, fd.Body); found {
+						out = append(out, Finding{
+							Pos:  m.Fset.Position(pos),
+							Rule: r.ID(),
+							Msg:  fn.Name() + " handles an *http.Request whose r.Context() carries cancellation, but manufactures context.Background()/TODO() for a dump-block scan",
+						})
+					}
+					continue
+				}
 				if isContextBridge(info, fd) {
 					continue
 				}
@@ -94,6 +110,30 @@ func isContextType(t types.Type) bool {
 	}
 	obj := named.Obj()
 	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// hasRequestParam reports whether any parameter of fn is *net/http.Request
+// — the handler shape, whose request carries the caller's context.
+func hasRequestParam(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		ptr, ok := sig.Params().At(i).Type().(*types.Pointer)
+		if !ok {
+			continue
+		}
+		named, ok := ptr.Elem().(*types.Named)
+		if !ok {
+			continue
+		}
+		obj := named.Obj()
+		if obj.Name() == "Request" && obj.Pkg() != nil && obj.Pkg().Path() == "net/http" {
+			return true
+		}
+	}
+	return false
 }
 
 // isContextBridge recognizes the sanctioned compat-wrapper shape: at most

@@ -1,0 +1,24 @@
+// Package jobs is a noprint fixture: the daemon's job machinery is a
+// library package and must stay silent and clock-free (timestamps come
+// from an injected clock; reporting goes through internal/obs).
+package jobs
+
+import (
+	"log"
+	"time"
+)
+
+// Finish stamps and logs directly: both are findings.
+func Finish(id string) time.Time {
+	log.Printf("job %s done", id) // want noprint
+	return time.Now()             // want noprint
+}
+
+// FinishWith takes the clock as a dependency, the sanctioned shape: the
+// bare time.Now VALUE at the default site is not a call, not a finding.
+func FinishWith(clock func() time.Time) time.Time {
+	if clock == nil {
+		clock = time.Now
+	}
+	return clock()
+}

@@ -1,0 +1,27 @@
+package service
+
+// redactBlocks allocates inside a per-block hot loop: the allocloop rule
+// now covers the service package.
+func redactBlocks(dump []byte) [][]byte {
+	var out [][]byte
+	for b := 0; b < len(dump)/64; b++ {
+		buf := make([]byte, 64) // want allocloop
+		copy(buf, dump[b*64:(b+1)*64])
+		out = append(out, buf)
+	}
+	return out
+}
+
+// redactBlocksPooled reuses one buffer: not a finding.
+func redactBlocksPooled(dump []byte) int {
+	buf := make([]byte, 64)
+	total := 0
+	for b := 0; b < len(dump)/64; b++ {
+		copy(buf, dump[b*64:(b+1)*64])
+		total += int(buf[0])
+	}
+	return total
+}
+
+var _ = redactBlocks
+var _ = redactBlocksPooled

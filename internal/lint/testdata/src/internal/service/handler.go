@@ -1,0 +1,53 @@
+// Package service is a ctxthread fixture for handler-rooted paths: HTTP
+// handlers reaching dump-block loops must scan under r.Context(), and
+// plain exported entry points still need an explicit context parameter.
+package service
+
+import (
+	"context"
+	"io"
+	"net/http"
+)
+
+// ScanAll is a plain exported scan API without a context: still a finding
+// in the service package.
+func ScanAll(dump []byte) int { // want ctxthread
+	total := 0
+	for b := 0; b < len(dump)/64; b++ {
+		total += int(dump[b*64 : (b+1)*64][0])
+	}
+	return total
+}
+
+// scanUnder is the context-threaded worker both handlers delegate to.
+func scanUnder(ctx context.Context, dump []byte) int {
+	total := 0
+	for b := 0; b < len(dump)/64; b++ {
+		if ctx.Err() != nil {
+			return total
+		}
+		total += int(dump[b*64 : (b+1)*64][0])
+	}
+	return total
+}
+
+// HandleScan reaches a dump-block loop from a handler, scanning under the
+// request's context: the *http.Request carries cancellation, so the
+// missing context.Context parameter is not a finding.
+func HandleScan(w http.ResponseWriter, r *http.Request) {
+	dump, err := io.ReadAll(r.Body)
+	if err != nil {
+		return
+	}
+	scanUnder(r.Context(), dump)
+}
+
+// HandleScanBad reaches the same loop but severs the request's
+// cancellation by manufacturing its own context.
+func HandleScanBad(w http.ResponseWriter, r *http.Request) {
+	dump, err := io.ReadAll(r.Body)
+	if err != nil {
+		return
+	}
+	scanUnder(context.Background(), dump) // want ctxthread
+}

@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WritePrometheus renders the report in the Prometheus text exposition
+// format (version 0.0.4), prefixing every metric with namespace. Stage
+// aggregates become `<ns>_stage_wall_seconds` / `<ns>_stage_calls_total`
+// labelled by stage, and every counter becomes a `<ns>_counter_total`
+// sample labelled by name — so new pipeline counters appear on the scrape
+// endpoint without exporter changes.
+func (r Report) WritePrometheus(w io.Writer, namespace string) error {
+	ns := sanitizeMetricName(namespace)
+	if len(r.Stages) > 0 {
+		fmt.Fprintf(w, "# HELP %s_stage_wall_seconds Cumulative wall time spent in each pipeline stage.\n", ns)
+		fmt.Fprintf(w, "# TYPE %s_stage_wall_seconds counter\n", ns)
+		for _, s := range r.Stages {
+			fmt.Fprintf(w, "%s_stage_wall_seconds{stage=%q} %g\n", ns, s.Name, float64(s.WallNs)/1e9)
+		}
+		fmt.Fprintf(w, "# HELP %s_stage_calls_total Number of times each pipeline stage ran.\n", ns)
+		fmt.Fprintf(w, "# TYPE %s_stage_calls_total counter\n", ns)
+		for _, s := range r.Stages {
+			fmt.Fprintf(w, "%s_stage_calls_total{stage=%q} %d\n", ns, s.Name, s.Calls)
+		}
+	}
+	if len(r.Counters) > 0 {
+		fmt.Fprintf(w, "# HELP %s_counter_total Pipeline counters (candidate tallies, progress high-water marks).\n", ns)
+		fmt.Fprintf(w, "# TYPE %s_counter_total counter\n", ns)
+		// Report.Counters is rebuilt sorted by Collector.Report, but sort
+		// defensively for reports assembled by hand.
+		for _, name := range sortedKeys(r.Counters) {
+			fmt.Fprintf(w, "%s_counter_total{name=%q} %d\n", ns, name, r.Counters[name])
+		}
+	}
+	_, err := fmt.Fprintf(w, "# HELP %s_observed_seconds Wall time from first to last observed stage event.\n# TYPE %s_observed_seconds gauge\n%s_observed_seconds %g\n",
+		ns, ns, ns, float64(r.TotalNs)/1e9)
+	return err
+}
+
+func sortedKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+// sanitizeMetricName maps arbitrary strings onto the Prometheus metric
+// name alphabet [a-zA-Z0-9_:].
+func sanitizeMetricName(s string) string {
+	if s == "" {
+		return "obs"
+	}
+	var b strings.Builder
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9' && i > 0:
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,39 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// handleMetrics serves the Prometheus text endpoint: pool gauges (queue
+// depth, running workers, terminal-state totals) followed by the shared
+// obs.Collector's pipeline aggregates (per-stage wall time and calls,
+// candidate counters) accumulated across every job the daemon has run.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	st := s.pool.Stats()
+	gauges := []struct {
+		name, help string
+		typ        string
+		value      int
+	}{
+		{"coldbootd_workers", "Size of the analysis worker pool.", "gauge", st.Workers},
+		{"coldbootd_jobs_queued", "Jobs waiting for a worker.", "gauge", st.Queued},
+		{"coldbootd_jobs_running", "Jobs currently analyzing.", "gauge", st.Running},
+		{"coldbootd_jobs_done_total", "Jobs that finished successfully.", "counter", st.Done},
+		{"coldbootd_jobs_failed_total", "Jobs that failed permanently.", "counter", st.Failed},
+		{"coldbootd_jobs_canceled_total", "Jobs canceled by operators.", "counter", st.Canceled},
+		{"coldbootd_draining", "1 while the daemon is draining for shutdown.", "gauge", boolGauge(st.Draining)},
+	}
+	for _, g := range gauges {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n", g.name, g.help, g.name, g.typ, g.name, g.value)
+	}
+	s.collector.Report().WritePrometheus(w, "coldbootd_pipeline")
+}
+
+func boolGauge(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

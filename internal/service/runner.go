@@ -1,0 +1,170 @@
+package service
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"coldboot/internal/aes"
+	"coldboot/internal/core"
+	"coldboot/internal/dumpfile"
+	"coldboot/internal/jobs"
+	"coldboot/internal/obs"
+)
+
+// dumpJob is the payload behind every analysis job: where the upload was
+// spooled and how to attack it.
+type dumpJob struct {
+	Path        string
+	Meta        dumpfile.Metadata
+	ImageBytes  int64
+	Variant     aes.Variant
+	RepairFlips int
+}
+
+// ResultReport is a finished (or interrupted) job's result document.
+type ResultReport struct {
+	// Partial marks a report from a canceled or failed run: the keys below
+	// are everything recovered before the interruption.
+	Partial bool `json:"partial,omitempty"`
+	// Variant is the AES key size hunted for.
+	Variant string `json:"variant"`
+	// BlocksScanned and PairsTested are the campaign's work tallies.
+	BlocksScanned int   `json:"blocks_scanned"`
+	PairsTested   int64 `json:"pairs_tested"`
+	// Stride is the inferred key-reuse period in blocks (0 = none).
+	Stride int `json:"stride,omitempty"`
+	// Coverage is the fraction of address classes with a mined key.
+	Coverage float64 `json:"coverage"`
+	// Keys are the recovered masters, redacted to fingerprints by default.
+	Keys []KeyReport `json:"keys"`
+}
+
+// KeyReport is one recovered AES master key. Master is populated only when
+// the caller asked to reveal key material; Fingerprint always is, so
+// operators can correlate results across jobs without handling keys.
+type KeyReport struct {
+	Variant     string  `json:"variant"`
+	TableStart  int     `json:"table_start"`
+	Score       float64 `json:"score"`
+	Anchors     int     `json:"anchors"`
+	Fingerprint string  `json:"fingerprint"`
+	Master      string  `json:"master,omitempty"`
+
+	master []byte
+}
+
+// redacted returns a copy safe to serialize: key bytes are dropped unless
+// reveal is set.
+func (r *ResultReport) redacted(reveal bool) *ResultReport {
+	out := *r
+	out.Keys = make([]KeyReport, len(r.Keys))
+	for i, k := range r.Keys {
+		k.Master = ""
+		if reveal {
+			k.Master = hex.EncodeToString(k.master)
+		}
+		out.Keys[i] = k
+	}
+	return &out
+}
+
+// fingerprint is the redacted identity of a master key: a truncated
+// SHA-256, enough to compare against a known-good key out of band without
+// ever shipping key bytes.
+func fingerprint(master []byte) string {
+	sum := sha256.Sum256(master)
+	return "sha256:" + hex.EncodeToString(sum[:6])
+}
+
+// runAnalysis is the pool's RunFunc: open the spooled container, verify
+// its checksum, and stream the campaign over it, bridging pipeline events
+// to the job's progress gauges and the server's metrics collector. The
+// returned report survives cancellation (Partial=true) so a DELETE mid-run
+// still yields whatever keys earlier shards recovered.
+func (s *Server) runAnalysis(ctx context.Context, j *jobs.Job) (any, error) {
+	pl, ok := j.Payload().(*dumpJob)
+	if !ok {
+		return nil, fmt.Errorf("service: job %s has payload %T, not a dump", j.ID(), j.Payload())
+	}
+	f, err := dumpfile.Open(pl.Path)
+	if err != nil {
+		// The spooled file vanishing or failing to open is an environment
+		// problem (tmp reaper, disk), not a property of the dump: retry.
+		return nil, jobs.Transient(fmt.Errorf("service: opening spooled dump: %w", err))
+	}
+	defer f.Close()
+	if err := f.VerifyChecksum(); err != nil {
+		// A checksum mismatch is permanent: the bytes on disk are wrong
+		// and will stay wrong.
+		return nil, err
+	}
+	src, err := core.ReaderAtSource(f, f.Size())
+	if err != nil {
+		return nil, err
+	}
+	// Publish the denominator immediately so pollers see 0/N while the
+	// mining pass runs, before the first shard completes.
+	totalBlocks := f.Size() / int64(core.BlockBytes)
+	j.SetProgress(0, totalBlocks)
+
+	cfg := core.CampaignConfig{
+		Attack: core.Config{
+			Variant:     pl.Variant,
+			RepairFlips: pl.RepairFlips,
+			Tracer:      obs.Multi(s.collector, jobTracer(j), s.cfg.Tracer),
+		},
+		ShardBlocks: s.cfg.ShardBlocks,
+		Parallel:    s.cfg.Parallel,
+	}
+	res, runErr := core.RunCampaignSource(ctx, src, cfg)
+	report := buildReport(pl.Variant, res, runErr != nil)
+	return report, runErr
+}
+
+// buildReport converts a campaign result (possibly partial) into the
+// service's result document.
+func buildReport(v aes.Variant, res *core.Result, partial bool) *ResultReport {
+	report := &ResultReport{
+		Partial: partial,
+		Variant: v.String(),
+		Keys:    []KeyReport{},
+	}
+	if res == nil {
+		return report
+	}
+	report.BlocksScanned = res.BlocksScanned
+	report.PairsTested = res.PairsTested
+	report.Stride = res.Stride
+	report.Coverage = res.Coverage
+	for _, k := range res.Keys {
+		master := append([]byte(nil), k.Master...)
+		report.Keys = append(report.Keys, KeyReport{
+			Variant:     k.Variant.String(),
+			TableStart:  k.TableStart,
+			Score:       k.Score,
+			Anchors:     k.Anchors,
+			Fingerprint: fingerprint(master),
+			master:      master,
+		})
+	}
+	return report
+}
+
+// jobTracer bridges obs pipeline events onto a job's progress gauges. The
+// "campaign" stage's per-shard ticks (globally monotonic block counts)
+// drive the headline progress; every stage keeps its own gauge for the
+// status endpoint's breakdown.
+func jobTracer(j *jobs.Job) obs.Tracer {
+	return &obs.Funcs{
+		OnStageStart: j.StageStart,
+		OnStageEnd:   j.StageEnd,
+		OnProgress: func(stage string, done, total int64) {
+			j.SetStageProgress(stage, done, total)
+			if stage == "campaign" {
+				j.SetProgress(done, total)
+			}
+		},
+	}
+}

@@ -1,0 +1,341 @@
+// Package service is the analysis daemon's HTTP layer: a stdlib net/http
+// API over an internal/jobs pool running dump-analysis campaigns.
+//
+//	POST   /v1/jobs             submit a dump container (body), returns 201 + job
+//	GET    /v1/jobs             list all jobs
+//	GET    /v1/jobs/{id}        job status with per-stage progress
+//	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	GET    /v1/jobs/{id}/result key report (redacted unless ?reveal=keys)
+//	GET    /metrics             Prometheus text: pool gauges + obs aggregates
+//	GET    /healthz             liveness
+//
+// Uploads stream straight into dumpfile-backed temp storage (never into
+// memory) and analysis reads them back through the streaming campaign, so
+// a multi-GB dump costs the daemon one worker and constant memory. The
+// paper's §III-C scale-out argument — litmus scanning is embarrassingly
+// parallel across shards and machines — is what this layer packages: many
+// dumps in flight, a bounded worker pool, and live per-stage progress for
+// multi-hour campaigns.
+//
+// Recovered master keys are treated as sensitive artifacts (cf. the
+// anti-forensic threat model in "Security Through Amnesia"): status and
+// result endpoints expose only SHA-256 fingerprints unless the caller
+// explicitly asks for key material with ?reveal=keys.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+	"time"
+
+	"coldboot/internal/aes"
+	"coldboot/internal/core"
+	"coldboot/internal/dumpfile"
+	"coldboot/internal/jobs"
+	"coldboot/internal/obs"
+)
+
+// DefaultMaxUploadBytes bounds POST /v1/jobs bodies when Config leaves
+// MaxUploadBytes zero: 1 GiB of container (a 16 GiB capture is submitted
+// as shards; see ROADMAP sharding item).
+const DefaultMaxUploadBytes = 1 << 30
+
+// Config tunes a Server.
+type Config struct {
+	// Workers caps concurrently running analysis jobs (default 1).
+	Workers int
+	// JobTimeout bounds each job's run time (0 = no limit).
+	JobTimeout time.Duration
+	// MaxUploadBytes caps the POST /v1/jobs body (default
+	// DefaultMaxUploadBytes).
+	MaxUploadBytes int64
+	// DataDir is where uploads are spooled ("" = the OS temp dir). Spooled
+	// dumps are deleted as soon as their job reaches a terminal state.
+	DataDir string
+	// MaxAttempts and RetryBackoff configure retry of transiently failing
+	// jobs (defaults: no retries; 250ms first backoff).
+	MaxAttempts  int
+	RetryBackoff time.Duration
+	// ShardBlocks overrides the campaign shard size (tests shrink it to
+	// see many progress ticks on small fixtures).
+	ShardBlocks int
+	// Parallel overrides per-job shard concurrency (default: one shard at
+	// a time per job — cross-job parallelism comes from Workers).
+	Parallel int
+	// Tracer, if non-nil, additionally observes every job's pipeline
+	// (fanned in alongside the server's own Collector).
+	Tracer obs.Tracer
+	// Runner overrides the analysis RunFunc (tests substitute stubs to
+	// exercise scheduling without burning CPU). Nil means real analysis.
+	Runner jobs.RunFunc
+}
+
+// Server is the analysis service: create with New, mount Handler, and
+// Drain on shutdown.
+type Server struct {
+	cfg       Config
+	pool      *jobs.Pool
+	collector *obs.Collector
+	mux       *http.ServeMux
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	if cfg.MaxUploadBytes <= 0 {
+		cfg.MaxUploadBytes = DefaultMaxUploadBytes
+	}
+	if cfg.Parallel <= 0 {
+		// One shard at a time within a job: concurrent jobs already fill
+		// the CPU budget, and sequential shards keep per-job progress
+		// strictly ordered.
+		cfg.Parallel = 1
+	}
+	s := &Server{
+		cfg:       cfg,
+		collector: obs.NewCollector(),
+		mux:       http.NewServeMux(),
+	}
+	run := cfg.Runner
+	if run == nil {
+		run = s.runAnalysis
+	}
+	s.pool = jobs.NewPool(run, jobs.Options{
+		Workers:      cfg.Workers,
+		JobTimeout:   cfg.JobTimeout,
+		MaxAttempts:  cfg.MaxAttempts,
+		RetryBackoff: cfg.RetryBackoff,
+		OnJobDone:    removeSpooledDump,
+	})
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Pool exposes the job pool (cancel-on-shutdown, tests).
+func (s *Server) Pool() *jobs.Pool { return s.pool }
+
+// Drain gracefully shuts the worker pool down: running jobs finish, queued
+// jobs are abandoned, new submissions get 503.
+func (s *Server) Drain(ctx context.Context) error { return s.pool.Drain(ctx) }
+
+// removeSpooledDump is the pool's terminal hook: the uploaded container is
+// only needed while its job can still run.
+func removeSpooledDump(j *jobs.Job) {
+	if pl, ok := j.Payload().(*dumpJob); ok && pl.Path != "" {
+		os.Remove(pl.Path)
+	}
+}
+
+// handleSubmit streams the posted container to disk and enqueues its
+// analysis. Query parameters: priority (int, default 0, higher first),
+// repair (0..2 decay-repair flips), variant (128/192/256, default 256).
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	pl := &dumpJob{Variant: aes.AES256}
+	q := r.URL.Query()
+	priority := 0
+	if v := q.Get("priority"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad priority %q", v)
+			return
+		}
+		priority = n
+	}
+	if v := q.Get("repair"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 || n > 2 {
+			httpError(w, http.StatusBadRequest, "bad repair %q (want 0..2)", v)
+			return
+		}
+		pl.RepairFlips = n
+	}
+	if v := q.Get("variant"); v != "" {
+		switch v {
+		case "128":
+			pl.Variant = aes.AES128
+		case "192":
+			pl.Variant = aes.AES192
+		case "256":
+			pl.Variant = aes.AES256
+		default:
+			httpError(w, http.StatusBadRequest, "bad variant %q (want 128/192/256)", v)
+			return
+		}
+	}
+
+	tmp, err := os.CreateTemp(s.cfg.DataDir, "coldbootd-*.cbdump")
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "spooling upload: %v", err)
+		return
+	}
+	pl.Path = tmp.Name()
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
+	meta, imageBytes, err := dumpfile.Spool(tmp, body)
+	closeErr := tmp.Close()
+	if err == nil {
+		err = closeErr
+	}
+	if err == nil && imageBytes%int64(core.BlockBytes) != 0 {
+		err = errInvalidAlignment(imageBytes)
+	}
+	if err != nil {
+		os.Remove(pl.Path)
+		var maxBytes *http.MaxBytesError
+		var sink *dumpfile.SinkError
+		switch {
+		case errors.As(err, &maxBytes):
+			httpError(w, http.StatusRequestEntityTooLarge, "upload exceeds %d bytes", s.cfg.MaxUploadBytes)
+		case errors.As(err, &sink):
+			httpError(w, http.StatusInternalServerError, "spooling upload: %v", err)
+		default:
+			httpError(w, http.StatusBadRequest, "invalid dump container: %v", err)
+		}
+		return
+	}
+	pl.Meta = meta
+	pl.ImageBytes = imageBytes
+
+	snap, err := s.pool.Submit(pl, priority)
+	if err != nil {
+		os.Remove(pl.Path)
+		if errors.Is(err, jobs.ErrDraining) {
+			httpError(w, http.StatusServiceUnavailable, "server is draining")
+			return
+		}
+		httpError(w, http.StatusInternalServerError, "submitting job: %v", err)
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+snap.ID)
+	writeJSON(w, http.StatusCreated, statusDoc(snap, pl))
+}
+
+func errInvalidAlignment(imageBytes int64) error {
+	return fmt.Errorf("image length %d is not a multiple of the %d-byte scrambler block",
+		imageBytes, core.BlockBytes)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	snaps := s.pool.List()
+	docs := make([]any, 0, len(snaps))
+	for _, snap := range snaps {
+		docs = append(docs, statusDoc(snap, nil))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": docs})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	snap, ok := s.pool.Get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, statusDoc(snap, nil))
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	snap, err := s.pool.Cancel(r.PathValue("id"))
+	switch {
+	case errors.Is(err, jobs.ErrNotFound):
+		httpError(w, http.StatusNotFound, "no such job")
+	case errors.Is(err, jobs.ErrFinished):
+		httpError(w, http.StatusConflict, "job already finished (state %s)", snap.State)
+	case err != nil:
+		httpError(w, http.StatusInternalServerError, "canceling: %v", err)
+	default:
+		// 202: a running job reaches canceled as soon as the campaign
+		// observes its context — within one scan chunk.
+		writeJSON(w, http.StatusAccepted, statusDoc(snap, nil))
+	}
+}
+
+// handleResult serves the key report of a finished job. Key material is
+// redacted to SHA-256 fingerprints unless ?reveal=keys.
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	snap, ok := s.pool.Get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	if !snap.State.Terminal() {
+		httpError(w, http.StatusConflict, "job is %s; result not ready", snap.State)
+		return
+	}
+	report, ok := snap.Result.(*ResultReport)
+	if !ok || report == nil {
+		httpError(w, http.StatusNotFound, "job %s produced no result (state %s: %s)", snap.ID, snap.State, snap.Error)
+		return
+	}
+	writeJSON(w, http.StatusOK, report.redacted(r.URL.Query().Get("reveal") == "keys"))
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := s.pool.Stats()
+	status := "ok"
+	if st.Draining {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": status, "pool": st})
+}
+
+// statusDoc merges a job snapshot with submission facts worth echoing
+// (image size, acquisition metadata) into one JSON document.
+func statusDoc(snap jobs.Snapshot, pl *dumpJob) map[string]any {
+	doc := map[string]any{
+		"id":             snap.ID,
+		"state":          snap.State,
+		"priority":       snap.Priority,
+		"attempts":       snap.Attempts,
+		"progress":       snap.Progress,
+		"progress_done":  snap.Done,
+		"progress_total": snap.Total,
+	}
+	if snap.Error != "" {
+		doc["error"] = snap.Error
+	}
+	if snap.SubmittedAt != "" {
+		doc["submitted_at"] = snap.SubmittedAt
+	}
+	if snap.StartedAt != "" {
+		doc["started_at"] = snap.StartedAt
+	}
+	if snap.FinishedAt != "" {
+		doc["finished_at"] = snap.FinishedAt
+	}
+	if len(snap.Stages) > 0 {
+		doc["stages"] = snap.Stages
+	}
+	if report, ok := snap.Result.(*ResultReport); ok && report != nil {
+		doc["keys_found"] = len(report.Keys)
+	}
+	if pl != nil {
+		doc["image_bytes"] = pl.ImageBytes
+		doc["variant"] = pl.Variant.String()
+		doc["meta"] = pl.Meta
+	}
+	return doc
+}
+
+func writeJSON(w http.ResponseWriter, code int, doc any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(doc)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]any{"error": fmt.Sprintf(format, args...)})
+}
