@@ -21,10 +21,13 @@
 #   make bench-hotpath  regenerate BENCH_hotpath.json (attack hot-path
 #                       kernels, machine-readable; commit the result so the
 #                       perf trajectory is tracked across PRs)
+#   make bench-guard    run the instrumented-hot-path benchmarks once and
+#                       fail if any reports allocs/op > 0 — the Nop tracer
+#                       fast path must stay allocation-free (PR 5 contract)
 
 GO ?= go
 
-.PHONY: test race lint fmt check fuzz-smoke serve-smoke bench bench-hotpath all
+.PHONY: test race lint fmt check fuzz-smoke serve-smoke bench bench-hotpath bench-guard all
 
 all: check
 
@@ -59,3 +62,21 @@ bench:
 
 bench-hotpath:
 	$(GO) run ./cmd/encbench -hotpath BENCH_hotpath.json
+
+# The guarded benchmarks drive the full telemetry hook surface (spans,
+# counters, histograms, progress) through the Nop tracer inside the scan
+# hot loops; a single iteration is enough because allocs/op must be
+# exactly zero, not merely small.
+bench-guard:
+	@set -e; \
+	for spec in \
+		"./internal/obs ^BenchmarkNopOverhead$$|^BenchmarkCollectorObserve$$" \
+		"./internal/keyfind ^BenchmarkScanChunkNop$$"; do \
+		set -- $$spec; pkg=$$1; pat=$$2; \
+		echo "bench-guard: $$pkg $$pat"; \
+		out=$$($(GO) test "$$pkg" -run '^$$' -bench "$$pat" -benchtime 1x -benchmem) || { echo "$$out"; exit 1; }; \
+		echo "$$out"; \
+		echo "$$out" | grep -q '^Benchmark' || { echo "bench-guard: no benchmarks matched $$pat in $$pkg"; exit 1; }; \
+		echo "$$out" | awk '/allocs\/op/ { for (i = 2; i <= NF; i++) if ($$i == "allocs/op" && $$(i-1) + 0 != 0) { print "bench-guard: " $$1 " allocates: " $$(i-1) " allocs/op"; bad = 1 } } END { exit bad }'; \
+	done; \
+	echo "bench-guard: all hot-path benchmarks allocation-free"

@@ -7,10 +7,14 @@
 //	         [-freeze -25] [-transfer 2s] [-reboot] [-protection stock]
 //	         [-seed 1] [-repair 1]
 //	         [-timeout 30s] [-progress] [-trace out.json]
+//	         [-trace-chrome trace.json] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // The analysis pipeline is observable and cancellable: -timeout bounds the
-// whole run, -progress prints live stage progress to stderr, and -trace
-// writes per-stage wall time plus candidate counters as JSON.
+// whole run, -progress prints live stage progress to stderr, -trace
+// writes per-stage wall time plus candidate counters as JSON, and
+// -trace-chrome writes the full span tree as Chrome Trace Event JSON
+// loadable in Perfetto (ui.perfetto.dev) or chrome://tracing.
+// -cpuprofile/-memprofile record pprof profiles of the run.
 //
 // -analyze exits with scripting-friendly codes: 0 when at least one master
 // key was recovered, 3 when a clean run found no keys, and 1 on errors
@@ -31,6 +35,7 @@ import (
 	"coldboot/internal/dumpfile"
 	"coldboot/internal/machine"
 	"coldboot/internal/obs"
+	"coldboot/internal/profiles"
 )
 
 func main() {
@@ -50,6 +55,9 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "abort the attack after this long (0 = no limit); partial results are reported")
 	progress := flag.Bool("progress", false, "print live attack progress to stderr")
 	traceOut := flag.String("trace", "", "write per-stage wall time and candidate counters as JSON to this file")
+	chromeOut := flag.String("trace-chrome", "", "write the span tree as Chrome Trace Event JSON to this file (open in Perfetto or chrome://tracing)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	flag.Parse()
 
 	if *list {
@@ -81,15 +89,23 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	collector, tracer := buildTracer(*traceOut != "", *progress)
+	prof, err := profiles.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProfiles(prof)
+	collector, tracer := buildTracer(*traceOut != "" || *chromeOut != "", *progress)
 	defer writeTrace(collector, *traceOut)
+	defer writeChromeTrace(collector, *chromeOut)
 
 	if *analyzeFrom != "" {
 		// Scripting contract (see README): 0 = keys recovered, 3 = clean
-		// run but no keys, 1 = errors. The trace is written before exiting
-		// (os.Exit skips deferred calls).
+		// run but no keys, 1 = errors. The traces and profiles are written
+		// before exiting (os.Exit skips deferred calls).
 		code := analyzeFile(ctx, *analyzeFrom, *repair, tracer)
 		writeTrace(collector, *traceOut)
+		writeChromeTrace(collector, *chromeOut)
+		stopProfiles(prof)
 		os.Exit(code)
 	}
 
@@ -133,7 +149,17 @@ func main() {
 	} else {
 		fmt.Println("volume still locked — attack failed")
 		writeTrace(collector, *traceOut)
+		writeChromeTrace(collector, *chromeOut)
+		stopProfiles(prof)
 		os.Exit(1)
+	}
+}
+
+// stopProfiles flushes the pprof session; Stop is idempotent, so the
+// deferred call after an explicit pre-os.Exit call is harmless.
+func stopProfiles(s *profiles.Session) {
+	if err := s.Stop(); err != nil {
+		log.Printf("profile: %v", err)
 	}
 }
 
@@ -191,6 +217,26 @@ func writeTrace(c *obs.Collector, path string) {
 	}
 	if err := f.Close(); err != nil {
 		log.Printf("trace: %v", err)
+	}
+}
+
+// writeChromeTrace dumps the collected span tree as Chrome Trace Event
+// JSON; like writeTrace it is nil/empty-safe and idempotent under the
+// deferred + early-exit double call.
+func writeChromeTrace(c *obs.Collector, path string) {
+	if c == nil || path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Printf("trace-chrome: %v", err)
+		return
+	}
+	if err := c.WriteChromeTrace(f); err != nil {
+		log.Printf("trace-chrome: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		log.Printf("trace-chrome: %v", err)
 	}
 }
 

@@ -14,6 +14,12 @@
 //	GET    /metrics             Prometheus text
 //	GET    /healthz             liveness
 //
+// -pprof-addr mounts net/http/pprof on a second, separate listener so the
+// profiling surface can be firewalled independently of the service API:
+//
+//	coldbootd -listen :8080 -pprof-addr 127.0.0.1:6060
+//	go tool pprof http://127.0.0.1:6060/debug/pprof/profile?seconds=10
+//
 // On SIGTERM/SIGINT the daemon stops accepting work (new submissions get
 // 503), lets running analyses finish (bounded by -drain-timeout), and
 // exits 0 on a clean drain.
@@ -27,6 +33,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -44,16 +51,17 @@ func main() {
 	retries := flag.Int("retries", 1, "total attempts for transiently failing jobs")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Minute, "how long shutdown waits for running jobs")
 	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening (for scripts using :0)")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = profiling off)")
 	flag.Parse()
 
 	log.SetFlags(0)
 	log.SetPrefix("coldbootd: ")
-	if err := run(*listen, *workers, *jobTimeout, *maxUpload, *dataDir, *retries, *drainTimeout, *addrFile); err != nil {
+	if err := run(*listen, *workers, *jobTimeout, *maxUpload, *dataDir, *retries, *drainTimeout, *addrFile, *pprofAddr); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(listen string, workers int, jobTimeout time.Duration, maxUpload int64, dataDir string, retries int, drainTimeout time.Duration, addrFile string) error {
+func run(listen string, workers int, jobTimeout time.Duration, maxUpload int64, dataDir string, retries int, drainTimeout time.Duration, addrFile, pprofAddr string) error {
 	svc := service.New(service.Config{
 		Workers:        workers,
 		JobTimeout:     jobTimeout,
@@ -74,6 +82,15 @@ func run(listen string, workers int, jobTimeout time.Duration, maxUpload int64, 
 		}
 	}
 	log.Printf("listening on %s (%d workers, max upload %d bytes)", addr, workers, maxUpload)
+
+	if pprofAddr != "" {
+		stopPprof, err := servePprof(pprofAddr)
+		if err != nil {
+			ln.Close()
+			return err
+		}
+		defer stopPprof()
+	}
 
 	httpSrv := &http.Server{Handler: svc.Handler()}
 	serveErr := make(chan error, 1)
@@ -106,4 +123,29 @@ func run(listen string, workers int, jobTimeout time.Duration, maxUpload int64, 
 	}
 	log.Printf("drained cleanly")
 	return nil
+}
+
+// servePprof mounts the net/http/pprof handlers on their own listener and
+// mux — deliberately not the service mux, so operators can bind profiling
+// to loopback while the API listens publicly. The returned func closes the
+// listener.
+func servePprof(addr string) (func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("pprof listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	log.Printf("pprof on http://%s/debug/pprof/", ln.Addr())
+	srv := &http.Server{Handler: mux}
+	go func() {
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("pprof server: %v", err)
+		}
+	}()
+	return func() { srv.Close() }, nil
 }

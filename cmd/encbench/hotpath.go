@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"log"
 	//lint:ignore noweakrand seeded benchmark data generation, not keystream material
 	"math/rand"
 	"os"
@@ -16,6 +17,7 @@ import (
 	"coldboot/internal/bitutil"
 	"coldboot/internal/core"
 	"coldboot/internal/keyfind"
+	"coldboot/internal/obs"
 	"coldboot/internal/scramble"
 	"coldboot/internal/workload"
 )
@@ -25,14 +27,23 @@ import (
 // perf trajectory of the attack hot path can be tracked across PRs by
 // diffing BENCH_hotpath.json.
 
-// HotpathResult is one benchmark row of the JSON report.
+// HotpathResult is one benchmark row of the JSON report. ns_per_op is the
+// mean from testing.Benchmark; p50/p99 come from a separate sampling pass
+// through an obs.Histogram, so tail skew (GC pauses, scheduler noise,
+// cache-cold iterations) is visible next to the mean. The power-of-two
+// buckets bound the percentile estimates within 2x; sub-microsecond ops
+// are sampled in batches, so their percentiles describe batch-averaged
+// latency, not single-call jitter.
 type HotpathResult struct {
-	Name        string  `json:"name"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	MBPerS      float64 `json:"mb_per_s"`
-	BytesPerOp  int64   `json:"processed_bytes_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-	Iterations  int     `json:"iterations"`
+	Name           string  `json:"name"`
+	NsPerOp        float64 `json:"ns_per_op"`
+	P50NsPerOp     float64 `json:"p50_ns_per_op"`
+	P99NsPerOp     float64 `json:"p99_ns_per_op"`
+	LatencySamples int64   `json:"latency_samples"`
+	MBPerS         float64 `json:"mb_per_s"`
+	BytesPerOp     int64   `json:"processed_bytes_per_op"`
+	AllocsPerOp    int64   `json:"allocs_per_op"`
+	Iterations     int     `json:"iterations"`
 }
 
 // HotpathReport is the whole BENCH_hotpath.json document. The run metadata
@@ -52,17 +63,56 @@ type HotpathReport struct {
 	SpeedupWorkerPop int             `json:"keyfind_parallel_workers"`
 }
 
-func row(name string, bytesPerOp int64, fn func(b *testing.B)) HotpathResult {
-	r := testing.Benchmark(fn)
+func row(name string, bytesPerOp int64, op func()) HotpathResult {
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			op()
+		}
+	})
 	ns := float64(r.T.Nanoseconds()) / float64(r.N)
+	p50, p99, samples := sampleLatency(op, ns)
 	return HotpathResult{
-		Name:        name,
-		NsPerOp:     ns,
-		MBPerS:      float64(bytesPerOp) / ns * 1e3, // bytes/ns -> MB/s (1e9 ns * 1e-6 MB)
-		BytesPerOp:  bytesPerOp,
-		AllocsPerOp: r.AllocsPerOp(),
-		Iterations:  r.N,
+		Name:           name,
+		NsPerOp:        ns,
+		P50NsPerOp:     p50,
+		P99NsPerOp:     p99,
+		LatencySamples: samples,
+		MBPerS:         float64(bytesPerOp) / ns * 1e3, // bytes/ns -> MB/s (1e9 ns * 1e-6 MB)
+		BytesPerOp:     bytesPerOp,
+		AllocsPerOp:    r.AllocsPerOp(),
+		Iterations:     r.N,
 	}
+}
+
+// Latency sampling bounds: enough samples for a stable p99, capped in wall
+// time so the slow whole-attack rows do not stall the report.
+const (
+	latencyMaxSamples = 512
+	latencyBudgetNs   = int64(2e9)
+)
+
+// sampleLatency re-runs op, timing batches through the same log-bucketed
+// histogram the pipeline uses (obs.Histogram), and returns the p50/p99
+// per-op estimates plus the number of samples taken. Ops faster than 1 µs
+// run in batches sized to ~1 µs so a clock read does not dominate the
+// measurement; each sample is then the batch mean.
+func sampleLatency(op func(), nsPerOp float64) (p50, p99 float64, samples int64) {
+	batch := int64(1)
+	if nsPerOp > 0 && nsPerOp < 1000 {
+		batch = int64(1000/nsPerOp) + 1
+	}
+	var h obs.Histogram
+	deadline := obs.Now() + latencyBudgetNs
+	for n := 0; n < latencyMaxSamples && obs.Now() < deadline; n++ {
+		start := obs.Now()
+		for i := int64(0); i < batch; i++ {
+			op()
+		}
+		h.Observe(obs.Since(start) / batch)
+	}
+	snap := h.Snapshot("latency")
+	return float64(snap.P50), float64(snap.P99), snap.Count
 }
 
 // writeHotpath runs the hot-path suite and writes the JSON report to path.
@@ -103,43 +153,28 @@ func writeHotpath(path string) error {
 	}
 
 	report.Benchmarks = append(report.Benchmarks,
-		row("xor_words_4096B", 4096, func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				bitutil.XORWords(xorBuf, xorBuf, xorKey)
-			}
+		row("xor_words_4096B", 4096, func() {
+			bitutil.XORWords(xorBuf, xorBuf, xorKey)
 		}),
-		row("xor_block_64B", 64, func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				bitutil.XORBlock64(xorBuf, xorBuf, xorKey)
-			}
+		row("xor_block_64B", 64, func() {
+			bitutil.XORBlock64(xorBuf, xorBuf, xorKey)
 		}),
 		// The Figure 1 data path: scramble + descramble 4 KiB through the
 		// Skylake DDR4 model (matches BenchmarkFigure1ScramblerModel).
-		row("figure1_scramble_roundtrip_4096B", 2*4096, func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				ddr4.Scramble(xorBuf, xorBuf, 0)
-				ddr4.Descramble(xorBuf, xorBuf, 0)
-			}
+		row("figure1_scramble_roundtrip_4096B", 2*4096, func() {
+			ddr4.Scramble(xorBuf, xorBuf, 0)
+			ddr4.Descramble(xorBuf, xorBuf, 0)
 		}),
 	)
 
-	serial := row("keyfind_scan_serial_4MiB", int64(len(img)), func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			if len(keyfind.ScanSerial(img, aes.AES256, 0)) != 1 {
-				b.Fatal("planted key not found")
-			}
+	serial := row("keyfind_scan_serial_4MiB", int64(len(img)), func() {
+		if len(keyfind.ScanSerial(img, aes.AES256, 0)) != 1 {
+			log.Fatal("planted key not found")
 		}
 	})
-	parallel := row("keyfind_scan_parallel_4MiB", int64(len(img)), func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			if len(keyfind.Scan(img, aes.AES256, 0)) != 1 {
-				b.Fatal("planted key not found")
-			}
+	parallel := row("keyfind_scan_parallel_4MiB", int64(len(img)), func() {
+		if len(keyfind.Scan(img, aes.AES256, 0)) != 1 {
+			log.Fatal("planted key not found")
 		}
 	})
 	report.Benchmarks = append(report.Benchmarks, serial, parallel)
@@ -149,16 +184,13 @@ func writeHotpath(path string) error {
 	report.SpeedupWorkerPop = runtime.NumCPU()
 
 	report.Benchmarks = append(report.Benchmarks,
-		row("attack_dump_2MiB", int64(len(dump)), func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				res, err := core.Attack(dump, core.Config{})
-				if err != nil {
-					b.Fatal(err)
-				}
-				if len(res.Keys) == 0 {
-					b.Fatal("key not recovered")
-				}
+		row("attack_dump_2MiB", int64(len(dump)), func() {
+			res, err := core.Attack(dump, core.Config{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if len(res.Keys) == 0 {
+				log.Fatal("key not recovered")
 			}
 		}),
 	)
@@ -173,8 +205,8 @@ func writeHotpath(path string) error {
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 	for _, r := range report.Benchmarks {
-		fmt.Printf("%-34s %14.0f ns/op %10.1f MB/s %6d allocs/op\n",
-			r.Name, r.NsPerOp, r.MBPerS, r.AllocsPerOp)
+		fmt.Printf("%-34s %14.0f ns/op  p50 %12.0f  p99 %12.0f %10.1f MB/s %6d allocs/op\n",
+			r.Name, r.NsPerOp, r.P50NsPerOp, r.P99NsPerOp, r.MBPerS, r.AllocsPerOp)
 	}
 	fmt.Printf("keyfind parallel/serial speedup: %.2fx (%d CPUs)\n",
 		report.ParallelSpeedup, report.SpeedupWorkerPop)

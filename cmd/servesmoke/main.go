@@ -1,6 +1,7 @@
 // Command servesmoke is the end-to-end smoke test behind `make
 // serve-smoke`: it builds coldbootd, boots it on a random port, submits a
-// small scrambled+decayed fixture dump over HTTP, polls the job to
+// small scrambled+decayed fixture dump over HTTP, tails the job's live
+// NDJSON event stream (including a cursor resume), polls the job to
 // completion, asserts the planted master key is recovered (and that the
 // metrics endpoint saw the work), then SIGTERMs the daemon and requires a
 // clean drain (exit 0).
@@ -11,6 +12,7 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/hex"
 	"encoding/json"
@@ -99,6 +101,19 @@ func run() error {
 	id, _ := doc["id"].(string)
 	log.Printf("job %s submitted", id)
 
+	// Tail the live telemetry stream while the job runs: the first
+	// connection reads from the start, asserts strictly ordered event
+	// sequence numbers, and detaches after a handful of events, recording
+	// its cursor for the resume check below.
+	lastSeq, _, nLive, err := consumeEvents(base, id, 0, 5)
+	if err != nil {
+		return fmt.Errorf("live event stream: %w", err)
+	}
+	if nLive == 0 {
+		return fmt.Errorf("live event stream delivered no events")
+	}
+	log.Printf("live stream: %d events, detached at cursor %d", nLive, lastSeq)
+
 	deadline := time.Now().Add(3 * time.Minute)
 	for {
 		if time.Now().After(deadline) {
@@ -141,6 +156,19 @@ func run() error {
 	}
 	log.Printf("recovered the planted master key")
 
+	// Resume the event stream from the recorded cursor: each surviving
+	// event arrives exactly once with a sequence number past the cursor,
+	// and — the job being done — the server closes the connection itself
+	// with an "end" line.
+	endSeq, sawEnd, nResumed, err := consumeEvents(base, id, lastSeq, 0)
+	if err != nil {
+		return fmt.Errorf("resumed event stream: %w", err)
+	}
+	if !sawEnd {
+		return fmt.Errorf("resumed event stream closed without an end line")
+	}
+	log.Printf("resumed stream: %d more events through seq %d, end line seen", nResumed, endSeq)
+
 	// The metrics endpoint must have seen the pool and the pipeline.
 	resp, err = http.Get(base + "/metrics")
 	if err != nil {
@@ -151,7 +179,14 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	for _, want := range []string{"coldbootd_jobs_done_total 1", "coldbootd_pipeline_stage_wall_seconds"} {
+	for _, want := range []string{
+		"coldbootd_jobs_done_total 1",
+		"coldbootd_pipeline_stage_wall_seconds",
+		// The native histograms: job latency from the pool, per-chunk scan
+		// latency from the hunt stage.
+		"coldbootd_pipeline_jobs_run_seconds_bucket",
+		"coldbootd_pipeline_hunt_chunk_seconds_count",
+	} {
 		if !strings.Contains(string(metrics), want) {
 			return fmt.Errorf("metrics missing %q", want)
 		}
@@ -201,6 +236,70 @@ func buildFixture() ([]byte, []byte) {
 		log.Fatal(err)
 	}
 	return buf.Bytes(), master
+}
+
+// eventLine is the union of a data event (obs.Event, keyed by "seq") and
+// the stream's control lines (gap/heartbeat/end, keyed by "cursor").
+type eventLine struct {
+	Type    string `json:"type"`
+	Seq     uint64 `json:"seq"`
+	Cursor  uint64 `json:"cursor"`
+	Skipped uint64 `json:"skipped"`
+	State   string `json:"state"`
+}
+
+// consumeEvents reads a job's NDJSON event stream starting after cursor,
+// asserting that sequence numbers only move forward, and returns the last
+// position seen, whether the server's "end" line arrived, and how many
+// data events were read. maxData > 0 detaches after that many data events
+// (the live-tail case); 0 reads until the stream ends.
+func consumeEvents(base, id string, cursor uint64, maxData int) (lastSeq uint64, sawEnd bool, nData int, err error) {
+	resp, err := http.Get(fmt.Sprintf("%s/v1/jobs/%s/events?cursor=%d", base, id, cursor))
+	if err != nil {
+		return 0, false, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, false, 0, fmt.Errorf("events: HTTP %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		return 0, false, 0, fmt.Errorf("events: Content-Type %q, want application/x-ndjson", ct)
+	}
+	lastSeq = cursor
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		var line eventLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			return lastSeq, sawEnd, nData, fmt.Errorf("bad stream line %q: %w", sc.Text(), err)
+		}
+		switch line.Type {
+		case "end":
+			return lastSeq, true, nData, nil
+		case "heartbeat":
+			// Keepalive; carries no new position.
+		case "gap":
+			// The reader fell behind the ring buffer; the cursor jumps
+			// past the overwritten events but must still move forward.
+			if line.Cursor <= lastSeq {
+				return lastSeq, sawEnd, nData, fmt.Errorf("gap cursor %d not after %d", line.Cursor, lastSeq)
+			}
+			lastSeq = line.Cursor
+		default: // a data event: span_start/span_end/span_attr/count/progress/observe
+			if line.Seq <= lastSeq {
+				return lastSeq, sawEnd, nData, fmt.Errorf("event seq %d not after %d (type %q)", line.Seq, lastSeq, line.Type)
+			}
+			lastSeq = line.Seq
+			nData++
+			if maxData > 0 && nData >= maxData {
+				return lastSeq, false, nData, nil
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return lastSeq, sawEnd, nData, err
+	}
+	return lastSeq, sawEnd, nData, fmt.Errorf("stream closed without an end line")
 }
 
 // waitForAddr polls the daemon's -addr-file, bailing early if the process

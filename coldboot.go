@@ -388,7 +388,7 @@ func analyze(ctx context.Context, s Scenario, dump []byte, out *Outcome, vol *ve
 		// Cross-check with the prior-art scan on the descrambled image
 		// (adds any finding the anchored hunt missed).
 		if plainDump, err := core.DescrambleDDR3Context(ctx, dump, keys); err == nil {
-			if fs, err := keyfind.ScanContext(ctx, plainDump, aes.AES256, keyfind.DefaultTolerance, 0); err == nil {
+			if fs, err := keyfind.ScanTraced(ctx, plainDump, aes.AES256, keyfind.DefaultTolerance, 0, tracer); err == nil {
 				for _, f := range fs {
 					out.RecoveredMasters = append(out.RecoveredMasters, f.Master)
 				}
@@ -419,7 +419,7 @@ func analyze(ctx context.Context, s Scenario, dump []byte, out *Outcome, vol *ve
 	// scrambler disabled, or a seed-reusing BIOS whose reboot descrambles
 	// its own memory (§III-B observation 2).
 	scanTimer := tracer.StageStart("halderman-scan")
-	findings, err := keyfind.ScanContext(ctx, dump, aes.AES256, keyfind.DefaultTolerance, 0)
+	findings, err := keyfind.ScanTraced(ctx, dump, aes.AES256, keyfind.DefaultTolerance, 0, tracer)
 	scanTimer.End()
 	for _, f := range findings {
 		out.RecoveredMasters = append(out.RecoveredMasters, f.Master)

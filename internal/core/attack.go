@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -56,8 +57,14 @@ type Config struct {
 	// and share the key pool with every shard.
 	Mine *MineResult
 	// Tracer observes the pipeline: per-stage wall time, candidate
-	// counters, and hunt progress. Nil means no tracing (obs.Nop).
+	// counters, hunt progress, and per-chunk/per-verify latency
+	// histograms. Nil means no tracing (obs.Nop).
 	Tracer obs.Tracer
+	// Span, when non-nil, parents the attack's root span under a caller
+	// span (the campaign nests per-shard attacks this way; coldbootd nests
+	// them under a per-job span). Nil means the attack starts its own
+	// trace tree on the Tracer.
+	Span obs.Span
 }
 
 func (c Config) withDefaults() Config {
@@ -124,6 +131,10 @@ type AttackRun struct {
 	Res *Result
 
 	tracer obs.Tracer
+	// span is the attack's root span; stage spans nest under it. stage is
+	// the span of the stage currently running (worker spans nest there).
+	span  obs.Span
+	stage obs.Span
 	// skip marks block indices that cannot contain schedules (mined-key
 	// sightings are zero-data blocks).
 	skip map[int]bool
@@ -169,14 +180,25 @@ func AttackContext(ctx context.Context, dump []byte, cfg Config) (*Result, error
 		tracer: obs.OrNop(cfg.Tracer),
 		found:  make(map[string]*FoundKey),
 	}
+	attrs := []obs.Attr{
+		obs.A("blocks", strconv.Itoa(len(dump)/BlockBytes)),
+		obs.A("variant", cfg.Variant.String()),
+	}
+	if cfg.Span != nil {
+		run.span = cfg.Span.Child("attack", attrs...)
+	} else {
+		run.span = run.tracer.StartSpan("attack", attrs...)
+	}
+	defer run.span.End()
 	for _, st := range AttackStages() {
 		if err := ctx.Err(); err != nil {
 			assembleKeys(run)
 			return run.Res, err
 		}
-		timer := run.tracer.StageStart(st.Name())
+		stageSpan := run.span.Child(st.Name())
+		run.stage = stageSpan
 		err := st.Run(ctx, run)
-		timer.End()
+		stageSpan.End()
 		if err != nil {
 			// Finalize whatever candidates the interrupted stage left so a
 			// cancelled attack still surfaces its partial findings.
@@ -184,6 +206,7 @@ func AttackContext(ctx context.Context, dump []byte, cfg Config) (*Result, error
 			return run.Res, err
 		}
 	}
+	run.span.SetAttr("keys", strconv.Itoa(len(run.Res.Keys)))
 	return run.Res, nil
 }
 
@@ -287,9 +310,14 @@ func (huntStage) Run(ctx context.Context, run *AttackRun) error {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
+			ws := run.stage.Child("hunt.worker",
+				obs.A("blocks", strconv.Itoa(lo)+"-"+strconv.Itoa(hi)),
+				obs.A("offset", "0x"+strconv.FormatInt(int64(lo)*BlockBytes, 16)+"-0x"+strconv.FormatInt(int64(hi)*BlockBytes, 16)))
+			defer ws.End()
 			descrambled := make([]byte, BlockBytes)
 			var localPairs, localHits int64
 			lastCheck := lo
+			chunkStart := obs.Now()
 			for b := lo; b < hi; b++ {
 				if b-lastCheck >= scanCancelChunkBlocks {
 					n := done.Add(int64(b - lastCheck))
@@ -298,6 +326,8 @@ func (huntStage) Run(ctx context.Context, run *AttackRun) error {
 						cancelled.Store(true)
 					}
 					run.tracer.Progress("hunt", n, int64(nBlocks))
+					run.tracer.Observe("hunt.chunk_ns", obs.Since(chunkStart))
+					chunkStart = obs.Now()
 				}
 				if cancelled.Load() {
 					break
@@ -329,7 +359,9 @@ func (huntStage) Run(ctx context.Context, run *AttackRun) error {
 							continue
 						}
 						master := MasterFromHit(descrambled, hit, cfg.Variant)
+						verifyStart := obs.Now()
 						score := VerifySchedule(dump, run.Directory, master, start, cfg.Variant)
+						run.tracer.Observe("hunt.verify_ns", obs.Since(verifyStart))
 						if score < cfg.MinVerifyScore && cfg.GroundDump != nil && groundRepairsLeft > 0 {
 							groundRepairsLeft--
 							master, score = RepairWindowGround(dump, cfg.GroundDump, run.Directory,

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 
 	"coldboot/internal/obs"
@@ -132,9 +133,12 @@ func RunCampaignSource(ctx context.Context, src BlockSource, cfg CampaignConfig)
 	tracer := obs.OrNop(attackCfg.Tracer)
 	totalBlocks := src.Blocks()
 
+	root := startCampaignSpan(tracer, attackCfg.Span, totalBlocks)
+	defer root.End()
+
 	// Global mining pass: keys repeat across the whole image, so one pass
 	// yields the best pool and the true stride.
-	mineTimer := tracer.StageStart("campaign.mine")
+	mineTimer := root.Child("campaign.mine")
 	mine, err := MineKeysSource(ctx, src, MineOptions{
 		Tolerance:     attackCfg.LitmusTolerance,
 		MergeDistance: attackCfg.MergeDistance,
@@ -159,6 +163,7 @@ func RunCampaignSource(ctx context.Context, src BlockSource, cfg CampaignConfig)
 
 	overlap := attackCfg.Variant.ScheduleBytes()/BlockBytes + 1
 	shards := Shards(totalBlocks, cfg.ShardBlocks, overlap)
+	root.SetAttr("shards", strconv.Itoa(len(shards)))
 
 	// Shard buffers are pooled per in-flight worker; memory-resident
 	// sources lend subslices instead (no copy at all).
@@ -199,6 +204,11 @@ shardLoop:
 		go func(sh Shard) {
 			defer wg.Done()
 			defer func() { <-sem }()
+			shSpan := root.Child("shard",
+				obs.A("shard", strconv.Itoa(sh.Index)),
+				obs.A("blocks", strconv.Itoa(sh.FirstBlock)+"-"+strconv.Itoa(sh.FirstBlock+sh.Blocks)),
+				obs.A("offset", "0x"+strconv.FormatInt(int64(sh.FirstBlock)*BlockBytes, 16)+"-0x"+strconv.FormatInt(int64(sh.FirstBlock+sh.Blocks)*BlockBytes, 16)))
+			defer shSpan.End()
 			sub, release, err := shardBytes(src, sh, bufs)
 			if err != nil {
 				mu.Lock()
@@ -206,8 +216,9 @@ shardLoop:
 				mu.Unlock()
 				return
 			}
-			sr, serr := scanShard(ctx, sub, sh, mine, directory, attackCfg)
+			sr, serr := scanShard(ctx, sub, sh, mine, directory, attackCfg, shSpan)
 			release()
+			shSpan.SetAttr("keys", strconv.Itoa(len(sr.Keys)))
 			mu.Lock()
 			setErr(serr)
 			collected = append(collected, sr.Keys...)
@@ -227,10 +238,21 @@ shardLoop:
 		}(sh)
 	}
 	wg.Wait()
-	mergeTimer := tracer.StageStart("campaign.merge")
+	mergeTimer := root.Child("campaign.merge")
 	res.Keys = MergeShardResults(collected, attackCfg.Variant.ScheduleBytes())
 	mergeTimer.End()
+	root.SetAttr("keys", strconv.Itoa(len(res.Keys)))
 	return res, campErr
+}
+
+// startCampaignSpan opens the campaign's root span, nesting it under the
+// caller's span (coldbootd's per-job span) when one is provided.
+func startCampaignSpan(tracer obs.Tracer, parent obs.Span, totalBlocks int) obs.Span {
+	attrs := []obs.Attr{obs.A("blocks", strconv.Itoa(totalBlocks))}
+	if parent != nil {
+		return parent.Child("campaign", attrs...)
+	}
+	return tracer.StartSpan("campaign", attrs...)
 }
 
 // shardBytes materializes one shard's bytes: a borrowed subslice for
@@ -276,7 +298,7 @@ func shardMineView(mine *MineResult, sh Shard) *MineResult {
 // scanShard runs the per-block scan of the attack pipeline over one shard,
 // using the globally mined key pool and directory. A cancelled context
 // surfaces the partial findings together with ctx.Err().
-func scanShard(ctx context.Context, sub []byte, sh Shard, mine *MineResult, directory KeyDirectory, cfg Config) (ShardResult, error) {
+func scanShard(ctx context.Context, sub []byte, sh Shard, mine *MineResult, directory KeyDirectory, cfg Config, span obs.Span) (ShardResult, error) {
 	shiftedDir := func(b int) [][]byte { return directory(b + sh.FirstBlock) }
 	res, err := AttackContext(ctx, sub, Config{
 		Variant:         cfg.Variant,
@@ -288,6 +310,7 @@ func scanShard(ctx context.Context, sub []byte, sh Shard, mine *MineResult, dire
 		KeysForBlock:    shiftedDir,
 		Mine:            shardMineView(mine, sh),
 		Tracer:          cfg.Tracer,
+		Span:            span,
 	})
 	out := ShardResult{Shard: sh}
 	if res == nil {

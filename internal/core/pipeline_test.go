@@ -21,8 +21,10 @@ type huntCancelTracer struct {
 	total    int64
 }
 
-func (h *huntCancelTracer) StageStart(string) obs.StageTimer { return obs.Nop.StageStart("") }
-func (h *huntCancelTracer) Count(string, int64)              {}
+func (h *huntCancelTracer) StageStart(string) obs.StageTimer       { return obs.Nop.StageStart("") }
+func (h *huntCancelTracer) StartSpan(string, ...obs.Attr) obs.Span { return obs.Nop.StartSpan("") }
+func (h *huntCancelTracer) Count(string, int64)                    {}
+func (h *huntCancelTracer) Observe(string, int64)                  {}
 
 func (h *huntCancelTracer) Progress(stage string, done, total int64) {
 	if stage != "hunt" {
@@ -175,7 +177,7 @@ func TestAttackStagesTraced(t *testing.T) {
 		t.Fatal(err)
 	}
 	rep := col.Report()
-	want := []string{"mine", "directory", "hunt", "assemble"}
+	want := []string{"attack", "mine", "directory", "hunt", "hunt.worker", "assemble"}
 	if len(rep.Stages) != len(want) {
 		t.Fatalf("got %d stages, want %d: %+v", len(rep.Stages), len(want), rep.Stages)
 	}
@@ -191,5 +193,116 @@ func TestAttackStagesTraced(t *testing.T) {
 	}
 	if rep.Counters["mine.blocks_scanned"] != int64(len(dump)/BlockBytes) {
 		t.Errorf("mine.blocks_scanned = %d, want %d", rep.Counters["mine.blocks_scanned"], len(dump)/BlockBytes)
+	}
+	// The verify latency histogram must have sampled (a planted key always
+	// reaches VerifySchedule at least once).
+	var names []string
+	for _, h := range rep.Histograms {
+		names = append(names, h.Name)
+		if h.Count <= 0 {
+			t.Errorf("histogram %s has no samples", h.Name)
+		}
+	}
+	found := false
+	for _, n := range names {
+		if n == "hunt.verify_ns" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("hunt.verify_ns histogram missing from report (have %v)", names)
+	}
+}
+
+// TestAttackSpanTree checks the attack builds a causal span tree: stage
+// spans parent under the attack root, worker spans under the hunt stage.
+func TestAttackSpanTree(t *testing.T) {
+	dump := buildAttackDump(t, 1<<20, 44, workload.LightSystem, testMaster(404, 32), 4096*64)
+	col := obs.NewCollector()
+	if _, err := AttackContext(context.Background(), dump, Config{Tracer: col, Workers: 2}); err != nil {
+		t.Fatal(err)
+	}
+	spans := col.Spans()
+	byID := map[uint64]obs.SpanRecord{}
+	var root obs.SpanRecord
+	for _, s := range spans {
+		byID[s.ID] = s
+		if s.Name == "attack" {
+			root = s
+		}
+	}
+	if root.ID == 0 {
+		t.Fatalf("no attack root span: %+v", spans)
+	}
+	if root.Parent != 0 {
+		t.Errorf("attack root has parent %d, want none", root.Parent)
+	}
+	workers := 0
+	for _, s := range spans {
+		if s.Root != root.ID {
+			t.Errorf("span %s not rooted at the attack span: %+v", s.Name, s)
+		}
+		switch s.Name {
+		case "mine", "directory", "hunt", "assemble":
+			if s.Parent != root.ID {
+				t.Errorf("stage %s parent = %d, want attack %d", s.Name, s.Parent, root.ID)
+			}
+		case "hunt.worker":
+			workers++
+			if byID[s.Parent].Name != "hunt" {
+				t.Errorf("hunt.worker parent is %q, want hunt", byID[s.Parent].Name)
+			}
+		}
+	}
+	if workers != 2 {
+		t.Errorf("got %d hunt.worker spans, want 2", workers)
+	}
+}
+
+// TestCampaignSpanTree checks sharded runs nest per-shard attack trees
+// under the campaign root.
+func TestCampaignSpanTree(t *testing.T) {
+	dump := buildAttackDump(t, 1<<20, 45, workload.LightSystem, testMaster(405, 32), 4096*64)
+	col := obs.NewCollector()
+	if _, err := RunCampaign(context.Background(), dump, CampaignConfig{
+		ShardBlocks: 8192, Parallel: 1, Attack: Config{Workers: 1, Tracer: col},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	spans := col.Spans()
+	byID := map[uint64]obs.SpanRecord{}
+	var root obs.SpanRecord
+	shardSpans, attacks := 0, 0
+	for _, s := range spans {
+		byID[s.ID] = s
+		if s.Name == "campaign" {
+			root = s
+		}
+	}
+	if root.ID == 0 {
+		t.Fatalf("no campaign root span: %+v", spans)
+	}
+	for _, s := range spans {
+		switch s.Name {
+		case "campaign.mine", "campaign.merge", "shard":
+			if s.Parent != root.ID {
+				t.Errorf("%s parent = %d, want campaign %d", s.Name, s.Parent, root.ID)
+			}
+			if s.Name == "shard" {
+				shardSpans++
+			}
+		case "attack":
+			attacks++
+			if byID[s.Parent].Name != "shard" {
+				t.Errorf("attack parent is %q, want shard", byID[s.Parent].Name)
+			}
+		}
+		if s.Root != root.ID {
+			t.Errorf("span %s escaped the campaign tree", s.Name)
+		}
+	}
+	wantShards := len(Shards(len(dump)/BlockBytes, 8192, 0))
+	if shardSpans < wantShards || attacks != shardSpans {
+		t.Errorf("got %d shard spans and %d attack spans, want >=%d and equal", shardSpans, attacks, wantShards)
 	}
 }

@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"coldboot/internal/obs"
 )
 
 // RunFunc executes one job. It must honour ctx — the analysis pipeline
@@ -37,6 +39,11 @@ type Options struct {
 	// state. The service uses it to delete spooled dump files and bump
 	// metrics.
 	OnJobDone func(job *Job)
+	// Tracer receives pool latency telemetry: "jobs.queue_wait_ns" (submit
+	// to first run) and "jobs.run_ns" (wall time of the attempt that
+	// reached a terminal state) histogram samples. Nil means no telemetry
+	// (obs.Nop).
+	Tracer obs.Tracer
 }
 
 func (o Options) withDefaults() Options {
@@ -52,6 +59,7 @@ func (o Options) withDefaults() Options {
 	if o.Clock == nil {
 		o.Clock = time.Now
 	}
+	o.Tracer = obs.OrNop(o.Tracer)
 	return o
 }
 
@@ -243,6 +251,9 @@ func (p *Pool) worker() {
 		p.setStateLocked(j, StateRunning)
 		j.attempts++
 		j.started = p.opts.Clock()
+		if j.attempts == 1 {
+			p.opts.Tracer.Observe("jobs.queue_wait_ns", j.started.Sub(j.submitted).Nanoseconds())
+		}
 		ctx, cancel := context.WithCancel(context.Background())
 		if p.opts.JobTimeout > 0 {
 			ctx, cancel = context.WithTimeout(ctx, p.opts.JobTimeout)
@@ -298,6 +309,9 @@ func (p *Pool) finish(j *Job, result any, err error) {
 	}
 	if terminal {
 		j.finished = now
+		if !j.started.IsZero() {
+			p.opts.Tracer.Observe("jobs.run_ns", now.Sub(j.started).Nanoseconds())
+		}
 	}
 	hook := p.opts.OnJobDone
 	p.mu.Unlock()

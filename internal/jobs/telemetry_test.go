@@ -1,0 +1,75 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"coldboot/internal/obs"
+)
+
+// TestPoolLatencyHistograms: the pool observes queue wait (submit → first
+// run) and run time (the terminal attempt's wall time) on the injected
+// clock, once per job.
+func TestPoolLatencyHistograms(t *testing.T) {
+	var mu sync.Mutex
+	now := time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+	clock := func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		now = now.Add(time.Second)
+		return now
+	}
+	col := obs.NewCollector()
+	p := NewPool(func(ctx context.Context, j *Job) (any, error) {
+		return nil, nil
+	}, Options{Workers: 1, Clock: clock, Tracer: col})
+	snap, err := p.Submit(nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, p, snap.ID, StateDone)
+	drain(t, p)
+
+	// The clock ticks once per read: submit, start, finish — so both
+	// intervals are exactly one fake second.
+	for _, name := range []string{"jobs.queue_wait_ns", "jobs.run_ns"} {
+		h := col.Histogram(name)
+		if h == nil {
+			t.Fatalf("%s histogram missing", name)
+		}
+		s := h.Snapshot(name)
+		if s.Count != 1 || s.Sum != time.Second.Nanoseconds() {
+			t.Errorf("%s = %+v, want 1 sample of 1s", name, s)
+		}
+	}
+}
+
+// TestPoolRetriesObserveOneQueueWait: a transiently failing job runs
+// multiple attempts but samples the queue wait exactly once and the run
+// time exactly once (at the terminal state).
+func TestPoolRetriesObserveOneQueueWait(t *testing.T) {
+	col := obs.NewCollector()
+	var attempts int
+	p := NewPool(func(ctx context.Context, j *Job) (any, error) {
+		attempts++
+		if attempts < 2 {
+			return nil, Transient(errors.New("flaky"))
+		}
+		return nil, nil
+	}, Options{Workers: 1, MaxAttempts: 3, RetryBackoff: time.Millisecond, Tracer: col})
+	snap, err := p.Submit(nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, p, snap.ID, StateDone)
+	drain(t, p)
+	if h := col.Histogram("jobs.queue_wait_ns"); h == nil || h.Snapshot("").Count != 1 {
+		t.Errorf("queue wait sampled more than once across retries")
+	}
+	if h := col.Histogram("jobs.run_ns"); h == nil || h.Snapshot("").Count != 1 {
+		t.Errorf("run time should be sampled once at the terminal state")
+	}
+}

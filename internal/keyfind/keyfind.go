@@ -17,8 +17,10 @@ import (
 	"math/bits"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"coldboot/internal/aes"
+	"coldboot/internal/obs"
 )
 
 // Finding is one located key schedule.
@@ -52,7 +54,15 @@ func Scan(image []byte, v aes.Variant, tolerance int) []Finding {
 // chunks (chunks are at most a few hundred microseconds of scanning). A
 // cancelled scan returns nil findings together with ctx.Err().
 func ScanContext(ctx context.Context, image []byte, v aes.Variant, tolerance, workers int) ([]Finding, error) {
-	return scanParallelCtx(ctx, image, v, tolerance, workers)
+	return scanParallelCtx(ctx, image, v, tolerance, workers, obs.Nop)
+}
+
+// ScanTraced is ScanContext with telemetry: each completed chunk records
+// its scan latency into the "keyfind.chunk_ns" histogram and advances the
+// "keyfind" progress (in candidate offsets) on tr. The Nop tracer makes it
+// identical to ScanContext.
+func ScanTraced(ctx context.Context, image []byte, v aes.Variant, tolerance, workers int, tr obs.Tracer) ([]Finding, error) {
+	return scanParallelCtx(ctx, image, v, tolerance, workers, obs.OrNop(tr))
 }
 
 // ScanSerial is the single-threaded scan: one worker, no goroutines. It is
@@ -73,11 +83,11 @@ func ScanSerial(image []byte, v aes.Variant, tolerance int) []Finding {
 // output is deterministic and byte-identical to ScanSerial's regardless of
 // worker count or scheduling.
 func ScanParallel(image []byte, v aes.Variant, tolerance int, workers int) []Finding {
-	out, _ := scanParallelCtx(context.Background(), image, v, tolerance, workers)
+	out, _ := scanParallelCtx(context.Background(), image, v, tolerance, workers, obs.Nop)
 	return out
 }
 
-func scanParallelCtx(ctx context.Context, image []byte, v aes.Variant, tolerance, workers int) ([]Finding, error) {
+func scanParallelCtx(ctx context.Context, image []byte, v aes.Variant, tolerance, workers int, tr obs.Tracer) ([]Finding, error) {
 	if tolerance <= 0 {
 		tolerance = DefaultTolerance
 	}
@@ -99,7 +109,11 @@ func scanParallelCtx(ctx context.Context, image []byte, v aes.Variant, tolerance
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		return scanRange(image, v, tolerance, 0, len(image)), nil
+		start := obs.Now()
+		out := scanRange(image, v, tolerance, 0, len(image))
+		tr.Observe("keyfind.chunk_ns", obs.Since(start))
+		tr.Progress("keyfind", int64(nOffsets), int64(nOffsets))
+		return out, nil
 	}
 	if workers > nChunks {
 		workers = nChunks
@@ -107,6 +121,7 @@ func scanParallelCtx(ctx context.Context, image []byte, v aes.Variant, tolerance
 
 	results := make([][]Finding, nChunks)
 	jobs := make(chan int)
+	var doneOffsets atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -121,7 +136,10 @@ func scanParallelCtx(ctx context.Context, image []byte, v aes.Variant, tolerance
 				if hi > nOffsets {
 					hi = nOffsets
 				}
+				start := obs.Now()
 				results[c] = scanRange(image, v, tolerance, lo, hi)
+				tr.Observe("keyfind.chunk_ns", obs.Since(start))
+				tr.Progress("keyfind", doneOffsets.Add(int64(hi-lo)), int64(nOffsets))
 			}
 		}()
 	}

@@ -1,0 +1,32 @@
+package jobs
+
+import (
+	"log"
+	"time"
+
+	"coldboot/internal/obs"
+)
+
+// spanStamped opens a telemetry span but reads the wall clock and logs
+// around it directly: both are findings — span timing and reporting
+// belong to internal/obs.
+func spanStamped(tr obs.Tracer, id string) time.Time {
+	sp := tr.StartSpan("job", obs.A("job", id))
+	defer sp.End()
+	log.Printf("job %s span open", id) // want noprint
+	return time.Now()                  // want noprint
+}
+
+// spanObserved routes the same timing through the obs monotonic clock and
+// span attributes: the sanctioned shape, no findings.
+func spanObserved(tr obs.Tracer, id string) int64 {
+	sp := tr.StartSpan("job", obs.A("job", id))
+	defer sp.End()
+	start := obs.Now()
+	sp.SetAttr("state", "running")
+	tr.Observe("jobs.run_ns", obs.Since(start))
+	return obs.Since(start)
+}
+
+var _ = spanStamped
+var _ = spanObserved

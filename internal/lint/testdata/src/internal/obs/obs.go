@@ -1,0 +1,53 @@
+// Package obs is a fixture stub of the real internal/obs telemetry
+// package: just enough surface (spans, the monotonic clock, the Nop
+// tracer) for sibling fixtures to compile against. Like the real package
+// it is exempt from the noprint rule — timing is its job — so the
+// time.Now calls below must not fire.
+package obs
+
+import "time"
+
+// Attr is a string key/value span attribute.
+type Attr struct{ Key, Value string }
+
+// A builds an Attr.
+func A(k, v string) Attr { return Attr{Key: k, Value: v} }
+
+// Span is a live span handle.
+type Span interface {
+	End()
+	SetAttr(key, value string)
+	Child(name string, attrs ...Attr) Span
+}
+
+// Tracer is the telemetry hook interface.
+type Tracer interface {
+	StartSpan(name string, attrs ...Attr) Span
+	Count(name string, delta int64)
+	Progress(stage string, done, total int64)
+	Observe(name string, value int64)
+}
+
+var timebase = time.Now()
+
+// Now returns nanoseconds on the package's monotonic clock.
+func Now() int64 { return int64(time.Since(timebase)) }
+
+// Since returns the nanoseconds elapsed after a Now() reading.
+func Since(start int64) int64 { return Now() - start }
+
+type nopSpan struct{}
+
+func (nopSpan) End()                       {}
+func (nopSpan) SetAttr(string, string)     {}
+func (nopSpan) Child(string, ...Attr) Span { return nopSpan{} }
+
+type nopTracer struct{}
+
+func (nopTracer) StartSpan(string, ...Attr) Span { return nopSpan{} }
+func (nopTracer) Count(string, int64)            {}
+func (nopTracer) Progress(string, int64, int64)  {}
+func (nopTracer) Observe(string, int64)          {}
+
+// Nop discards everything.
+var Nop Tracer = nopTracer{}

@@ -1,0 +1,32 @@
+package service
+
+// journalBlocks records one event payload per dump block but allocates it
+// fresh inside the per-block loop: a finding — a journal ring on the
+// serving hot path must reuse its entry buffers.
+func journalBlocks(dump []byte) [][]byte {
+	var events [][]byte
+	for b := 0; b < len(dump)/64; b++ {
+		payload := make([]byte, 64) // want allocloop
+		copy(payload, dump[b*64:(b+1)*64])
+		events = append(events, payload)
+	}
+	return events
+}
+
+// journalBlocksRing writes into a fixed ring of preallocated entries, the
+// shape the real obs.Journal uses: not a finding.
+func journalBlocksRing(dump []byte) int {
+	ring := make([][]byte, 8)
+	for i := range ring {
+		ring[i] = make([]byte, 64)
+	}
+	seq := 0
+	for b := 0; b < len(dump)/64; b++ {
+		copy(ring[seq%len(ring)], dump[b*64:(b+1)*64])
+		seq++
+	}
+	return seq
+}
+
+var _ = journalBlocks
+var _ = journalBlocksRing

@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// chromeEvent is one Trace Event in the Chrome/Perfetto JSON format. Spans
+// are emitted as "X" (complete) events with microsecond timestamps; the
+// span tree's root ID becomes the thread ID so each root span (attack,
+// campaign, job) renders as its own track.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur"`
+	Pid  int               `json:"pid"`
+	Tid  uint64            `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace writes the collected spans as Chrome Trace Event JSON,
+// loadable in Perfetto (https://ui.perfetto.dev) or chrome://tracing.
+// Events are sorted by start time so ts is monotonic.
+func (c *Collector) WriteChromeTrace(w io.Writer) error {
+	spans := c.Spans()
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].StartNs < spans[j].StartNs })
+	events := make([]chromeEvent, 0, len(spans))
+	for _, s := range spans {
+		args := make(map[string]string, len(s.Attrs)+2)
+		args["span"] = strconv.FormatUint(s.ID, 10)
+		if s.Parent != 0 {
+			args["parent"] = strconv.FormatUint(s.Parent, 10)
+		}
+		for _, a := range s.Attrs {
+			args[a.Key] = a.Value
+		}
+		events = append(events, chromeEvent{
+			Name: s.Name,
+			Cat:  "pipeline",
+			Ph:   "X",
+			Ts:   float64(s.StartNs) / 1e3,
+			Dur:  float64(s.DurNs) / 1e3,
+			Pid:  1,
+			Tid:  s.Root,
+			Args: args,
+		})
+	}
+	data, err := json.MarshalIndent(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"}, "", " ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}

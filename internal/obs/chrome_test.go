@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestChromeTraceValid asserts the exporter's output is structurally valid
+// Chrome Trace Event JSON: an object with a traceEvents array of complete
+// ("X") events whose ts values are monotonic non-decreasing and whose
+// durations are non-negative — the contract Perfetto/chrome://tracing
+// require to load a file.
+func TestChromeTraceValid(t *testing.T) {
+	c := NewCollector()
+	root := c.StartSpan("attack", A("blocks", "8"))
+	mine := root.Child("mine")
+	mine.End()
+	hunt := root.Child("hunt")
+	hunt.Child("hunt.worker", A("worker", "0")).End()
+	hunt.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := c.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			Ts   float64           `json:"ts"`
+			Dur  float64           `json:"dur"`
+			Pid  int               `json:"pid"`
+			Tid  uint64            `json:"tid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(doc.TraceEvents) != 4 {
+		t.Fatalf("got %d events, want 4", len(doc.TraceEvents))
+	}
+	prev := -1.0
+	names := map[string]bool{}
+	for _, e := range doc.TraceEvents {
+		if e.Ph != "X" {
+			t.Errorf("event %q has ph=%q, want complete event X", e.Name, e.Ph)
+		}
+		if e.Ts < prev {
+			t.Errorf("ts not monotonic: %g after %g", e.Ts, prev)
+		}
+		prev = e.Ts
+		if e.Dur < 0 {
+			t.Errorf("event %q has negative dur %g", e.Name, e.Dur)
+		}
+		if e.Pid != 1 || e.Tid == 0 {
+			t.Errorf("event %q missing pid/tid: %+v", e.Name, e)
+		}
+		if e.Args["span"] == "" {
+			t.Errorf("event %q missing span id arg", e.Name)
+		}
+		names[e.Name] = true
+	}
+	for _, want := range []string{"attack", "mine", "hunt", "hunt.worker"} {
+		if !names[want] {
+			t.Errorf("trace missing span %q", want)
+		}
+	}
+	// All spans of one tree share a track (tid = root span id).
+	tid := doc.TraceEvents[0].Tid
+	for _, e := range doc.TraceEvents {
+		if e.Tid != tid {
+			t.Errorf("event %q on track %d, want %d", e.Name, e.Tid, tid)
+		}
+	}
+	// Attrs ride along as args.
+	found := false
+	for _, e := range doc.TraceEvents {
+		if e.Name == "hunt.worker" && e.Args["worker"] == "0" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("span attrs not exported as args")
+	}
+}
+
+func TestChromeTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewCollector().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "traceEvents") {
+		t.Fatalf("empty trace missing traceEvents array: %s", buf.String())
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+}

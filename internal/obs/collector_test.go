@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// A Count/Progress-only run (no stages at all) must still report wall
+// time: every hook touches the first/last event bounds.
+func TestCollectorTotalWithoutStages(t *testing.T) {
+	c := NewCollector()
+	c.Count("pairs", 1)
+	time.Sleep(2 * time.Millisecond)
+	c.Progress("hunt", 5, 10)
+	r := c.Report()
+	if r.TotalNs < int64(time.Millisecond) {
+		t.Fatalf("TotalNs = %d, want >= 1ms for a Count/Progress-only run", r.TotalNs)
+	}
+	c2 := NewCollector()
+	c2.Observe("lat_ns", 7)
+	time.Sleep(2 * time.Millisecond)
+	c2.Observe("lat_ns", 9)
+	if r := c2.Report(); r.TotalNs < int64(time.Millisecond) {
+		t.Fatalf("TotalNs = %d, want >= 1ms for an Observe-only run", r.TotalNs)
+	}
+	if r := NewCollector().Report(); r.TotalNs != 0 {
+		t.Fatalf("empty collector TotalNs = %d, want 0", r.TotalNs)
+	}
+}
+
+func TestCollectorSpanTree(t *testing.T) {
+	c := NewCollector()
+	root := c.StartSpan("attack", A("blocks", "32"))
+	hunt := root.Child("hunt")
+	w0 := hunt.Child("hunt.worker", A("worker", "0"))
+	w0.SetAttr("blocks", "0-16")
+	w0.End()
+	w0.End() // idempotent: must not double-count
+	hunt.End()
+	root.SetAttr("keys", "1")
+	root.End()
+
+	spans := c.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3: %+v", len(spans), spans)
+	}
+	byName := map[string]SpanRecord{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	att, hu, wk := byName["attack"], byName["hunt"], byName["hunt.worker"]
+	if att.Parent != 0 || att.Root != att.ID {
+		t.Errorf("attack should be a root span: %+v", att)
+	}
+	if hu.Parent != att.ID || hu.Root != att.ID {
+		t.Errorf("hunt should parent under attack: %+v", hu)
+	}
+	if wk.Parent != hu.ID || wk.Root != att.ID {
+		t.Errorf("worker should parent under hunt, rooted at attack: %+v", wk)
+	}
+	if wk.StartNs < hu.StartNs || hu.StartNs < att.StartNs {
+		t.Error("child spans must not start before their parents")
+	}
+	wantAttrs := map[string]string{"worker": "0", "blocks": "0-16"}
+	got := map[string]string{}
+	for _, a := range wk.Attrs {
+		got[a.Key] = a.Value
+	}
+	for k, v := range wantAttrs {
+		if got[k] != v {
+			t.Errorf("worker attr %s = %q, want %q", k, got[k], v)
+		}
+	}
+
+	// Spans also feed the flat stage aggregates (with idempotent End).
+	r := c.Report()
+	if len(r.Stages) != 3 {
+		t.Fatalf("got %d stages, want 3: %+v", len(r.Stages), r.Stages)
+	}
+	for _, s := range r.Stages {
+		if s.Calls != 1 {
+			t.Errorf("stage %s calls = %d, want 1", s.Name, s.Calls)
+		}
+	}
+	if r.Stages[0].Name != "attack" || r.Stages[1].Name != "hunt" {
+		t.Errorf("stages not in first-start order: %+v", r.Stages)
+	}
+}
+
+func TestCollectorSetAttrOverwrites(t *testing.T) {
+	c := NewCollector()
+	s := c.StartSpan("x", A("k", "a"))
+	s.SetAttr("k", "b")
+	s.End()
+	spans := c.Spans()
+	if len(spans) != 1 || len(spans[0].Attrs) != 1 || spans[0].Attrs[0].Value != "b" {
+		t.Fatalf("SetAttr should overwrite: %+v", spans)
+	}
+}
+
+func TestCollectorSpanLimit(t *testing.T) {
+	c := NewCollector()
+	for i := 0; i < spanLimit+10; i++ {
+		c.StartSpan("s").End()
+	}
+	r := c.Report()
+	if len(r.Spans) != spanLimit {
+		t.Fatalf("kept %d spans, want cap %d", len(r.Spans), spanLimit)
+	}
+	if r.SpansDropped != 10 {
+		t.Fatalf("SpansDropped = %d, want 10", r.SpansDropped)
+	}
+	// The flat aggregates keep counting past the cap.
+	if r.Stages[0].Calls != spanLimit+10 {
+		t.Fatalf("calls = %d, want %d", r.Stages[0].Calls, spanLimit+10)
+	}
+}
+
+func TestObsClock(t *testing.T) {
+	a := Now()
+	time.Sleep(time.Millisecond)
+	if d := Since(a); d < int64(time.Millisecond) {
+		t.Fatalf("Since = %dns across a 1ms sleep", d)
+	}
+	if b := Now(); b <= a {
+		t.Fatalf("Now not monotonic: %d then %d", a, b)
+	}
+}

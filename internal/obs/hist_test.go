@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	var h Histogram
+	for v := int64(1); v <= 1000; v++ {
+		h.Observe(v)
+	}
+	s := h.Snapshot("lat_ns")
+	if s.Count != 1000 {
+		t.Fatalf("count = %d, want 1000", s.Count)
+	}
+	if s.Sum != 1000*1001/2 {
+		t.Fatalf("sum = %d, want %d", s.Sum, 1000*1001/2)
+	}
+	// Log buckets guarantee estimates within 2x of the true quantile.
+	checks := []struct {
+		name  string
+		got   int64
+		truth int64
+	}{{"p50", s.P50, 500}, {"p90", s.P90, 900}, {"p99", s.P99, 990}}
+	for _, c := range checks {
+		if c.got < c.truth/2 || c.got > c.truth*2 {
+			t.Errorf("%s = %d, want within 2x of %d", c.name, c.got, c.truth)
+		}
+	}
+	// Buckets must be cumulative and monotone, ending at the total count.
+	var prev int64
+	for i, b := range s.Buckets {
+		if b.Count < prev {
+			t.Fatalf("bucket %d count %d < previous %d (not cumulative)", i, b.Count, prev)
+		}
+		if i > 0 && b.UpperBound <= s.Buckets[i-1].UpperBound {
+			t.Fatalf("bucket bounds not increasing: %+v", s.Buckets)
+		}
+		prev = b.Count
+	}
+	if prev != s.Count {
+		t.Fatalf("last bucket %d != count %d", prev, s.Count)
+	}
+}
+
+func TestHistogramEdgeValues(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	h.Observe(-5) // clamped to 0
+	h.Observe(1)
+	s := h.Snapshot("edge")
+	if s.Count != 3 {
+		t.Fatalf("count = %d, want 3", s.Count)
+	}
+	if s.Sum != 1 {
+		t.Fatalf("sum = %d, want 1 (negatives clamp to 0)", s.Sum)
+	}
+	if len(s.Buckets) != 2 || s.Buckets[0].UpperBound != 0 || s.Buckets[0].Count != 2 {
+		t.Fatalf("zero bucket wrong: %+v", s.Buckets)
+	}
+	if empty := (&Histogram{}).Snapshot("none"); empty.Count != 0 || len(empty.Buckets) != 0 {
+		t.Fatalf("empty snapshot should be empty: %+v", empty)
+	}
+}
+
+func TestHistogramSingleValue(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Observe(1 << 20)
+	}
+	s := h.Snapshot("const")
+	lo, hi := bucketBounds(21) // 2^20 has bit length 21
+	if s.P50 < lo || s.P50 > hi || s.P99 < lo || s.P99 > hi {
+		t.Fatalf("constant-value quantiles escaped the bucket [%d,%d]: p50=%d p99=%d", lo, hi, s.P50, s.P99)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := int64(0); i < 1000; i++ {
+				h.Observe(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if s := h.Snapshot("conc"); s.Count != 8000 {
+		t.Fatalf("count = %d, want 8000", s.Count)
+	}
+}
+
+func TestCollectorObserveCreatesHistograms(t *testing.T) {
+	c := NewCollector()
+	c.Observe("b_ns", 10)
+	c.Observe("a_ns", 20)
+	c.Observe("b_ns", 30)
+	r := c.Report()
+	if len(r.Histograms) != 2 {
+		t.Fatalf("got %d histograms, want 2", len(r.Histograms))
+	}
+	// First-observe order, like stages.
+	if r.Histograms[0].Name != "b_ns" || r.Histograms[1].Name != "a_ns" {
+		t.Fatalf("histograms not in first-observe order: %+v", r.Histograms)
+	}
+	if r.Histograms[0].Count != 2 || r.Histograms[0].Sum != 40 {
+		t.Fatalf("b_ns aggregate wrong: %+v", r.Histograms[0])
+	}
+	if c.Histogram("a_ns") == nil || c.Histogram("missing") != nil {
+		t.Error("Histogram lookup wrong")
+	}
+}

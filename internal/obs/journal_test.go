@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestJournalRecordsEvents(t *testing.T) {
+	j := NewJournal(16)
+	sp := j.StartSpan("hunt", A("shard", "0"))
+	j.Progress("hunt", 1, 10)
+	j.Count("pairs", 3)
+	j.Observe("chunk_ns", 42)
+	sp.SetAttr("keys", "1")
+	sp.End()
+	sp.End() // idempotent
+
+	events, missed := j.ReadSince(0, 0)
+	if missed != 0 {
+		t.Fatalf("missed = %d, want 0", missed)
+	}
+	types := make([]string, len(events))
+	for i, e := range events {
+		types[i] = e.Type
+		if e.Seq != uint64(i+1) {
+			t.Fatalf("seq not dense: %+v", events)
+		}
+	}
+	want := []string{"span_start", "progress", "count", "observe", "span_attr", "span_end"}
+	if len(types) != len(want) {
+		t.Fatalf("got %v, want %v", types, want)
+	}
+	for i := range want {
+		if types[i] != want[i] {
+			t.Fatalf("got %v, want %v", types, want)
+		}
+	}
+	if events[5].WallNs < 0 || events[5].Span != events[0].Span {
+		t.Fatalf("span_end payload wrong: %+v", events[5])
+	}
+	if events[0].Attrs[0].Key != "shard" {
+		t.Fatalf("span_start lost attrs: %+v", events[0])
+	}
+}
+
+func TestJournalCursorAndOverwrite(t *testing.T) {
+	j := NewJournal(4)
+	for i := int64(0); i < 10; i++ {
+		j.Count("c", i)
+	}
+	// Only the 4 newest survive; a stale cursor observes the gap.
+	events, missed := j.ReadSince(0, 0)
+	if len(events) != 4 || missed != 6 {
+		t.Fatalf("got %d events missed %d, want 4 and 6", len(events), missed)
+	}
+	if events[0].Seq != 7 || events[3].Seq != 10 {
+		t.Fatalf("ring kept wrong window: %+v", events)
+	}
+	// Resuming from a live cursor is gap-free and ordered.
+	events, missed = j.ReadSince(8, 0)
+	if missed != 0 || len(events) != 2 || events[0].Seq != 9 {
+		t.Fatalf("resume from 8: events=%+v missed=%d", events, missed)
+	}
+	// max caps the batch.
+	events, _ = j.ReadSince(6, 1)
+	if len(events) != 1 || events[0].Seq != 7 {
+		t.Fatalf("max=1 wrong: %+v", events)
+	}
+	// A cursor at the head returns nothing.
+	if events, _ := j.ReadSince(10, 0); len(events) != 0 {
+		t.Fatalf("head cursor returned %+v", events)
+	}
+	if j.LastSeq() != 10 {
+		t.Fatalf("LastSeq = %d, want 10", j.LastSeq())
+	}
+}
+
+func TestJournalUpdatedWakesReaders(t *testing.T) {
+	j := NewJournal(8)
+	ch := j.Updated()
+	select {
+	case <-ch:
+		t.Fatal("Updated fired before any append")
+	default:
+	}
+	done := make(chan struct{})
+	go func() {
+		<-ch
+		close(done)
+	}()
+	j.Count("c", 1)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("append did not wake the reader")
+	}
+	// Close also wakes, and further appends are dropped.
+	ch = j.Updated()
+	j.Close()
+	select {
+	case <-ch:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close did not wake the reader")
+	}
+	j.Close() // safe to repeat
+	if !j.Closed() {
+		t.Fatal("Closed() = false after Close")
+	}
+	j.Count("c", 1)
+	if j.LastSeq() != 1 {
+		t.Fatalf("append after Close changed the journal: LastSeq=%d", j.LastSeq())
+	}
+}
+
+func TestJournalConcurrent(t *testing.T) {
+	j := NewJournal(64)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var read uint64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var cursor uint64
+		for {
+			ch := j.Updated()
+			events, missed := j.ReadSince(cursor, 0)
+			for _, e := range events {
+				if e.Seq <= cursor {
+					t.Errorf("out-of-order seq %d after cursor %d", e.Seq, cursor)
+					return
+				}
+				cursor = e.Seq
+			}
+			read += uint64(len(events)) + missed
+			select {
+			case <-stop:
+				events, missed := j.ReadSince(cursor, 0)
+				read += uint64(len(events)) + missed
+				return
+			case <-ch:
+			}
+		}
+	}()
+	var writers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			for i := 0; i < 500; i++ {
+				j.Progress("hunt", int64(i), 500)
+			}
+		}()
+	}
+	writers.Wait()
+	close(stop)
+	wg.Wait()
+	if read != 2000 {
+		t.Fatalf("reader accounted for %d events (read+missed), want 2000", read)
+	}
+}
+
+func TestJournalDefaultCapacity(t *testing.T) {
+	j := NewJournal(0)
+	if cap(j.ring) != defaultJournalCap {
+		t.Fatalf("cap = %d, want %d", cap(j.ring), defaultJournalCap)
+	}
+}

@@ -1,53 +1,85 @@
 // Package obs provides the attack pipeline's lightweight observability
-// hooks: named stage timers, monotonic counters, and progress reports. The
-// zero-cost default is the Nop tracer, so instrumented code never branches
-// on "is tracing on?"; a Collector aggregates events into a JSON report
-// (what `coldboot -trace out.json` writes), and Funcs adapts ad-hoc
-// callbacks (what `-progress` uses).
+// hooks: hierarchical spans, named stage timers, monotonic counters,
+// progress reports, and latency histograms. The zero-cost default is the
+// Nop tracer, so instrumented code never branches on "is tracing on?"; a
+// Collector aggregates events into a JSON report and a span tree (what
+// `coldboot -trace out.json` and `-trace-chrome out.json` write), a
+// Journal keeps a bounded ring of recent events for live streaming, and
+// Funcs adapts ad-hoc callbacks (what `-progress` uses).
 //
-// The package deliberately knows nothing about the attack: stage and
-// counter names are plain strings chosen by the instrumented code, so the
-// same hooks can observe future pipelines (sharded serving, remote
-// campaigns) without changing this API.
+// The package deliberately knows nothing about the attack: span, stage,
+// counter, and histogram names are plain strings chosen by the
+// instrumented code, so the same hooks can observe future pipelines
+// (sharded serving, remote campaigns) without changing this API.
 package obs
 
-import (
-	"encoding/json"
-	"io"
-	"sort"
-	"sync"
-	"time"
-)
+import "time"
 
 // Tracer observes a pipeline run. Implementations must be safe for
-// concurrent use: the hunt stage calls Count and Progress from every
-// worker goroutine.
+// concurrent use: the hunt stage calls Count, Progress, and Observe from
+// every worker goroutine.
 type Tracer interface {
 	// StageStart marks entry into a named stage; call End on the returned
 	// timer when the stage finishes. Stages may nest and repeat (a campaign
-	// runs the hunt stage once per shard).
+	// runs the hunt stage once per shard). It is the attribute-free,
+	// parentless form of StartSpan, kept for light call sites.
 	StageStart(name string) StageTimer
+	// StartSpan opens a root span: a named, attributed slice of wall time.
+	// Child spans hang off the returned Span, forming the causal tree a
+	// Collector exports as a Chrome trace. Attrs annotate the span with
+	// string key/value pairs (shard index, offset range, decay level).
+	StartSpan(name string, attrs ...Attr) Span
 	// Count adds delta to the named monotonic counter.
 	Count(name string, delta int64)
 	// Progress reports that done of total work units have completed in the
 	// named stage. Total may be 0 when unknown.
 	Progress(stage string, done, total int64)
+	// Observe records one sample into the named latency histogram. By
+	// convention values are nanoseconds and names end in "_ns" (the
+	// Prometheus exporter renders them as native *_seconds histograms).
+	Observe(name string, value int64)
 }
 
 // StageTimer ends the stage it was started for.
 type StageTimer interface{ End() }
 
+// Span is one node of a trace tree: end it exactly once, attach string
+// attributes, and open children under it. Every Span is also a StageTimer.
+type Span interface {
+	StageTimer
+	// SetAttr attaches (or overwrites) a string attribute.
+	SetAttr(key, value string)
+	// Child opens a sub-span parented under this one.
+	Child(name string, attrs ...Attr) Span
+}
+
+// Attr is one string key/value annotation on a span.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// A is shorthand for constructing an Attr at a span call site.
+func A(key, value string) Attr { return Attr{Key: key, Value: value} }
+
 // Nop is the no-op tracer: every hook is a cheap dynamic call that does
-// nothing. It is the default everywhere a Tracer is accepted.
+// nothing — no branches, no allocations — so hot loops can call it
+// unconditionally. It is the default everywhere a Tracer is accepted.
 var Nop Tracer = nopTracer{}
 
 type nopTracer struct{}
 type nopTimer struct{}
+type nopSpan struct{}
 
-func (nopTracer) StageStart(string) StageTimer  { return nopTimer{} }
-func (nopTracer) Count(string, int64)           {}
-func (nopTracer) Progress(string, int64, int64) {}
-func (nopTimer) End()                           {}
+func (nopTracer) StageStart(string) StageTimer   { return nopTimer{} }
+func (nopTracer) StartSpan(string, ...Attr) Span { return nopSpan{} }
+func (nopTracer) Count(string, int64)            {}
+func (nopTracer) Progress(string, int64, int64)  {}
+func (nopTracer) Observe(string, int64)          {}
+func (nopTimer) End()                            {}
+func (nopSpan) End()                             {}
+func (nopSpan) SetAttr(string, string)           {}
+func (nopSpan) Child(string, ...Attr) Span       { return nopSpan{} }
 
 // OrNop returns t, or the Nop tracer when t is nil, so config structs can
 // leave their Tracer field unset.
@@ -80,12 +112,22 @@ type multiTracer []Tracer
 
 type multiTimer []StageTimer
 
+type multiSpan []Span
+
 func (m multiTracer) StageStart(name string) StageTimer {
 	timers := make(multiTimer, len(m))
 	for i, t := range m {
 		timers[i] = t.StageStart(name)
 	}
 	return timers
+}
+
+func (m multiTracer) StartSpan(name string, attrs ...Attr) Span {
+	spans := make(multiSpan, len(m))
+	for i, t := range m {
+		spans[i] = t.StartSpan(name, attrs...)
+	}
+	return spans
 }
 
 func (m multiTracer) Count(name string, delta int64) {
@@ -100,19 +142,49 @@ func (m multiTracer) Progress(stage string, done, total int64) {
 	}
 }
 
+func (m multiTracer) Observe(name string, value int64) {
+	for _, t := range m {
+		t.Observe(name, value)
+	}
+}
+
 func (m multiTimer) End() {
 	for _, t := range m {
 		t.End()
 	}
 }
 
+func (m multiSpan) End() {
+	for _, s := range m {
+		s.End()
+	}
+}
+
+func (m multiSpan) SetAttr(key, value string) {
+	for _, s := range m {
+		s.SetAttr(key, value)
+	}
+}
+
+func (m multiSpan) Child(name string, attrs ...Attr) Span {
+	spans := make(multiSpan, len(m))
+	for i, s := range m {
+		spans[i] = s.Child(name, attrs...)
+	}
+	return spans
+}
+
 // Funcs adapts plain callbacks to a Tracer; nil fields are no-ops. Useful
 // for one-off hooks (progress printers, cancellation triggers in tests).
+// Spans map onto the stage callbacks: StartSpan and Child fire
+// OnStageStart/OnStageEnd under the span's name, so a Funcs bridge sees
+// the span tree as a flat stage stream.
 type Funcs struct {
 	OnStageStart func(name string)
 	OnStageEnd   func(name string, wall time.Duration)
 	OnCount      func(name string, delta int64)
 	OnProgress   func(stage string, done, total int64)
+	OnObserve    func(name string, value int64)
 }
 
 func (f *Funcs) StageStart(name string) StageTimer {
@@ -123,6 +195,16 @@ func (f *Funcs) StageStart(name string) StageTimer {
 		return nopTimer{}
 	}
 	return &funcTimer{f: f, name: name, start: time.Now()}
+}
+
+func (f *Funcs) StartSpan(name string, attrs ...Attr) Span {
+	if f.OnStageStart == nil && f.OnStageEnd == nil {
+		return nopSpan{}
+	}
+	if f.OnStageStart != nil {
+		f.OnStageStart(name)
+	}
+	return &funcSpan{f: f, name: name, start: time.Now()}
 }
 
 func (f *Funcs) Count(name string, delta int64) {
@@ -137,6 +219,12 @@ func (f *Funcs) Progress(stage string, done, total int64) {
 	}
 }
 
+func (f *Funcs) Observe(name string, value int64) {
+	if f.OnObserve != nil {
+		f.OnObserve(name, value)
+	}
+}
+
 type funcTimer struct {
 	f     *Funcs
 	name  string
@@ -145,123 +233,18 @@ type funcTimer struct {
 
 func (t *funcTimer) End() { t.f.OnStageEnd(t.name, time.Since(t.start)) }
 
-// StageReport is one stage's aggregate in a Collector report. A stage that
-// ran more than once (per-shard hunts) accumulates calls and wall time.
-type StageReport struct {
-	Name   string  `json:"name"`
-	Calls  int     `json:"calls"`
-	WallNs int64   `json:"wall_ns"`
-	WallMs float64 `json:"wall_ms"`
-}
-
-// Report is the Collector's JSON document.
-type Report struct {
-	// Stages are in first-start order.
-	Stages   []StageReport    `json:"stages"`
-	Counters map[string]int64 `json:"counters"`
-	// TotalNs spans the first StageStart to the last End observed.
-	TotalNs int64 `json:"total_ns"`
-}
-
-// Collector aggregates pipeline events into a Report. The zero value is
-// not usable; call NewCollector.
-type Collector struct {
-	mu       sync.Mutex
-	order    []string
-	stages   map[string]*StageReport
-	counters map[string]int64
-	first    time.Time
-	last     time.Time
-}
-
-// NewCollector returns an empty Collector ready for use as a Tracer.
-func NewCollector() *Collector {
-	return &Collector{
-		stages:   make(map[string]*StageReport),
-		counters: make(map[string]int64),
-	}
-}
-
-func (c *Collector) StageStart(name string) StageTimer {
-	now := time.Now()
-	c.mu.Lock()
-	if c.first.IsZero() {
-		c.first = now
-	}
-	if _, ok := c.stages[name]; !ok {
-		c.stages[name] = &StageReport{Name: name}
-		c.order = append(c.order, name)
-	}
-	c.mu.Unlock()
-	return &collectorTimer{c: c, name: name, start: now}
-}
-
-type collectorTimer struct {
-	c     *Collector
+type funcSpan struct {
+	f     *Funcs
 	name  string
 	start time.Time
 }
 
-func (t *collectorTimer) End() {
-	now := time.Now()
-	wall := now.Sub(t.start)
-	t.c.mu.Lock()
-	s := t.c.stages[t.name]
-	s.Calls++
-	s.WallNs += wall.Nanoseconds()
-	if now.After(t.c.last) {
-		t.c.last = now
+func (s *funcSpan) End() {
+	if s.f.OnStageEnd != nil {
+		s.f.OnStageEnd(s.name, time.Since(s.start))
 	}
-	t.c.mu.Unlock()
 }
 
-func (c *Collector) Count(name string, delta int64) {
-	c.mu.Lock()
-	c.counters[name] += delta
-	c.mu.Unlock()
-}
+func (s *funcSpan) SetAttr(string, string) {}
 
-// Progress is recorded only as a counter high-water mark (the report has no
-// per-tick history; progress is a live signal, not an aggregate).
-func (c *Collector) Progress(stage string, done, total int64) {
-	c.mu.Lock()
-	if cur := c.counters["progress."+stage]; done > cur {
-		c.counters["progress."+stage] = done
-	}
-	c.mu.Unlock()
-}
-
-// Report snapshots the aggregates collected so far.
-func (c *Collector) Report() Report {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	r := Report{Counters: make(map[string]int64, len(c.counters))}
-	for _, name := range c.order {
-		s := *c.stages[name]
-		s.WallMs = float64(s.WallNs) / 1e6
-		r.Stages = append(r.Stages, s)
-	}
-	names := make([]string, 0, len(c.counters))
-	for k := range c.counters {
-		names = append(names, k)
-	}
-	sort.Strings(names)
-	for _, k := range names {
-		r.Counters[k] = c.counters[k]
-	}
-	if !c.first.IsZero() && c.last.After(c.first) {
-		r.TotalNs = c.last.Sub(c.first).Nanoseconds()
-	}
-	return r
-}
-
-// WriteJSON writes the report as indented JSON.
-func (c *Collector) WriteJSON(w io.Writer) error {
-	data, err := json.MarshalIndent(c.Report(), "", "  ")
-	if err != nil {
-		return err
-	}
-	data = append(data, '\n')
-	_, err = w.Write(data)
-	return err
-}
+func (s *funcSpan) Child(name string, attrs ...Attr) Span { return s.f.StartSpan(name, attrs...) }

@@ -3,15 +3,18 @@ package obs
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 )
 
 // WritePrometheus renders the report in the Prometheus text exposition
 // format (version 0.0.4), prefixing every metric with namespace. Stage
 // aggregates become `<ns>_stage_wall_seconds` / `<ns>_stage_calls_total`
-// labelled by stage, and every counter becomes a `<ns>_counter_total`
-// sample labelled by name — so new pipeline counters appear on the scrape
-// endpoint without exporter changes.
+// labelled by stage, every counter becomes a `<ns>_counter_total` sample
+// labelled by name, and every latency histogram becomes a native
+// `histogram` metric (`_bucket`/`_sum`/`_count` series) — so new pipeline
+// counters and histograms appear on the scrape endpoint without exporter
+// changes.
 func (r Report) WritePrometheus(w io.Writer, namespace string) error {
 	ns := sanitizeMetricName(namespace)
 	if len(r.Stages) > 0 {
@@ -35,9 +38,36 @@ func (r Report) WritePrometheus(w io.Writer, namespace string) error {
 			fmt.Fprintf(w, "%s_counter_total{name=%q} %d\n", ns, name, r.Counters[name])
 		}
 	}
+	for _, h := range r.Histograms {
+		if err := writePromHistogram(w, ns, h); err != nil {
+			return err
+		}
+	}
 	_, err := fmt.Fprintf(w, "# HELP %s_observed_seconds Wall time from first to last observed stage event.\n# TYPE %s_observed_seconds gauge\n%s_observed_seconds %g\n",
 		ns, ns, ns, float64(r.TotalNs)/1e9)
 	return err
+}
+
+// writePromHistogram renders one snapshot as a native Prometheus
+// histogram. Values are nanoseconds by the obs.Observe convention, so the
+// "_ns" suffix is swapped for "_seconds" and bounds divide by 1e9.
+func writePromHistogram(w io.Writer, ns string, h HistogramSnapshot) error {
+	name := ns + "_" + strings.TrimSuffix(sanitizeMetricName(h.Name), "_ns") + "_seconds"
+	fmt.Fprintf(w, "# HELP %s Latency distribution of %s.\n", name, h.Name)
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	for _, b := range h.Buckets {
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatSeconds(b.UpperBound), b.Count)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count)
+	fmt.Fprintf(w, "%s_sum %g\n", name, float64(h.Sum)/1e9)
+	_, err := fmt.Fprintf(w, "%s_count %d\n", name, h.Count)
+	return err
+}
+
+// formatSeconds renders a nanosecond bound as seconds the way Prometheus
+// clients do (shortest float64 round trip).
+func formatSeconds(ns int64) string {
+	return fmt.Sprintf("%g", float64(ns)/1e9)
 }
 
 func sortedKeys(m map[string]int64) []string {
@@ -45,11 +75,7 @@ func sortedKeys(m map[string]int64) []string {
 	for k := range m {
 		keys = append(keys, k)
 	}
-	for i := 1; i < len(keys); i++ {
-		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
-			keys[j], keys[j-1] = keys[j-1], keys[j]
-		}
-	}
+	sort.Strings(keys)
 	return keys
 }
 

@@ -1,0 +1,79 @@
+// Package profiles wires the runtime/pprof CPU and heap profilers behind
+// the command-line flags the binaries expose (-cpuprofile/-memprofile).
+// It exists so every command starts and stops the profilers the same way:
+// CPU profiling runs from Start to Stop, and the heap profile is written
+// at Stop after a forced GC so the snapshot reflects live memory, not
+// garbage awaiting collection.
+package profiles
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"sync"
+)
+
+// Session is a running profiling session. The zero value (and nil) are
+// inert: Stop on them is a no-op, so callers can unconditionally
+// defer-Stop whatever Start returned.
+type Session struct {
+	cpuFile *os.File
+	memPath string
+	once    sync.Once
+	err     error
+}
+
+// Start begins CPU profiling to cpuPath (when non-empty) and arranges for
+// a heap profile to be written to memPath (when non-empty) at Stop. An
+// empty path disables that profile; both empty returns an inert session.
+func Start(cpuPath, memPath string) (*Session, error) {
+	s := &Session{memPath: memPath}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+		s.cpuFile = f
+	}
+	return s, nil
+}
+
+// Stop flushes and closes the profiles. It is idempotent and nil-safe —
+// commands both defer it and call it explicitly before os.Exit paths
+// (os.Exit skips deferred calls) — and returns the first error from
+// either profile writer.
+func (s *Session) Stop() error {
+	if s == nil {
+		return nil
+	}
+	s.once.Do(func() {
+		if s.cpuFile != nil {
+			pprof.StopCPUProfile()
+			s.err = s.cpuFile.Close()
+		}
+		if s.memPath != "" {
+			f, err := os.Create(s.memPath)
+			if err != nil {
+				if s.err == nil {
+					s.err = fmt.Errorf("mem profile: %w", err)
+				}
+				return
+			}
+			// Collect garbage first so the snapshot is live heap, matching
+			// what `go tool pprof -sample_index=inuse_space` expects.
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil && s.err == nil {
+				s.err = fmt.Errorf("mem profile: %w", err)
+			}
+			if err := f.Close(); err != nil && s.err == nil {
+				s.err = fmt.Errorf("mem profile: %w", err)
+			}
+		}
+	})
+	return s.err
+}

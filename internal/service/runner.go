@@ -5,6 +5,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"strconv"
 
 	"coldboot/internal/aes"
 	"coldboot/internal/core"
@@ -21,6 +22,10 @@ type dumpJob struct {
 	ImageBytes  int64
 	Variant     aes.Variant
 	RepairFlips int
+
+	// journal buffers the job's telemetry events for the live stream
+	// endpoint; the pool's terminal hook closes it.
+	journal *obs.Journal
 }
 
 // ResultReport is a finished (or interrupted) job's result document.
@@ -109,16 +114,37 @@ func (s *Server) runAnalysis(ctx context.Context, j *jobs.Job) (any, error) {
 	totalBlocks := f.Size() / int64(core.BlockBytes)
 	j.SetProgress(0, totalBlocks)
 
+	// The journal joins the fan-in through a plain Tracer variable: a nil
+	// *obs.Journal stuffed straight into Multi would be a non-nil
+	// interface and panic on use.
+	var jn obs.Tracer = obs.Nop
+	if pl.journal != nil {
+		jn = pl.journal
+	}
+	tracer := obs.Multi(s.collector, jobTracer(j), jn, s.cfg.Tracer)
+	// One root span per job ties every pipeline span in the trace to the
+	// job that produced it.
+	root := tracer.StartSpan("job",
+		obs.A("job", j.ID()),
+		obs.A("variant", pl.Variant.String()),
+		obs.A("image_bytes", strconv.FormatInt(pl.ImageBytes, 10)),
+		obs.A("repair", strconv.Itoa(pl.RepairFlips)))
+	defer root.End()
+
 	cfg := core.CampaignConfig{
 		Attack: core.Config{
 			Variant:     pl.Variant,
 			RepairFlips: pl.RepairFlips,
-			Tracer:      obs.Multi(s.collector, jobTracer(j), s.cfg.Tracer),
+			Tracer:      tracer,
+			Span:        root,
 		},
 		ShardBlocks: s.cfg.ShardBlocks,
 		Parallel:    s.cfg.Parallel,
 	}
 	res, runErr := core.RunCampaignSource(ctx, src, cfg)
+	if res != nil {
+		root.SetAttr("keys", strconv.Itoa(len(res.Keys)))
+	}
 	report := buildReport(pl.Variant, res, runErr != nil)
 	return report, runErr
 }

@@ -6,6 +6,7 @@
 //	GET    /v1/jobs/{id}        job status with per-stage progress
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
 //	GET    /v1/jobs/{id}/result key report (redacted unless ?reveal=keys)
+//	GET    /v1/jobs/{id}/events live NDJSON telemetry stream (?cursor=N resumes)
 //	GET    /metrics             Prometheus text: pool gauges + obs aggregates
 //	GET    /healthz             liveness
 //
@@ -31,6 +32,7 @@ import (
 	"net/http"
 	"os"
 	"strconv"
+	"sync"
 	"time"
 
 	"coldboot/internal/aes"
@@ -67,6 +69,13 @@ type Config struct {
 	// Parallel overrides per-job shard concurrency (default: one shard at
 	// a time per job — cross-job parallelism comes from Workers).
 	Parallel int
+	// EventBuffer caps each job's telemetry journal — the ring of recent
+	// events behind GET /v1/jobs/{id}/events (0 = obs default). Slow
+	// stream consumers see a gap record, never a stalled pipeline.
+	EventBuffer int
+	// Heartbeat is the idle interval after which the event stream emits a
+	// keepalive line (default 10s).
+	Heartbeat time.Duration
 	// Tracer, if non-nil, additionally observes every job's pipeline
 	// (fanned in alongside the server's own Collector).
 	Tracer obs.Tracer
@@ -82,6 +91,12 @@ type Server struct {
 	pool      *jobs.Pool
 	collector *obs.Collector
 	mux       *http.ServeMux
+
+	// journals indexes each job's event journal for the streaming
+	// endpoint; entries stay after job completion (the closed journal is
+	// the stream's end-of-file) and are bounded by pool retention.
+	jmu      sync.Mutex
+	journals map[string]*obs.Journal
 }
 
 // New builds a Server and starts its worker pool.
@@ -95,10 +110,14 @@ func New(cfg Config) *Server {
 		// strictly ordered.
 		cfg.Parallel = 1
 	}
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = 10 * time.Second
+	}
 	s := &Server{
 		cfg:       cfg,
 		collector: obs.NewCollector(),
 		mux:       http.NewServeMux(),
+		journals:  make(map[string]*obs.Journal),
 	}
 	run := cfg.Runner
 	if run == nil {
@@ -109,13 +128,15 @@ func New(cfg Config) *Server {
 		JobTimeout:   cfg.JobTimeout,
 		MaxAttempts:  cfg.MaxAttempts,
 		RetryBackoff: cfg.RetryBackoff,
-		OnJobDone:    removeSpooledDump,
+		Tracer:       s.collector,
+		OnJobDone:    s.jobDone,
 	})
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s
@@ -131,12 +152,25 @@ func (s *Server) Pool() *jobs.Pool { return s.pool }
 // jobs are abandoned, new submissions get 503.
 func (s *Server) Drain(ctx context.Context) error { return s.pool.Drain(ctx) }
 
-// removeSpooledDump is the pool's terminal hook: the uploaded container is
-// only needed while its job can still run.
-func removeSpooledDump(j *jobs.Job) {
-	if pl, ok := j.Payload().(*dumpJob); ok && pl.Path != "" {
-		os.Remove(pl.Path)
+// jobDone is the pool's terminal hook: delete the spooled container (only
+// needed while the job can still run) and close the job's event journal so
+// streaming readers observe end-of-stream.
+func (s *Server) jobDone(j *jobs.Job) {
+	if pl, ok := j.Payload().(*dumpJob); ok {
+		if pl.Path != "" {
+			os.Remove(pl.Path)
+		}
+		if pl.journal != nil {
+			pl.journal.Close()
+		}
 	}
+}
+
+// journal returns the event journal of a known job, nil otherwise.
+func (s *Server) journal(id string) *obs.Journal {
+	s.jmu.Lock()
+	defer s.jmu.Unlock()
+	return s.journals[id]
 }
 
 // handleSubmit streams the posted container to disk and enqueues its
@@ -207,6 +241,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	pl.Meta = meta
 	pl.ImageBytes = imageBytes
+	// Create the journal before Submit: a fast job could reach its
+	// terminal hook (which closes pl.journal) before Submit returns.
+	pl.journal = obs.NewJournal(s.cfg.EventBuffer)
 
 	snap, err := s.pool.Submit(pl, priority)
 	if err != nil {
@@ -218,6 +255,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, "submitting job: %v", err)
 		return
 	}
+	s.jmu.Lock()
+	s.journals[snap.ID] = pl.journal
+	s.jmu.Unlock()
 	w.Header().Set("Location", "/v1/jobs/"+snap.ID)
 	writeJSON(w, http.StatusCreated, statusDoc(snap, pl))
 }
