@@ -23,7 +23,10 @@
 #                       perf trajectory is tracked across PRs)
 #   make bench-guard    run the instrumented-hot-path benchmarks once and
 #                       fail if any reports allocs/op > 0 — the Nop tracer
-#                       fast path must stay allocation-free (PR 5 contract)
+#                       fast path must stay allocation-free (PR 5 contract) —
+#                       then re-run the end-to-end attack benchmark and fail
+#                       if it regresses past the throughput floor / alloc
+#                       ceiling recorded in BENCH_hotpath.json
 
 GO ?= go
 
@@ -80,3 +83,4 @@ bench-guard:
 		echo "$$out" | awk '/allocs\/op/ { for (i = 2; i <= NF; i++) if ($$i == "allocs/op" && $$(i-1) + 0 != 0) { print "bench-guard: " $$1 " allocates: " $$(i-1) " allocs/op"; bad = 1 } } END { exit bad }'; \
 	done; \
 	echo "bench-guard: all hot-path benchmarks allocation-free"
+	$(GO) run ./cmd/encbench -guard BENCH_hotpath.json

@@ -46,6 +46,26 @@ type HotpathResult struct {
 	Iterations     int     `json:"iterations"`
 }
 
+// HotpathGate is the CI floor/ceiling for the end-to-end attack pipeline
+// row: `encbench -guard` re-runs attack_dump_2MiB and fails the build when
+// throughput regresses below the floor or the allocation budget is blown.
+// The values are deliberately loose relative to the recorded numbers
+// (~40% of measured MB/s, ~3x measured allocs) so scheduler noise on a
+// loaded 1-CPU CI container does not flake, while a return of per-candidate
+// allocation (tens of thousands per op before the pooled-scratch work)
+// still fails unmistakably.
+type HotpathGate struct {
+	AttackDumpMinMBPerS      float64 `json:"attack_dump_min_mb_per_s"`
+	AttackDumpMaxAllocsPerOp int64   `json:"attack_dump_max_allocs_per_op"`
+}
+
+// defaultHotpathGate is written into fresh reports and backstops reports
+// generated before the gate existed.
+var defaultHotpathGate = HotpathGate{
+	AttackDumpMinMBPerS:      60,
+	AttackDumpMaxAllocsPerOp: 1000,
+}
+
 // HotpathReport is the whole BENCH_hotpath.json document. The run metadata
 // (toolchain, OS/arch, CPU budget) is embedded so two BENCH_hotpath.json
 // files can be compared knowing whether the machines were comparable.
@@ -58,6 +78,7 @@ type HotpathReport struct {
 	GOARCH           string          `json:"goarch"`
 	NumCPU           int             `json:"num_cpu"`
 	GOMAXPROCS       int             `json:"gomaxprocs"`
+	Gate             HotpathGate     `json:"gate"`
 	Benchmarks       []HotpathResult `json:"benchmarks"`
 	ParallelSpeedup  float64         `json:"keyfind_parallel_over_serial"`
 	SpeedupWorkerPop int             `json:"keyfind_parallel_workers"`
@@ -115,6 +136,36 @@ func sampleLatency(op func(), nsPerOp float64) (p50, p99 float64, samples int64)
 	return float64(snap.P50), float64(snap.P99), snap.Count
 }
 
+// attackDump builds the scrambled 2 MiB fixture the attack_dump_2MiB row
+// and the -guard re-run share: a light-workload image with one expanded
+// AES-256 schedule planted, scrambled by the Skylake DDR4 model.
+func attackDump() ([]byte, error) {
+	planted := make([]byte, 32)
+	rand.New(rand.NewSource(6)).Read(planted)
+	plain := make([]byte, 2<<20)
+	if err := workload.Fill(plain, 7, workload.LightSystem); err != nil {
+		return nil, err
+	}
+	copy(plain[4096*64+128:], aes.ExpandKeyBytes(planted))
+	dump := make([]byte, len(plain))
+	scramble.NewSkylakeDDR4(11).Scramble(dump, plain, 0)
+	return dump, nil
+}
+
+// attackRow benchmarks the whole mine→directory→hunt→assemble pipeline over
+// the shared fixture.
+func attackRow(dump []byte) HotpathResult {
+	return row("attack_dump_2MiB", int64(len(dump)), func() {
+		res, err := core.Attack(dump, core.Config{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(res.Keys) == 0 {
+			log.Fatal("key not recovered")
+		}
+	})
+}
+
 // writeHotpath runs the hot-path suite and writes the JSON report to path.
 func writeHotpath(path string) error {
 	fmt.Fprintf(os.Stderr, "running hot-path benchmarks (NumCPU=%d)...\n", runtime.NumCPU())
@@ -133,13 +184,10 @@ func writeHotpath(path string) error {
 	rand.New(rand.NewSource(6)).Read(planted)
 	copy(img[3<<20:], aes.ExpandKeyBytes(planted))
 
-	plain := make([]byte, 2<<20)
-	if err := workload.Fill(plain, 7, workload.LightSystem); err != nil {
+	dump, err := attackDump()
+	if err != nil {
 		return err
 	}
-	copy(plain[4096*64+128:], aes.ExpandKeyBytes(planted))
-	dump := make([]byte, len(plain))
-	scramble.NewSkylakeDDR4(11).Scramble(dump, plain, 0)
 
 	report := HotpathReport{
 		GeneratedBy: "encbench -hotpath",
@@ -150,6 +198,7 @@ func writeHotpath(path string) error {
 		GOARCH:      runtime.GOARCH,
 		NumCPU:      runtime.NumCPU(),
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Gate:        defaultHotpathGate,
 	}
 
 	report.Benchmarks = append(report.Benchmarks,
@@ -183,17 +232,7 @@ func writeHotpath(path string) error {
 	}
 	report.SpeedupWorkerPop = runtime.NumCPU()
 
-	report.Benchmarks = append(report.Benchmarks,
-		row("attack_dump_2MiB", int64(len(dump)), func() {
-			res, err := core.Attack(dump, core.Config{})
-			if err != nil {
-				log.Fatal(err)
-			}
-			if len(res.Keys) == 0 {
-				log.Fatal("key not recovered")
-			}
-		}),
-	)
+	report.Benchmarks = append(report.Benchmarks, attackRow(dump))
 
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -210,6 +249,50 @@ func writeHotpath(path string) error {
 	}
 	fmt.Printf("keyfind parallel/serial speedup: %.2fx (%d CPUs)\n",
 		report.ParallelSpeedup, report.SpeedupWorkerPop)
+	return nil
+}
+
+// runGuard re-runs the end-to-end attack benchmark and enforces the gate
+// recorded in the committed BENCH_hotpath.json at path (falling back to the
+// built-in defaults for pre-gate reports). This is the CI tripwire for the
+// pipeline's throughput and allocation discipline: a change that quietly
+// reintroduces per-candidate allocation fails here even if every unit test
+// passes.
+func runGuard(path string) error {
+	gate := defaultHotpathGate
+	if data, err := os.ReadFile(path); err == nil {
+		var committed HotpathReport
+		if err := json.Unmarshal(data, &committed); err != nil {
+			return fmt.Errorf("guard: parsing %s: %w", path, err)
+		}
+		if committed.Gate.AttackDumpMinMBPerS > 0 {
+			gate.AttackDumpMinMBPerS = committed.Gate.AttackDumpMinMBPerS
+		}
+		if committed.Gate.AttackDumpMaxAllocsPerOp > 0 {
+			gate.AttackDumpMaxAllocsPerOp = committed.Gate.AttackDumpMaxAllocsPerOp
+		}
+	} else if !os.IsNotExist(err) {
+		return fmt.Errorf("guard: reading %s: %w", path, err)
+	}
+
+	fmt.Fprintf(os.Stderr, "guard: re-running attack_dump_2MiB (floor %.0f MB/s, ceiling %d allocs/op)...\n",
+		gate.AttackDumpMinMBPerS, gate.AttackDumpMaxAllocsPerOp)
+	dump, err := attackDump()
+	if err != nil {
+		return err
+	}
+	r := attackRow(dump)
+	fmt.Printf("guard: %s %14.0f ns/op %10.1f MB/s %6d allocs/op\n",
+		r.Name, r.NsPerOp, r.MBPerS, r.AllocsPerOp)
+	if r.MBPerS < gate.AttackDumpMinMBPerS {
+		return fmt.Errorf("guard: %s throughput %.1f MB/s is below the %.0f MB/s floor (pipeline regression)",
+			r.Name, r.MBPerS, gate.AttackDumpMinMBPerS)
+	}
+	if r.AllocsPerOp > gate.AttackDumpMaxAllocsPerOp {
+		return fmt.Errorf("guard: %s allocates %d times per op, over the %d budget (pooled-scratch regression)",
+			r.Name, r.AllocsPerOp, gate.AttackDumpMaxAllocsPerOp)
+	}
+	fmt.Println("guard: attack_dump_2MiB within gate")
 	return nil
 }
 

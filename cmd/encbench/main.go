@@ -9,6 +9,7 @@
 //	encbench -figure7
 //	encbench -all
 //	encbench -hotpath BENCH_hotpath.json
+//	encbench -guard BENCH_hotpath.json
 package main
 
 import (
@@ -28,16 +29,23 @@ func main() {
 	traffic := flag.Bool("traffic", false, "print the command-level traffic cross-validation")
 	all := flag.Bool("all", false, "print everything")
 	hotpath := flag.String("hotpath", "", "run the attack hot-path benchmarks and write machine-readable JSON to this file (conventionally BENCH_hotpath.json)")
+	guard := flag.String("guard", "", "re-run the end-to-end attack benchmark and fail if it regresses past the gate recorded in this BENCH_hotpath.json")
 	flag.Parse()
 	if *all {
 		*table2, *figure6, *figure7, *traffic = true, true, true, true
 	}
-	if !*table2 && !*figure6 && !*figure7 && !*traffic && *hotpath == "" {
+	if !*table2 && !*figure6 && !*figure7 && !*traffic && *hotpath == "" && *guard == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
 	if *hotpath != "" {
 		if err := writeHotpath(*hotpath); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *guard != "" {
+		if err := runGuard(*guard); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -7,29 +7,47 @@ import "fmt"
 // memory. BytesToWords / WordsToBytes convert between the in-memory byte
 // layout (what a memory dump contains) and the word form used here.
 
+// MaxScheduleWords and MaxScheduleBytes are the largest schedule dimensions
+// of any variant (AES-256: 60 words, 240 bytes). The Into variants below and
+// their callers size fixed scratch buffers with these so the per-candidate
+// hot paths never allocate.
+const (
+	MaxScheduleWords = 60
+	MaxScheduleBytes = 4 * MaxScheduleWords
+)
+
 // BytesToWords converts a byte slice (length divisible by 4) into big-endian
 // schedule words.
 func BytesToWords(b []byte) []uint32 {
+	return BytesToWordsInto(make([]uint32, 0, len(b)/4), b)
+}
+
+// BytesToWordsInto appends the big-endian schedule words of b (length
+// divisible by 4) to dst and returns the extended slice. With dst capacity
+// >= len(b)/4 it does not allocate.
+func BytesToWordsInto(dst []uint32, b []byte) []uint32 {
 	if len(b)%4 != 0 {
 		panic(fmt.Sprintf("aes: BytesToWords length %d not divisible by 4", len(b)))
 	}
-	w := make([]uint32, len(b)/4)
-	for i := range w {
-		w[i] = uint32(b[4*i])<<24 | uint32(b[4*i+1])<<16 | uint32(b[4*i+2])<<8 | uint32(b[4*i+3])
+	for i := 0; i+4 <= len(b); i += 4 {
+		dst = append(dst, uint32(b[i])<<24|uint32(b[i+1])<<16|uint32(b[i+2])<<8|uint32(b[i+3]))
 	}
-	return w
+	return dst
 }
 
 // WordsToBytes converts schedule words back into the in-memory byte layout.
 func WordsToBytes(w []uint32) []byte {
-	b := make([]byte, 4*len(w))
-	for i, v := range w {
-		b[4*i] = byte(v >> 24)
-		b[4*i+1] = byte(v >> 16)
-		b[4*i+2] = byte(v >> 8)
-		b[4*i+3] = byte(v)
+	return WordsToBytesInto(make([]byte, 0, 4*len(w)), w)
+}
+
+// WordsToBytesInto appends the in-memory byte layout of the schedule words to
+// dst and returns the extended slice. With dst capacity >= 4*len(w) it does
+// not allocate.
+func WordsToBytesInto(dst []byte, w []uint32) []byte {
+	for _, v := range w {
+		dst = append(dst, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
 	}
-	return b
+	return dst
 }
 
 // scheduleF computes the transformation applied to w[i-1] before it is XORed
@@ -45,34 +63,54 @@ func scheduleF(prev uint32, i, nk int) uint32 {
 	}
 }
 
+// variantForKey maps a raw key length to its AES variant.
+func variantForKey(key []byte) Variant {
+	switch len(key) {
+	case 16:
+		return AES128
+	case 24:
+		return AES192
+	case 32:
+		return AES256
+	}
+	panic(fmt.Sprintf("aes: invalid key length %d", len(key)))
+}
+
 // ExpandKey computes the full key schedule for key (16, 24, or 32 bytes),
 // returning 4*(Nr+1) words. This is the table that disk-encryption software
 // keeps in memory for the lifetime of a mounted volume — the attack target.
 func ExpandKey(key []byte) []uint32 {
-	var v Variant
-	switch len(key) {
-	case 16:
-		v = AES128
-	case 24:
-		v = AES192
-	case 32:
-		v = AES256
-	default:
-		panic(fmt.Sprintf("aes: invalid key length %d", len(key)))
-	}
+	v := variantForKey(key)
+	return ExpandKeyInto(make([]uint32, 0, v.ScheduleWords()), key)
+}
+
+// ExpandKeyInto appends the full key schedule words for key to dst and
+// returns the extended slice. With dst capacity >= MaxScheduleWords it does
+// not allocate — this is what lets the repair flip loops re-derive thousands
+// of candidate schedules on a fixed scratch buffer.
+func ExpandKeyInto(dst []uint32, key []byte) []uint32 {
+	v := variantForKey(key)
 	nk := v.Nk()
-	w := make([]uint32, v.ScheduleWords())
-	copy(w, BytesToWords(key))
-	for i := nk; i < len(w); i++ {
-		w[i] = w[i-nk] ^ scheduleF(w[i-1], i, nk)
+	base := len(dst)
+	dst = BytesToWordsInto(dst, key)
+	for i := nk; i < v.ScheduleWords(); i++ {
+		dst = append(dst, dst[base+i-nk]^scheduleF(dst[base+i-1], i, nk))
 	}
-	return w
+	return dst
 }
 
 // ExpandKeyBytes is ExpandKey returning the in-memory byte layout of the
 // schedule (e.g. 240 bytes for AES-256, 176 for AES-128).
 func ExpandKeyBytes(key []byte) []byte {
-	return WordsToBytes(ExpandKey(key))
+	return ExpandKeyBytesInto(make([]byte, 0, variantForKey(key).ScheduleBytes()), key)
+}
+
+// ExpandKeyBytesInto appends the in-memory byte layout of key's full
+// schedule to dst and returns the extended slice. With dst capacity >=
+// MaxScheduleBytes it does not allocate.
+func ExpandKeyBytesInto(dst []byte, key []byte) []byte {
+	var w [MaxScheduleWords]uint32
+	return WordsToBytesInto(dst, ExpandKeyInto(w[:0], key))
 }
 
 // ExtendForward computes the n schedule words that follow a window of
@@ -137,20 +175,35 @@ func ExtendBackward(window []uint32, start int, v Variant, n int) []uint32 {
 // start. It extends the window backwards to word 0 and returns the first
 // KeyBytes() bytes — the master key.
 func RecoverMasterKey(window []uint32, start int, v Variant) []byte {
+	return RecoverMasterKeyInto(make([]byte, 0, v.KeyBytes()), window, start, v)
+}
+
+// RecoverMasterKeyInto is RecoverMasterKey appending the recovered master
+// into dst and returning the extended slice. The backward extension runs on
+// a fixed stack buffer (falling back to the heap only for windows past
+// MaxScheduleWords, which no real schedule has), so with dst capacity >=
+// KeyBytes() the recovery does not allocate.
+func RecoverMasterKeyInto(dst []byte, window []uint32, start int, v Variant) []byte {
 	nk := v.Nk()
 	if len(window) < nk {
 		panic(fmt.Sprintf("aes: RecoverMasterKey window %d < Nk %d", len(window), nk))
 	}
-	head := window[:nk]
-	if start > 0 {
-		n := start
-		prefix := ExtendBackward(window, start, v, n)
-		if len(prefix) >= nk {
-			head = prefix[:nk]
-		} else {
-			combined := append(append([]uint32{}, prefix...), window...)
-			head = combined[:nk]
-		}
+	if start == 0 {
+		return WordsToBytesInto(dst, window[:nk])
 	}
-	return WordsToBytes(head)
+	// buf[i] holds schedule word w[i] for i in [0, start+len(window)): the
+	// window in place, earlier words produced by the descending backward
+	// recurrence w[i] = w[i+nk] ^ f(w[i+nk-1], i+nk) (see ExtendBackward).
+	var stack [MaxScheduleWords]uint32
+	buf := stack[:]
+	if need := start + len(window); need > len(buf) {
+		buf = make([]uint32, need)
+	} else {
+		buf = buf[:need]
+	}
+	copy(buf[start:], window)
+	for i := start - 1; i >= 0; i-- {
+		buf[i] = buf[i+nk] ^ scheduleF(buf[i+nk-1], i+nk, nk)
+	}
+	return WordsToBytesInto(dst, buf[:nk])
 }

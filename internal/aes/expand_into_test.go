@@ -1,0 +1,125 @@
+package aes
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// The Into variants are the allocation-free backbone of the attack's
+// per-candidate hot path (PR 6): they must be byte-identical to the
+// allocating originals and must genuinely not allocate when given
+// sufficiently sized destination buffers.
+
+func TestExpandKeyIntoMatchesExpandKey(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, v := range []Variant{AES128, AES192, AES256} {
+		for trial := 0; trial < 50; trial++ {
+			key := make([]byte, v.KeyBytes())
+			rng.Read(key)
+			want := ExpandKey(key)
+			var buf [MaxScheduleWords]uint32
+			got := ExpandKeyInto(buf[:0], key)
+			if len(got) != len(want) {
+				t.Fatalf("%v: ExpandKeyInto length %d, want %d", v, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%v trial %d: word %d = %08x, want %08x", v, trial, i, got[i], want[i])
+				}
+			}
+			var bbuf [MaxScheduleBytes]byte
+			gotB := ExpandKeyBytesInto(bbuf[:0], key)
+			if !bytes.Equal(gotB, ExpandKeyBytes(key)) {
+				t.Fatalf("%v trial %d: ExpandKeyBytesInto mismatch", v, trial)
+			}
+		}
+	}
+}
+
+func TestExpandKeyIntoAppends(t *testing.T) {
+	key := make([]byte, 32)
+	for i := range key {
+		key[i] = byte(i)
+	}
+	prefix := []byte{0xAA, 0xBB}
+	out := ExpandKeyBytesInto(append([]byte{}, prefix...), key)
+	if !bytes.Equal(out[:2], prefix) {
+		t.Fatalf("ExpandKeyBytesInto clobbered the existing prefix: % x", out[:2])
+	}
+	if !bytes.Equal(out[2:], ExpandKeyBytes(key)) {
+		t.Fatalf("ExpandKeyBytesInto appended wrong schedule")
+	}
+}
+
+func TestRecoverMasterKeyIntoMatchesRecoverMasterKey(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, v := range []Variant{AES128, AES192, AES256} {
+		nk := v.Nk()
+		for trial := 0; trial < 20; trial++ {
+			key := make([]byte, v.KeyBytes())
+			rng.Read(key)
+			sched := ExpandKey(key)
+			for start := 0; start+nk <= len(sched); start++ {
+				window := sched[start : start+nk]
+				want := RecoverMasterKey(window, start, v)
+				var buf [32]byte
+				got := RecoverMasterKeyInto(buf[:0], window, start, v)
+				if !bytes.Equal(got, want) {
+					t.Fatalf("%v start %d: RecoverMasterKeyInto = % x, want % x", v, start, got, want)
+				}
+				if !bytes.Equal(want, key) {
+					t.Fatalf("%v start %d: recovered master % x != key % x", v, start, want, key)
+				}
+			}
+		}
+	}
+}
+
+func TestBytesWordsIntoRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	b := make([]byte, 240)
+	rng.Read(b)
+	var wbuf [MaxScheduleWords]uint32
+	w := BytesToWordsInto(wbuf[:0], b)
+	if len(w) != 60 {
+		t.Fatalf("BytesToWordsInto length %d, want 60", len(w))
+	}
+	var bbuf [MaxScheduleBytes]byte
+	back := WordsToBytesInto(bbuf[:0], w)
+	if !bytes.Equal(back, b) {
+		t.Fatal("BytesToWordsInto/WordsToBytesInto roundtrip mismatch")
+	}
+	wantW := BytesToWords(b)
+	for i := range wantW {
+		if w[i] != wantW[i] {
+			t.Fatalf("word %d = %08x, want %08x", i, w[i], wantW[i])
+		}
+	}
+}
+
+func TestIntoVariantsDoNotAllocate(t *testing.T) {
+	key := make([]byte, 32)
+	for i := range key {
+		key[i] = byte(3 * i)
+	}
+	sched := ExpandKey(key)
+	var wbuf [MaxScheduleWords]uint32
+	var bbuf [MaxScheduleBytes]byte
+	var mbuf [32]byte
+	checks := []struct {
+		name string
+		fn   func()
+	}{
+		{"ExpandKeyInto", func() { ExpandKeyInto(wbuf[:0], key) }},
+		{"ExpandKeyBytesInto", func() { ExpandKeyBytesInto(bbuf[:0], key) }},
+		{"BytesToWordsInto", func() { BytesToWordsInto(wbuf[:0], bbuf[:240]) }},
+		{"WordsToBytesInto", func() { WordsToBytesInto(bbuf[:0], sched) }},
+		{"RecoverMasterKeyInto", func() { RecoverMasterKeyInto(mbuf[:0], sched[8:16], 8, AES256) }},
+	}
+	for _, c := range checks {
+		if n := testing.AllocsPerRun(100, c.fn); n != 0 {
+			t.Errorf("%s allocates %.1f times per call; the Into contract is zero", c.name, n)
+		}
+	}
+}

@@ -46,28 +46,102 @@ func AESLitmus(block []byte, v aes.Variant, tolerance int) []ScheduleHit {
 	if len(block) != BlockBytes {
 		panic("core: AES litmus block must be 64 bytes")
 	}
-	var hits []ScheduleHit
-	words := aes.BytesToWords(block)
+	return aesLitmusWords(aes.BytesToWords(block), v, tolerance, nil)
+}
+
+// aesLitmusWords is AESLitmus on a pre-converted word view, appending hits
+// onto the caller's slice — the hunt workers reuse both the word buffer and
+// the hit slice across every (block, key) pair. The hit set is identical to
+// the plain nested scan's.
+func aesLitmusWords(words []uint32, v aes.Variant, tolerance int, hits []ScheduleHit) []ScheduleHit {
 	nk := v.Nk()
 	total := v.ScheduleWords()
 	const blockWords = BlockBytes / 4
 	for j := 0; j+nk+MinVerifyWords <= blockWords; j++ {
 		maxVerify := blockWords - j - nk
-		for a := 0; a+nk+MinVerifyWords <= total; a++ {
-			verify := total - a - nk
-			if verify > maxVerify {
-				verify = maxVerify
+		// First-word prefilter: the first predicted word of trial (j, a) is
+		// words[j] ^ f(words[j+nk-1], a+nk), compared against words[j+nk].
+		// Its distance depends on a only through the congruence class of
+		// a+nk mod nk (plus the rcon byte in the rotate class), so the class
+		// distances are computed once per window position j and almost every
+		// a is rejected with two table lookups instead of a full prediction
+		// walk. A trial is skipped exactly when predictAndCompare would fail
+		// on its first compared word, so the hit set is unchanged.
+		prev := words[j+nk-1]
+		base0 := words[j] ^ words[j+nk]
+		dIdent := bits.OnesCount32(base0 ^ prev)
+		rotBase := base0 ^ subWordRot(prev)
+		dRotLow := bits.OnesCount32(rotBase & 0x00FFFFFF)
+		rotHigh := byte(rotBase >> 24)
+		if dIdent <= tolerance {
+			// A live identity class (real keystream windows land here) means
+			// almost every a survives the prefilter: walk them all.
+			dSub := -1 // lazy: only nk > 6 schedules have the subword class
+			for a := 0; a+nk+MinVerifyWords <= total; a++ {
+				i := a + nk // absolute index of the first predicted word
+				var d0 int
+				switch {
+				case i%nk == 0:
+					d0 = dRotLow + bits.OnesCount8(rotHigh^byte(rconWord(i/nk)>>24))
+				case nk > 6 && i%nk == 4:
+					if dSub < 0 {
+						dSub = bits.OnesCount32(base0 ^ subWord32(prev))
+					}
+					d0 = dSub
+				default:
+					d0 = dIdent
+				}
+				if d0 > tolerance {
+					continue
+				}
+				hits = tryHit(hits, words, j, a, nk, total, maxVerify, tolerance)
 			}
-			d, ok := predictAndCompare(words, j, a, nk, verify, tolerance)
-			if ok {
-				hits = append(hits, ScheduleHit{
-					WordOffset:    j,
-					ScheduleIndex: a,
-					VerifiedWords: verify,
-					Distance:      d,
-				})
+			continue
+		}
+		// Dead identity class — the overwhelmingly common case on non-key
+		// data. Every a with (a+nk) % nk ∉ {0, 4} shares dIdent and is
+		// rejected, so only the rotate class (a ≡ 0 mod nk) and, for
+		// nk > 6, the subword class (a ≡ 4 mod nk) can survive: walk just
+		// those few, in the same ascending-a order as the full loop.
+		rotDead := dRotLow > tolerance
+		subDead := nk <= 6
+		if !subDead {
+			subDead = bits.OnesCount32(base0^subWord32(prev)) > tolerance
+		}
+		if rotDead && subDead {
+			continue
+		}
+		for a := 0; a+nk+MinVerifyWords <= total; a += nk {
+			if !rotDead {
+				if d0 := dRotLow + bits.OnesCount8(rotHigh^byte(rconWord((a+nk)/nk)>>24)); d0 <= tolerance {
+					hits = tryHit(hits, words, j, a, nk, total, maxVerify, tolerance)
+				}
+			}
+			if !subDead {
+				if as := a + 4; as+nk+MinVerifyWords <= total {
+					hits = tryHit(hits, words, j, as, nk, total, maxVerify, tolerance)
+				}
 			}
 		}
+	}
+	return hits
+}
+
+// tryHit runs the full prediction walk for trial (j, a) and appends a
+// ScheduleHit if it verifies within tolerance.
+func tryHit(hits []ScheduleHit, words []uint32, j, a, nk, total, maxVerify, tolerance int) []ScheduleHit {
+	verify := total - a - nk
+	if verify > maxVerify {
+		verify = maxVerify
+	}
+	d, ok := predictAndCompare(words, j, a, nk, verify, tolerance)
+	if ok {
+		hits = append(hits, ScheduleHit{
+			WordOffset:    j,
+			ScheduleIndex: a,
+			VerifiedWords: verify,
+			Distance:      d,
+		})
 	}
 	return hits
 }

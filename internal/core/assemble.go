@@ -5,7 +5,6 @@ import (
 	"math/bits"
 
 	"coldboot/internal/aes"
-	"coldboot/internal/bitutil"
 )
 
 // KeyDirectory returns the candidate scrambler keys for a given block index
@@ -13,6 +12,11 @@ import (
 // returns the one or two keys mined for the block's address class; the
 // exhaustive directory returns every mined key, which is the paper's
 // literal step 2 ("descramble individual memory blocks ... with all keys").
+//
+// The returned slices are READ-ONLY and shared between calls (the same
+// contract as Scrambler.KeyAt): the hunt queries the directory once per
+// (block, key) pair and per verification chunk, so directories must not
+// allocate per call.
 type KeyDirectory func(blockIdx int) [][]byte
 
 // AllKeysDirectory builds the exhaustive directory.
@@ -24,16 +28,54 @@ func AllKeysDirectory(mine *MineResult) KeyDirectory {
 	return func(int) [][]byte { return keys }
 }
 
-// ResidueDirectory builds the stride-based directory.
+// ResidueDirectory builds the stride-based directory. The per-residue key
+// tables are built once here — lookups return the shared slice for the
+// block's address class (read-only, like every KeyDirectory).
 func ResidueDirectory(mine *MineResult, stride int) KeyDirectory {
-	byRes := mine.KeysByResidue(stride)
-	return func(blockIdx int) [][]byte {
-		mk := byRes[blockIdx%stride]
-		keys := make([][]byte, len(mk))
-		for i, k := range mk {
-			keys[i] = k.Key
+	// Two passes over the sightings: count each residue's key-table size,
+	// carve the tables out of one shared backing slab, then fill. The stride
+	// is typically thousands of residues with one key each, so per-residue
+	// append would cost one allocation per residue; the slab costs four for
+	// the whole directory.
+	//
+	// seen[r] marks the last key index that contributed to residue r, so a
+	// key sighted at many positions of one class is listed once — the same
+	// dedup KeysByResidue performs, preserving its key ordering.
+	seen := make([]int, stride)
+	counts := make([]int, stride)
+	for i := range seen {
+		seen[i] = -1
+	}
+	total := 0
+	for ki, k := range mine.Keys {
+		for _, p := range k.Positions {
+			r := p % stride
+			if seen[r] != ki {
+				seen[r] = ki
+				counts[r]++
+				total++
+			}
 		}
-		return keys
+	}
+	slab := make([][]byte, total)
+	byRes := make([][][]byte, stride)
+	off := 0
+	for r, n := range counts {
+		byRes[r] = slab[off : off : off+n]
+		off += n
+		seen[r] = -1
+	}
+	for ki, k := range mine.Keys {
+		for _, p := range k.Positions {
+			r := p % stride
+			if seen[r] != ki {
+				seen[r] = ki
+				byRes[r] = append(byRes[r], k.Key)
+			}
+		}
+	}
+	return func(blockIdx int) [][]byte {
+		return byRes[blockIdx%stride]
 	}
 }
 
@@ -50,7 +92,17 @@ func ResidueDirectory(mine *MineResult, stride int) KeyDirectory {
 //
 //lint:ignore ctxthread bounded per-candidate scoring over one schedule-sized region, not a dump-scale scan; cancellation lives in the calling stage
 func VerifySchedule(dump []byte, keys KeyDirectory, master []byte, tableStart int, v aes.Variant) float64 {
-	schedule := aes.ExpandKeyBytes(master)
+	var buf [aes.MaxScheduleBytes]byte
+	return scheduleScore(dump, keys, aes.ExpandKeyBytesInto(buf[:0], master), tableStart)
+}
+
+// scheduleScore is the verification kernel: it scores an ALREADY-EXPANDED
+// schedule against the dump. The hunt calls it with cached schedule bytes
+// (ScheduleCache) or scratch-expanded candidates, so the per-candidate path
+// performs no allocation.
+//
+//lint:ignore ctxthread bounded per-candidate scoring over one schedule-sized region, not a dump-scale scan; cancellation lives in the calling stage
+func scheduleScore(dump []byte, keys KeyDirectory, schedule []byte, tableStart int) float64 {
 	if tableStart < 0 || tableStart+len(schedule) > len(dump) {
 		return 0
 	}
@@ -96,6 +148,54 @@ func xorDistance(stored, key, want []byte) int {
 	return d
 }
 
+// repairer bundles the state the flip-repair searches share: a mutable
+// working copy of the descrambled block plus the scratch the candidate
+// evaluations run on. Methods replace the seed's per-call closures so the
+// per-flip evaluation performs no allocation.
+type repairer struct {
+	rs         *repairScratch
+	dump       []byte
+	keys       KeyDirectory
+	hit        ScheduleHit
+	nk         int
+	v          aes.Variant
+	tableStart int
+	work       []byte // rs.work[:BlockBytes], the flip target
+}
+
+func newRepairer(rs *repairScratch, dump []byte, keys KeyDirectory, block []byte, blockIdx int, hit ScheduleHit, v aes.Variant) repairer {
+	return repairer{
+		rs:         rs,
+		dump:       dump,
+		keys:       keys,
+		hit:        hit,
+		nk:         v.Nk(),
+		v:          v,
+		tableStart: hit.TableStart(blockIdx),
+		work:       append(rs.work[:0], block...),
+	}
+}
+
+// tryMaster derives the master implied by the current work window and
+// scores its full schedule. The returned master aliases rs.master.
+func (r *repairer) tryMaster() ([]byte, float64) {
+	words := aes.BytesToWordsInto(r.rs.winWords[:0], r.work[4*r.hit.WordOffset:4*r.hit.WordOffset+4*r.nk])
+	master := aes.RecoverMasterKeyInto(r.rs.master[:0], words, r.hit.ScheduleIndex, r.v)
+	sched := aes.ExpandKeyBytesInto(r.rs.sched[:0], master)
+	return master, scheduleScore(r.dump, r.keys, sched, r.tableStart)
+}
+
+// consistent rechecks the hit's own in-block prediction on the edited work
+// block (the cheap pruner that gates full-schedule verification).
+func (r *repairer) consistent() bool {
+	words := aes.BytesToWordsInto(r.rs.blockWords[:0], r.work)
+	_, ok := predictAndCompare(words, r.hit.WordOffset, r.hit.ScheduleIndex, r.nk,
+		r.hit.VerifiedWords, DefaultAESTolerance)
+	return ok
+}
+
+func (r *repairer) flip(bit int) { r.work[bit/8] ^= 1 << uint(bit%8) }
+
 // RepairWindow attempts to fix bit decay inside a hit's schedule window by
 // flipping up to maxFlips bits (1 or 2) and returning the repaired master
 // with the best full-schedule verification score. This recovers anchors
@@ -110,50 +210,45 @@ func xorDistance(stored, key, want []byte) int {
 //
 //lint:ignore ctxthread bounded per-hit repair (flip budget caps the work); cancellation lives in the calling stage
 func RepairWindow(dump []byte, keys KeyDirectory, block []byte, blockIdx int, hit ScheduleHit, v aes.Variant, maxFlips int, minScore float64) ([]byte, float64) {
-	nk := v.Nk()
-	tableStart := hit.TableStart(blockIdx)
-	work := make([]byte, len(block))
-	copy(work, block)
+	var rs repairScratch
+	m, s := repairWindowScratch(&rs, dump, keys, block, blockIdx, hit, v, maxFlips, minScore)
+	return append([]byte{}, m...), s
+}
 
-	tryMaster := func() ([]byte, float64) {
-		words := aes.BytesToWords(work[4*hit.WordOffset : 4*hit.WordOffset+4*nk])
-		master := aes.RecoverMasterKey(words, hit.ScheduleIndex, v)
-		return master, VerifySchedule(dump, keys, master, tableStart, v)
-	}
-	consistent := func() bool {
-		words := aes.BytesToWords(work)
-		_, ok := predictAndCompare(words, hit.WordOffset, hit.ScheduleIndex, nk,
-			hit.VerifiedWords, DefaultAESTolerance)
-		return ok
-	}
+// repairWindowScratch is RepairWindow on caller scratch. The returned
+// master aliases rs.best and is valid until the scratch is reused.
+//
+//lint:ignore ctxthread bounded per-hit repair (flip budget caps the work); cancellation lives in the calling stage
+func repairWindowScratch(rs *repairScratch, dump []byte, keys KeyDirectory, block []byte, blockIdx int, hit ScheduleHit, v aes.Variant, maxFlips int, minScore float64) ([]byte, float64) {
+	r := newRepairer(rs, dump, keys, block, blockIdx, hit, v)
 
-	bestMaster, bestScore := tryMaster()
+	m, bestScore := r.tryMaster()
+	bestMaster := append(rs.best[:0], m...)
 	winLo := 4 * hit.WordOffset * 8 // window bit range within the block
-	winHi := winLo + 4*nk*8
-	flip := func(bit int) { work[bit/8] ^= 1 << uint(bit%8) }
+	winHi := winLo + 4*r.nk*8
 	if maxFlips >= 1 {
 		for b1 := winLo; b1 < winHi; b1++ {
-			flip(b1)
-			if consistent() {
-				if m, s := tryMaster(); s > bestScore {
-					bestMaster, bestScore = m, s
+			r.flip(b1)
+			if r.consistent() {
+				if m, s := r.tryMaster(); s > bestScore {
+					bestMaster, bestScore = append(rs.best[:0], m...), s
 				}
 			}
 			if maxFlips >= 2 && bestScore < minScore {
 				for b2 := b1 + 1; b2 < winHi; b2++ {
-					flip(b2)
-					if consistent() {
-						if m, s := tryMaster(); s > bestScore {
-							bestMaster, bestScore = m, s
+					r.flip(b2)
+					if r.consistent() {
+						if m, s := r.tryMaster(); s > bestScore {
+							bestMaster, bestScore = append(rs.best[:0], m...), s
 						}
 					}
-					flip(b2)
+					r.flip(b2)
 					if bestScore >= minScore {
 						break
 					}
 				}
 			}
-			flip(b1)
+			r.flip(b1)
 			if bestScore >= minScore {
 				break
 			}
@@ -169,17 +264,37 @@ func RepairWindow(dump []byte, keys KeyDirectory, block []byte, blockIdx int, hi
 // exact emptiness check). Real schedule words are high-entropy, so none of
 // these conditions ever hold for a genuine hit.
 func windowDegenerate(block []byte, hit ScheduleHit, nk int) bool {
-	win := block[4*hit.WordOffset : 4*hit.WordOffset+4*nk]
-	words := aes.BytesToWords(win)
-	distinct := make(map[uint32]bool, len(words))
-	for _, w := range words {
-		distinct[w] = true
+	var w [BlockBytes / 4]uint32
+	return windowDegenerateWords(aes.BytesToWordsInto(w[:0], block), hit, nk)
+}
+
+// windowDegenerateWords is windowDegenerate on a pre-converted word view
+// (what the hunt workers hold).
+func windowDegenerateWords(words []uint32, hit ScheduleHit, nk int) bool {
+	win := words[hit.WordOffset : hit.WordOffset+nk]
+	// Distinct-word count by pairwise compare: nk <= 8, so this beats any
+	// set structure and allocates nothing.
+	distinct := 0
+	for i, w := range win {
+		dup := false
+		for k := 0; k < i; k++ {
+			if win[k] == w {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			distinct++
+		}
 	}
-	if len(distinct) <= nk/2 {
+	if distinct <= nk/2 {
 		return true
 	}
-	weight := bitutil.HammingWeight(win)
-	total := len(win) * 8
+	weight := 0
+	for _, w := range win {
+		weight += bits.OnesCount32(w)
+	}
+	total := nk * 32
 	return weight < total/8 || weight > total*7/8
 }
 
@@ -200,8 +315,19 @@ func windowDegenerate(block []byte, hit ScheduleHit, nk int) bool {
 //
 //lint:ignore ctxthread bounded per-candidate consensus over one schedule-sized region; cancellation lives in the calling stage
 func RefineMaster(dump []byte, keys KeyDirectory, master []byte, tableStart int, v aes.Variant) ([]byte, float64) {
-	best := append([]byte{}, master...)
-	bestScore := VerifySchedule(dump, keys, best, tableStart, v)
+	var rs repairScratch
+	m, s := refineMasterScratch(&rs, dump, keys, master, tableStart, v)
+	return append([]byte{}, m...), s
+}
+
+// refineMasterScratch is RefineMaster on caller scratch. The returned
+// master aliases rs.best and is valid until the scratch is reused; master
+// may itself alias rs.best or rs.master from an earlier scratch call.
+//
+//lint:ignore ctxthread bounded per-candidate consensus over one schedule-sized region; cancellation lives in the calling stage
+func refineMasterScratch(rs *repairScratch, dump []byte, keys KeyDirectory, master []byte, tableStart int, v aes.Variant) ([]byte, float64) {
+	best := append(rs.best[:0], master...)
+	bestScore := scheduleScore(dump, keys, aes.ExpandKeyBytesInto(rs.sched[:0], best), tableStart)
 	if bestScore == 0 {
 		return best, bestScore
 	}
@@ -211,17 +337,17 @@ func RefineMaster(dump []byte, keys KeyDirectory, master []byte, tableStart int,
 	// the observed (descrambled) table and keep the best verifier. Sparse
 	// decay almost surely leaves at least one window intact, and a clean
 	// window yields the exact master.
-	observed := observedScheduleWords(dump, keys, aes.ExpandKeyBytes(best), tableStart)
+	observed := observedScheduleWordsInto(rs, dump, keys, aes.ExpandKeyBytesInto(rs.ref[:0], best), tableStart)
 	for s := 0; s+nk <= len(observed); s++ {
-		cand := aes.RecoverMasterKey(observed[s:s+nk], s, v)
-		if sc := VerifySchedule(dump, keys, cand, tableStart, v); sc > bestScore {
-			best, bestScore = cand, sc
+		cand := aes.RecoverMasterKeyInto(rs.master[:0], observed[s:s+nk], s, v)
+		if sc := scheduleScore(dump, keys, aes.ExpandKeyBytesInto(rs.sched[:0], cand), tableStart); sc > bestScore {
+			best, bestScore = append(rs.best[:0], cand...), sc
 		}
 	}
 	// Phase 2 — chain-vote error correction for the no-clean-window case.
 	for iter := 0; iter < 4; iter++ {
-		sched := aes.ExpandKey(best)
-		observed := observedScheduleWords(dump, keys, aes.WordsToBytes(sched), tableStart)
+		sched := aes.ExpandKeyInto(rs.refWords[:0], best)
+		observed := observedScheduleWordsInto(rs, dump, keys, aes.WordsToBytesInto(rs.ref[:0], sched), tableStart)
 		improved := false
 		for c := 0; c < nk; c++ {
 			var votes [32]int
@@ -244,12 +370,12 @@ func RefineMaster(dump []byte, keys KeyDirectory, master []byte, tableStart int,
 			if fix == 0 {
 				continue
 			}
-			cand := append([]byte{}, best...)
-			w := aes.BytesToWords(cand)
+			cand := append(rs.master[:0], best...)
+			w := aes.BytesToWordsInto(rs.winWords[:0], cand)
 			w[c] ^= fix
-			cand = aes.WordsToBytes(w)
-			if s := VerifySchedule(dump, keys, cand, tableStart, v); s > bestScore {
-				best, bestScore = cand, s
+			cand = aes.WordsToBytesInto(rs.master[:0], w)
+			if s := scheduleScore(dump, keys, aes.ExpandKeyBytesInto(rs.sched[:0], cand), tableStart); s > bestScore {
+				best, bestScore = append(rs.best[:0], cand...), s
 				improved = true
 			}
 		}
@@ -260,12 +386,13 @@ func RefineMaster(dump []byte, keys KeyDirectory, master []byte, tableStart int,
 	return best, bestScore
 }
 
-// observedScheduleWords descrambles the dump region holding the candidate
-// schedule, choosing for each block the directory key that best matches the
-// reference expansion (the same minimum-distance choice VerifySchedule
-// makes), and returns the observed schedule words.
-func observedScheduleWords(dump []byte, keys KeyDirectory, reference []byte, tableStart int) []uint32 {
-	out := make([]byte, len(reference))
+// observedScheduleWordsInto descrambles the dump region holding the
+// candidate schedule, choosing for each block the directory key that best
+// matches the reference expansion (the same minimum-distance choice
+// scheduleScore makes), and returns the observed schedule words on
+// rs.observedWords.
+func observedScheduleWordsInto(rs *repairScratch, dump []byte, keys KeyDirectory, reference []byte, tableStart int) []uint32 {
+	out := rs.observed[:len(reference)]
 	pos := 0
 	for pos < len(reference) {
 		addr := tableStart + pos
@@ -293,7 +420,7 @@ func observedScheduleWords(dump []byte, keys KeyDirectory, reference []byte, tab
 		}
 		pos += chunk
 	}
-	return aes.BytesToWords(out)
+	return aes.BytesToWordsInto(rs.observedWords[:0], out)
 }
 
 // ExtractRemnant recovers the scrambler key of an uncovered block adjacent

@@ -56,6 +56,12 @@ type Config struct {
 	// instead of re-scanning. The campaign uses this to mine once globally
 	// and share the key pool with every shard.
 	Mine *MineResult
+	// ScheduleCache memoizes expanded key schedules across candidate
+	// verifications. Nil (the zero value) gives the attack a private
+	// default-bounded cache; the campaign sets one explicitly so all shards
+	// share a single cache (the same master re-sighted in the overlap
+	// region expands once).
+	ScheduleCache *ScheduleCache
 	// Tracer observes the pipeline: per-stage wall time, candidate
 	// counters, hunt progress, and per-chunk/per-verify latency
 	// histograms. Nil means no tracing (obs.Nop).
@@ -82,6 +88,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Workers <= 0 {
 		c.Workers = runtime.NumCPU()
+	}
+	if c.ScheduleCache == nil {
+		c.ScheduleCache = NewScheduleCache(0)
 	}
 	return c
 }
@@ -135,13 +144,69 @@ type AttackRun struct {
 	// the span of the stage currently running (worker spans nest there).
 	span  obs.Span
 	stage obs.Span
-	// skip marks block indices that cannot contain schedules (mined-key
-	// sightings are zero-data blocks).
-	skip map[int]bool
+	// skip is a bitset over block indices that cannot contain schedules
+	// (mined-key sightings are zero-data blocks).
+	skip []uint64
+	// schedules memoizes candidate schedule expansions (Config.ScheduleCache
+	// after defaulting).
+	schedules *ScheduleCache
+	// memo caches completed verify→refine outcomes per (pre-repair master,
+	// table start): re-sighting an already-verified master at another anchor
+	// window replays the recorded outcome instead of re-running the full
+	// verification and refinement, which is where repeat anchors spent
+	// nearly all their time. Only above-threshold initial verifications are
+	// memoized — those flows never consult the (block-dependent) repair
+	// paths, so the replay is exactly the recomputation.
+	memoMu sync.RWMutex
+	memo   map[string]*verifyOutcome
 	// found collects candidate keys during the hunt, deduplicated by
 	// master bytes.
 	mu    sync.Mutex
 	found map[string]*FoundKey
+}
+
+// verifyOutcome is one memoized verify→refine result; outcomes for the
+// same master at different table starts (duplicate schedules in memory)
+// chain through next.
+type verifyOutcome struct {
+	start int
+	final []byte
+	score float64
+	next  *verifyOutcome
+}
+
+// memoLookup returns the recorded outcome for (master, start), or nil.
+func (run *AttackRun) memoLookup(master []byte, start int) *verifyOutcome {
+	run.memoMu.RLock()
+	o := run.memo[string(master)] // direct index: no key allocation
+	run.memoMu.RUnlock()
+	for ; o != nil; o = o.next {
+		if o.start == start {
+			return o
+		}
+	}
+	return nil
+}
+
+// memoStore records a completed outcome, copying final out of scratch.
+func (run *AttackRun) memoStore(master []byte, start int, final []byte, score float64) {
+	o := &verifyOutcome{start: start, final: append([]byte{}, final...), score: score}
+	run.memoMu.Lock()
+	head := run.memo[string(master)]
+	for h := head; h != nil; h = h.next {
+		if h.start == start { // another worker beat us to it
+			run.memoMu.Unlock()
+			return
+		}
+	}
+	o.next = head
+	run.memo[string(master)] = o
+	run.memoMu.Unlock()
+}
+
+// skipBlock reports whether block b is a known zero-data block.
+func (run *AttackRun) skipBlock(b int) bool {
+	return run.skip[b>>6]&(1<<uint(b&63)) != 0
 }
 
 // AttackStages returns the attack pipeline in execution order:
@@ -174,11 +239,13 @@ func AttackContext(ctx context.Context, dump []byte, cfg Config) (*Result, error
 	}
 
 	run := &AttackRun{
-		Dump:   dump,
-		Cfg:    cfg,
-		Res:    &Result{BlocksScanned: len(dump) / BlockBytes},
-		tracer: obs.OrNop(cfg.Tracer),
-		found:  make(map[string]*FoundKey),
+		Dump:      dump,
+		Cfg:       cfg,
+		Res:       &Result{BlocksScanned: len(dump) / BlockBytes},
+		tracer:    obs.OrNop(cfg.Tracer),
+		schedules: cfg.ScheduleCache,
+		memo:      make(map[string]*verifyOutcome),
+		found:     make(map[string]*FoundKey),
 	}
 	attrs := []obs.Attr{
 		obs.A("blocks", strconv.Itoa(len(dump)/BlockBytes)),
@@ -261,10 +328,13 @@ func (directoryStage) Run(ctx context.Context, run *AttackRun) error {
 	}
 	// Zero-data blocks are exactly the mined-key sightings: skip them (they
 	// cannot contain schedules, and their degenerate windows waste time).
-	run.skip = make(map[int]bool)
+	nBlocks := len(run.Dump) / BlockBytes
+	run.skip = make([]uint64, (nBlocks+63)/64)
 	for _, k := range mine.Keys {
 		for _, p := range k.Positions {
-			run.skip[p] = true
+			if p >= 0 && p < nBlocks {
+				run.skip[p>>6] |= 1 << uint(p&63)
+			}
 		}
 	}
 	return nil
@@ -314,7 +384,9 @@ func (huntStage) Run(ctx context.Context, run *AttackRun) error {
 				obs.A("blocks", strconv.Itoa(lo)+"-"+strconv.Itoa(hi)),
 				obs.A("offset", "0x"+strconv.FormatInt(int64(lo)*BlockBytes, 16)+"-0x"+strconv.FormatInt(int64(hi)*BlockBytes, 16)))
 			defer ws.End()
-			descrambled := make([]byte, BlockBytes)
+			// All per-candidate buffers live on the worker's scratch: the
+			// steady-state scan allocates nothing per block or candidate.
+			sc := new(huntScratch)
 			var localPairs, localHits int64
 			lastCheck := lo
 			chunkStart := obs.Now()
@@ -332,7 +404,7 @@ func (huntStage) Run(ctx context.Context, run *AttackRun) error {
 				if cancelled.Load() {
 					break
 				}
-				if run.skip[b] {
+				if run.skipBlock(b) {
 					continue
 				}
 				stored := dump[b*BlockBytes : (b+1)*BlockBytes]
@@ -341,46 +413,74 @@ func (huntStage) Run(ctx context.Context, run *AttackRun) error {
 				}
 				for _, key := range run.Directory(b) {
 					localPairs++
-					bitutil.XORBlock64(descrambled, stored, key)
-					blockHits := AESLitmus(descrambled, cfg.Variant, cfg.AESTolerance)
-					localHits += int64(len(blockHits))
+					bitutil.XORBlock64(sc.descrambled[:], stored, key)
+					words := aes.BytesToWordsInto(sc.words[:0], sc.descrambled[:])
+					sc.hits = aesLitmusWords(words, cfg.Variant, cfg.AESTolerance, sc.hits[:0])
+					localHits += int64(len(sc.hits))
 					// Single-flip repair is cheap (prediction-prefiltered), so
 					// every failing hit may try it; the quadratic double-flip
 					// and cubic ground-state searches are rationed per
 					// (block, key) pair.
 					doubleRepairsLeft := 4
 					groundRepairsLeft := 4
-					for _, hit := range blockHits {
-						if windowDegenerate(descrambled, hit, nk) {
+					for _, hit := range sc.hits {
+						if windowDegenerateWords(words, hit, nk) {
 							continue
 						}
 						start := hit.TableStart(b)
 						if start < 0 || start+cfg.Variant.ScheduleBytes() > len(dump) {
 							continue
 						}
-						master := MasterFromHit(descrambled, hit, cfg.Variant)
+						master := aes.RecoverMasterKeyInto(sc.master[:0],
+							words[hit.WordOffset:hit.WordOffset+nk], hit.ScheduleIndex, cfg.Variant)
+						if o := run.memoLookup(master, start); o != nil {
+							// Re-sighted anchor of an already-completed
+							// verification: replay the recorded outcome.
+							run.record(o.final, o.start, o.score, cfg.Variant)
+							continue
+						}
 						verifyStart := obs.Now()
-						score := VerifySchedule(dump, run.Directory, master, start, cfg.Variant)
+						// Almost every candidate master is garbage derived from
+						// application data and will never be sighted again, so
+						// the miss path expands into scratch (no allocation, no
+						// cache churn); verified masters are promoted below.
+						sched, cached := run.schedules.Lookup(master)
+						if !cached {
+							sched = aes.ExpandKeyBytesInto(sc.repair.sched[:0], master)
+						}
+						score := scheduleScore(dump, run.Directory, sched, start)
 						run.tracer.Observe("hunt.verify_ns", obs.Since(verifyStart))
+						initialVerified := score >= cfg.MinVerifyScore
+						if initialVerified && !cached {
+							run.schedules.Insert(master, sched)
+						}
 						if score < cfg.MinVerifyScore && cfg.GroundDump != nil && groundRepairsLeft > 0 {
 							groundRepairsLeft--
-							master, score = RepairWindowGround(dump, cfg.GroundDump, run.Directory,
-								descrambled, b, hit, cfg.Variant, 3, cfg.MinVerifyScore)
+							master, score = repairWindowGroundScratch(&sc.repair, dump, cfg.GroundDump,
+								run.Directory, sc.descrambled[:], b, hit, cfg.Variant, 3, cfg.MinVerifyScore)
 						} else if score < cfg.MinVerifyScore && cfg.RepairFlips > 0 {
 							flips := 1
 							if cfg.RepairFlips >= 2 && doubleRepairsLeft > 0 {
 								doubleRepairsLeft--
 								flips = cfg.RepairFlips
 							}
-							master, score = RepairWindow(dump, run.Directory, descrambled, b, hit,
-								cfg.Variant, flips, cfg.MinVerifyScore)
+							master, score = repairWindowScratch(&sc.repair, dump, run.Directory,
+								sc.descrambled[:], b, hit, cfg.Variant, flips, cfg.MinVerifyScore)
 						}
 						if score >= cfg.MinVerifyScore {
 							// Correct residual linear-chain bit errors via
 							// schedule-redundancy majority voting before
-							// accepting the key.
-							master, score = RefineMaster(dump, run.Directory, master, start, cfg.Variant)
-							run.record(master, start, score, cfg.Variant)
+							// accepting the key. The refined master aliases
+							// scratch; record and memoStore copy it out.
+							final, finalScore := refineMasterScratch(&sc.repair, dump, run.Directory,
+								master, start, cfg.Variant)
+							if initialVerified {
+								// master was untouched by the repair paths
+								// (sc.master, disjoint from sc.repair): safe to
+								// memoize the deterministic verify→refine flow.
+								run.memoStore(master, start, final, finalScore)
+							}
+							run.record(final, start, finalScore, cfg.Variant)
 						}
 					}
 				}

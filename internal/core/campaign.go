@@ -309,8 +309,11 @@ func scanShard(ctx context.Context, sub []byte, sh Shard, mine *MineResult, dire
 		Workers:         cfg.Workers,
 		KeysForBlock:    shiftedDir,
 		Mine:            shardMineView(mine, sh),
-		Tracer:          cfg.Tracer,
-		Span:            span,
+		// All shards share the campaign's schedule cache: a master
+		// re-sighted in an overlap region expands once, not once per shard.
+		ScheduleCache: cfg.ScheduleCache,
+		Tracer:        cfg.Tracer,
+		Span:          span,
 	})
 	out := ShardResult{Shard: sh}
 	if res == nil {

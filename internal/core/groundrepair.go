@@ -41,37 +41,34 @@ func SuspectMask(dump, groundDump []byte, blockIdx int) [BlockBytes]byte {
 //
 //lint:ignore ctxthread bounded per-hit repair (explicit verifyBudget caps the work); cancellation lives in the calling stage
 func RepairWindowGround(dump, groundDump []byte, keys KeyDirectory, block []byte, blockIdx int, hit ScheduleHit, v aes.Variant, maxFlips int, minScore float64) ([]byte, float64) {
+	var rs repairScratch
+	m, s := repairWindowGroundScratch(&rs, dump, groundDump, keys, block, blockIdx, hit, v, maxFlips, minScore)
+	return append([]byte{}, m...), s
+}
+
+// repairWindowGroundScratch is RepairWindowGround on caller scratch. The
+// returned master aliases rs.best and is valid until the scratch is reused.
+//
+//lint:ignore ctxthread bounded per-hit repair (explicit verifyBudget caps the work); cancellation lives in the calling stage
+func repairWindowGroundScratch(rs *repairScratch, dump, groundDump []byte, keys KeyDirectory, block []byte, blockIdx int, hit ScheduleHit, v aes.Variant, maxFlips int, minScore float64) ([]byte, float64) {
 	const verifyBudget = 1500
-	nk := v.Nk()
-	tableStart := hit.TableStart(blockIdx)
+	r := newRepairer(rs, dump, keys, block, blockIdx, hit, v)
 	mask := SuspectMask(dump, groundDump, blockIdx)
 
-	// Collect suspect bit positions inside the window.
+	// Collect suspect bit positions inside the window (reusing the scratch
+	// slice across hits).
 	winLo := 4 * hit.WordOffset * 8
-	winHi := winLo + 4*nk*8
-	var suspects []int
+	winHi := winLo + 4*r.nk*8
+	suspects := rs.suspects[:0]
 	for b := winLo; b < winHi; b++ {
 		if mask[b/8]&(1<<uint(b%8)) != 0 {
 			suspects = append(suspects, b)
 		}
 	}
+	rs.suspects = suspects
 
-	work := make([]byte, len(block))
-	copy(work, block)
-	flip := func(bit int) { work[bit/8] ^= 1 << uint(bit%8) }
-	tryMaster := func() ([]byte, float64) {
-		words := aes.BytesToWords(work[4*hit.WordOffset : 4*hit.WordOffset+4*nk])
-		master := aes.RecoverMasterKey(words, hit.ScheduleIndex, v)
-		return master, VerifySchedule(dump, keys, master, tableStart, v)
-	}
-	consistent := func() bool {
-		words := aes.BytesToWords(work)
-		_, ok := predictAndCompare(words, hit.WordOffset, hit.ScheduleIndex, nk,
-			hit.VerifiedWords, DefaultAESTolerance)
-		return ok
-	}
-
-	bestMaster, bestScore := tryMaster()
+	m, bestScore := r.tryMaster()
+	bestMaster := append(rs.best[:0], m...)
 	if bestScore >= minScore || maxFlips < 1 {
 		return bestMaster, bestScore
 	}
@@ -85,13 +82,13 @@ func RepairWindowGround(dump, groundDump []byte, keys KeyDirectory, block []byte
 			return
 		}
 		for i := startIdx; i < len(suspects); i++ {
-			flip(suspects[i])
-			if consistent() {
+			r.flip(suspects[i])
+			if r.consistent() {
 				budget--
-				if m, s := tryMaster(); s > bestScore {
-					bestMaster, bestScore = m, s
+				if m, s := r.tryMaster(); s > bestScore {
+					bestMaster, bestScore = append(rs.best[:0], m...), s
 					if bestScore >= minScore {
-						flip(suspects[i])
+						r.flip(suspects[i])
 						return
 					}
 				}
@@ -99,7 +96,7 @@ func RepairWindowGround(dump, groundDump []byte, keys KeyDirectory, block []byte
 			if remaining > 1 {
 				search(i+1, remaining-1)
 			}
-			flip(suspects[i])
+			r.flip(suspects[i])
 			if bestScore >= minScore || budget <= 0 {
 				return
 			}

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"bytes"
 	"context"
+	"encoding/binary"
 	"fmt"
 	"sort"
 
@@ -123,14 +125,50 @@ func MineKeysSource(ctx context.Context, src BlockSource, opt MineOptions) (*Min
 // index order via observe, and finish aggregates the sightings. Splitting
 // the miner from the scan loop lets the resident and streaming paths share
 // exactly the same logic (so their outputs are bit-identical).
+//
+// The representation is flat: unique block contents live in one append-only
+// slab addressed through an open-addressed probe table, and each passing
+// block records only (group, position) pairs. Observing a block costs one
+// hash and (usually) one probe — no per-block allocation, no map-key string
+// copies — and the structures double geometrically, so a multi-GB scan's
+// allocation count stays logarithmic.
 type miner struct {
-	opt   MineOptions
-	res   *MineResult
-	exact map[string][]int
+	opt MineOptions
+	res *MineResult
+	// slab holds each distinct content group's representative, BlockBytes
+	// per group, in first-sighting order.
+	slab []byte
+	// hashes and counts are per-group content hash and sighting count.
+	hashes []uint32
+	counts []int32
+	// probe is the open-addressed group index: entry = group+1, 0 = empty,
+	// linear probing, load factor kept under 1/2.
+	probe []int32
+	// obsGroup/obsPos log every passing block in scan order (ascending
+	// positions), partitioned per key in finish.
+	obsGroup []int32
+	obsPos   []int
 }
 
 func newMiner(opt MineOptions) *miner {
-	return &miner{opt: opt, res: &MineResult{}, exact: make(map[string][]int)}
+	return &miner{opt: opt, res: &MineResult{}, probe: make([]int32, 1024)}
+}
+
+// hashBlock is FNV-1a over the block's eight 64-bit words, folded to 32
+// bits. Scrambler keystream is high-entropy, so this distributes well.
+func hashBlock(b []byte) uint32 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	for i := 0; i+8 <= BlockBytes; i += 8 {
+		h ^= binary.LittleEndian.Uint64(b[i:])
+		h *= prime
+	}
+	return uint32(h ^ h>>32)
+}
+
+// rep returns group g's representative content (read-only slab view).
+func (m *miner) rep(g int32) []byte {
+	return m.slab[int(g)*BlockBytes : int(g)*BlockBytes+BlockBytes]
 }
 
 // observe feeds one 64-byte block at blockIdx into pass 1 (exact grouping
@@ -141,71 +179,128 @@ func (m *miner) observe(block []byte, blockIdx int) {
 		return
 	}
 	m.res.BlocksPassed++
-	m.exact[string(block)] = append(m.exact[string(block)], blockIdx)
+	h := hashBlock(block)
+	mask := uint32(len(m.probe) - 1)
+	i := h & mask
+	g := int32(-1)
+	for m.probe[i] != 0 {
+		cand := m.probe[i] - 1
+		if m.hashes[cand] == h && bytes.Equal(m.rep(cand), block) {
+			g = cand
+			break
+		}
+		i = (i + 1) & mask
+	}
+	if g < 0 {
+		g = int32(len(m.hashes))
+		m.slab = append(m.slab, block...)
+		m.hashes = append(m.hashes, h)
+		m.counts = append(m.counts, 0)
+		m.probe[i] = g + 1
+		if int(g+1)*2 >= len(m.probe) {
+			m.growProbe()
+		}
+	}
+	m.counts[g]++
+	m.obsGroup = append(m.obsGroup, g)
+	m.obsPos = append(m.obsPos, blockIdx)
+}
+
+func (m *miner) growProbe() {
+	np := make([]int32, len(m.probe)*2)
+	mask := uint32(len(np) - 1)
+	for g := range m.hashes {
+		i := m.hashes[g] & mask
+		for np[i] != 0 {
+			i = (i + 1) & mask
+		}
+		np[i] = int32(g) + 1
+	}
+	m.probe = np
 }
 
 // finish runs pass 2 — merge near-duplicate groups (decayed copies) into
 // canonical keys, largest groups first so canonicals are the least-decayed
-// representatives — and returns the completed result.
+// representatives — and returns the completed result. The output is
+// bit-identical to the straightforward map-and-rescan aggregation (the
+// parity tests pin this), but the near-duplicate search is segment-indexed
+// instead of quadratic and positions are partitioned in one counting pass.
 func (m *miner) finish() *MineResult {
 	res := m.res
-	type group struct {
-		rep       []byte
-		positions []int
+	nGroups := len(m.hashes)
+	// Process groups by (count desc, rep asc) so canonicals are the
+	// least-decayed representatives.
+	order := make([]int32, nGroups)
+	for i := range order {
+		order[i] = int32(i)
 	}
-	groups := make([]group, 0, len(m.exact))
-	for k, pos := range m.exact {
-		groups = append(groups, group{rep: []byte(k), positions: pos})
-	}
-	sort.Slice(groups, func(i, j int) bool {
-		if len(groups[i].positions) != len(groups[j].positions) {
-			return len(groups[i].positions) > len(groups[j].positions)
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if m.counts[a] != m.counts[b] {
+			return m.counts[a] > m.counts[b]
 		}
-		return string(groups[i].rep) < string(groups[j].rep)
+		return bytes.Compare(m.rep(a), m.rep(b)) < 0
 	})
 
-	type canonical struct {
-		votes     [BlockBytes * 8]int // per-bit one-votes
-		total     int
-		positions []int
-		rep       []byte
-	}
-	var canon []*canonical
-	for _, g := range groups {
-		var target *canonical
-		for _, c := range canon {
-			if bitutil.NearEqual(c.rep, g.rep, m.opt.MergeDistance) {
-				target = c
-				break
-			}
-		}
-		if target == nil {
-			target = &canonical{rep: append([]byte{}, g.rep...)}
-			canon = append(canon, target)
-		}
-		n := len(g.positions)
-		for bit := 0; bit < BlockBytes*8; bit++ {
-			if g.rep[bit/8]&(1<<uint(bit%8)) != 0 {
-				target.votes[bit] += n
-			}
-		}
-		target.total += n
-		target.positions = append(target.positions, g.positions...)
+	cm := newCanonMerger(m.opt.MergeDistance, nGroups)
+	groupCanon := make([]int32, nGroups)
+	for _, g := range order {
+		groupCanon[g] = cm.add(m.rep(g), int(m.counts[g]))
 	}
 
+	// Partition the observation log by canonical key. The log is in scan
+	// order, so each partition comes out in ascending position order.
+	nCanon := len(cm.canon)
+	canonTotal := make([]int, nCanon)
+	for _, g := range m.obsGroup {
+		canonTotal[groupCanon[g]]++
+	}
+	offsets := make([]int, nCanon+1)
+	for c := 0; c < nCanon; c++ {
+		offsets[c+1] = offsets[c] + canonTotal[c]
+	}
+	posSlab := make([]int, len(m.obsPos))
+	fill := make([]int, nCanon)
+	for oi, g := range m.obsGroup {
+		c := groupCanon[g]
+		posSlab[offsets[c]+fill[c]] = m.obsPos[oi]
+		fill[c]++
+	}
+
+	// Emit keys: single-group canonicals ARE their representative; merged
+	// ones take the per-bit weighted majority. Key bytes share one slab.
+	nFinal := 0
+	for c := 0; c < nCanon; c++ {
+		if canonTotal[c] >= m.opt.MinCount {
+			nFinal++
+		}
+	}
+	keySlab := make([]byte, 0, nFinal*BlockBytes)
 	res.Keys = nil
-	for _, c := range canon {
-		if c.total < m.opt.MinCount {
+	for c := 0; c < nCanon; c++ {
+		total := canonTotal[c]
+		if total < m.opt.MinCount {
 			continue
 		}
-		key := make([]byte, BlockBytes)
-		for bit := 0; bit < BlockBytes*8; bit++ {
-			if 2*c.votes[bit] > c.total {
-				key[bit/8] |= 1 << uint(bit%8)
+		base := len(keySlab)
+		e := &cm.canon[c]
+		if e.votes == nil {
+			keySlab = append(keySlab, e.rep...)
+		} else {
+			for bit := 0; bit < BlockBytes*8; bit++ {
+				if bit%8 == 0 {
+					keySlab = append(keySlab, 0)
+				}
+				if 2*int(e.votes[bit]) > total {
+					keySlab[base+bit/8] |= 1 << uint(bit%8)
+				}
 			}
 		}
-		sort.Ints(c.positions)
-		res.Keys = append(res.Keys, MinedKey{Key: key, Count: c.total, Positions: c.positions})
+		res.Keys = append(res.Keys, MinedKey{
+			Key:       keySlab[base : base+BlockBytes : base+BlockBytes],
+			Count:     total,
+			Positions: posSlab[offsets[c]:offsets[c+1]:offsets[c+1]],
+		})
 	}
 	sort.Slice(res.Keys, func(i, j int) bool {
 		if res.Keys[i].Count != res.Keys[j].Count {
@@ -214,6 +309,146 @@ func (m *miner) finish() *MineResult {
 		return string(res.Keys[i].Key) < string(res.Keys[j].Key)
 	})
 	return res
+}
+
+// canonMerger folds near-duplicate groups into canonical keys. The merge
+// rule is the reference one — a group joins the FIRST (lowest-index)
+// canonical whose representative is within MergeDistance bits — but
+// candidates are found through a segment index instead of scanning every
+// canonical: split the 64-byte representative into MergeDistance+1 byte
+// segments, and any block within MergeDistance BIT flips must match at
+// least one segment exactly (pigeonhole: d flipped bits touch at most d
+// segments). Looking up each segment's hash yields every possible match;
+// NearEqual confirms, and the minimum confirmed index reproduces the
+// reference's first-match semantics.
+type canonMerger struct {
+	md    int
+	segs  int
+	canon []canonEntry
+	// segTable is open-addressed with packed entries:
+	// uint64(segHash) | uint64(canonIdx+1)<<32. Zero = empty. Sized for
+	// every group becoming a canonical, so it never grows.
+	segTable []uint64
+	// linear falls back to the reference scan when segments would be
+	// narrower than one byte (enormous MergeDistance).
+	linear bool
+}
+
+// canonEntry is one canonical key: votes stays nil until a second distinct
+// content merges in (the overwhelmingly common case is exactly one), at
+// which point the per-bit tally is materialized from the representative.
+type canonEntry struct {
+	rep    []byte
+	repN   int32 // sighting count of the first (representative) group
+	votes  []int32
+	merged bool
+}
+
+func newCanonMerger(mergeDistance, nGroups int) *canonMerger {
+	cm := &canonMerger{md: mergeDistance, segs: mergeDistance + 1}
+	if cm.segs > BlockBytes || cm.segs < 1 {
+		cm.linear = true
+		return cm
+	}
+	size := 1024
+	for size < nGroups*cm.segs*2 {
+		size *= 2
+	}
+	cm.segTable = make([]uint64, size)
+	return cm
+}
+
+// segBounds returns segment s's byte range within a representative.
+func (cm *canonMerger) segBounds(s int) (int, int) {
+	return s * BlockBytes / cm.segs, (s + 1) * BlockBytes / cm.segs
+}
+
+// segHash hashes one segment, salted by its index so equal bytes in
+// different segments don't collide into shared buckets.
+func segHash(s int, seg []byte) uint32 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037) ^ uint64(s)*prime
+	for _, b := range seg {
+		h ^= uint64(b)
+		h *= prime
+	}
+	h *= prime
+	return uint32(h ^ h>>32)
+}
+
+// add merges one group (processed in reference order) and returns its
+// canonical index.
+func (cm *canonMerger) add(rep []byte, n int) int32 {
+	c := cm.lookup(rep)
+	if c < 0 {
+		c = int32(len(cm.canon))
+		cm.canon = append(cm.canon, canonEntry{rep: rep, repN: int32(n)})
+		cm.insertSegs(rep, c)
+		return c
+	}
+	e := &cm.canon[c]
+	if e.votes == nil {
+		// Second distinct content: materialize the tally from the
+		// representative's own sightings before adding the newcomer's.
+		e.votes = make([]int32, BlockBytes*8)
+		addVotes(e.votes, e.rep, e.repN)
+	}
+	addVotes(e.votes, rep, int32(n))
+	e.merged = true
+	return c
+}
+
+func addVotes(votes []int32, rep []byte, n int32) {
+	for bit := 0; bit < BlockBytes*8; bit++ {
+		if rep[bit/8]&(1<<uint(bit%8)) != 0 {
+			votes[bit] += n
+		}
+	}
+}
+
+// lookup returns the lowest canonical index within MergeDistance of rep,
+// or -1.
+func (cm *canonMerger) lookup(rep []byte) int32 {
+	if cm.linear {
+		for c := range cm.canon {
+			if bitutil.NearEqual(cm.canon[c].rep, rep, cm.md) {
+				return int32(c)
+			}
+		}
+		return -1
+	}
+	best := int32(-1)
+	mask := uint32(len(cm.segTable) - 1)
+	for s := 0; s < cm.segs; s++ {
+		lo, hi := cm.segBounds(s)
+		h := segHash(s, rep[lo:hi])
+		for i := h & mask; cm.segTable[i] != 0; i = (i + 1) & mask {
+			if uint32(cm.segTable[i]) != h {
+				continue
+			}
+			c := int32(cm.segTable[i]>>32) - 1
+			if best >= 0 && c >= best {
+				continue
+			}
+			if bitutil.NearEqual(cm.canon[c].rep, rep, cm.md) {
+				best = c
+			}
+		}
+	}
+	return best
+}
+
+func (cm *canonMerger) insertSegs(rep []byte, c int32) {
+	mask := uint32(len(cm.segTable) - 1)
+	for s := 0; s < cm.segs; s++ {
+		lo, hi := cm.segBounds(s)
+		h := segHash(s, rep[lo:hi])
+		i := h & mask
+		for cm.segTable[i] != 0 {
+			i = (i + 1) & mask
+		}
+		cm.segTable[i] = uint64(h) | uint64(c+1)<<32
+	}
 }
 
 // InferStride estimates the key-reuse period, in blocks, from the positions
@@ -264,7 +499,19 @@ func (r *MineResult) Coverage(stride int) float64 {
 	if stride <= 0 {
 		return 0
 	}
-	return float64(len(r.KeysByResidue(stride))) / float64(stride)
+	// Equivalent to len(KeysByResidue(stride))/stride, without building the
+	// per-residue map: count residues with at least one sighting.
+	covered := make([]bool, stride)
+	n := 0
+	for _, k := range r.Keys {
+		for _, p := range k.Positions {
+			if res := p % stride; !covered[res] {
+				covered[res] = true
+				n++
+			}
+		}
+	}
+	return float64(n) / float64(stride)
 }
 
 func gcd(a, b int) int {

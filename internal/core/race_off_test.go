@@ -1,0 +1,6 @@
+//go:build !race
+
+package core
+
+// raceEnabled is false in ordinary test builds; see race_on_test.go.
+const raceEnabled = false

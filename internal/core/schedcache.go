@@ -1,0 +1,113 @@
+package core
+
+import (
+	"sync"
+
+	"coldboot/internal/aes"
+)
+
+// defaultScheduleCacheEntries bounds a zero-configured cache. A dump yields
+// at most a few thousand distinct candidate masters (anchors plus shift
+// aliases); 4096 entries covers real workloads while capping worst-case
+// memory at ~1 MiB of schedule bytes.
+const defaultScheduleCacheEntries = 4096
+
+// ScheduleCache memoizes expanded AES key schedules by master-key bytes.
+// The hunt re-sights the same candidate master once per anchor window (a
+// 240-byte AES-256 table spans four blocks, each contributing many litmus
+// hits), and a campaign re-sights it once per shard; expanding the schedule
+// once and sharing the bytes removes the per-candidate ExpandKeyBytes from
+// the verify path entirely.
+//
+// Returned schedules are READ-ONLY and shared between callers — the same
+// contract as Scrambler.KeyAt and the ResidueDirectory tables. A nil
+// *ScheduleCache is valid and simply expands on every call.
+//
+// The cache is safe for concurrent use. It is bounded: when full, the next
+// insert clears it wholesale (the working set is tiny and rebuilt in a few
+// expansions, so eviction bookkeeping would cost more than it saves).
+type ScheduleCache struct {
+	mu  sync.RWMutex
+	max int
+	m   map[string][]byte
+}
+
+// NewScheduleCache returns a cache bounded to maxEntries schedules
+// (maxEntries <= 0 selects the default bound).
+func NewScheduleCache(maxEntries int) *ScheduleCache {
+	if maxEntries <= 0 {
+		maxEntries = defaultScheduleCacheEntries
+	}
+	return &ScheduleCache{max: maxEntries, m: make(map[string][]byte)}
+}
+
+// Schedule returns the expanded schedule bytes for master, computing and
+// caching them on first sight. The returned slice is shared: callers must
+// not modify it.
+func (c *ScheduleCache) Schedule(master []byte) []byte {
+	if c == nil {
+		return aes.ExpandKeyBytes(master)
+	}
+	c.mu.RLock()
+	s, ok := c.m[string(master)] // direct index: no key allocation on lookup
+	c.mu.RUnlock()
+	if ok {
+		return s
+	}
+	sched := aes.ExpandKeyBytes(master)
+	c.mu.Lock()
+	if cur, ok := c.m[string(master)]; ok {
+		c.mu.Unlock()
+		return cur
+	}
+	if len(c.m) >= c.max {
+		clear(c.m)
+	}
+	c.m[string(master)] = sched
+	c.mu.Unlock()
+	return sched
+}
+
+// Lookup returns the cached schedule for master, or (nil, false). Unlike
+// Schedule it never computes or stores, so a miss costs nothing — the hunt
+// uses it on the candidate path, where the overwhelming majority of masters
+// are garbage derived from application data and will never be seen again:
+// caching those would evict the real working set and pay an allocation per
+// candidate.
+func (c *ScheduleCache) Lookup(master []byte) ([]byte, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.RLock()
+	s, ok := c.m[string(master)] // direct index: no key allocation on lookup
+	c.mu.RUnlock()
+	return s, ok
+}
+
+// Insert caches a copy of an already-expanded schedule for master. Callers
+// use it to promote a candidate into the cache once it has proven itself
+// (verification passed), typically after expanding into scratch via Lookup's
+// miss path.
+func (c *ScheduleCache) Insert(master, sched []byte) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	if _, ok := c.m[string(master)]; !ok {
+		if len(c.m) >= c.max {
+			clear(c.m)
+		}
+		c.m[string(master)] = append([]byte{}, sched...)
+	}
+	c.mu.Unlock()
+}
+
+// Len reports the number of cached schedules (for tests and metrics).
+func (c *ScheduleCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
+}

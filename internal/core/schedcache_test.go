@@ -1,0 +1,123 @@
+package core
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"coldboot/internal/aes"
+)
+
+// TestScheduleCacheMatchesExpand pins the cache to the plain expansion for
+// every variant and both entry paths (Schedule computes-and-stores, Insert
+// promotes a scratch expansion).
+func TestScheduleCacheMatchesExpand(t *testing.T) {
+	c := NewScheduleCache(0)
+	for _, v := range []aes.Variant{aes.AES128, aes.AES192, aes.AES256} {
+		master := testMaster(int64(v.KeyBytes()), v.KeyBytes())
+		want := aes.ExpandKeyBytes(master)
+		if got := c.Schedule(master); !bytes.Equal(got, want) {
+			t.Fatalf("%v: Schedule mismatch", v)
+		}
+		// Second sight must hit.
+		if got, ok := c.Lookup(master); !ok || !bytes.Equal(got, want) {
+			t.Fatalf("%v: Lookup after Schedule: ok=%v", v, ok)
+		}
+	}
+
+	master := testMaster(99, 32)
+	if _, ok := c.Lookup(master); ok {
+		t.Fatal("Lookup hit for never-inserted master")
+	}
+	scratch := aes.ExpandKeyBytes(master)
+	c.Insert(master, scratch)
+	// Insert must copy: clobbering the caller's buffer must not reach the
+	// cached bytes (the hunt reuses its scratch immediately after Insert).
+	want := append([]byte{}, scratch...)
+	for i := range scratch {
+		scratch[i] = 0
+	}
+	if got, ok := c.Lookup(master); !ok || !bytes.Equal(got, want) {
+		t.Fatal("Insert did not copy the schedule")
+	}
+}
+
+// TestScheduleCacheNilReceiver pins the documented degraded mode: a nil
+// cache expands on every Schedule call and never hits.
+func TestScheduleCacheNilReceiver(t *testing.T) {
+	var c *ScheduleCache
+	master := testMaster(7, 32)
+	if got := c.Schedule(master); !bytes.Equal(got, aes.ExpandKeyBytes(master)) {
+		t.Fatal("nil cache Schedule mismatch")
+	}
+	if _, ok := c.Lookup(master); ok {
+		t.Fatal("nil cache Lookup hit")
+	}
+	c.Insert(master, aes.ExpandKeyBytes(master)) // must not panic
+	if c.Len() != 0 {
+		t.Fatal("nil cache Len != 0")
+	}
+}
+
+// TestScheduleCacheBound pins clear-on-full: the cache never exceeds its
+// bound, and entries remain correct across wholesale clears.
+func TestScheduleCacheBound(t *testing.T) {
+	const max = 8
+	c := NewScheduleCache(max)
+	for i := 0; i < 10*max; i++ {
+		master := testMaster(int64(1000+i), 32)
+		got := c.Schedule(master)
+		if !bytes.Equal(got, aes.ExpandKeyBytes(master)) {
+			t.Fatalf("entry %d mismatch", i)
+		}
+		if n := c.Len(); n > max {
+			t.Fatalf("cache grew to %d entries (bound %d)", n, max)
+		}
+	}
+}
+
+// TestScheduleCacheConcurrent hammers one small cache from many goroutines
+// with overlapping masters, mixing all three entry points so -race can see
+// every lock interleaving, including clear-on-full. Every returned schedule
+// must be correct regardless of interleaving — the cache's read-only
+// contract means a racing clear can only cause recomputation, never
+// corruption.
+func TestScheduleCacheConcurrent(t *testing.T) {
+	const (
+		workers = 8
+		rounds  = 400
+		masters = 24
+	)
+	c := NewScheduleCache(16) // smaller than the working set: forces clears
+	want := make([][]byte, masters)
+	keys := make([][]byte, masters)
+	for i := range keys {
+		keys[i] = testMaster(int64(2000+i), 32)
+		want[i] = aes.ExpandKeyBytes(keys[i])
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				i := (w*rounds + r) % masters
+				switch r % 3 {
+				case 0:
+					if got := c.Schedule(keys[i]); !bytes.Equal(got, want[i]) {
+						t.Errorf("worker %d: Schedule(%d) corrupt", w, i)
+						return
+					}
+				case 1:
+					if got, ok := c.Lookup(keys[i]); ok && !bytes.Equal(got, want[i]) {
+						t.Errorf("worker %d: Lookup(%d) corrupt", w, i)
+						return
+					}
+				case 2:
+					c.Insert(keys[i], want[i])
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

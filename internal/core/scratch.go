@@ -1,0 +1,58 @@
+package core
+
+import "coldboot/internal/aes"
+
+// Hot-path scratch state. Every buffer the hunt's per-candidate work needs
+// lives here, sized for the worst case (AES-256: 60 schedule words, 240
+// bytes), so the steady-state scan performs no per-block or per-candidate
+// allocations. Each hunt worker owns one huntScratch for its whole block
+// range; the embedded repairScratch is threaded into the repair and refine
+// stages, whose exported wrappers (RepairWindow, RepairWindowGround,
+// RefineMaster) declare their own on the stack.
+//
+// Ownership rule: a scratch is single-goroutine state. Functions taking a
+// *repairScratch may clobber every field; callers must copy out anything
+// they need before the next scratch-taking call. Return values documented
+// as scratch-backed (repairWindowScratch's master, refineMasterScratch's
+// master) alias rs.best and are stable only until the scratch is reused.
+
+// repairScratch backs one verify/repair/refine candidate evaluation.
+type repairScratch struct {
+	// work is the mutable copy of the descrambled block the flip loops edit.
+	work [BlockBytes]byte
+	// blockWords holds the full block's word view for consistency rechecks.
+	blockWords [BlockBytes / 4]uint32
+	// winWords holds one Nk-word window (Nk <= 8).
+	winWords [8]uint32
+	// master holds the candidate master being scored; best holds the best
+	// master found so far (returned to the caller).
+	master [32]byte
+	best   [32]byte
+	// sched holds the expansion of the candidate currently being scored;
+	// ref holds the reference expansion refinement diffs against.
+	sched [aes.MaxScheduleBytes]byte
+	ref   [aes.MaxScheduleBytes]byte
+	// refWords is the reference schedule in word form (refine phase 2).
+	refWords [aes.MaxScheduleWords]uint32
+	// observed holds the descrambled dump bytes over the schedule region and
+	// observedWords their word view.
+	observed      [aes.MaxScheduleBytes]byte
+	observedWords [aes.MaxScheduleWords]uint32
+	// suspects accumulates ground-repair suspect bit positions (grown once,
+	// reused across hits).
+	suspects []int
+}
+
+// huntScratch is one hunt worker's reusable state.
+type huntScratch struct {
+	// descrambled receives stored ^ key for the block under test.
+	descrambled [BlockBytes]byte
+	// words is the descrambled block's word view (what the litmus scans).
+	words [BlockBytes / 4]uint32
+	// hits accumulates the block's schedule hits (grown once, reused).
+	hits []ScheduleHit
+	// master receives the candidate master derived from a hit window.
+	master [32]byte
+	// repair backs the verify/repair/refine work for this worker's hits.
+	repair repairScratch
+}

@@ -181,6 +181,10 @@ func scanRange(image []byte, v aes.Variant, tolerance, lo, hi int) []Finding {
 		return nil
 	}
 	var out []Finding
+	// Full-check expansion buffer, hoisted so candidates that pass the
+	// quick filter (~1 per 2^20 offsets of random data, but every offset of
+	// adversarial data) expand into scratch instead of allocating.
+	var schedBuf [aes.MaxScheduleBytes]byte
 	w0 := beWord(image[lo:])              // first 4 key bytes
 	prev := beWord(image[lo+keyBytes-4:]) // last 4 key bytes
 	stored := beWord(image[lo+keyBytes:]) // first 4 schedule-tail bytes
@@ -190,7 +194,7 @@ func scanRange(image []byte, v aes.Variant, tolerance, lo, hi int) []Finding {
 		first := w0 ^ subWordRot(prev) ^ 0x01000000 // rcon(1)
 		if bits.OnesCount32(first^stored) <= 4 {
 			// Full check: expand and compare the whole tail.
-			sched := aes.ExpandKeyBytes(image[off : off+keyBytes])
+			sched := aes.ExpandKeyBytesInto(schedBuf[:0], image[off:off+keyBytes])
 			d := 0
 			ok := true
 			for i := keyBytes; i < schedBytes; i++ {

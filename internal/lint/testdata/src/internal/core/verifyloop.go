@@ -1,0 +1,137 @@
+// verifyloop.go is the allocloop fixture for per-candidate verify/repair
+// retry loops: loops that re-invoke a verification kernel (scheduleScore,
+// predictAndCompare, xorDistance — stubbed here with the real names) must
+// not allocate per attempt.
+package core
+
+// scheduleScore stubs the hunt's verification kernel (matched by name).
+func scheduleScore(dump, sched []byte) float64 {
+	if len(dump) < len(sched) {
+		return 0
+	}
+	d := 0
+	for i := range sched {
+		d += int(dump[i] ^ sched[i])
+	}
+	return 1 - float64(d)/float64(len(sched)*255)
+}
+
+// xorDistance stubs the per-block distance kernel (matched by name).
+func xorDistance(a, b []byte) int {
+	d := 0
+	for i := range a {
+		d += int(a[i] ^ b[i])
+	}
+	return d
+}
+
+// tryCandidate reaches the kernel through one helper hop.
+func tryCandidate(dump, sched []byte) float64 {
+	return scheduleScore(dump, sched)
+}
+
+func expand(dst, master []byte) {
+	for i := range dst {
+		dst[i] = master[i%len(master)]
+	}
+}
+
+// repairRetry re-expands into a fresh buffer on every flip attempt.
+func repairRetry(dump, master []byte) float64 {
+	best := 0.0
+	for bit := 0; bit < 256; bit++ {
+		sched := make([]byte, 240) // want allocloop
+		expand(sched, master)
+		if s := tryCandidate(dump, sched); s > best {
+			best = s
+		}
+	}
+	return best
+}
+
+// repairRetryFresh snapshots the candidate through a fresh literal per
+// attempt instead of reusing a scratch copy.
+func repairRetryFresh(dump, master []byte) float64 {
+	best := 0.0
+	sched := make([]byte, 240)
+	for bit := 0; bit < 256; bit++ {
+		cand := append([]byte{}, master...) // want allocloop
+		expand(sched, cand)
+		if s := scheduleScore(dump, sched); s > best {
+			best = s
+		}
+	}
+	return best
+}
+
+// distanceRetry reaches a different kernel (xorDistance) directly.
+func distanceRetry(probe, ref []byte) int {
+	best := 1 << 30
+	for shift := 0; shift < 64; shift++ {
+		buf := make([]byte, 64) // want allocloop
+		copy(buf, probe)
+		if d := xorDistance(buf, ref); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// repairRetryHoisted reuses one scratch buffer across attempts: not a
+// finding.
+func repairRetryHoisted(dump, master []byte) float64 {
+	sched := make([]byte, 240)
+	best := 0.0
+	for bit := 0; bit < 256; bit++ {
+		expand(sched, master)
+		if s := tryCandidate(dump, sched); s > best {
+			best = s
+		}
+	}
+	return best
+}
+
+// outerHoist allocates in the loop ABOVE the retry loop — the sanctioned
+// hoist pattern. The outer loop's own body never calls a kernel (the call
+// sits in the nested retry loop, a separate context), so neither loop is a
+// finding.
+func outerHoist(dump, master []byte) float64 {
+	best := 0.0
+	for w := 0; w < 8; w++ {
+		buf := make([]byte, 240)
+		for bit := 0; bit < 32; bit++ {
+			expand(buf, master)
+			if s := scheduleScore(dump, buf); s > best {
+				best = s
+			}
+		}
+	}
+	return best
+}
+
+// scanStage contains a dump-block scan that invokes the kernel: it is the
+// coarse-grained stage boundary, so kernel reachability must not propagate
+// through it.
+func scanStage(dump []byte) float64 {
+	best := 0.0
+	for b := 0; b+240 <= len(dump); b += 64 {
+		sub := dump[b : b+240]
+		if s := scheduleScore(sub, sub[:240]); s > best {
+			best = s
+		}
+	}
+	return best
+}
+
+// campaignLoop re-runs the whole scan stage per shard. Its per-iteration
+// allocation amortizes over a full dump scan — shard-grained, not
+// per-candidate: not a finding.
+func campaignLoop(dump []byte) []float64 {
+	var out []float64
+	for shard := 0; shard < 4; shard++ {
+		tag := make([]byte, 8)
+		tag[0] = byte(shard)
+		out = append(out, scanStage(dump))
+	}
+	return out
+}
