@@ -33,9 +33,13 @@ import (
 	"coldboot"
 	"coldboot/internal/core"
 	"coldboot/internal/dumpfile"
+	"coldboot/internal/format"
 	"coldboot/internal/machine"
 	"coldboot/internal/obs"
 	"coldboot/internal/profiles"
+
+	// Register every target-format scanner so -formats can name them.
+	_ "coldboot/internal/format/all"
 )
 
 func main() {
@@ -52,6 +56,8 @@ func main() {
 	list := flag.Bool("list", false, "list Table I CPU models and exit")
 	captureTo := flag.String("capture", "", "capture the dump to this file instead of attacking")
 	analyzeFrom := flag.String("analyze", "", "attack a previously captured dump file (streamed, not loaded whole)")
+	formats := flag.String("formats", "", "comma-separated target formats to hunt (default all; see -list-formats)")
+	listFormats := flag.Bool("list-formats", false, "list registered target formats and exit")
 	timeout := flag.Duration("timeout", 0, "abort the attack after this long (0 = no limit); partial results are reported")
 	progress := flag.Bool("progress", false, "print live attack progress to stderr")
 	traceOut := flag.String("trace", "", "write per-stage wall time and candidate counters as JSON to this file")
@@ -67,6 +73,14 @@ func main() {
 		}
 		return
 	}
+	if *listFormats {
+		fmt.Println("target formats:")
+		for _, n := range core.KnownFormats() {
+			fmt.Printf("  %s\n", n)
+		}
+		return
+	}
+	formatList := format.ParseSpec(*formats)
 
 	var prot coldboot.MemoryProtection
 	switch *protection {
@@ -102,7 +116,7 @@ func main() {
 		// Scripting contract (see README): 0 = keys recovered, 3 = clean
 		// run but no keys, 1 = errors. The traces and profiles are written
 		// before exiting (os.Exit skips deferred calls).
-		code := analyzeFile(ctx, *analyzeFrom, *repair, tracer)
+		code := analyzeFile(ctx, *analyzeFrom, *repair, formatList, tracer)
 		writeTrace(collector, *traceOut)
 		writeChromeTrace(collector, *chromeOut)
 		stopProfiles(prof)
@@ -120,6 +134,7 @@ func main() {
 		Protection:        prot,
 		Seed:              *seed,
 		RepairFlips:       *repair,
+		Formats:           formatList,
 		Tracer:            tracer,
 	}
 
@@ -272,7 +287,7 @@ func captureFile(s coldboot.Scenario, path string) {
 // one master key was recovered (even from an interrupted run), 3 for a
 // clean run that found no keys, 1 for errors (including a run interrupted
 // before any key surfaced).
-func analyzeFile(ctx context.Context, path string, repair int, tracer obs.Tracer) int {
+func analyzeFile(ctx context.Context, path string, repair int, formats []string, tracer obs.Tracer) int {
 	f, err := dumpfile.Open(path)
 	if err != nil {
 		log.Print(err)
@@ -292,7 +307,7 @@ func analyzeFile(ctx context.Context, path string, repair int, tracer obs.Tracer
 		return 1
 	}
 	res, runErr := core.RunCampaignSource(ctx, src, core.CampaignConfig{
-		Attack: core.Config{RepairFlips: repair, Tracer: tracer},
+		Attack: core.Config{RepairFlips: repair, Formats: formats, Tracer: tracer},
 	})
 	if runErr != nil {
 		if res == nil {
@@ -301,8 +316,11 @@ func analyzeFile(ctx context.Context, path string, repair int, tracer obs.Tracer
 		}
 		fmt.Fprintf(os.Stderr, "attack interrupted (%v); reporting partial results\n", runErr)
 	}
+	for _, v := range res.Volumes {
+		fmt.Printf("volume header  %s at %#x (uuid %s)\n", v.Format, v.Offset, v.UUID)
+	}
 	if len(res.Keys) == 0 {
-		fmt.Println("no AES master keys recovered")
+		fmt.Println("no master keys recovered")
 		if runErr != nil {
 			return 1
 		}
@@ -310,7 +328,11 @@ func analyzeFile(ctx context.Context, path string, repair int, tracer obs.Tracer
 	}
 	fmt.Printf("%d master keys recovered:\n", len(res.Keys))
 	for i, k := range res.Keys {
-		fmt.Printf("  [%d] %x (score %.3f, table at %#x)\n", i, k.Master, k.Score, k.TableStart)
+		tag := k.Format
+		if k.Volume != "" {
+			tag += " " + k.Volume
+		}
+		fmt.Printf("  [%d] %x (%s, score %.3f, table at %#x)\n", i, k.Master, tag, k.Score, k.TableStart)
 	}
 	return 0
 }

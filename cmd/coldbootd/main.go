@@ -40,6 +40,10 @@ import (
 	"time"
 
 	"coldboot/internal/service"
+
+	// Register every target-format scanner (aesxts, chacha20, luks2) so
+	// submitted jobs hunt all of them unless ?formats= narrows the set.
+	_ "coldboot/internal/format/all"
 )
 
 func main() {
@@ -49,6 +53,7 @@ func main() {
 	maxUpload := flag.Int64("max-upload", service.DefaultMaxUploadBytes, "largest accepted upload in bytes")
 	dataDir := flag.String("data-dir", "", "directory for spooled uploads (default: the OS temp dir)")
 	retries := flag.Int("retries", 1, "total attempts for transiently failing jobs")
+	shardBlocks := flag.Int("shard-blocks", 0, "campaign shard size in blocks (0 = default; small values yield fine-grained progress and cancellation)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Minute, "how long shutdown waits for running jobs")
 	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening (for scripts using :0)")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = profiling off)")
@@ -56,18 +61,19 @@ func main() {
 
 	log.SetFlags(0)
 	log.SetPrefix("coldbootd: ")
-	if err := run(*listen, *workers, *jobTimeout, *maxUpload, *dataDir, *retries, *drainTimeout, *addrFile, *pprofAddr); err != nil {
+	if err := run(*listen, *workers, *jobTimeout, *maxUpload, *dataDir, *retries, *shardBlocks, *drainTimeout, *addrFile, *pprofAddr); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(listen string, workers int, jobTimeout time.Duration, maxUpload int64, dataDir string, retries int, drainTimeout time.Duration, addrFile, pprofAddr string) error {
+func run(listen string, workers int, jobTimeout time.Duration, maxUpload int64, dataDir string, retries, shardBlocks int, drainTimeout time.Duration, addrFile, pprofAddr string) error {
 	svc := service.New(service.Config{
 		Workers:        workers,
 		JobTimeout:     jobTimeout,
 		MaxUploadBytes: maxUpload,
 		DataDir:        dataDir,
 		MaxAttempts:    retries,
+		ShardBlocks:    shardBlocks,
 	})
 
 	ln, err := net.Listen("tcp", listen)

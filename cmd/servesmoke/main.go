@@ -1,10 +1,13 @@
 // Command servesmoke is the end-to-end smoke test behind `make
 // serve-smoke`: it builds coldbootd, boots it on a random port, submits a
-// small scrambled+decayed fixture dump over HTTP, tails the job's live
-// NDJSON event stream (including a cursor resume), polls the job to
-// completion, asserts the planted master key is recovered (and that the
-// metrics endpoint saw the work), then SIGTERMs the daemon and requires a
-// clean drain (exit 0).
+// multi-format fixture dump (a planted VeraCrypt AES-256 master, a LUKS2
+// VMK schedule pair with its volume header, and a raw ChaCha20 state)
+// over HTTP, tails the job's live NDJSON event stream (including a cursor
+// resume), polls the job's per-format progress to completion, asserts
+// every planted key comes back with the right format tag (and that the
+// metrics endpoint saw the per-format work), DELETEs a second job mid-run
+// and requires partial per-format results, then SIGTERMs the daemon and
+// requires a clean drain (exit 0).
 //
 // It exercises the real binary over a real socket — the layer the
 // in-process httptest suite cannot reach (flag parsing, signal handling,
@@ -14,6 +17,7 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"encoding/binary"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
@@ -30,9 +34,24 @@ import (
 	"time"
 
 	"coldboot/internal/aes"
+	"coldboot/internal/chacha"
 	"coldboot/internal/dumpfile"
+	"coldboot/internal/format/luks2"
 	"coldboot/internal/scramble"
 	"coldboot/internal/workload"
+)
+
+// Planted-target layout. The VeraCrypt schedule and ChaCha state sit in
+// the first few shards (-shard-blocks 2048 below) so the cancellation job
+// has recovered them before the DELETE lands.
+const (
+	blockBytes  = 64
+	veraStart   = 100*blockBytes + 32
+	chachaStart = 2100*blockBytes + 16
+	luksStart   = 9000*blockBytes + 16
+	luksTweak   = luksStart + 240
+	headerStart = 20000 * blockBytes
+	volumeUUID  = "5c01db00-dead-beef-cafe-123456789abc"
 )
 
 func main() {
@@ -59,14 +78,16 @@ func run() error {
 		return fmt.Errorf("building coldbootd: %w", err)
 	}
 
-	container, master := buildFixture()
-	log.Printf("fixture: %d-byte container, planted master %x...", len(container), master[:4])
+	fx := buildFixture(77, 2<<20)
+	log.Printf("fixture: %d-byte container, planted vera %x.../luks pair/chacha %x...",
+		len(fx.container), fx.vera[:4], fx.chachaKey[:4])
 
 	addrFile := filepath.Join(workDir, "addr")
 	daemon := exec.Command(bin,
 		"-listen", "127.0.0.1:0",
 		"-addr-file", addrFile,
 		"-workers", "1",
+		"-shard-blocks", "2048",
 		"-data-dir", workDir,
 		"-drain-timeout", "2m",
 	)
@@ -86,8 +107,35 @@ func run() error {
 	base := "http://" + addr
 	log.Printf("daemon up at %s", base)
 
-	// Submit the fixture and follow it to completion.
-	resp, err := http.Post(base+"/v1/jobs?repair=1", "application/octet-stream", bytes.NewReader(container))
+	if err := multiFormatJob(base, fx); err != nil {
+		return err
+	}
+	if err := cancelJob(base); err != nil {
+		return err
+	}
+
+	// Graceful shutdown: SIGTERM must drain and exit 0.
+	log.Printf("sending SIGTERM...")
+	if err := daemon.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	select {
+	case err := <-exited:
+		if err != nil {
+			return fmt.Errorf("daemon exited uncleanly after SIGTERM: %w", err)
+		}
+	case <-time.After(2 * time.Minute):
+		return fmt.Errorf("daemon did not exit within 2m of SIGTERM")
+	}
+	log.Printf("daemon drained and exited 0")
+	return nil
+}
+
+// multiFormatJob drives the headline path: one submitted dump, every
+// format recovered and tagged in a single pass, with per-format counts on
+// the status document and the metrics endpoint.
+func multiFormatJob(base string, fx fixture) error {
+	resp, err := http.Post(base+"/v1/jobs?repair=1", "application/octet-stream", bytes.NewReader(fx.container))
 	if err != nil {
 		return fmt.Errorf("submitting dump: %w", err)
 	}
@@ -114,30 +162,27 @@ func run() error {
 	}
 	log.Printf("live stream: %d events, detached at cursor %d", nLive, lastSeq)
 
-	deadline := time.Now().Add(3 * time.Minute)
-	for {
-		if time.Now().After(deadline) {
-			return fmt.Errorf("job %s did not finish in time; last status %v", id, doc)
-		}
-		resp, err := http.Get(base + "/v1/jobs/" + id)
-		if err != nil {
-			return fmt.Errorf("polling: %w", err)
-		}
-		if doc, err = decode(resp); err != nil {
-			return err
-		}
-		state, _ := doc["state"].(string)
-		if state == "done" {
-			break
-		}
-		if state == "failed" || state == "canceled" {
-			return fmt.Errorf("job landed in %s: %v", state, doc["error"])
-		}
-		time.Sleep(100 * time.Millisecond)
+	doc, err = pollUntilDone(base, id)
+	if err != nil {
+		return err
 	}
 	log.Printf("job done (progress %v)", doc["progress"])
 
-	// The recovered master must match the planted key bit for bit.
+	// Per-format tallies on the status document (the job's progress view).
+	formats, _ := doc["formats"].(map[string]any)
+	for name, want := range map[string]float64{
+		"aesxts.candidates":   1,
+		"luks2.candidates":    2,
+		"chacha20.candidates": 1,
+		"luks2.volumes":       1,
+	} {
+		if got, _ := formats[name].(float64); got != want {
+			return fmt.Errorf("status formats[%q] = %v, want %v (have %v)", name, formats[name], want, formats)
+		}
+	}
+	log.Printf("status reports per-format counts: %v", formats)
+
+	// Every planted key comes back with the right format tag.
 	resp, err = http.Get(base + "/v1/jobs/" + id + "/result?reveal=keys")
 	if err != nil {
 		return err
@@ -147,14 +192,35 @@ func run() error {
 		return err
 	}
 	keys, _ := result["keys"].([]any)
-	if len(keys) == 0 {
-		return fmt.Errorf("no keys recovered: %v", result)
+	masters := map[string]map[string]bool{} // format -> hex master set
+	for _, k := range keys {
+		km, _ := k.(map[string]any)
+		f, _ := km["format"].(string)
+		m, _ := km["master"].(string)
+		if masters[f] == nil {
+			masters[f] = map[string]bool{}
+		}
+		masters[f][m] = true
+		if f == "luks2" {
+			if uuid, _ := km["volume"].(string); uuid != volumeUUID {
+				return fmt.Errorf("luks2 key volume %q, want %q", uuid, volumeUUID)
+			}
+		}
 	}
-	got, _ := keys[0].(map[string]any)["master"].(string)
-	if got != hex.EncodeToString(master) {
-		return fmt.Errorf("recovered master %s, want %s", got, hex.EncodeToString(master))
+	if !masters["aesxts"][hex.EncodeToString(fx.vera)] {
+		return fmt.Errorf("vera master not recovered under aesxts: %v", masters)
 	}
-	log.Printf("recovered the planted master key")
+	if !masters["luks2"][hex.EncodeToString(fx.luksData)] || !masters["luks2"][hex.EncodeToString(fx.luksTweak)] {
+		return fmt.Errorf("luks2 VMK pair not recovered: %v", masters)
+	}
+	if !masters["chacha20"][hex.EncodeToString(fx.chachaKey)] {
+		return fmt.Errorf("chacha key not recovered under chacha20: %v", masters)
+	}
+	vols, _ := result["volumes"].([]any)
+	if len(vols) != 1 {
+		return fmt.Errorf("volumes = %v, want the sighted LUKS2 header", vols)
+	}
+	log.Printf("all three formats recovered and tagged (%d keys, 1 volume)", len(keys))
 
 	// Resume the event stream from the recorded cursor: each surviving
 	// event arrives exactly once with a sequence number past the cursor,
@@ -169,7 +235,8 @@ func run() error {
 	}
 	log.Printf("resumed stream: %d more events through seq %d, end line seen", nResumed, endSeq)
 
-	// The metrics endpoint must have seen the pool and the pipeline.
+	// The metrics endpoint must have seen the pool, the pipeline, and the
+	// per-format counters.
 	resp, err = http.Get(base + "/metrics")
 	if err != nil {
 		return err
@@ -182,52 +249,186 @@ func run() error {
 	for _, want := range []string{
 		"coldbootd_jobs_done_total 1",
 		"coldbootd_pipeline_stage_wall_seconds",
-		// The native histograms: job latency from the pool, per-chunk scan
-		// latency from the hunt stage.
 		"coldbootd_pipeline_jobs_run_seconds_bucket",
 		"coldbootd_pipeline_hunt_chunk_seconds_count",
+		`{name="format.aesxts.candidates"} 1`,
+		`{name="format.luks2.candidates"} 2`,
+		`{name="format.chacha20.candidates"} 1`,
+		`{name="format.luks2.volumes"} 1`,
 	} {
 		if !strings.Contains(string(metrics), want) {
 			return fmt.Errorf("metrics missing %q", want)
 		}
 	}
-
-	// Graceful shutdown: SIGTERM must drain and exit 0.
-	log.Printf("sending SIGTERM...")
-	if err := daemon.Process.Signal(syscall.SIGTERM); err != nil {
-		return err
-	}
-	select {
-	case err := <-exited:
-		if err != nil {
-			return fmt.Errorf("daemon exited uncleanly after SIGTERM: %w", err)
-		}
-	case <-time.After(2 * time.Minute):
-		return fmt.Errorf("daemon did not exit within 2m of SIGTERM")
-	}
-	log.Printf("daemon drained and exited 0")
+	log.Printf("metrics report per-format counters")
 	return nil
 }
 
-// buildFixture returns a dump container with an AES-256 schedule planted
-// in a scrambled image under 0.1% bit decay, plus the planted master key.
-func buildFixture() ([]byte, []byte) {
-	const size = 2 << 20
-	const tableStart = 4096*64 + 256
-	rng := rand.New(rand.NewSource(77))
-	master := make([]byte, 32)
-	rng.Read(master)
+// cancelJob submits a larger fixture, DELETEs it after the first shards
+// complete, and requires a partial result that still carries tagged
+// per-format findings from the finished shards.
+func cancelJob(base string) error {
+	// 64 MiB: at the gated >=60 MB/s the scan runs for a sub-second
+	// stretch, leaving a wide window for the DELETE to land mid-campaign
+	// (an 8 MiB job is over in ~100ms — cancellation would race completion).
+	fx := buildFixture(78, 64<<20)
+	resp, err := http.Post(base+"/v1/jobs?repair=1", "application/octet-stream", bytes.NewReader(fx.container))
+	if err != nil {
+		return fmt.Errorf("submitting cancel-job dump: %w", err)
+	}
+	doc, err := decode(resp)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusCreated {
+		return fmt.Errorf("submit: HTTP %d: %v", resp.StatusCode, doc)
+	}
+	id, _ := doc["id"].(string)
+	log.Printf("cancel job %s submitted (64 MiB)", id)
+
+	// Wait for the early shards (holding the VeraCrypt and ChaCha targets)
+	// to finish, then cancel mid-campaign.
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("cancel job never progressed: %v", doc)
+		}
+		resp, err := http.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			return err
+		}
+		if doc, err = decode(resp); err != nil {
+			return err
+		}
+		if state, _ := doc["state"].(string); state == "done" {
+			return fmt.Errorf("cancel job finished before the DELETE landed; shrink -shard-blocks")
+		}
+		if done, _ := doc["progress_done"].(float64); done >= 4096 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	req, err := http.NewRequest(http.MethodDelete, base+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return err
+	}
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	if doc, err = decode(resp); err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("DELETE: HTTP %d: %v", resp.StatusCode, doc)
+	}
+
+	deadline = time.Now().Add(2 * time.Minute)
+	for {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("cancel job never reached canceled: %v", doc)
+		}
+		resp, err := http.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			return err
+		}
+		if doc, err = decode(resp); err != nil {
+			return err
+		}
+		if state, _ := doc["state"].(string); state == "canceled" {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	resp, err = http.Get(base + "/v1/jobs/" + id + "/result?reveal=keys")
+	if err != nil {
+		return err
+	}
+	result, err := decode(resp)
+	if err != nil {
+		return err
+	}
+	if partial, _ := result["partial"].(bool); !partial {
+		return fmt.Errorf("canceled job's result not marked partial: %v", result)
+	}
+	formats, _ := result["formats"].(map[string]any)
+	if n, _ := formats["aesxts"].(float64); n < 1 {
+		return fmt.Errorf("partial result lost the early aesxts finding: %v", result)
+	}
+	keys, _ := result["keys"].([]any)
+	found := false
+	for _, k := range keys {
+		km, _ := k.(map[string]any)
+		if km["format"] == "aesxts" && km["master"] == hex.EncodeToString(fx.vera) {
+			found = true
+		}
+	}
+	if !found {
+		return fmt.Errorf("partial result missing the planted vera master: %v", keys)
+	}
+	log.Printf("DELETE mid-run kept partial per-format results (%d keys, formats %v)", len(keys), formats)
+	return nil
+}
+
+// fixture is one uploadable multi-format dump container plus its planted
+// ground truth.
+type fixture struct {
+	container []byte
+	vera      []byte
+	luksData  []byte
+	luksTweak []byte
+	chachaKey []byte
+}
+
+// buildFixture returns a dump container with every supported target
+// planted in a scrambled image under 0.05% bit decay. Decay spares the
+// strict-parse LUKS2 header and the raw ChaCha state (intact page-cache
+// pages); the AES schedules have repair machinery and take their lumps.
+func buildFixture(seed int64, size int) fixture {
+	rng := rand.New(rand.NewSource(seed))
+	key32 := func() []byte {
+		k := make([]byte, 32)
+		rng.Read(k)
+		return k
+	}
+	fx := fixture{vera: key32(), luksData: key32(), luksTweak: key32(), chachaKey: key32()}
 
 	plain := make([]byte, size)
-	if err := workload.Fill(plain, 77, workload.LightSystem); err != nil {
+	if err := workload.Fill(plain, seed, workload.LightSystem); err != nil {
 		log.Fatal(err)
 	}
-	copy(plain[tableStart:], aes.ExpandKeyBytes(master))
+	copy(plain[veraStart:], aes.ExpandKeyBytes(fx.vera))
+	copy(plain[luksStart:], aes.ExpandKeyBytes(fx.luksData))
+	copy(plain[luksTweak:], aes.ExpandKeyBytes(fx.luksTweak))
+	copy(plain[headerStart:], luks2.EncodeHeader(&luks2.Header{
+		Primary:     true,
+		Version:     2,
+		HeaderSize:  16384,
+		SeqID:       7,
+		Label:       "smoke",
+		ChecksumAlg: "sha256",
+		UUID:        volumeUUID,
+		Cipher:      "aes-xts-plain64",
+		KeyBytes:    64,
+	}))
+	st := plain[chachaStart : chachaStart+64]
+	for i, w := range chacha.Sigma() {
+		binary.LittleEndian.PutUint32(st[4*i:], w)
+	}
+	copy(st[16:48], fx.chachaKey)
+	binary.LittleEndian.PutUint32(st[48:], 1)
+
 	dump := make([]byte, size)
-	scramble.NewSkylakeDDR4(77*31+7).Scramble(dump, plain, 0)
-	for i := 0; i < size*8/1000; i++ {
+	scramble.NewSkylakeDDR4(uint64(seed)*31+7).Scramble(dump, plain, 0)
+	for i := 0; i < size*8/2000; i++ {
 		bit := rng.Intn(size * 8)
-		dump[bit/8] ^= 1 << uint(bit%8)
+		off := bit / 8
+		if (off >= headerStart && off < headerStart+luks2.BinHeaderBytes+1024) ||
+			(off >= chachaStart && off < chachaStart+64) {
+			continue
+		}
+		dump[off] ^= 1 << uint(bit%8)
 	}
 
 	var buf bytes.Buffer
@@ -235,7 +436,35 @@ func buildFixture() ([]byte, []byte) {
 	if err := dumpfile.Write(&buf, meta, dump); err != nil {
 		log.Fatal(err)
 	}
-	return buf.Bytes(), master
+	fx.container = buf.Bytes()
+	return fx
+}
+
+// pollUntilDone polls a job's status document until it lands in done,
+// failing fast on failed/canceled.
+func pollUntilDone(base, id string) (map[string]any, error) {
+	deadline := time.Now().Add(3 * time.Minute)
+	var doc map[string]any
+	for {
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("job %s did not finish in time; last status %v", id, doc)
+		}
+		resp, err := http.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			return nil, fmt.Errorf("polling: %w", err)
+		}
+		if doc, err = decode(resp); err != nil {
+			return nil, err
+		}
+		state, _ := doc["state"].(string)
+		if state == "done" {
+			return doc, nil
+		}
+		if state == "failed" || state == "canceled" {
+			return nil, fmt.Errorf("job landed in %s: %v", state, doc["error"])
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
 }
 
 // eventLine is the union of a data event (obs.Event, keyed by "seq") and

@@ -100,6 +100,12 @@ type Scenario struct {
 	Seed int64
 	// RepairFlips forwards to the attack (window repair under decay).
 	RepairFlips int
+	// Formats restricts the attack's target-format hunt (see core.Config.
+	// Formats): nil means every format registered in the running binary.
+	// Binaries opt into non-AES scanners by importing
+	// coldboot/internal/format/all; with an empty registry the attack is
+	// the classic AES-schedule hunt.
+	Formats []string
 	// SeedReuseBIOS models the vendor BIOSes of §III-B observation 2 that
 	// do NOT reset the scrambler seed each boot: the same keystream
 	// returns after reboot, so the dump descrambles itself.
@@ -398,6 +404,7 @@ func analyze(ctx context.Context, s Scenario, dump []byte, out *Outcome, vol *ve
 		res, err := core.AttackContext(ctx, dump, core.Config{
 			RepairFlips: s.RepairFlips,
 			GroundDump:  out.GroundDump,
+			Formats:     s.Formats,
 			Tracer:      s.Tracer,
 		})
 		if res == nil {

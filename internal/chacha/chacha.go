@@ -30,6 +30,11 @@ const (
 // sigma is the "expand 32-byte k" constant.
 var sigma = [4]uint32{0x61707865, 0x3320646e, 0x79622d32, 0x6b206574}
 
+// Sigma returns the "expand 32-byte k" state constants (words 0–3 of every
+// ChaCha state). The in-memory state scanner in internal/format/chacha20
+// keys its detection on these words.
+func Sigma() [4]uint32 { return sigma }
+
 // quarterRound is the ChaCha quarter round. The hardware model in
 // internal/engine counts this as two pipeline stages (two add-xor-rotate
 // halves), following the paper's synthesis.

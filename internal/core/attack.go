@@ -11,6 +11,7 @@ import (
 
 	"coldboot/internal/aes"
 	"coldboot/internal/bitutil"
+	"coldboot/internal/format"
 	"coldboot/internal/obs"
 )
 
@@ -19,6 +20,12 @@ type Config struct {
 	// Variant is the AES key size hunted for (default AES256, the
 	// VeraCrypt/TrueCrypt case).
 	Variant aes.Variant
+	// Formats selects which target formats to hunt in the single
+	// descramble pass: "aesxts" (the native AES-schedule hunt) plus any
+	// name registered in internal/format ("luks2", "chacha20", ...). Nil
+	// (the zero value) enables every known format. Unknown names fail the
+	// attack up front.
+	Formats []string
 	// LitmusTolerance is the scrambler-key litmus bit budget.
 	LitmusTolerance int
 	// AESTolerance is the schedule-prediction compare bit budget.
@@ -71,6 +78,11 @@ type Config struct {
 	// them under a per-job span). Nil means the attack starts its own
 	// trace tree on the Tracer.
 	Span obs.Span
+	// skipFormatFilter leaves shard-local results untagged and unfiltered:
+	// the campaign sets it so LUKS2 pair tagging and format filtering run
+	// once over the MERGED key list (a schedule pair can straddle a shard
+	// boundary, and dropping a lone half early would lose its twin's tag).
+	skipFormatFilter bool
 }
 
 func (c Config) withDefaults() Config {
@@ -95,13 +107,19 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// FoundKey is one recovered AES master key.
+// FoundKey is one recovered key.
 type FoundKey struct {
 	Master     []byte
-	Variant    aes.Variant
-	TableStart int     // dump byte offset of the in-memory key schedule
-	Score      float64 // full-schedule verification match fraction
-	Anchors    int     // number of independent anchor hits that agreed
+	Variant    aes.Variant // key size for AES-schedule formats; zero otherwise
+	TableStart int         // dump byte offset of the in-memory key material
+	Score      float64     // verification match fraction
+	Anchors    int         // number of independent anchor hits that agreed
+	// Format is the registered name of the format this key belongs to
+	// ("aesxts", "luks2", "chacha20", ...).
+	Format string
+	// Volume names the encrypted volume this key unlocks when the format
+	// could tie them together (a LUKS2 header UUID); empty otherwise.
+	Volume string
 }
 
 // Result is the attack's full output.
@@ -112,6 +130,9 @@ type Result struct {
 	BlocksScanned int
 	PairsTested   int64 // (block, key) combinations examined
 	Keys          []FoundKey
+	// Volumes are the encrypted-volume headers recognized in the dump
+	// (offset order), independent of whether their keys were recovered.
+	Volumes []format.Volume
 }
 
 // Stage is one named, cancellable step of the attack pipeline. Stages run
@@ -159,10 +180,16 @@ type AttackRun struct {
 	// paths, so the replay is exactly the recomputation.
 	memoMu sync.RWMutex
 	memo   map[string]*verifyOutcome
-	// found collects candidate keys during the hunt, deduplicated by
-	// master bytes.
-	mu    sync.Mutex
-	found map[string]*FoundKey
+	// rf is Cfg.Formats resolved against the format registry.
+	rf resolvedFormats
+	// found collects native AES candidates during the hunt, deduplicated
+	// by master bytes; foundF collects prober findings deduplicated by
+	// (format, key); volumes collects header sightings by offset. All
+	// three share mu.
+	mu      sync.Mutex
+	found   map[string]*FoundKey
+	foundF  map[string]*FoundKey
+	volumes map[int]format.Volume
 }
 
 // verifyOutcome is one memoized verify→refine result; outcomes for the
@@ -237,6 +264,10 @@ func AttackContext(ctx context.Context, dump []byte, cfg Config) (*Result, error
 	if cfg.GroundDump != nil && len(cfg.GroundDump) != len(dump) {
 		return nil, fmt.Errorf("core: ground dump length %d != dump length %d", len(cfg.GroundDump), len(dump))
 	}
+	rf, err := resolveFormats(cfg.Formats)
+	if err != nil {
+		return nil, err
+	}
 
 	run := &AttackRun{
 		Dump:      dump,
@@ -245,7 +276,10 @@ func AttackContext(ctx context.Context, dump []byte, cfg Config) (*Result, error
 		tracer:    obs.OrNop(cfg.Tracer),
 		schedules: cfg.ScheduleCache,
 		memo:      make(map[string]*verifyOutcome),
+		rf:        rf,
 		found:     make(map[string]*FoundKey),
+		foundF:    make(map[string]*FoundKey),
+		volumes:   make(map[int]format.Volume),
 	}
 	attrs := []obs.Attr{
 		obs.A("blocks", strconv.Itoa(len(dump)/BlockBytes)),
@@ -387,6 +421,15 @@ func (huntStage) Run(ctx context.Context, run *AttackRun) error {
 			// All per-candidate buffers live on the worker's scratch: the
 			// steady-state scan allocates nothing per block or candidate.
 			sc := new(huntScratch)
+			probers := run.rf.probers
+			var view *descrambleView
+			var emitFinding func(format.Finding)
+			if len(probers) > 0 {
+				// One view + one emit closure per worker, hoisted out of the
+				// scan so the prober path stays allocation-free per block.
+				view = &descrambleView{data: dump, directory: run.Directory}
+				emitFinding = func(f format.Finding) { run.recordFinding(f) }
+			}
 			var localPairs, localHits int64
 			lastCheck := lo
 			chunkStart := obs.Now()
@@ -414,6 +457,16 @@ func (huntStage) Run(ctx context.Context, run *AttackRun) error {
 				for _, key := range run.Directory(b) {
 					localPairs++
 					bitutil.XORBlock64(sc.descrambled[:], stored, key)
+					// Every enabled format probes the same descrambled block:
+					// one descramble, N hunts.
+					for _, p := range probers {
+						view.curBlock = b
+						view.curDescrambled = sc.descrambled[:]
+						p.ProbeBlock(sc.descrambled[:], b*BlockBytes, view, cfg.AESTolerance, emitFinding)
+					}
+					if !run.rf.aes {
+						continue
+					}
 					words := aes.BytesToWordsInto(sc.words[:0], sc.descrambled[:])
 					sc.hits = aesLitmusWords(words, cfg.Variant, cfg.AESTolerance, sc.hits[:0])
 					localHits += int64(len(sc.hits))
@@ -535,6 +588,9 @@ func (assembleStage) Name() string { return "assemble" }
 func (assembleStage) Run(ctx context.Context, run *AttackRun) error {
 	assembleKeys(run)
 	run.tracer.Count("assemble.keys", int64(len(run.Res.Keys)))
+	if !run.Cfg.skipFormatFilter {
+		emitFormatCounts(run.tracer, run.rf, run.Res)
+	}
 	return nil
 }
 
@@ -544,42 +600,82 @@ func (assembleStage) Run(ctx context.Context, run *AttackRun) error {
 // true schedule shifted a few words — it still verifies at ~0.9 because
 // most of its range overlaps the real table. The best-scoring candidate
 // per overlapping region is kept; the true master always scores strictly
-// higher than its shifts.
+// higher than its shifts. Alias suppression is per format (a ChaCha state
+// inside an AES schedule's shadow is not an alias of it), after which the
+// LUKS2 pair rule re-tags adjacent schedule pairs — adjacency is distance
+// == schedBytes, i.e. ZERO overlap, so pairs always survive suppression —
+// and keys of formats the attack was not asked for are dropped.
 func assembleKeys(run *AttackRun) {
-	candidates := make([]FoundKey, 0, len(run.found))
+	candidates := make([]FoundKey, 0, len(run.found)+len(run.foundF))
 	for _, f := range run.found {
+		c := *f
+		c.Format = FormatAESXTS
+		candidates = append(candidates, c)
+	}
+	for _, f := range run.foundF {
 		candidates = append(candidates, *f)
 	}
-	sort.Slice(candidates, func(i, j int) bool {
-		if candidates[i].Score != candidates[j].Score {
-			return candidates[i].Score > candidates[j].Score
-		}
-		if candidates[i].TableStart != candidates[j].TableStart {
-			return candidates[i].TableStart < candidates[j].TableStart
-		}
-		return string(candidates[i].Master) < string(candidates[j].Master)
-	})
+	sortFoundKeys(candidates)
 	schedBytes := run.Cfg.Variant.ScheduleBytes()
-	run.Res.Keys = nil
+	run.Res.Keys = suppressAliases(candidates, schedBytes)
+	run.Res.Volumes = sortedVolumes(run.volumes)
+	if !run.Cfg.skipFormatFilter {
+		// Shard attacks leave keys untagged/unfiltered: a pair straddling a
+		// shard boundary (or a header sighted in another shard) can only be
+		// resolved after the campaign merge.
+		if run.rf.luks2 {
+			tagLUKS2(run.Res.Keys, run.Res.Volumes, schedBytes)
+		}
+		run.Res.Keys = filterFormats(run.Res.Keys, run.rf)
+	}
+}
+
+// sortFoundKeys orders candidates best-first with a full deterministic
+// tie-break (score desc, then table start, master bytes, format).
+func sortFoundKeys(keys []FoundKey) {
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Score != keys[j].Score {
+			return keys[i].Score > keys[j].Score
+		}
+		if keys[i].TableStart != keys[j].TableStart {
+			return keys[i].TableStart < keys[j].TableStart
+		}
+		if c := string(keys[i].Master); c != string(keys[j].Master) {
+			return c < string(keys[j].Master)
+		}
+		return keys[i].Format < keys[j].Format
+	})
+}
+
+// suppressAliases greedily keeps the best-scoring candidate per
+// overlapping same-format region. candidates must already be sorted
+// best-first.
+func suppressAliases(candidates []FoundKey, schedBytes int) []FoundKey {
+	var out []FoundKey
 	for _, c := range candidates {
+		w := formatWidth(c.Format, schedBytes)
 		alias := false
-		for _, kept := range run.Res.Keys {
-			lo, hi := c.TableStart, c.TableStart+schedBytes
+		for _, kept := range out {
+			if kept.Format != c.Format {
+				continue
+			}
+			lo, hi := c.TableStart, c.TableStart+w
 			if kept.TableStart > lo {
 				lo = kept.TableStart
 			}
-			if kept.TableStart+schedBytes < hi {
-				hi = kept.TableStart + schedBytes
+			if kept.TableStart+w < hi {
+				hi = kept.TableStart + w
 			}
-			if hi-lo >= schedBytes/2 {
+			if hi-lo >= w/2 {
 				alias = true
 				break
 			}
 		}
 		if !alias {
-			run.Res.Keys = append(run.Res.Keys, c)
+			out = append(out, c)
 		}
 	}
+	return out
 }
 
 // Masters returns just the recovered master keys, best first.

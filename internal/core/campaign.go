@@ -4,10 +4,10 @@ import (
 	"context"
 	"fmt"
 	"runtime"
-	"sort"
 	"strconv"
 	"sync"
 
+	"coldboot/internal/format"
 	"coldboot/internal/obs"
 )
 
@@ -36,11 +36,16 @@ type Shard struct {
 	Blocks     int
 }
 
-// ShardResult carries one shard's findings back for merging.
+// ShardResult carries one shard's findings back for merging. Keys arrive
+// untagged/unfiltered (see Config.skipFormatFilter): LUKS2 pair tagging
+// and format filtering run once over the merged set, because a schedule
+// pair can straddle a shard boundary. Volume offsets are already rebased
+// to full-dump coordinates.
 type ShardResult struct {
-	Shard Shard
-	Keys  []FoundKey
-	Pairs int64
+	Shard   Shard
+	Keys    []FoundKey
+	Volumes []format.Volume
+	Pairs   int64
 }
 
 // Progress is delivered to the campaign's observer after each shard.
@@ -130,6 +135,10 @@ func RunCampaignSource(ctx context.Context, src BlockSource, cfg CampaignConfig)
 	}
 	cfg = cfg.withDefaults()
 	attackCfg := cfg.Attack.withDefaults()
+	rf, err := resolveFormats(attackCfg.Formats)
+	if err != nil {
+		return nil, err
+	}
 	tracer := obs.OrNop(attackCfg.Tracer)
 	totalBlocks := src.Blocks()
 
@@ -180,6 +189,7 @@ func RunCampaignSource(ctx context.Context, src BlockSource, cfg CampaignConfig)
 		done      int
 		doneBlk   int
 		collected []FoundKey
+		colVols   []format.Volume
 		campErr   error
 	)
 	setErr := func(err error) {
@@ -222,6 +232,7 @@ shardLoop:
 			mu.Lock()
 			setErr(serr)
 			collected = append(collected, sr.Keys...)
+			colVols = append(colVols, sr.Volumes...)
 			res.PairsTested += sr.Pairs
 			done++
 			doneBlk += sh.Blocks
@@ -239,10 +250,32 @@ shardLoop:
 	}
 	wg.Wait()
 	mergeTimer := root.Child("campaign.merge")
-	res.Keys = MergeShardResults(collected, attackCfg.Variant.ScheduleBytes())
+	schedBytes := attackCfg.Variant.ScheduleBytes()
+	res.Keys = MergeShardResults(collected, schedBytes)
+	res.Volumes = mergeVolumes(colVols)
+	// Shards report untagged/unfiltered keys; the pair tagging and format
+	// filter run here, once, over the merged cross-shard view.
+	if rf.luks2 {
+		tagLUKS2(res.Keys, res.Volumes, schedBytes)
+	}
+	res.Keys = filterFormats(res.Keys, rf)
 	mergeTimer.End()
+	emitFormatCounts(tracer, rf, res)
 	root.SetAttr("keys", strconv.Itoa(len(res.Keys)))
 	return res, campErr
+}
+
+// mergeVolumes deduplicates volume sightings across shards (overlap
+// regions sight the same header twice) and orders them by offset.
+func mergeVolumes(vols []format.Volume) []format.Volume {
+	if len(vols) == 0 {
+		return nil
+	}
+	byOff := make(map[int]format.Volume, len(vols))
+	for _, v := range vols {
+		byOff[v.Offset] = v
+	}
+	return sortedVolumes(byOff)
 }
 
 // startCampaignSpan opens the campaign's root span, nesting it under the
@@ -302,6 +335,7 @@ func scanShard(ctx context.Context, sub []byte, sh Shard, mine *MineResult, dire
 	shiftedDir := func(b int) [][]byte { return directory(b + sh.FirstBlock) }
 	res, err := AttackContext(ctx, sub, Config{
 		Variant:         cfg.Variant,
+		Formats:         cfg.Formats,
 		LitmusTolerance: cfg.LitmusTolerance,
 		AESTolerance:    cfg.AESTolerance,
 		MinVerifyScore:  cfg.MinVerifyScore,
@@ -314,6 +348,8 @@ func scanShard(ctx context.Context, sub []byte, sh Shard, mine *MineResult, dire
 		ScheduleCache: cfg.ScheduleCache,
 		Tracer:        cfg.Tracer,
 		Span:          span,
+		// Tagging and filtering happen after the cross-shard merge.
+		skipFormatFilter: true,
 	})
 	out := ShardResult{Shard: sh}
 	if res == nil {
@@ -323,42 +359,18 @@ func scanShard(ctx context.Context, sub []byte, sh Shard, mine *MineResult, dire
 		k.TableStart += sh.FirstBlock * BlockBytes
 		out.Keys = append(out.Keys, k)
 	}
+	for _, v := range res.Volumes {
+		v.Offset += sh.FirstBlock * BlockBytes
+		out.Volumes = append(out.Volumes, v)
+	}
 	out.Pairs = res.PairsTested
 	return out, err
 }
 
 // MergeShardResults deduplicates findings across shards (overlap regions
-// produce the same key twice) using the same best-score-per-region rule as
-// the single-dump attack.
+// produce the same key twice) using the same best-score-per-region,
+// per-format rule as the single-dump attack's alias suppression.
 func MergeShardResults(keys []FoundKey, schedBytes int) []FoundKey {
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].Score != keys[j].Score {
-			return keys[i].Score > keys[j].Score
-		}
-		if keys[i].TableStart != keys[j].TableStart {
-			return keys[i].TableStart < keys[j].TableStart
-		}
-		return string(keys[i].Master) < string(keys[j].Master)
-	})
-	var out []FoundKey
-	for _, c := range keys {
-		dup := false
-		for _, kept := range out {
-			lo, hi := c.TableStart, c.TableStart+schedBytes
-			if kept.TableStart > lo {
-				lo = kept.TableStart
-			}
-			if kept.TableStart+schedBytes < hi {
-				hi = kept.TableStart + schedBytes
-			}
-			if hi-lo >= schedBytes/2 {
-				dup = true
-				break
-			}
-		}
-		if !dup {
-			out = append(out, c)
-		}
-	}
-	return out
+	sortFoundKeys(keys)
+	return suppressAliases(keys, schedBytes)
 }

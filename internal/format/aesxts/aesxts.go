@@ -1,0 +1,86 @@
+// Package aesxts is the AES expanded-key-schedule format — the
+// VeraCrypt/TrueCrypt XTS master-key posture the pipeline originally
+// hardwired, extracted behind the format.Scanner interface. The
+// whole-image scan delegates to internal/keyfind (the classic Halderman
+// sliding-window scan) and is byte-identical to keyfind.Scan; the
+// scrambled-dump hunt for this format stays native in internal/core (the
+// anchored per-block litmus with verify/repair/refine needs the attack's
+// key directory and pooled scratch), keyed by the same "aesxts" name.
+package aesxts
+
+import (
+	"context"
+	"math/bits"
+
+	"coldboot/internal/aes"
+	"coldboot/internal/format"
+	"coldboot/internal/keyfind"
+)
+
+// Name is the registered format name.
+const Name = "aesxts"
+
+// Scanner locates in-memory AES key schedules of one variant.
+type Scanner struct {
+	// Variant is the hunted key size (zero value means AES-256, the
+	// VeraCrypt case).
+	Variant aes.Variant
+}
+
+func init() { format.Register(Scanner{}) }
+
+func (s Scanner) variant() aes.Variant {
+	if s.Variant == 0 {
+		return aes.AES256
+	}
+	return s.Variant
+}
+
+// Name returns "aesxts".
+func (Scanner) Name() string { return Name }
+
+// Width returns the schedule footprint in image bytes (240 for AES-256).
+func (s Scanner) Width() int { return s.variant().ScheduleBytes() }
+
+// ScanContext runs the chunked Halderman scan over an unscrambled image.
+// The findings are exactly keyfind.Scan's, converted to format.Finding:
+// same offsets, same masters, same distances, same order.
+func (s Scanner) ScanContext(ctx context.Context, image []byte, cfg format.Config) ([]format.Finding, error) {
+	v := s.variant()
+	fs, err := keyfind.ScanTraced(ctx, image, v, cfg.Tolerance, cfg.Workers, cfg.Tracer)
+	if err != nil {
+		return nil, err
+	}
+	tailBits := 8 * (v.ScheduleBytes() - v.KeyBytes())
+	out := make([]format.Finding, len(fs))
+	for i, f := range fs {
+		out[i] = format.Finding{
+			Format:   Name,
+			Offset:   f.Offset,
+			Key:      f.Master,
+			Distance: f.Distance,
+			Score:    1 - float64(f.Distance)/float64(tailBits),
+		}
+	}
+	return out, nil
+}
+
+// Verify re-expands the finding's master and returns the fraction of
+// schedule bits at f.Offset matching the expansion (the full-schedule
+// litmus; correct keys score ~1.0, wrong ones ~0.5).
+func (s Scanner) Verify(image []byte, f format.Finding) float64 {
+	v := s.variant()
+	if len(f.Key) != v.KeyBytes() {
+		return 0
+	}
+	schedBytes := v.ScheduleBytes()
+	if f.Offset < 0 || f.Offset+schedBytes > len(image) {
+		return 0
+	}
+	sched := aes.ExpandKeyBytes(f.Key)
+	d := 0
+	for i := 0; i < schedBytes; i++ {
+		d += bits.OnesCount8(sched[i] ^ image[f.Offset+i])
+	}
+	return 1 - float64(d)/float64(8*schedBytes)
+}

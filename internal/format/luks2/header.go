@@ -1,0 +1,228 @@
+package luks2
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// LUKS2 on-disk binary header (cryptsetup LUKS2 format, all integers
+// big-endian). Two copies exist on a real device — primary at offset 0
+// with magic "LUKS\xba\xbe" and secondary with the bytes reversed to
+// "SKUL\xba\xbe" — and either can be paged into RAM.
+//
+//	offset  size  field
+//	     0     6  magic
+//	     6     2  version (== 2)
+//	     8     8  hdr_size (binary header + JSON area, power of two)
+//	    16     8  seqid
+//	    24    48  label (NUL-terminated)
+//	    72    32  csum_alg (NUL-terminated)
+//	   104    64  salt
+//	   168    40  uuid (NUL-terminated)
+//	   208    48  subsystem (NUL-terminated)
+//	   256     8  hdr_offset (byte offset of this copy on the device)
+//	   264   184  padding
+//	   448    64  csum
+//	   512     —  JSON metadata area, up to hdr_size
+const (
+	// BinHeaderBytes is the fixed binary-header size before the JSON area.
+	BinHeaderBytes = 512
+	// MinHeaderSize and MaxHeaderSize bound the hdr_size field; cryptsetup
+	// only writes power-of-two sizes in [16 KiB, 4 MiB].
+	MinHeaderSize = 16 << 10
+	MaxHeaderSize = 4 << 20
+	// maxJSONBytes caps how much JSON metadata ParseHeader will look at,
+	// independent of what hdr_size claims.
+	maxJSONBytes = 256 << 10
+)
+
+// Magic prefixes of the two header copies.
+var (
+	MagicPrimary   = []byte("LUKS\xba\xbe")
+	MagicSecondary = []byte("SKUL\xba\xbe")
+)
+
+// Header is a parsed LUKS2 binary header plus what could be recovered
+// from its JSON metadata area.
+type Header struct {
+	// Primary is true for the "LUKS\xba\xbe" copy, false for "SKUL\xba\xbe".
+	Primary bool
+	Version uint16
+	// HeaderSize is the claimed binary+JSON footprint in bytes.
+	HeaderSize uint64
+	SeqID      uint64
+	Label      string
+	// ChecksumAlg names the csum algorithm ("sha256").
+	ChecksumAlg string
+	UUID        string
+	Subsystem   string
+	// HeaderOffset is where this copy claims to live on its device.
+	HeaderOffset uint64
+	// Cipher and KeyBytes come from the JSON segment/keyslot metadata when
+	// it was present and parsable ("aes-xts-plain64", 64); zero otherwise.
+	// JSON damage is not an error — in a decayed dump the binary header
+	// routinely survives while the JSON area does not.
+	Cipher   string
+	KeyBytes int
+}
+
+var (
+	ErrTruncated  = errors.New("luks2: header truncated")
+	ErrBadMagic   = errors.New("luks2: bad magic")
+	ErrBadVersion = errors.New("luks2: unsupported version")
+	ErrBadSize    = errors.New("luks2: implausible hdr_size")
+	ErrBadField   = errors.New("luks2: malformed header field")
+)
+
+// ParseHeader parses a LUKS2 header starting at data[0]. data needs at
+// least the 512-byte binary header; any JSON metadata present beyond it
+// (up to hdr_size) is parsed tolerantly for cipher/key-size hints.
+func ParseHeader(data []byte) (*Header, error) {
+	if len(data) < BinHeaderBytes {
+		return nil, ErrTruncated
+	}
+	h := &Header{}
+	switch {
+	case string(data[:6]) == string(MagicPrimary):
+		h.Primary = true
+	case string(data[:6]) == string(MagicSecondary):
+	default:
+		return nil, ErrBadMagic
+	}
+	h.Version = binary.BigEndian.Uint16(data[6:8])
+	if h.Version != 2 {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, h.Version)
+	}
+	h.HeaderSize = binary.BigEndian.Uint64(data[8:16])
+	if h.HeaderSize < MinHeaderSize || h.HeaderSize > MaxHeaderSize ||
+		h.HeaderSize&(h.HeaderSize-1) != 0 {
+		return nil, fmt.Errorf("%w: %d", ErrBadSize, h.HeaderSize)
+	}
+	h.SeqID = binary.BigEndian.Uint64(data[16:24])
+	var err error
+	if h.Label, err = fixedString(data[24:72], false); err != nil {
+		return nil, fmt.Errorf("%w: label", ErrBadField)
+	}
+	if h.ChecksumAlg, err = fixedString(data[72:104], false); err != nil {
+		return nil, fmt.Errorf("%w: csum_alg", ErrBadField)
+	}
+	if h.UUID, err = fixedString(data[168:208], true); err != nil {
+		return nil, fmt.Errorf("%w: uuid", ErrBadField)
+	}
+	if h.Subsystem, err = fixedString(data[208:256], false); err != nil {
+		return nil, fmt.Errorf("%w: subsystem", ErrBadField)
+	}
+	h.HeaderOffset = binary.BigEndian.Uint64(data[256:264])
+
+	jsonEnd := int(h.HeaderSize)
+	if jsonEnd > len(data) {
+		jsonEnd = len(data)
+	}
+	if jsonEnd > BinHeaderBytes+maxJSONBytes {
+		jsonEnd = BinHeaderBytes + maxJSONBytes
+	}
+	if jsonEnd > BinHeaderBytes {
+		h.parseJSONArea(data[BinHeaderBytes:jsonEnd])
+	}
+	return h, nil
+}
+
+// fixedString decodes a NUL-padded fixed-width string field. Every byte
+// before the terminator must be printable ASCII — in a memory dump these
+// fields double as a plausibility filter against random magic collisions.
+// uuidish additionally restricts to hex digits and dashes.
+func fixedString(field []byte, uuidish bool) (string, error) {
+	n := 0
+	for n < len(field) && field[n] != 0 {
+		n++
+	}
+	for _, c := range field[:n] {
+		if c < 0x20 || c > 0x7e {
+			return "", ErrBadField
+		}
+		if uuidish && !(c == '-' || c >= '0' && c <= '9' ||
+			c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F') {
+			return "", ErrBadField
+		}
+	}
+	return string(field[:n]), nil
+}
+
+// jsonMeta mirrors the slivers of the LUKS2 JSON metadata we care about.
+type jsonMeta struct {
+	Keyslots map[string]struct {
+		KeySize int `json:"key_size"`
+	} `json:"keyslots"`
+	Segments map[string]struct {
+		Encryption string `json:"encryption"`
+	} `json:"segments"`
+}
+
+// parseJSONArea best-effort extracts cipher and key size from the JSON
+// metadata area. The area is NUL-padded to hdr_size; damage or garbage
+// leaves the hint fields zero rather than failing the whole header.
+func (h *Header) parseJSONArea(area []byte) {
+	if i := indexByte(area, 0); i >= 0 {
+		area = area[:i]
+	}
+	area = []byte(strings.TrimSpace(string(area)))
+	if len(area) == 0 || area[0] != '{' {
+		return
+	}
+	var m jsonMeta
+	if json.Unmarshal(area, &m) != nil {
+		return
+	}
+	for _, seg := range m.Segments {
+		if seg.Encryption != "" {
+			h.Cipher = seg.Encryption
+			break
+		}
+	}
+	for _, ks := range m.Keyslots {
+		if ks.KeySize > 0 && ks.KeySize <= 1024 {
+			h.KeyBytes = ks.KeySize
+			break
+		}
+	}
+}
+
+func indexByte(b []byte, c byte) int {
+	for i, x := range b {
+		if x == c {
+			return i
+		}
+	}
+	return -1
+}
+
+// EncodeHeader renders h back into a binary header followed by a minimal
+// JSON area (when Cipher or KeyBytes are set). Used by tests and the fuzz
+// seed corpus; the output round-trips through ParseHeader.
+func EncodeHeader(h *Header) []byte {
+	out := make([]byte, BinHeaderBytes)
+	if h.Primary {
+		copy(out, MagicPrimary)
+	} else {
+		copy(out, MagicSecondary)
+	}
+	binary.BigEndian.PutUint16(out[6:8], h.Version)
+	binary.BigEndian.PutUint64(out[8:16], h.HeaderSize)
+	binary.BigEndian.PutUint64(out[16:24], h.SeqID)
+	copy(out[24:72], h.Label)
+	copy(out[72:104], h.ChecksumAlg)
+	copy(out[168:208], h.UUID)
+	copy(out[208:256], h.Subsystem)
+	binary.BigEndian.PutUint64(out[256:264], h.HeaderOffset)
+	if h.Cipher != "" || h.KeyBytes != 0 {
+		meta := fmt.Sprintf(
+			`{"keyslots":{"0":{"type":"luks2","key_size":%d}},`+
+				`"segments":{"0":{"type":"crypt","encryption":%q}}}`,
+			h.KeyBytes, h.Cipher)
+		out = append(out, meta...)
+	}
+	return out
+}

@@ -1,0 +1,159 @@
+// Package luks2 detects LUKS2 volume master keys in memory dumps. A
+// mounted LUKS2 volume leaves two artifacts in RAM: the dm-crypt XTS key
+// schedules (two ADJACENT expanded AES schedules — data key then tweak
+// key, back to back in the crypto_xfm) and, via the page cache, the
+// volume's on-disk LUKS2 header. The scanner hunts both and ties them
+// together: schedule pairs become VMK findings tagged with the UUID of
+// the recognized header, so a recovered key names the volume it unlocks
+// ("Security Through Amnesia"'s canonical cold-boot prize).
+package luks2
+
+import (
+	"context"
+	"math/bits"
+	"sort"
+
+	"coldboot/internal/aes"
+	"coldboot/internal/format"
+	"coldboot/internal/keyfind"
+)
+
+// Name is the registered format name.
+const Name = "luks2"
+
+// probeJSONBytes is how much JSON metadata the block prober tries to pull
+// through the View after a magic match, for cipher/key-size hints.
+const probeJSONBytes = 4 << 10
+
+// Scanner locates LUKS2 VMKs (adjacent AES-XTS schedule pairs) and LUKS2
+// headers. It implements format.BlockProber for the header-recognition
+// half; the schedule hunt over scrambled dumps rides the core attack's
+// native AES hunt, which the core tags as "luks2" when it pairs up next
+// to a sighted header.
+type Scanner struct{}
+
+func init() { format.Register(Scanner{}) }
+
+// Name returns "luks2".
+func (Scanner) Name() string { return Name }
+
+// Width returns the candidate width of one schedule half (240 bytes).
+func (Scanner) Width() int { return aes.AES256.ScheduleBytes() }
+
+// ProbeBlock checks whether absOff starts a LUKS2 header. Headers are
+// sector-aligned on disk and page-aligned in the page cache, so only
+// block-start offsets are candidates — which also makes the no-hit path a
+// single byte compare with zero allocations. On a magic match the full
+// binary header (plus up to 4 KiB of JSON area) is pulled through view
+// and strictly parsed; survivors are emitted as nil-Key volume sightings
+// carrying the header UUID.
+func (Scanner) ProbeBlock(block []byte, absOff int, view format.View, tolerance int, emit func(format.Finding)) {
+	if len(block) < 6 || view == nil {
+		return
+	}
+	if c := block[0]; c != 'L' && c != 'S' {
+		return
+	}
+	if m := string(block[:6]); m != string(MagicPrimary) && m != string(MagicSecondary) {
+		return
+	}
+	tryHeader(absOff, view, emit)
+}
+
+func tryHeader(absOff int, view format.View, emit func(format.Finding)) {
+	var buf [BinHeaderBytes + probeJSONBytes]byte
+	data := buf[:]
+	if !view.ReadDescrambled(absOff, data) {
+		// Near the image end (or over blocks with no usable scrambler key)
+		// fall back to the bare binary header.
+		data = buf[:BinHeaderBytes]
+		if !view.ReadDescrambled(absOff, data) {
+			return
+		}
+	}
+	h, err := ParseHeader(data)
+	if err != nil {
+		return
+	}
+	emit(format.Finding{Format: Name, Offset: absOff, Score: 1, Volume: h.UUID})
+}
+
+// ScanContext scans an unscrambled image: header recognition through the
+// shared block driver, plus an AES-256 schedule scan whose ADJACENT pairs
+// (second schedule exactly ScheduleBytes after the first — the dm-crypt
+// XTS layout) become VMK findings tagged with the sighted header's UUID.
+// Lone schedules are not emitted; they are the aesxts scanner's business.
+func (s Scanner) ScanContext(ctx context.Context, image []byte, cfg format.Config) ([]format.Finding, error) {
+	out, err := format.ScanBlocks(ctx, s, image, cfg)
+	if err != nil {
+		return nil, err
+	}
+	uuid := ""
+	if len(out) > 0 {
+		uuid = out[0].Volume
+	}
+	v := aes.AES256
+	fs, err := keyfind.ScanTraced(ctx, image, v, cfg.Tolerance, cfg.Workers, cfg.Tracer)
+	if err != nil {
+		return nil, err
+	}
+	schedBytes := v.ScheduleBytes()
+	tailBits := 8 * (schedBytes - v.KeyBytes())
+	at := make(map[int]int, len(fs))
+	for i, f := range fs {
+		at[f.Offset] = i
+	}
+	emitted := make(map[int]bool)
+	for i, f := range fs {
+		j, ok := at[f.Offset+schedBytes]
+		if !ok {
+			continue
+		}
+		for _, k := range []int{i, j} {
+			if emitted[k] {
+				continue
+			}
+			emitted[k] = true
+			g := fs[k]
+			out = append(out, format.Finding{
+				Format:   Name,
+				Offset:   g.Offset,
+				Key:      g.Master,
+				Distance: g.Distance,
+				Score:    1 - float64(g.Distance)/float64(tailBits),
+				Volume:   uuid,
+			})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Offset < out[b].Offset })
+	return out, nil
+}
+
+// Verify re-scores a finding: header sightings (nil Key) re-parse the
+// header at the offset, key findings re-expand the master and measure the
+// schedule match fraction.
+func (Scanner) Verify(image []byte, f format.Finding) float64 {
+	if f.Key == nil {
+		if f.Offset < 0 || f.Offset+BinHeaderBytes > len(image) {
+			return 0
+		}
+		if _, err := ParseHeader(image[f.Offset:]); err != nil {
+			return 0
+		}
+		return 1
+	}
+	v := aes.AES256
+	if len(f.Key) != v.KeyBytes() {
+		return 0
+	}
+	schedBytes := v.ScheduleBytes()
+	if f.Offset < 0 || f.Offset+schedBytes > len(image) {
+		return 0
+	}
+	sched := aes.ExpandKeyBytes(f.Key)
+	d := 0
+	for i := 0; i < schedBytes; i++ {
+		d += bits.OnesCount8(sched[i] ^ image[f.Offset+i])
+	}
+	return 1 - float64(d)/float64(8*schedBytes)
+}

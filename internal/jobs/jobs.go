@@ -114,6 +114,7 @@ type Job struct {
 	total      int64
 	stageOrder []string
 	stages     map[string]*StageProgress
+	formats    map[string]int64
 }
 
 // ID returns the job's unique identifier.
@@ -169,6 +170,19 @@ func (j *Job) SetStageProgress(name string, done, total int64) {
 	j.pmu.Unlock()
 }
 
+// SetFormatCount publishes a per-target-format counter (candidate keys,
+// sighted volumes) under the given name. Counts are absolute gauges, not
+// deltas: the analysis runner emits the final tally per format, and a
+// re-emission (shard merge, retry) simply overwrites.
+func (j *Job) SetFormatCount(name string, n int64) {
+	j.pmu.Lock()
+	if j.formats == nil {
+		j.formats = make(map[string]int64)
+	}
+	j.formats[name] = n
+	j.pmu.Unlock()
+}
+
 func (j *Job) stageLocked(name string) *StageProgress {
 	if j.stages == nil {
 		j.stages = make(map[string]*StageProgress)
@@ -184,14 +198,20 @@ func (j *Job) stageLocked(name string) *StageProgress {
 
 // progressSnapshot copies the progress state (called with the pool mutex
 // held; takes only the job's progress mutex).
-func (j *Job) progressSnapshot() (done, total int64, stages []StageProgress) {
+func (j *Job) progressSnapshot() (done, total int64, stages []StageProgress, formats map[string]int64) {
 	j.pmu.Lock()
 	defer j.pmu.Unlock()
 	stages = make([]StageProgress, 0, len(j.stageOrder))
 	for _, name := range j.stageOrder {
 		stages = append(stages, *j.stages[name])
 	}
-	return j.done, j.total, stages
+	if len(j.formats) > 0 {
+		formats = make(map[string]int64, len(j.formats))
+		for k, v := range j.formats {
+			formats[k] = v
+		}
+	}
+	return j.done, j.total, stages, formats
 }
 
 // StageProgress is one pipeline stage's progress within a job snapshot.
@@ -228,6 +248,10 @@ type Snapshot struct {
 	Total    int64           `json:"progress_total"`
 	Progress float64         `json:"progress"`
 	Stages   []StageProgress `json:"stages,omitempty"`
+	// Formats holds per-target-format counters published via
+	// SetFormatCount (e.g. "aesxts.candidates": 1). Nil until the
+	// analysis emits its first per-format tally.
+	Formats map[string]int64 `json:"formats,omitempty"`
 	// Result is the RunFunc's return value (partial results survive
 	// cancellation and failure). Excluded from JSON: the owner decides how
 	// to serialize — the analysis service redacts key material by default.

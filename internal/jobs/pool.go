@@ -340,7 +340,7 @@ func (p *Pool) setStateLocked(j *Job, s State) {
 
 // snapshotLocked copies j's observable state (pool mutex held).
 func (p *Pool) snapshotLocked(j *Job) Snapshot {
-	done, total, stages := j.progressSnapshot()
+	done, total, stages, formats := j.progressSnapshot()
 	snap := Snapshot{
 		ID:       j.id,
 		State:    j.state,
@@ -350,6 +350,7 @@ func (p *Pool) snapshotLocked(j *Job) Snapshot {
 		Done:     done,
 		Total:    total,
 		Stages:   stages,
+		Formats:  formats,
 		Result:   j.result,
 	}
 	if total > 0 {

@@ -31,11 +31,18 @@ func (allocloopRule) Doc() string {
 // per-block hot path. The daemon layers (jobs, service) are included: any
 // dump-block loop that grows there (result post-processing, upload
 // validation) is on the serving hot path just as much as the scan itself.
+// The format subsystem's block drivers and probers are included: ProbeBlock
+// implementations promise an allocation-free no-hit path, and ScanBlocks
+// walks whole images block by block.
 var allocloopPackages = map[string]bool{
-	"internal/keyfind": true,
-	"internal/core":    true,
-	"internal/jobs":    true,
-	"internal/service": true,
+	"internal/keyfind":         true,
+	"internal/core":            true,
+	"internal/jobs":            true,
+	"internal/service":         true,
+	"internal/format":          true,
+	"internal/format/aesxts":   true,
+	"internal/format/chacha20": true,
+	"internal/format/luks2":    true,
 }
 
 // verifyKernelPackage scopes the retry-loop extension to the package that

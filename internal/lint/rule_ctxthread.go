@@ -29,11 +29,17 @@ func (ctxthreadRule) Doc() string {
 // APIs. internal/service is included for its handler-rooted paths: an HTTP
 // handler that reaches a dump-block loop must scan under the request's
 // context (r.Context()), not a manufactured one.
+// The format subsystem is included: ScanContext drives whole-image block
+// scans, so an exported scan entry point there must be cancellable too.
 var ctxthreadPackages = map[string]bool{
-	"":                 true, // module root (coldboot)
-	"internal/core":    true,
-	"internal/keyfind": true,
-	"internal/service": true,
+	"":                         true, // module root (coldboot)
+	"internal/core":            true,
+	"internal/keyfind":         true,
+	"internal/service":         true,
+	"internal/format":          true,
+	"internal/format/aesxts":   true,
+	"internal/format/chacha20": true,
+	"internal/format/luks2":    true,
 }
 
 func (r ctxthreadRule) Check(m *Module, p *Package) []Finding {

@@ -20,14 +20,21 @@ func (hotxorRule) Doc() string {
 }
 
 // hotxorPackages are the packages whose XOR traffic is hot-path by design.
+// The format subsystem is included: its probers run once per descrambled
+// block inside the attack's single pass, so a byte-XOR loop there costs
+// exactly what one in internal/core would.
 var hotxorPackages = map[string]bool{
-	"internal/scramble": true,
-	"internal/core":     true,
-	"internal/keyfind":  true,
-	"internal/engine":   true,
-	"internal/aes":      true,
-	"internal/chacha":   true,
-	"internal/dram":     true,
+	"internal/scramble":        true,
+	"internal/core":            true,
+	"internal/keyfind":         true,
+	"internal/engine":          true,
+	"internal/aes":             true,
+	"internal/chacha":          true,
+	"internal/dram":            true,
+	"internal/format":          true,
+	"internal/format/aesxts":   true,
+	"internal/format/chacha20": true,
+	"internal/format/luks2":    true,
 }
 
 func (r hotxorRule) Check(m *Module, p *Package) []Finding {

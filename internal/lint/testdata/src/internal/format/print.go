@@ -1,0 +1,19 @@
+package format
+
+import "fmt"
+
+// reportHit prints from a library package instead of reporting through
+// internal/obs.
+func reportHit(off int) {
+	fmt.Println("hit at", off) // want noprint
+}
+
+// describeHit returns the value instead: not a finding.
+func describeHit(off int) string {
+	return fmt.Sprintf("hit at %#x", off)
+}
+
+var (
+	_ = reportHit
+	_ = describeHit
+)

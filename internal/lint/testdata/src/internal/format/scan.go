@@ -1,0 +1,56 @@
+// Package format is a fixture for the format-subsystem gating: the
+// hot-path rules (ctxthread, allocloop, hotxor) apply to internal/format
+// and its subpackages exactly as they do to internal/core.
+package format
+
+import "context"
+
+// ScanImage reaches a dump-block loop but takes no context.
+func ScanImage(image []byte) int { // want ctxthread
+	total := 0
+	for b := 0; b < len(image)/64; b++ {
+		total += int(image[b*64 : (b+1)*64][0])
+	}
+	return total
+}
+
+// ScanImageContext threads the context properly: not a finding.
+func ScanImageContext(ctx context.Context, image []byte) (int, error) {
+	total := 0
+	for b := 0; b < len(image)/64; b++ {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		total += int(image[b*64 : (b+1)*64][0])
+	}
+	return total, nil
+}
+
+// probeAll allocates a fresh scratch buffer for every probed block.
+func probeAll(image []byte) int {
+	total := 0
+	for b := 0; b < len(image)/64; b++ {
+		buf := make([]byte, 64) // want allocloop
+		copy(buf, image[b*64:(b+1)*64])
+		total += int(buf[0])
+	}
+	return total
+}
+
+// probePooled reuses one hoisted buffer across blocks: not a finding.
+func probePooled(image []byte) int {
+	buf := make([]byte, 64)
+	total := 0
+	for b := 0; b < len(image)/64; b++ {
+		copy(buf, image[b*64:(b+1)*64])
+		total += int(buf[0])
+	}
+	return total
+}
+
+var (
+	_ = ScanImage
+	_ = ScanImageContext
+	_ = probeAll
+	_ = probePooled
+)

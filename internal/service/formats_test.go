@@ -1,0 +1,261 @@
+package service
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/hex"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"coldboot/internal/aes"
+	"coldboot/internal/chacha"
+	"coldboot/internal/core"
+	"coldboot/internal/dumpfile"
+	"coldboot/internal/format/luks2"
+	"coldboot/internal/scramble"
+	"coldboot/internal/workload"
+
+	// Register every scanner: this is the daemon's production registry
+	// (cmd/coldbootd imports format/all the same way).
+	_ "coldboot/internal/format/all"
+)
+
+// Planted-target layout for the multi-format acceptance fixture.
+const (
+	svcVeraStart   = 1200*core.BlockBytes + 32
+	svcLUKSStart   = 9000*core.BlockBytes + 16
+	svcLUKSTweak   = svcLUKSStart + 240
+	svcHeaderStart = 20000 * core.BlockBytes
+	svcChaChaStart = 26000*core.BlockBytes + 16
+	svcUUID        = "0f5eed00-1111-2222-3333-444455556666"
+)
+
+// buildMultiFormatContainer wraps a scrambled, sparsely decayed dump
+// holding every supported target — a lone VeraCrypt AES-256 schedule, a
+// LUKS2 VMK schedule pair plus its volume header, and a raw ChaCha20
+// state — in an uploadable dump container. Decay spares the header and
+// ChaCha pages (they model intact page-cache copies; the AES schedules
+// have repair machinery and take their lumps).
+func buildMultiFormatContainer(t testing.TB, seed int64, vera, luksData, luksTweak, chachaKey []byte) []byte {
+	t.Helper()
+	const size = 2 << 20
+	plain := make([]byte, size)
+	if err := workload.Fill(plain, seed, workload.LightSystem); err != nil {
+		t.Fatal(err)
+	}
+	copy(plain[svcVeraStart:], aes.ExpandKeyBytes(vera))
+	copy(plain[svcLUKSStart:], aes.ExpandKeyBytes(luksData))
+	copy(plain[svcLUKSTweak:], aes.ExpandKeyBytes(luksTweak))
+	copy(plain[svcHeaderStart:], luks2.EncodeHeader(&luks2.Header{
+		Primary:     true,
+		Version:     2,
+		HeaderSize:  16384,
+		SeqID:       1,
+		Label:       "backup",
+		ChecksumAlg: "sha256",
+		UUID:        svcUUID,
+		Cipher:      "aes-xts-plain64",
+		KeyBytes:    64,
+	}))
+	st := plain[svcChaChaStart : svcChaChaStart+64]
+	for i, w := range chacha.Sigma() {
+		binary.LittleEndian.PutUint32(st[4*i:], w)
+	}
+	copy(st[16:48], chachaKey)
+	binary.LittleEndian.PutUint32(st[48:], 3)
+
+	s := scramble.NewSkylakeDDR4(uint64(seed)*31 + 7)
+	dump := make([]byte, size)
+	s.Scramble(dump, plain, 0)
+	rng := rand.New(rand.NewSource(seed + 1000))
+	for i := 0; i < len(dump)*8/2000; i++ {
+		bit := rng.Intn(len(dump) * 8)
+		off := bit / 8
+		if (off >= svcHeaderStart && off < svcHeaderStart+luks2.BinHeaderBytes+1024) ||
+			(off >= svcChaChaStart && off < svcChaChaStart+64) {
+			continue
+		}
+		dump[off] ^= 1 << uint(bit%8)
+	}
+
+	var buf bytes.Buffer
+	meta := dumpfile.Metadata{CPU: "Skylake test rig", Channels: 1, ScramblerOn: true, FreezeTempC: -35, TransferSeconds: 45}
+	if err := dumpfile.Write(&buf, meta, dump); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// fetchBody GETs a raw (non-JSON) endpoint.
+func fetchBody(t testing.TB, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: HTTP %d: %s", url, resp.StatusCode, data)
+	}
+	return string(data)
+}
+
+// TestMultiFormatJobEndToEnd is the tentpole acceptance at the service
+// layer: one submitted dump holding a VeraCrypt master, a LUKS2 VMK pair
+// (plus header), and a raw ChaCha20 state; one job recovers all three,
+// each tagged with its format, with per-format counts visible in the
+// status document, /metrics, and the NDJSON event stream.
+func TestMultiFormatJobEndToEnd(t *testing.T) {
+	vera, ld, lt := testMaster(81), testMaster(82), testMaster(83)
+	ck := testMaster(84)
+	container := buildMultiFormatContainer(t, 810, vera, ld, lt, ck)
+	_, ts := testServer(t, Config{Workers: 1, ShardBlocks: 8192, EventBuffer: 1 << 16})
+
+	code, doc := postDump(t, ts, "?repair=1", container)
+	if code != http.StatusCreated {
+		t.Fatalf("submit: HTTP %d: %v", code, doc)
+	}
+	id := doc["id"].(string)
+
+	final := pollUntil(t, ts, id, 120*time.Second, inState("done"))
+
+	// Per-format counts on the status document.
+	formats, _ := final["formats"].(map[string]any)
+	for name, want := range map[string]float64{
+		"aesxts.candidates":   1,
+		"luks2.candidates":    2,
+		"chacha20.candidates": 1,
+		"luks2.volumes":       1,
+	} {
+		if got, _ := formats[name].(float64); got != want {
+			t.Errorf("status formats[%q] = %v, want %v (have %v)", name, formats[name], want, formats)
+		}
+	}
+
+	// The result document: every key tagged, the LUKS2 pair stamped with
+	// the header's UUID, the ChaCha key carrying no AES variant.
+	code, result := getDoc(t, ts, "/v1/jobs/"+id+"/result?reveal=keys")
+	if code != http.StatusOK {
+		t.Fatalf("result: HTTP %d: %v", code, result)
+	}
+	keys, _ := result["keys"].([]any)
+	byFormat := map[string][]map[string]any{}
+	for _, k := range keys {
+		km := k.(map[string]any)
+		f, _ := km["format"].(string)
+		byFormat[f] = append(byFormat[f], km)
+	}
+	if len(byFormat["aesxts"]) != 1 || len(byFormat["luks2"]) != 2 || len(byFormat["chacha20"]) != 1 {
+		t.Fatalf("keys per format: aesxts=%d luks2=%d chacha20=%d (%v)",
+			len(byFormat["aesxts"]), len(byFormat["luks2"]), len(byFormat["chacha20"]), keys)
+	}
+	if got := byFormat["aesxts"][0]["master"]; got != hex.EncodeToString(vera) {
+		t.Errorf("vera master = %v", got)
+	}
+	luksMasters := map[string]bool{}
+	for _, km := range byFormat["luks2"] {
+		luksMasters[km["master"].(string)] = true
+		if km["volume"] != svcUUID {
+			t.Errorf("luks2 key volume = %v, want %s", km["volume"], svcUUID)
+		}
+	}
+	if !luksMasters[hex.EncodeToString(ld)] || !luksMasters[hex.EncodeToString(lt)] {
+		t.Errorf("luks2 pair masters not both recovered: %v", luksMasters)
+	}
+	cc := byFormat["chacha20"][0]
+	if cc["master"] != hex.EncodeToString(ck) {
+		t.Errorf("chacha master = %v", cc["master"])
+	}
+	if v, present := cc["variant"]; present {
+		t.Errorf("chacha key reports AES variant %v", v)
+	}
+	vols, _ := result["volumes"].([]any)
+	if len(vols) != 1 {
+		t.Fatalf("volumes: %v, want 1", vols)
+	}
+	if v := vols[0].(map[string]any); v["uuid"] != svcUUID || v["offset"] != float64(svcHeaderStart) {
+		t.Errorf("volume = %v, want uuid %s at %d", v, svcUUID, svcHeaderStart)
+	}
+	rf, _ := result["formats"].(map[string]any)
+	if rf["luks2"] != float64(2) || rf["aesxts"] != float64(1) || rf["chacha20"] != float64(1) {
+		t.Errorf("result formats = %v", rf)
+	}
+
+	// /metrics: per-format counters on the Prometheus endpoint.
+	metrics := fetchBody(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		`{name="format.aesxts.candidates"} 1`,
+		`{name="format.luks2.candidates"} 2`,
+		`{name="format.chacha20.candidates"} 1`,
+		`{name="format.luks2.volumes"} 1`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	// The NDJSON event stream carries the same counters as count events.
+	resp := openEvents(t, ts, id, 0)
+	lines := readStream(t, resp.Body, nil)
+	resp.Body.Close()
+	counted := map[string]bool{}
+	for _, ln := range lines {
+		if ln.Type == "count" && strings.HasPrefix(ln.Name, "format.") {
+			counted[ln.Name] = true
+		}
+	}
+	for _, want := range []string{"format.aesxts.candidates", "format.luks2.candidates", "format.chacha20.candidates", "format.luks2.volumes"} {
+		if !counted[want] {
+			t.Errorf("event stream missing count %q (have %v)", want, counted)
+		}
+	}
+}
+
+// TestSubmitFormatsParam: ?formats= narrows the hunt (a chacha20-only job
+// reports only the ChaCha state) and unknown names are rejected up front.
+func TestSubmitFormatsParam(t *testing.T) {
+	vera, ld, lt := testMaster(85), testMaster(86), testMaster(87)
+	ck := testMaster(88)
+	container := buildMultiFormatContainer(t, 850, vera, ld, lt, ck)
+	_, ts := testServer(t, Config{Workers: 1})
+
+	code, doc := postDump(t, ts, "?formats=ext4", container)
+	if code != http.StatusBadRequest {
+		t.Fatalf("unknown format: HTTP %d: %v", code, doc)
+	}
+	if msg, _ := doc["error"].(string); !strings.Contains(msg, "ext4") {
+		t.Errorf("error = %q, want the bad name echoed", msg)
+	}
+
+	code, doc = postDump(t, ts, "?repair=1&formats=chacha20", container)
+	if code != http.StatusCreated {
+		t.Fatalf("submit: HTTP %d: %v", code, doc)
+	}
+	reqd, _ := doc["formats_requested"].([]any)
+	if len(reqd) != 1 || reqd[0] != "chacha20" {
+		t.Errorf("formats_requested = %v", doc["formats_requested"])
+	}
+	id := doc["id"].(string)
+	pollUntil(t, ts, id, 120*time.Second, inState("done"))
+
+	code, result := getDoc(t, ts, "/v1/jobs/"+id+"/result?reveal=keys")
+	if code != http.StatusOK {
+		t.Fatalf("result: HTTP %d: %v", code, result)
+	}
+	keys, _ := result["keys"].([]any)
+	if len(keys) != 1 {
+		t.Fatalf("chacha20-only keys: %v", keys)
+	}
+	km := keys[0].(map[string]any)
+	if km["format"] != "chacha20" || km["master"] != hex.EncodeToString(ck) {
+		t.Errorf("key = %v", km)
+	}
+}

@@ -6,10 +6,12 @@ import (
 	"encoding/hex"
 	"fmt"
 	"strconv"
+	"strings"
 
 	"coldboot/internal/aes"
 	"coldboot/internal/core"
 	"coldboot/internal/dumpfile"
+	"coldboot/internal/format"
 	"coldboot/internal/jobs"
 	"coldboot/internal/obs"
 )
@@ -22,6 +24,9 @@ type dumpJob struct {
 	ImageBytes  int64
 	Variant     aes.Variant
 	RepairFlips int
+	// Formats restricts the hunt to the named target formats (nil = every
+	// registered format). Validated against core.KnownFormats at submit.
+	Formats []string
 
 	// journal buffers the job's telemetry events for the live stream
 	// endpoint; the pool's terminal hook closes it.
@@ -42,6 +47,12 @@ type ResultReport struct {
 	Stride int `json:"stride,omitempty"`
 	// Coverage is the fraction of address classes with a mined key.
 	Coverage float64 `json:"coverage"`
+	// Formats tallies recovered keys per target-format tag (absent when
+	// nothing was found).
+	Formats map[string]int64 `json:"formats,omitempty"`
+	// Volumes lists container headers sighted in the dump (e.g. a LUKS2
+	// superblock in the page cache) — context for the keys, never secret.
+	Volumes []format.Volume `json:"volumes,omitempty"`
 	// Keys are the recovered masters, redacted to fingerprints by default.
 	Keys []KeyReport `json:"keys"`
 }
@@ -50,7 +61,14 @@ type ResultReport struct {
 // the caller asked to reveal key material; Fingerprint always is, so
 // operators can correlate results across jobs without handling keys.
 type KeyReport struct {
-	Variant     string  `json:"variant"`
+	// Format is the target-format tag ("aesxts", "luks2", "chacha20", ...).
+	Format string `json:"format"`
+	// Volume, for formats that recognize container headers, names the
+	// volume the key belongs to (a LUKS2 UUID).
+	Volume string `json:"volume,omitempty"`
+	// Variant is the AES key size for schedule-derived keys; empty for
+	// formats whose keys are not AES schedules.
+	Variant     string  `json:"variant,omitempty"`
 	TableStart  int     `json:"table_start"`
 	Score       float64 `json:"score"`
 	Anchors     int     `json:"anchors"`
@@ -127,6 +145,7 @@ func (s *Server) runAnalysis(ctx context.Context, j *jobs.Job) (any, error) {
 	root := tracer.StartSpan("job",
 		obs.A("job", j.ID()),
 		obs.A("variant", pl.Variant.String()),
+		obs.A("formats", strings.Join(pl.Formats, ",")),
 		obs.A("image_bytes", strconv.FormatInt(pl.ImageBytes, 10)),
 		obs.A("repair", strconv.Itoa(pl.RepairFlips)))
 	defer root.End()
@@ -135,6 +154,7 @@ func (s *Server) runAnalysis(ctx context.Context, j *jobs.Job) (any, error) {
 		Attack: core.Config{
 			Variant:     pl.Variant,
 			RepairFlips: pl.RepairFlips,
+			Formats:     pl.Formats,
 			Tracer:      tracer,
 			Span:        root,
 		},
@@ -164,10 +184,20 @@ func buildReport(v aes.Variant, res *core.Result, partial bool) *ResultReport {
 	report.PairsTested = res.PairsTested
 	report.Stride = res.Stride
 	report.Coverage = res.Coverage
+	report.Formats = res.FormatCounts()
+	report.Volumes = res.Volumes
 	for _, k := range res.Keys {
 		master := append([]byte(nil), k.Master...)
+		variant := ""
+		if k.Variant != 0 {
+			// Zero Variant marks a non-schedule key (e.g. a raw ChaCha20
+			// state) — "AES-0" would be a lie.
+			variant = k.Variant.String()
+		}
 		report.Keys = append(report.Keys, KeyReport{
-			Variant:     k.Variant.String(),
+			Format:      k.Format,
+			Volume:      k.Volume,
+			Variant:     variant,
 			TableStart:  k.TableStart,
 			Score:       k.Score,
 			Anchors:     k.Anchors,
@@ -190,6 +220,13 @@ func jobTracer(j *jobs.Job) obs.Tracer {
 			j.SetStageProgress(stage, done, total)
 			if stage == "campaign" {
 				j.SetProgress(done, total)
+			}
+		},
+		OnCount: func(name string, delta int64) {
+			// Per-format tallies ("format.luks2.candidates") surface on the
+			// job's own status document, not just the daemon-wide metrics.
+			if rest, ok := strings.CutPrefix(name, "format."); ok {
+				j.SetFormatCount(rest, delta)
 			}
 		},
 	}

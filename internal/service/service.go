@@ -38,6 +38,7 @@ import (
 	"coldboot/internal/aes"
 	"coldboot/internal/core"
 	"coldboot/internal/dumpfile"
+	"coldboot/internal/format"
 	"coldboot/internal/jobs"
 	"coldboot/internal/obs"
 )
@@ -175,7 +176,8 @@ func (s *Server) journal(id string) *obs.Journal {
 
 // handleSubmit streams the posted container to disk and enqueues its
 // analysis. Query parameters: priority (int, default 0, higher first),
-// repair (0..2 decay-repair flips), variant (128/192/256, default 256).
+// repair (0..2 decay-repair flips), variant (128/192/256, default 256),
+// formats (comma-separated target-format names, default all registered).
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	pl := &dumpJob{Variant: aes.AES256}
 	q := r.URL.Query()
@@ -208,6 +210,24 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusBadRequest, "bad variant %q (want 128/192/256)", v)
 			return
 		}
+	}
+	if v := q.Get("formats"); v != "" {
+		specs := format.ParseSpec(v)
+		if len(specs) == 0 {
+			httpError(w, http.StatusBadRequest, "bad formats %q (want comma-separated names from %v)", v, core.KnownFormats())
+			return
+		}
+		known := make(map[string]bool)
+		for _, n := range core.KnownFormats() {
+			known[n] = true
+		}
+		for _, n := range specs {
+			if !known[n] {
+				httpError(w, http.StatusBadRequest, "unknown format %q (known: %v)", n, core.KnownFormats())
+				return
+			}
+		}
+		pl.Formats = specs
 	}
 
 	tmp, err := os.CreateTemp(s.cfg.DataDir, "coldbootd-*.cbdump")
@@ -357,12 +377,18 @@ func statusDoc(snap jobs.Snapshot, pl *dumpJob) map[string]any {
 	if len(snap.Stages) > 0 {
 		doc["stages"] = snap.Stages
 	}
+	if len(snap.Formats) > 0 {
+		doc["formats"] = snap.Formats
+	}
 	if report, ok := snap.Result.(*ResultReport); ok && report != nil {
 		doc["keys_found"] = len(report.Keys)
 	}
 	if pl != nil {
 		doc["image_bytes"] = pl.ImageBytes
 		doc["variant"] = pl.Variant.String()
+		if len(pl.Formats) > 0 {
+			doc["formats_requested"] = pl.Formats
+		}
 		doc["meta"] = pl.Meta
 	}
 	return doc

@@ -276,7 +276,11 @@ func waitDirEmpty(t testing.TB, dir string) {
 // scan lands the job in canceled promptly, with a partial result report.
 func TestCancelMidRunKeepsPartialResult(t *testing.T) {
 	master := testMaster(42)
-	container := buildFixtureContainer(t, 8<<20, 42, master, 4096*64, false)
+	// The dump must be big enough that the campaign is still mid-scan when
+	// the DELETE lands: at the pipeline's gated ≥60 MB/s an 8 MiB job is
+	// over in ~100ms — faster than submit→poll→cancel can round-trip on a
+	// loaded 1-CPU CI box — so give the scan a sub-second runway instead.
+	container := buildFixtureContainer(t, 64<<20, 42, master, 4096*64, false)
 	dataDir := t.TempDir()
 	_, ts := testServer(t, Config{Workers: 1, DataDir: dataDir, ShardBlocks: 4096})
 
