@@ -7,7 +7,14 @@
 #   make lint           project static-analysis suite (cmd/coldbootlint):
 #                       hot-path XOR kernels, context threading, read-only
 #                       KeyAt results, math/rand bans, silent-library and
-#                       alloc-in-hot-loop checks
+#                       alloc-in-hot-loop checks, plus the PR 8 secret
+#                       hygiene rules (keyflow taint, lockguard, goroleak)
+#                       and stale-suppression reporting
+#   make lint-json      same suite, machine-readable: writes lint.json
+#                       (uploaded as a CI artifact)
+#   make lint-fixtures  fast self-test of the lint suite against its
+#                       positive/negative fixture trees (skips the
+#                       whole-module self-scan)
 #   make fmt            fail if any file needs gofmt
 #   make check          umbrella gate: build + tests + vet + race + lint +
 #                       fmt, the whole pre-merge checklist in one target
@@ -30,7 +37,7 @@
 
 GO ?= go
 
-.PHONY: test race lint fmt check fuzz-smoke serve-smoke bench bench-hotpath bench-guard all
+.PHONY: test race lint lint-json lint-fixtures fmt check fuzz-smoke serve-smoke bench bench-hotpath bench-guard all
 
 all: check
 
@@ -44,6 +51,17 @@ race:
 
 lint:
 	$(GO) run ./cmd/coldbootlint ./...
+
+# lint.json is the CI artifact: an empty array on a clean tree, one
+# {file, line, rule, message} object per finding otherwise. The target
+# fails exactly when plain lint would, but the artifact is written either
+# way so a red run still ships its findings.
+lint-json:
+	@$(GO) run ./cmd/coldbootlint -json ./... > lint.json; \
+	status=$$?; cat lint.json; exit $$status
+
+lint-fixtures:
+	$(GO) test -short ./internal/lint
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

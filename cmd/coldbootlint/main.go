@@ -1,16 +1,20 @@
 // Command coldbootlint runs the project's static-analysis suite
-// (internal/lint) over the module: six rules enforcing the hot-path,
-// context-threading, and crypto contracts established by earlier PRs.
+// (internal/lint) over the module: nine rules enforcing the hot-path,
+// context-threading, crypto, and secret-hygiene contracts established by
+// earlier PRs.
 //
 // Usage:
 //
-//	coldbootlint [-list] [packages]
+//	coldbootlint [-list] [-json] [packages]
 //
 // With no arguments (or "./...") the whole module is checked. Package
 // arguments restrict which packages' findings are REPORTED (the whole
 // module is always loaded, because several rules are cross-package).
-// Findings print as "file:line: rule-id: message"; the exit status is 1
-// when there are findings, 2 on a load error, 0 on a clean tree.
+// Findings print as "file:line: rule-id: message"; with -json they print
+// instead as a JSON array of {file, line, rule, message} objects (an
+// empty array on a clean tree), for CI artifacts and editor tooling. The
+// exit status is 1 when there are findings, 2 on a load error, 0 on a
+// clean tree.
 //
 // A deliberate exception is annotated at the finding site (same line or the
 // line above) with:
@@ -19,6 +23,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -28,10 +33,19 @@ import (
 	"coldboot/internal/lint"
 )
 
+// jsonFinding is the machine-readable shape of one finding.
+type jsonFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
 func main() {
 	list := flag.Bool("list", false, "list the rules and the contracts they enforce")
+	asJSON := flag.Bool("json", false, "emit findings as a JSON array instead of plain lines")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: coldbootlint [-list] [packages]\n")
+		fmt.Fprintf(os.Stderr, "usage: coldbootlint [-list] [-json] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -57,12 +71,30 @@ func main() {
 	filters := packageFilters(root, flag.Args())
 	findings := lint.Run(mod, lint.Options{})
 	reported := 0
+	docs := []jsonFinding{} // non-nil: a clean tree serializes as []
 	for _, f := range findings {
 		if !matchesFilters(f.Pos.Filename, filters) {
 			continue
 		}
-		fmt.Println(f)
+		if *asJSON {
+			docs = append(docs, jsonFinding{
+				File:    filepath.ToSlash(f.Pos.Filename),
+				Line:    f.Pos.Line,
+				Rule:    f.Rule,
+				Message: f.Msg,
+			})
+		} else {
+			fmt.Println(f)
+		}
 		reported++
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(docs); err != nil {
+			fmt.Fprintln(os.Stderr, "coldbootlint:", err)
+			os.Exit(2)
+		}
 	}
 	if reported > 0 {
 		fmt.Fprintf(os.Stderr, "coldbootlint: %d finding(s)\n", reported)

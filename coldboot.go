@@ -30,6 +30,7 @@
 package coldboot
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"time"
@@ -456,12 +457,20 @@ func analyze(ctx context.Context, s Scenario, dump []byte, out *Outcome, vol *ve
 // for verification by callers.
 func SecretPayload() string { return secretPayload }
 
+// dedupKeys removes duplicate masters in place. Quadratic by design: the
+// handful of recovered keys never justifies string-keyed map copies of key
+// material (keyflow), and []byte entries stay wipeable by the caller.
 func dedupKeys(keys [][]byte) [][]byte {
-	seen := make(map[string]bool, len(keys))
 	out := keys[:0]
 	for _, k := range keys {
-		if !seen[string(k)] {
-			seen[string(k)] = true
+		dup := false
+		for _, kept := range out {
+			if bytes.Equal(kept, k) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
 			out = append(out, k)
 		}
 	}

@@ -100,8 +100,6 @@ func VerifySchedule(dump []byte, keys KeyDirectory, master []byte, tableStart in
 // schedule against the dump. The hunt calls it with cached schedule bytes
 // (ScheduleCache) or scratch-expanded candidates, so the per-candidate path
 // performs no allocation.
-//
-//lint:ignore ctxthread bounded per-candidate scoring over one schedule-sized region, not a dump-scale scan; cancellation lives in the calling stage
 func scheduleScore(dump []byte, keys KeyDirectory, schedule []byte, tableStart int) float64 {
 	if tableStart < 0 || tableStart+len(schedule) > len(dump) {
 		return 0
@@ -211,14 +209,13 @@ func (r *repairer) flip(bit int) { r.work[bit/8] ^= 1 << uint(bit%8) }
 //lint:ignore ctxthread bounded per-hit repair (flip budget caps the work); cancellation lives in the calling stage
 func RepairWindow(dump []byte, keys KeyDirectory, block []byte, blockIdx int, hit ScheduleHit, v aes.Variant, maxFlips int, minScore float64) ([]byte, float64) {
 	var rs repairScratch
+	defer rs.wipe()
 	m, s := repairWindowScratch(&rs, dump, keys, block, blockIdx, hit, v, maxFlips, minScore)
 	return append([]byte{}, m...), s
 }
 
 // repairWindowScratch is RepairWindow on caller scratch. The returned
 // master aliases rs.best and is valid until the scratch is reused.
-//
-//lint:ignore ctxthread bounded per-hit repair (flip budget caps the work); cancellation lives in the calling stage
 func repairWindowScratch(rs *repairScratch, dump []byte, keys KeyDirectory, block []byte, blockIdx int, hit ScheduleHit, v aes.Variant, maxFlips int, minScore float64) ([]byte, float64) {
 	r := newRepairer(rs, dump, keys, block, blockIdx, hit, v)
 
@@ -316,6 +313,7 @@ func windowDegenerateWords(words []uint32, hit ScheduleHit, nk int) bool {
 //lint:ignore ctxthread bounded per-candidate consensus over one schedule-sized region; cancellation lives in the calling stage
 func RefineMaster(dump []byte, keys KeyDirectory, master []byte, tableStart int, v aes.Variant) ([]byte, float64) {
 	var rs repairScratch
+	defer rs.wipe()
 	m, s := refineMasterScratch(&rs, dump, keys, master, tableStart, v)
 	return append([]byte{}, m...), s
 }
@@ -323,8 +321,6 @@ func RefineMaster(dump []byte, keys KeyDirectory, master []byte, tableStart int,
 // refineMasterScratch is RefineMaster on caller scratch. The returned
 // master aliases rs.best and is valid until the scratch is reused; master
 // may itself alias rs.best or rs.master from an earlier scratch call.
-//
-//lint:ignore ctxthread bounded per-candidate consensus over one schedule-sized region; cancellation lives in the calling stage
 func refineMasterScratch(rs *repairScratch, dump []byte, keys KeyDirectory, master []byte, tableStart int, v aes.Variant) ([]byte, float64) {
 	best := append(rs.best[:0], master...)
 	bestScore := scheduleScore(dump, keys, aes.ExpandKeyBytesInto(rs.sched[:0], best), tableStart)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"runtime"
@@ -13,6 +14,7 @@ import (
 	"coldboot/internal/bitutil"
 	"coldboot/internal/format"
 	"coldboot/internal/obs"
+	"coldboot/internal/secret"
 )
 
 // Config tunes the full attack pipeline.
@@ -179,7 +181,7 @@ type AttackRun struct {
 	// memoized — those flows never consult the (block-dependent) repair
 	// paths, so the replay is exactly the recomputation.
 	memoMu sync.RWMutex
-	memo   map[string]*verifyOutcome
+	memo   map[string]*verifyOutcome // guarded by memoMu
 	// rf is Cfg.Formats resolved against the format registry.
 	rf resolvedFormats
 	// found collects native AES candidates during the hunt, deduplicated
@@ -187,9 +189,9 @@ type AttackRun struct {
 	// (format, key); volumes collects header sightings by offset. All
 	// three share mu.
 	mu      sync.Mutex
-	found   map[string]*FoundKey
-	foundF  map[string]*FoundKey
-	volumes map[int]format.Volume
+	found   map[string]*FoundKey  // guarded by mu
+	foundF  map[string]*FoundKey  // guarded by mu
+	volumes map[int]format.Volume // guarded by mu
 }
 
 // verifyOutcome is one memoized verify→refine result; outcomes for the
@@ -227,7 +229,22 @@ func (run *AttackRun) memoStore(master []byte, start int, final []byte, score fl
 		}
 	}
 	o.next = head
+	//lint:ignore keyflow memo needs a comparable key; the []byte finals are wiped by run.wipe
 	run.memo[string(master)] = o
+	run.memoMu.Unlock()
+}
+
+// wipe zeroes the run's private key-bearing state: the memoized
+// verify→refine finals. The FoundKey masters in Res are separate copies
+// owned by the caller and are left intact.
+func (run *AttackRun) wipe() {
+	run.memoMu.Lock()
+	for _, o := range run.memo {
+		for h := o; h != nil; h = h.next {
+			secret.Wipe(h.final)
+		}
+	}
+	clear(run.memo)
 	run.memoMu.Unlock()
 }
 
@@ -257,7 +274,13 @@ func Attack(dump []byte, cfg Config) (*Result, error) {
 // cancellation the partial Result assembled from the work already done is
 // returned together with ctx.Err().
 func AttackContext(ctx context.Context, dump []byte, cfg Config) (*Result, error) {
+	privateCache := cfg.ScheduleCache == nil
 	cfg = cfg.withDefaults()
+	if privateCache {
+		// The defaulted cache is this run's alone: no caller can hold its
+		// schedules, so retire the key material with the run.
+		defer cfg.ScheduleCache.Wipe()
+	}
 	if len(dump)%BlockBytes != 0 {
 		return nil, fmt.Errorf("core: dump length %d not block aligned", len(dump))
 	}
@@ -281,6 +304,7 @@ func AttackContext(ctx context.Context, dump []byte, cfg Config) (*Result, error
 		foundF:    make(map[string]*FoundKey),
 		volumes:   make(map[int]format.Volume),
 	}
+	defer run.wipe()
 	attrs := []obs.Attr{
 		obs.A("blocks", strconv.Itoa(len(dump)/BlockBytes)),
 		obs.A("variant", cfg.Variant.String()),
@@ -421,6 +445,7 @@ func (huntStage) Run(ctx context.Context, run *AttackRun) error {
 			// All per-candidate buffers live on the worker's scratch: the
 			// steady-state scan allocates nothing per block or candidate.
 			sc := new(huntScratch)
+			defer sc.wipe()
 			probers := run.rf.probers
 			var view *descrambleView
 			var emitFinding func(format.Finding)
@@ -548,7 +573,10 @@ func (huntStage) Run(ctx context.Context, run *AttackRun) error {
 	run.Res.PairsTested = pairs
 	run.tracer.Count("hunt.pairs_tested", pairs)
 	run.tracer.Count("hunt.schedule_hits", hits)
-	run.tracer.Count("hunt.candidates", int64(len(run.found)))
+	run.mu.Lock()
+	candidates := int64(len(run.found))
+	run.mu.Unlock()
+	run.tracer.Count("hunt.candidates", candidates)
 	run.tracer.Progress("hunt", done.Load(), int64(nBlocks))
 	if cancelled.Load() {
 		return ctx.Err()
@@ -561,6 +589,7 @@ func (huntStage) Run(ctx context.Context, run *AttackRun) error {
 func (run *AttackRun) record(master []byte, start int, score float64, v aes.Variant) {
 	run.mu.Lock()
 	defer run.mu.Unlock()
+	//lint:ignore keyflow found-map keys back the FoundKey results handed to the caller
 	k := string(master)
 	if f, ok := run.found[k]; ok {
 		f.Anchors++
@@ -606,6 +635,10 @@ func (assembleStage) Run(ctx context.Context, run *AttackRun) error {
 // == schedBytes, i.e. ZERO overlap, so pairs always survive suppression —
 // and keys of formats the attack was not asked for are dropped.
 func assembleKeys(run *AttackRun) {
+	// All stages have finished (or been cancelled) by assembly time, but
+	// taking mu keeps the guarded-field contract checkable.
+	run.mu.Lock()
+	defer run.mu.Unlock()
 	candidates := make([]FoundKey, 0, len(run.found)+len(run.foundF))
 	for _, f := range run.found {
 		c := *f
@@ -640,8 +673,8 @@ func sortFoundKeys(keys []FoundKey) {
 		if keys[i].TableStart != keys[j].TableStart {
 			return keys[i].TableStart < keys[j].TableStart
 		}
-		if c := string(keys[i].Master); c != string(keys[j].Master) {
-			return c < string(keys[j].Master)
+		if c := bytes.Compare(keys[i].Master, keys[j].Master); c != 0 {
+			return c < 0
 		}
 		return keys[i].Format < keys[j].Format
 	})

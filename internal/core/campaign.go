@@ -134,7 +134,13 @@ func RunCampaignSource(ctx context.Context, src BlockSource, cfg CampaignConfig)
 		return nil, fmt.Errorf("core: nil dump source")
 	}
 	cfg = cfg.withDefaults()
+	privateCache := cfg.Attack.ScheduleCache == nil
 	attackCfg := cfg.Attack.withDefaults()
+	if privateCache {
+		// The defaulted cache is shared across this campaign's shards but
+		// owned by nobody else: retire its schedules with the campaign.
+		defer attackCfg.ScheduleCache.Wipe()
+	}
 	rf, err := resolveFormats(attackCfg.Formats)
 	if err != nil {
 		return nil, err

@@ -161,6 +161,7 @@ func (run *AttackRun) recordFinding(f format.Finding) {
 		}
 		return
 	}
+	//lint:ignore keyflow foundF needs a comparable key; the FoundKey Master copies are the caller-owned result
 	k := f.Format + "\x00" + string(f.Key)
 	if fk, ok := run.foundF[k]; ok {
 		fk.Anchors++

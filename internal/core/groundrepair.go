@@ -42,14 +42,13 @@ func SuspectMask(dump, groundDump []byte, blockIdx int) [BlockBytes]byte {
 //lint:ignore ctxthread bounded per-hit repair (explicit verifyBudget caps the work); cancellation lives in the calling stage
 func RepairWindowGround(dump, groundDump []byte, keys KeyDirectory, block []byte, blockIdx int, hit ScheduleHit, v aes.Variant, maxFlips int, minScore float64) ([]byte, float64) {
 	var rs repairScratch
+	defer rs.wipe()
 	m, s := repairWindowGroundScratch(&rs, dump, groundDump, keys, block, blockIdx, hit, v, maxFlips, minScore)
 	return append([]byte{}, m...), s
 }
 
 // repairWindowGroundScratch is RepairWindowGround on caller scratch. The
 // returned master aliases rs.best and is valid until the scratch is reused.
-//
-//lint:ignore ctxthread bounded per-hit repair (explicit verifyBudget caps the work); cancellation lives in the calling stage
 func repairWindowGroundScratch(rs *repairScratch, dump, groundDump []byte, keys KeyDirectory, block []byte, blockIdx int, hit ScheduleHit, v aes.Variant, maxFlips int, minScore float64) ([]byte, float64) {
 	const verifyBudget = 1500
 	r := newRepairer(rs, dump, keys, block, blockIdx, hit, v)

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"coldboot/internal/aes"
+	"coldboot/internal/secret"
 )
 
 // defaultScheduleCacheEntries bounds a zero-configured cache. A dump yields
@@ -29,7 +30,7 @@ const defaultScheduleCacheEntries = 4096
 type ScheduleCache struct {
 	mu  sync.RWMutex
 	max int
-	m   map[string][]byte
+	m   map[string][]byte // guarded by mu
 }
 
 // NewScheduleCache returns a cache bounded to maxEntries schedules
@@ -61,11 +62,34 @@ func (c *ScheduleCache) Schedule(master []byte) []byte {
 		return cur
 	}
 	if len(c.m) >= c.max {
+		// Drop, don't zero: concurrent readers still alias the slices the
+		// cache handed out, so only the end-of-run Wipe — which runs after
+		// every worker has joined — may touch their bytes.
 		clear(c.m)
 	}
 	c.m[string(master)] = sched
 	c.mu.Unlock()
 	return sched
+}
+
+// Wipe zeroes every cached schedule and empties the cache. Owners call it
+// when an attack run retires its private cache: expanded schedules are key
+// material (the master is its first words), so dropping the map without
+// zeroing would leave recoverable copies on the heap.
+func (c *ScheduleCache) Wipe() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.wipeLocked()
+	c.mu.Unlock()
+}
+
+func (c *ScheduleCache) wipeLocked() {
+	for _, s := range c.m {
+		secret.Wipe(s)
+	}
+	clear(c.m)
 }
 
 // Lookup returns the cached schedule for master, or (nil, false). Unlike
@@ -95,8 +119,12 @@ func (c *ScheduleCache) Insert(master, sched []byte) {
 	c.mu.Lock()
 	if _, ok := c.m[string(master)]; !ok {
 		if len(c.m) >= c.max {
+			// Same as Schedule's overflow path: outstanding Lookup results
+			// alias these slices, so overflow drops references and leaves
+			// zeroing to the post-join Wipe.
 			clear(c.m)
 		}
+		//lint:ignore keyflow cache needs a comparable key; cached schedules are zeroed by Wipe
 		c.m[string(master)] = append([]byte{}, sched...)
 	}
 	c.mu.Unlock()

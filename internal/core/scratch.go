@@ -1,6 +1,9 @@
 package core
 
-import "coldboot/internal/aes"
+import (
+	"coldboot/internal/aes"
+	"coldboot/internal/secret"
+)
 
 // Hot-path scratch state. Every buffer the hunt's per-candidate work needs
 // lives here, sized for the worst case (AES-256: 60 schedule words, 240
@@ -41,6 +44,32 @@ type repairScratch struct {
 	// suspects accumulates ground-repair suspect bit positions (grown once,
 	// reused across hits).
 	suspects []int
+}
+
+// wipe zeroes every candidate- and key-bearing buffer. Owners call it when
+// the scratch retires (worker exit, wrapper return): masters, expanded
+// schedules, and descrambled schedule windows all pass through here, and a
+// cold-boot tool of all things must not strand them on the heap or stack.
+func (rs *repairScratch) wipe() {
+	secret.Wipe(rs.work[:])
+	secret.WipeWords(rs.blockWords[:])
+	secret.WipeWords(rs.winWords[:])
+	secret.Wipe(rs.master[:])
+	secret.Wipe(rs.best[:])
+	secret.Wipe(rs.sched[:])
+	secret.Wipe(rs.ref[:])
+	secret.WipeWords(rs.refWords[:])
+	secret.Wipe(rs.observed[:])
+	secret.WipeWords(rs.observedWords[:])
+}
+
+// wipe zeroes the worker's descrambled views and candidate buffers,
+// including the embedded repair scratch.
+func (sc *huntScratch) wipe() {
+	secret.Wipe(sc.descrambled[:])
+	secret.WipeWords(sc.words[:])
+	secret.Wipe(sc.master[:])
+	sc.repair.wipe()
 }
 
 // huntScratch is one hunt worker's reusable state.

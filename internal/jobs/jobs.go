@@ -54,6 +54,9 @@ func (s State) Terminal() bool {
 var (
 	// ErrNotFound is returned for an unknown job ID.
 	ErrNotFound = errors.New("jobs: no such job")
+	// ErrActive is returned when removing a job that has not reached a
+	// terminal state yet (cancel it first).
+	ErrActive = errors.New("jobs: job is still active")
 	// ErrFinished is returned when cancelling a job that already reached a
 	// terminal state.
 	ErrFinished = errors.New("jobs: job already finished")
@@ -110,11 +113,11 @@ type Job struct {
 	// from the worker's tracer bridge and must not contend with the pool's
 	// scheduling lock.
 	pmu        sync.Mutex
-	done       int64
-	total      int64
-	stageOrder []string
-	stages     map[string]*StageProgress
-	formats    map[string]int64
+	done       int64                     // guarded by pmu
+	total      int64                     // guarded by pmu
+	stageOrder []string                  // guarded by pmu
+	stages     map[string]*StageProgress // guarded by pmu
+	formats    map[string]int64          // guarded by pmu
 }
 
 // ID returns the job's unique identifier.

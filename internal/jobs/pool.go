@@ -71,12 +71,12 @@ type Pool struct {
 
 	mu       sync.Mutex
 	cond     *sync.Cond
-	queue    jobHeap
-	jobs     map[string]*Job
-	order    []string // submission order, for List
-	seq      uint64
-	counts   map[State]int
-	draining bool
+	queue    jobHeap         // guarded by mu
+	jobs     map[string]*Job // guarded by mu
+	order    []string        // submission order, for List; guarded by mu
+	seq      uint64          // guarded by mu
+	counts   map[State]int   // guarded by mu
+	draining bool            // guarded by mu
 	workers  sync.WaitGroup
 }
 
@@ -204,6 +204,32 @@ func (p *Pool) Cancel(id string) (Snapshot, error) {
 		p.mu.Unlock()
 		return snap, ErrFinished
 	}
+}
+
+// Remove deletes a terminal job from the pool's bookkeeping and returns
+// its final snapshot (including the result, so the caller can dispose of
+// sensitive artifacts). Queued or running jobs return ErrActive — cancel
+// first, then remove.
+func (p *Pool) Remove(id string) (Snapshot, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	j, ok := p.jobs[id]
+	if !ok {
+		return Snapshot{}, ErrNotFound
+	}
+	if !j.state.Terminal() {
+		return p.snapshotLocked(j), ErrActive
+	}
+	snap := p.snapshotLocked(j)
+	delete(p.jobs, id)
+	p.counts[j.state]--
+	for i, jid := range p.order {
+		if jid == id {
+			p.order = append(p.order[:i], p.order[i+1:]...)
+			break
+		}
+	}
+	return snap, nil
 }
 
 // Drain begins a graceful shutdown: Submit starts failing with

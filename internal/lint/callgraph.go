@@ -35,6 +35,10 @@ type callGraph struct {
 	reaches map[*types.Func]bool
 	// decls maps module functions to their declarations.
 	decls map[*types.Func]*ast.FuncDecl
+	// impls resolves an interface method to its concrete module
+	// implementations, including methods promoted through embedding. The
+	// taint pass reuses it to fan out calls at dynamic dispatch sites.
+	impls func(*types.Interface, string) []*types.Func
 }
 
 // graph builds (once) and returns the module's shared call-graph analysis.
@@ -74,7 +78,10 @@ func (m *Module) graph() *callGraph {
 	}
 	_ = moduleIfaces
 
-	// implementers(iface, methodName) -> concrete module methods.
+	// implementers(iface, methodName) -> concrete module methods. The
+	// lookup goes through the full (pointer) method set rather than the
+	// named type's declared methods so implementations promoted from an
+	// embedded field still resolve.
 	implementers := func(iface *types.Interface, method string) []*types.Func {
 		var out []*types.Func
 		for _, named := range moduleNamed {
@@ -82,14 +89,14 @@ func (m *Module) graph() *callGraph {
 			if !impl {
 				continue
 			}
-			for i := 0; i < named.NumMethods(); i++ {
-				if fn := named.Method(i); fn.Name() == method {
-					out = append(out, fn)
-				}
+			obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(named), true, named.Obj().Pkg(), method)
+			if fn, ok := obj.(*types.Func); ok {
+				out = append(out, fn)
 			}
 		}
 		return out
 	}
+	g.impls = implementers
 
 	for _, p := range m.Pkgs {
 		info := p.Info
@@ -112,6 +119,26 @@ func (m *Module) graph() *callGraph {
 					case *ast.CallExpr:
 						for _, callee := range resolveCallees(info, n, implementers) {
 							g.calls[fn][callee] = true
+						}
+					case *ast.SelectorExpr:
+						// A method value (f := x.M) may be invoked anywhere
+						// downstream, so the reference itself is an edge;
+						// values bound through an interface fan out like a
+						// dynamic call would.
+						if mf, ok := info.Uses[n.Sel].(*types.Func); ok {
+							if sel, ok := info.Selections[n]; ok && sel.Kind() == types.MethodVal {
+								if iface, ok := sel.Recv().Underlying().(*types.Interface); ok {
+									for _, impl := range implementers(iface, mf.Name()) {
+										g.calls[fn][impl] = true
+									}
+								}
+							}
+						}
+					case *ast.Ident:
+						// Plain function references (handler tables, method
+						// expressions, callbacks) are conservative edges too.
+						if mf, ok := info.Uses[n].(*types.Func); ok {
+							g.calls[fn][mf] = true
 						}
 					case *ast.ForStmt:
 						if isBlockLoop(info, n.Body) {

@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"go/types"
+	"testing"
+)
+
+// graphFn resolves a function in the fixture module by its go/types full
+// name, e.g. "coldboot/internal/flow.tick" or
+// "(*coldboot/internal/flow.Runner).Run".
+func graphFn(t *testing.T, g *callGraph, full string) *types.Func {
+	t.Helper()
+	for fn := range g.decls {
+		if fn.FullName() == full {
+			return fn
+		}
+	}
+	t.Fatalf("function %s not found in fixture call graph", full)
+	return nil
+}
+
+// TestCallGraphEdges pins the conservative edges the rules depend on:
+// method-value references, defer/go attribution, and interface dispatch
+// resolving to a method promoted from an embedded type.
+func TestCallGraphEdges(t *testing.T) {
+	m := loadFixture(t, "graph")
+	g := m.graph()
+
+	edge := func(caller, callee string) bool {
+		return g.calls[graphFn(t, g, caller)][graphFn(t, g, callee)]
+	}
+
+	const (
+		run   = "(*coldboot/internal/flow.Runner).Run"
+		step  = "(*coldboot/internal/flow.base).Step"
+		tick  = "coldboot/internal/flow.tick"
+		drive = "coldboot/internal/flow.Drive"
+		bind  = "coldboot/internal/flow.Bind"
+		launc = "coldboot/internal/flow.Launch"
+	)
+
+	// Interface dispatch through the embedded type: Drive calls
+	// Stepper.Step, whose only module implementation is promoted from
+	// base into Machine.
+	if !edge(drive, step) {
+		t.Errorf("Drive -> (*base).Step edge missing: interface dispatch must resolve promoted methods")
+	}
+
+	// defer r.Run() and the spawned literal's tick() both belong to
+	// Launch.
+	if !edge(launc, run) {
+		t.Errorf("Launch -> Run edge missing: deferred calls must be attributed to the launcher")
+	}
+	if !edge(launc, tick) {
+		t.Errorf("Launch -> tick edge missing: go-statement literal bodies must be attributed to the launcher")
+	}
+
+	// A method value bound but never called in Bind is still an edge.
+	if !edge(bind, run) {
+		t.Errorf("Bind -> Run edge missing: method-value references are conservative call edges")
+	}
+
+	// Sanity: no fabricated reverse edge.
+	if edge(tick, drive) {
+		t.Errorf("tick -> Drive edge present: the graph invented a caller")
+	}
+}

@@ -60,17 +60,25 @@ func quoted(s string) string { return "\"" + s + "\"" }
 // applyIgnores filters findings through the module's ignore directives. A
 // well-formed directive suppresses findings of its rule on the directive's
 // own line (trailing comment) or the line immediately below (comment-above
-// style). Malformed directives are appended as lintdirective findings.
+// style). Malformed directives are appended as lintdirective findings, and
+// well-formed directives that suppressed nothing are stale — the exception
+// they excused no longer exists — and are reported under lintstale so the
+// inventory of deliberate exceptions stays honest.
 func applyIgnores(m *Module, findings []Finding) []Finding {
 	type key struct {
 		file string
 		line int
 		rule string
 	}
-	suppress := make(map[key]bool)
+	directives := parseIgnores(m)
+	// suppress maps a (file, line, rule) to the indices of the directives
+	// that would suppress a finding there, so consumption can be tracked.
+	suppress := make(map[key][]int)
+	consumed := make([]bool, len(directives))
 	var out []Finding
-	for _, d := range parseIgnores(m) {
+	for i, d := range directives {
 		if d.bad != "" {
+			consumed[i] = true // malformed: reported as lintdirective instead
 			out = append(out, Finding{
 				Pos:  d.pos,
 				Rule: DirectiveRuleID,
@@ -78,14 +86,29 @@ func applyIgnores(m *Module, findings []Finding) []Finding {
 			})
 			continue
 		}
-		suppress[key{d.pos.Filename, d.pos.Line, d.rule}] = true
-		suppress[key{d.pos.Filename, d.pos.Line + 1, d.rule}] = true
+		k0 := key{d.pos.Filename, d.pos.Line, d.rule}
+		k1 := key{d.pos.Filename, d.pos.Line + 1, d.rule}
+		suppress[k0] = append(suppress[k0], i)
+		suppress[k1] = append(suppress[k1], i)
 	}
 	for _, f := range findings {
-		if suppress[key{f.Pos.Filename, f.Pos.Line, f.Rule}] {
+		if idxs := suppress[key{f.Pos.Filename, f.Pos.Line, f.Rule}]; len(idxs) > 0 {
+			for _, i := range idxs {
+				consumed[i] = true
+			}
 			continue
 		}
 		out = append(out, f)
+	}
+	for i, d := range directives {
+		if consumed[i] {
+			continue
+		}
+		out = append(out, Finding{
+			Pos:  d.pos,
+			Rule: StaleRuleID,
+			Msg:  "stale //lint:ignore " + d.rule + " directive: the rule no longer fires here — remove it",
+		})
 	}
 	return out
 }

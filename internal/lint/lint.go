@@ -15,6 +15,13 @@
 //     values, never fmt.Print*/log/time.Now (PR 2).
 //   - allocloop: no fresh allocations inside per-block hot loops (PR 1's
 //     pooled and stack buffers must be reused).
+//   - keyflow: interprocedural taint analysis — recovered key material
+//     must never be formatted, logged, written out, or converted to
+//     string outside internal/secret (PR 8).
+//   - lockguard: struct fields annotated "// guarded by <mu>" are only
+//     reachable with that mutex held (PR 8).
+//   - goroleak: goroutines in internal/* need a context/WaitGroup/channel
+//     termination path (PR 8).
 //
 // Findings print as "file:line: rule-id: message". A deliberate exception
 // is annotated in the source with
@@ -63,12 +70,20 @@ func Rules() []Rule {
 		noweakrandRule{},
 		noprintRule{},
 		allocloopRule{},
+		keyflowRule{},
+		lockguardRule{},
+		goroleakRule{},
 	}
 }
 
 // DirectiveRuleID is the pseudo-rule under which malformed //lint:ignore
 // directives are reported.
 const DirectiveRuleID = "lintdirective"
+
+// StaleRuleID is the pseudo-rule under which stale //lint:ignore
+// directives — well-formed suppressions whose rule no longer fires at
+// that site — are reported, keeping the exception inventory honest.
+const StaleRuleID = "lintstale"
 
 // Options configures a lint run.
 type Options struct {

@@ -138,6 +138,34 @@ func TestIgnoreDirectives(t *testing.T) {
 	}
 }
 
+// TestStaleSuppressions: a well-formed //lint:ignore whose rule no longer
+// fires at its site is itself reported under lintstale, and the NoIgnores
+// run — which skips directive processing entirely — stays silent about it.
+func TestStaleSuppressions(t *testing.T) {
+	m := loadFixture(t, "ignore")
+
+	var stale []Finding
+	for _, f := range Run(m, Options{}) {
+		if f.Rule == StaleRuleID {
+			stale = append(stale, f)
+		}
+	}
+	if len(stale) != 1 {
+		t.Fatalf("want exactly 1 lintstale finding, got %d: %v", len(stale), stale)
+	}
+	if f := stale[0]; !strings.HasSuffix(f.Pos.Filename, "stale.go") {
+		t.Errorf("lintstale finding at %s, want the stale.go fixture", f.Pos.Filename)
+	} else if !strings.Contains(f.Msg, "hotxor") {
+		t.Errorf("lintstale message %q does not name the stale rule", f.Msg)
+	}
+
+	for _, f := range Run(m, Options{NoIgnores: true}) {
+		if f.Rule == StaleRuleID {
+			t.Errorf("NoIgnores run must not report stale directives: %s", f)
+		}
+	}
+}
+
 // TestMalformedDirectiveMessages pins the three malformed-directive
 // diagnoses to their lines in testdata/ignore/internal/scramble/bad.go.
 func TestMalformedDirectiveMessages(t *testing.T) {

@@ -36,6 +36,9 @@ type Module struct {
 	Pkgs    []*Package
 	byPath  map[string]*Package
 	callgph *callGraph // lazily built shared analysis (see callgraph.go)
+	// cached whole-module rule results by RelPath
+	keyflowF   map[string][]Finding
+	lockguardF map[string][]Finding
 }
 
 // PkgByRel returns the package with the given module-relative path, or nil.

@@ -1,0 +1,124 @@
+package lint
+
+// goroleak: goroutines in internal/* must have a termination path (PR 8).
+//
+// A `go` statement launching a function whose body loops forever with no
+// way to be told to stop is a leak: under the service (PR 4) every hunt
+// runs in a long-lived process, so an orphaned worker pins its dump
+// buffers — including descrambled key-bearing windows — for the life of
+// the daemon. The rule accepts a goroutine if any of these hold:
+//
+//   - its body contains no for/range loop (it is bounded by construction);
+//   - it references a context.Context (ctx.Err/ctx.Done cancellation);
+//   - it calls Done on a sync.WaitGroup (the launcher waits for it);
+//   - it ranges over a channel (closed by the producer);
+//   - it receives from a channel (<-done / select-based shutdown).
+//
+// Goroutines launched through a function value that cannot be resolved
+// statically are reported too: the launcher cannot prove termination for
+// a callee it does not know.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+type goroleakRule struct{}
+
+func (goroleakRule) ID() string { return "goroleak" }
+func (goroleakRule) Doc() string {
+	return "goroutines in internal/* must have a context/WaitGroup/channel termination path (PR 8)"
+}
+
+func (goroleakRule) Check(m *Module, p *Package) []Finding {
+	if !strings.HasPrefix(p.RelPath, "internal/") {
+		return nil
+	}
+	g := m.graph()
+	var out []Finding
+	emit := func(n ast.Node, msg string) {
+		out = append(out, Finding{Pos: m.Fset.Position(n.Pos()), Rule: "goroleak", Msg: msg})
+	}
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			var body *ast.BlockStmt
+			name := "goroutine"
+			if lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+				body = lit.Body
+			} else if fn := staticCallee(p.Info, gs.Call); fn != nil {
+				if decl := g.decls[fn]; decl != nil {
+					body = decl.Body
+					name = fn.Name()
+				} else {
+					return true // external callee (e.g. stdlib): not ours to prove
+				}
+			} else {
+				emit(gs, "goroutine launches a dynamic function value; cannot prove it terminates — launch a named worker with a context/WaitGroup instead")
+				return true
+			}
+			if !goroutineTerminates(p.Info, body) {
+				emit(gs, fmt.Sprintf("%s loops without a termination path; thread a context.Context, WaitGroup Done, or a done channel", name))
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// goroutineTerminates applies the acceptance criteria from the rule doc to
+// a goroutine body.
+func goroutineTerminates(info *types.Info, body *ast.BlockStmt) bool {
+	hasLoop := false
+	hasSignal := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.ForStmt:
+			hasLoop = true
+		case *ast.RangeStmt:
+			hasLoop = true
+			if tv, ok := info.Types[x.X]; ok && tv.Type != nil {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					hasSignal = true
+				}
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				hasSignal = true
+			}
+		case *ast.Ident:
+			if obj := info.Uses[x]; obj != nil && isContextType(obj.Type()) {
+				hasSignal = true
+			}
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+				if tv, ok := info.Types[sel.X]; ok && isWaitGroup(tv.Type) {
+					hasSignal = true
+				}
+			}
+		}
+		return true
+	})
+	return !hasLoop || hasSignal
+}
+
+func isWaitGroup(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}

@@ -1,0 +1,355 @@
+package lint
+
+// lockguard: annotated mutex discipline (PR 8).
+//
+// A struct field whose doc (or trailing) comment carries the marker
+//
+//	// guarded by <mu>
+//
+// where <mu> is a sibling sync.Mutex/sync.RWMutex field, must only be
+// accessed with that mutex held. The check is deliberately simple and
+// over-approximate in the safe direction:
+//
+//   - An access inside a function that lexically acquires <mu> on the
+//     same struct type earlier in its body is fine (Unlock positions are
+//     ignored: a function that locks at all is assumed to manage its
+//     critical sections).
+//   - Otherwise the function "requires" the lock, and every path through
+//     the call graph that reaches it must pass through a function that
+//     acquires <mu>. Recursive cycles are assumed satisfied.
+//   - Accesses through a struct instance freshly constructed in the same
+//     function (composite literal or new) are exempt: nothing else can
+//     see it yet.
+//
+// The marker is strict — "guarded by <ident>" must end the comment line —
+// so prose like "guarded by the owning pool's mutex" is not parsed. A
+// marker naming a non-mutex or missing sibling is itself a finding.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+var guardedByRE = regexp.MustCompile(`guarded by ([A-Za-z_]\w*)\s*\.?\s*$`)
+
+type lockguardRule struct{}
+
+func (lockguardRule) ID() string { return "lockguard" }
+func (lockguardRule) Doc() string {
+	return "fields annotated '// guarded by <mu>' must only be reachable with that mutex held (PR 8)"
+}
+
+func (lockguardRule) Check(m *Module, p *Package) []Finding {
+	if m.lockguardF == nil {
+		m.lockguardF = lockguardAnalyze(m)
+	}
+	return m.lockguardF[p.RelPath]
+}
+
+type guardKey struct {
+	owner *types.TypeName
+	mu    string
+}
+
+type guardInfo struct {
+	key   guardKey
+	field *types.Var
+}
+
+func lockguardAnalyze(m *Module) map[string][]Finding {
+	out := make(map[string][]Finding)
+	emit := func(rel string, pos token.Pos, msg string) {
+		out[rel] = append(out[rel], Finding{Pos: m.Fset.Position(pos), Rule: "lockguard", Msg: msg})
+	}
+
+	// Pass 1: collect annotated fields and validate their guards.
+	guards := make(map[*types.Var]guardInfo)
+	for _, p := range m.Pkgs {
+		for _, file := range p.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				ts, ok := n.(*ast.TypeSpec)
+				if !ok {
+					return true
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					return true
+				}
+				owner, _ := p.Info.Defs[ts.Name].(*types.TypeName)
+				if owner == nil {
+					return true
+				}
+				for _, f := range st.Fields.List {
+					mu := guardNameFromComments(f.Doc, f.Comment)
+					if mu == "" {
+						continue
+					}
+					if !structHasMutexField(st, p.Info, mu) {
+						emit(p.RelPath, f.Pos(), fmt.Sprintf("'guarded by %s' on %s names no sync.Mutex/RWMutex sibling field", mu, ts.Name.Name))
+						continue
+					}
+					for _, name := range f.Names {
+						if v, ok := p.Info.Defs[name].(*types.Var); ok {
+							guards[v] = guardInfo{key: guardKey{owner: owner, mu: mu}, field: v}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	if len(guards) == 0 {
+		return out
+	}
+
+	g := m.graph()
+
+	// Pass 2: which functions acquire which guards anywhere in their body.
+	locksIn := make(map[*types.Func]map[guardKey]bool)
+	type access struct {
+		pkg *Package
+		fn  *types.Func
+		pos token.Pos
+		gi  guardInfo
+	}
+	var pending []access // accesses with no lexically preceding acquire
+	for _, p := range m.Pkgs {
+		for _, file := range p.Files {
+			for _, d := range file.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := p.Info.Defs[fd.Name].(*types.Func)
+				if fn == nil {
+					continue
+				}
+				var acquires []struct {
+					key guardKey
+					pos token.Pos
+				}
+				fresh := freshInstances(p.Info, fd.Body)
+				var accesses []access
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					switch x := n.(type) {
+					case *ast.CallExpr:
+						if key, ok := lockAcquire(p.Info, x); ok {
+							acquires = append(acquires, struct {
+								key guardKey
+								pos token.Pos
+							}{key, x.Pos()})
+							if locksIn[fn] == nil {
+								locksIn[fn] = make(map[guardKey]bool)
+							}
+							locksIn[fn][key] = true
+						}
+					case *ast.SelectorExpr:
+						sel, ok := p.Info.Selections[x]
+						if !ok || sel.Kind() != types.FieldVal {
+							return true
+						}
+						v, ok := sel.Obj().(*types.Var)
+						if !ok {
+							return true
+						}
+						gi, ok := guards[v]
+						if !ok {
+							return true
+						}
+						if root := baseObject(p.Info, x.X); root != nil && fresh[root] {
+							return true // instance not yet shared
+						}
+						accesses = append(accesses, access{pkg: p, fn: fn, pos: x.Sel.Pos(), gi: gi})
+					}
+					return true
+				})
+				for _, a := range accesses {
+					held := false
+					for _, acq := range acquires {
+						if acq.key == a.gi.key && acq.pos < a.pos {
+							held = true
+							break
+						}
+					}
+					if !held {
+						pending = append(pending, a)
+					}
+				}
+			}
+		}
+	}
+
+	// Pass 3: an access without a local acquire is fine only if every
+	// call-graph path reaching its function goes through an acquire.
+	callers := make(map[*types.Func][]*types.Func)
+	for caller, callees := range g.calls {
+		for callee := range callees {
+			callers[callee] = append(callers[callee], caller)
+		}
+	}
+	for _, a := range pending {
+		if !lockHeldOnAllPaths(a.fn, a.gi.key, locksIn, callers, make(map[*types.Func]bool)) {
+			emit(a.pkg.RelPath, a.pos, fmt.Sprintf(
+				"%s.%s is guarded by %s, but %s is reachable without %s held",
+				a.gi.key.owner.Name(), a.gi.field.Name(), a.gi.key.mu, a.fn.Name(), a.gi.key.mu))
+		}
+	}
+	return out
+}
+
+func lockHeldOnAllPaths(fn *types.Func, key guardKey, locksIn map[*types.Func]map[guardKey]bool, callers map[*types.Func][]*types.Func, seen map[*types.Func]bool) bool {
+	if seen[fn] {
+		return true // cycle: some acyclic path must still satisfy the check
+	}
+	seen[fn] = true
+	cs := callers[fn]
+	if len(cs) == 0 {
+		return false // an entry point that never acquires
+	}
+	for _, c := range cs {
+		if locksIn[c][key] {
+			continue
+		}
+		if !lockHeldOnAllPaths(c, key, locksIn, callers, seen) {
+			return false
+		}
+	}
+	return true
+}
+
+// guardNameFromComments extracts the "guarded by <mu>" marker from a
+// field's doc or trailing comment, if present.
+func guardNameFromComments(groups ...*ast.CommentGroup) string {
+	for _, cg := range groups {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			line := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if match := guardedByRE.FindStringSubmatch(line); match != nil {
+				return match[1]
+			}
+		}
+	}
+	return ""
+}
+
+// structHasMutexField reports whether the struct declares a field named mu
+// of type sync.Mutex or sync.RWMutex.
+func structHasMutexField(st *ast.StructType, info *types.Info, mu string) bool {
+	for _, f := range st.Fields.List {
+		for _, name := range f.Names {
+			if name.Name != mu {
+				continue
+			}
+			v, ok := info.Defs[name].(*types.Var)
+			if !ok {
+				continue
+			}
+			t := v.Type()
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if named, ok := t.(*types.Named); ok {
+				obj := named.Obj()
+				if obj.Pkg() != nil && obj.Pkg().Path() == "sync" && (obj.Name() == "Mutex" || obj.Name() == "RWMutex") {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// lockAcquire recognizes x.<mu>.Lock() / RLock() and returns the guard key
+// (owning struct type + mutex field name).
+func lockAcquire(info *types.Info, call *ast.CallExpr) (guardKey, bool) {
+	fun, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || (fun.Sel.Name != "Lock" && fun.Sel.Name != "RLock") {
+		return guardKey{}, false
+	}
+	muSel, ok := ast.Unparen(fun.X).(*ast.SelectorExpr)
+	if !ok {
+		return guardKey{}, false
+	}
+	tv, ok := info.Types[muSel.X]
+	if !ok || tv.Type == nil {
+		return guardKey{}, false
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return guardKey{}, false
+	}
+	return guardKey{owner: named.Obj(), mu: muSel.Sel.Name}, true
+}
+
+// freshInstances finds local variables assigned a freshly constructed
+// value (composite literal, &literal, or new(T)) in this function.
+func freshInstances(info *types.Info, body *ast.BlockStmt) map[types.Object]bool {
+	fresh := make(map[types.Object]bool)
+	isFreshExpr := func(e ast.Expr) bool {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.CompositeLit:
+			return true
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				_, ok := ast.Unparen(x.X).(*ast.CompositeLit)
+				return ok
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && id.Name == "new" {
+				_, isBuiltin := info.Uses[id].(*types.Builtin)
+				return isBuiltin
+			}
+		}
+		return false
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			if i >= len(as.Rhs) || !isFreshExpr(as.Rhs[i]) {
+				continue
+			}
+			if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+				if obj := info.Defs[id]; obj != nil {
+					fresh[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return fresh
+}
+
+// baseObject peels selectors/index/star/paren down to the root object of
+// an expression (the instance a field access goes through).
+func baseObject(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if obj := info.Uses[x]; obj != nil {
+				return obj
+			}
+			return info.Defs[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,48 @@
+// Package flow is the call-graph fixture: method values, defer/go
+// attribution, and interface dispatch through an embedded type.
+package flow
+
+// Runner owns the analysis entry point referenced as a method value.
+type Runner struct{ n int }
+
+// Run is referenced both directly and as a bound method value.
+func (r *Runner) Run() int { return tick() }
+
+func tick() int { return 1 }
+
+// Stepper is dispatched through below; Machine implements it only via the
+// method promoted from its embedded base.
+type Stepper interface {
+	Step() int
+}
+
+type base struct{ n int }
+
+func (b *base) Step() int { return tick() }
+
+// Machine picks up Step by embedding base.
+type Machine struct {
+	base
+}
+
+// Drive dispatches through the interface: the edge must fan out to the
+// promoted implementation on base.
+func Drive(s Stepper) int { return s.Step() }
+
+// Launch runs callees under defer and go: both must be attributed to
+// Launch itself, not to a synthetic frame.
+func Launch(r *Runner) {
+	defer r.Run()
+	go func() {
+		tick()
+	}()
+}
+
+// Bind references Run as a method value without calling it; the reference
+// alone is a conservative call edge.
+func Bind(r *Runner) func() int {
+	f := r.Run
+	return f
+}
+
+var _ Stepper = &Machine{}

@@ -1,0 +1,18 @@
+// Package aes is a keyflow fixture stub: the producer entry points below
+// are configured taint sources, so what matters is how callers handle
+// their results, not what these bodies do.
+package aes
+
+// RecoverMasterKey rewinds a key schedule back to its master key.
+func RecoverMasterKey(schedule []byte) []byte {
+	master := make([]byte, 16)
+	copy(master, schedule)
+	return master
+}
+
+// ExpandKeyBytes expands a master key into a full round-key schedule.
+func ExpandKeyBytes(master []byte) []byte {
+	sched := make([]byte, 176)
+	copy(sched, master)
+	return sched
+}

@@ -1,0 +1,29 @@
+package core
+
+// keyflow field-source fixture: FoundKey.Master mirrors the real attack
+// result and is configured as key material at rest — any read of the
+// field is tainted, no producer call needed.
+
+import "fmt"
+
+// FoundKey is a recovered key with its placement score.
+type FoundKey struct {
+	Master []byte
+	Score  float64
+}
+
+// describeKey reads the secret field into a format call.
+func describeKey(k FoundKey) string {
+	return fmt.Sprintf("%.2f %x", k.Score, k.Master) // want keyflow
+}
+
+// scoreKey touches only the non-secret sibling field: per-field taint
+// must not bleed across the struct.
+func scoreKey(k FoundKey) string {
+	return fmt.Sprintf("%.2f", k.Score)
+}
+
+var (
+	_ = describeKey
+	_ = scoreKey
+)

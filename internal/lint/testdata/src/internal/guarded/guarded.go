@@ -1,0 +1,52 @@
+// Package guarded is the lockguard fixture: the items field is annotated
+// as guarded, and the methods below cover locally-held, caller-held,
+// freshly-constructed, and unguarded access shapes.
+package guarded
+
+import "sync"
+
+// Store is a mutex-protected registry.
+type Store struct {
+	mu sync.Mutex
+	// guarded by mu
+	items map[string]int
+	// guarded by missing
+	bad int // want lockguard
+}
+
+// NewStore builds the registry: accesses to a freshly constructed
+// instance need no lock, nothing else can see it yet.
+func NewStore() *Store {
+	s := &Store{}
+	s.items = make(map[string]int)
+	return s
+}
+
+// Get reads items with the lock held locally.
+func (s *Store) Get(key string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.items[key]
+}
+
+// Unsafe reads items with no lock anywhere on its call paths.
+func (s *Store) Unsafe(key string) int {
+	return s.items[key] // want lockguard
+}
+
+// sumLocked requires its caller to hold the lock.
+func (s *Store) sumLocked() int {
+	total := 0
+	for _, v := range s.items {
+		total += v
+	}
+	return total
+}
+
+// Sum is sumLocked's only caller and acquires the lock first: the
+// caller-held path satisfies the rule.
+func (s *Store) Sum() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sumLocked()
+}

@@ -1,0 +1,38 @@
+package leakdemo
+
+// The sanctioned shapes: fingerprints, map-index reads, and the redacting
+// secret.Bytes container. None of these may fire.
+
+import (
+	"fmt"
+
+	"coldboot/internal/aes"
+	"coldboot/internal/secret"
+)
+
+// FingerprintReport launders the master through internal/secret: calls
+// into the sanitizer package return untainted data.
+func FingerprintReport(schedule []byte) string {
+	master := aes.RecoverMasterKey(schedule)
+	defer secret.Wipe(master)
+	return fmt.Sprintf("key %s", secret.Fingerprint(master))
+}
+
+// SeenBefore converts the master only as a map index read and a delete
+// key — the compiler does not retain either string.
+func SeenBefore(seen map[string]int, schedule []byte) bool {
+	master := aes.RecoverMasterKey(schedule)
+	defer secret.Wipe(master)
+	if _, ok := seen[string(master)]; ok {
+		delete(seen, string(master))
+		return true
+	}
+	return false
+}
+
+// Wrapped formats the redacting container itself: secret.Bytes prints its
+// fingerprint, never the key, so passing it to fmt is fine.
+func Wrapped(schedule []byte) string {
+	sb := secret.New(aes.RecoverMasterKey(schedule))
+	return fmt.Sprint("key ", sb)
+}

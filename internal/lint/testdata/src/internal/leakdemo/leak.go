@@ -1,0 +1,107 @@
+// Package leakdemo is the keyflow fixture: every function handles
+// recovered key material, and the want markers pin exactly which escapes
+// the taint analysis must catch — and which sanctioned shapes it must
+// leave alone.
+package leakdemo
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"coldboot/internal/aes"
+	"coldboot/internal/secret"
+)
+
+// FormatLeak interpolates a recovered master straight into a string.
+func FormatLeak(schedule []byte) string {
+	master := aes.RecoverMasterKey(schedule)
+	return fmt.Sprintf("master=%x", master) // want keyflow
+}
+
+// ErrorLeak smuggles key bytes into an error value.
+func ErrorLeak(schedule []byte) error {
+	master := aes.RecoverMasterKey(schedule)
+	return fmt.Errorf("no slot for key %x", master) // want keyflow
+}
+
+// LogLeak logs a master: the seeded leak. Both the taint rule and the
+// library-silence rule must fire.
+func LogLeak(schedule []byte) {
+	master := aes.RecoverMasterKey(schedule)
+	log.Printf("recovered master %x", master) // want keyflow noprint
+}
+
+// ConvertLeak retains the master in an unwipeable string copy.
+func ConvertLeak(schedule []byte) string {
+	master := aes.RecoverMasterKey(schedule)
+	return string(master) // want keyflow
+}
+
+// MapStoreLeak retains the converted key bytes as a map key.
+func MapStoreLeak(seen map[string]bool, schedule []byte) {
+	master := aes.RecoverMasterKey(schedule)
+	seen[string(master)] = true // want keyflow
+}
+
+// describe leaks its parameter: the taint arrives interprocedurally, down
+// from DescribeLeak's recovered master into the parameter.
+func describe(b []byte) string {
+	return fmt.Sprint(b) // want keyflow
+}
+
+// DescribeLeak hands a master to a helper that formats it.
+func DescribeLeak(schedule []byte) string {
+	return describe(aes.RecoverMasterKey(schedule))
+}
+
+// derive launders nothing: returning key material through a helper keeps
+// the callers' copies tainted.
+func derive(schedule []byte) []byte {
+	return aes.ExpandKeyBytes(aes.RecoverMasterKey(schedule))
+}
+
+// HexLeak re-encodes the derived schedule through a propagator; the hex
+// text is still the key.
+func HexLeak(schedule []byte) string {
+	text := hex.EncodeToString(derive(schedule))
+	return fmt.Sprint("key ", text) // want keyflow
+}
+
+// Export carries key bytes toward a JSON egress; the composite literal
+// keeps the whole document tainted.
+type Export struct {
+	Name string
+	Key  []byte
+}
+
+// JSONLeak encodes the key-bearing document onto an HTTP response.
+func JSONLeak(w http.ResponseWriter, schedule []byte) error {
+	doc := Export{Name: "hit", Key: aes.RecoverMasterKey(schedule)}
+	return json.NewEncoder(w).Encode(doc) // want keyflow
+}
+
+// WriteLeak ships raw key bytes over an HTTP response body.
+func WriteLeak(w http.ResponseWriter, schedule []byte) {
+	w.Write(aes.RecoverMasterKey(schedule)) // want keyflow
+}
+
+// FileLeak writes key bytes to an open file.
+func FileLeak(f *os.File, schedule []byte) error {
+	_, err := f.Write(aes.RecoverMasterKey(schedule)) // want keyflow
+	return err
+}
+
+// WriteFileLeak persists key bytes to disk in one call.
+func WriteFileLeak(path string, schedule []byte) error {
+	return os.WriteFile(path, aes.RecoverMasterKey(schedule), 0o600) // want keyflow
+}
+
+// RevealLeak formats the output of the sanctioned container's Reveal:
+// unwrapping the secret re-taints it.
+func RevealLeak(sb *secret.Bytes) string {
+	return fmt.Sprintf("%x", sb.Reveal()) // want keyflow
+}

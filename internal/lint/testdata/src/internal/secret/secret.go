@@ -1,0 +1,46 @@
+// Package secret is the keyflow fixture's sanitizer stub: the analysis
+// treats this package as opaque, so calls into it launder taint (and
+// Bytes.Reveal is itself a configured source).
+package secret
+
+// Wipe zeroes a key buffer.
+func Wipe(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// Fingerprint returns a short non-invertible identifier for b.
+func Fingerprint(b []byte) string {
+	var acc byte
+	for _, x := range b {
+		acc ^= x
+	}
+	return "sha256:" + string('a'+rune(acc%26))
+}
+
+// Bytes owns a secret buffer and redacts itself when formatted.
+type Bytes struct {
+	buf []byte
+	fp  string
+}
+
+// New wraps key material in the redacting container.
+func New(b []byte) *Bytes {
+	return &Bytes{buf: b, fp: Fingerprint(b)}
+}
+
+// Reveal hands back the raw bytes (a keyflow source at call sites).
+func (s *Bytes) Reveal() []byte { return s.buf }
+
+// Destroy wipes and drops the buffer.
+func (s *Bytes) Destroy() {
+	Wipe(s.buf)
+	s.buf = nil
+}
+
+// Destroyed reports whether the buffer is gone.
+func (s *Bytes) Destroyed() bool { return s.buf == nil }
+
+// String redacts: only the fingerprint escapes through formatting.
+func (s *Bytes) String() string { return s.fp }

@@ -1,0 +1,89 @@
+// Package spawn is the goroleak fixture: goroutines in internal packages
+// must carry a termination path (context, WaitGroup, or channel), and a
+// dynamic function value cannot be proven to stop.
+package spawn
+
+import (
+	"context"
+	"sync"
+)
+
+// LeakForever spins a worker that can never be told to stop.
+func LeakForever(n *int) {
+	go func() { // want goroleak
+		for {
+			*n++
+		}
+	}()
+}
+
+// spin is the named equivalent of the unbounded literal.
+func spin(n *int) {
+	for {
+		*n++
+	}
+}
+
+// LeakNamed launches a named worker with no stop signal.
+func LeakNamed(n *int) {
+	go spin(n) // want goroleak
+}
+
+// LeakDynamic launches through a function value: the launcher cannot
+// prove termination for a callee it does not know.
+func LeakDynamic(fn func()) {
+	go fn() // want goroleak
+}
+
+// OKBounded launches a loop-free body: bounded by construction.
+func OKBounded(n *int) {
+	go func() {
+		*n++
+	}()
+}
+
+// OKCtx threads cancellation through a context.
+func OKCtx(ctx context.Context, ticks chan<- int) {
+	go func() {
+		for i := 0; ; i++ {
+			select {
+			case <-ctx.Done():
+				return
+			case ticks <- i:
+			}
+		}
+	}()
+}
+
+// OKWG is waited for by its launcher.
+func OKWG(work []int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for range work {
+		}
+	}()
+	wg.Wait()
+}
+
+// OKRange drains a channel its producer closes.
+func OKRange(events <-chan int) {
+	go func() {
+		for range events {
+		}
+	}()
+}
+
+// OKReceive blocks on an explicit done channel each iteration.
+func OKReceive(done <-chan struct{}, ticks chan<- int) {
+	go func() {
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			case ticks <- i:
+			}
+		}
+	}()
+}

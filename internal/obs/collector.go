@@ -70,11 +70,11 @@ type Report struct {
 // not usable; call NewCollector.
 type Collector struct {
 	mu           sync.Mutex
-	order        []string
-	stages       map[string]*StageReport
-	counters     map[string]int64
-	spans        []SpanRecord
-	spansDropped int64
+	order        []string                // guarded by mu
+	stages       map[string]*StageReport // guarded by mu
+	counters     map[string]int64        // guarded by mu
+	spans        []SpanRecord            // guarded by mu
+	spansDropped int64                   // guarded by mu
 	nextSpanID   atomic.Uint64
 
 	// firstNs/lastNs hold Now()+1 so zero means "unset"; every hook
@@ -83,8 +83,8 @@ type Collector struct {
 	lastNs  atomic.Int64
 
 	hmu    sync.RWMutex
-	hists  map[string]*Histogram
-	horder []string
+	hists  map[string]*Histogram // guarded by hmu
+	horder []string              // guarded by hmu
 }
 
 // NewCollector returns an empty Collector ready for use as a Tracer.

@@ -42,10 +42,10 @@ const defaultJournalCap = 4096
 // reader observes a gap (the missed count from ReadSince), never a stall.
 type Journal struct {
 	mu       sync.Mutex
-	ring     []Event
-	total    uint64 // events ever appended; Seq of the newest event
-	closed   bool
-	notify   chan struct{}
+	ring     []Event       // guarded by mu
+	total    uint64        // events ever appended; Seq of the newest event; guarded by mu
+	closed   bool          // guarded by mu
+	notify   chan struct{} // guarded by mu
 	nextSpan atomic.Uint64
 }
 

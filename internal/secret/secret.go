@@ -1,0 +1,141 @@
+// Package secret is the sanctioned owner of recovered key material. The
+// whole repo exists to pull AES masters and volume keys out of memory
+// dumps; the paper's threat model (and the "Lest We Remember" /
+// "Security Through Amnesia" lineage it extends) is exactly that such
+// bytes linger. So our own copies are held behind this package: a
+// *Bytes owns one secret buffer, hands out raw views only through an
+// explicit Reveal(), and zeroes the buffer on Destroy(). Free helpers
+// (Wipe, WipeWords, WipeFile, Fingerprint) cover the scratch buffers and
+// spool files that cannot be wrapped.
+//
+// The keyflow lint rule (internal/lint) is built around this package: it
+// treats Reveal() as a taint source, calls into this package as
+// sanitizers, and everything else that formats, stringifies, or writes
+// tainted bytes as a finding. Code outside this package should never
+// need to format key bytes — Fingerprint gives a stable, shareable
+// identity instead.
+package secret
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"os"
+	"runtime"
+)
+
+// Wipe zeroes b in place. runtime.KeepAlive pins the buffer so the write
+// cannot be elided as a dead store ahead of a GC release.
+func Wipe(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
+	runtime.KeepAlive(&b)
+}
+
+// WipeWords zeroes a word buffer (schedule word views, litmus scratch).
+func WipeWords(w []uint32) {
+	for i := range w {
+		w[i] = 0
+	}
+	runtime.KeepAlive(&w)
+}
+
+// Fingerprint is the redacted identity of a secret: "sha256:" plus the
+// first 6 bytes of the SHA-256, enough to correlate sightings across
+// jobs and dumps without ever shipping key bytes.
+func Fingerprint(b []byte) string {
+	sum := sha256.Sum256(b)
+	return "sha256:" + hex.EncodeToString(sum[:6])
+}
+
+// Bytes owns one secret buffer. New copies the input (the caller's copy
+// remains the caller's responsibility); Reveal returns the raw bytes for
+// a sanctioned use; Destroy zeroes them. A destroyed or nil *Bytes
+// reveals nil and fingerprints as the empty string.
+type Bytes struct {
+	buf []byte
+	fp  string
+}
+
+// New wraps a copy of b. The fingerprint is computed eagerly so it stays
+// available after Destroy.
+func New(b []byte) *Bytes {
+	return &Bytes{buf: append([]byte(nil), b...), fp: Fingerprint(b)}
+}
+
+// Reveal returns the raw secret bytes. Callers must not retain the slice
+// past the owner's Destroy. This is the package's only way out for raw
+// key material; the keyflow rule treats every call as a taint source.
+func (s *Bytes) Reveal() []byte {
+	if s == nil {
+		return nil
+	}
+	return s.buf
+}
+
+// Destroy zeroes and drops the buffer. Idempotent.
+func (s *Bytes) Destroy() {
+	if s == nil || s.buf == nil {
+		return
+	}
+	Wipe(s.buf)
+	s.buf = nil
+}
+
+// Destroyed reports whether Destroy has run (or the Bytes is nil/empty).
+func (s *Bytes) Destroyed() bool { return s == nil || s.buf == nil }
+
+// Len returns the secret's length in bytes (0 after Destroy).
+func (s *Bytes) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.buf)
+}
+
+// Fingerprint returns the secret's redacted identity; it survives
+// Destroy so reports can keep correlating a wiped key.
+func (s *Bytes) Fingerprint() string {
+	if s == nil {
+		return ""
+	}
+	return s.fp
+}
+
+// String redacts: a *Bytes dropped into a format string or error prints
+// its fingerprint, never key bytes.
+func (s *Bytes) String() string {
+	if s == nil || s.buf == nil {
+		return "secret.Bytes(destroyed)"
+	}
+	return "secret.Bytes(" + s.fp + ")"
+}
+
+// WipeFile overwrites the file's current contents with zeros and syncs,
+// so deleting it afterwards does not leave key-bearing bytes recoverable
+// from the backing store. Best effort: the first error is returned but
+// the caller should still remove the file.
+func WipeFile(path string) error {
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	var zeros [32 * 1024]byte
+	remaining := st.Size()
+	for remaining > 0 {
+		n := int64(len(zeros))
+		if remaining < n {
+			n = remaining
+		}
+		if _, err := f.Write(zeros[:n]); err != nil {
+			return err
+		}
+		remaining -= n
+	}
+	return f.Sync()
+}

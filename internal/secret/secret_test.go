@@ -1,0 +1,115 @@
+package secret
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWipeZeroes(t *testing.T) {
+	b := []byte{1, 2, 3, 4}
+	Wipe(b)
+	if !bytes.Equal(b, make([]byte, 4)) {
+		t.Fatalf("Wipe left %v", b)
+	}
+	w := []uint32{0xdeadbeef, 1}
+	WipeWords(w)
+	if w[0] != 0 || w[1] != 0 {
+		t.Fatalf("WipeWords left %v", w)
+	}
+}
+
+func TestBytesLifecycle(t *testing.T) {
+	raw := []byte("sixteen byte key")
+	s := New(raw)
+	if got := s.Reveal(); !bytes.Equal(got, raw) {
+		t.Fatalf("Reveal = %q, want %q", got, raw)
+	}
+	if s.Len() != len(raw) {
+		t.Fatalf("Len = %d, want %d", s.Len(), len(raw))
+	}
+	// The owned copy is independent of the caller's buffer.
+	raw[0] = 'X'
+	if s.Reveal()[0] == 'X' {
+		t.Fatal("New did not copy its input")
+	}
+	fp := s.Fingerprint()
+	if !strings.HasPrefix(fp, "sha256:") || len(fp) != len("sha256:")+12 {
+		t.Fatalf("Fingerprint = %q", fp)
+	}
+	view := s.Reveal()
+	s.Destroy()
+	if !s.Destroyed() {
+		t.Fatal("Destroyed() = false after Destroy")
+	}
+	if s.Reveal() != nil || s.Len() != 0 {
+		t.Fatal("destroyed Bytes still reveals data")
+	}
+	if !bytes.Equal(view, make([]byte, len(view))) {
+		t.Fatalf("Destroy left the buffer unwiped: %v", view)
+	}
+	if got := s.Fingerprint(); got != fp {
+		t.Fatalf("Fingerprint changed across Destroy: %q != %q", got, fp)
+	}
+	s.Destroy() // idempotent
+}
+
+func TestNilBytes(t *testing.T) {
+	var s *Bytes
+	if s.Reveal() != nil || s.Len() != 0 || !s.Destroyed() || s.Fingerprint() != "" {
+		t.Fatal("nil *Bytes must behave as destroyed")
+	}
+	s.Destroy()
+}
+
+func TestStringRedacts(t *testing.T) {
+	s := New([]byte{0xAA, 0xBB, 0xCC})
+	out := fmt.Sprint(s)
+	if strings.Contains(out, "aabbcc") || strings.Contains(out, "\xaa") {
+		t.Fatalf("String leaked key bytes: %q", out)
+	}
+	if !strings.Contains(out, s.Fingerprint()) {
+		t.Fatalf("String %q does not carry the fingerprint", out)
+	}
+	s.Destroy()
+	if got := fmt.Sprint(s); got != "secret.Bytes(destroyed)" {
+		t.Fatalf("destroyed String = %q", got)
+	}
+}
+
+func TestFingerprintShape(t *testing.T) {
+	a, b := Fingerprint([]byte("a")), Fingerprint([]byte("b"))
+	if a == b {
+		t.Fatal("distinct inputs share a fingerprint")
+	}
+	if !strings.HasPrefix(a, "sha256:") {
+		t.Fatalf("Fingerprint = %q", a)
+	}
+}
+
+func TestWipeFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "spool")
+	payload := bytes.Repeat([]byte{0x5A}, 70_000) // spans multiple wipe chunks
+	if err := os.WriteFile(path, payload, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := WipeFile(path); err != nil {
+		t.Fatalf("WipeFile: %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(payload) {
+		t.Fatalf("WipeFile changed size: %d != %d", len(got), len(payload))
+	}
+	if !bytes.Equal(got, make([]byte, len(payload))) {
+		t.Fatal("WipeFile left nonzero bytes")
+	}
+	if err := WipeFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("WipeFile on a missing file must error")
+	}
+}

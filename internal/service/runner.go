@@ -2,7 +2,6 @@ package service
 
 import (
 	"context"
-	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
 	"strconv"
@@ -14,6 +13,7 @@ import (
 	"coldboot/internal/format"
 	"coldboot/internal/jobs"
 	"coldboot/internal/obs"
+	"coldboot/internal/secret"
 )
 
 // dumpJob is the payload behind every analysis job: where the upload was
@@ -75,30 +75,36 @@ type KeyReport struct {
 	Fingerprint string  `json:"fingerprint"`
 	Master      string  `json:"master,omitempty"`
 
-	master []byte
+	// master owns the key bytes behind the report; only redacted(reveal)
+	// copies them out, and wipe zeroes them when the job is purged.
+	master *secret.Bytes
 }
 
 // redacted returns a copy safe to serialize: key bytes are dropped unless
-// reveal is set.
+// reveal is set — the one sanctioned exposure of raw key material, behind
+// the caller's explicit ?reveal=keys.
 func (r *ResultReport) redacted(reveal bool) *ResultReport {
 	out := *r
 	out.Keys = make([]KeyReport, len(r.Keys))
 	for i, k := range r.Keys {
 		k.Master = ""
-		if reveal {
-			k.Master = hex.EncodeToString(k.master)
+		if reveal && !k.master.Destroyed() {
+			k.Master = hex.EncodeToString(k.master.Reveal())
 		}
 		out.Keys[i] = k
 	}
 	return &out
 }
 
-// fingerprint is the redacted identity of a master key: a truncated
-// SHA-256, enough to compare against a known-good key out of band without
-// ever shipping key bytes.
-func fingerprint(master []byte) string {
-	sum := sha256.Sum256(master)
-	return "sha256:" + hex.EncodeToString(sum[:6])
+// wipe destroys the report's key material. Fingerprints survive, so a
+// purged job's identity can still be correlated out of band.
+func (r *ResultReport) wipe() {
+	if r == nil {
+		return
+	}
+	for i := range r.Keys {
+		r.Keys[i].master.Destroy()
+	}
 }
 
 // runAnalysis is the pool's RunFunc: open the spooled container, verify
@@ -187,7 +193,7 @@ func buildReport(v aes.Variant, res *core.Result, partial bool) *ResultReport {
 	report.Formats = res.FormatCounts()
 	report.Volumes = res.Volumes
 	for _, k := range res.Keys {
-		master := append([]byte(nil), k.Master...)
+		master := secret.New(k.Master)
 		variant := ""
 		if k.Variant != 0 {
 			// Zero Variant marks a non-schedule key (e.g. a raw ChaCha20
@@ -201,7 +207,7 @@ func buildReport(v aes.Variant, res *core.Result, partial bool) *ResultReport {
 			TableStart:  k.TableStart,
 			Score:       k.Score,
 			Anchors:     k.Anchors,
-			Fingerprint: fingerprint(master),
+			Fingerprint: master.Fingerprint(),
 			master:      master,
 		})
 	}

@@ -1,0 +1,143 @@
+package service
+
+// Secret-hygiene tests for the service surface: recovered masters leave
+// the daemon only through the sanctioned ?reveal=keys path, and a purged
+// job's key material is actually destroyed, not just dereferenced.
+
+import (
+	"encoding/hex"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+// getRaw fetches a path and returns the raw response body as text.
+func getRaw(t testing.TB, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+var fingerprintRE = regexp.MustCompile(`^sha256:[0-9a-f]{12}$`)
+
+// TestRedactionAudit: with a key recovered, every service surface — the
+// status document, the unrevealed result, the live events stream, and
+// /metrics — carries at most SHA-256 fingerprints; the raw master's hex
+// appears nowhere except the explicit ?reveal=keys response.
+func TestRedactionAudit(t *testing.T) {
+	master := testMaster(77)
+	container := buildFixtureContainer(t, 1<<20, 77, master, 2048*64, false)
+	_, ts := testServer(t, Config{Workers: 1, ShardBlocks: 4096, EventBuffer: 1 << 16})
+
+	code, doc := postDump(t, ts, "", container)
+	if code != http.StatusCreated {
+		t.Fatalf("submit: HTTP %d: %v", code, doc)
+	}
+	id := doc["id"].(string)
+	pollUntil(t, ts, id, 60*time.Second, inState("done"))
+
+	masterHex := hex.EncodeToString(master)
+	surfaces := map[string]string{
+		"status":  getRaw(t, ts.URL+"/v1/jobs/"+id),
+		"result":  getRaw(t, ts.URL+"/v1/jobs/"+id+"/result"),
+		"events":  getRaw(t, ts.URL+"/v1/jobs/"+id+"/events"),
+		"metrics": getRaw(t, ts.URL+"/metrics"),
+	}
+	for name, body := range surfaces {
+		if strings.Contains(strings.ToLower(body), masterHex) {
+			t.Errorf("%s leaks raw master key hex", name)
+		}
+	}
+
+	// The unrevealed result still identifies each key by fingerprint.
+	code, result := getDoc(t, ts, "/v1/jobs/"+id+"/result")
+	if code != http.StatusOK {
+		t.Fatalf("result: HTTP %d: %v", code, result)
+	}
+	keys, _ := result["keys"].([]any)
+	if len(keys) == 0 {
+		t.Fatalf("no keys recovered: %v", result)
+	}
+	for _, k := range keys {
+		key := k.(map[string]any)
+		fp, _ := key["fingerprint"].(string)
+		if !fingerprintRE.MatchString(fp) {
+			t.Errorf("fingerprint %q does not match %v", fp, fingerprintRE)
+		}
+		if m, ok := key["master"]; ok && m != "" {
+			t.Errorf("unrevealed result carries master bytes: %v", m)
+		}
+	}
+
+	// The sanctioned path still works: ?reveal=keys ships the real master.
+	revealed := getRaw(t, ts.URL+"/v1/jobs/"+id+"/result?reveal=keys")
+	if !strings.Contains(revealed, masterHex) {
+		t.Errorf("reveal=keys did not return the planted master")
+	}
+}
+
+// TestPurgeDestroysKeyMaterial: DELETE on a terminal job zeroes the
+// report's key bytes (not merely drops the reference) and removes the job
+// from every endpoint.
+func TestPurgeDestroysKeyMaterial(t *testing.T) {
+	master := testMaster(78)
+	container := buildFixtureContainer(t, 1<<20, 78, master, 1024*64, false)
+	svc, ts := testServer(t, Config{Workers: 1, ShardBlocks: 4096})
+
+	code, doc := postDump(t, ts, "", container)
+	if code != http.StatusCreated {
+		t.Fatalf("submit: HTTP %d: %v", code, doc)
+	}
+	id := doc["id"].(string)
+	pollUntil(t, ts, id, 60*time.Second, inState("done"))
+
+	snap, ok := svc.Pool().Get(id)
+	if !ok {
+		t.Fatal("job vanished before purge")
+	}
+	report, ok := snap.Result.(*ResultReport)
+	if !ok || len(report.Keys) == 0 {
+		t.Fatalf("no result report with keys: %+v", snap.Result)
+	}
+	for i := range report.Keys {
+		if report.Keys[i].master.Destroyed() {
+			t.Fatalf("key %d already destroyed before purge", i)
+		}
+	}
+
+	code, pdoc := deleteJob(t, ts, id)
+	if code != http.StatusOK || pdoc["purged"] != true {
+		t.Fatalf("purge: HTTP %d: %v", code, pdoc)
+	}
+
+	// The retained report pointer proves the purge wiped the bytes rather
+	// than just forgetting the job.
+	for i := range report.Keys {
+		if !report.Keys[i].master.Destroyed() {
+			t.Errorf("key %d still holds master bytes after purge", i)
+		}
+		if fp := report.Keys[i].Fingerprint; !fingerprintRE.MatchString(fp) {
+			t.Errorf("fingerprint %q lost by purge", fp)
+		}
+	}
+	if code, _ := getDoc(t, ts, "/v1/jobs/"+id); code != http.StatusNotFound {
+		t.Errorf("status after purge: HTTP %d, want 404", code)
+	}
+	if code, _ := getDoc(t, ts, "/v1/jobs/"+id+"/result"); code != http.StatusNotFound {
+		t.Errorf("result after purge: HTTP %d, want 404", code)
+	}
+	if code, _ := deleteJob(t, ts, id); code != http.StatusNotFound {
+		t.Errorf("delete after purge: HTTP %d, want 404", code)
+	}
+}

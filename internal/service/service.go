@@ -41,6 +41,7 @@ import (
 	"coldboot/internal/format"
 	"coldboot/internal/jobs"
 	"coldboot/internal/obs"
+	"coldboot/internal/secret"
 )
 
 // DefaultMaxUploadBytes bounds POST /v1/jobs bodies when Config leaves
@@ -101,6 +102,8 @@ type Server struct {
 }
 
 // New builds a Server and starts its worker pool.
+//
+//lint:ignore ctxthread New only wires the analysis callback; the scan it references runs per-job under the job's own context
 func New(cfg Config) *Server {
 	if cfg.MaxUploadBytes <= 0 {
 		cfg.MaxUploadBytes = DefaultMaxUploadBytes
@@ -153,12 +156,16 @@ func (s *Server) Pool() *jobs.Pool { return s.pool }
 // jobs are abandoned, new submissions get 503.
 func (s *Server) Drain(ctx context.Context) error { return s.pool.Drain(ctx) }
 
-// jobDone is the pool's terminal hook: delete the spooled container (only
-// needed while the job can still run) and close the job's event journal so
-// streaming readers observe end-of-stream.
+// jobDone is the pool's terminal hook: wipe and delete the spooled
+// container (only needed while the job can still run) and close the job's
+// event journal so streaming readers observe end-of-stream. The dump is
+// overwritten with zeros before the unlink — it holds the victim's memory,
+// key schedules included, and a bare unlink leaves those bytes recoverable
+// from the backing store.
 func (s *Server) jobDone(j *jobs.Job) {
 	if pl, ok := j.Payload().(*dumpJob); ok {
 		if pl.Path != "" {
+			secret.WipeFile(pl.Path)
 			os.Remove(pl.Path)
 		}
 		if pl.journal != nil {
@@ -305,13 +312,20 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, statusDoc(snap, nil))
 }
 
+// handleCancel cancels an active job (202) or, when the job has already
+// reached a terminal state, purges it: the result report's key material is
+// destroyed, the event journal is dropped, and the job disappears from the
+// pool (subsequent GETs 404). DELETE is thus "make this job stop existing":
+// once on a live job to stop it, once more to erase what it recovered.
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
-	snap, err := s.pool.Cancel(r.PathValue("id"))
+	id := r.PathValue("id")
+	snap, err := s.pool.Cancel(id)
 	switch {
 	case errors.Is(err, jobs.ErrNotFound):
 		httpError(w, http.StatusNotFound, "no such job")
 	case errors.Is(err, jobs.ErrFinished):
-		httpError(w, http.StatusConflict, "job already finished (state %s)", snap.State)
+		s.purgeJob(id, snap)
+		writeJSON(w, http.StatusOK, map[string]any{"id": id, "state": snap.State, "purged": true})
 	case err != nil:
 		httpError(w, http.StatusInternalServerError, "canceling: %v", err)
 	default:
@@ -319,6 +333,20 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		// observes its context — within one scan chunk.
 		writeJSON(w, http.StatusAccepted, statusDoc(snap, nil))
 	}
+}
+
+// purgeJob erases a terminal job: pool bookkeeping, journal, and — the
+// part that matters — every copy of recovered key material in its report.
+func (s *Server) purgeJob(id string, snap jobs.Snapshot) {
+	if removed, err := s.pool.Remove(id); err == nil {
+		snap = removed
+	}
+	if report, ok := snap.Result.(*ResultReport); ok {
+		report.wipe()
+	}
+	s.jmu.Lock()
+	delete(s.journals, id)
+	s.jmu.Unlock()
 }
 
 // handleResult serves the key report of a finished job. Key material is

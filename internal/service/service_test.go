@@ -309,9 +309,17 @@ func TestCancelMidRunKeepsPartialResult(t *testing.T) {
 	if result["partial"] != true {
 		t.Errorf("result not marked partial: %v", result)
 	}
-	// Cancelling again conflicts.
-	if code, _ := deleteJob(t, ts, id); code != http.StatusConflict {
-		t.Errorf("second cancel: HTTP %d, want 409", code)
+	// A second DELETE purges the terminal job: key material is destroyed
+	// and the job stops existing.
+	code, pdoc := deleteJob(t, ts, id)
+	if code != http.StatusOK {
+		t.Errorf("second cancel: HTTP %d, want 200: %v", code, pdoc)
+	}
+	if pdoc["purged"] != true {
+		t.Errorf("second cancel not marked purged: %v", pdoc)
+	}
+	if code, _ := getDoc(t, ts, "/v1/jobs/"+id); code != http.StatusNotFound {
+		t.Errorf("status after purge: HTTP %d, want 404", code)
 	}
 	waitDirEmpty(t, dataDir)
 }
