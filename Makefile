@@ -24,6 +24,10 @@
 #   make serve-smoke    build coldbootd, boot it on a random port, push a
 #                       scrambled+decayed fixture dump through the HTTP
 #                       API end to end, and require a clean SIGTERM drain
+#   make crash-smoke    build coldbootd, SIGKILL it mid-hunt, restart it
+#                       against the same data dir, and require the WAL
+#                       replay to resume every submitted job and recover
+#                       the planted masters
 #   make bench          run the paper-figure benchmarks once
 #   make bench-hotpath  regenerate BENCH_hotpath.json (attack hot-path
 #                       kernels, machine-readable; commit the result so the
@@ -37,7 +41,7 @@
 
 GO ?= go
 
-.PHONY: test race lint lint-json lint-fixtures fmt check fuzz-smoke serve-smoke bench bench-hotpath bench-guard all
+.PHONY: test race lint lint-json lint-fixtures fmt check fuzz-smoke serve-smoke crash-smoke bench bench-hotpath bench-guard all
 
 all: check
 
@@ -75,9 +79,13 @@ fuzz-smoke:
 	$(GO) test ./internal/core -run '^$$' -fuzz '^FuzzAESLitmus$$' -fuzztime 10s
 	$(GO) test ./internal/core -run '^$$' -fuzz '^FuzzMineKeys$$' -fuzztime 10s
 	$(GO) test ./internal/format/luks2 -run '^$$' -fuzz '^FuzzParseHeader$$' -fuzztime 10s
+	$(GO) test ./internal/wal -run '^$$' -fuzz '^FuzzReplay$$' -fuzztime 10s
 
 serve-smoke:
 	$(GO) run ./cmd/servesmoke
+
+crash-smoke:
+	$(GO) run ./cmd/crashsmoke
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .

@@ -5,12 +5,27 @@
 //
 //	coldbootd -listen :8080 -workers 2 -job-timeout 2h -data-dir /var/tmp
 //
+// With -data-dir set the job store is durable: every lifecycle mutation
+// is journaled to a write-ahead log under <data-dir>/wal before it
+// applies, and on restart the daemon replays it — queued and mid-run
+// hunts resume, finished jobs stay queryable (key material as
+// fingerprints unless the job was submitted with ?reveal=keys).
+//
+// -role splits the daemon across machines:
+//
+//	coldbootd -role standalone            today's single-process daemon (default)
+//	coldbootd -role coordinator           serve the API and shard every campaign
+//	                                      to workers over /v1/shards/* leases
+//	coldbootd -role worker -coordinator http://host:8080
+//	                                      no API; lease shards, scan, report back
+//
 // API (see internal/service and DESIGN.md "Analysis service"):
 //
 //	POST   /v1/jobs             submit a dump container (body)
 //	GET    /v1/jobs/{id}        status with per-stage progress
 //	DELETE /v1/jobs/{id}        cancel
 //	GET    /v1/jobs/{id}/result key report (?reveal=keys for key material)
+//	POST   /v1/shards/lease     (coordinator) worker lease protocol
 //	GET    /metrics             Prometheus text
 //	GET    /healthz             liveness
 //
@@ -36,9 +51,11 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
 	"syscall"
 	"time"
 
+	"coldboot/internal/fleet"
 	"coldboot/internal/service"
 
 	// Register every target-format scanner (aesxts, chacha20, luks2) so
@@ -46,51 +63,110 @@ import (
 	_ "coldboot/internal/format/all"
 )
 
+// daemonOpts carries the parsed flag set.
+type daemonOpts struct {
+	listen       string
+	workers      int
+	jobTimeout   time.Duration
+	maxUpload    int64
+	dataDir      string
+	retries      int
+	shardBlocks  int
+	drainTimeout time.Duration
+	addrFile     string
+	pprofAddr    string
+	role         string
+	coordinator  string
+	workerName   string
+	leaseTTL     time.Duration
+}
+
 func main() {
-	listen := flag.String("listen", ":8080", "listen address (host:port; :0 picks a free port)")
-	workers := flag.Int("workers", 2, "concurrent analysis jobs")
-	jobTimeout := flag.Duration("job-timeout", 0, "per-job run budget (0 = unlimited)")
-	maxUpload := flag.Int64("max-upload", service.DefaultMaxUploadBytes, "largest accepted upload in bytes")
-	dataDir := flag.String("data-dir", "", "directory for spooled uploads (default: the OS temp dir)")
-	retries := flag.Int("retries", 1, "total attempts for transiently failing jobs")
-	shardBlocks := flag.Int("shard-blocks", 0, "campaign shard size in blocks (0 = default; small values yield fine-grained progress and cancellation)")
-	drainTimeout := flag.Duration("drain-timeout", 10*time.Minute, "how long shutdown waits for running jobs")
-	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening (for scripts using :0)")
-	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = profiling off)")
+	var o daemonOpts
+	flag.StringVar(&o.listen, "listen", ":8080", "listen address (host:port; :0 picks a free port)")
+	flag.IntVar(&o.workers, "workers", 2, "concurrent analysis jobs")
+	flag.DurationVar(&o.jobTimeout, "job-timeout", 0, "per-job run budget (0 = unlimited)")
+	flag.Int64Var(&o.maxUpload, "max-upload", service.DefaultMaxUploadBytes, "largest accepted upload in bytes")
+	flag.StringVar(&o.dataDir, "data-dir", "", "directory for spooled uploads and the durable job journal (default: OS temp dir, no durability)")
+	flag.IntVar(&o.retries, "retries", 1, "total attempts for transiently failing jobs")
+	flag.IntVar(&o.shardBlocks, "shard-blocks", 0, "campaign shard size in blocks (0 = default; small values yield fine-grained progress and cancellation)")
+	flag.DurationVar(&o.drainTimeout, "drain-timeout", 10*time.Minute, "how long shutdown waits for running jobs")
+	flag.StringVar(&o.addrFile, "addr-file", "", "write the bound address to this file once listening (for scripts using :0)")
+	flag.StringVar(&o.pprofAddr, "pprof-addr", "", "serve net/http/pprof on this separate address (empty = profiling off)")
+	flag.StringVar(&o.role, "role", service.RoleStandalone, "fleet role: standalone, coordinator, or worker")
+	flag.StringVar(&o.coordinator, "coordinator", "", "coordinator base URL (required for -role worker)")
+	flag.StringVar(&o.workerName, "worker-name", "", "this worker's name in leases and metrics (default: hostname-pid)")
+	flag.DurationVar(&o.leaseTTL, "lease-ttl", 30*time.Second, "coordinator shard lease lifetime; workers heartbeat a few times per TTL")
 	flag.Parse()
 
 	log.SetFlags(0)
 	log.SetPrefix("coldbootd: ")
-	if err := run(*listen, *workers, *jobTimeout, *maxUpload, *dataDir, *retries, *shardBlocks, *drainTimeout, *addrFile, *pprofAddr); err != nil {
+	var err error
+	if o.role == service.RoleWorker {
+		err = runWorker(o)
+	} else {
+		err = run(o)
+	}
+	if err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(listen string, workers int, jobTimeout time.Duration, maxUpload int64, dataDir string, retries, shardBlocks int, drainTimeout time.Duration, addrFile, pprofAddr string) error {
-	svc := service.New(service.Config{
-		Workers:        workers,
-		JobTimeout:     jobTimeout,
-		MaxUploadBytes: maxUpload,
-		DataDir:        dataDir,
-		MaxAttempts:    retries,
-		ShardBlocks:    shardBlocks,
-	})
+// runWorker is the -role worker loop: no HTTP surface of its own, just a
+// fleet client leasing shards from the coordinator until signalled.
+func runWorker(o daemonOpts) error {
+	if o.coordinator == "" {
+		return fmt.Errorf("-role worker requires -coordinator URL")
+	}
+	name := o.workerName
+	if name == "" {
+		host, err := os.Hostname()
+		if err != nil {
+			host = "worker"
+		}
+		name = host + "-" + strconv.Itoa(os.Getpid())
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	log.Printf("worker %s leasing from %s", name, o.coordinator)
+	w := &fleet.Worker{Base: o.coordinator, Name: name}
+	if err := w.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
+		return err
+	}
+	log.Printf("worker %s stopped", name)
+	return nil
+}
 
-	ln, err := net.Listen("tcp", listen)
+func run(o daemonOpts) error {
+	svc, err := service.New(service.Config{
+		Workers:        o.workers,
+		JobTimeout:     o.jobTimeout,
+		MaxUploadBytes: o.maxUpload,
+		DataDir:        o.dataDir,
+		MaxAttempts:    o.retries,
+		ShardBlocks:    o.shardBlocks,
+		Role:           o.role,
+		LeaseTTL:       o.leaseTTL,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", o.listen)
 	if err != nil {
 		return err
 	}
 	addr := ln.Addr().String()
-	if addrFile != "" {
-		if err := os.WriteFile(addrFile, []byte(addr+"\n"), 0o644); err != nil {
+	if o.addrFile != "" {
+		if err := os.WriteFile(o.addrFile, []byte(addr+"\n"), 0o644); err != nil {
 			ln.Close()
 			return fmt.Errorf("writing -addr-file: %w", err)
 		}
 	}
-	log.Printf("listening on %s (%d workers, max upload %d bytes)", addr, workers, maxUpload)
+	log.Printf("listening on %s (role %s, %d workers, max upload %d bytes)", addr, o.role, o.workers, o.maxUpload)
 
-	if pprofAddr != "" {
-		stopPprof, err := servePprof(pprofAddr)
+	if o.pprofAddr != "" {
+		stopPprof, err := servePprof(o.pprofAddr)
 		if err != nil {
 			ln.Close()
 			return err
@@ -111,8 +187,8 @@ func run(listen string, workers int, jobTimeout time.Duration, maxUpload int64, 
 	}
 	stop() // a second signal kills immediately
 
-	log.Printf("shutting down: draining running jobs (up to %v)", drainTimeout)
-	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	log.Printf("shutting down: draining running jobs (up to %v)", o.drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), o.drainTimeout)
 	defer cancel()
 	// Drain the pool first — running campaigns finish, queued jobs are
 	// abandoned, new submissions get 503 — while the HTTP server stays up

@@ -1,0 +1,350 @@
+// Command crashsmoke is the durability smoke test behind `make
+// crash-smoke`: it builds coldbootd, boots it against a data dir, submits
+// two dump-analysis jobs (one big enough to still be mid-hunt, one queued
+// behind it), SIGKILLs the daemon mid-campaign, restarts it against the
+// same data dir, and requires that the write-ahead log replay requeues
+// both jobs and that both complete with their planted masters recovered —
+// kill -9 during an active hunt must lose no submitted job.
+//
+// It exercises the layer the in-process tests cannot: a real process
+// dying without any chance to flush or drain, and a real second process
+// rebuilding the job store from the bytes that survived on disk.
+package main
+
+import (
+	"bytes"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	//lint:ignore noweakrand seeded deterministic smoke fixture, not keystream material
+	"math/rand"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"coldboot/internal/aes"
+	"coldboot/internal/dumpfile"
+	"coldboot/internal/scramble"
+	"coldboot/internal/workload"
+)
+
+const (
+	blockBytes = 64
+	// veraStart sits past the first few shards so the kill window (after
+	// 4096 blocks of progress) still leaves recovery work for process two.
+	veraStart = 100*blockBytes + 32
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("crash-smoke: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("crash-smoke: PASS")
+}
+
+func run() error {
+	workDir, err := os.MkdirTemp("", "crash-smoke-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(workDir)
+	dataDir := filepath.Join(workDir, "data")
+	if err := os.MkdirAll(dataDir, 0o700); err != nil {
+		return err
+	}
+
+	bin := filepath.Join(workDir, "coldbootd")
+	log.Printf("building coldbootd...")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/coldbootd")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		return fmt.Errorf("building coldbootd: %w", err)
+	}
+
+	// Fixture sizes pick the kill window: the 64 MiB job is mid-campaign
+	// for a comfortable stretch at the gated scan rate, the 2 MiB one
+	// waits behind it on the single worker.
+	big := buildFixture(510, 64<<20)
+	small := buildFixture(511, 2<<20)
+
+	daemon, exited, base, err := startDaemon(bin, dataDir, filepath.Join(workDir, "addr1"))
+	if err != nil {
+		return err
+	}
+	defer daemon.Process.Kill()
+	log.Printf("daemon #1 up at %s", base)
+
+	bigID, err := submit(base, big.container)
+	if err != nil {
+		return err
+	}
+	smallID, err := submit(base, small.container)
+	if err != nil {
+		return err
+	}
+	log.Printf("jobs submitted: %s (64 MiB, running), %s (2 MiB, queued)", bigID, smallID)
+
+	// Wait until the big hunt is demonstrably mid-campaign, then pull the
+	// rug: SIGKILL, no drain, no flush.
+	if err := waitProgress(base, bigID, 4096, exited); err != nil {
+		return err
+	}
+	log.Printf("job %s mid-hunt; sending SIGKILL", bigID)
+	if err := daemon.Process.Kill(); err != nil {
+		return err
+	}
+	<-exited
+
+	daemon2, exited2, base2, err := startDaemon(bin, dataDir, filepath.Join(workDir, "addr2"))
+	if err != nil {
+		return err
+	}
+	defer daemon2.Process.Kill()
+	log.Printf("daemon #2 up at %s (same data dir)", base2)
+
+	// Both jobs must have survived the kill: same IDs, and both complete
+	// with the planted masters recovered end to end.
+	for _, check := range []struct {
+		id     string
+		master []byte
+	}{{bigID, big.vera}, {smallID, small.vera}} {
+		doc, err := pollUntilDone(base2, check.id)
+		if err != nil {
+			return fmt.Errorf("job %s after restart: %w", check.id, err)
+		}
+		log.Printf("job %s resumed and finished (progress %v)", check.id, doc["progress"])
+		if err := assertMaster(base2, check.id, check.master); err != nil {
+			return err
+		}
+	}
+	log.Printf("both planted masters recovered after kill -9")
+
+	// The durability gauges must be live on the restarted daemon.
+	resp, err := http.Get(base2 + "/metrics")
+	if err != nil {
+		return err
+	}
+	metrics, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	for _, want := range []string{"coldbootd_wal_records", "coldbootd_jobs_abandoned_total", "coldbootd_jobs_done_total 2"} {
+		if !strings.Contains(string(metrics), want) {
+			return fmt.Errorf("metrics missing %q", want)
+		}
+	}
+
+	// Graceful shutdown of the second daemon: SIGTERM must drain and exit 0.
+	log.Printf("sending SIGTERM to daemon #2...")
+	if err := daemon2.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	select {
+	case err := <-exited2:
+		if err != nil {
+			return fmt.Errorf("daemon #2 exited uncleanly after SIGTERM: %w", err)
+		}
+	case <-time.After(2 * time.Minute):
+		return fmt.Errorf("daemon #2 did not exit within 2m of SIGTERM")
+	}
+	log.Printf("daemon #2 drained and exited 0")
+	return nil
+}
+
+// startDaemon boots one coldbootd process over the shared data dir and
+// waits for its listen address.
+func startDaemon(bin, dataDir, addrFile string) (*exec.Cmd, <-chan error, string, error) {
+	daemon := exec.Command(bin,
+		"-listen", "127.0.0.1:0",
+		"-addr-file", addrFile,
+		"-workers", "1",
+		"-shard-blocks", "2048",
+		"-data-dir", dataDir,
+		"-drain-timeout", "2m",
+	)
+	daemon.Stdout = os.Stderr
+	daemon.Stderr = os.Stderr
+	if err := daemon.Start(); err != nil {
+		return nil, nil, "", fmt.Errorf("starting coldbootd: %w", err)
+	}
+	exited := make(chan error, 1)
+	go func() { exited <- daemon.Wait() }()
+	addr, err := waitForAddr(addrFile, exited)
+	if err != nil {
+		daemon.Process.Kill()
+		return nil, nil, "", err
+	}
+	return daemon, exited, "http://" + addr, nil
+}
+
+func submit(base string, container []byte) (string, error) {
+	resp, err := http.Post(base+"/v1/jobs?repair=1", "application/octet-stream", bytes.NewReader(container))
+	if err != nil {
+		return "", fmt.Errorf("submitting dump: %w", err)
+	}
+	doc, err := decode(resp)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusCreated {
+		return "", fmt.Errorf("submit: HTTP %d: %v", resp.StatusCode, doc)
+	}
+	id, _ := doc["id"].(string)
+	return id, nil
+}
+
+// waitProgress polls a job until its progress_done crosses minBlocks —
+// proof the campaign is mid-scan, past mining and into shard work.
+func waitProgress(base, id string, minBlocks float64, exited <-chan error) error {
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		select {
+		case err := <-exited:
+			return fmt.Errorf("daemon exited while job %s was running: %v", id, err)
+		default:
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("job %s never reached %v blocks of progress", id, minBlocks)
+		}
+		resp, err := http.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			return err
+		}
+		doc, err := decode(resp)
+		if err != nil {
+			return err
+		}
+		if state, _ := doc["state"].(string); state == "done" {
+			return fmt.Errorf("job %s finished before the kill landed; shrink -shard-blocks", id)
+		}
+		if done, _ := doc["progress_done"].(float64); done >= minBlocks {
+			return nil
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// assertMaster requires the job's revealed result to contain the planted
+// master.
+func assertMaster(base, id string, master []byte) error {
+	resp, err := http.Get(base + "/v1/jobs/" + id + "/result?reveal=keys")
+	if err != nil {
+		return err
+	}
+	result, err := decode(resp)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("result %s: HTTP %d: %v", id, resp.StatusCode, result)
+	}
+	keys, _ := result["keys"].([]any)
+	for _, k := range keys {
+		km, _ := k.(map[string]any)
+		if km["master"] == hex.EncodeToString(master) {
+			return nil
+		}
+	}
+	return fmt.Errorf("job %s result missing the planted master: %v", id, result)
+}
+
+// fixture is one uploadable dump container plus its planted ground truth.
+type fixture struct {
+	container []byte
+	vera      []byte
+}
+
+// buildFixture plants a single AES-256 schedule in a scrambled image
+// under 0.05% bit decay (repair=1 at submit recovers it).
+func buildFixture(seed int64, size int) fixture {
+	rng := rand.New(rand.NewSource(seed))
+	fx := fixture{vera: make([]byte, 32)}
+	rng.Read(fx.vera)
+
+	plain := make([]byte, size)
+	if err := workload.Fill(plain, seed, workload.LightSystem); err != nil {
+		log.Fatal(err)
+	}
+	copy(plain[veraStart:], aes.ExpandKeyBytes(fx.vera))
+
+	dump := make([]byte, size)
+	scramble.NewSkylakeDDR4(uint64(seed)*31+7).Scramble(dump, plain, 0)
+	for i := 0; i < size*8/2000; i++ {
+		bit := rng.Intn(size * 8)
+		dump[bit/8] ^= 1 << uint(bit%8)
+	}
+
+	var buf bytes.Buffer
+	meta := dumpfile.Metadata{CPU: "crash-smoke rig", Channels: 1, ScramblerOn: true, FreezeTempC: -35, TransferSeconds: 60}
+	if err := dumpfile.Write(&buf, meta, dump); err != nil {
+		log.Fatal(err)
+	}
+	fx.container = buf.Bytes()
+	return fx
+}
+
+// pollUntilDone polls a job's status document until it lands in done,
+// failing fast on failed/canceled.
+func pollUntilDone(base, id string) (map[string]any, error) {
+	deadline := time.Now().Add(3 * time.Minute)
+	var doc map[string]any
+	for {
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("job %s did not finish in time; last status %v", id, doc)
+		}
+		resp, err := http.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			return nil, fmt.Errorf("polling: %w", err)
+		}
+		if doc, err = decode(resp); err != nil {
+			return nil, err
+		}
+		state, _ := doc["state"].(string)
+		if state == "done" {
+			return doc, nil
+		}
+		if state == "failed" || state == "canceled" {
+			return nil, fmt.Errorf("job landed in %s: %v", state, doc["error"])
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// waitForAddr tails the -addr-file until the daemon writes its bound
+// address, failing fast if the process dies first.
+func waitForAddr(path string, exited <-chan error) (string, error) {
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		select {
+		case err := <-exited:
+			return "", fmt.Errorf("daemon exited before listening: %v", err)
+		default:
+		}
+		if time.Now().After(deadline) {
+			return "", fmt.Errorf("daemon never wrote %s", path)
+		}
+		b, err := os.ReadFile(path)
+		if err == nil && len(bytes.TrimSpace(b)) > 0 {
+			return string(bytes.TrimSpace(b)), nil
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func decode(resp *http.Response) (map[string]any, error) {
+	defer resp.Body.Close()
+	var doc map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("decoding response: %w", err)
+	}
+	return doc, nil
+}

@@ -129,56 +129,23 @@ func RunCampaign(ctx context.Context, dump []byte, cfg CampaignConfig) (*Result,
 // RunCampaignSource is RunCampaign over a BlockSource: the image is read
 // one mining window / one shard at a time and never held fully resident,
 // so dumps larger than memory stream from disk (pair with dumpfile.Open).
+//
+// It is the in-process composition of the plan primitives — Plan, a
+// concurrent local shard loop over ScanShardBytes, Finalize — that
+// internal/fleet distributes across worker processes. Both paths produce
+// byte-identical results because they share every phase but the shard
+// transport.
 func RunCampaignSource(ctx context.Context, src BlockSource, cfg CampaignConfig) (*Result, error) {
-	if src == nil {
-		return nil, fmt.Errorf("core: nil dump source")
-	}
-	cfg = cfg.withDefaults()
-	privateCache := cfg.Attack.ScheduleCache == nil
-	attackCfg := cfg.Attack.withDefaults()
-	if privateCache {
-		// The defaulted cache is shared across this campaign's shards but
-		// owned by nobody else: retire its schedules with the campaign.
-		defer attackCfg.ScheduleCache.Wipe()
-	}
-	rf, err := resolveFormats(attackCfg.Formats)
-	if err != nil {
+	plan, err := PlanCampaignSource(ctx, src, cfg)
+	if plan == nil {
 		return nil, err
 	}
-	tracer := obs.OrNop(attackCfg.Tracer)
-	totalBlocks := src.Blocks()
-
-	root := startCampaignSpan(tracer, attackCfg.Span, totalBlocks)
-	defer root.End()
-
-	// Global mining pass: keys repeat across the whole image, so one pass
-	// yields the best pool and the true stride.
-	mineTimer := root.Child("campaign.mine")
-	mine, err := MineKeysSource(ctx, src, MineOptions{
-		Tolerance:     attackCfg.LitmusTolerance,
-		MergeDistance: attackCfg.MergeDistance,
-		MaxBytes:      attackCfg.MineMaxBytes,
-	})
-	mineTimer.End()
-	res := &Result{Mine: mine, BlocksScanned: totalBlocks}
+	defer plan.Close()
 	if err != nil {
-		return res, err
+		return plan.Result(), err
 	}
-	res.Stride = mine.InferStride()
-	var directory KeyDirectory
-	switch {
-	case attackCfg.KeysForBlock != nil:
-		directory = attackCfg.KeysForBlock
-	case attackCfg.Exhaustive || res.Stride == 0:
-		directory = AllKeysDirectory(mine)
-	default:
-		res.Coverage = mine.Coverage(res.Stride)
-		directory = ResidueDirectory(mine, res.Stride)
-	}
-
-	overlap := attackCfg.Variant.ScheduleBytes()/BlockBytes + 1
-	shards := Shards(totalBlocks, cfg.ShardBlocks, overlap)
-	root.SetAttr("shards", strconv.Itoa(len(shards)))
+	cfg = plan.cfg
+	totalBlocks := plan.TotalBlocks
 
 	// Shard buffers are pooled per in-flight worker; memory-resident
 	// sources lend subslices instead (no copy at all).
@@ -186,7 +153,7 @@ func RunCampaignSource(ctx context.Context, src BlockSource, cfg CampaignConfig)
 	if _, resident := src.(sliceSource); !resident {
 		bufs = make(chan []byte, cfg.Parallel)
 		for i := 0; i < cfg.Parallel; i++ {
-			bufs <- make([]byte, (cfg.ShardBlocks+overlap)*BlockBytes)
+			bufs <- make([]byte, (cfg.ShardBlocks+plan.Overlap)*BlockBytes)
 		}
 	}
 
@@ -194,6 +161,7 @@ func RunCampaignSource(ctx context.Context, src BlockSource, cfg CampaignConfig)
 		mu        sync.Mutex
 		done      int
 		doneBlk   int
+		pairs     int64
 		collected []FoundKey
 		colVols   []format.Volume
 		campErr   error
@@ -206,7 +174,7 @@ func RunCampaignSource(ctx context.Context, src BlockSource, cfg CampaignConfig)
 	sem := make(chan struct{}, cfg.Parallel)
 	var wg sync.WaitGroup
 shardLoop:
-	for _, sh := range shards {
+	for _, sh := range plan.Shards {
 		select {
 		case <-ctx.Done():
 			mu.Lock()
@@ -220,10 +188,7 @@ shardLoop:
 		go func(sh Shard) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			shSpan := root.Child("shard",
-				obs.A("shard", strconv.Itoa(sh.Index)),
-				obs.A("blocks", strconv.Itoa(sh.FirstBlock)+"-"+strconv.Itoa(sh.FirstBlock+sh.Blocks)),
-				obs.A("offset", "0x"+strconv.FormatInt(int64(sh.FirstBlock)*BlockBytes, 16)+"-0x"+strconv.FormatInt(int64(sh.FirstBlock+sh.Blocks)*BlockBytes, 16)))
+			shSpan := plan.ShardSpan(sh)
 			defer shSpan.End()
 			sub, release, err := shardBytes(src, sh, bufs)
 			if err != nil {
@@ -232,42 +197,30 @@ shardLoop:
 				mu.Unlock()
 				return
 			}
-			sr, serr := scanShard(ctx, sub, sh, mine, directory, attackCfg, shSpan)
+			sr, serr := plan.ScanShardBytes(ctx, sub, sh, shSpan)
 			release()
 			shSpan.SetAttr("keys", strconv.Itoa(len(sr.Keys)))
 			mu.Lock()
 			setErr(serr)
 			collected = append(collected, sr.Keys...)
 			colVols = append(colVols, sr.Volumes...)
-			res.PairsTested += sr.Pairs
+			pairs += sr.Pairs
 			done++
 			doneBlk += sh.Blocks
 			if cfg.OnProgress != nil {
 				cfg.OnProgress(Progress{
-					DoneShards: done, TotalShards: len(shards),
+					DoneShards: done, TotalShards: len(plan.Shards),
 					DoneBlocks: doneBlk, TotalBlocks: totalBlocks,
 					KeysFound: len(collected),
 				})
 			}
 			blk := doneBlk
 			mu.Unlock()
-			tracer.Progress("campaign", int64(blk), int64(totalBlocks))
+			plan.tracer.Progress("campaign", int64(blk), int64(totalBlocks))
 		}(sh)
 	}
 	wg.Wait()
-	mergeTimer := root.Child("campaign.merge")
-	schedBytes := attackCfg.Variant.ScheduleBytes()
-	res.Keys = MergeShardResults(collected, schedBytes)
-	res.Volumes = mergeVolumes(colVols)
-	// Shards report untagged/unfiltered keys; the pair tagging and format
-	// filter run here, once, over the merged cross-shard view.
-	if rf.luks2 {
-		tagLUKS2(res.Keys, res.Volumes, schedBytes)
-	}
-	res.Keys = filterFormats(res.Keys, rf)
-	mergeTimer.End()
-	emitFormatCounts(tracer, rf, res)
-	root.SetAttr("keys", strconv.Itoa(len(res.Keys)))
+	res := plan.Finalize(collected, colVols, pairs)
 	return res, campErr
 }
 

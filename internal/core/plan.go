@@ -1,0 +1,286 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+
+	"coldboot/internal/aes"
+	"coldboot/internal/format"
+	"coldboot/internal/obs"
+)
+
+// Campaign planning: the sharded attack decomposed into three reusable
+// phases so the same pipeline can run in-process (RunCampaignSource) or
+// spread across a worker fleet (internal/fleet):
+//
+//	Plan      mine the scrambler-key pool once globally, infer the
+//	          stride, build the per-block key directory, cut shards;
+//	Scan      run the per-shard attack over one shard's bytes — anywhere:
+//	          the plan's Wire projection carries everything a remote
+//	          worker needs to reproduce a shard scan byte-for-byte;
+//	Finalize  merge shard results, apply LUKS2 pair tagging and format
+//	          filtering once over the cross-shard view.
+//
+// Splitting here (and not at some coarser "send the job elsewhere" level)
+// is what makes fleet results byte-identical to a local campaign: every
+// shard scan — local goroutine or remote lease — goes through the same
+// ScanShardBytes, and every merge goes through the same Finalize.
+
+// CampaignPlan is a planned sharded attack: the global mining products
+// plus the resolved configuration every shard scan shares. Create with
+// PlanCampaignSource (coordinator/local side) or PlanFromWire (remote
+// worker side), and Close when done.
+type CampaignPlan struct {
+	// Mine is the global mining pass output (sighting positions in
+	// full-dump block indices).
+	Mine *MineResult
+	// Stride is the inferred key-reuse period in blocks (0 = none).
+	Stride int
+	// Coverage is the fraction of address classes with a mined key (only
+	// meaningful when the stride directory is in use).
+	Coverage float64
+	// TotalBlocks is the full dump's block count.
+	TotalBlocks int
+	// Overlap is the shard overlap in blocks (one schedule span), so a
+	// key table straddling a boundary is fully visible to one shard.
+	Overlap int
+	// Shards is the shard cut of the dump.
+	Shards []Shard
+
+	cfg          CampaignConfig
+	attackCfg    Config
+	rf           resolvedFormats
+	directory    KeyDirectory
+	tracer       obs.Tracer
+	root         obs.Span
+	res          *Result
+	privateCache bool
+	closed       bool
+}
+
+// PlanCampaignSource runs the campaign's global phase over src: one
+// mining pass, stride inference, directory construction, and the shard
+// cut. On a mining error (including cancellation) the returned plan
+// carries the partial Result and the error; the caller decides whether
+// to scan anyway. Close the plan when finished with it.
+func PlanCampaignSource(ctx context.Context, src BlockSource, cfg CampaignConfig) (*CampaignPlan, error) {
+	if src == nil {
+		return nil, fmt.Errorf("core: nil dump source")
+	}
+	cfg = cfg.withDefaults()
+	privateCache := cfg.Attack.ScheduleCache == nil
+	attackCfg := cfg.Attack.withDefaults()
+	rf, err := resolveFormats(attackCfg.Formats)
+	if err != nil {
+		if privateCache {
+			attackCfg.ScheduleCache.Wipe()
+		}
+		return nil, err
+	}
+	tracer := obs.OrNop(attackCfg.Tracer)
+	totalBlocks := src.Blocks()
+
+	p := &CampaignPlan{
+		TotalBlocks:  totalBlocks,
+		cfg:          cfg,
+		attackCfg:    attackCfg,
+		rf:           rf,
+		tracer:       tracer,
+		privateCache: privateCache,
+	}
+	p.root = startCampaignSpan(tracer, attackCfg.Span, totalBlocks)
+
+	// Global mining pass: keys repeat across the whole image, so one pass
+	// yields the best pool and the true stride.
+	mineTimer := p.root.Child("campaign.mine")
+	mine, err := MineKeysSource(ctx, src, MineOptions{
+		Tolerance:     attackCfg.LitmusTolerance,
+		MergeDistance: attackCfg.MergeDistance,
+		MaxBytes:      attackCfg.MineMaxBytes,
+	})
+	mineTimer.End()
+	p.Mine = mine
+	p.res = &Result{Mine: mine, BlocksScanned: totalBlocks}
+	if err != nil {
+		return p, err
+	}
+	p.Stride = mine.InferStride()
+	p.res.Stride = p.Stride
+	switch {
+	case attackCfg.KeysForBlock != nil:
+		p.directory = attackCfg.KeysForBlock
+	case attackCfg.Exhaustive || p.Stride == 0:
+		p.directory = AllKeysDirectory(mine)
+	default:
+		p.Coverage = mine.Coverage(p.Stride)
+		p.res.Coverage = p.Coverage
+		p.directory = ResidueDirectory(mine, p.Stride)
+	}
+
+	p.Overlap = attackCfg.Variant.ScheduleBytes()/BlockBytes + 1
+	p.Shards = Shards(totalBlocks, cfg.ShardBlocks, p.Overlap)
+	p.root.SetAttr("shards", strconv.Itoa(len(p.Shards)))
+	return p, nil
+}
+
+// Result returns the plan's accumulating result document (mining stats
+// immediately; keys and volumes after Finalize). It is valid — possibly
+// partial — even when planning or scanning errored.
+func (p *CampaignPlan) Result() *Result { return p.res }
+
+// Config returns the plan's defaulted per-shard attack configuration.
+func (p *CampaignPlan) Config() Config { return p.attackCfg }
+
+// ShardSpan opens the tracing span for one shard's scan, parented under
+// the campaign root when the plan has one (coordinator side) or rooted at
+// the tracer otherwise (remote worker side). End it when the scan
+// completes.
+func (p *CampaignPlan) ShardSpan(sh Shard) obs.Span {
+	attrs := []obs.Attr{
+		obs.A("shard", strconv.Itoa(sh.Index)),
+		obs.A("blocks", strconv.Itoa(sh.FirstBlock)+"-"+strconv.Itoa(sh.FirstBlock+sh.Blocks)),
+		obs.A("offset", "0x"+strconv.FormatInt(int64(sh.FirstBlock)*BlockBytes, 16)+"-0x"+strconv.FormatInt(int64(sh.FirstBlock+sh.Blocks)*BlockBytes, 16)),
+	}
+	if p.root != nil {
+		return p.root.Child("shard", attrs...)
+	}
+	return p.tracer.StartSpan("shard", attrs...)
+}
+
+// ScanShardBytes runs the attack pipeline over one shard's raw bytes
+// (sub must hold exactly sh.Blocks blocks starting at sh.FirstBlock of
+// the dump). Results come back rebased to full-dump coordinates,
+// untagged and unfiltered — Finalize owns tagging — so a local goroutine
+// and a remote worker produce interchangeable ShardResults.
+func (p *CampaignPlan) ScanShardBytes(ctx context.Context, sub []byte, sh Shard, span obs.Span) (ShardResult, error) {
+	if span == nil {
+		span = p.ShardSpan(sh)
+		defer span.End()
+	}
+	return scanShard(ctx, sub, sh, p.Mine, p.directory, p.attackCfg, span)
+}
+
+// Finalize merges the collected shard results into the plan's Result:
+// cross-shard dedup, LUKS2 schedule-pair tagging, format filtering, and
+// per-format counters — the exact post-merge path of a single-process
+// campaign, so N workers' shards assemble into the same bytes.
+func (p *CampaignPlan) Finalize(collected []FoundKey, vols []format.Volume, pairs int64) *Result {
+	mergeTimer := p.root.Child("campaign.merge")
+	schedBytes := p.attackCfg.Variant.ScheduleBytes()
+	p.res.PairsTested = pairs
+	p.res.Keys = MergeShardResults(collected, schedBytes)
+	p.res.Volumes = mergeVolumes(vols)
+	// Shards report untagged/unfiltered keys; the pair tagging and format
+	// filter run here, once, over the merged cross-shard view.
+	if p.rf.luks2 {
+		tagLUKS2(p.res.Keys, p.res.Volumes, schedBytes)
+	}
+	p.res.Keys = filterFormats(p.res.Keys, p.rf)
+	mergeTimer.End()
+	emitFormatCounts(p.tracer, p.rf, p.res)
+	p.root.SetAttr("keys", strconv.Itoa(len(p.res.Keys)))
+	return p.res
+}
+
+// Close ends the campaign span and retires a plan-owned schedule cache.
+// Idempotent.
+func (p *CampaignPlan) Close() {
+	if p.closed {
+		return
+	}
+	p.closed = true
+	if p.root != nil {
+		p.root.End()
+	}
+	if p.privateCache {
+		p.attackCfg.ScheduleCache.Wipe()
+	}
+}
+
+// WirePlan is the serializable projection of a CampaignPlan: everything
+// a remote worker needs to reproduce a shard scan byte-for-byte. It
+// deliberately excludes host-local state (KeysForBlock closures, tracer,
+// schedule cache) and the mining knobs the plan already consumed.
+//
+// The mined Keys ride along raw: they are scrambler keystream blocks
+// recovered FROM the attacker-held dump, not recovered secrets — the
+// keyflow boundary (secret.Bytes fingerprints) applies to AES masters in
+// results at rest, which travel the fleet transport, never the WAL.
+type WirePlan struct {
+	Variant         aes.Variant `json:"variant"`
+	Formats         []string    `json:"formats,omitempty"`
+	LitmusTolerance int         `json:"litmus_tolerance,omitempty"`
+	AESTolerance    int         `json:"aes_tolerance,omitempty"`
+	MinVerifyScore  float64     `json:"min_verify_score,omitempty"`
+	RepairFlips     int         `json:"repair_flips,omitempty"`
+	Exhaustive      bool        `json:"exhaustive,omitempty"`
+	Workers         int         `json:"workers,omitempty"`
+	Stride          int         `json:"stride,omitempty"`
+	TotalBlocks     int         `json:"total_blocks"`
+	Overlap         int         `json:"overlap"`
+	Mine            *MineResult `json:"mine"`
+}
+
+// Wire projects the plan for shipment to workers.
+func (p *CampaignPlan) Wire() *WirePlan {
+	return &WirePlan{
+		Variant:         p.attackCfg.Variant,
+		Formats:         p.attackCfg.Formats,
+		LitmusTolerance: p.attackCfg.LitmusTolerance,
+		AESTolerance:    p.attackCfg.AESTolerance,
+		MinVerifyScore:  p.attackCfg.MinVerifyScore,
+		RepairFlips:     p.attackCfg.RepairFlips,
+		Exhaustive:      p.attackCfg.Exhaustive,
+		Workers:         p.attackCfg.Workers,
+		Stride:          p.Stride,
+		TotalBlocks:     p.TotalBlocks,
+		Overlap:         p.Overlap,
+		Mine:            p.Mine,
+	}
+}
+
+// PlanFromWire reconstructs a scan-capable plan on a remote worker: the
+// same directory-construction rules as PlanCampaignSource, minus the
+// mining pass (the coordinator already paid it). The resulting plan can
+// ScanShardBytes; it cannot Finalize a campaign it did not plan.
+func PlanFromWire(w *WirePlan, tracer obs.Tracer) (*CampaignPlan, error) {
+	if w == nil || w.Mine == nil {
+		return nil, fmt.Errorf("core: wire plan missing mine pool")
+	}
+	attackCfg := Config{
+		Variant:         w.Variant,
+		Formats:         w.Formats,
+		LitmusTolerance: w.LitmusTolerance,
+		AESTolerance:    w.AESTolerance,
+		MinVerifyScore:  w.MinVerifyScore,
+		RepairFlips:     w.RepairFlips,
+		Exhaustive:      w.Exhaustive,
+		Workers:         w.Workers,
+		Tracer:          tracer,
+	}.withDefaults()
+	rf, err := resolveFormats(attackCfg.Formats)
+	if err != nil {
+		attackCfg.ScheduleCache.Wipe()
+		return nil, err
+	}
+	p := &CampaignPlan{
+		Mine:         w.Mine,
+		Stride:       w.Stride,
+		TotalBlocks:  w.TotalBlocks,
+		Overlap:      w.Overlap,
+		attackCfg:    attackCfg,
+		rf:           rf,
+		tracer:       obs.OrNop(tracer),
+		res:          &Result{Mine: w.Mine, Stride: w.Stride, BlocksScanned: w.TotalBlocks},
+		privateCache: true,
+	}
+	if attackCfg.Exhaustive || w.Stride == 0 {
+		p.directory = AllKeysDirectory(w.Mine)
+	} else {
+		p.Coverage = w.Mine.Coverage(w.Stride)
+		p.res.Coverage = p.Coverage
+		p.directory = ResidueDirectory(w.Mine, w.Stride)
+	}
+	return p, nil
+}

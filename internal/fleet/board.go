@@ -1,0 +1,337 @@
+// Package fleet distributes a campaign across processes: a coordinator
+// plans the attack (one global mining pass), cuts the dump into shards,
+// and hands shards out to workers over HTTP leases; workers scan their
+// shard with the exact per-shard pipeline a local campaign uses
+// (core.CampaignPlan.ScanShardBytes) and post the results back; the
+// coordinator merges through the same Finalize path. Because every phase
+// but the transport is shared with core.RunCampaignSource, a fleet
+// campaign's Result is byte-identical to a single-process run over the
+// same dump.
+//
+// Failure model: leases expire. A worker that stops heartbeating loses
+// its shard back to the queue (requeue); when the queue is empty but
+// shards are still outstanding, an idle worker is handed a duplicate
+// lease on the longest-running one (work stealing) and the first
+// completion wins. Shard results are idempotent — both copies of a stolen
+// shard produce the same bytes — so duplicates are simply dropped.
+//
+// The package never reads the wall clock (noprint contract): lease
+// deadlines come from obs.Now(), the tracer-side monotonic clock.
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"coldboot/internal/core"
+	"coldboot/internal/obs"
+)
+
+// shard lease lifecycle: queued -> leased (1..2 workers) -> done.
+const (
+	shardQueued = iota
+	shardLeased
+	shardDone
+)
+
+// Lease is one worker's claim on one shard, valid until expiry (renewed
+// by heartbeats).
+type Lease struct {
+	ID     string
+	Worker string
+	// Shard is the leased shard, in full-dump coordinates.
+	Shard core.Shard
+	// Stolen marks a duplicate lease granted on a straggling shard.
+	Stolen bool
+
+	granted int64 // obs.Now at grant
+	expiry  int64 // obs.Now deadline, renewed by Heartbeat
+	span    obs.Span
+}
+
+type boardShard struct {
+	shard    core.Shard
+	status   int
+	queuedAt int64             // obs.Now when (re)queued, for fleet.lease_wait_ns
+	leases   map[string]*Lease // outstanding leases, keyed by lease ID
+	result   *core.ShardResult
+}
+
+// BoardStats is the board's gauge set (exported at /metrics by the
+// coordinator role).
+type BoardStats struct {
+	Queued int `json:"queued"`
+	Leased int `json:"leased"`
+	Done   int `json:"done"`
+	Total  int `json:"total"`
+	// Requeues counts leases that expired and put their shard back in the
+	// queue; Steals counts duplicate leases granted on stragglers.
+	Requeues int `json:"requeues"`
+	Steals   int `json:"steals"`
+}
+
+// Board is the coordinator-side shard lease state machine for one
+// campaign. Safe for concurrent use.
+type Board struct {
+	mu       sync.Mutex
+	ttl      int64
+	tracer   obs.Tracer
+	shards   []*boardShard
+	leases   map[string]*Lease
+	queue    []int // indices into shards, FIFO
+	done     int
+	requeues int
+	steals   int
+	seq      uint64
+	finished chan struct{}
+	now      func() int64 // obs.Now, injectable in tests
+}
+
+// NewBoard builds a board over the plan's shard cut. ttl is the lease
+// lifetime; a worker must heartbeat faster than this or its shard goes
+// back to the queue.
+func NewBoard(shards []core.Shard, ttl time.Duration, tracer obs.Tracer) *Board {
+	b := &Board{
+		ttl:      int64(ttl),
+		tracer:   obs.OrNop(tracer),
+		leases:   make(map[string]*Lease),
+		finished: make(chan struct{}),
+		now:      obs.Now,
+	}
+	start := obs.Now()
+	for i, sh := range shards {
+		b.shards = append(b.shards, &boardShard{
+			shard:    sh,
+			queuedAt: start,
+			leases:   make(map[string]*Lease),
+		})
+		b.queue = append(b.queue, i)
+	}
+	if len(shards) == 0 {
+		close(b.finished)
+	}
+	return b
+}
+
+// Lease grants worker a shard: the oldest queued one, or — when the queue
+// is drained but shards are still outstanding — a duplicate (stolen)
+// lease on the longest-running single-leased shard. ok is false when
+// there is nothing to hand out (all shards done, or every straggler
+// already has a second worker on it).
+func (b *Board) Lease(worker string) (Lease, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	b.expireLocked(now)
+
+	var (
+		idx    int
+		stolen bool
+	)
+	if len(b.queue) > 0 {
+		idx, b.queue = b.queue[0], b.queue[1:]
+		b.tracer.Observe("fleet.lease_wait_ns", now-b.shards[idx].queuedAt)
+	} else {
+		idx, stolen = b.stealTargetLocked()
+		if !stolen {
+			return Lease{}, false
+		}
+		b.steals++
+		b.tracer.Count("fleet.steals", 1)
+	}
+	sh := b.shards[idx]
+	sh.status = shardLeased
+	b.seq++
+	l := &Lease{
+		ID:      "l" + strconv.FormatUint(b.seq, 10),
+		Worker:  worker,
+		Shard:   sh.shard,
+		Stolen:  stolen,
+		granted: now,
+		expiry:  now + b.ttl,
+		span: b.tracer.StartSpan("fleet.lease",
+			obs.A("shard", strconv.Itoa(sh.shard.Index)),
+			obs.A("worker", worker),
+			obs.A("stolen", strconv.FormatBool(stolen))),
+	}
+	sh.leases[l.ID] = l
+	b.leases[l.ID] = l
+	return *l, true
+}
+
+// stealTargetLocked picks the straggler to duplicate: the leased shard
+// with the oldest outstanding grant that has only one worker on it.
+func (b *Board) stealTargetLocked() (int, bool) {
+	best, bestGrant := -1, int64(0)
+	for i, sh := range b.shards {
+		if sh.status != shardLeased || len(sh.leases) != 1 {
+			continue
+		}
+		var g int64
+		for _, l := range sh.leases {
+			g = l.granted
+		}
+		if best == -1 || g < bestGrant {
+			best, bestGrant = i, g
+		}
+	}
+	return best, best != -1
+}
+
+// Heartbeat renews a lease's expiry. False means the lease is gone —
+// expired and requeued, or its shard already completed — and the worker
+// should abandon the scan.
+func (b *Board) Heartbeat(leaseID string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	b.expireLocked(now)
+	l, ok := b.leases[leaseID]
+	if !ok {
+		return false
+	}
+	l.expiry = now + b.ttl
+	return true
+}
+
+// Complete records a shard's results under the given lease. accepted is
+// false for an unknown lease or a shard another worker already finished
+// (the stolen-duplicate loser) — both benign, the results are dropped.
+func (b *Board) Complete(leaseID string, res core.ShardResult) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	l, ok := b.leases[leaseID]
+	if !ok {
+		return false
+	}
+	sh := b.shards[shardByIndex(b.shards, l.Shard.Index)]
+	b.dropLeaseLocked(l, "complete")
+	if sh.status == shardDone {
+		return false
+	}
+	if res.Shard.Index != sh.shard.Index {
+		return false
+	}
+	sh.status = shardDone
+	sh.result = &res
+	// Retire any duplicate leases still out on this shard.
+	for _, dup := range sh.leases {
+		b.dropLeaseLocked(dup, "superseded")
+	}
+	b.done++
+	b.tracer.Observe("fleet.shard_ns", now-l.granted)
+	if b.done == len(b.shards) {
+		close(b.finished)
+	}
+	return true
+}
+
+// Expire requeues every lease whose holder stopped heartbeating. It is
+// called internally by Lease/Heartbeat; the coordinator also ticks it so
+// a dead fleet's shards requeue even with no worker traffic.
+func (b *Board) Expire() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.expireLocked(b.now())
+}
+
+func (b *Board) expireLocked(now int64) int {
+	n := 0
+	for _, l := range b.leases {
+		if l.expiry > now {
+			continue
+		}
+		sh := b.shards[shardByIndex(b.shards, l.Shard.Index)]
+		b.dropLeaseLocked(l, "expired")
+		n++
+		if sh.status == shardDone {
+			continue
+		}
+		if len(sh.leases) == 0 {
+			sh.status = shardQueued
+			sh.queuedAt = now
+			b.queue = append(b.queue, shardByIndex(b.shards, l.Shard.Index))
+			b.requeues++
+			b.tracer.Count("fleet.requeues", 1)
+		}
+	}
+	return n
+}
+
+// dropLeaseLocked removes a lease from both indexes and closes its span.
+func (b *Board) dropLeaseLocked(l *Lease, outcome string) {
+	sh := b.shards[shardByIndex(b.shards, l.Shard.Index)]
+	delete(sh.leases, l.ID)
+	delete(b.leases, l.ID)
+	if l.span != nil {
+		l.span.SetAttr("outcome", outcome)
+		l.span.End()
+		l.span = nil
+	}
+}
+
+// Done is closed when every shard has a result.
+func (b *Board) Done() <-chan struct{} { return b.finished }
+
+// Results returns the completed shard results in shard order. It errors
+// if any shard is still outstanding (the merge must see every shard).
+func (b *Board) Results() ([]core.ShardResult, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]core.ShardResult, 0, len(b.shards))
+	for _, sh := range b.shards {
+		if sh.status != shardDone {
+			return nil, fmt.Errorf("fleet: shard %d incomplete", sh.shard.Index)
+		}
+		out = append(out, *sh.result)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Shard.Index < out[j].Shard.Index })
+	return out, nil
+}
+
+// Stats snapshots the board's gauges.
+func (b *Board) Stats() BoardStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := BoardStats{Total: len(b.shards), Requeues: b.requeues, Steals: b.steals}
+	for _, sh := range b.shards {
+		switch sh.status {
+		case shardQueued:
+			st.Queued++
+		case shardLeased:
+			st.Leased++
+		case shardDone:
+			st.Done++
+		}
+	}
+	return st
+}
+
+// Abort closes out the board's outstanding lease spans (campaign
+// cancelled); the board accepts no useful work afterwards.
+func (b *Board) Abort() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, l := range b.leases {
+		b.dropLeaseLocked(l, "aborted")
+	}
+}
+
+// shardByIndex maps a shard's campaign index to its slot in the board's
+// slice. The two are identical today (boards are built from the plan's
+// ordered cut), but the lookup keeps that an implementation detail.
+func shardByIndex(shards []*boardShard, index int) int {
+	if index >= 0 && index < len(shards) && shards[index].shard.Index == index {
+		return index
+	}
+	for i, sh := range shards {
+		if sh.shard.Index == index {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,166 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+
+	"coldboot/internal/core"
+)
+
+// fakeClock drives the board's monotonic clock by hand.
+type fakeClock struct{ t int64 }
+
+func (c *fakeClock) now() int64      { return c.t }
+func (c *fakeClock) advance(d int64) { c.t += d }
+func testShards(n, blocks int) []core.Shard {
+	out := make([]core.Shard, n)
+	for i := range out {
+		out[i] = core.Shard{Index: i, FirstBlock: i * blocks, Blocks: blocks}
+	}
+	return out
+}
+
+func testBoard(n int, ttl time.Duration) (*Board, *fakeClock) {
+	clk := &fakeClock{}
+	b := NewBoard(testShards(n, 128), ttl, nil)
+	b.now = clk.now
+	return b, clk
+}
+
+func result(sh core.Shard) core.ShardResult {
+	return core.ShardResult{Shard: sh, Pairs: int64(sh.Index + 1)}
+}
+
+func TestBoardLeaseCompleteFlow(t *testing.T) {
+	b, _ := testBoard(2, time.Minute)
+	l1, ok1 := b.Lease("w1")
+	l2, ok2 := b.Lease("w2")
+	if !ok1 || !ok2 {
+		t.Fatal("two shards, two leases expected")
+	}
+	if l1.Shard.Index == l2.Shard.Index {
+		t.Fatal("same shard leased twice with queue non-empty")
+	}
+	if !b.Complete(l1.ID, result(l1.Shard)) {
+		t.Fatal("first completion rejected")
+	}
+	select {
+	case <-b.Done():
+		t.Fatal("board done with a shard outstanding")
+	default:
+	}
+	if !b.Complete(l2.ID, result(l2.Shard)) {
+		t.Fatal("second completion rejected")
+	}
+	select {
+	case <-b.Done():
+	default:
+		t.Fatal("board not done after all completions")
+	}
+	results, err := b.Results()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 || results[0].Shard.Index != 0 || results[1].Shard.Index != 1 {
+		t.Fatalf("results out of shard order: %+v", results)
+	}
+	st := b.Stats()
+	if st.Done != 2 || st.Queued != 0 || st.Leased != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestBoardExpiryRequeues(t *testing.T) {
+	b, clk := testBoard(1, time.Second)
+	l, ok := b.Lease("w1")
+	if !ok {
+		t.Fatal("no lease")
+	}
+	clk.advance(int64(2 * time.Second))
+	if n := b.Expire(); n != 1 {
+		t.Fatalf("Expire requeued %d leases, want 1", n)
+	}
+	if b.Heartbeat(l.ID) {
+		t.Fatal("expired lease heartbeat accepted")
+	}
+	if b.Complete(l.ID, result(l.Shard)) {
+		t.Fatal("expired lease completion accepted")
+	}
+	l2, ok := b.Lease("w2")
+	if !ok || l2.Shard.Index != l.Shard.Index || l2.Stolen {
+		t.Fatalf("requeued shard not re-leased cleanly: %+v ok=%v", l2, ok)
+	}
+	if st := b.Stats(); st.Requeues != 1 {
+		t.Fatalf("Requeues = %d, want 1", st.Requeues)
+	}
+}
+
+func TestBoardHeartbeatExtendsLease(t *testing.T) {
+	b, clk := testBoard(1, time.Second)
+	l, _ := b.Lease("w1")
+	for i := 0; i < 5; i++ {
+		clk.advance(int64(700 * time.Millisecond))
+		if !b.Heartbeat(l.ID) {
+			t.Fatalf("heartbeat %d rejected", i)
+		}
+	}
+	if !b.Complete(l.ID, result(l.Shard)) {
+		t.Fatal("heartbeat-kept lease could not complete")
+	}
+	if st := b.Stats(); st.Requeues != 0 {
+		t.Fatalf("heartbeats did not prevent requeue (%d)", st.Requeues)
+	}
+}
+
+// TestBoardWorkStealing: with the queue drained, an idle worker is handed
+// a duplicate lease on the straggling shard; the first completion wins and
+// the loser's result is dropped.
+func TestBoardWorkStealing(t *testing.T) {
+	b, _ := testBoard(1, time.Minute)
+	orig, ok := b.Lease("slow")
+	if !ok {
+		t.Fatal("no initial lease")
+	}
+	dup, ok := b.Lease("fast")
+	if !ok || !dup.Stolen || dup.Shard.Index != orig.Shard.Index {
+		t.Fatalf("no stolen duplicate: %+v ok=%v", dup, ok)
+	}
+	if _, ok := b.Lease("third"); ok {
+		t.Fatal("shard with two outstanding leases stolen again")
+	}
+	if !b.Complete(dup.ID, result(dup.Shard)) {
+		t.Fatal("stealing worker's completion rejected")
+	}
+	if b.Complete(orig.ID, result(orig.Shard)) {
+		t.Fatal("losing duplicate's completion accepted")
+	}
+	st := b.Stats()
+	if st.Steals != 1 || st.Done != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if _, err := b.Results(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoardUnknownLease(t *testing.T) {
+	b, _ := testBoard(1, time.Minute)
+	if b.Heartbeat("nope") {
+		t.Fatal("unknown lease heartbeat accepted")
+	}
+	if b.Complete("nope", core.ShardResult{}) {
+		t.Fatal("unknown lease completion accepted")
+	}
+}
+
+func TestBoardEmptyIsDone(t *testing.T) {
+	b := NewBoard(nil, time.Minute, nil)
+	select {
+	case <-b.Done():
+	default:
+		t.Fatal("empty board not immediately done")
+	}
+	if _, ok := b.Lease("w"); ok {
+		t.Fatal("empty board granted a lease")
+	}
+}

@@ -1,0 +1,346 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"coldboot/internal/core"
+	"coldboot/internal/format"
+	"coldboot/internal/obs"
+)
+
+// Wire DTOs shared by coordinator and worker. The shard-result body
+// intentionally carries raw recovered masters: the fleet transport is the
+// one sanctioned channel where key bytes leave a process, because the
+// coordinator needs the real bytes to merge, dedup, and verify-tag across
+// shards. Results at rest (WAL, job store) still go through
+// secret.Bytes fingerprints in internal/service.
+
+type leaseRequest struct {
+	Worker string `json:"worker"`
+}
+
+type leaseResponse struct {
+	Campaign string     `json:"campaign"`
+	Lease    string     `json:"lease"`
+	Stolen   bool       `json:"stolen,omitempty"`
+	Shard    core.Shard `json:"shard"`
+	// TTLNs is the lease lifetime; workers heartbeat a few times per TTL.
+	TTLNs int64 `json:"ttl_ns"`
+}
+
+type leaseRef struct {
+	Campaign string `json:"campaign"`
+	Lease    string `json:"lease"`
+}
+
+type completeRequest struct {
+	Campaign string          `json:"campaign"`
+	Lease    string          `json:"lease"`
+	Shard    core.Shard      `json:"shard"`
+	Keys     []core.FoundKey `json:"keys"`
+	Volumes  []format.Volume `json:"volumes"`
+	Pairs    int64           `json:"pairs"`
+}
+
+// CoordinatorStats aggregates every live campaign's board gauges plus the
+// worker-liveness gauge for /metrics.
+type CoordinatorStats struct {
+	Campaigns    int `json:"campaigns"`
+	WorkersAlive int `json:"workers_alive"`
+	BoardStats
+}
+
+// Coordinator owns the server side of a fleet: it plans campaigns,
+// boards their shards, and serves the lease protocol. One Coordinator
+// can run several campaigns concurrently (the daemon's job pool may
+// overlap jobs); workers lease from whichever campaign has work.
+type Coordinator struct {
+	ttl    time.Duration
+	tracer obs.Tracer
+
+	mu       sync.Mutex
+	sessions map[string]*session
+	order    []string // session IDs, oldest first: lease scan order
+	seq      uint64
+	workers  map[string]int64 // worker name -> last contact (obs.Now)
+}
+
+type session struct {
+	id    string
+	plan  *core.CampaignPlan
+	wire  []byte // marshaled core.WirePlan, served to workers once each
+	src   core.BlockSource
+	board *Board
+}
+
+// NewCoordinator builds a coordinator. ttl is the shard lease lifetime
+// (zero means 30s); tracer observes lease spans, fleet histograms, and
+// the campaigns' own pipeline stages.
+func NewCoordinator(ttl time.Duration, tracer obs.Tracer) *Coordinator {
+	if ttl <= 0 {
+		ttl = 30 * time.Second
+	}
+	return &Coordinator{
+		ttl:      ttl,
+		tracer:   obs.OrNop(tracer),
+		sessions: make(map[string]*session),
+		workers:  make(map[string]int64),
+	}
+}
+
+// Register mounts the fleet protocol on mux.
+func (c *Coordinator) Register(mux *http.ServeMux) {
+	mux.HandleFunc("POST /v1/shards/lease", c.handleLease)
+	mux.HandleFunc("POST /v1/shards/heartbeat", c.handleHeartbeat)
+	mux.HandleFunc("POST /v1/shards/complete", c.handleComplete)
+	mux.HandleFunc("GET /v1/shards/plan", c.handlePlan)
+	mux.HandleFunc("GET /v1/shards/data", c.handleData)
+}
+
+// Run executes one campaign over the fleet: plan locally (the mining
+// pass reads the dump directly), post the shards, wait for workers to
+// finish them, merge. It is the distributed twin of
+// core.RunCampaignSource and returns the identical Result. Cancellation
+// returns the context error; shards completed so far are merged.
+func (c *Coordinator) Run(ctx context.Context, src core.BlockSource, cfg core.CampaignConfig) (*core.Result, error) {
+	if cfg.Attack.Tracer == nil {
+		cfg.Attack.Tracer = c.tracer
+	}
+	plan, err := core.PlanCampaignSource(ctx, src, cfg)
+	if plan == nil {
+		return nil, err
+	}
+	defer plan.Close()
+	if err != nil {
+		return plan.Result(), err
+	}
+	if cfg.Attack.KeysForBlock != nil {
+		return plan.Result(), fmt.Errorf("fleet: KeysForBlock overrides are process-local and cannot be distributed")
+	}
+	wire, err := json.Marshal(plan.Wire())
+	if err != nil {
+		return plan.Result(), fmt.Errorf("fleet: encoding wire plan: %w", err)
+	}
+
+	s := &session{
+		plan:  plan,
+		wire:  wire,
+		src:   src,
+		board: NewBoard(plan.Shards, c.ttl, c.tracer),
+	}
+	c.mu.Lock()
+	c.seq++
+	s.id = "c" + strconv.FormatUint(c.seq, 10)
+	c.sessions[s.id] = s
+	c.order = append(c.order, s.id)
+	c.mu.Unlock()
+	defer c.unregister(s.id)
+
+	// Tick lease expiry so a dead fleet's shards requeue (and ctx
+	// cancellation is noticed) even when no worker traffic arrives.
+	tick := time.NewTicker(c.ttl / 4)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			s.board.Abort()
+			return plan.Result(), ctx.Err()
+		case <-tick.C:
+			s.board.Expire()
+		case <-s.board.Done():
+			results, err := s.board.Results()
+			if err != nil {
+				return plan.Result(), err
+			}
+			var (
+				keys  []core.FoundKey
+				vols  []format.Volume
+				pairs int64
+			)
+			for _, sr := range results {
+				keys = append(keys, sr.Keys...)
+				vols = append(vols, sr.Volumes...)
+				pairs += sr.Pairs
+			}
+			mergeSpan := c.tracer.StartSpan("fleet.merge",
+				obs.A("shards", strconv.Itoa(len(results))),
+				obs.A("campaign", s.id))
+			res := plan.Finalize(keys, vols, pairs)
+			mergeSpan.End()
+			return res, nil
+		}
+	}
+}
+
+func (c *Coordinator) unregister(id string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.sessions, id)
+	for i, sid := range c.order {
+		if sid == id {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// Stats aggregates board gauges across live campaigns. Workers count as
+// alive when they contacted the coordinator within two lease TTLs.
+func (c *Coordinator) Stats() CoordinatorStats {
+	c.mu.Lock()
+	sessions := make([]*session, 0, len(c.sessions))
+	for _, s := range c.sessions {
+		sessions = append(sessions, s)
+	}
+	st := CoordinatorStats{Campaigns: len(sessions)}
+	horizon := obs.Now() - 2*int64(c.ttl)
+	for name, last := range c.workers {
+		if last >= horizon {
+			st.WorkersAlive++
+		} else {
+			delete(c.workers, name)
+		}
+	}
+	c.mu.Unlock()
+	for _, s := range sessions {
+		bs := s.board.Stats()
+		st.Queued += bs.Queued
+		st.Leased += bs.Leased
+		st.Done += bs.Done
+		st.Total += bs.Total
+		st.Requeues += bs.Requeues
+		st.Steals += bs.Steals
+	}
+	return st
+}
+
+// session looks up a campaign and stamps the calling worker alive.
+func (c *Coordinator) session(id, worker string) *session {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if worker != "" {
+		c.workers[worker] = obs.Now()
+	}
+	return c.sessions[id]
+}
+
+// liveSessions returns the campaigns in registration order.
+func (c *Coordinator) liveSessions(worker string) []*session {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if worker != "" {
+		c.workers[worker] = obs.Now()
+	}
+	out := make([]*session, 0, len(c.order))
+	for _, id := range c.order {
+		out = append(out, c.sessions[id])
+	}
+	return out
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req leaseRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil {
+		http.Error(w, "bad lease request", http.StatusBadRequest)
+		return
+	}
+	for _, s := range c.liveSessions(req.Worker) {
+		l, ok := s.board.Lease(req.Worker)
+		if !ok {
+			continue
+		}
+		writeJSON(w, leaseResponse{
+			Campaign: s.id,
+			Lease:    l.ID,
+			Stolen:   l.Stolen,
+			Shard:    l.Shard,
+			TTLNs:    int64(c.ttl),
+		})
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var ref leaseRef
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&ref); err != nil {
+		http.Error(w, "bad heartbeat", http.StatusBadRequest)
+		return
+	}
+	s := c.session(ref.Campaign, "")
+	if s == nil || !s.board.Heartbeat(ref.Lease) {
+		http.Error(w, "lease gone", http.StatusGone)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var req completeRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 256<<20)).Decode(&req); err != nil {
+		http.Error(w, "bad completion", http.StatusBadRequest)
+		return
+	}
+	s := c.session(req.Campaign, "")
+	if s == nil {
+		http.Error(w, "no such campaign", http.StatusGone)
+		return
+	}
+	accepted := s.board.Complete(req.Lease, core.ShardResult{
+		Shard:   req.Shard,
+		Keys:    req.Keys,
+		Volumes: req.Volumes,
+		Pairs:   req.Pairs,
+	})
+	// A dropped duplicate (stolen-shard loser, expired lease) is a normal
+	// outcome, not a client error; the worker just moves on.
+	writeJSON(w, struct {
+		Accepted bool `json:"accepted"`
+	}{accepted})
+}
+
+func (c *Coordinator) handlePlan(w http.ResponseWriter, r *http.Request) {
+	s := c.session(r.URL.Query().Get("campaign"), "")
+	if s == nil {
+		http.Error(w, "no such campaign", http.StatusGone)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(s.wire)
+}
+
+// handleData streams one leased shard's raw bytes to its worker.
+func (c *Coordinator) handleData(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	s := c.session(q.Get("campaign"), "")
+	if s == nil {
+		http.Error(w, "no such campaign", http.StatusGone)
+		return
+	}
+	first, err1 := strconv.Atoi(q.Get("first_block"))
+	blocks, err2 := strconv.Atoi(q.Get("blocks"))
+	if err1 != nil || err2 != nil || first < 0 || blocks <= 0 || first+blocks > s.plan.TotalBlocks {
+		http.Error(w, "bad shard range", http.StatusBadRequest)
+		return
+	}
+	buf := make([]byte, blocks*core.BlockBytes)
+	if err := s.src.ReadBlocks(first, buf); err != nil {
+		http.Error(w, "reading shard", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(buf)))
+	w.Write(buf)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}

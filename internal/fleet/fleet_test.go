@@ -1,0 +1,226 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"coldboot/internal/aes"
+	"coldboot/internal/core"
+	_ "coldboot/internal/format/all" // register every built-in scanner
+	"coldboot/internal/format/luks2"
+	"coldboot/internal/scramble"
+	"coldboot/internal/workload"
+)
+
+// Differential parity: a 3-worker fleet campaign over a scrambled,
+// decayed dump must produce byte-identical results — the same FoundKey
+// set with the same scores and the same volume tagging — as a
+// single-process core.RunCampaignSource over the same bytes. This is the
+// subsystem's acceptance bar: distribution must be invisible in the
+// output.
+
+const (
+	fxSize        = 2 << 20
+	fxSeed        = 91
+	fxVeraStart   = 1200*core.BlockBytes + 32 // lone AES-256 schedule
+	fxLUKSStart   = 9000*core.BlockBytes + 16 // XTS data key schedule…
+	fxLUKSTweak   = fxLUKSStart + 240         // …tweak schedule, adjacent
+	fxHeaderStart = 20000 * core.BlockBytes   // LUKS2 volume header copy
+	fxUUID        = "0f1ee7e0-aaaa-bbbb-cccc-0123456789ab"
+)
+
+// buildDecayedDump plants a lone AES schedule plus a LUKS2 pair and its
+// volume header in a scrambled image, then flips ~0.05% of the bits.
+// Decay spares the strict-parse volume header and the XTS pair (tagging
+// requires both halves to survive, and intact page-cache copies are the
+// realistic shape); the lone schedule takes its lumps and leans on
+// window repair.
+func buildDecayedDump(t testing.TB) (dump, vera, luksData []byte) {
+	return buildDecayedDumpOpt(t, true)
+}
+
+func buildDecayedDumpOpt(t testing.TB, decay bool) (dump, vera, luksData []byte) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(fxSeed))
+	key32 := func() []byte {
+		k := make([]byte, 32)
+		rng.Read(k)
+		return k
+	}
+	vera, luksData, luksTweak := key32(), key32(), key32()
+
+	plain := make([]byte, fxSize)
+	if err := workload.Fill(plain, fxSeed, workload.LightSystem); err != nil {
+		t.Fatal(err)
+	}
+	copy(plain[fxVeraStart:], aes.ExpandKeyBytes(vera))
+	copy(plain[fxLUKSStart:], aes.ExpandKeyBytes(luksData))
+	copy(plain[fxLUKSTweak:], aes.ExpandKeyBytes(luksTweak))
+	copy(plain[fxHeaderStart:], luks2.EncodeHeader(&luks2.Header{
+		Primary:     true,
+		Version:     2,
+		HeaderSize:  16384,
+		SeqID:       5,
+		Label:       "fleet-parity",
+		ChecksumAlg: "sha256",
+		UUID:        fxUUID,
+		Cipher:      "aes-xts-plain64",
+		KeyBytes:    64,
+	}))
+
+	dump = make([]byte, fxSize)
+	scramble.NewSkylakeDDR4(uint64(fxSeed)*31+7).Scramble(dump, plain, 0)
+	if decay {
+		for i := 0; i < fxSize*8/2000; i++ {
+			bit := rng.Intn(fxSize * 8)
+			off := bit / 8
+			if (off >= fxHeaderStart && off < fxHeaderStart+luks2.BinHeaderBytes+1024) ||
+				(off >= fxLUKSStart && off < fxLUKSTweak+240) {
+				continue
+			}
+			dump[off] ^= 1 << uint(bit%8)
+		}
+	}
+	return dump, vera, luksData
+}
+
+func parityConfig() core.CampaignConfig {
+	return core.CampaignConfig{
+		ShardBlocks: 4096, // 8 shards over the 2 MiB fixture
+		Attack:      core.Config{RepairFlips: 2, Workers: 2},
+	}
+}
+
+func TestFleetParityWithLocalCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process campaign parity is not a -short test")
+	}
+	if raceEnabled {
+		t.Skip("deterministic parity comparison; -race multiplies the full-campaign runtime past the package timeout (see race_on_test.go)")
+	}
+	dump, vera, luksData := buildDecayedDump(t)
+
+	local, err := core.RunCampaignSource(context.Background(), core.BytesSource(dump), parityConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(local.Keys) == 0 {
+		t.Fatal("fixture recovered no keys locally; parity would be vacuous")
+	}
+	recovered := map[string]bool{}
+	for _, k := range local.Keys {
+		recovered[string(k.Master)] = true
+	}
+	if !recovered[string(vera)] || !recovered[string(luksData)] {
+		t.Fatalf("local campaign missed planted masters (%d keys)", len(local.Keys))
+	}
+
+	coord := NewCoordinator(5*time.Second, nil)
+	mux := http.NewServeMux()
+	coord.Register(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	for _, name := range []string{"w1", "w2", "w3"} {
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			w := &Worker{Base: srv.URL, Name: name, Poll: 10 * time.Millisecond}
+			w.Run(ctx)
+		}(name)
+	}
+
+	fleet, err := coord.Run(context.Background(), core.BytesSource(dump), parityConfig())
+	cancel()
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Byte-identical across the merge surface: keys (masters, scores,
+	// offsets, formats, volume tags), volumes, and the campaign scalars.
+	localJSON, _ := json.Marshal(struct {
+		Stride   int
+		Coverage float64
+		Pairs    int64
+		Keys     []core.FoundKey
+		Volumes  any
+	}{local.Stride, local.Coverage, local.PairsTested, local.Keys, local.Volumes})
+	fleetJSON, _ := json.Marshal(struct {
+		Stride   int
+		Coverage float64
+		Pairs    int64
+		Keys     []core.FoundKey
+		Volumes  any
+	}{fleet.Stride, fleet.Coverage, fleet.PairsTested, fleet.Keys, fleet.Volumes})
+	if string(localJSON) != string(fleetJSON) {
+		t.Fatalf("fleet result diverged from local campaign:\nlocal: %s\nfleet: %s", localJSON, fleetJSON)
+	}
+
+	// The planted LUKS2 data key must carry the volume UUID in both.
+	tagged := false
+	for _, k := range fleet.Keys {
+		if string(k.Master) == string(luksData) && k.Volume == fxUUID {
+			tagged = true
+		}
+	}
+	if !tagged {
+		t.Fatalf("fleet campaign lost the LUKS2 volume tag (keys %+v, volumes %+v)", fleet.Keys, fleet.Volumes)
+	}
+
+	st := coord.Stats()
+	if st.Campaigns != 0 {
+		t.Fatalf("campaign not unregistered after Run (%d live)", st.Campaigns)
+	}
+}
+
+// TestWirePlanRoundTrip pins the wire projection: a worker-side plan
+// rebuilt from JSON scans a shard to the exact bytes the coordinator-side
+// plan produces.
+func TestWirePlanRoundTrip(t *testing.T) {
+	dump, _, _ := buildDecayedDump(t)
+	plan, err := core.PlanCampaignSource(context.Background(), core.BytesSource(dump), parityConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plan.Close()
+
+	raw, err := json.Marshal(plan.Wire())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wire core.WirePlan
+	if err := json.Unmarshal(raw, &wire); err != nil {
+		t.Fatal(err)
+	}
+	remote, err := core.PlanFromWire(&wire, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+
+	sh := plan.Shards[2]
+	sub := dump[sh.FirstBlock*core.BlockBytes : (sh.FirstBlock+sh.Blocks)*core.BlockBytes]
+	lr, err := plan.ScanShardBytes(context.Background(), sub, sh, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := remote.ScanShardBytes(context.Background(), sub, sh, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lj, _ := json.Marshal(lr)
+	rj, _ := json.Marshal(rr)
+	if string(lj) != string(rj) {
+		t.Fatalf("wire-rebuilt plan diverged on shard %d:\nlocal:  %s\nremote: %s", sh.Index, lj, rj)
+	}
+}

@@ -1,0 +1,6 @@
+//go:build !race
+
+package fleet
+
+// raceEnabled is false in ordinary test builds; see race_on_test.go.
+const raceEnabled = false

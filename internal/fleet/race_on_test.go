@@ -1,0 +1,13 @@
+//go:build race
+
+package fleet
+
+// raceEnabled reports that this test binary was built with -race. The
+// fleet parity test skips under the race detector: it runs a full
+// 2 MiB decayed campaign twice (locally and through a 3-worker fleet)
+// and compares byte-identical outputs, so the detector finds nothing new
+// there while multiplying the ~30s runtime past the package timeout.
+// Concurrency coverage for the same code runs under -race in the board
+// tests here and the coordinator-role end-to-end test in
+// internal/service.
+const raceEnabled = true

@@ -1,0 +1,266 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"coldboot/internal/core"
+	"coldboot/internal/obs"
+)
+
+// Worker is the client side of the fleet protocol: it polls the
+// coordinator for shard leases, reconstructs the campaign plan from its
+// wire projection, scans leased shards with the shared per-shard
+// pipeline, and posts results back. Run until the context is cancelled;
+// transport errors back off and retry (the coordinator's lease expiry
+// covers the shard either way).
+type Worker struct {
+	// Base is the coordinator's URL prefix, e.g. "http://host:7133".
+	Base string
+	// Name identifies this worker in leases and /metrics (required).
+	Name string
+	// Client is the HTTP client (nil means http.DefaultClient).
+	Client *http.Client
+	// Tracer observes the worker's scans. Nil means no tracing.
+	Tracer obs.Tracer
+	// Poll is the idle re-poll interval when the coordinator has no work
+	// (zero means 250ms).
+	Poll time.Duration
+
+	plans map[string]*core.CampaignPlan // campaign ID -> rebuilt plan
+}
+
+func (w *Worker) client() *http.Client {
+	if w.Client != nil {
+		return w.Client
+	}
+	return http.DefaultClient
+}
+
+// Run leases and scans shards until ctx is cancelled. It returns
+// ctx.Err() on cancellation; it never gives up on transport errors.
+func (w *Worker) Run(ctx context.Context) error {
+	if w.Name == "" {
+		return fmt.Errorf("fleet: worker needs a name")
+	}
+	tracer := obs.OrNop(w.Tracer)
+	poll := w.Poll
+	if poll <= 0 {
+		poll = 250 * time.Millisecond
+	}
+	w.plans = make(map[string]*core.CampaignPlan)
+	defer func() {
+		for _, p := range w.plans {
+			p.Close()
+		}
+	}()
+	idle := time.NewTimer(0)
+	if !idle.Stop() {
+		<-idle.C
+	}
+	defer idle.Stop()
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		lease, ok, err := w.lease(ctx)
+		if err != nil || !ok {
+			// No work (or the coordinator is unreachable): back off one
+			// poll interval and ask again.
+			idle.Reset(poll)
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-idle.C:
+			}
+			continue
+		}
+		if err := w.scanLease(ctx, lease, tracer); err != nil && ctx.Err() != nil {
+			return ctx.Err()
+		}
+	}
+}
+
+// scanLease runs one leased shard end to end: plan, data, scan,
+// complete — heartbeating throughout so the lease stays ours.
+func (w *Worker) scanLease(ctx context.Context, lease leaseResponse, tracer obs.Tracer) error {
+	plan, err := w.planFor(ctx, lease.Campaign, tracer)
+	if err != nil {
+		return err
+	}
+	sub, err := w.shardData(ctx, lease)
+	if err != nil {
+		return err
+	}
+
+	// Heartbeat until the scan finishes; a dead lease (requeued from
+	// under us, or a stolen duplicate that lost) cancels the scan — the
+	// work's result would be dropped anyway.
+	scanCtx, cancel := context.WithCancel(ctx)
+	var hb sync.WaitGroup
+	hb.Add(1)
+	interval := time.Duration(lease.TTLNs / 3)
+	if interval <= 0 {
+		interval = time.Second
+	}
+	go func() {
+		defer hb.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-scanCtx.Done():
+				return
+			case <-t.C:
+				if !w.heartbeat(scanCtx, lease) {
+					cancel()
+					return
+				}
+			}
+		}
+	}()
+
+	sr, scanErr := plan.ScanShardBytes(scanCtx, sub, lease.Shard, nil)
+	cancel()
+	hb.Wait()
+	if scanErr != nil {
+		// Partial shard results never leave the worker: the merge
+		// contract needs whole shards, and the lease will expire back to
+		// the queue for a healthy worker to redo.
+		return scanErr
+	}
+	return w.complete(ctx, lease, sr)
+}
+
+// planFor fetches and rebuilds (once per campaign) the wire plan.
+func (w *Worker) planFor(ctx context.Context, campaign string, tracer obs.Tracer) (*core.CampaignPlan, error) {
+	if p, ok := w.plans[campaign]; ok {
+		return p, nil
+	}
+	var wire core.WirePlan
+	if err := w.getJSON(ctx, "/v1/shards/plan?campaign="+campaign, &wire); err != nil {
+		return nil, err
+	}
+	p, err := core.PlanFromWire(&wire, tracer)
+	if err != nil {
+		return nil, err
+	}
+	// Retire plans from finished campaigns: a worker outlives many
+	// campaigns, and each plan pins a schedule cache.
+	for id, old := range w.plans {
+		if id != campaign {
+			old.Close()
+			delete(w.plans, id)
+		}
+	}
+	w.plans[campaign] = p
+	return p, nil
+}
+
+func (w *Worker) lease(ctx context.Context) (leaseResponse, bool, error) {
+	var out leaseResponse
+	status, err := w.postJSON(ctx, "/v1/shards/lease", leaseRequest{Worker: w.Name}, &out)
+	if err != nil {
+		return out, false, err
+	}
+	return out, status == http.StatusOK, nil
+}
+
+func (w *Worker) heartbeat(ctx context.Context, lease leaseResponse) bool {
+	status, err := w.postJSON(ctx, "/v1/shards/heartbeat", leaseRef{Campaign: lease.Campaign, Lease: lease.Lease}, nil)
+	if err != nil {
+		// Unreachable coordinator is not a dead lease: keep scanning and
+		// let the next beat (or lease expiry) decide.
+		return true
+	}
+	return status == http.StatusOK
+}
+
+func (w *Worker) shardData(ctx context.Context, lease leaseResponse) ([]byte, error) {
+	u := w.Base + "/v1/shards/data?campaign=" + lease.Campaign +
+		"&first_block=" + strconv.Itoa(lease.Shard.FirstBlock) +
+		"&blocks=" + strconv.Itoa(lease.Shard.Blocks)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := w.client().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("fleet: shard data: %s", resp.Status)
+	}
+	want := lease.Shard.Blocks * core.BlockBytes
+	buf, err := io.ReadAll(io.LimitReader(resp.Body, int64(want)+1))
+	if err != nil {
+		return nil, err
+	}
+	if len(buf) != want {
+		return nil, fmt.Errorf("fleet: shard data: got %d bytes, want %d", len(buf), want)
+	}
+	return buf, nil
+}
+
+// complete posts the shard's findings. The body carries the recovered
+// masters raw: the coordinator needs the true bytes to merge and tag, and
+// this transport is the fleet's sanctioned key egress (results at rest
+// are fingerprinted by the service layer).
+func (w *Worker) complete(ctx context.Context, lease leaseResponse, sr core.ShardResult) error {
+	_, err := w.postJSON(ctx, "/v1/shards/complete", completeRequest{
+		Campaign: lease.Campaign,
+		Lease:    lease.Lease,
+		Shard:    sr.Shard,
+		Keys:     sr.Keys,
+		Volumes:  sr.Volumes,
+		Pairs:    sr.Pairs,
+	}, nil)
+	return err
+}
+
+func (w *Worker) postJSON(ctx context.Context, path string, in, out any) (int, error) {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.Base+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.client().Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(io.LimitReader(resp.Body, 64<<20)).Decode(out); err != nil {
+			return resp.StatusCode, err
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+func (w *Worker) getJSON(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.Base+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := w.client().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("fleet: GET %s: %s", path, resp.Status)
+	}
+	return json.NewDecoder(io.LimitReader(resp.Body, 64<<20)).Decode(out)
+}

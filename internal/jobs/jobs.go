@@ -270,6 +270,13 @@ type Stats struct {
 	Failed   int  `json:"failed"`
 	Canceled int  `json:"canceled"`
 	Draining bool `json:"draining"`
+	// Abandoned counts queued jobs Drain left unrun. With a journal they
+	// are requeued on the next boot; without one this counter is the only
+	// trace they existed, which is why it is surfaced either way.
+	Abandoned int `json:"abandoned"`
+	// JournalErrors counts post-submit journal writes that failed (the
+	// in-memory store proceeded; the WAL is missing those transitions).
+	JournalErrors int `json:"journal_errors,omitempty"`
 }
 
 // newID returns a 16-hex-character random job ID. seq breaks the (never

@@ -1,0 +1,217 @@
+package jobs
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Durable job store support. The pool itself stays in-memory, but every
+// mutation can be journaled through a Journal BEFORE it applies (write-
+// ahead), and a Ledger reduces the journaled event stream back into
+// restorable job state on the next boot. internal/service wires the
+// Journal to an internal/wal log in the data dir; this file owns only the
+// event vocabulary and the reduction rules, so the jobs package never
+// touches the filesystem.
+//
+// Secrets: events carry the owner-encoded payload and result documents
+// opaquely. The service's encoders redact key material to secret.Bytes
+// fingerprints unless the job was submitted with explicit reveal, so the
+// WAL on disk never holds raw masters by default.
+
+// EventOp enumerates journaled job-lifecycle transitions.
+type EventOp string
+
+const (
+	// OpSubmit records a new job: ID, priority, and the encoded payload.
+	OpSubmit EventOp = "submit"
+	// OpStart records an attempt beginning (state queued -> running).
+	OpStart EventOp = "start"
+	// OpDone / OpFailed / OpCanceled record terminal outcomes, with the
+	// encoded (redacted) result document when the owner supplied one.
+	OpDone     EventOp = "done"
+	OpFailed   EventOp = "failed"
+	OpCanceled EventOp = "canceled"
+	// OpRequeued records a transient failure going back to the queue.
+	OpRequeued EventOp = "requeued"
+	// OpAbandoned records a queued job left behind by Drain: the process
+	// is exiting without running it, and the next boot must requeue it.
+	OpAbandoned EventOp = "abandoned"
+	// OpPurged records a terminal job being erased (operator DELETE).
+	OpPurged EventOp = "purged"
+)
+
+// Event is one journaled job mutation. Payload and Result are documents
+// encoded by the pool's Options.EncodePayload / EncodeResult hooks; the
+// jobs package never looks inside them.
+type Event struct {
+	Op       EventOp `json:"op"`
+	ID       string  `json:"id"`
+	Priority int     `json:"priority,omitempty"`
+	Attempts int     `json:"attempts,omitempty"`
+	Error    string  `json:"error,omitempty"`
+	// Time is the pool clock's RFC 3339 stamp for the transition.
+	Time    string          `json:"time,omitempty"`
+	Payload json.RawMessage `json:"payload,omitempty"`
+	Result  json.RawMessage `json:"result,omitempty"`
+}
+
+// Journal persists events. Record must make the event durable before
+// returning — the pool applies the mutation only afterwards. Implementations
+// need not be safe for concurrent use; the pool serializes calls under its
+// scheduling lock.
+type Journal interface {
+	Record(Event) error
+}
+
+// LedgerEntry is one job's reduced state after replaying its events.
+type LedgerEntry struct {
+	ID       string          `json:"id"`
+	Priority int             `json:"priority"`
+	State    State           `json:"state"`
+	Attempts int             `json:"attempts,omitempty"`
+	Error    string          `json:"error,omitempty"`
+	Payload  json.RawMessage `json:"payload,omitempty"`
+	Result   json.RawMessage `json:"result,omitempty"`
+	// Timestamps carry the journaled transition times (RFC 3339).
+	SubmittedAt string `json:"submitted_at,omitempty"`
+	FinishedAt  string `json:"finished_at,omitempty"`
+	// Interrupted marks a job that must run again on restore: it was
+	// queued or mid-run when the process died, or Drain abandoned it.
+	Interrupted bool `json:"interrupted,omitempty"`
+}
+
+// Ledger reduces an event stream into per-job state. It doubles as the
+// snapshot payload: Marshal writes the reduced state, and replaying
+// [snapshot, events...] is equivalent to replaying the full history the
+// snapshot compacted away. Re-applying an event a snapshot already
+// includes is harmless: transitions are level-based (set state X), not
+// edge-based.
+type Ledger struct {
+	entries map[string]*LedgerEntry
+	order   []string // submission order
+}
+
+// NewLedger returns an empty ledger.
+func NewLedger() *Ledger {
+	return &Ledger{entries: make(map[string]*LedgerEntry)}
+}
+
+// Apply folds one event into the ledger.
+func (l *Ledger) Apply(e Event) {
+	entry := l.entries[e.ID]
+	if entry == nil {
+		if e.Op == OpPurged {
+			return
+		}
+		entry = &LedgerEntry{ID: e.ID, State: StateQueued}
+		l.entries[e.ID] = entry
+		l.order = append(l.order, e.ID)
+	}
+	switch e.Op {
+	case OpSubmit:
+		entry.Priority = e.Priority
+		entry.State = StateQueued
+		entry.Payload = e.Payload
+		entry.SubmittedAt = e.Time
+	case OpStart:
+		entry.State = StateRunning
+		entry.Attempts = e.Attempts
+		entry.Interrupted = false
+	case OpDone, OpFailed, OpCanceled:
+		entry.State = map[EventOp]State{OpDone: StateDone, OpFailed: StateFailed, OpCanceled: StateCanceled}[e.Op]
+		entry.Error = e.Error
+		entry.Attempts = e.Attempts
+		entry.FinishedAt = e.Time
+		entry.Interrupted = false
+		if e.Result != nil {
+			entry.Result = e.Result
+		}
+	case OpRequeued:
+		entry.State = StateQueued
+		entry.Error = e.Error
+		entry.Attempts = e.Attempts
+	case OpAbandoned:
+		entry.State = StateQueued
+		entry.Interrupted = true
+	case OpPurged:
+		delete(l.entries, e.ID)
+		for i, id := range l.order {
+			if id == e.ID {
+				l.order = append(l.order[:i], l.order[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// Entries returns the reduced jobs in submission order. Jobs whose last
+// journaled state is queued or running are flagged Interrupted: the
+// process died (or drained) before finishing them, and a restore must
+// requeue them.
+func (l *Ledger) Entries() []LedgerEntry {
+	out := make([]LedgerEntry, 0, len(l.order))
+	for _, id := range l.order {
+		e := *l.entries[id]
+		if e.State == StateQueued || e.State == StateRunning {
+			e.Interrupted = true
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// Marshal serializes the ledger as a snapshot document.
+func (l *Ledger) Marshal() ([]byte, error) {
+	entries := make([]LedgerEntry, 0, len(l.order))
+	for _, id := range l.order {
+		entries = append(entries, *l.entries[id])
+	}
+	return json.Marshal(struct {
+		Jobs []LedgerEntry `json:"jobs"`
+	}{entries})
+}
+
+// Replay rebuilds a ledger from a snapshot document (nil for none) and
+// the journaled events appended after it — exactly what wal.Open
+// recovers. Damaged snapshot or event records fail the replay: the WAL
+// layer already discarded torn frames, so remaining damage means the
+// store's own encoding is broken, which should be loud.
+func Replay(snapshot []byte, records [][]byte) (*Ledger, error) {
+	l := NewLedger()
+	if len(snapshot) > 0 {
+		var doc struct {
+			Jobs []LedgerEntry `json:"jobs"`
+		}
+		if err := json.Unmarshal(snapshot, &doc); err != nil {
+			return nil, fmt.Errorf("jobs: decoding snapshot: %w", err)
+		}
+		for i := range doc.Jobs {
+			e := doc.Jobs[i]
+			l.entries[e.ID] = &e
+			l.order = append(l.order, e.ID)
+		}
+	}
+	for i, rec := range records {
+		var e Event
+		if err := json.Unmarshal(rec, &e); err != nil {
+			return nil, fmt.Errorf("jobs: decoding journal record %d: %w", i, err)
+		}
+		l.Apply(e)
+	}
+	return l, nil
+}
+
+// Restored describes one job being re-inserted into a fresh pool from a
+// replayed ledger. The owner decodes the journaled payload/result back
+// into live values before calling Pool.Restore.
+type Restored struct {
+	ID       string
+	Priority int
+	Payload  any
+	// State must be StateQueued (requeue an interrupted job) or a
+	// terminal state (re-publish a finished job's record).
+	State    State
+	Attempts int
+	Error    string
+	Result   any
+}

@@ -1,0 +1,286 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// memJournal collects events in memory, encoded exactly as the service's
+// WAL-backed journal would frame them.
+type memJournal struct {
+	mu      sync.Mutex
+	records [][]byte
+	fail    bool
+}
+
+func (m *memJournal) Record(e Event) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.fail {
+		return errors.New("journal down")
+	}
+	enc, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	m.records = append(m.records, enc)
+	return nil
+}
+
+func (m *memJournal) ops(t *testing.T) []EventOp {
+	t.Helper()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []EventOp
+	for _, rec := range m.records {
+		var e Event
+		if err := json.Unmarshal(rec, &e); err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, e.Op)
+	}
+	return out
+}
+
+func encodeString(p any) ([]byte, error) { return json.Marshal(p) }
+
+func journaledPool(j Journal, run RunFunc, workers int) *Pool {
+	return NewPool(run, Options{
+		Workers:       workers,
+		Journal:       j,
+		EncodePayload: encodeString,
+		EncodeResult:  encodeString,
+	})
+}
+
+// TestJournalLifecycle drives a job to done and replays the journal: the
+// reduced ledger must carry the submitted payload, the terminal state,
+// and the encoded result.
+func TestJournalLifecycle(t *testing.T) {
+	j := &memJournal{}
+	p := journaledPool(j, func(ctx context.Context, job *Job) (any, error) {
+		return "result:" + job.Payload().(string), nil
+	}, 1)
+	defer p.Drain(context.Background())
+
+	snap, err := p.Submit("payload-1", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, p, snap.ID, StateDone)
+
+	ops := j.ops(t)
+	want := []EventOp{OpSubmit, OpStart, OpDone}
+	if fmt.Sprint(ops) != fmt.Sprint(want) {
+		t.Fatalf("journal ops = %v, want %v", ops, want)
+	}
+
+	ledger, err := Replay(nil, j.records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := ledger.Entries()
+	if len(entries) != 1 {
+		t.Fatalf("ledger has %d entries, want 1", len(entries))
+	}
+	e := entries[0]
+	if e.ID != snap.ID || e.State != StateDone || e.Priority != 3 || e.Interrupted {
+		t.Fatalf("entry = %+v", e)
+	}
+	var payload, result string
+	if err := json.Unmarshal(e.Payload, &payload); err != nil || payload != "payload-1" {
+		t.Fatalf("payload = %q (%v)", e.Payload, err)
+	}
+	if err := json.Unmarshal(e.Result, &result); err != nil || result != "result:payload-1" {
+		t.Fatalf("result = %q (%v)", e.Result, err)
+	}
+}
+
+// TestReplayInterruptedRun reduces a journal that ends mid-run — the
+// crash shape — and expects the job back in the queue, flagged for
+// re-execution.
+func TestReplayInterruptedRun(t *testing.T) {
+	records := [][]byte{
+		[]byte(`{"op":"submit","id":"j1","priority":1,"payload":"\"dump-a\""}`),
+		[]byte(`{"op":"start","id":"j1","attempts":1}`),
+	}
+	ledger, err := Replay(nil, records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := ledger.Entries()
+	if len(entries) != 1 || !entries[0].Interrupted {
+		t.Fatalf("mid-run job not flagged interrupted: %+v", entries)
+	}
+}
+
+// TestDrainJournalsAbandonedJobs is the Drain fix: queued jobs left
+// behind by a drain are counted and journaled requeueable, so a replay
+// restores them instead of losing them.
+func TestDrainJournalsAbandonedJobs(t *testing.T) {
+	j := &memJournal{}
+	block := make(chan struct{})
+	p := journaledPool(j, func(ctx context.Context, job *Job) (any, error) {
+		<-block
+		return "ok", nil
+	}, 1)
+
+	running, err := p.Submit("running", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queuedA, _ := p.Submit("queued-a", 0)
+	queuedB, _ := p.Submit("queued-b", 0)
+	waitState(t, p, running.ID, StateRunning)
+
+	done := make(chan error, 1)
+	go func() { done <- p.Drain(context.Background()) }()
+	// Drain marks the queued jobs abandoned immediately; unblock the
+	// running job so the drain completes.
+	deadline := time.Now().Add(5 * time.Second)
+	for p.Stats().Abandoned != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("Stats.Abandoned = %d, want 2", p.Stats().Abandoned)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	close(block)
+	if err := <-done; err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+
+	ledger, err := Replay(nil, j.records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	interrupted := map[string]bool{}
+	for _, e := range ledger.Entries() {
+		if e.Interrupted {
+			interrupted[e.ID] = true
+		}
+	}
+	if !interrupted[queuedA.ID] || !interrupted[queuedB.ID] {
+		t.Fatalf("abandoned jobs not restorable: %v", interrupted)
+	}
+	if interrupted[running.ID] {
+		t.Fatalf("drained running job %s wrongly marked interrupted", running.ID)
+	}
+}
+
+// TestRestoreRunsInterruptedJobs rebuilds a pool from a replayed ledger:
+// the interrupted job runs to completion, the terminal job's record is
+// queryable without re-running.
+func TestRestoreRunsInterruptedJobs(t *testing.T) {
+	ran := make(chan string, 4)
+	p := journaledPool(&memJournal{}, func(ctx context.Context, job *Job) (any, error) {
+		ran <- job.Payload().(string)
+		return "re-done", nil
+	}, 1)
+	defer p.Drain(context.Background())
+
+	err := p.Restore([]Restored{
+		{ID: "old-done", Priority: 0, Payload: "old", State: StateDone, Attempts: 1, Result: "old-result"},
+		{ID: "crashed", Priority: 5, Payload: "crashed-dump", State: StateQueued, Attempts: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := waitState(t, p, "crashed", StateDone)
+	if snap.Result != "re-done" {
+		t.Fatalf("restored job result = %v", snap.Result)
+	}
+	select {
+	case got := <-ran:
+		if got != "crashed-dump" {
+			t.Fatalf("restored run saw payload %q", got)
+		}
+	default:
+		t.Fatalf("restored queued job never ran")
+	}
+
+	oldSnap, ok := p.Get("old-done")
+	if !ok || oldSnap.State != StateDone || oldSnap.Result != "old-result" {
+		t.Fatalf("terminal job not restored: %+v (ok=%v)", oldSnap, ok)
+	}
+	if len(ran) != 0 {
+		t.Fatalf("terminal job was re-run")
+	}
+
+	// Restored IDs collide loudly, not silently.
+	if err := p.Restore([]Restored{{ID: "crashed", State: StateQueued}}); err == nil {
+		t.Fatalf("duplicate restore accepted")
+	}
+}
+
+// TestPurgeDropsLedgerEntry: a purged job disappears from the replayed
+// state entirely.
+func TestPurgeDropsLedgerEntry(t *testing.T) {
+	j := &memJournal{}
+	p := journaledPool(j, func(ctx context.Context, job *Job) (any, error) { return nil, nil }, 1)
+	defer p.Drain(context.Background())
+	snap, err := p.Submit("x", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, p, snap.ID, StateDone)
+	if _, err := p.Remove(snap.ID); err != nil {
+		t.Fatal(err)
+	}
+	ledger, err := Replay(nil, j.records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(ledger.Entries()); n != 0 {
+		t.Fatalf("purged job survives in ledger (%d entries)", n)
+	}
+}
+
+// TestSubmitFailsWhenJournalDown: write-ahead means no journal, no job.
+func TestSubmitFailsWhenJournalDown(t *testing.T) {
+	j := &memJournal{fail: true}
+	p := journaledPool(j, func(ctx context.Context, job *Job) (any, error) { return nil, nil }, 1)
+	defer p.Drain(context.Background())
+	if _, err := p.Submit("x", 0); err == nil {
+		t.Fatalf("Submit succeeded with a failing journal")
+	}
+	if st := p.Stats(); st.Queued+st.Running+st.Done != 0 {
+		t.Fatalf("failed submit left state behind: %+v", st)
+	}
+}
+
+// TestSnapshotRoundTrip: Marshal + Replay(snapshot, more-events) equals
+// replaying the full history.
+func TestSnapshotRoundTrip(t *testing.T) {
+	full := [][]byte{
+		[]byte(`{"op":"submit","id":"a","priority":1,"payload":"\"pa\""}`),
+		[]byte(`{"op":"start","id":"a","attempts":1}`),
+		[]byte(`{"op":"done","id":"a","attempts":1,"result":"\"ra\""}`),
+		[]byte(`{"op":"submit","id":"b","priority":2,"payload":"\"pb\""}`),
+	}
+	mid, err := Replay(nil, full[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := mid.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromSnap, err := Replay(snap, full[2:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := Replay(nil, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(fromSnap.Entries())
+	b, _ := json.Marshal(direct.Entries())
+	if string(a) != string(b) {
+		t.Fatalf("snapshot path diverged:\n%s\nvs\n%s", a, b)
+	}
+}

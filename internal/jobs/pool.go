@@ -44,6 +44,20 @@ type Options struct {
 	// reached a terminal state) histogram samples. Nil means no telemetry
 	// (obs.Nop).
 	Tracer obs.Tracer
+	// Journal, if non-nil, makes the store durable: every lifecycle
+	// mutation is recorded through it BEFORE it applies. A Record error at
+	// Submit fails the submit (nothing runs that the journal cannot
+	// replay); errors on later transitions are counted in
+	// Stats.JournalErrors — the in-memory state machine proceeds, the
+	// journal has merely fallen behind reality.
+	Journal Journal
+	// EncodePayload serializes a job payload into the journal's submit
+	// event (nil leaves payloads out — such jobs cannot be restored).
+	EncodePayload func(payload any) ([]byte, error)
+	// EncodeResult serializes a result into terminal events. The service
+	// encoder redacts key material to fingerprints unless the job opted
+	// into reveal at submit.
+	EncodeResult func(result any) ([]byte, error)
 }
 
 func (o Options) withDefaults() Options {
@@ -69,15 +83,17 @@ type Pool struct {
 	run  RunFunc
 	opts Options
 
-	mu       sync.Mutex
-	cond     *sync.Cond
-	queue    jobHeap         // guarded by mu
-	jobs     map[string]*Job // guarded by mu
-	order    []string        // submission order, for List; guarded by mu
-	seq      uint64          // guarded by mu
-	counts   map[State]int   // guarded by mu
-	draining bool            // guarded by mu
-	workers  sync.WaitGroup
+	mu        sync.Mutex
+	cond      *sync.Cond
+	queue     jobHeap         // guarded by mu
+	jobs      map[string]*Job // guarded by mu
+	order     []string        // submission order, for List; guarded by mu
+	seq       uint64          // guarded by mu
+	counts    map[State]int   // guarded by mu
+	draining  bool            // guarded by mu
+	abandoned int             // queued jobs left behind by Drain; guarded by mu
+	jErrors   int             // post-submit journal Record failures; guarded by mu
+	workers   sync.WaitGroup
 }
 
 // NewPool starts opts.Workers worker goroutines and returns the ready
@@ -99,6 +115,8 @@ func NewPool(run RunFunc, opts Options) *Pool {
 
 // Submit enqueues a new job and returns its initial snapshot. Higher
 // priority runs first; equal priorities run in submission order (FIFO).
+// With a Journal configured, the submit event is durable before the job
+// becomes runnable; a journal error fails the submit.
 func (p *Pool) Submit(payload any, priority int) (Snapshot, error) {
 	p.mu.Lock()
 	if p.draining {
@@ -115,6 +133,21 @@ func (p *Pool) Submit(payload any, priority int) (Snapshot, error) {
 		submitted: p.opts.Clock(),
 		heapIndex: -1,
 	}
+	if p.opts.Journal != nil {
+		e := Event{Op: OpSubmit, ID: j.id, Priority: priority, Time: j.submitted.Format(time.RFC3339Nano)}
+		if p.opts.EncodePayload != nil {
+			enc, err := p.opts.EncodePayload(payload)
+			if err != nil {
+				p.mu.Unlock()
+				return Snapshot{}, fmt.Errorf("jobs: encoding payload for journal: %w", err)
+			}
+			e.Payload = enc
+		}
+		if err := p.opts.Journal.Record(e); err != nil {
+			p.mu.Unlock()
+			return Snapshot{}, fmt.Errorf("jobs: journaling submit: %w", err)
+		}
+	}
 	p.jobs[j.id] = j
 	p.order = append(p.order, j.id)
 	p.counts[StateQueued]++
@@ -123,6 +156,81 @@ func (p *Pool) Submit(payload any, priority int) (Snapshot, error) {
 	snap := p.snapshotLocked(j)
 	p.mu.Unlock()
 	return snap, nil
+}
+
+// Restore re-inserts jobs recovered from a replayed journal into a fresh
+// pool: interrupted jobs (State queued) go back on the queue and run
+// again, terminal jobs re-enter the bookkeeping so their records stay
+// queryable across the restart. Restore does not journal — the restored
+// state is, by definition, already in the journal. It must be called
+// before any Submit traffic (normally right after NewPool).
+func (p *Pool) Restore(restored []Restored) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, r := range restored {
+		if r.ID == "" {
+			return fmt.Errorf("jobs: restoring job with empty ID")
+		}
+		if _, exists := p.jobs[r.ID]; exists {
+			return fmt.Errorf("jobs: restoring duplicate job %s", r.ID)
+		}
+		if r.State != StateQueued && !r.State.Terminal() {
+			return fmt.Errorf("jobs: restoring job %s in non-restorable state %s", r.ID, r.State)
+		}
+		p.seq++
+		j := &Job{
+			id:        r.ID,
+			priority:  r.Priority,
+			seq:       p.seq,
+			payload:   r.Payload,
+			state:     r.State,
+			attempts:  r.Attempts,
+			errText:   r.Error,
+			result:    r.Result,
+			submitted: p.opts.Clock(),
+			heapIndex: -1,
+		}
+		p.jobs[j.id] = j
+		p.order = append(p.order, j.id)
+		p.counts[j.state]++
+		if j.state == StateQueued {
+			heap.Push(&p.queue, j)
+			p.cond.Signal()
+		}
+	}
+	return nil
+}
+
+// record journals a lifecycle event (pool mutex held). Failures after
+// submit are counted, not fatal: the scheduler's in-memory truth moves
+// on and the next snapshot heals the journal.
+func (p *Pool) record(e Event) {
+	if p.opts.Journal == nil {
+		return
+	}
+	e.Time = p.opts.Clock().Format(time.RFC3339Nano)
+	if err := p.opts.Journal.Record(e); err != nil {
+		p.jErrors++
+	}
+}
+
+// terminalEvent builds the journal event for a job reaching state s.
+func (p *Pool) terminalEvent(j *Job, s State) Event {
+	e := Event{ID: j.id, Attempts: j.attempts, Error: j.errText}
+	switch s {
+	case StateDone:
+		e.Op = OpDone
+	case StateFailed:
+		e.Op = OpFailed
+	default:
+		e.Op = OpCanceled
+	}
+	if j.result != nil && p.opts.EncodeResult != nil {
+		if enc, err := p.opts.EncodeResult(j.result); err == nil {
+			e.Result = enc
+		}
+	}
+	return e
 }
 
 // Get returns a snapshot of the job with the given ID.
@@ -152,13 +260,15 @@ func (p *Pool) Stats() Stats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return Stats{
-		Workers:  p.opts.Workers,
-		Queued:   p.counts[StateQueued],
-		Running:  p.counts[StateRunning],
-		Done:     p.counts[StateDone],
-		Failed:   p.counts[StateFailed],
-		Canceled: p.counts[StateCanceled],
-		Draining: p.draining,
+		Workers:       p.opts.Workers,
+		Queued:        p.counts[StateQueued],
+		Running:       p.counts[StateRunning],
+		Done:          p.counts[StateDone],
+		Failed:        p.counts[StateFailed],
+		Canceled:      p.counts[StateCanceled],
+		Draining:      p.draining,
+		Abandoned:     p.abandoned,
+		JournalErrors: p.jErrors,
 	}
 }
 
@@ -181,8 +291,9 @@ func (p *Pool) Cancel(id string) (Snapshot, error) {
 			j.retryTimer.Stop()
 			j.retryTimer = nil
 		}
-		p.setStateLocked(j, StateCanceled)
 		j.errText = "canceled before start"
+		p.record(p.terminalEvent(j, StateCanceled))
+		p.setStateLocked(j, StateCanceled)
 		j.finished = p.opts.Clock()
 		snap := p.snapshotLocked(j)
 		hook := p.opts.OnJobDone
@@ -221,6 +332,7 @@ func (p *Pool) Remove(id string) (Snapshot, error) {
 		return p.snapshotLocked(j), ErrActive
 	}
 	snap := p.snapshotLocked(j)
+	p.record(Event{Op: OpPurged, ID: id})
 	delete(p.jobs, id)
 	p.counts[j.state]--
 	for i, jid := range p.order {
@@ -234,12 +346,28 @@ func (p *Pool) Remove(id string) (Snapshot, error) {
 
 // Drain begins a graceful shutdown: Submit starts failing with
 // ErrDraining, idle workers exit, and workers busy with a job finish it
-// first — running jobs are never interrupted. Queued jobs are left queued
-// (the daemon is exiting; they report as abandoned). Drain returns when
-// every worker has exited, or with ctx.Err() if ctx expires first.
+// first — running jobs are never interrupted. Queued jobs are NOT
+// silently dropped: each is counted in Stats.Abandoned and, with a
+// Journal configured, marked requeueable (OpAbandoned) so the next boot's
+// replay restores it to the queue. Drain returns when every worker has
+// exited, or with ctx.Err() if ctx expires first.
 func (p *Pool) Drain(ctx context.Context) error {
 	p.mu.Lock()
-	p.draining = true
+	if !p.draining {
+		p.draining = true
+		for _, id := range p.order {
+			j := p.jobs[id]
+			if j.state != StateQueued {
+				continue
+			}
+			if j.retryTimer != nil {
+				j.retryTimer.Stop()
+				j.retryTimer = nil
+			}
+			p.abandoned++
+			p.record(Event{Op: OpAbandoned, ID: j.id, Attempts: j.attempts})
+		}
+	}
 	p.cond.Broadcast()
 	p.mu.Unlock()
 	done := make(chan struct{})
@@ -274,6 +402,7 @@ func (p *Pool) worker() {
 			p.mu.Unlock()
 			continue
 		}
+		p.record(Event{Op: OpStart, ID: j.id, Attempts: j.attempts + 1})
 		p.setStateLocked(j, StateRunning)
 		j.attempts++
 		j.started = p.opts.Clock()
@@ -318,20 +447,24 @@ func (p *Pool) finish(j *Job, result any, err error) {
 	terminal := true
 	switch {
 	case err == nil:
-		p.setStateLocked(j, StateDone)
 		j.errText = ""
+		p.record(p.terminalEvent(j, StateDone))
+		p.setStateLocked(j, StateDone)
 	case isCanceled(err, j):
+		j.errText = err.Error()
+		p.record(p.terminalEvent(j, StateCanceled))
 		p.setStateLocked(j, StateCanceled)
-		j.errText = err.Error()
 	case IsTransient(err) && j.attempts < p.opts.MaxAttempts && !p.draining:
-		p.setStateLocked(j, StateQueued)
 		j.errText = err.Error()
+		p.record(Event{Op: OpRequeued, ID: j.id, Attempts: j.attempts, Error: j.errText})
+		p.setStateLocked(j, StateQueued)
 		terminal = false
 		delay := p.opts.RetryBackoff << (j.attempts - 1)
 		j.retryTimer = time.AfterFunc(delay, func() { p.requeue(j) })
 	default:
-		p.setStateLocked(j, StateFailed)
 		j.errText = err.Error()
+		p.record(p.terminalEvent(j, StateFailed))
+		p.setStateLocked(j, StateFailed)
 	}
 	if terminal {
 		j.finished = now

@@ -33,12 +33,17 @@ func (allocloopRule) Doc() string {
 // validation) is on the serving hot path just as much as the scan itself.
 // The format subsystem's block drivers and probers are included: ProbeBlock
 // implementations promise an allocation-free no-hit path, and ScanBlocks
-// walks whole images block by block.
+// walks whole images block by block. The distribution layers (wal, fleet)
+// are included: the coordinator and workers sit between the scheduler and
+// the scan kernels, so a per-block allocation there taxes every shard of
+// every campaign.
 var allocloopPackages = map[string]bool{
 	"internal/keyfind":         true,
 	"internal/core":            true,
 	"internal/jobs":            true,
 	"internal/service":         true,
+	"internal/wal":             true,
+	"internal/fleet":           true,
 	"internal/format":          true,
 	"internal/format/aesxts":   true,
 	"internal/format/chacha20": true,

@@ -31,11 +31,14 @@ func (ctxthreadRule) Doc() string {
 // context (r.Context()), not a manufactured one.
 // The format subsystem is included: ScanContext drives whole-image block
 // scans, so an exported scan entry point there must be cancellable too.
+// The fleet is included: Coordinator.Run and Worker.Run drive whole
+// campaigns across machines and must stay cancellable end to end.
 var ctxthreadPackages = map[string]bool{
 	"":                         true, // module root (coldboot)
 	"internal/core":            true,
 	"internal/keyfind":         true,
 	"internal/service":         true,
+	"internal/fleet":           true,
 	"internal/format":          true,
 	"internal/format/aesxts":   true,
 	"internal/format/chacha20": true,

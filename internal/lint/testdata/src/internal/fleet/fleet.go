@@ -1,0 +1,100 @@
+// Package fleet is a fixture for the distribution-layer gating: shard
+// scans must stay cancellable end to end (ctxthread), worker goroutines
+// must carry a stop path (goroleak), merged key material must not leak
+// into logs or errors (keyflow), and the coordinator's merge loop is on
+// the per-block hot path (allocloop).
+package fleet
+
+import (
+	"context"
+	"fmt"
+
+	"coldboot/internal/aes"
+	"coldboot/internal/secret"
+)
+
+// ScanShard walks a dump shard block by block but takes no context: a
+// worker could never abandon the shard when its lease expires.
+func ScanShard(dump []byte) int { // want ctxthread
+	total := 0
+	for b := 0; b < len(dump)/64; b++ {
+		total += int(dump[b*64 : (b+1)*64][0])
+	}
+	return total
+}
+
+// ScanShardContext threads the lease's context properly: not a finding.
+func ScanShardContext(ctx context.Context, dump []byte) (int, error) {
+	total := 0
+	for b := 0; b < len(dump)/64; b++ {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		total += int(dump[b*64 : (b+1)*64][0])
+	}
+	return total, nil
+}
+
+// mergeFresh allocates a scratch buffer for every merged block.
+func mergeFresh(dump []byte) int {
+	total := 0
+	for b := 0; b < len(dump)/64; b++ {
+		buf := make([]byte, 64) // want allocloop
+		copy(buf, dump[b*64:(b+1)*64])
+		total += int(buf[0])
+	}
+	return total
+}
+
+// mergePooled reuses one buffer across blocks: not a finding.
+func mergePooled(dump []byte) int {
+	buf := make([]byte, 64)
+	total := 0
+	for b := 0; b < len(dump)/64; b++ {
+		copy(buf, dump[b*64:(b+1)*64])
+		total += int(buf[0])
+	}
+	return total
+}
+
+// Heartbeat spins a lease-renewal goroutine that can never be told to
+// stop: when the coordinator drops the shard the goroutine leaks.
+func Heartbeat(beats chan<- int) {
+	go func() { // want goroleak
+		for i := 0; ; i++ {
+			beats <- i
+		}
+	}()
+}
+
+// HeartbeatCtx renews under the lease's context: not a finding.
+func HeartbeatCtx(ctx context.Context, beats chan<- int) {
+	go func() {
+		for i := 0; ; i++ {
+			select {
+			case <-ctx.Done():
+				return
+			case beats <- i:
+			}
+		}
+	}()
+}
+
+// ReportShard interpolates a recovered master into a worker's shard
+// report: key material must cross the fleet as secret.Bytes, never as
+// formatted text.
+func ReportShard(schedule []byte) string {
+	master := aes.RecoverMasterKey(schedule)
+	return fmt.Sprintf("shard hit master=%x", master) // want keyflow
+}
+
+// ReportShardRedacted ships the sanctioned fingerprint form instead: not
+// a finding.
+func ReportShardRedacted(schedule []byte) string {
+	return "shard hit " + secret.Fingerprint(aes.RecoverMasterKey(schedule))
+}
+
+var (
+	_ = mergeFresh
+	_ = mergePooled
+)

@@ -1,0 +1,56 @@
+// Package wal is a fixture for the durability-layer gating: the journal
+// sits under every job mutation, so it is a library package (noprint —
+// silent, clock-free) and its replay path walks whole logs block by block
+// (allocloop).
+package wal
+
+import (
+	"log"
+	"time"
+)
+
+// replayBlocks verifies a recovered dump image frame by frame, allocating
+// a fresh scratch buffer per block: exactly the per-block allocation the
+// pooled-buffer contract bans.
+func replayBlocks(dump []byte) int {
+	total := 0
+	for b := 0; b < len(dump)/64; b++ {
+		buf := make([]byte, 64) // want allocloop
+		copy(buf, dump[b*64:(b+1)*64])
+		total += int(buf[0])
+	}
+	return total
+}
+
+// replayBlocksPooled hoists the scratch buffer out of the loop: not a
+// finding.
+func replayBlocksPooled(dump []byte) int {
+	buf := make([]byte, 64)
+	total := 0
+	for b := 0; b < len(dump)/64; b++ {
+		copy(buf, dump[b*64:(b+1)*64])
+		total += int(buf[0])
+	}
+	return total
+}
+
+// Append stamps and logs directly: the journal is a library and must do
+// neither.
+func Append(frame []byte) time.Time {
+	log.Printf("appended %d bytes", len(frame)) // want noprint
+	return time.Now()                           // want noprint
+}
+
+// AppendAt takes the clock as a dependency, the sanctioned shape.
+func AppendAt(frame []byte, clock func() time.Time) time.Time {
+	if clock == nil {
+		clock = time.Now
+	}
+	_ = frame
+	return clock()
+}
+
+var (
+	_ = replayBlocks
+	_ = replayBlocksPooled
+)

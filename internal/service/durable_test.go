@@ -1,0 +1,282 @@
+package service
+
+import (
+	"context"
+	"encoding/hex"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"coldboot/internal/fleet"
+	"coldboot/internal/jobs"
+	"coldboot/internal/secret"
+)
+
+// The durable-store tests boot a server over a data dir, kill or drain
+// it, and boot a second server over the same dir: the WAL replay must
+// hand the second process the first one's jobs.
+
+// bootServer is testServer without the auto-drain cleanup: crash-sim
+// tests abandon the first server on purpose.
+func bootServer(t testing.TB, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(ts.Close)
+	return svc, ts
+}
+
+// blockingRunner returns a stub RunFunc that completes only once release
+// is closed, reporting one planted key and honoring the job's submit-time
+// reveal choice the way runAnalysis does.
+func blockingRunner(release <-chan struct{}, master []byte) jobs.RunFunc {
+	return func(ctx context.Context, j *jobs.Job) (any, error) {
+		select {
+		case <-release:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		m := secret.New(master)
+		report := &ResultReport{
+			Variant: "AES-256",
+			Keys: []KeyReport{{
+				Format:      "aesxts",
+				Fingerprint: m.Fingerprint(),
+				master:      m,
+			}},
+		}
+		if pl, ok := j.Payload().(*dumpJob); ok {
+			report.reveal = pl.Reveal
+		}
+		return report, nil
+	}
+}
+
+// TestDurableDrainRestoresAbandoned: a drain abandons queued jobs into
+// the journal; the next boot requeues and finishes them, and the drained
+// process's finished job stays queryable with its redacted result.
+func TestDurableDrainRestoresAbandoned(t *testing.T) {
+	dir := t.TempDir()
+	master := testMaster(7)
+	release := make(chan struct{})
+	cfg := Config{Workers: 1, DataDir: dir, Runner: blockingRunner(release, master)}
+
+	svc1, ts1 := bootServer(t, cfg)
+	code, doc := postDump(t, ts1, "", tinyContainer(t))
+	if code != http.StatusCreated {
+		t.Fatalf("submit A: HTTP %d: %v", code, doc)
+	}
+	idA := doc["id"].(string)
+	code, doc = postDump(t, ts1, "", tinyContainer(t))
+	if code != http.StatusCreated {
+		t.Fatalf("submit B: HTTP %d: %v", code, doc)
+	}
+	idB := doc["id"].(string)
+
+	pollUntil(t, ts1, idA, 10*time.Second, inState("running"))
+	close(release) // A finishes; B may or may not start before the drain
+	pollUntil(t, ts1, idA, 10*time.Second, inState("done"))
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := svc1.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st := svc1.Pool().Stats()
+	if st.Abandoned+st.Done != 2 {
+		t.Fatalf("after drain: done=%d abandoned=%d, want them to cover both jobs", st.Done, st.Abandoned)
+	}
+
+	// Second boot over the same dir: A stays done, B runs to done.
+	_, ts2 := testServer(t, Config{Workers: 1, DataDir: dir, Runner: blockingRunner(release, master)})
+	pollUntil(t, ts2, idB, 30*time.Second, inState("done"))
+	code, result := getDoc(t, ts2, "/v1/jobs/"+idA+"/result")
+	if code != http.StatusOK {
+		t.Fatalf("restored result A: HTTP %d: %v", code, result)
+	}
+	keys := result["keys"].([]any)
+	if len(keys) != 1 {
+		t.Fatalf("restored result A keys: %v", result)
+	}
+	k := keys[0].(map[string]any)
+	if k["fingerprint"] != secret.Fingerprint(master) {
+		t.Errorf("restored fingerprint = %v, want %s", k["fingerprint"], secret.Fingerprint(master))
+	}
+	if k["master"] != nil {
+		t.Errorf("non-reveal job persisted master across restart: %v", k)
+	}
+
+	// The metrics endpoint exposes the new durability gauges.
+	resp, err := http.Get(ts2.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{"coldbootd_jobs_abandoned_total", "coldbootd_journal_errors_total", "coldbootd_wal_records"} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+}
+
+// TestDurableRevealPersistence: only jobs submitted with ?reveal=keys
+// keep raw masters across a restart; everyone else keeps fingerprints.
+func TestDurableRevealPersistence(t *testing.T) {
+	dir := t.TempDir()
+	master := testMaster(11)
+	release := make(chan struct{})
+	close(release)
+	cfg := Config{Workers: 1, DataDir: dir, Runner: blockingRunner(release, master)}
+
+	svc1, ts1 := bootServer(t, cfg)
+	code, doc := postDump(t, ts1, "?reveal=keys", tinyContainer(t))
+	if code != http.StatusCreated {
+		t.Fatalf("submit revealed: HTTP %d: %v", code, doc)
+	}
+	idReveal := doc["id"].(string)
+	code, doc = postDump(t, ts1, "", tinyContainer(t))
+	if code != http.StatusCreated {
+		t.Fatalf("submit plain: HTTP %d: %v", code, doc)
+	}
+	idPlain := doc["id"].(string)
+	pollUntil(t, ts1, idReveal, 10*time.Second, inState("done"))
+	pollUntil(t, ts1, idPlain, 10*time.Second, inState("done"))
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := svc1.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	_, ts2 := testServer(t, cfg)
+	code, result := getDoc(t, ts2, "/v1/jobs/"+idReveal+"/result?reveal=keys")
+	if code != http.StatusOK {
+		t.Fatalf("revealed result: HTTP %d: %v", code, result)
+	}
+	k := result["keys"].([]any)[0].(map[string]any)
+	if k["master"] != hex.EncodeToString(master) {
+		t.Errorf("revealed job lost its master across restart: %v", k)
+	}
+	code, result = getDoc(t, ts2, "/v1/jobs/"+idPlain+"/result?reveal=keys")
+	if code != http.StatusOK {
+		t.Fatalf("plain result: HTTP %d: %v", code, result)
+	}
+	k = result["keys"].([]any)[0].(map[string]any)
+	if k["master"] != nil {
+		t.Errorf("non-reveal job persisted its master: %v", k)
+	}
+	if k["fingerprint"] != secret.Fingerprint(master) {
+		t.Errorf("fingerprint lost: %v", k)
+	}
+}
+
+// TestDurableSpoolLossFailsJob: a crash that takes the spooled dumps with
+// it must not leave jobs retrying a file that no longer exists — replay
+// settles them as failed, durably.
+func TestDurableSpoolLossFailsJob(t *testing.T) {
+	dir := t.TempDir()
+	release := make(chan struct{}) // never closed: jobs stay active at "crash"
+	cfg := Config{Workers: 1, DataDir: dir, Runner: blockingRunner(release, testMaster(13))}
+
+	_, ts1 := bootServer(t, cfg)
+	code, doc := postDump(t, ts1, "", tinyContainer(t))
+	if code != http.StatusCreated {
+		t.Fatalf("submit A: HTTP %d: %v", code, doc)
+	}
+	idA := doc["id"].(string)
+	code, doc = postDump(t, ts1, "", tinyContainer(t))
+	if code != http.StatusCreated {
+		t.Fatalf("submit B: HTTP %d: %v", code, doc)
+	}
+	idB := doc["id"].(string)
+	pollUntil(t, ts1, idA, 10*time.Second, inState("running"))
+
+	// "Crash": abandon server 1 (no drain) and destroy every spool file.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			os.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
+
+	_, ts2 := testServer(t, cfg)
+	for _, id := range []string{idA, idB} {
+		code, doc := getDoc(t, ts2, "/v1/jobs/"+id)
+		if code != http.StatusOK {
+			t.Fatalf("restored job %s: HTTP %d", id, code)
+		}
+		if doc["state"] != "failed" {
+			t.Errorf("job %s restored as %v, want failed (spool lost)", id, doc["state"])
+		}
+		if errText, _ := doc["error"].(string); !strings.Contains(errText, "restore:") {
+			t.Errorf("job %s error %q does not name the restore failure", id, errText)
+		}
+	}
+}
+
+// TestCoordinatorRoleEndToEnd: a coordinator-role server plus one fleet
+// worker recovers a planted master through the HTTP job API, and the
+// fleet gauges surface on /metrics.
+func TestCoordinatorRoleEndToEnd(t *testing.T) {
+	master := testMaster(91)
+	container := buildFixtureContainer(t, 1<<20, 91, master, 1024*64, false)
+	svc, ts := testServer(t, Config{
+		Workers:     1,
+		Role:        RoleCoordinator,
+		LeaseTTL:    5 * time.Second,
+		ShardBlocks: 4096,
+	})
+	if svc.Coordinator() == nil {
+		t.Fatal("coordinator role without a coordinator")
+	}
+
+	wctx, wcancel := context.WithCancel(context.Background())
+	defer wcancel()
+	w := &fleet.Worker{Base: ts.URL, Name: "w-e2e", Poll: 10 * time.Millisecond}
+	go w.Run(wctx)
+
+	code, doc := postDump(t, ts, "", container)
+	if code != http.StatusCreated {
+		t.Fatalf("submit: HTTP %d: %v", code, doc)
+	}
+	id := doc["id"].(string)
+	pollUntil(t, ts, id, 120*time.Second, inState("done"))
+
+	code, result := getDoc(t, ts, "/v1/jobs/"+id+"/result?reveal=keys")
+	if code != http.StatusOK {
+		t.Fatalf("result: HTTP %d: %v", code, result)
+	}
+	found := false
+	for _, raw := range result["keys"].([]any) {
+		k := raw.(map[string]any)
+		if k["master"] == hex.EncodeToString(master) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("fleet-run job missed the planted master: %v", result)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{"coldbootd_fleet_workers_alive", "coldbootd_fleet_shards_done"} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+}

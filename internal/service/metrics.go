@@ -12,18 +12,41 @@ import (
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	st := s.pool.Stats()
-	gauges := []struct {
+	type gauge struct {
 		name, help string
 		typ        string
 		value      int
-	}{
+	}
+	gauges := []gauge{
 		{"coldbootd_workers", "Size of the analysis worker pool.", "gauge", st.Workers},
 		{"coldbootd_jobs_queued", "Jobs waiting for a worker.", "gauge", st.Queued},
 		{"coldbootd_jobs_running", "Jobs currently analyzing.", "gauge", st.Running},
 		{"coldbootd_jobs_done_total", "Jobs that finished successfully.", "counter", st.Done},
 		{"coldbootd_jobs_failed_total", "Jobs that failed permanently.", "counter", st.Failed},
 		{"coldbootd_jobs_canceled_total", "Jobs canceled by operators.", "counter", st.Canceled},
+		{"coldbootd_jobs_abandoned_total", "Queued jobs a drain left for the next boot to requeue.", "counter", st.Abandoned},
+		{"coldbootd_journal_errors_total", "Post-submit journal writes that failed (in-memory state moved on).", "counter", st.JournalErrors},
 		{"coldbootd_draining", "1 while the daemon is draining for shutdown.", "gauge", boolGauge(st.Draining)},
+	}
+	if s.store != nil {
+		ws := s.store.stats()
+		gauges = append(gauges,
+			gauge{"coldbootd_wal_records", "Journal events held past the last snapshot.", "gauge", ws.Records},
+			gauge{"coldbootd_wal_compact_errors_total", "Failed snapshot compactions (log kept growing, no events lost).", "counter", ws.CompactErrs},
+			gauge{"coldbootd_wal_torn_bytes", "Trailing bytes boot-time replay discarded as a torn write.", "gauge", int(ws.TornBytes)},
+		)
+	}
+	if s.coord != nil {
+		fs := s.coord.Stats()
+		gauges = append(gauges,
+			gauge{"coldbootd_fleet_workers_alive", "Workers that contacted the coordinator within two lease TTLs.", "gauge", fs.WorkersAlive},
+			gauge{"coldbootd_fleet_campaigns", "Fleet campaigns currently running.", "gauge", fs.Campaigns},
+			gauge{"coldbootd_fleet_shards_queued", "Shards waiting for a worker lease.", "gauge", fs.Queued},
+			gauge{"coldbootd_fleet_shards_leased", "Shards currently leased to workers.", "gauge", fs.Leased},
+			gauge{"coldbootd_fleet_shards_done", "Shards completed in live campaigns.", "gauge", fs.Done},
+			gauge{"coldbootd_fleet_requeues_total", "Shard leases that expired back to the queue.", "counter", fs.Requeues},
+			gauge{"coldbootd_fleet_steals_total", "Duplicate leases granted on straggling shards.", "counter", fs.Steals},
+		)
 	}
 	for _, g := range gauges {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n", g.name, g.help, g.name, g.typ, g.name, g.value)

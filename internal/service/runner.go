@@ -27,6 +27,10 @@ type dumpJob struct {
 	// Formats restricts the hunt to the named target formats (nil = every
 	// registered format). Validated against core.KnownFormats at submit.
 	Formats []string
+	// Reveal, set by submitting with ?reveal=keys, lets the job's raw
+	// recovered masters persist in the durable journal (default: the WAL
+	// holds fingerprints only, and keys do not survive a restart).
+	Reveal bool
 
 	// journal buffers the job's telemetry events for the live stream
 	// endpoint; the pool's terminal hook closes it.
@@ -55,6 +59,10 @@ type ResultReport struct {
 	Volumes []format.Volume `json:"volumes,omitempty"`
 	// Keys are the recovered masters, redacted to fingerprints by default.
 	Keys []KeyReport `json:"keys"`
+
+	// reveal records the job's submit-time ?reveal=keys choice: it gates
+	// what encodeResult persists in the durable journal.
+	reveal bool
 }
 
 // KeyReport is one recovered AES master key. Master is populated only when
@@ -167,11 +175,19 @@ func (s *Server) runAnalysis(ctx context.Context, j *jobs.Job) (any, error) {
 		ShardBlocks: s.cfg.ShardBlocks,
 		Parallel:    s.cfg.Parallel,
 	}
-	res, runErr := core.RunCampaignSource(ctx, src, cfg)
+	// A coordinator-role server hands the campaign to the worker fleet;
+	// both paths are compositions of the same Plan/Scan/Finalize pipeline,
+	// so the Result is byte-identical either way.
+	runCampaign := core.RunCampaignSource
+	if s.coord != nil {
+		runCampaign = s.coord.Run
+	}
+	res, runErr := runCampaign(ctx, src, cfg)
 	if res != nil {
 		root.SetAttr("keys", strconv.Itoa(len(res.Keys)))
 	}
 	report := buildReport(pl.Variant, res, runErr != nil)
+	report.reveal = pl.Reveal
 	return report, runErr
 }
 

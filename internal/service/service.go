@@ -38,6 +38,7 @@ import (
 	"coldboot/internal/aes"
 	"coldboot/internal/core"
 	"coldboot/internal/dumpfile"
+	"coldboot/internal/fleet"
 	"coldboot/internal/format"
 	"coldboot/internal/jobs"
 	"coldboot/internal/obs"
@@ -60,7 +61,24 @@ type Config struct {
 	MaxUploadBytes int64
 	// DataDir is where uploads are spooled ("" = the OS temp dir). Spooled
 	// dumps are deleted as soon as their job reaches a terminal state.
+	//
+	// A non-empty DataDir also turns on durability: job lifecycle events
+	// are journaled through an internal/wal log under DataDir/wal before
+	// they apply, and replayed on the next New — queued and mid-run hunts
+	// survive kill -9. Key material rides the journal only as fingerprints
+	// unless a job was submitted with ?reveal=keys.
 	DataDir string
+	// CompactEvery overrides the WAL snapshot threshold (0 = default).
+	CompactEvery int
+	// Role selects the daemon's fleet role: "" or RoleStandalone runs
+	// campaigns in-process; RoleCoordinator additionally mounts the fleet
+	// lease endpoints and runs every campaign through the worker fleet
+	// (jobs wait until workers connect). The worker role has no service —
+	// see fleet.Worker.
+	Role string
+	// LeaseTTL is the coordinator's shard lease lifetime (0 = fleet
+	// default). Ignored unless Role is RoleCoordinator.
+	LeaseTTL time.Duration
 	// MaxAttempts and RetryBackoff configure retry of transiently failing
 	// jobs (defaults: no retries; 250ms first backoff).
 	MaxAttempts  int
@@ -86,6 +104,16 @@ type Config struct {
 	Runner jobs.RunFunc
 }
 
+// Role values for Config.Role.
+const (
+	RoleStandalone  = "standalone"
+	RoleCoordinator = "coordinator"
+	// RoleWorker is not a service role — a worker is a bare fleet.Worker
+	// loop with no HTTP surface — but cmd/coldbootd accepts it, so the
+	// name lives here with its siblings.
+	RoleWorker = "worker"
+)
+
 // Server is the analysis service: create with New, mount Handler, and
 // Drain on shutdown.
 type Server struct {
@@ -93,6 +121,8 @@ type Server struct {
 	pool      *jobs.Pool
 	collector *obs.Collector
 	mux       *http.ServeMux
+	store     *walStore          // nil without a DataDir
+	coord     *fleet.Coordinator // nil unless RoleCoordinator
 
 	// journals indexes each job's event journal for the streaming
 	// endpoint; entries stay after job completion (the closed journal is
@@ -101,10 +131,12 @@ type Server struct {
 	journals map[string]*obs.Journal
 }
 
-// New builds a Server and starts its worker pool.
+// New builds a Server and starts its worker pool. With a DataDir it also
+// opens the write-ahead log, replays it, and restores the previous
+// process's jobs before accepting new ones.
 //
 //lint:ignore ctxthread New only wires the analysis callback; the scan it references runs per-job under the job's own context
-func New(cfg Config) *Server {
+func New(cfg Config) (*Server, error) {
 	if cfg.MaxUploadBytes <= 0 {
 		cfg.MaxUploadBytes = DefaultMaxUploadBytes
 	}
@@ -117,24 +149,58 @@ func New(cfg Config) *Server {
 	if cfg.Heartbeat <= 0 {
 		cfg.Heartbeat = 10 * time.Second
 	}
+	switch cfg.Role {
+	case "", RoleStandalone, RoleCoordinator:
+	default:
+		return nil, fmt.Errorf("service: unknown role %q (want %s or %s)", cfg.Role, RoleStandalone, RoleCoordinator)
+	}
 	s := &Server{
 		cfg:       cfg,
 		collector: obs.NewCollector(),
 		mux:       http.NewServeMux(),
 		journals:  make(map[string]*obs.Journal),
 	}
+	if cfg.Role == RoleCoordinator {
+		// The coordinator's tracer is the server's collector, so fleet
+		// lease spans and shard histograms surface at /metrics alongside
+		// the pipeline aggregates.
+		s.coord = fleet.NewCoordinator(cfg.LeaseTTL, s.collector)
+	}
+	var entries []jobs.LedgerEntry
+	if cfg.DataDir != "" {
+		var err error
+		s.store, entries, err = openStore(cfg.DataDir, cfg.CompactEvery)
+		if err != nil {
+			return nil, err
+		}
+	}
 	run := cfg.Runner
 	if run == nil {
 		run = s.runAnalysis
 	}
-	s.pool = jobs.NewPool(run, jobs.Options{
+	opts := jobs.Options{
 		Workers:      cfg.Workers,
 		JobTimeout:   cfg.JobTimeout,
 		MaxAttempts:  cfg.MaxAttempts,
 		RetryBackoff: cfg.RetryBackoff,
 		Tracer:       s.collector,
 		OnJobDone:    s.jobDone,
-	})
+	}
+	if s.store != nil {
+		opts.Journal = s.store
+		opts.EncodePayload = encodePayload
+		opts.EncodeResult = encodeResult
+	}
+	s.pool = jobs.NewPool(run, opts)
+	if s.store != nil {
+		if err := s.restore(entries); err != nil {
+			s.store.Close()
+			return nil, fmt.Errorf("service: restoring journaled jobs: %w", err)
+		}
+	}
+	if s.coord != nil {
+		s.coord.Register(s.mux)
+	}
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
@@ -143,7 +209,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	return s
+	return s, nil
 }
 
 // Handler returns the service's HTTP handler.
@@ -152,9 +218,23 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Pool exposes the job pool (cancel-on-shutdown, tests).
 func (s *Server) Pool() *jobs.Pool { return s.pool }
 
+// Coordinator returns the fleet coordinator (nil unless the server runs
+// as RoleCoordinator).
+func (s *Server) Coordinator() *fleet.Coordinator { return s.coord }
+
 // Drain gracefully shuts the worker pool down: running jobs finish, queued
-// jobs are abandoned, new submissions get 503.
-func (s *Server) Drain(ctx context.Context) error { return s.pool.Drain(ctx) }
+// jobs are journaled as abandoned (requeued on the next boot) and counted
+// in Stats.Abandoned, new submissions get 503. The write-ahead log is
+// closed once the pool is quiet.
+func (s *Server) Drain(ctx context.Context) error {
+	err := s.pool.Drain(ctx)
+	if s.store != nil {
+		if cerr := s.store.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
 
 // jobDone is the pool's terminal hook: wipe and delete the spooled
 // container (only needed while the job can still run) and close the job's
@@ -184,10 +264,19 @@ func (s *Server) journal(id string) *obs.Journal {
 // handleSubmit streams the posted container to disk and enqueues its
 // analysis. Query parameters: priority (int, default 0, higher first),
 // repair (0..2 decay-repair flips), variant (128/192/256, default 256),
-// formats (comma-separated target-format names, default all registered).
+// formats (comma-separated target-format names, default all registered),
+// reveal=keys (persist raw recovered masters in the durable journal, so
+// they survive a restart; default: fingerprints only).
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	pl := &dumpJob{Variant: aes.AES256}
 	q := r.URL.Query()
+	if v := q.Get("reveal"); v != "" {
+		if v != "keys" {
+			httpError(w, http.StatusBadRequest, "bad reveal %q (want keys)", v)
+			return
+		}
+		pl.Reveal = true
+	}
 	priority := 0
 	if v := q.Get("priority"); v != "" {
 		n, err := strconv.Atoi(v)

@@ -1,0 +1,333 @@
+// Package wal is the daemon's durability subsystem: an append-only,
+// CRC-framed write-ahead log plus a periodic snapshot, both living in a
+// directory under the daemon's data dir. The job store (internal/jobs via
+// internal/service) journals every lifecycle mutation through it BEFORE
+// the mutation applies, and replays the snapshot + surviving frames on
+// boot, so queued and in-flight hunts survive a crash — the scale-out
+// premise of the paper's §III-C ("fully parallelizable ... multiple
+// machines") only holds operationally if losing a box, or kill -9 on the
+// coordinator, does not lose the campaign.
+//
+// Layout inside the directory:
+//
+//	snapshot.json   the state as of the last compaction (atomic rename)
+//	wal.log         CRC-framed records appended since that snapshot
+//
+// Frame format (little-endian), designed so that a torn tail — the only
+// corruption an append-only log acquires from a crash — is detectable and
+// cleanly separable from the valid prefix:
+//
+//	[4] magic 0xC01DB007
+//	[4] payload length n (bounded by MaxRecordBytes)
+//	[4] CRC-32C (Castagnoli) of the payload
+//	[n] payload (opaque to this package; the owner encodes JSON events)
+//
+// Replay walks frames until EOF, a short read, a bad magic, an oversized
+// length, or a CRC mismatch — whichever comes first — and returns every
+// record before the damage. Open then truncates the log back to the end
+// of the valid prefix so subsequent appends extend good bytes, never
+// interleave with garbage.
+//
+// Secrets: this package stores whatever bytes it is handed. The contract
+// that key material rides the WAL only as secret.Bytes fingerprints
+// (unless a job was submitted with explicit reveal) is enforced by the
+// encoding layer in internal/service, backstopped by the keyflow lint
+// rule — nothing in this package formats or copies payloads beyond the
+// framing.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+const (
+	// frameMagic marks the start of every record frame.
+	frameMagic = 0xC01DB007
+	// frameHeaderBytes is the fixed frame prefix: magic + length + CRC.
+	frameHeaderBytes = 12
+	// MaxRecordBytes bounds a single record's payload. Job lifecycle
+	// events are small JSON documents; anything near this size in the
+	// length field is framing damage, not data.
+	MaxRecordBytes = 16 << 20
+
+	logName      = "wal.log"
+	snapshotName = "snapshot.json"
+	tmpSuffix    = ".tmp"
+)
+
+// castagnoli is the CRC-32C table (the iSCSI/ext4 polynomial, hardware-
+// accelerated on amd64/arm64 — the same framing choice as most production
+// WALs).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrClosed is returned by operations on a closed Log.
+var ErrClosed = errors.New("wal: log is closed")
+
+// Options tunes a Log.
+type Options struct {
+	// NoSync skips the fsync after each append. Crash durability is the
+	// whole point of the log, so the default is sync-per-append; tests
+	// and bulk restores turn syncing off.
+	NoSync bool
+}
+
+// Recovered is what Open salvaged from the directory.
+type Recovered struct {
+	// Snapshot is the last compacted state (nil when none was written).
+	Snapshot []byte
+	// Records are the intact frames appended after the snapshot, oldest
+	// first.
+	Records [][]byte
+	// Torn reports that the log ended in a damaged frame (torn write,
+	// flipped bits) that was discarded and truncated away. Everything in
+	// Records precedes the damage.
+	Torn bool
+	// TornBytes is how many trailing bytes were discarded.
+	TornBytes int64
+}
+
+// Log is an open write-ahead log. Methods are NOT safe for concurrent
+// use; the owning store serializes appends under its own lock (mutations
+// are journaled before they apply, so they are already serialized).
+type Log struct {
+	dir  string
+	opts Options
+	f    *os.File
+	// appended counts records written since the last snapshot (including
+	// the replayed ones), for the owner's compaction policy.
+	appended int
+	closed   bool
+}
+
+// Open opens (creating if necessary) the log directory, replays the
+// snapshot and every intact frame, truncates torn tail bytes, and returns
+// the log positioned for appends.
+func Open(dir string, opts Options) (*Log, Recovered, error) {
+	var rec Recovered
+	if err := os.MkdirAll(dir, 0o700); err != nil {
+		return nil, rec, fmt.Errorf("wal: creating %s: %w", dir, err)
+	}
+	snap, err := os.ReadFile(filepath.Join(dir, snapshotName))
+	switch {
+	case err == nil:
+		rec.Snapshot = snap
+	case !errors.Is(err, os.ErrNotExist):
+		return nil, rec, fmt.Errorf("wal: reading snapshot: %w", err)
+	}
+
+	logPath := filepath.Join(dir, logName)
+	f, err := os.OpenFile(logPath, os.O_RDWR|os.O_CREATE, 0o600)
+	if err != nil {
+		return nil, rec, fmt.Errorf("wal: opening log: %w", err)
+	}
+	records, validEnd, torn, err := replay(f)
+	if err != nil {
+		f.Close()
+		return nil, rec, err
+	}
+	rec.Records = records
+	rec.Torn = torn
+	if torn {
+		st, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return nil, rec, fmt.Errorf("wal: stat log: %w", err)
+		}
+		rec.TornBytes = st.Size() - validEnd
+		if err := f.Truncate(validEnd); err != nil {
+			f.Close()
+			return nil, rec, fmt.Errorf("wal: truncating torn tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(validEnd, io.SeekStart); err != nil {
+		f.Close()
+		return nil, rec, fmt.Errorf("wal: seeking to append position: %w", err)
+	}
+	return &Log{dir: dir, opts: opts, f: f, appended: len(records)}, rec, nil
+}
+
+// replay walks the frames of an open log file from the start, returning
+// the intact records, the byte offset where the valid prefix ends, and
+// whether damage was found after it.
+func replay(r io.ReadSeeker) (records [][]byte, validEnd int64, torn bool, err error) {
+	if _, err := r.Seek(0, io.SeekStart); err != nil {
+		return nil, 0, false, fmt.Errorf("wal: seeking log start: %w", err)
+	}
+	var hdr [frameHeaderBytes]byte
+	for {
+		_, err := io.ReadFull(r, hdr[:])
+		if err == io.EOF {
+			return records, validEnd, false, nil // clean end
+		}
+		if err != nil {
+			// Short header: a torn write mid-frame-prefix.
+			return records, validEnd, true, nil
+		}
+		magic := binary.LittleEndian.Uint32(hdr[0:4])
+		length := binary.LittleEndian.Uint32(hdr[4:8])
+		sum := binary.LittleEndian.Uint32(hdr[8:12])
+		if magic != frameMagic || length > MaxRecordBytes {
+			return records, validEnd, true, nil
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return records, validEnd, true, nil // torn payload
+		}
+		if crc32.Checksum(payload, castagnoli) != sum {
+			return records, validEnd, true, nil // flipped bits
+		}
+		records = append(records, payload)
+		validEnd += frameHeaderBytes + int64(length)
+	}
+}
+
+// Append frames and writes one record, syncing unless Options.NoSync.
+// The record is durable (or an error is returned) before the caller
+// applies the mutation it describes — write-ahead, not write-behind.
+func (l *Log) Append(record []byte) error {
+	if l.closed {
+		return ErrClosed
+	}
+	if len(record) > MaxRecordBytes {
+		return fmt.Errorf("wal: record of %d bytes exceeds MaxRecordBytes", len(record))
+	}
+	var hdr [frameHeaderBytes]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], frameMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(record)))
+	binary.LittleEndian.PutUint32(hdr[8:12], crc32.Checksum(record, castagnoli))
+	if _, err := l.f.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wal: appending frame header: %w", err)
+	}
+	if _, err := l.f.Write(record); err != nil {
+		return fmt.Errorf("wal: appending record: %w", err)
+	}
+	if !l.opts.NoSync {
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("wal: syncing append: %w", err)
+		}
+	}
+	l.appended++
+	return nil
+}
+
+// AppendedSinceSnapshot returns how many records the log holds past the
+// last snapshot (replayed + newly appended) — the owner's compaction
+// trigger.
+func (l *Log) AppendedSinceSnapshot() int { return l.appended }
+
+// Snapshot atomically replaces the snapshot with state and resets the
+// log: the snapshot is written to a temp file, synced, renamed over
+// snapshot.json, and only then is wal.log truncated to empty. A crash
+// between the rename and the truncate replays the new snapshot plus
+// already-applied records — events must therefore be idempotent to
+// re-apply over the state that already includes them (the jobs reducer
+// is: re-observing a transition for a job already in that state is a
+// no-op).
+func (l *Log) Snapshot(state []byte) error {
+	if l.closed {
+		return ErrClosed
+	}
+	tmpPath := filepath.Join(l.dir, snapshotName+tmpSuffix)
+	tmp, err := os.OpenFile(tmpPath, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o600)
+	if err != nil {
+		return fmt.Errorf("wal: creating snapshot temp: %w", err)
+	}
+	if _, err := tmp.Write(state); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("wal: writing snapshot: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("wal: syncing snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpPath)
+		return fmt.Errorf("wal: closing snapshot temp: %w", err)
+	}
+	if err := os.Rename(tmpPath, filepath.Join(l.dir, snapshotName)); err != nil {
+		os.Remove(tmpPath)
+		return fmt.Errorf("wal: installing snapshot: %w", err)
+	}
+	if err := l.f.Truncate(0); err != nil {
+		return fmt.Errorf("wal: resetting log after snapshot: %w", err)
+	}
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("wal: seeking after snapshot: %w", err)
+	}
+	if !l.opts.NoSync {
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("wal: syncing truncated log: %w", err)
+		}
+	}
+	l.appended = 0
+	return nil
+}
+
+// Sync flushes buffered appends (a no-op unless Options.NoSync batched
+// them).
+func (l *Log) Sync() error {
+	if l.closed {
+		return ErrClosed
+	}
+	return l.f.Sync()
+}
+
+// Close syncs and closes the log file. Idempotent.
+func (l *Log) Close() error {
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	syncErr := l.f.Sync()
+	closeErr := l.f.Close()
+	if syncErr != nil {
+		return syncErr
+	}
+	return closeErr
+}
+
+// DecodeFrames replays frames from raw log bytes (no file involved):
+// the fuzz target and offline inspectors use it. Semantics match Open's
+// replay: records before the first damaged frame, plus a torn flag.
+func DecodeFrames(raw []byte) (records [][]byte, torn bool) {
+	off := 0
+	for {
+		if off == len(raw) {
+			return records, false
+		}
+		if len(raw)-off < frameHeaderBytes {
+			return records, true
+		}
+		magic := binary.LittleEndian.Uint32(raw[off : off+4])
+		length := binary.LittleEndian.Uint32(raw[off+4 : off+8])
+		sum := binary.LittleEndian.Uint32(raw[off+8 : off+12])
+		if magic != frameMagic || length > MaxRecordBytes || len(raw)-off-frameHeaderBytes < int(length) {
+			return records, true
+		}
+		payload := raw[off+frameHeaderBytes : off+frameHeaderBytes+int(length)]
+		if crc32.Checksum(payload, castagnoli) != sum {
+			return records, true
+		}
+		records = append(records, append([]byte(nil), payload...))
+		off += frameHeaderBytes + int(length)
+	}
+}
+
+// EncodeFrame returns the framed wire form of one record — what Append
+// writes. Tests and fuzz corpora build inputs with it.
+func EncodeFrame(record []byte) []byte {
+	out := make([]byte, frameHeaderBytes+len(record))
+	binary.LittleEndian.PutUint32(out[0:4], frameMagic)
+	binary.LittleEndian.PutUint32(out[4:8], uint32(len(record)))
+	binary.LittleEndian.PutUint32(out[8:12], crc32.Checksum(record, castagnoli))
+	copy(out[frameHeaderBytes:], record)
+	return out
+}

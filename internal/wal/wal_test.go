@@ -1,0 +1,262 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openT(t *testing.T, dir string) (*Log, Recovered) {
+	t.Helper()
+	l, rec, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return l, rec
+}
+
+func appendAll(t *testing.T, l *Log, recs ...string) {
+	t.Helper()
+	for _, r := range recs {
+		if err := l.Append([]byte(r)); err != nil {
+			t.Fatalf("Append(%q): %v", r, err)
+		}
+	}
+}
+
+func wantRecords(t *testing.T, got [][]byte, want ...string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("recovered %d records, want %d: %q", len(got), len(want), got)
+	}
+	for i := range want {
+		if string(got[i]) != want[i] {
+			t.Fatalf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, rec := openT(t, dir)
+	if rec.Snapshot != nil || len(rec.Records) != 0 || rec.Torn {
+		t.Fatalf("fresh dir recovered %+v, want empty", rec)
+	}
+	appendAll(t, l, "one", "two", "three")
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	l2, rec2 := openT(t, dir)
+	defer l2.Close()
+	wantRecords(t, rec2.Records, "one", "two", "three")
+	if rec2.Torn {
+		t.Fatalf("clean log reported torn")
+	}
+	if got := l2.AppendedSinceSnapshot(); got != 3 {
+		t.Fatalf("AppendedSinceSnapshot = %d, want 3", got)
+	}
+	// Appends after a reopen extend the same log.
+	appendAll(t, l2, "four")
+	l2.Close()
+	_, rec3 := openT(t, dir)
+	wantRecords(t, rec3.Records, "one", "two", "three", "four")
+}
+
+func TestSnapshotCompacts(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir)
+	appendAll(t, l, "a", "b")
+	if err := l.Snapshot([]byte(`{"state":"ab"}`)); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	if got := l.AppendedSinceSnapshot(); got != 0 {
+		t.Fatalf("AppendedSinceSnapshot after snapshot = %d, want 0", got)
+	}
+	appendAll(t, l, "c")
+	l.Close()
+
+	_, rec := openT(t, dir)
+	if string(rec.Snapshot) != `{"state":"ab"}` {
+		t.Fatalf("snapshot = %q", rec.Snapshot)
+	}
+	wantRecords(t, rec.Records, "c")
+}
+
+// TestTornTailTruncated covers the crash shape an append-only log
+// actually acquires: the final frame is cut off mid-payload. Replay must
+// recover every earlier record, report the tear, and truncate it away so
+// the next append extends clean bytes.
+func TestTornTailTruncated(t *testing.T) {
+	for cut := 1; cut < frameHeaderBytes+5; cut++ {
+		t.Run(fmt.Sprintf("cut%d", cut), func(t *testing.T) {
+			dir := t.TempDir()
+			l, _ := openT(t, dir)
+			appendAll(t, l, "alpha", "beta", "gamma")
+			l.Close()
+
+			path := filepath.Join(dir, logName)
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lastFrame := frameHeaderBytes + 5 // "gamma"
+			if err := os.WriteFile(path, raw[:len(raw)-lastFrame+cut], 0o600); err != nil {
+				t.Fatal(err)
+			}
+
+			l2, rec := openT(t, dir)
+			wantRecords(t, rec.Records, "alpha", "beta")
+			if !rec.Torn {
+				t.Fatalf("torn tail not reported")
+			}
+			if rec.TornBytes != int64(cut) {
+				t.Fatalf("TornBytes = %d, want %d", rec.TornBytes, cut)
+			}
+			// The damage is gone: appending and replaying again yields the
+			// valid prefix plus the new record, no tear.
+			appendAll(t, l2, "delta")
+			l2.Close()
+			_, rec2 := openT(t, dir)
+			wantRecords(t, rec2.Records, "alpha", "beta", "delta")
+			if rec2.Torn {
+				t.Fatalf("log still torn after truncate+append")
+			}
+		})
+	}
+}
+
+// TestCorruptCRCStopsReplay flips one payload byte in the middle record:
+// replay must stop at the last frame before the damage — later intact
+// frames are unreachable (their offsets can't be trusted once a frame is
+// bad) and are discarded with the tail.
+func TestCorruptCRCStopsReplay(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir)
+	appendAll(t, l, "first", "second", "third")
+	l.Close()
+
+	path := filepath.Join(dir, logName)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte inside "second"'s payload.
+	off := (frameHeaderBytes + 5) + frameHeaderBytes + 2
+	raw[off] ^= 0x40
+	if err := os.WriteFile(path, raw, 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, rec := openT(t, dir)
+	defer l2.Close()
+	wantRecords(t, rec.Records, "first")
+	if !rec.Torn {
+		t.Fatalf("CRC damage not reported as torn")
+	}
+}
+
+// TestCorruptHeaderStopsReplay damages the magic and the length field in
+// turn; both must stop replay at the prior frame.
+func TestCorruptHeaderStopsReplay(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		off  int // within the second frame's header
+		val  byte
+	}{
+		{"magic", 0, 0xFF},
+		{"length", 7, 0xFF}, // high byte: length becomes > MaxRecordBytes
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			l, _ := openT(t, dir)
+			appendAll(t, l, "first", "second")
+			l.Close()
+
+			path := filepath.Join(dir, logName)
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			raw[(frameHeaderBytes+5)+tc.off] = tc.val
+			if err := os.WriteFile(path, raw, 0o600); err != nil {
+				t.Fatal(err)
+			}
+			l2, rec := openT(t, dir)
+			defer l2.Close()
+			wantRecords(t, rec.Records, "first")
+			if !rec.Torn {
+				t.Fatalf("header damage not reported as torn")
+			}
+		})
+	}
+}
+
+func TestSnapshotSurvivesTornLog(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir)
+	appendAll(t, l, "pre")
+	if err := l.Snapshot([]byte("snap")); err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, "post")
+	l.Close()
+
+	// Destroy the post-snapshot log entirely.
+	if err := os.WriteFile(filepath.Join(dir, logName), []byte("garbage"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	l2, rec := openT(t, dir)
+	defer l2.Close()
+	if string(rec.Snapshot) != "snap" {
+		t.Fatalf("snapshot lost: %q", rec.Snapshot)
+	}
+	wantRecords(t, rec.Records)
+	if !rec.Torn {
+		t.Fatalf("garbage log not reported torn")
+	}
+}
+
+func TestOversizedRecordRejected(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir)
+	defer l.Close()
+	if err := l.Append(make([]byte, MaxRecordBytes+1)); err == nil {
+		t.Fatalf("oversized Append accepted")
+	}
+}
+
+func TestClosedLog(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir)
+	l.Close()
+	if err := l.Append([]byte("x")); err != ErrClosed {
+		t.Fatalf("Append on closed = %v, want ErrClosed", err)
+	}
+	if err := l.Snapshot(nil); err != ErrClosed {
+		t.Fatalf("Snapshot on closed = %v, want ErrClosed", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("second Close = %v, want nil", err)
+	}
+}
+
+func TestDecodeFramesMatchesFileReplay(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(EncodeFrame([]byte("x")))
+	buf.Write(EncodeFrame([]byte("yy")))
+	raw := buf.Bytes()
+
+	recs, torn := DecodeFrames(raw)
+	wantRecords(t, recs, "x", "yy")
+	if torn {
+		t.Fatalf("clean frames reported torn")
+	}
+	recs, torn = DecodeFrames(raw[:len(raw)-1])
+	wantRecords(t, recs, "x")
+	if !torn {
+		t.Fatalf("truncated frames not reported torn")
+	}
+}
