@@ -25,9 +25,17 @@
 //	GET    /v1/jobs/{id}        status with per-stage progress
 //	DELETE /v1/jobs/{id}        cancel
 //	GET    /v1/jobs/{id}/result key report (?reveal=keys for key material)
+//	GET    /v1/jobs/{id}/trace  merged Chrome-trace timeline (Perfetto-loadable)
 //	POST   /v1/shards/lease     (coordinator) worker lease protocol
 //	GET    /metrics             Prometheus text
 //	GET    /healthz             liveness
+//
+// Tracing: -trace-chrome FILE writes the process's span timeline as Chrome
+// Trace Event JSON on exit (any role). On a coordinator that timeline
+// includes the span trees workers shipped with their shard completions —
+// one named track per worker, clock-corrected onto the coordinator's
+// timebase. Workers additionally take -metrics-addr to expose their local
+// pipeline histograms and span-drop counters on a separate listener.
 //
 // -pprof-addr mounts net/http/pprof on a second, separate listener so the
 // profiling surface can be firewalled independently of the service API:
@@ -56,6 +64,7 @@ import (
 	"time"
 
 	"coldboot/internal/fleet"
+	"coldboot/internal/obs"
 	"coldboot/internal/service"
 
 	// Register every target-format scanner (aesxts, chacha20, luks2) so
@@ -79,6 +88,8 @@ type daemonOpts struct {
 	coordinator  string
 	workerName   string
 	leaseTTL     time.Duration
+	traceChrome  string
+	metricsAddr  string
 }
 
 func main() {
@@ -97,6 +108,8 @@ func main() {
 	flag.StringVar(&o.coordinator, "coordinator", "", "coordinator base URL (required for -role worker)")
 	flag.StringVar(&o.workerName, "worker-name", "", "this worker's name in leases and metrics (default: hostname-pid)")
 	flag.DurationVar(&o.leaseTTL, "lease-ttl", 30*time.Second, "coordinator shard lease lifetime; workers heartbeat a few times per TTL")
+	flag.StringVar(&o.traceChrome, "trace-chrome", "", "write this process's span timeline as Chrome Trace Event JSON to this file on exit")
+	flag.StringVar(&o.metricsAddr, "metrics-addr", "", "(worker role) serve Prometheus /metrics on this separate address; other roles serve /metrics on -listen")
 	flag.Parse()
 
 	log.SetFlags(0)
@@ -128,8 +141,27 @@ func runWorker(o daemonOpts) error {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	// The worker's collector is its local observability root: scans trace
+	// into it (in addition to shipping telemetry with each completion), the
+	// optional -metrics-addr listener reports it, and -trace-chrome writes
+	// it out on exit.
+	col := obs.NewCollector()
+	if o.metricsAddr != "" {
+		stopMetrics, err := serveWorkerMetrics(o.metricsAddr, col)
+		if err != nil {
+			return err
+		}
+		defer stopMetrics()
+	}
+	if o.traceChrome != "" {
+		defer func() {
+			if err := writeChromeTrace(col, o.traceChrome); err != nil {
+				log.Printf("writing -trace-chrome: %v", err)
+			}
+		}()
+	}
 	log.Printf("worker %s leasing from %s", name, o.coordinator)
-	w := &fleet.Worker{Base: o.coordinator, Name: name}
+	w := &fleet.Worker{Base: o.coordinator, Name: name, Tracer: col}
 	if err := w.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
 		return err
 	}
@@ -150,6 +182,13 @@ func run(o daemonOpts) error {
 	})
 	if err != nil {
 		return err
+	}
+	if o.traceChrome != "" {
+		defer func() {
+			if err := writeChromeTrace(svc.Collector(), o.traceChrome); err != nil {
+				log.Printf("writing -trace-chrome: %v", err)
+			}
+		}()
 	}
 
 	ln, err := net.Listen("tcp", o.listen)
@@ -230,4 +269,42 @@ func servePprof(addr string) (func(), error) {
 		}
 	}()
 	return func() { srv.Close() }, nil
+}
+
+// serveWorkerMetrics exposes a worker's local collector as Prometheus text
+// on its own listener — workers have no service mux, but their pipeline
+// histograms and span-drop counters are still worth scraping. The returned
+// func closes the listener.
+func serveWorkerMetrics(addr string, col *obs.Collector) (func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("metrics listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		col.Report().WritePrometheus(w, "coldbootd_pipeline")
+	})
+	log.Printf("worker metrics on http://%s/metrics", ln.Addr())
+	srv := &http.Server{Handler: mux}
+	go func() {
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("metrics server: %v", err)
+		}
+	}()
+	return func() { srv.Close() }, nil
+}
+
+// writeChromeTrace dumps a collector's completed spans as Chrome Trace
+// Event JSON, loadable in Perfetto or chrome://tracing.
+func writeChromeTrace(col *obs.Collector, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = col.WriteChromeTrace(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

@@ -127,6 +127,14 @@ func run() error {
 	}
 	log.Printf("both planted masters recovered after kill -9")
 
+	// The restarted daemon's trace endpoint serves the resumed job's
+	// timeline; save it before the remaining assertions so a red run still
+	// ships the trace artifact.
+	if err := saveTrace(base2, bigID, "crash-smoke-trace.json"); err != nil {
+		return err
+	}
+	log.Printf("trace validated and saved to crash-smoke-trace.json")
+
 	// The durability gauges must be live on the restarted daemon.
 	resp, err := http.Get(base2 + "/metrics")
 	if err != nil {
@@ -317,6 +325,56 @@ func pollUntilDone(base, id string) (map[string]any, error) {
 		}
 		time.Sleep(100 * time.Millisecond)
 	}
+}
+
+// saveTrace fetches a job's merged Chrome-trace timeline, validates its
+// shape, and writes it to path for CI to attach as an artifact. The
+// resumed job re-ran its campaign in process two, so the trace carries the
+// full job/campaign/shard tree despite the kill.
+func saveTrace(base, id, path string) error {
+	resp, err := http.Get(base + "/v1/jobs/" + id + "/trace")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("trace %s: HTTP %d: %s", id, resp.StatusCode, data)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("trace %s is not Chrome trace JSON: %w", id, err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		return fmt.Errorf("trace %s has no events", id)
+	}
+	lastTs := -1.0
+	names := map[string]bool{}
+	for _, e := range doc.TraceEvents {
+		if e.Ph != "X" {
+			continue
+		}
+		if e.Ts < lastTs {
+			return fmt.Errorf("trace %s timestamps not monotonic", id)
+		}
+		lastTs = e.Ts
+		names[e.Name] = true
+	}
+	for _, want := range []string{"job", "campaign", "shard"} {
+		if !names[want] {
+			return fmt.Errorf("trace %s missing %q spans", id, want)
+		}
+	}
+	return os.WriteFile(path, data, 0o644)
 }
 
 // waitForAddr tails the -addr-file until the daemon writes its bound

@@ -168,6 +168,17 @@ func multiFormatJob(base string, fx fixture) error {
 	}
 	log.Printf("job done (progress %v)", doc["progress"])
 
+	// Save the job's span timeline first thing after completion, so a
+	// failure in any later assertion still leaves the trace on disk for CI
+	// to attach as an artifact.
+	if tid, _ := doc["trace_id"].(string); tid == "" {
+		return fmt.Errorf("done job carries no trace_id: %v", doc)
+	}
+	if err := saveTrace(base, id, "serve-smoke-trace.json"); err != nil {
+		return err
+	}
+	log.Printf("trace validated and saved to serve-smoke-trace.json")
+
 	// Per-format tallies on the status document (the job's progress view).
 	formats, _ := doc["formats"].(map[string]any)
 	for name, want := range map[string]float64{
@@ -529,6 +540,56 @@ func consumeEvents(base, id string, cursor uint64, maxData int) (lastSeq uint64,
 		return lastSeq, sawEnd, nData, err
 	}
 	return lastSeq, sawEnd, nData, fmt.Errorf("stream closed without an end line")
+}
+
+// saveTrace fetches a job's merged Chrome-trace timeline, validates its
+// shape (valid Trace Event JSON, monotonic timestamps, the expected span
+// names), and writes it to path so CI can attach it as an artifact when a
+// later step fails.
+func saveTrace(base, id, path string) error {
+	resp, err := http.Get(base + "/v1/jobs/" + id + "/trace")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("trace %s: HTTP %d: %s", id, resp.StatusCode, data)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("trace %s is not Chrome trace JSON: %w", id, err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		return fmt.Errorf("trace %s has no events", id)
+	}
+	lastTs := -1.0
+	names := map[string]bool{}
+	for _, e := range doc.TraceEvents {
+		if e.Ph != "X" {
+			continue
+		}
+		if e.Ts < lastTs {
+			return fmt.Errorf("trace %s timestamps not monotonic", id)
+		}
+		lastTs = e.Ts
+		names[e.Name] = true
+	}
+	for _, want := range []string{"job", "campaign", "shard"} {
+		if !names[want] {
+			return fmt.Errorf("trace %s missing %q spans", id, want)
+		}
+	}
+	return os.WriteFile(path, data, 0o644)
 }
 
 // waitForAddr polls the daemon's -addr-file, bailing early if the process

@@ -74,6 +74,12 @@ type CampaignConfig struct {
 	Parallel int
 	// OnProgress, if non-nil, is called after each shard completes.
 	OnProgress func(Progress)
+	// TraceID, when non-empty, names the campaign's distributed trace
+	// instead of letting the plan mint one — callers that already minted
+	// an ID (the analysis service, which surfaces it on the job record)
+	// pass it down so the wire plan, shard spans, and job status all
+	// agree on one identifier.
+	TraceID string
 }
 
 func (c CampaignConfig) withDefaults() CampaignConfig {

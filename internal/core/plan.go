@@ -47,6 +47,11 @@ type CampaignPlan struct {
 	Overlap int
 	// Shards is the shard cut of the dump.
 	Shards []Shard
+	// Trace is the campaign's distributed trace context: minted when the
+	// campaign is planned, carried to workers inside the wire plan, and
+	// stamped on the span trees they ship back. ParentSpan is meaningful
+	// only in the minting process's collector.
+	Trace obs.TraceContext
 
 	cfg          CampaignConfig
 	attackCfg    Config
@@ -90,6 +95,14 @@ func PlanCampaignSource(ctx context.Context, src BlockSource, cfg CampaignConfig
 		privateCache: privateCache,
 	}
 	p.root = startCampaignSpan(tracer, attackCfg.Span, totalBlocks)
+	p.Trace = obs.TraceContext{TraceID: cfg.TraceID}
+	if p.Trace.TraceID == "" {
+		p.Trace.TraceID = obs.NewTraceID()
+	}
+	if col := obs.FindCollector(tracer); col != nil {
+		p.Trace.ParentSpan = col.SpanID(p.root)
+	}
+	p.root.SetAttr("trace", p.Trace.TraceID)
 
 	// Global mining pass: keys repeat across the whole image, so one pass
 	// yields the best pool and the true stride.
@@ -132,20 +145,35 @@ func (p *CampaignPlan) Result() *Result { return p.res }
 // Config returns the plan's defaulted per-shard attack configuration.
 func (p *CampaignPlan) Config() Config { return p.attackCfg }
 
+// Root returns the campaign's root span (nil before planning). The fleet
+// coordinator hangs lease spans off it so every shard — local or remote —
+// lives in one trace tree.
+func (p *CampaignPlan) Root() obs.Span { return p.root }
+
 // ShardSpan opens the tracing span for one shard's scan, parented under
 // the campaign root when the plan has one (coordinator side) or rooted at
 // the tracer otherwise (remote worker side). End it when the scan
 // completes.
 func (p *CampaignPlan) ShardSpan(sh Shard) obs.Span {
+	attrs := p.shardAttrs(sh)
+	if p.root != nil {
+		return p.root.Child("shard", attrs...)
+	}
+	return p.tracer.StartSpan("shard", attrs...)
+}
+
+// shardAttrs builds the standard attribute set for one shard's span,
+// including the campaign trace ID when the plan carries one.
+func (p *CampaignPlan) shardAttrs(sh Shard) []obs.Attr {
 	attrs := []obs.Attr{
 		obs.A("shard", strconv.Itoa(sh.Index)),
 		obs.A("blocks", strconv.Itoa(sh.FirstBlock)+"-"+strconv.Itoa(sh.FirstBlock+sh.Blocks)),
 		obs.A("offset", "0x"+strconv.FormatInt(int64(sh.FirstBlock)*BlockBytes, 16)+"-0x"+strconv.FormatInt(int64(sh.FirstBlock+sh.Blocks)*BlockBytes, 16)),
 	}
-	if p.root != nil {
-		return p.root.Child("shard", attrs...)
+	if p.Trace.Valid() {
+		attrs = append(attrs, obs.A("trace", p.Trace.TraceID))
 	}
-	return p.tracer.StartSpan("shard", attrs...)
+	return attrs
 }
 
 // ScanShardBytes runs the attack pipeline over one shard's raw bytes
@@ -159,6 +187,21 @@ func (p *CampaignPlan) ScanShardBytes(ctx context.Context, sub []byte, sh Shard,
 		defer span.End()
 	}
 	return scanShard(ctx, sub, sh, p.Mine, p.directory, p.attackCfg, span)
+}
+
+// ScanShardBytesTraced is ScanShardBytes with the tracer overridden for
+// this one scan: the shard span and every hook under it (hunt spans, chunk
+// histograms, counters) record into tracer instead of the plan's. The
+// fleet worker gives each lease its own Collector this way, so one shard's
+// telemetry snapshots cleanly for shipping without tearing it out of a
+// shared process-wide trace.
+func (p *CampaignPlan) ScanShardBytesTraced(ctx context.Context, sub []byte, sh Shard, tracer obs.Tracer) (ShardResult, error) {
+	tracer = obs.OrNop(tracer)
+	span := tracer.StartSpan("shard", p.shardAttrs(sh)...)
+	defer span.End()
+	cfg := p.attackCfg
+	cfg.Tracer = tracer
+	return scanShard(ctx, sub, sh, p.Mine, p.directory, cfg, span)
 }
 
 // Finalize merges the collected shard results into the plan's Result:
@@ -220,6 +263,9 @@ type WirePlan struct {
 	TotalBlocks     int         `json:"total_blocks"`
 	Overlap         int         `json:"overlap"`
 	Mine            *MineResult `json:"mine"`
+	// Trace propagates the campaign's distributed trace context so worker
+	// span trees stamp the same trace ID the coordinator minted.
+	Trace obs.TraceContext `json:"trace,omitempty"`
 }
 
 // Wire projects the plan for shipment to workers.
@@ -237,6 +283,7 @@ func (p *CampaignPlan) Wire() *WirePlan {
 		TotalBlocks:     p.TotalBlocks,
 		Overlap:         p.Overlap,
 		Mine:            p.Mine,
+		Trace:           p.Trace,
 	}
 }
 
@@ -269,6 +316,7 @@ func PlanFromWire(w *WirePlan, tracer obs.Tracer) (*CampaignPlan, error) {
 		Stride:       w.Stride,
 		TotalBlocks:  w.TotalBlocks,
 		Overlap:      w.Overlap,
+		Trace:        w.Trace,
 		attackCfg:    attackCfg,
 		rf:           rf,
 		tracer:       obs.OrNop(tracer),

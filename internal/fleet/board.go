@@ -71,32 +71,60 @@ type BoardStats struct {
 	// queue; Steals counts duplicate leases granted on stragglers.
 	Requeues int `json:"requeues"`
 	Steals   int `json:"steals"`
+	// Stragglers counts completed shards whose grant-to-completion time
+	// exceeded the straggler bound (2x the p99 of earlier completions).
+	Stragglers int `json:"stragglers"`
+}
+
+// CompleteInfo describes an accepted shard completion: who finished it,
+// the lease span the worker's shipped telemetry grafts under, and timing
+// for the straggler detector. On a stolen shard only the winning lease
+// produces one, so shipped spans are attributed to exactly one worker.
+type CompleteInfo struct {
+	Worker string
+	Stolen bool
+	// Span is the shard's (ended) lease span; the coordinator grafts the
+	// worker's span tree under it.
+	Span obs.Span
+	// GrantedNs is the obs.Now timestamp the winning lease was granted —
+	// the monotonic floor for clock-corrected grafting.
+	GrantedNs int64
+	// DurNs is grant-to-completion wall time.
+	DurNs int64
+	// Straggler is set when DurNs exceeded the straggler bound.
+	Straggler bool
 }
 
 // Board is the coordinator-side shard lease state machine for one
 // campaign. Safe for concurrent use.
 type Board struct {
-	mu       sync.Mutex
-	ttl      int64
-	tracer   obs.Tracer
-	shards   []*boardShard
-	leases   map[string]*Lease
-	queue    []int // indices into shards, FIFO
-	done     int
-	requeues int
-	steals   int
-	seq      uint64
-	finished chan struct{}
-	now      func() int64 // obs.Now, injectable in tests
+	mu         sync.Mutex
+	ttl        int64
+	tracer     obs.Tracer
+	parent     obs.Span // campaign root; lease spans are its children
+	shards     []*boardShard
+	leases     map[string]*Lease
+	queue      []int // indices into shards, FIFO
+	done       int
+	requeues   int
+	steals     int
+	stragglers int
+	durs       obs.Histogram // completed-shard durations, for the straggler bound
+	seq        uint64
+	finished   chan struct{}
+	now        func() int64 // obs.Now, injectable in tests
 }
 
 // NewBoard builds a board over the plan's shard cut. ttl is the lease
 // lifetime; a worker must heartbeat faster than this or its shard goes
-// back to the queue.
-func NewBoard(shards []core.Shard, ttl time.Duration, tracer obs.Tracer) *Board {
+// back to the queue. parent, when non-nil, is the campaign root span the
+// per-shard lease spans nest under, putting every remote shard in the same
+// trace tree as a local campaign's shards.
+func NewBoard(shards []core.Shard, ttl time.Duration, tracer obs.Tracer, parent obs.Span) *Board {
 	b := &Board{
 		ttl:      int64(ttl),
 		tracer:   obs.OrNop(tracer),
+		parent:   parent,
 		leases:   make(map[string]*Lease),
 		finished: make(chan struct{}),
 		now:      obs.Now,
@@ -145,17 +173,29 @@ func (b *Board) Lease(worker string) (Lease, bool) {
 	sh := b.shards[idx]
 	sh.status = shardLeased
 	b.seq++
+	attrs := []obs.Attr{
+		obs.A("shard", strconv.Itoa(sh.shard.Index)),
+		obs.A("worker", worker),
+		obs.A("stolen", strconv.FormatBool(stolen)),
+	}
+	var span obs.Span
+	if b.parent != nil {
+		span = b.parent.Child("fleet.lease", attrs...)
+	} else {
+		span = b.tracer.StartSpan("fleet.lease", attrs...)
+	}
+	// granted is stamped after the span opens: it is the monotonic floor
+	// grafted worker spans are clamped to, so it must not precede the lease
+	// span's own start.
+	granted := b.now()
 	l := &Lease{
 		ID:      "l" + strconv.FormatUint(b.seq, 10),
 		Worker:  worker,
 		Shard:   sh.shard,
 		Stolen:  stolen,
-		granted: now,
-		expiry:  now + b.ttl,
-		span: b.tracer.StartSpan("fleet.lease",
-			obs.A("shard", strconv.Itoa(sh.shard.Index)),
-			obs.A("worker", worker),
-			obs.A("stolen", strconv.FormatBool(stolen))),
+		granted: granted,
+		expiry:  granted + b.ttl,
+		span:    span,
 	}
 	sh.leases[l.ID] = l
 	b.leases[l.ID] = l
@@ -197,25 +237,56 @@ func (b *Board) Heartbeat(leaseID string) bool {
 	return true
 }
 
+// stragglerSampleFloor is how many completed shards must be observed
+// before the straggler bound is trusted; a p99 over fewer samples is
+// noise.
+const stragglerSampleFloor = 8
+
+// LeaseAlive reports whether a lease is still outstanding (not expired,
+// not completed). Telemetry flushes for dead leases are discarded on the
+// strength of this check.
+func (b *Board) LeaseAlive(leaseID string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.expireLocked(b.now())
+	_, ok := b.leases[leaseID]
+	return ok
+}
+
 // Complete records a shard's results under the given lease. accepted is
 // false for an unknown lease or a shard another worker already finished
 // (the stolen-duplicate loser) — both benign, the results are dropped.
-func (b *Board) Complete(leaseID string, res core.ShardResult) bool {
+// When accepted, the CompleteInfo names the winning worker and the lease
+// span the worker's telemetry belongs under.
+func (b *Board) Complete(leaseID string, res core.ShardResult) (CompleteInfo, bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	now := b.now()
 	l, ok := b.leases[leaseID]
 	if !ok {
-		return false
+		return CompleteInfo{}, false
 	}
 	sh := b.shards[shardByIndex(b.shards, l.Shard.Index)]
+	span := l.span
+	if sh.status == shardDone || res.Shard.Index != sh.shard.Index {
+		b.dropLeaseLocked(l, "complete")
+		return CompleteInfo{}, false
+	}
+	dur := now - l.granted
+	info := CompleteInfo{Worker: l.Worker, Stolen: l.Stolen, Span: span, GrantedNs: l.granted, DurNs: dur}
+	// The straggler bound comes from completions BEFORE this one, so the
+	// first slow shard in a run can still be flagged. Attrs must land
+	// before dropLeaseLocked ends the span.
+	if s := b.durs.Snapshot(""); s.Count >= stragglerSampleFloor && dur > 2*s.P99 {
+		info.Straggler = true
+		b.stragglers++
+		b.tracer.Count("fleet.stragglers", 1)
+		if span != nil {
+			span.SetAttr("straggler", "true")
+		}
+	}
+	b.durs.Observe(dur)
 	b.dropLeaseLocked(l, "complete")
-	if sh.status == shardDone {
-		return false
-	}
-	if res.Shard.Index != sh.shard.Index {
-		return false
-	}
 	sh.status = shardDone
 	sh.result = &res
 	// Retire any duplicate leases still out on this shard.
@@ -223,11 +294,16 @@ func (b *Board) Complete(leaseID string, res core.ShardResult) bool {
 		b.dropLeaseLocked(dup, "superseded")
 	}
 	b.done++
-	b.tracer.Observe("fleet.shard_ns", now-l.granted)
+	b.tracer.Observe("fleet.shard_ns", dur)
+	if l.Worker != "" {
+		// Per-worker series: the ";key=value" suffix renders as a Prometheus
+		// label, so /metrics exposes one labelled histogram family.
+		b.tracer.Observe("fleet.shard_ns;worker="+l.Worker, dur)
+	}
 	if b.done == len(b.shards) {
 		close(b.finished)
 	}
-	return true
+	return info, true
 }
 
 // Expire requeues every lease whose holder stopped heartbeating. It is
@@ -297,7 +373,7 @@ func (b *Board) Results() ([]core.ShardResult, error) {
 func (b *Board) Stats() BoardStats {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	st := BoardStats{Total: len(b.shards), Requeues: b.requeues, Steals: b.steals}
+	st := BoardStats{Total: len(b.shards), Requeues: b.requeues, Steals: b.steals, Stragglers: b.stragglers}
 	for _, sh := range b.shards {
 		switch sh.status {
 		case shardQueued:

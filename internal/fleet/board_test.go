@@ -22,7 +22,7 @@ func testShards(n, blocks int) []core.Shard {
 
 func testBoard(n int, ttl time.Duration) (*Board, *fakeClock) {
 	clk := &fakeClock{}
-	b := NewBoard(testShards(n, 128), ttl, nil)
+	b := NewBoard(testShards(n, 128), ttl, nil, nil)
 	b.now = clk.now
 	return b, clk
 }
@@ -41,7 +41,7 @@ func TestBoardLeaseCompleteFlow(t *testing.T) {
 	if l1.Shard.Index == l2.Shard.Index {
 		t.Fatal("same shard leased twice with queue non-empty")
 	}
-	if !b.Complete(l1.ID, result(l1.Shard)) {
+	if _, ok := b.Complete(l1.ID, result(l1.Shard)); !ok {
 		t.Fatal("first completion rejected")
 	}
 	select {
@@ -49,7 +49,7 @@ func TestBoardLeaseCompleteFlow(t *testing.T) {
 		t.Fatal("board done with a shard outstanding")
 	default:
 	}
-	if !b.Complete(l2.ID, result(l2.Shard)) {
+	if _, ok := b.Complete(l2.ID, result(l2.Shard)); !ok {
 		t.Fatal("second completion rejected")
 	}
 	select {
@@ -83,7 +83,7 @@ func TestBoardExpiryRequeues(t *testing.T) {
 	if b.Heartbeat(l.ID) {
 		t.Fatal("expired lease heartbeat accepted")
 	}
-	if b.Complete(l.ID, result(l.Shard)) {
+	if _, ok := b.Complete(l.ID, result(l.Shard)); ok {
 		t.Fatal("expired lease completion accepted")
 	}
 	l2, ok := b.Lease("w2")
@@ -104,7 +104,7 @@ func TestBoardHeartbeatExtendsLease(t *testing.T) {
 			t.Fatalf("heartbeat %d rejected", i)
 		}
 	}
-	if !b.Complete(l.ID, result(l.Shard)) {
+	if _, ok := b.Complete(l.ID, result(l.Shard)); !ok {
 		t.Fatal("heartbeat-kept lease could not complete")
 	}
 	if st := b.Stats(); st.Requeues != 0 {
@@ -128,10 +128,10 @@ func TestBoardWorkStealing(t *testing.T) {
 	if _, ok := b.Lease("third"); ok {
 		t.Fatal("shard with two outstanding leases stolen again")
 	}
-	if !b.Complete(dup.ID, result(dup.Shard)) {
+	if info, ok := b.Complete(dup.ID, result(dup.Shard)); !ok || info.Worker != "fast" || !info.Stolen {
 		t.Fatal("stealing worker's completion rejected")
 	}
-	if b.Complete(orig.ID, result(orig.Shard)) {
+	if _, ok := b.Complete(orig.ID, result(orig.Shard)); ok {
 		t.Fatal("losing duplicate's completion accepted")
 	}
 	st := b.Stats()
@@ -148,13 +148,13 @@ func TestBoardUnknownLease(t *testing.T) {
 	if b.Heartbeat("nope") {
 		t.Fatal("unknown lease heartbeat accepted")
 	}
-	if b.Complete("nope", core.ShardResult{}) {
+	if _, ok := b.Complete("nope", core.ShardResult{}); ok {
 		t.Fatal("unknown lease completion accepted")
 	}
 }
 
 func TestBoardEmptyIsDone(t *testing.T) {
-	b := NewBoard(nil, time.Minute, nil)
+	b := NewBoard(nil, time.Minute, nil, nil)
 	select {
 	case <-b.Done():
 	default:

@@ -33,11 +33,26 @@ type leaseResponse struct {
 	Shard    core.Shard `json:"shard"`
 	// TTLNs is the lease lifetime; workers heartbeat a few times per TTL.
 	TTLNs int64 `json:"ttl_ns"`
+	// Trace is the campaign's trace context: the shared trace ID plus the
+	// lease span's ID in the coordinator's collector, which the worker's
+	// shipped span tree will be grafted under.
+	Trace obs.TraceContext `json:"trace,omitempty"`
+	// NowNs is the coordinator's obs.Now at response time; together with
+	// the worker's send/receive timestamps it yields one NTP-style clock
+	// offset sample.
+	NowNs int64 `json:"now_ns"`
 }
 
 type leaseRef struct {
 	Campaign string `json:"campaign"`
 	Lease    string `json:"lease"`
+}
+
+// nowResponse carries the coordinator clock back on heartbeats (and
+// telemetry flushes), so every round-trip refines the worker's offset
+// estimate.
+type nowResponse struct {
+	NowNs int64 `json:"now_ns"`
 }
 
 type completeRequest struct {
@@ -47,6 +62,28 @@ type completeRequest struct {
 	Keys     []core.FoundKey `json:"keys"`
 	Volumes  []format.Volume `json:"volumes"`
 	Pairs    int64           `json:"pairs"`
+	// Worker names the completing worker; grafted spans render on a track
+	// of this name in the merged timeline.
+	Worker string `json:"worker,omitempty"`
+	// ClockOffsetNs is the worker's best estimate of (coordinator obs.Now -
+	// worker obs.Now), applied to shipped span timestamps at graft time.
+	ClockOffsetNs int64 `json:"clock_offset_ns,omitempty"`
+	// Telemetry is the lease-scoped span tree, counters, and histograms
+	// from the shard scan.
+	Telemetry *obs.Telemetry `json:"telemetry,omitempty"`
+}
+
+// telemetryRequest is a periodic mid-shard flush of the same lease-scoped
+// telemetry a completion carries. The coordinator only buffers it —
+// grafting happens exclusively on accepted completion, so a shard that is
+// stolen or requeued never leaves half-merged spans behind, and a flush
+// racing its own completion cannot graft twice.
+type telemetryRequest struct {
+	Campaign      string        `json:"campaign"`
+	Lease         string        `json:"lease"`
+	Worker        string        `json:"worker"`
+	ClockOffsetNs int64         `json:"clock_offset_ns,omitempty"`
+	Telemetry     obs.Telemetry `json:"telemetry"`
 }
 
 // CoordinatorStats aggregates every live campaign's board gauges plus the
@@ -78,6 +115,12 @@ type session struct {
 	wire  []byte // marshaled core.WirePlan, served to workers once each
 	src   core.BlockSource
 	board *Board
+
+	// fmu guards flushes: the latest buffered telemetry flush per live
+	// lease, replaced wholesale on each flush and consumed (or discarded)
+	// when the lease completes.
+	fmu     sync.Mutex
+	flushes map[string]*telemetryRequest
 }
 
 // NewCoordinator builds a coordinator. ttl is the shard lease lifetime
@@ -100,6 +143,7 @@ func (c *Coordinator) Register(mux *http.ServeMux) {
 	mux.HandleFunc("POST /v1/shards/lease", c.handleLease)
 	mux.HandleFunc("POST /v1/shards/heartbeat", c.handleHeartbeat)
 	mux.HandleFunc("POST /v1/shards/complete", c.handleComplete)
+	mux.HandleFunc("POST /v1/telemetry", c.handleTelemetry)
 	mux.HandleFunc("GET /v1/shards/plan", c.handlePlan)
 	mux.HandleFunc("GET /v1/shards/data", c.handleData)
 }
@@ -130,10 +174,11 @@ func (c *Coordinator) Run(ctx context.Context, src core.BlockSource, cfg core.Ca
 	}
 
 	s := &session{
-		plan:  plan,
-		wire:  wire,
-		src:   src,
-		board: NewBoard(plan.Shards, c.ttl, c.tracer),
+		plan:    plan,
+		wire:    wire,
+		src:     src,
+		board:   NewBoard(plan.Shards, c.ttl, c.tracer, plan.Root()),
+		flushes: make(map[string]*telemetryRequest),
 	}
 	c.mu.Lock()
 	c.seq++
@@ -217,6 +262,7 @@ func (c *Coordinator) Stats() CoordinatorStats {
 		st.Total += bs.Total
 		st.Requeues += bs.Requeues
 		st.Steals += bs.Steals
+		st.Stragglers += bs.Stragglers
 	}
 	return st
 }
@@ -256,12 +302,18 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 		if !ok {
 			continue
 		}
+		trace := s.plan.Trace
+		if col := obs.FindCollector(c.tracer); col != nil {
+			trace.ParentSpan = col.SpanID(l.span)
+		}
 		writeJSON(w, leaseResponse{
 			Campaign: s.id,
 			Lease:    l.ID,
 			Stolen:   l.Stolen,
 			Shard:    l.Shard,
 			TTLNs:    int64(c.ttl),
+			Trace:    trace,
+			NowNs:    obs.Now(),
 		})
 		return
 	}
@@ -279,7 +331,35 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "lease gone", http.StatusGone)
 		return
 	}
-	w.WriteHeader(http.StatusOK)
+	writeJSON(w, nowResponse{NowNs: obs.Now()})
+}
+
+// handleTelemetry buffers one mid-shard flush. Nothing merges here: the
+// graft happens only when the shard's completion is accepted, using the
+// freshest telemetry available (completion body first, this buffer as the
+// fallback). A flush for a lease the board no longer tracks is discarded.
+func (c *Coordinator) handleTelemetry(w http.ResponseWriter, r *http.Request) {
+	var req telemetryRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 64<<20)).Decode(&req); err != nil {
+		http.Error(w, "bad telemetry", http.StatusBadRequest)
+		return
+	}
+	s := c.session(req.Campaign, req.Worker)
+	if s == nil {
+		http.Error(w, "no such campaign", http.StatusGone)
+		return
+	}
+	if !s.board.LeaseAlive(req.Lease) {
+		s.fmu.Lock()
+		delete(s.flushes, req.Lease)
+		s.fmu.Unlock()
+		http.Error(w, "lease gone", http.StatusGone)
+		return
+	}
+	s.fmu.Lock()
+	s.flushes[req.Lease] = &req
+	s.fmu.Unlock()
+	writeJSON(w, nowResponse{NowNs: obs.Now()})
 }
 
 func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
@@ -293,17 +373,68 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "no such campaign", http.StatusGone)
 		return
 	}
-	accepted := s.board.Complete(req.Lease, core.ShardResult{
+	info, accepted := s.board.Complete(req.Lease, core.ShardResult{
 		Shard:   req.Shard,
 		Keys:    req.Keys,
 		Volumes: req.Volumes,
 		Pairs:   req.Pairs,
 	})
+	// The lease is gone either way; any buffered flush is consumed now or
+	// never.
+	s.fmu.Lock()
+	buffered := s.flushes[req.Lease]
+	delete(s.flushes, req.Lease)
+	s.fmu.Unlock()
+	if accepted {
+		c.graftTelemetry(&req, buffered, info)
+	}
 	// A dropped duplicate (stolen-shard loser, expired lease) is a normal
 	// outcome, not a client error; the worker just moves on.
 	writeJSON(w, struct {
 		Accepted bool `json:"accepted"`
 	}{accepted})
+}
+
+// graftTelemetry merges one accepted shard's shipped telemetry into the
+// coordinator's collector: the span tree grafts under the winning lease
+// span (clock-corrected, floored at the grant time so the merged tree
+// stays monotonic under any worker skew), and each shipped histogram also
+// folds into a per-worker labelled series for /metrics. Only the winning
+// completion reaches here, so a stolen shard's timeline shows exactly one
+// worker's spans.
+func (c *Coordinator) graftTelemetry(req *completeRequest, buffered *telemetryRequest, info CompleteInfo) {
+	col := obs.FindCollector(c.tracer)
+	if col == nil {
+		return
+	}
+	worker := req.Worker
+	if worker == "" {
+		worker = info.Worker
+	}
+	tel := req.Telemetry
+	offset := req.ClockOffsetNs
+	if tel == nil && buffered != nil && buffered.Worker == worker {
+		tel = &buffered.Telemetry
+		offset = buffered.ClockOffsetNs
+	}
+	if tel == nil {
+		return
+	}
+	parent, root := col.SpanContext(info.Span)
+	col.Graft(*tel, obs.GraftOptions{
+		Parent:   parent,
+		Root:     root,
+		Track:    worker,
+		OffsetNs: offset,
+		MinNs:    info.GrantedNs,
+	})
+	if worker != "" {
+		// Per-worker breakdown alongside the fleet-wide aggregate Graft
+		// already merged.
+		for _, h := range tel.Histograms {
+			col.MergeHistogram(h.Name+";worker="+worker, h)
+		}
+	}
 }
 
 func (c *Coordinator) handlePlan(w http.ResponseWriter, r *http.Request) {

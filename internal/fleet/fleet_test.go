@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"math/rand"
@@ -14,6 +15,7 @@ import (
 	"coldboot/internal/core"
 	_ "coldboot/internal/format/all" // register every built-in scanner
 	"coldboot/internal/format/luks2"
+	"coldboot/internal/obs"
 	"coldboot/internal/scramble"
 	"coldboot/internal/workload"
 )
@@ -121,7 +123,11 @@ func TestFleetParityWithLocalCampaign(t *testing.T) {
 		t.Fatalf("local campaign missed planted masters (%d keys)", len(local.Keys))
 	}
 
-	coord := NewCoordinator(5*time.Second, nil)
+	// The fleet side runs fully traced (the local baseline ran with the
+	// obs.Nop path), so a byte-identical result also proves tracing never
+	// perturbs the pipeline's output.
+	col := obs.NewCollector()
+	coord := NewCoordinator(5*time.Second, col)
 	mux := http.NewServeMux()
 	coord.Register(mux)
 	srv := httptest.NewServer(mux)
@@ -180,6 +186,118 @@ func TestFleetParityWithLocalCampaign(t *testing.T) {
 	st := coord.Stats()
 	if st.Campaigns != 0 {
 		t.Fatalf("campaign not unregistered after Run (%d live)", st.Campaigns)
+	}
+
+	validateMergedTimeline(t, col)
+}
+
+// validateMergedTimeline checks the acceptance contract on the
+// coordinator's collector after a traced fleet run: one trace tree holds
+// the campaign root, every lease span, and every worker's grafted shard
+// subtree; each shard appears exactly once on a named worker track; and
+// the clock-corrected tree is monotonic (children never start before
+// their parents).
+func validateMergedTimeline(t *testing.T, col *obs.Collector) {
+	t.Helper()
+	spans := col.Spans()
+	byID := make(map[uint64]obs.SpanRecord, len(spans))
+	for _, s := range spans {
+		byID[s.ID] = s
+	}
+	var campaignRoot uint64
+	for _, s := range spans {
+		if s.Name == "campaign" && s.Parent == 0 {
+			campaignRoot = s.Root
+		}
+	}
+	if campaignRoot == 0 {
+		t.Fatal("no campaign root span in coordinator collector")
+	}
+
+	shardsSeen := map[string]int{}
+	tracks := map[string]bool{}
+	for _, s := range spans {
+		if s.Track == "" {
+			continue
+		}
+		tracks[s.Track] = true
+		if s.Root != campaignRoot {
+			t.Fatalf("grafted span %q on track %q outside the campaign tree (root %d, want %d)", s.Name, s.Track, s.Root, campaignRoot)
+		}
+		parent, ok := byID[s.Parent]
+		if !ok {
+			t.Fatalf("grafted span %q has dangling parent %d", s.Name, s.Parent)
+		}
+		if s.StartNs < parent.StartNs {
+			t.Fatalf("merged tree not monotonic: %q starts %d before parent %q at %d", s.Name, s.StartNs, parent.Name, parent.StartNs)
+		}
+		if s.Name == "shard" {
+			if parent.Name != "fleet.lease" {
+				t.Fatalf("worker shard span parented under %q, want fleet.lease", parent.Name)
+			}
+			for _, a := range s.Attrs {
+				if a.Key == "shard" {
+					shardsSeen[a.Value]++
+				}
+			}
+		}
+	}
+	if len(tracks) == 0 {
+		t.Fatal("no worker tracks in the merged timeline")
+	}
+	for tr := range tracks {
+		if tr != "w1" && tr != "w2" && tr != "w3" {
+			t.Fatalf("unexpected track %q", tr)
+		}
+	}
+	if len(shardsSeen) != 8 {
+		t.Fatalf("expected all 8 shards on worker tracks, saw %v", shardsSeen)
+	}
+	for idx, n := range shardsSeen {
+		if n != 1 {
+			t.Fatalf("shard %s grafted %d times, want exactly once", idx, n)
+		}
+	}
+
+	// The merged trace must render as a valid Chrome trace with one lane
+	// per worker plus the coordinator lane.
+	var buf bytes.Buffer
+	if err := col.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			Ts   float64           `json:"ts"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("merged chrome trace not valid JSON: %v", err)
+	}
+	lanes := map[string]bool{}
+	lastTs := -1.0
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "M":
+			lanes[e.Args["name"]] = true
+		case "X":
+			if e.Ts < lastTs {
+				t.Fatalf("chrome trace ts not monotonic: %g after %g", e.Ts, lastTs)
+			}
+			lastTs = e.Ts
+		default:
+			t.Fatalf("unexpected event phase %q", e.Ph)
+		}
+	}
+	if !lanes["coordinator"] {
+		t.Fatalf("no coordinator lane in merged trace (lanes %v)", lanes)
+	}
+	for tr := range tracks {
+		if !lanes[tr] {
+			t.Fatalf("worker %q has grafted spans but no named lane (lanes %v)", tr, lanes)
+		}
 	}
 }
 

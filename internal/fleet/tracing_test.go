@@ -1,0 +1,337 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"coldboot/internal/obs"
+)
+
+// Deterministic distributed-tracing tests: these drive the coordinator's
+// HTTP handlers directly against a hand-built session, so worker clock
+// skew, stolen-shard races, and flush/complete interleavings are exact
+// rather than timing-dependent.
+
+// tracingHarness is one campaign session on a collector-backed
+// coordinator, with the board's clock under test control.
+type tracingHarness struct {
+	coord *Coordinator
+	sess  *session
+	col   *obs.Collector
+	clk   *fakeClock
+}
+
+func newTracingHarness(t *testing.T, shards int) *tracingHarness {
+	t.Helper()
+	col := obs.NewCollector()
+	c := NewCoordinator(time.Minute, col)
+	root := col.StartSpan("campaign")
+	t.Cleanup(root.End)
+	s := &session{
+		id:      "c1",
+		board:   NewBoard(testShards(shards, 128), time.Minute, col, root),
+		flushes: make(map[string]*telemetryRequest),
+	}
+	c.mu.Lock()
+	c.sessions[s.id] = s
+	c.order = append(c.order, s.id)
+	c.mu.Unlock()
+	return &tracingHarness{coord: c, sess: s, col: col, clk: nil}
+}
+
+func (h *tracingHarness) complete(t *testing.T, req completeRequest) (accepted bool, status int) {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	wr := httptest.NewRecorder()
+	h.coord.handleComplete(wr, httptest.NewRequest("POST", "/v1/shards/complete", bytes.NewReader(body)))
+	var out struct {
+		Accepted bool `json:"accepted"`
+	}
+	if wr.Code == 200 {
+		json.NewDecoder(wr.Body).Decode(&out)
+	}
+	return out.Accepted, wr.Code
+}
+
+func (h *tracingHarness) flush(t *testing.T, req telemetryRequest) int {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	wr := httptest.NewRecorder()
+	h.coord.handleTelemetry(wr, httptest.NewRequest("POST", "/v1/telemetry", bytes.NewReader(body)))
+	return wr.Code
+}
+
+// workerTelemetry builds a realistic lease-scoped telemetry snapshot with
+// the span timestamps forced to the given (foreign) timebase.
+func workerTelemetry(startNs int64) obs.Telemetry {
+	return obs.Telemetry{
+		Spans: []obs.SpanRecord{
+			{ID: 2, Parent: 1, Root: 1, Name: "hunt", StartNs: startNs + 50, DurNs: 100},
+			{ID: 1, Root: 1, Name: "shard", StartNs: startNs, DurNs: 300},
+		},
+		Counters:   map[string]int64{"keys.found": 1, "progress.campaign": 500},
+		Histograms: []obs.HistogramSnapshot{histOf("hunt.chunk_ns", 1000, 2000)},
+	}
+}
+
+func histOf(name string, vals ...int64) obs.HistogramSnapshot {
+	var h obs.Histogram
+	for _, v := range vals {
+		h.Observe(v)
+	}
+	return h.Snapshot(name)
+}
+
+func trackedSpans(col *obs.Collector, name string) []obs.SpanRecord {
+	var out []obs.SpanRecord
+	for _, s := range col.Spans() {
+		if s.Track != "" && (name == "" || s.Name == name) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// TestCompleteGraftsSkewedWorkerClock: a worker whose obs.Now timebase is
+// wildly behind the coordinator's (tiny StartNs, no offset estimate) must
+// still land inside the lease span — the MinNs floor clamps the batch to
+// the grant time, keeping the merged tree monotonic.
+func TestCompleteGraftsSkewedWorkerClock(t *testing.T) {
+	h := newTracingHarness(t, 1)
+	l, ok := h.sess.board.Lease("w1")
+	if !ok {
+		t.Fatal("no lease")
+	}
+	tel := workerTelemetry(5) // worker clock ~0: far before coordinator grant time
+	accepted, _ := h.complete(t, completeRequest{
+		Campaign: "c1", Lease: l.ID, Shard: l.Shard,
+		Worker: "w1", ClockOffsetNs: 0, Telemetry: &tel,
+	})
+	if !accepted {
+		t.Fatal("completion rejected")
+	}
+
+	spans := h.col.Spans()
+	var leaseSpan, shardSpan, huntSpan obs.SpanRecord
+	for _, s := range spans {
+		switch s.Name {
+		case "fleet.lease":
+			leaseSpan = s
+		case "shard":
+			shardSpan = s
+		case "hunt":
+			huntSpan = s
+		}
+	}
+	if leaseSpan.ID == 0 || shardSpan.ID == 0 || huntSpan.ID == 0 {
+		t.Fatalf("missing spans in merged tree: %+v", spans)
+	}
+	if shardSpan.Parent != leaseSpan.ID {
+		t.Errorf("shard parent = %d, want lease %d", shardSpan.Parent, leaseSpan.ID)
+	}
+	if shardSpan.StartNs < leaseSpan.StartNs {
+		t.Errorf("skewed shard span at %d precedes lease at %d", shardSpan.StartNs, leaseSpan.StartNs)
+	}
+	if huntSpan.StartNs-shardSpan.StartNs != 50 {
+		t.Errorf("relative timing mangled: hunt-shard gap %d, want 50", huntSpan.StartNs-shardSpan.StartNs)
+	}
+	if shardSpan.Track != "w1" || huntSpan.Track != "w1" {
+		t.Errorf("tracks = %q/%q, want w1", shardSpan.Track, huntSpan.Track)
+	}
+	// Per-worker labelled histogram series exists alongside the aggregate.
+	if h.col.Histogram("hunt.chunk_ns") == nil || h.col.Histogram("hunt.chunk_ns;worker=w1") == nil {
+		t.Error("missing aggregate or per-worker histogram series")
+	}
+	if got := h.col.Report().Counters["keys.found"]; got != 1 {
+		t.Errorf("counter merge = %d, want 1", got)
+	}
+	if _, ok := h.col.Report().Counters["progress.campaign"]; ok {
+		t.Error("worker progress high-water mark leaked into coordinator counters")
+	}
+}
+
+// TestStolenShardAttribution: when a shard is stolen, only the winning
+// completion's telemetry grafts; the loser's spans are dropped with its
+// results, so the timeline shows exactly one worker scanning the shard.
+func TestStolenShardAttribution(t *testing.T) {
+	h := newTracingHarness(t, 1)
+	slow, ok := h.sess.board.Lease("w-slow")
+	if !ok {
+		t.Fatal("no initial lease")
+	}
+	fast, ok := h.sess.board.Lease("w-fast")
+	if !ok || !fast.Stolen {
+		t.Fatal("no stolen duplicate")
+	}
+
+	fastTel := workerTelemetry(100)
+	if accepted, _ := h.complete(t, completeRequest{
+		Campaign: "c1", Lease: fast.ID, Shard: fast.Shard,
+		Worker: "w-fast", Telemetry: &fastTel,
+	}); !accepted {
+		t.Fatal("winning completion rejected")
+	}
+	slowTel := workerTelemetry(200)
+	if accepted, _ := h.complete(t, completeRequest{
+		Campaign: "c1", Lease: slow.ID, Shard: slow.Shard,
+		Worker: "w-slow", Telemetry: &slowTel,
+	}); accepted {
+		t.Fatal("losing duplicate accepted")
+	}
+
+	shards := trackedSpans(h.col, "shard")
+	if len(shards) != 1 || shards[0].Track != "w-fast" {
+		t.Fatalf("stolen shard attribution wrong: %+v", shards)
+	}
+	if got := h.col.Report().Counters["keys.found"]; got != 1 {
+		t.Errorf("loser's counters merged too: keys.found = %d, want 1", got)
+	}
+}
+
+// TestFlushThenCompleteGraftsOnce: a mid-shard telemetry flush buffers at
+// the coordinator; the completion (carrying a superset of the same tree)
+// grafts exactly once, and the buffered flush is consumed, not re-grafted.
+func TestFlushThenCompleteGraftsOnce(t *testing.T) {
+	h := newTracingHarness(t, 1)
+	l, ok := h.sess.board.Lease("w1")
+	if !ok {
+		t.Fatal("no lease")
+	}
+
+	partial := obs.Telemetry{
+		Spans:    []obs.SpanRecord{{ID: 2, Parent: 1, Root: 1, Name: "hunt", StartNs: 150, DurNs: 100}},
+		Counters: map[string]int64{"keys.found": 1},
+	}
+	if code := h.flush(t, telemetryRequest{Campaign: "c1", Lease: l.ID, Worker: "w1", Telemetry: partial}); code != 200 {
+		t.Fatalf("flush status %d", code)
+	}
+	if len(trackedSpans(h.col, "")) != 0 {
+		t.Fatal("flush grafted spans before completion")
+	}
+
+	full := workerTelemetry(100)
+	if accepted, _ := h.complete(t, completeRequest{
+		Campaign: "c1", Lease: l.ID, Shard: l.Shard,
+		Worker: "w1", Telemetry: &full,
+	}); !accepted {
+		t.Fatal("completion rejected")
+	}
+
+	if got := trackedSpans(h.col, "hunt"); len(got) != 1 {
+		t.Fatalf("hunt span grafted %d times, want once", len(got))
+	}
+	if got := h.col.Report().Counters["keys.found"]; got != 1 {
+		t.Fatalf("counters double-merged: keys.found = %d, want 1", got)
+	}
+	// A straggler flush arriving after completion is rejected and cannot
+	// re-graft.
+	if code := h.flush(t, telemetryRequest{Campaign: "c1", Lease: l.ID, Worker: "w1", Telemetry: partial}); code != 410 {
+		t.Fatalf("post-completion flush status %d, want 410", code)
+	}
+	if got := trackedSpans(h.col, "hunt"); len(got) != 1 {
+		t.Fatalf("late flush re-grafted: %d hunt spans", len(got))
+	}
+}
+
+// TestCompleteFallsBackToBufferedFlush: a completion with no inline
+// telemetry (worker died between flush and attach, or an older worker)
+// still grafts the last buffered flush.
+func TestCompleteFallsBackToBufferedFlush(t *testing.T) {
+	h := newTracingHarness(t, 1)
+	l, _ := h.sess.board.Lease("w1")
+	tel := workerTelemetry(100)
+	if code := h.flush(t, telemetryRequest{Campaign: "c1", Lease: l.ID, Worker: "w1", ClockOffsetNs: 12, Telemetry: tel}); code != 200 {
+		t.Fatalf("flush status %d", code)
+	}
+	if accepted, _ := h.complete(t, completeRequest{
+		Campaign: "c1", Lease: l.ID, Shard: l.Shard, Worker: "w1",
+	}); !accepted {
+		t.Fatal("completion rejected")
+	}
+	if got := trackedSpans(h.col, "shard"); len(got) != 1 {
+		t.Fatalf("buffered flush not grafted on telemetry-less completion: %+v", got)
+	}
+}
+
+// TestExpiredLeaseTelemetryDiscarded: once a lease expires, both its
+// flushes and its completion are refused, so no spans from the dead lease
+// ever reach the merged timeline.
+func TestExpiredLeaseTelemetryDiscarded(t *testing.T) {
+	col := obs.NewCollector()
+	c := NewCoordinator(time.Minute, col)
+	clk := &fakeClock{}
+	b := NewBoard(testShards(1, 128), time.Second, col, nil)
+	b.now = clk.now
+	s := &session{id: "c1", board: b, flushes: make(map[string]*telemetryRequest)}
+	c.mu.Lock()
+	c.sessions[s.id] = s
+	c.order = append(c.order, s.id)
+	c.mu.Unlock()
+	h := &tracingHarness{coord: c, sess: s, col: col}
+
+	l, _ := b.Lease("w1")
+	tel := workerTelemetry(100)
+	if code := h.flush(t, telemetryRequest{Campaign: "c1", Lease: l.ID, Worker: "w1", Telemetry: tel}); code != 200 {
+		t.Fatalf("flush status %d", code)
+	}
+	clk.advance(int64(2 * time.Second)) // lease expires
+	if code := h.flush(t, telemetryRequest{Campaign: "c1", Lease: l.ID, Worker: "w1", Telemetry: tel}); code != 410 {
+		t.Fatalf("expired-lease flush status %d, want 410", code)
+	}
+	if accepted, _ := h.complete(t, completeRequest{
+		Campaign: "c1", Lease: l.ID, Shard: l.Shard, Worker: "w1", Telemetry: &tel,
+	}); accepted {
+		t.Fatal("expired lease completion accepted")
+	}
+	if got := trackedSpans(h.col, ""); len(got) != 0 {
+		t.Fatalf("dead lease left %d spans in the timeline", len(got))
+	}
+}
+
+// TestStragglerDetection: completions beyond 2x the p99 of earlier ones
+// are flagged, counted, and attributed on the lease span.
+func TestStragglerDetection(t *testing.T) {
+	clk := &fakeClock{}
+	col := obs.NewCollector()
+	b := NewBoard(testShards(10, 128), time.Hour, col, nil)
+	b.now = clk.now
+	for i := 0; i < 9; i++ {
+		l, ok := b.Lease("w1")
+		if !ok {
+			t.Fatalf("lease %d refused", i)
+		}
+		dur := int64(time.Millisecond)
+		if i == 8 {
+			dur = int64(time.Minute) // way past 2x p99 of the first 8
+		}
+		clk.advance(dur)
+		info, ok := b.Complete(l.ID, result(l.Shard))
+		if !ok {
+			t.Fatalf("completion %d rejected", i)
+		}
+		if want := i == 8; info.Straggler != want {
+			t.Fatalf("completion %d straggler = %v, want %v", i, info.Straggler, want)
+		}
+	}
+	if st := b.Stats(); st.Stragglers != 1 {
+		t.Fatalf("Stragglers = %d, want 1", st.Stragglers)
+	}
+	if got := col.Report().Counters["fleet.stragglers"]; got != 1 {
+		t.Fatalf("fleet.stragglers counter = %d, want 1", got)
+	}
+	// Per-worker shard-duration series fed the labelled family.
+	if col.Histogram("fleet.shard_ns;worker=w1") == nil {
+		t.Fatal("missing per-worker fleet.shard_ns series")
+	}
+	var buf bytes.Buffer
+	if err := col.Report().WritePrometheus(&buf, "coldbootd_pipeline"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `coldbootd_pipeline_fleet_shard_seconds_count{worker="w1"} 9`) {
+		t.Fatalf("per-worker labelled series missing from exposition:\n%s", buf.String())
+	}
+}

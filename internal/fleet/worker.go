@@ -35,6 +35,43 @@ type Worker struct {
 	Poll time.Duration
 
 	plans map[string]*core.CampaignPlan // campaign ID -> rebuilt plan
+	clock clockSync                     // coordinator clock offset estimate
+}
+
+// clockSync keeps the worker's best estimate of the coordinator's obs.Now
+// clock relative to its own. Every round-trip that returns the
+// coordinator's clock yields an NTP-style sample offset = serverNow -
+// (t0+t1)/2; the sample with the smallest round-trip time wins, since
+// network asymmetry bounds its error by RTT/2.
+type clockSync struct {
+	mu      sync.Mutex
+	sampled bool
+	bestRTT int64
+	offset  int64
+}
+
+// sample folds one round-trip observation in. serverNow == 0 (old
+// coordinator, no clock in the response) is ignored.
+func (cs *clockSync) sample(t0, t1, serverNow int64) {
+	if serverNow == 0 || t1 < t0 {
+		return
+	}
+	rtt := t1 - t0
+	cs.mu.Lock()
+	if !cs.sampled || rtt < cs.bestRTT {
+		cs.sampled = true
+		cs.bestRTT = rtt
+		cs.offset = serverNow - (t0+t1)/2
+	}
+	cs.mu.Unlock()
+}
+
+// Offset returns the current (coordinator - worker) clock estimate in
+// nanoseconds; zero before any sample.
+func (cs *clockSync) Offset() int64 {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return cs.offset
 }
 
 func (w *Worker) client() *http.Client {
@@ -89,7 +126,10 @@ func (w *Worker) Run(ctx context.Context) error {
 }
 
 // scanLease runs one leased shard end to end: plan, data, scan,
-// complete — heartbeating throughout so the lease stays ours.
+// complete — heartbeating throughout so the lease stays ours. The scan
+// records into a lease-scoped Collector (alongside the worker's own
+// tracer) so its span tree, counters, and histogram buckets ship back with
+// the completion and graft into the coordinator's merged timeline.
 func (w *Worker) scanLease(ctx context.Context, lease leaseResponse, tracer obs.Tracer) error {
 	plan, err := w.planFor(ctx, lease.Campaign, tracer)
 	if err != nil {
@@ -99,10 +139,13 @@ func (w *Worker) scanLease(ctx context.Context, lease leaseResponse, tracer obs.
 	if err != nil {
 		return err
 	}
+	col := obs.NewCollector()
 
 	// Heartbeat until the scan finishes; a dead lease (requeued from
 	// under us, or a stolen duplicate that lost) cancels the scan — the
-	// work's result would be dropped anyway.
+	// work's result would be dropped anyway. On long shards each beat also
+	// flushes the telemetry collected so far, so the coordinator holds a
+	// recent snapshot even if this worker dies mid-shard.
 	scanCtx, cancel := context.WithCancel(ctx)
 	var hb sync.WaitGroup
 	hb.Add(1)
@@ -123,11 +166,12 @@ func (w *Worker) scanLease(ctx context.Context, lease leaseResponse, tracer obs.
 					cancel()
 					return
 				}
+				w.flushTelemetry(scanCtx, lease, col)
 			}
 		}
 	}()
 
-	sr, scanErr := plan.ScanShardBytes(scanCtx, sub, lease.Shard, nil)
+	sr, scanErr := plan.ScanShardBytesTraced(scanCtx, sub, lease.Shard, obs.Multi(col, tracer))
 	cancel()
 	hb.Wait()
 	if scanErr != nil {
@@ -136,7 +180,25 @@ func (w *Worker) scanLease(ctx context.Context, lease leaseResponse, tracer obs.
 		// the queue for a healthy worker to redo.
 		return scanErr
 	}
-	return w.complete(ctx, lease, sr)
+	return w.complete(ctx, lease, sr, col)
+}
+
+// flushTelemetry posts the lease's telemetry-so-far. Best effort: a lost
+// flush costs nothing (the completion carries the full tree) and a flush
+// rejected for a dead lease is moot (the scan is being cancelled).
+func (w *Worker) flushTelemetry(ctx context.Context, lease leaseResponse, col *obs.Collector) {
+	t0 := obs.Now()
+	var out nowResponse
+	_, err := w.postJSON(ctx, "/v1/telemetry", telemetryRequest{
+		Campaign:      lease.Campaign,
+		Lease:         lease.Lease,
+		Worker:        w.Name,
+		ClockOffsetNs: w.clock.Offset(),
+		Telemetry:     col.Telemetry(),
+	}, &out)
+	if err == nil {
+		w.clock.sample(t0, obs.Now(), out.NowNs)
+	}
 }
 
 // planFor fetches and rebuilds (once per campaign) the wire plan.
@@ -166,19 +228,28 @@ func (w *Worker) planFor(ctx context.Context, campaign string, tracer obs.Tracer
 
 func (w *Worker) lease(ctx context.Context) (leaseResponse, bool, error) {
 	var out leaseResponse
+	t0 := obs.Now()
 	status, err := w.postJSON(ctx, "/v1/shards/lease", leaseRequest{Worker: w.Name}, &out)
 	if err != nil {
 		return out, false, err
+	}
+	if status == http.StatusOK {
+		w.clock.sample(t0, obs.Now(), out.NowNs)
 	}
 	return out, status == http.StatusOK, nil
 }
 
 func (w *Worker) heartbeat(ctx context.Context, lease leaseResponse) bool {
-	status, err := w.postJSON(ctx, "/v1/shards/heartbeat", leaseRef{Campaign: lease.Campaign, Lease: lease.Lease}, nil)
+	var out nowResponse
+	t0 := obs.Now()
+	status, err := w.postJSON(ctx, "/v1/shards/heartbeat", leaseRef{Campaign: lease.Campaign, Lease: lease.Lease}, &out)
 	if err != nil {
 		// Unreachable coordinator is not a dead lease: keep scanning and
 		// let the next beat (or lease expiry) decide.
 		return true
+	}
+	if status == http.StatusOK {
+		w.clock.sample(t0, obs.Now(), out.NowNs)
 	}
 	return status == http.StatusOK
 }
@@ -214,14 +285,18 @@ func (w *Worker) shardData(ctx context.Context, lease leaseResponse) ([]byte, er
 // masters raw: the coordinator needs the true bytes to merge and tag, and
 // this transport is the fleet's sanctioned key egress (results at rest
 // are fingerprinted by the service layer).
-func (w *Worker) complete(ctx context.Context, lease leaseResponse, sr core.ShardResult) error {
+func (w *Worker) complete(ctx context.Context, lease leaseResponse, sr core.ShardResult, col *obs.Collector) error {
+	tel := col.Telemetry()
 	_, err := w.postJSON(ctx, "/v1/shards/complete", completeRequest{
-		Campaign: lease.Campaign,
-		Lease:    lease.Lease,
-		Shard:    sr.Shard,
-		Keys:     sr.Keys,
-		Volumes:  sr.Volumes,
-		Pairs:    sr.Pairs,
+		Campaign:      lease.Campaign,
+		Lease:         lease.Lease,
+		Shard:         sr.Shard,
+		Keys:          sr.Keys,
+		Volumes:       sr.Volumes,
+		Pairs:         sr.Pairs,
+		Worker:        w.Name,
+		ClockOffsetNs: w.clock.Offset(),
+		Telemetry:     &tel,
 	}, nil)
 	return err
 }

@@ -118,6 +118,7 @@ type Job struct {
 	stageOrder []string                  // guarded by pmu
 	stages     map[string]*StageProgress // guarded by pmu
 	formats    map[string]int64          // guarded by pmu
+	traceID    string                    // guarded by pmu
 }
 
 // ID returns the job's unique identifier.
@@ -184,6 +185,26 @@ func (j *Job) SetFormatCount(name string, n int64) {
 	}
 	j.formats[name] = n
 	j.pmu.Unlock()
+}
+
+// SetTraceID publishes the distributed-trace ID the analysis minted for
+// this job's campaign, linking the job record to its span tree. First
+// writer wins: retries reuse the original trace so the timeline stays one
+// tree per job.
+func (j *Job) SetTraceID(id string) {
+	j.pmu.Lock()
+	if j.traceID == "" {
+		j.traceID = id
+	}
+	j.pmu.Unlock()
+}
+
+// TraceID returns the trace ID published via SetTraceID ("" before the
+// analysis starts).
+func (j *Job) TraceID() string {
+	j.pmu.Lock()
+	defer j.pmu.Unlock()
+	return j.traceID
 }
 
 func (j *Job) stageLocked(name string) *StageProgress {
@@ -255,6 +276,10 @@ type Snapshot struct {
 	// SetFormatCount (e.g. "aesxts.candidates": 1). Nil until the
 	// analysis emits its first per-format tally.
 	Formats map[string]int64 `json:"formats,omitempty"`
+	// TraceID is the distributed-trace ID of the job's campaign span tree
+	// (empty until the analysis starts). GET /v1/jobs/{id}/trace serves
+	// the merged timeline it names.
+	TraceID string `json:"trace_id,omitempty"`
 	// Result is the RunFunc's return value (partial results survive
 	// cancellation and failure). Excluded from JSON: the owner decides how
 	// to serialize — the analysis service redacts key material by default.

@@ -510,6 +510,7 @@ func (p *Pool) snapshotLocked(j *Job) Snapshot {
 		Total:    total,
 		Stages:   stages,
 		Formats:  formats,
+		TraceID:  j.TraceID(),
 		Result:   j.result,
 	}
 	if total > 0 {

@@ -85,6 +85,13 @@ var keyflowSinks = map[string]string{
 	"encoding/json.Encoder.Encode":  "JSON egress",
 	"net/http.Error":                "HTTP error egress",
 	"net/http.ResponseWriter.Write": "HTTP response egress",
+	// Span attributes are telemetry: they ride the fleet wire
+	// worker→coordinator and render in /metrics, event streams, and Chrome
+	// traces. Keys appear there as sha256 fingerprints only. (obs.A itself
+	// is a module function, so taint flows through it into these calls.)
+	"internal/obs.Span.SetAttr":     "span attribute telemetry egress",
+	"internal/obs.Span.Child":       "span attribute telemetry egress",
+	"internal/obs.Tracer.StartSpan": "span attribute telemetry egress",
 }
 
 // keyflowPropagators are external functions whose result is a re-encoding

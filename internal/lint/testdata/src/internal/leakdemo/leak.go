@@ -13,6 +13,7 @@ import (
 	"os"
 
 	"coldboot/internal/aes"
+	"coldboot/internal/obs"
 	"coldboot/internal/secret"
 )
 
@@ -104,4 +105,26 @@ func WriteFileLeak(path string, schedule []byte) error {
 // unwrapping the secret re-taints it.
 func RevealLeak(sb *secret.Bytes) string {
 	return fmt.Sprintf("%x", sb.Reveal()) // want keyflow
+}
+
+// SpanAttrLeak ships a recovered master into a span attribute: span attrs
+// are telemetry that crosses the fleet wire worker→coordinator, so hex
+// re-encoding launders nothing.
+func SpanAttrLeak(span obs.Span, schedule []byte) {
+	master := aes.RecoverMasterKey(schedule)
+	span.SetAttr("master", hex.EncodeToString(master)) // want keyflow
+}
+
+// AttrBuildLeak hands a key-bearing attribute to a child span; the attr
+// rides the span tree onto the telemetry wire.
+func AttrBuildLeak(span obs.Span, schedule []byte) {
+	master := aes.RecoverMasterKey(schedule)
+	span.Child("shard", obs.Attr{Key: "master", Value: hex.EncodeToString(master)}) // want keyflow
+}
+
+// SpanAttrFingerprint is the sanctioned telemetry shape: a sha256
+// fingerprint identifies the key without revealing it.
+func SpanAttrFingerprint(span obs.Span, schedule []byte) {
+	master := aes.RecoverMasterKey(schedule)
+	span.SetAttr("key", secret.Fingerprint(master))
 }

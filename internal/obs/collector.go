@@ -39,11 +39,15 @@ type StageReport struct {
 // SpanRecord is one completed span in the Collector's trace tree. IDs are
 // assigned in start order and are unique within the Collector; Parent is 0
 // for root spans; Root names the tree the span belongs to (its own ID for
-// roots), which the Chrome exporter uses as the track ID.
+// roots), which the Chrome exporter uses as the track ID. Track, when set,
+// names the timeline the span renders on instead (grafted fleet telemetry
+// carries the originating worker's name here), so a merged distributed
+// trace shows one named lane per worker.
 type SpanRecord struct {
 	ID      uint64 `json:"id"`
 	Parent  uint64 `json:"parent,omitempty"`
 	Root    uint64 `json:"root"`
+	Track   string `json:"track,omitempty"`
 	Name    string `json:"name"`
 	StartNs int64  `json:"start_ns"`
 	DurNs   int64  `json:"dur_ns"`

@@ -41,12 +41,13 @@ const defaultJournalCap = 4096
 // When writers outpace a reader the oldest events are overwritten and the
 // reader observes a gap (the missed count from ReadSince), never a stall.
 type Journal struct {
-	mu       sync.Mutex
-	ring     []Event       // guarded by mu
-	total    uint64        // events ever appended; Seq of the newest event; guarded by mu
-	closed   bool          // guarded by mu
-	notify   chan struct{} // guarded by mu
-	nextSpan atomic.Uint64
+	mu          sync.Mutex
+	ring        []Event       // guarded by mu
+	total       uint64        // events ever appended; Seq of the newest event; guarded by mu
+	overwritten uint64        // events lost to ring wrap before any read; guarded by mu
+	closed      bool          // guarded by mu
+	notify      chan struct{} // guarded by mu
+	nextSpan    atomic.Uint64
 }
 
 // NewJournal returns a Journal retaining up to capacity recent events
@@ -74,6 +75,7 @@ func (j *Journal) append(e Event) {
 	if len(j.ring) < cap(j.ring) {
 		j.ring = append(j.ring, e)
 	} else {
+		j.overwritten++
 		j.ring[(j.total-1)%uint64(cap(j.ring))] = e
 	}
 	close(j.notify)
@@ -139,6 +141,16 @@ func (j *Journal) Closed() bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.closed
+}
+
+// Overwritten returns how many events have been lost to ring wrap over the
+// journal's lifetime. A nonzero value means at least one reader gap was
+// possible; /metrics exposes the sum across journals so operators can size
+// the ring instead of guessing from missing events.
+func (j *Journal) Overwritten() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.overwritten
 }
 
 // LastSeq returns the sequence number of the newest event (0 when empty).

@@ -38,30 +38,91 @@ func (r Report) WritePrometheus(w io.Writer, namespace string) error {
 			fmt.Fprintf(w, "%s_counter_total{name=%q} %d\n", ns, name, r.Counters[name])
 		}
 	}
+	// Group histograms into families: a name like "fleet.shard_ns;worker=w1"
+	// is the "fleet.shard_ns" family with a {worker="w1"} label set, so
+	// per-worker series aggregated by the fleet coordinator render as one
+	// labelled Prometheus histogram instead of N distinct metric names.
+	// HELP/TYPE are emitted once per family, in first-appearance order.
+	famOrder := make([]string, 0, len(r.Histograms))
+	families := make(map[string][]HistogramSnapshot)
 	for _, h := range r.Histograms {
-		if err := writePromHistogram(w, ns, h); err != nil {
+		base, _ := splitHistName(h.Name)
+		if _, ok := families[base]; !ok {
+			famOrder = append(famOrder, base)
+		}
+		families[base] = append(families[base], h)
+	}
+	for _, base := range famOrder {
+		if err := writePromHistFamily(w, ns, base, families[base]); err != nil {
 			return err
 		}
 	}
+	fmt.Fprintf(w, "# HELP %s_spans_dropped_total Trace spans discarded past the collector retention cap.\n", ns)
+	fmt.Fprintf(w, "# TYPE %s_spans_dropped_total counter\n", ns)
+	fmt.Fprintf(w, "%s_spans_dropped_total %d\n", ns, r.SpansDropped)
 	_, err := fmt.Fprintf(w, "# HELP %s_observed_seconds Wall time from first to last observed stage event.\n# TYPE %s_observed_seconds gauge\n%s_observed_seconds %g\n",
 		ns, ns, ns, float64(r.TotalNs)/1e9)
 	return err
 }
 
-// writePromHistogram renders one snapshot as a native Prometheus
-// histogram. Values are nanoseconds by the obs.Observe convention, so the
-// "_ns" suffix is swapped for "_seconds" and bounds divide by 1e9.
-func writePromHistogram(w io.Writer, ns string, h HistogramSnapshot) error {
-	name := ns + "_" + strings.TrimSuffix(sanitizeMetricName(h.Name), "_ns") + "_seconds"
-	fmt.Fprintf(w, "# HELP %s Latency distribution of %s.\n", name, h.Name)
-	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
-	for _, b := range h.Buckets {
-		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatSeconds(b.UpperBound), b.Count)
+// splitHistName splits a histogram name into its base family and any
+// ";key=value" label suffixes. Malformed suffixes (no "=") are kept in the
+// base name, sanitized like any other metric-name character.
+func splitHistName(name string) (base string, labels [][2]string) {
+	parts := strings.Split(name, ";")
+	base = parts[0]
+	for _, p := range parts[1:] {
+		k, v, ok := strings.Cut(p, "=")
+		if !ok || k == "" {
+			base += "_" + p
+			continue
+		}
+		labels = append(labels, [2]string{sanitizeLabelName(k), v})
 	}
-	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count)
-	fmt.Fprintf(w, "%s_sum %g\n", name, float64(h.Sum)/1e9)
-	_, err := fmt.Fprintf(w, "%s_count %d\n", name, h.Count)
-	return err
+	return base, labels
+}
+
+// writePromHistFamily renders one histogram family — every label-set
+// variant of one base name — as a native Prometheus histogram. Values are
+// nanoseconds by the obs.Observe convention, so the "_ns" suffix is
+// swapped for "_seconds" and bounds divide by 1e9.
+func writePromHistFamily(w io.Writer, ns, base string, hs []HistogramSnapshot) error {
+	name := ns + "_" + strings.TrimSuffix(sanitizeMetricName(base), "_ns") + "_seconds"
+	fmt.Fprintf(w, "# HELP %s Latency distribution of %s.\n", name, base)
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	for _, h := range hs {
+		_, labels := splitHistName(h.Name)
+		suffix := formatLabels(labels)
+		for _, b := range h.Buckets {
+			fmt.Fprintf(w, "%s_bucket{le=%q%s} %d\n", name, formatSeconds(b.UpperBound), suffix, b.Count)
+		}
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"%s} %d\n", name, suffix, h.Count)
+		if suffix == "" {
+			fmt.Fprintf(w, "%s_sum %g\n", name, float64(h.Sum)/1e9)
+			if _, err := fmt.Fprintf(w, "%s_count %d\n", name, h.Count); err != nil {
+				return err
+			}
+			continue
+		}
+		fmt.Fprintf(w, "%s_sum{%s} %g\n", name, strings.TrimPrefix(suffix, ","), float64(h.Sum)/1e9)
+		if _, err := fmt.Fprintf(w, "%s_count{%s} %d\n", name, strings.TrimPrefix(suffix, ","), h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// formatLabels renders parsed labels as `,k="v",k2="v2"` for appending
+// after the le label (empty when there are none).
+func formatLabels(labels [][2]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, kv := range labels {
+		fmt.Fprintf(&b, ",%s=%q", kv[0], kv[1])
+	}
+	return b.String()
 }
 
 // formatSeconds renders a nanosecond bound as seconds the way Prometheus
@@ -77,6 +138,26 @@ func sortedKeys(m map[string]int64) []string {
 	}
 	sort.Strings(keys)
 	return keys
+}
+
+// sanitizeLabelName maps arbitrary strings onto the Prometheus label name
+// alphabet [a-zA-Z0-9_] (no colon, unlike metric names).
+func sanitizeLabelName(s string) string {
+	if s == "" {
+		return "label"
+	}
+	var b strings.Builder
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9' && i > 0:
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
 }
 
 // sanitizeMetricName maps arbitrary strings onto the Prometheus metric

@@ -1,0 +1,245 @@
+package obs
+
+import "math/bits"
+
+// Telemetry shipping: the worker side of distributed tracing serializes a
+// Collector's accumulated state (span tree, counters, histogram buckets)
+// into a Telemetry document, posts it over the fleet wire, and the
+// coordinator grafts it into its own Collector — remapping span IDs,
+// re-parenting the foreign roots under a local span, and applying a clock
+// correction so the merged tree stays monotonic despite per-process
+// obs.Now timebases.
+
+// Telemetry is the wire-serializable snapshot of a Collector: everything a
+// worker attaches to a shard completion (or flushes periodically on long
+// shards). Span attrs and events travel verbatim, so the keyflow contract
+// applies: no raw key bytes may ever be written into a span attribute —
+// only sha256: fingerprints.
+type Telemetry struct {
+	Spans        []SpanRecord        `json:"spans,omitempty"`
+	SpansDropped int64               `json:"spans_dropped,omitempty"`
+	Counters     map[string]int64    `json:"counters,omitempty"`
+	Histograms   []HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Telemetry snapshots the collector's completed spans, counters, and
+// histograms for shipping. Live (unended) spans are not included; a
+// periodic flush therefore ships a growing prefix of the final tree.
+func (c *Collector) Telemetry() Telemetry {
+	c.mu.Lock()
+	tel := Telemetry{
+		Spans:        make([]SpanRecord, len(c.spans)),
+		SpansDropped: c.spansDropped,
+		Counters:     make(map[string]int64, len(c.counters)),
+	}
+	copy(tel.Spans, c.spans)
+	for k, v := range c.counters {
+		tel.Counters[k] = v
+	}
+	c.mu.Unlock()
+
+	c.hmu.RLock()
+	for _, name := range c.horder {
+		tel.Histograms = append(tel.Histograms, c.hists[name].Snapshot(name))
+	}
+	c.hmu.RUnlock()
+	return tel
+}
+
+// GraftOptions places a foreign span tree inside this collector's trace.
+type GraftOptions struct {
+	// Parent is the local span ID the foreign root spans are adopted by
+	// (typically the shard's lease span). Zero leaves them as roots.
+	Parent uint64
+	// Root is the local tree ID stamped on every grafted span, so the
+	// merged campaign filters as one tree. Zero keeps per-batch roots.
+	Root uint64
+	// Track names the timeline the grafted spans render on (the worker
+	// name); the Chrome exporter gives each track its own named lane.
+	Track string
+	// OffsetNs is the clock correction added to every grafted StartNs: the
+	// estimated difference between this process's obs.Now and the origin
+	// process's, derived from lease/heartbeat round-trips.
+	OffsetNs int64
+	// MinNs is the monotonic floor: if the corrected batch would start
+	// before it (residual skew), the whole batch shifts uniformly so its
+	// earliest span starts exactly at MinNs. Relative timing within the
+	// batch is always preserved.
+	MinNs int64
+}
+
+// Graft merges a telemetry snapshot into the collector: span IDs are
+// remapped into the local ID space, foreign roots are re-parented under
+// opts.Parent, timestamps get the clock correction, and the origin's
+// counters, histograms, and stage aggregates fold into the local ones.
+// Returns the number of spans grafted (spans past the retention cap are
+// counted in SpansDropped instead).
+func (c *Collector) Graft(tel Telemetry, opts GraftOptions) int {
+	shift := opts.OffsetNs
+	if len(tel.Spans) > 0 {
+		minStart := tel.Spans[0].StartNs
+		for _, s := range tel.Spans[1:] {
+			if s.StartNs < minStart {
+				minStart = s.StartNs
+			}
+		}
+		if minStart+shift < opts.MinNs {
+			shift = opts.MinNs - minStart
+		}
+	}
+
+	idmap := make(map[uint64]uint64, len(tel.Spans))
+	for _, s := range tel.Spans {
+		idmap[s.ID] = c.nextSpanID.Add(1)
+	}
+
+	grafted := 0
+	c.mu.Lock()
+	for _, s := range tel.Spans {
+		r := s
+		r.ID = idmap[s.ID]
+		if p, ok := idmap[s.Parent]; s.Parent != 0 && ok {
+			r.Parent = p
+		} else {
+			// A foreign root — or an orphan whose parent fell past the
+			// origin's span cap — hangs off the adopting span.
+			r.Parent = opts.Parent
+		}
+		if opts.Root != 0 {
+			r.Root = opts.Root
+		} else if rid, ok := idmap[s.Root]; ok {
+			r.Root = rid
+		}
+		if opts.Track != "" {
+			r.Track = opts.Track
+		}
+		r.StartNs += shift
+		st, ok := c.stages[r.Name]
+		if !ok {
+			st = &StageReport{Name: r.Name}
+			c.stages[r.Name] = st
+			c.order = append(c.order, r.Name)
+		}
+		st.Calls++
+		st.WallNs += r.DurNs
+		if len(c.spans) < spanLimit {
+			c.spans = append(c.spans, r)
+			grafted++
+		} else {
+			c.spansDropped++
+		}
+		c.touchSpanLocked(r)
+	}
+	c.spansDropped += tel.SpansDropped
+	c.mu.Unlock()
+
+	c.MergeCounters(tel.Counters)
+	for _, h := range tel.Histograms {
+		c.MergeHistogram(h.Name, h)
+	}
+	return grafted
+}
+
+// touchSpanLocked folds a grafted span's corrected time range into the
+// first/last event bounds (c.mu held; the atomics tolerate that).
+func (c *Collector) touchSpanLocked(r SpanRecord) {
+	c.touch(r.StartNs)
+	c.touch(r.StartNs + r.DurNs)
+}
+
+// MergeCounters adds a foreign counter map into the collector's counters.
+// "progress." entries are skipped: they are per-process high-water marks,
+// not additive tallies, and summing them across workers would overcount.
+func (c *Collector) MergeCounters(counters map[string]int64) {
+	if len(counters) == 0 {
+		return
+	}
+	c.mu.Lock()
+	for k, v := range counters {
+		if len(k) >= 9 && k[:9] == "progress." {
+			continue
+		}
+		c.counters[k] += v
+	}
+	c.mu.Unlock()
+}
+
+// MergeHistogram folds a histogram snapshot into the named local
+// histogram, creating it on first use. Snapshot buckets are cumulative;
+// the merge reconstructs per-bucket deltas, and the power-of-two bucket
+// layout makes the bucket index recoverable from each upper bound — so a
+// merge of exact snapshots is exact, not an approximation.
+func (c *Collector) MergeHistogram(name string, snap HistogramSnapshot) {
+	if snap.Count == 0 {
+		return
+	}
+	c.hmu.Lock()
+	h := c.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		c.hists[name] = h
+		c.horder = append(c.horder, name)
+	}
+	c.hmu.Unlock()
+	h.merge(snap)
+	c.touch(Now())
+}
+
+// merge adds a snapshot's samples into the histogram bucket-for-bucket.
+func (h *Histogram) merge(s HistogramSnapshot) {
+	var prev int64
+	for _, b := range s.Buckets {
+		d := b.Count - prev
+		prev = b.Count
+		if d <= 0 {
+			continue
+		}
+		// Invert bucketBounds: bucket 0 has bound 0, bucket i>=1 has bound
+		// 2^i-1, bucket 63 tops out at MaxInt64 — all recover their index
+		// through bits.Len64.
+		h.buckets[bits.Len64(uint64(b.UpperBound))].Add(d)
+	}
+	h.sum.Add(s.Sum)
+}
+
+// SpanID resolves a Span back to its record ID in this collector, seeing
+// through the Multi fan-out wrapper. Zero means the span is not one of
+// this collector's (a Nop, Journal, or foreign-collector span).
+func (c *Collector) SpanID(s Span) uint64 {
+	id, _ := c.SpanContext(s)
+	return id
+}
+
+// SpanContext resolves a Span to its (id, tree root) in this collector,
+// seeing through Multi. Both are zero when the span is not ours.
+func (c *Collector) SpanContext(s Span) (id, root uint64) {
+	switch x := s.(type) {
+	case *collectorSpan:
+		if x.c == c {
+			return x.id, x.root
+		}
+	case multiSpan:
+		for _, sub := range x {
+			if id, root = c.SpanContext(sub); id != 0 {
+				return id, root
+			}
+		}
+	}
+	return 0, 0
+}
+
+// FindCollector digs the first Collector out of a tracer, seeing through
+// the Multi fan-out wrapper. Nil when the tracer has no Collector.
+func FindCollector(t Tracer) *Collector {
+	switch x := t.(type) {
+	case *Collector:
+		return x
+	case multiTracer:
+		for _, sub := range x {
+			if c := FindCollector(sub); c != nil {
+				return c
+			}
+		}
+	}
+	return nil
+}

@@ -274,9 +274,57 @@ func TestCoordinatorRoleEndToEnd(t *testing.T) {
 	}
 	body, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
-	for _, want := range []string{"coldbootd_fleet_workers_alive", "coldbootd_fleet_shards_done"} {
+	for _, want := range []string{
+		"coldbootd_fleet_workers_alive", "coldbootd_fleet_shards_done",
+		"coldbootd_fleet_stragglers_total", "coldbootd_fleet_lease_wait_p99_ns",
+		"coldbootd_fleet_backlog_per_worker", "coldbootd_events_overwritten_total",
+		// The worker's shipped histograms surface as a labelled family.
+		`coldbootd_pipeline_fleet_shard_seconds_count{worker="w-e2e"}`,
+	} {
 		if !strings.Contains(string(body), want) {
 			t.Errorf("/metrics missing %s", want)
 		}
+	}
+
+	// The job's trace endpoint serves the merged fleet timeline: the
+	// coordinator's own lane plus one named lane carrying the spans the
+	// worker shipped with its shard completions.
+	events := fetchTrace(t, ts, id)
+	lanes := map[string]uint64{}
+	var workerTid uint64
+	for _, e := range events {
+		if e.Ph == "M" && e.Name == "thread_name" {
+			lanes[e.Args["name"]] = e.Tid
+		}
+	}
+	if _, ok := lanes["coordinator"]; !ok {
+		t.Errorf("merged trace has no coordinator lane (lanes %v)", lanes)
+	}
+	workerTid = lanes["w-e2e"]
+	if workerTid == 0 {
+		t.Fatalf("merged trace has no w-e2e lane (lanes %v)", lanes)
+	}
+	var leases, workerSpans int
+	lastTs := -1.0
+	for _, e := range events {
+		if e.Ph != "X" {
+			continue
+		}
+		if e.Ts < lastTs {
+			t.Fatalf("merged trace ts not monotonic: %f after %f", e.Ts, lastTs)
+		}
+		lastTs = e.Ts
+		if e.Name == "fleet.lease" {
+			leases++
+		}
+		if e.Tid == workerTid {
+			workerSpans++
+		}
+	}
+	if leases == 0 {
+		t.Error("merged trace has no fleet.lease spans")
+	}
+	if workerSpans == 0 {
+		t.Error("merged trace has no spans on the worker's lane")
 	}
 }

@@ -46,8 +46,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			gauge{"coldbootd_fleet_shards_done", "Shards completed in live campaigns.", "gauge", fs.Done},
 			gauge{"coldbootd_fleet_requeues_total", "Shard leases that expired back to the queue.", "counter", fs.Requeues},
 			gauge{"coldbootd_fleet_steals_total", "Duplicate leases granted on straggling shards.", "counter", fs.Steals},
+			gauge{"coldbootd_fleet_stragglers_total", "Completed shards that exceeded the straggler bound (2x the p99 of earlier completions).", "counter", fs.Stragglers},
+			gauge{"coldbootd_fleet_lease_wait_p99_ns", "p99 of shard queue-to-lease wait; sustained growth means the fleet needs more workers.", "gauge", int(s.collector.Histogram("fleet.lease_wait_ns").Snapshot("").P99)},
+			gauge{"coldbootd_fleet_backlog_per_worker", "Queued shards per alive worker (autoscaling signal; counts the whole backlog when no worker is alive).", "gauge", perWorkerBacklog(fs.Queued, fs.WorkersAlive)},
 		)
 	}
+	gauges = append(gauges,
+		gauge{"coldbootd_events_overwritten_total", "Telemetry journal entries lost to ring overwrites across all jobs (slow event-stream consumers).", "counter", s.journalOverwrites()},
+	)
 	for _, g := range gauges {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n", g.name, g.help, g.name, g.typ, g.name, g.value)
 	}
@@ -59,4 +65,29 @@ func boolGauge(b bool) int {
 		return 1
 	}
 	return 0
+}
+
+// perWorkerBacklog is the autoscaling ratio behind
+// coldbootd_fleet_backlog_per_worker, rounded up so one queued shard with
+// ten workers still reads as pressure 1, not 0.
+func perWorkerBacklog(queued, alive int) int {
+	if queued == 0 {
+		return 0
+	}
+	if alive <= 0 {
+		return queued
+	}
+	return (queued + alive - 1) / alive
+}
+
+// journalOverwrites sums ring overwrites across every job's event journal:
+// how many telemetry events slow stream consumers have lost daemon-wide.
+func (s *Server) journalOverwrites() int {
+	s.jmu.Lock()
+	defer s.jmu.Unlock()
+	var n uint64
+	for _, j := range s.journals {
+		n += j.Overwritten()
+	}
+	return int(n)
 }

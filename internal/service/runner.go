@@ -155,14 +155,25 @@ func (s *Server) runAnalysis(ctx context.Context, j *jobs.Job) (any, error) {
 	}
 	tracer := obs.Multi(s.collector, jobTracer(j), jn, s.cfg.Tracer)
 	// One root span per job ties every pipeline span in the trace to the
-	// job that produced it.
+	// job that produced it. The trace ID is minted here (not by the plan)
+	// so the job record, the wire plan, and every worker's shard spans
+	// name the same distributed trace.
+	traceID := obs.NewTraceID()
+	j.SetTraceID(traceID)
 	root := tracer.StartSpan("job",
 		obs.A("job", j.ID()),
+		obs.A("trace", traceID),
 		obs.A("variant", pl.Variant.String()),
 		obs.A("formats", strings.Join(pl.Formats, ",")),
 		obs.A("image_bytes", strconv.FormatInt(pl.ImageBytes, 10)),
 		obs.A("repair", strconv.Itoa(pl.RepairFlips)))
 	defer root.End()
+	// Remember which collector tree belongs to this job: the trace
+	// endpoint filters the shared collector by this root to serve one
+	// job's merged timeline.
+	if _, treeRoot := s.collector.SpanContext(root); treeRoot != 0 {
+		s.setTraceRoot(j.ID(), treeRoot)
+	}
 
 	cfg := core.CampaignConfig{
 		Attack: core.Config{
@@ -174,6 +185,7 @@ func (s *Server) runAnalysis(ctx context.Context, j *jobs.Job) (any, error) {
 		},
 		ShardBlocks: s.cfg.ShardBlocks,
 		Parallel:    s.cfg.Parallel,
+		TraceID:     traceID,
 	}
 	// A coordinator-role server hands the campaign to the worker fleet;
 	// both paths are compositions of the same Plan/Scan/Finalize pipeline,

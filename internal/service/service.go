@@ -7,6 +7,7 @@
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
 //	GET    /v1/jobs/{id}/result key report (redacted unless ?reveal=keys)
 //	GET    /v1/jobs/{id}/events live NDJSON telemetry stream (?cursor=N resumes)
+//	GET    /v1/jobs/{id}/trace  merged Chrome-trace timeline of the job's campaign
 //	GET    /metrics             Prometheus text: pool gauges + obs aggregates
 //	GET    /healthz             liveness
 //
@@ -127,8 +128,12 @@ type Server struct {
 	// journals indexes each job's event journal for the streaming
 	// endpoint; entries stay after job completion (the closed journal is
 	// the stream's end-of-file) and are bounded by pool retention.
-	jmu      sync.Mutex
-	journals map[string]*obs.Journal
+	// traceRoots maps a job ID to the root span ID of its campaign tree in
+	// the shared collector, so the trace endpoint can carve one job's
+	// merged timeline out of the daemon-wide span set.
+	jmu        sync.Mutex
+	journals   map[string]*obs.Journal
+	traceRoots map[string]uint64
 }
 
 // New builds a Server and starts its worker pool. With a DataDir it also
@@ -155,10 +160,11 @@ func New(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("service: unknown role %q (want %s or %s)", cfg.Role, RoleStandalone, RoleCoordinator)
 	}
 	s := &Server{
-		cfg:       cfg,
-		collector: obs.NewCollector(),
-		mux:       http.NewServeMux(),
-		journals:  make(map[string]*obs.Journal),
+		cfg:        cfg,
+		collector:  obs.NewCollector(),
+		mux:        http.NewServeMux(),
+		journals:   make(map[string]*obs.Journal),
+		traceRoots: make(map[string]uint64),
 	}
 	if cfg.Role == RoleCoordinator {
 		// The coordinator's tracer is the server's collector, so fleet
@@ -207,6 +213,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s, nil
@@ -221,6 +228,25 @@ func (s *Server) Pool() *jobs.Pool { return s.pool }
 // Coordinator returns the fleet coordinator (nil unless the server runs
 // as RoleCoordinator).
 func (s *Server) Coordinator() *fleet.Coordinator { return s.coord }
+
+// Collector exposes the server's shared span collector (cmd/coldbootd
+// writes its Chrome trace on exit).
+func (s *Server) Collector() *obs.Collector { return s.collector }
+
+// setTraceRoot records which collector span tree belongs to a job.
+func (s *Server) setTraceRoot(id string, root uint64) {
+	s.jmu.Lock()
+	s.traceRoots[id] = root
+	s.jmu.Unlock()
+}
+
+// traceRoot returns a job's span-tree root in the shared collector (0 when
+// the job has not started, or was purged).
+func (s *Server) traceRoot(id string) uint64 {
+	s.jmu.Lock()
+	defer s.jmu.Unlock()
+	return s.traceRoots[id]
+}
 
 // Drain gracefully shuts the worker pool down: running jobs finish, queued
 // jobs are journaled as abandoned (requeued on the next boot) and counted
@@ -435,7 +461,37 @@ func (s *Server) purgeJob(id string, snap jobs.Snapshot) {
 	}
 	s.jmu.Lock()
 	delete(s.journals, id)
+	delete(s.traceRoots, id)
 	s.jmu.Unlock()
+}
+
+// handleTrace serves a job's merged campaign timeline as Chrome Trace
+// Event JSON (load in Perfetto / chrome://tracing). The document carries
+// every completed span of the job's tree in the shared collector — on a
+// coordinator that includes the span trees workers shipped with their
+// shard completions, one named track per worker, clock-corrected onto the
+// coordinator's timebase. Spans still in flight (a running job's open
+// stages) appear once they end; re-fetch after completion for the full
+// picture.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.pool.Get(id); !ok {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	root := s.traceRoot(id)
+	if root == 0 {
+		httpError(w, http.StatusNotFound, "job %s has no trace yet (analysis not started)", id)
+		return
+	}
+	var spans []obs.SpanRecord
+	for _, sp := range s.collector.Spans() {
+		if sp.Root == root {
+			spans = append(spans, sp)
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	obs.WriteChromeTraceSpans(w, spans)
 }
 
 // handleResult serves the key report of a finished job. Key material is
@@ -496,6 +552,9 @@ func statusDoc(snap jobs.Snapshot, pl *dumpJob) map[string]any {
 	}
 	if len(snap.Formats) > 0 {
 		doc["formats"] = snap.Formats
+	}
+	if snap.TraceID != "" {
+		doc["trace_id"] = snap.TraceID
 	}
 	if report, ok := snap.Result.(*ResultReport); ok && report != nil {
 		doc["keys_found"] = len(report.Keys)

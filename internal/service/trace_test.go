@@ -1,0 +1,116 @@
+package service
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+// traceEvent mirrors the Chrome Trace Event fields the tests assert on.
+type traceEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur"`
+	Tid  uint64            `json:"tid"`
+	Args map[string]string `json:"args"`
+}
+
+// fetchTrace GETs a job's merged timeline and decodes it.
+func fetchTrace(t testing.TB, ts *httptest.Server, id string) []traceEvent {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace: HTTP %d: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("trace content type %q", ct)
+	}
+	var doc struct {
+		TraceEvents []traceEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("decoding trace: %v", err)
+	}
+	return doc.TraceEvents
+}
+
+var traceIDRE = regexp.MustCompile(`^[0-9a-f]{16}$`)
+
+// TestTraceEndpoint: a finished standalone job serves its span tree as
+// Chrome Trace Event JSON, the status document names the trace, and a
+// second job's timeline stays disjoint — the endpoint carves exactly one
+// job's tree out of the daemon-wide collector.
+func TestTraceEndpoint(t *testing.T) {
+	master := testMaster(417)
+	container := buildFixtureContainer(t, 1<<19, 417, master, 96*64, false)
+	_, ts := testServer(t, Config{Workers: 2, ShardBlocks: 2048})
+
+	var ids []string
+	for i := 0; i < 2; i++ {
+		code, doc := postDump(t, ts, "", container)
+		if code != http.StatusCreated {
+			t.Fatalf("submit: HTTP %d: %v", code, doc)
+		}
+		ids = append(ids, doc["id"].(string))
+	}
+	for _, id := range ids {
+		doc := pollUntil(t, ts, id, 120*time.Second, inState("done"))
+		tid, _ := doc["trace_id"].(string)
+		if !traceIDRE.MatchString(tid) {
+			t.Fatalf("job %s status carries bad trace_id %q", id, tid)
+		}
+
+		events := fetchTrace(t, ts, id)
+		if len(events) == 0 {
+			t.Fatalf("job %s: empty trace", id)
+		}
+		seen := map[string]bool{}
+		lastTs := -1.0
+		for _, e := range events {
+			if e.Ph != "X" {
+				t.Fatalf("standalone trace has non-complete event %+v", e)
+			}
+			if e.Ts < lastTs {
+				t.Fatalf("trace ts not monotonic: %f after %f", e.Ts, lastTs)
+			}
+			lastTs = e.Ts
+			seen[e.Name] = true
+			// The subtree filter must not leak another job's spans: every
+			// job span in this document is this job's.
+			if e.Name == "job" && e.Args["job"] != id {
+				t.Fatalf("trace for %s contains job span of %s", id, e.Args["job"])
+			}
+			if e.Name == "job" && e.Args["trace"] != tid {
+				t.Fatalf("job span trace attr %q != status trace_id %q", e.Args["trace"], tid)
+			}
+		}
+		for _, want := range []string{"job", "campaign", "shard"} {
+			if !seen[want] {
+				t.Errorf("job %s trace missing a %q span (saw %v)", id, want, seen)
+			}
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/nope/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job trace: HTTP %d, want 404", resp.StatusCode)
+	}
+}
